@@ -1,0 +1,30 @@
+//! # smt-apps — applications driving the SMT evaluation
+//!
+//! The paper evaluates SMT with three applications; this crate rebuilds each of
+//! them on top of the SMT engine and the simulation substrate:
+//!
+//! * [`rpc`] — the custom RPC echo client/server used for the unloaded-RTT and
+//!   throughput experiments (Figs. 6, 7, 10, 11);
+//! * [`kv`] — a Redis-like in-memory key-value store with a single-threaded
+//!   event loop, plus the YCSB A–E workload generator used in Fig. 8;
+//! * [`blockstore`] — an NVMe-oF-like remote block store with a simulated SSD
+//!   and an FIO-style random-read generator with configurable iodepth (Fig. 9).
+//!
+//! Each application exposes (a) a *functional* implementation that runs requests
+//! through the real SMT engine (used by examples and integration tests), and
+//! (b) a *workload model* (request/response sizes and server compute) that the
+//! benches combine with the transport profiles to regenerate the paper's
+//! figures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blockstore;
+pub mod kv;
+pub mod rpc;
+pub mod ycsb;
+
+pub use blockstore::{BlockStore, BlockStoreConfig, FioGenerator};
+pub use kv::{KvRequest, KvResponse, KvStore};
+pub use rpc::EchoServer;
+pub use ycsb::{YcsbConfig, YcsbGenerator, YcsbOp, YcsbWorkload};

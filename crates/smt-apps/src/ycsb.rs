@@ -1,0 +1,322 @@
+//! YCSB workload generator (paper Fig. 8 uses YCSB A–E via YCSB-C).
+//!
+//! The standard core workloads are reproduced:
+//!
+//! | Workload | Mix                         | Request distribution |
+//! |----------|-----------------------------|----------------------|
+//! | A        | 50 % read / 50 % update     | zipfian              |
+//! | B        | 95 % read / 5 % update      | zipfian              |
+//! | C        | 100 % read                  | zipfian              |
+//! | D        | 95 % read / 5 % insert      | latest               |
+//! | E        | 95 % scan / 5 % insert      | zipfian              |
+
+use crate::kv::KvRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The YCSB core workloads used in Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum YcsbWorkload {
+    /// Update heavy (50/50).
+    A,
+    /// Read mostly (95/5).
+    B,
+    /// Read only.
+    C,
+    /// Read latest.
+    D,
+    /// Short ranges (scan heavy).
+    E,
+}
+
+impl YcsbWorkload {
+    /// All workloads in figure order.
+    pub fn all() -> [YcsbWorkload; 5] {
+        [
+            YcsbWorkload::A,
+            YcsbWorkload::B,
+            YcsbWorkload::C,
+            YcsbWorkload::D,
+            YcsbWorkload::E,
+        ]
+    }
+
+    /// The figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+            YcsbWorkload::C => "C",
+            YcsbWorkload::D => "D",
+            YcsbWorkload::E => "E",
+        }
+    }
+
+    /// Fraction of operations that are writes (update or insert).
+    pub fn write_fraction(self) -> f64 {
+        match self {
+            YcsbWorkload::A => 0.5,
+            YcsbWorkload::B | YcsbWorkload::D | YcsbWorkload::E => 0.05,
+            YcsbWorkload::C => 0.0,
+        }
+    }
+
+    /// Whether reads are scans (workload E).
+    pub fn uses_scans(self) -> bool {
+        matches!(self, YcsbWorkload::E)
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct YcsbConfig {
+    /// Number of records loaded into the store.
+    pub record_count: usize,
+    /// Value size in bytes (64 B / 1 KB / 4 KB in Fig. 8).
+    pub value_size: usize,
+    /// Zipfian skew parameter (YCSB default 0.99).
+    pub zipf_theta: f64,
+    /// Maximum scan length for workload E.
+    pub max_scan_len: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        Self {
+            record_count: 100_000,
+            value_size: 1024,
+            zipf_theta: 0.99,
+            max_scan_len: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// One generated operation with its wire sizes (used by the workload model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YcsbOp {
+    /// The request to send.
+    pub request: KvRequest,
+    /// Approximate request size on the wire (application bytes).
+    pub request_bytes: usize,
+    /// Approximate response size (application bytes).
+    pub response_bytes: usize,
+}
+
+/// The YCSB operation generator.
+#[derive(Debug)]
+pub struct YcsbGenerator {
+    workload: YcsbWorkload,
+    config: YcsbConfig,
+    rng: StdRng,
+    zipf_zeta: f64,
+    inserted: usize,
+}
+
+impl YcsbGenerator {
+    /// Creates a generator.
+    pub fn new(workload: YcsbWorkload, config: YcsbConfig) -> Self {
+        let zipf_zeta = (1..=config.record_count)
+            .map(|i| 1.0 / (i as f64).powf(config.zipf_theta))
+            .sum();
+        Self {
+            workload,
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            zipf_zeta,
+            inserted: 0,
+        }
+    }
+
+    /// The workload this generator produces.
+    pub fn workload(&self) -> YcsbWorkload {
+        self.workload
+    }
+
+    fn zipfian_index(&mut self) -> usize {
+        // Inverse-CDF sampling over the precomputed zeta normaliser.
+        let u: f64 = self.rng.gen::<f64>() * self.zipf_zeta;
+        let mut acc = 0.0;
+        for i in 1..=self.config.record_count {
+            acc += 1.0 / (i as f64).powf(self.config.zipf_theta);
+            if acc >= u {
+                return i - 1;
+            }
+        }
+        self.config.record_count - 1
+    }
+
+    fn latest_index(&mut self) -> usize {
+        // "Latest" distribution: skewed towards recently inserted records.
+        let total = self.config.record_count + self.inserted;
+        let z = self.zipfian_index();
+        total - 1 - z.min(total - 1)
+    }
+
+    fn key(&self, index: usize) -> String {
+        format!("user{index:08}")
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let write = self.rng.gen::<f64>() < self.workload.write_fraction();
+        let value_size = self.config.value_size;
+        let key_len = 12usize;
+
+        if write {
+            let (key, is_insert) = match self.workload {
+                YcsbWorkload::D | YcsbWorkload::E => {
+                    self.inserted += 1;
+                    (
+                        self.key(self.config.record_count + self.inserted),
+                        true,
+                    )
+                }
+                _ => {
+                    let idx = self.zipfian_index();
+                    (self.key(idx), false)
+                }
+            };
+            let _ = is_insert;
+            YcsbOp {
+                request: KvRequest::Put {
+                    key,
+                    value: vec![0xa5; value_size],
+                },
+                request_bytes: key_len + value_size + 16,
+                response_bytes: 8,
+            }
+        } else if self.workload.uses_scans() {
+            let len = self.rng.gen_range(1..=self.config.max_scan_len);
+            YcsbOp {
+                request: {
+                    let idx = self.zipfian_index();
+                    KvRequest::Scan {
+                        start: self.key(idx),
+                        count: len,
+                    }
+                },
+                request_bytes: key_len + 16,
+                response_bytes: len as usize * value_size,
+            }
+        } else {
+            let idx = if self.workload == YcsbWorkload::D {
+                self.latest_index()
+            } else {
+                self.zipfian_index()
+            };
+            YcsbOp {
+                request: KvRequest::Get {
+                    key: self.key(idx),
+                },
+                request_bytes: key_len + 8,
+                response_bytes: value_size + 8,
+            }
+        }
+    }
+
+    /// Mean request/response application sizes over `samples` generated
+    /// operations — the (request, response) sizes fed to the Fig. 8 model.
+    pub fn mean_sizes(&mut self, samples: usize) -> (usize, usize) {
+        let mut req = 0usize;
+        let mut resp = 0usize;
+        for _ in 0..samples {
+            let op = self.next_op();
+            req += op.request_bytes;
+            resp += op.response_bytes;
+        }
+        (req / samples.max(1), resp / samples.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> YcsbConfig {
+        YcsbConfig {
+            record_count: 1000,
+            value_size: 1024,
+            ..YcsbConfig::default()
+        }
+    }
+
+    #[test]
+    fn workload_mixes_match_spec() {
+        for wl in YcsbWorkload::all() {
+            let mut gen = YcsbGenerator::new(wl, config());
+            let mut writes = 0;
+            let mut scans = 0;
+            let n = 2000;
+            for _ in 0..n {
+                match gen.next_op().request {
+                    KvRequest::Put { .. } => writes += 1,
+                    KvRequest::Scan { .. } => scans += 1,
+                    _ => {}
+                }
+            }
+            let write_frac = writes as f64 / n as f64;
+            assert!(
+                (write_frac - wl.write_fraction()).abs() < 0.05,
+                "{wl:?}: write fraction {write_frac}"
+            );
+            if wl.uses_scans() {
+                assert!(scans > n / 2);
+            } else {
+                assert_eq!(scans, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut gen = YcsbGenerator::new(YcsbWorkload::C, config());
+        let mut hot = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if let KvRequest::Get { key } = gen.next_op().request {
+                let idx: usize = key[4..].parse().unwrap();
+                if idx < 10 {
+                    hot += 1;
+                }
+            }
+        }
+        // The hottest 1 % of keys receive far more than 1 % of requests.
+        assert!(hot as f64 / n as f64 > 0.05, "hot fraction {hot}/{n}");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = YcsbGenerator::new(YcsbWorkload::A, config());
+        let mut b = YcsbGenerator::new(YcsbWorkload::A, config());
+        for _ in 0..50 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn response_sizes_reflect_value_size() {
+        let mut small = YcsbGenerator::new(
+            YcsbWorkload::C,
+            YcsbConfig {
+                value_size: 64,
+                record_count: 1000,
+                ..YcsbConfig::default()
+            },
+        );
+        let mut large = YcsbGenerator::new(
+            YcsbWorkload::C,
+            YcsbConfig {
+                value_size: 4096,
+                record_count: 1000,
+                ..YcsbConfig::default()
+            },
+        );
+        let (_, resp_small) = small.mean_sizes(200);
+        let (_, resp_large) = large.mean_sizes(200);
+        assert!(resp_large > resp_small * 10);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion wrappers around the per-figure simulations so `cargo bench`
+//! exercises every experiment end to end.
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_transport::{RpcWorkload, StackKind, StackProfile};
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig6/unloaded_rtt_sweep", |b| {
+        b.iter(|| {
+            StackKind::figure6_set()
+                .into_iter()
+                .map(|s| StackProfile::new(s).unloaded_rtt_us(1024))
+                .sum::<f64>()
+        });
+    });
+    c.bench_function("fig7/throughput_point", |b| {
+        b.iter(|| StackProfile::new(StackKind::SmtSw).throughput_rps(1024, 100));
+    });
+    c.bench_function("fig9/blockstore_point", |b| {
+        let profile = StackProfile::new(StackKind::SmtHw);
+        let workload = RpcWorkload {
+            request_bytes: 64,
+            response_bytes: 4096 + 16,
+            server_compute_ns: 2_500,
+            server_fixed_latency_ns: 80_000,
+        };
+        b.iter(|| {
+            let costs = profile.rpc_costs(&workload);
+            smt_sim::RpcPipelineSim::new(profile.pipeline_config(4), costs).run()
+        });
+    });
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the handshake variants (Table 2 / Fig. 12 substrate).
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_crypto::cert::CertificateAuthority;
+use smt_crypto::handshake::zero_rtt::establish_zero_rtt;
+use smt_crypto::handshake::{establish, ClientConfig, ReplayCache, ServerConfig, SmtTicketIssuer};
+use smt_crypto::CipherSuite;
+
+fn bench_handshakes(c: &mut Criterion) {
+    let ca = CertificateAuthority::new("dc-ca");
+    let id = ca.issue_identity("server.dc.local");
+
+    c.bench_function("handshake/full_1rtt", |b| {
+        b.iter(|| {
+            establish(
+                ClientConfig::new(ca.verifying_key(), "server.dc.local"),
+                ServerConfig::new(id.clone(), ca.verifying_key()),
+            )
+            .unwrap()
+        });
+    });
+
+    c.bench_function("handshake/zero_rtt", |b| {
+        let issuer = SmtTicketIssuer::new(id.clone(), 3600);
+        let mut replay = ReplayCache::new(1 << 20);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            establish_zero_rtt(
+                CipherSuite::Aes128GcmSha256,
+                &ca.verifying_key(),
+                "server.dc.local",
+                &issuer,
+                &mut replay,
+                b"GET /object",
+                false,
+                now,
+            )
+            .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_handshakes);
+criterion_main!(benches);

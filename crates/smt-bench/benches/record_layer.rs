@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the record layer: software AES-128-GCM record
+//! protection with composite sequence numbers (the SMT data-path hot loop).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smt_crypto::key_schedule::Secret;
+use smt_crypto::record::RecordCipher;
+use smt_crypto::{CipherSuite, SeqnoLayout};
+use smt_wire::ContentType;
+
+fn bench_record_protection(c: &mut Criterion) {
+    let secret = Secret::from_slice(&[7u8; 32]).unwrap();
+    let tx = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+    let rx = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+    let layout = SeqnoLayout::default();
+
+    let mut group = c.benchmark_group("record_layer");
+    for size in [64usize, 1024, 4096, 16 * 1024 - 256] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encrypt", size), &data, |b, data| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let seq = layout.compose(1, i % 65_536).unwrap().value();
+                i += 1;
+                tx.encrypt_record(seq, ContentType::ApplicationData, data)
+                    .unwrap()
+            });
+        });
+        let seq = layout.compose(1, 0).unwrap().value();
+        let wire = tx
+            .encrypt_record(seq, ContentType::ApplicationData, &data)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("decrypt", size), &wire, |b, wire| {
+            b.iter(|| rx.decrypt_record(seq, wire).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    use smt_core::segment::{PathInfo, SmtSegmenter};
+    use smt_core::SmtConfig;
+    let secret = Secret::from_slice(&[7u8; 32]).unwrap();
+    let cipher = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+    let segmenter = SmtSegmenter::new(SmtConfig::software(), SeqnoLayout::default());
+    let mut group = c.benchmark_group("segmentation");
+    for size in [1024usize, 65_536, 512 * 1024] {
+        let data = vec![1u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("segment_message", size), &data, |b, d| {
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                segmenter
+                    .segment_message(PathInfo::loopback(1, 2), id, d, 0, Some(&cipher), None, 4 << 20)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_protection, bench_segmentation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the packet-level datapath (segmentation + NIC TSO +
+//! reassembly + decryption, end to end in memory).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smt_core::segment::PathInfo;
+use smt_core::{SmtConfig, SmtSession};
+use smt_crypto::cert::CertificateAuthority;
+use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let ca = CertificateAuthority::new("ca");
+    let id = ca.issue_identity("server");
+    let (ck, sk) = establish(
+        ClientConfig::new(ca.verifying_key(), "server"),
+        ServerConfig::new(id, ca.verifying_key()),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("end_to_end_message");
+    for size in [64usize, 1024, 8192, 65_536] {
+        let data = vec![5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("smt_sw", size), &data, |b, d| {
+            let (mut tx, mut rx) =
+                smt_core::session::session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
+            let _ = PathInfo::loopback(1, 2);
+            b.iter(|| {
+                let out = tx.send_message(d, 0).unwrap();
+                let mut delivered = None;
+                for seg in &out.segments {
+                    for pkt in seg.packetize(1500).unwrap() {
+                        if let Some(m) = rx.receive_packet(&pkt).unwrap() {
+                            delivered = Some(m);
+                        }
+                    }
+                }
+                delivered.unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates the §5.2 CPU-usage comparison at a fixed request rate.
+use smt_bench::{cpu_usage_at_load, output};
+
+fn main() {
+    let rows = cpu_usage_at_load();
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| vec![p.series.clone(), p.x.clone(), output::f2(p.y)])
+        .collect();
+    output::print_table(
+        "CPU usage at 1 KB RPCs, concurrency 100 (% of pool)",
+        &["stack", "resource", "utilisation %"],
+        &table,
+    );
+}

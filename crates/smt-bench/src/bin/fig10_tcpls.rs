@@ -1,0 +1,18 @@
+//! Regenerates Fig. 10: TCPLS comparison.
+use smt_bench::{fig10_tcpls, output};
+
+fn main() {
+    let rows = fig10_tcpls();
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| vec![p.series.clone(), p.x.clone(), output::f2(p.y)])
+        .collect();
+    output::print_table(
+        "Fig. 10: TCPLS vs SMT unloaded RTT (us)",
+        &["stack", "RPC size (B)", "RTT (us)"],
+        &table,
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 11: effect of TSO.
+use smt_bench::{fig11_tso, output};
+
+fn main() {
+    let rows = fig11_tso();
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| vec![p.series.clone(), p.x.clone(), output::f2(p.y)])
+        .collect();
+    output::print_table(
+        "Fig. 11: effect of TSO on SMT-hw RTT (us)",
+        &["mode", "RPC size (B)", "RTT (us)"],
+        &table,
+    );
+}

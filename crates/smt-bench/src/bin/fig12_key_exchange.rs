@@ -1,0 +1,18 @@
+//! Regenerates Fig. 12: key-exchange latency for the five handshake variants.
+use smt_bench::{fig12_key_exchange, output};
+
+fn main() {
+    let rows = fig12_key_exchange(10);
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| vec![p.series.clone(), p.x.clone(), output::f2(p.y)])
+        .collect();
+    output::print_table(
+        "Fig. 12: key exchange latency (us, crypto + simulated RTTs)",
+        &["variant", "RPC size (B)", "latency (us)"],
+        &table,
+    );
+}

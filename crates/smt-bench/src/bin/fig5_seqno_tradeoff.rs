@@ -1,0 +1,25 @@
+//! Regenerates Fig. 5: composite sequence-number bit-allocation trade-off.
+use smt_bench::{fig5_seqno_tradeoff, output};
+
+fn main() {
+    let rows = fig5_seqno_tradeoff();
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(idx_bits, id_bits, max_msgs, max_size)| {
+            vec![
+                idx_bits.to_string(),
+                id_bits.to_string(),
+                format!("{:.1}P", *max_msgs as f64 / 1e15),
+                format!("{:.1} MB", *max_size as f64 / 1e6),
+            ]
+        })
+        .collect();
+    output::print_table(
+        "Fig. 5: message-size bits vs message-ID bits",
+        &["size bits", "ID bits", "max messages", "max msg size (1.5KB rec)"],
+        &table,
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 6: unloaded RTT vs RPC size for all six stacks.
+use smt_bench::{fig6_unloaded_rtt, output};
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let mtu = 1500;
+    let mut rows = fig6_unloaded_rtt(mtu);
+    if large {
+        // §5.1: 500 KB RPCs show <1 % benefit from offload.
+        use smt_transport::{StackKind, StackProfile};
+        for stack in [StackKind::SmtSw, StackKind::SmtHw] {
+            let p = StackProfile::new(stack);
+            rows.push(smt_bench::figures::SeriesPoint {
+                series: stack.label().to_string(),
+                x: "512000".into(),
+                y: p.unloaded_rtt_us(512_000),
+                unit: "us".into(),
+            });
+        }
+    }
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| vec![p.series.clone(), p.x.clone(), output::f2(p.y)])
+        .collect();
+    output::print_table(
+        "Fig. 6: unloaded RTT (us)",
+        &["stack", "RPC size (B)", "RTT (us)"],
+        &table,
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 7: concurrent RPC throughput (plus the 9 KB-MTU variant).
+use smt_bench::{fig7_throughput, output};
+
+fn main() {
+    let mtu = if std::env::args().any(|a| a == "--mtu9000") {
+        9000
+    } else {
+        1500
+    };
+    let rows = fig7_throughput(mtu);
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| vec![p.series.clone(), p.x.clone(), output::krate(p.y)])
+        .collect();
+    output::print_table(
+        &format!("Fig. 7: throughput (K RPC/s), MTU {mtu}"),
+        &["stack-size", "concurrency", "K RPC/s"],
+        &table,
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 8: KV-store throughput under YCSB A–E.
+use smt_bench::{fig8_kv_ycsb, output};
+
+fn main() {
+    let rows = fig8_kv_ycsb(&[64, 1024, 4096]);
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| vec![p.series.clone(), p.x.clone(), output::krate(p.y)])
+        .collect();
+    output::print_table(
+        "Fig. 8: KV store YCSB throughput (K ops/s)",
+        &["stack-value", "workload", "K ops/s"],
+        &table,
+    );
+}

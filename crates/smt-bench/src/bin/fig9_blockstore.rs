@@ -1,0 +1,18 @@
+//! Regenerates Fig. 9: remote block storage latency vs iodepth.
+use smt_bench::{fig9_blockstore, output};
+
+fn main() {
+    let rows = fig9_blockstore();
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|p| vec![p.series.clone(), p.x.clone(), output::f2(p.y)])
+        .collect();
+    output::print_table(
+        "Fig. 9: remote block store 4 KB random-read latency (us)",
+        &["stack-percentile", "iodepth", "latency (us)"],
+        &table,
+    );
+}

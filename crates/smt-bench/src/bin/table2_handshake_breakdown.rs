@@ -1,0 +1,18 @@
+//! Regenerates Table 2: TLS handshake per-operation latency breakdown.
+use smt_bench::{output, table2_handshake_breakdown};
+
+fn main() {
+    let rows = table2_handshake_breakdown(50);
+    if output::maybe_json(&rows) {
+        return;
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(id, op, us)| vec![id.clone(), op.clone(), output::f2(*us)])
+        .collect();
+    output::print_table(
+        "Table 2: handshake per-operation latency (ECDSA-P256, measured)",
+        &["ID", "Operation", "Overhead (us)"],
+        &table,
+    );
+}

@@ -1,0 +1,15 @@
+//! # smt-bench — experiment harness for every table and figure
+//!
+//! Each `figures::*` function regenerates one table or figure of the paper's
+//! evaluation and returns structured rows; the binaries in `src/bin/` print them
+//! as text tables (or JSON with `--json`), and `EXPERIMENTS.md` records the
+//! measured values next to the paper's.  The criterion benches in `benches/`
+//! micro-benchmark the real crypto and record-layer hot paths.
+
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod output;
+
+pub use figures::*;
+pub use output::print_table;

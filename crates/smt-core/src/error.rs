@@ -1,0 +1,66 @@
+//! Errors produced by the SMT protocol engine.
+
+use thiserror::Error;
+
+/// Errors from segmentation, reassembly, replay protection and session handling.
+#[derive(Debug, Error)]
+pub enum SmtError {
+    /// The message exceeds the negotiated or configured maximum size.
+    #[error("message too large: {size} bytes exceeds limit {limit}")]
+    MessageTooLarge {
+        /// Attempted message size.
+        size: usize,
+        /// Maximum allowed.
+        limit: usize,
+    },
+
+    /// The per-session message-ID space is exhausted (a new handshake / key
+    /// update is required, §4.5.2).
+    #[error("message identifier space exhausted")]
+    MessageIdExhausted,
+
+    /// A replayed message ID was detected and the message was discarded.
+    #[error("replayed message id {0}")]
+    ReplayedMessage(u64),
+
+    /// A packet did not parse or carried inconsistent metadata.
+    #[error("malformed packet: {0}")]
+    MalformedPacket(String),
+
+    /// Cryptographic failure (authentication, sequence misuse, handshake).
+    #[error(transparent)]
+    Crypto(#[from] smt_crypto::CryptoError),
+
+    /// Wire-format error.
+    #[error(transparent)]
+    Wire(#[from] smt_wire::WireError),
+
+    /// The session was used in a way that violates its state machine.
+    #[error("session error: {0}")]
+    Session(String),
+}
+
+impl SmtError {
+    /// Convenience constructor for malformed-packet errors.
+    pub fn malformed(msg: impl Into<String>) -> Self {
+        SmtError::MalformedPacket(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = SmtError::MessageTooLarge {
+            size: 10,
+            limit: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        let c: SmtError = smt_crypto::CryptoError::AuthenticationFailed.into();
+        assert!(matches!(c, SmtError::Crypto(_)));
+        let w: SmtError = smt_wire::WireError::UnknownPacketType(1).into();
+        assert!(matches!(w, SmtError::Wire(_)));
+    }
+}

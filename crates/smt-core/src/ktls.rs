@@ -1,0 +1,325 @@
+//! The kTLS/TCP baseline record layer (paper §2.1, evaluated as kTLS-sw/kTLS-hw).
+//!
+//! TLS over TCP maps the connection's single in-order bytestream onto a single
+//! record sequence number space.  The sender cuts application data into records
+//! with a monotonically increasing sequence number; the receiver must consume the
+//! bytestream **in order**, which is exactly the property that causes
+//! head-of-line blocking on packet loss and on a CPU core (§2).  This module
+//! implements that record layer so the evaluation can compare SMT against it over
+//! the simulated TCP transport; the crypto is identical to SMT's — only the
+//! sequence-number space and the delivery model differ.
+
+use crate::config::CryptoMode;
+use crate::{SmtError, SmtResult};
+use smt_crypto::handshake::SessionKeys;
+use smt_crypto::key_schedule::Secret;
+use smt_crypto::record::RecordCipher;
+use smt_crypto::{CipherSuite, CryptoError};
+use smt_wire::{ContentType, TlsRecordHeader, MAX_TLS_RECORD};
+
+/// Maximum application bytes per kTLS record (leave room for framing overhead).
+const KTLS_RECORD_PAYLOAD: usize = MAX_TLS_RECORD - 256;
+
+/// Sender half: application bytes → TLS record stream appended to the TCP
+/// bytestream.
+pub struct KtlsSender {
+    cipher: RecordCipher,
+    seq: u64,
+    crypto_mode: CryptoMode,
+    /// Raw traffic secret + suite retained for NIC offload registration
+    /// (kTLS-hw), mirroring the kernel TLS offload interface.
+    offload_key: Option<(CipherSuite, Secret)>,
+    /// Bytes of application data sent.
+    pub bytes_sent: u64,
+    /// Records produced.
+    pub records_sent: u64,
+}
+
+impl std::fmt::Debug for KtlsSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KtlsSender")
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl KtlsSender {
+    /// Creates a sender from a traffic secret.
+    pub fn new(
+        suite: CipherSuite,
+        secret: &Secret,
+        crypto_mode: CryptoMode,
+    ) -> SmtResult<Self> {
+        Ok(Self {
+            cipher: RecordCipher::from_secret(suite, secret)?,
+            seq: 0,
+            crypto_mode,
+            offload_key: crypto_mode
+                .is_offloaded()
+                .then(|| (suite, secret.clone())),
+            bytes_sent: 0,
+            records_sent: 0,
+        })
+    }
+
+    /// The key material to program into the NIC for kTLS-hw.
+    pub fn offload_key(&self) -> Option<(CipherSuite, &Secret)> {
+        self.offload_key.as_ref().map(|(s, k)| (*s, k))
+    }
+
+    /// The next record sequence number (the NIC's self-incrementing counter
+    /// tracks this value for offloaded connections).
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Encrypts `data` into one or more records and returns the bytes to append
+    /// to the TCP send stream.
+    pub fn send(&mut self, data: &[u8]) -> SmtResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(data.len() + 64);
+        let mut offset = 0usize;
+        loop {
+            let take = KTLS_RECORD_PAYLOAD.min(data.len() - offset);
+            let record = self.cipher.encrypt_record(
+                self.seq,
+                ContentType::ApplicationData,
+                &data[offset..offset + take],
+            )?;
+            self.seq += 1;
+            self.records_sent += 1;
+            out.extend_from_slice(&record);
+            offset += take;
+            if offset >= data.len() {
+                break;
+            }
+        }
+        self.bytes_sent += data.len() as u64;
+        Ok(out)
+    }
+
+    /// Number of wire bytes `send` would produce for `len` application bytes
+    /// (used by the cost model without materialising the ciphertext).
+    pub fn wire_len_for(&self, len: usize) -> usize {
+        if len == 0 {
+            return self.cipher.wire_record_len(0);
+        }
+        let full = len / KTLS_RECORD_PAYLOAD;
+        let rem = len % KTLS_RECORD_PAYLOAD;
+        let mut total = full * self.cipher.wire_record_len(KTLS_RECORD_PAYLOAD);
+        if rem > 0 {
+            total += self.cipher.wire_record_len(rem);
+        }
+        total
+    }
+
+    /// Whether this sender's crypto is performed by the NIC.
+    pub fn crypto_mode(&self) -> CryptoMode {
+        self.crypto_mode
+    }
+}
+
+/// Receiver half: in-order TCP bytestream → decrypted application bytes.
+pub struct KtlsReceiver {
+    cipher: RecordCipher,
+    seq: u64,
+    buffer: Vec<u8>,
+    /// Bytes of application data delivered.
+    pub bytes_delivered: u64,
+    /// Records decrypted.
+    pub records_received: u64,
+}
+
+impl std::fmt::Debug for KtlsReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KtlsReceiver")
+            .field("seq", &self.seq)
+            .field("buffered", &self.buffer.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl KtlsReceiver {
+    /// Creates a receiver from a traffic secret.
+    pub fn new(suite: CipherSuite, secret: &Secret) -> SmtResult<Self> {
+        Ok(Self {
+            cipher: RecordCipher::from_secret(suite, secret)?,
+            seq: 0,
+            buffer: Vec::new(),
+            bytes_delivered: 0,
+            records_received: 0,
+        })
+    }
+
+    /// Appends in-order bytes from the TCP stream and returns any application
+    /// data that became available.  Partial records stay buffered (this is the
+    /// stream reassembly the application would otherwise do itself, §2).
+    pub fn on_bytes(&mut self, bytes: &[u8]) -> SmtResult<Vec<u8>> {
+        self.buffer.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            let Ok((hdr, hdr_len)) = TlsRecordHeader::decode(&self.buffer) else {
+                break;
+            };
+            let total = hdr_len + hdr.length as usize;
+            if self.buffer.len() < total {
+                break;
+            }
+            let record: Vec<u8> = self.buffer.drain(..total).collect();
+            let (plain, _) = self
+                .cipher
+                .decrypt_record(self.seq, &record)
+                .map_err(SmtError::Crypto)?;
+            if plain.content_type != ContentType::ApplicationData {
+                return Err(SmtError::Crypto(CryptoError::handshake(
+                    "unexpected content type on kTLS stream",
+                )));
+            }
+            self.seq += 1;
+            self.records_received += 1;
+            self.bytes_delivered += plain.plaintext.len() as u64;
+            out.extend_from_slice(&plain.plaintext);
+        }
+        Ok(out)
+    }
+
+    /// Bytes currently buffered waiting for the rest of a record.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// A bidirectional kTLS endpoint (sender + receiver halves) built from handshake
+/// keys — the moral equivalent of a kTLS-enabled TCP socket.
+#[derive(Debug)]
+pub struct KtlsSession {
+    /// Sender half (our traffic secret).
+    pub sender: KtlsSender,
+    /// Receiver half (peer's traffic secret).
+    pub receiver: KtlsReceiver,
+}
+
+impl KtlsSession {
+    /// Builds an endpoint from handshake keys.
+    pub fn new(keys: &SessionKeys, crypto_mode: CryptoMode) -> SmtResult<Self> {
+        Ok(Self {
+            sender: KtlsSender::new(keys.suite, &keys.send_secret, crypto_mode)?,
+            receiver: KtlsReceiver::new(keys.suite, &keys.recv_secret)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_crypto::cert::CertificateAuthority;
+    use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
+
+    fn keys() -> (SessionKeys, SessionKeys) {
+        let ca = CertificateAuthority::new("ca");
+        let id = ca.issue_identity("server");
+        establish(
+            ClientConfig::new(ca.verifying_key(), "server"),
+            ServerConfig::new(id, ca.verifying_key()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+
+        let wire = client.sender.send(b"GET /index").unwrap();
+        let got = server.receiver.on_bytes(&wire).unwrap();
+        assert_eq!(got, b"GET /index");
+
+        let wire = server.sender.send(b"200 OK").unwrap();
+        let got = client.receiver.on_bytes(&wire).unwrap();
+        assert_eq!(got, b"200 OK");
+    }
+
+    #[test]
+    fn partial_delivery_buffers_until_complete() {
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let wire = client.sender.send(&vec![7u8; 5000]).unwrap();
+        // Deliver in small chunks as TCP would after segmentation.
+        let mut got = Vec::new();
+        for chunk in wire.chunks(1448) {
+            got.extend_from_slice(&server.receiver.on_bytes(chunk).unwrap());
+        }
+        assert_eq!(got, vec![7u8; 5000]);
+        assert_eq!(server.receiver.buffered(), 0);
+    }
+
+    #[test]
+    fn out_of_order_bytes_break_the_stream() {
+        // The defining limitation of TLS-over-TCP: records must arrive in order.
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let w1 = client.sender.send(b"first record").unwrap();
+        let w2 = client.sender.send(b"second record").unwrap();
+        // Deliver the second record first: decryption under seq 0 fails.
+        assert!(server.receiver.on_bytes(&w2).is_err());
+        drop(w1);
+    }
+
+    #[test]
+    fn large_send_splits_into_records() {
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let data = vec![1u8; 100_000];
+        let wire = client.sender.send(&data).unwrap();
+        assert!(client.sender.records_sent > 1);
+        assert_eq!(client.sender.wire_len_for(data.len()), wire.len());
+        let got = server.receiver.on_bytes(&wire).unwrap();
+        assert_eq!(got, data);
+        assert_eq!(server.receiver.records_received, client.sender.records_sent);
+    }
+
+    #[test]
+    fn tampered_stream_detected() {
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let mut wire = client.sender.send(b"payload").unwrap();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 1;
+        assert!(server.receiver.on_bytes(&wire).is_err());
+    }
+
+    #[test]
+    fn offload_key_only_in_hw_mode() {
+        let (ck, _) = keys();
+        let sw = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let hw = KtlsSession::new(&ck, CryptoMode::HardwareOffload).unwrap();
+        assert!(sw.sender.offload_key().is_none());
+        assert!(hw.sender.offload_key().is_some());
+        assert_eq!(hw.sender.crypto_mode(), CryptoMode::HardwareOffload);
+    }
+
+    #[test]
+    fn sequence_numbers_increment_per_record() {
+        let (ck, _) = keys();
+        let mut s = KtlsSender::new(ck.suite, &ck.send_secret, CryptoMode::Software).unwrap();
+        assert_eq!(s.next_seq(), 0);
+        s.send(b"one").unwrap();
+        s.send(b"two").unwrap();
+        assert_eq!(s.next_seq(), 2);
+    }
+
+    #[test]
+    fn empty_send_produces_one_record() {
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let wire = client.sender.send(b"").unwrap();
+        assert!(!wire.is_empty());
+        let got = server.receiver.on_bytes(&wire).unwrap();
+        assert!(got.is_empty());
+    }
+}

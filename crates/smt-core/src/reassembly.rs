@@ -1,0 +1,660 @@
+//! Receiver-side reassembly and decryption (paper §4.3/§4.4).
+//!
+//! The receiver reverses the sender's two-stage segmentation:
+//!
+//! 1. **Packets → TSO segments.**  All packets generated from one TSO segment
+//!    carry the same overlay header (message ID, TSO offset, record count, ...);
+//!    their position inside the segment comes from the IPID (packet offset).  A
+//!    segment is complete once a contiguous prefix of packets contains all of its
+//!    records.
+//! 2. **Segments → records → message.**  Each record is decrypted with the
+//!    composite sequence number `(message ID, first record index + i)`; the
+//!    framing header gives the application-data length; the decrypted bytes are
+//!    placed at the segment's TSO offset.  The message is delivered once all
+//!    `message_length` bytes are present.
+//!
+//! Replay protection (§4.4.1): packets whose message ID has already completed are
+//! discarded **without decryption**; spurious retransmissions of packets already
+//! received are ignored idempotently.
+
+use crate::config::{CryptoMode, SmtConfig};
+use crate::replay::ReplayGuard;
+use crate::{SmtError, SmtResult};
+use serde::{Deserialize, Serialize};
+use smt_crypto::record::RecordCipher;
+use smt_crypto::SeqnoLayout;
+use smt_wire::{FramingHeader, Packet, PacketType, TlsRecordHeader};
+use std::collections::{BTreeMap, HashMap};
+
+/// A fully reassembled (and, when encrypted, authenticated) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceivedMessage {
+    /// The message ID within the session.
+    pub message_id: u64,
+    /// Sender's port.
+    pub src_port: u16,
+    /// Receiver's port.
+    pub dst_port: u16,
+    /// The application payload.
+    pub data: Vec<u8>,
+}
+
+/// Counters exposed for tests, the simulator and the experiment harness.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct ReceiverStats {
+    /// Packets accepted and buffered or consumed.
+    pub packets_accepted: u64,
+    /// Packets dropped because their message ID was already completed (replay).
+    pub packets_replayed: u64,
+    /// Packets dropped as duplicates/spurious retransmissions within a message.
+    pub packets_duplicate: u64,
+    /// Messages delivered to the application.
+    pub messages_delivered: u64,
+    /// Records that failed authentication.
+    pub auth_failures: u64,
+}
+
+#[derive(Debug, Default)]
+struct SegmentBuf {
+    /// Payload chunks keyed by packet offset (IPID).
+    chunks: BTreeMap<u16, Vec<u8>>,
+    record_count: u16,
+    first_record_index: u16,
+    decoded: bool,
+}
+
+impl SegmentBuf {
+    fn contiguous_prefix(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut next = 0u16;
+        for (&off, chunk) in &self.chunks {
+            if off != next {
+                break;
+            }
+            out.extend_from_slice(chunk);
+            next = next.wrapping_add(1);
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct MessageBuf {
+    message_length: u32,
+    src_port: u16,
+    dst_port: u16,
+    /// Decrypted application bytes keyed by application offset.
+    app_chunks: BTreeMap<u32, Vec<u8>>,
+    app_bytes: usize,
+    /// Per-TSO-offset segment reassembly buffers.
+    segments: HashMap<u32, SegmentBuf>,
+}
+
+/// The receive-side engine for one direction of an SMT session.
+#[derive(Debug)]
+pub struct SmtReceiver {
+    config: SmtConfig,
+    layout: SeqnoLayout,
+    cipher: Option<RecordCipher>,
+    replay: ReplayGuard,
+    in_progress: HashMap<u64, MessageBuf>,
+    /// Usage counters.
+    pub stats: ReceiverStats,
+}
+
+impl SmtReceiver {
+    /// Creates a receiver. `cipher` must be `Some` unless the mode is plaintext.
+    pub fn new(config: SmtConfig, layout: SeqnoLayout, cipher: Option<RecordCipher>) -> Self {
+        Self {
+            config,
+            layout,
+            cipher,
+            replay: ReplayGuard::new(),
+            in_progress: HashMap::new(),
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Number of messages currently being reassembled.
+    pub fn in_progress(&self) -> usize {
+        self.in_progress.len()
+    }
+
+    /// True if `message_id` has already been delivered (replay detection).
+    pub fn already_delivered(&self, message_id: u64) -> bool {
+        self.replay.is_replayed(message_id)
+    }
+
+    /// Processes one received DATA packet.  Returns the completed message when
+    /// this packet finishes its reassembly, `None` otherwise.
+    pub fn on_packet(&mut self, packet: &Packet) -> SmtResult<Option<ReceivedMessage>> {
+        if packet.overlay.tcp.packet_type != PacketType::Data {
+            return Err(SmtError::malformed(format!(
+                "receiver handed a {:?} packet",
+                packet.overlay.tcp.packet_type
+            )));
+        }
+        if packet.corrupted {
+            // An out-of-sequence offload encryption produced undecryptable bytes
+            // (paper Fig. 2 "Out-seq."); authentication necessarily fails.
+            self.stats.auth_failures += 1;
+            return Err(SmtError::Crypto(
+                smt_crypto::CryptoError::AuthenticationFailed,
+            ));
+        }
+        let opt = &packet.overlay.options;
+        let message_id = opt.message_id;
+
+        // Replay of a completed message: drop without decryption (§6.1).
+        if self.replay.is_replayed(message_id) {
+            self.stats.packets_replayed += 1;
+            return Ok(None);
+        }
+
+        // Packet offset: IPID normally, the explicit resend offset for
+        // retransmitted packets (§4.3).
+        let packet_offset = if opt.is_retransmission() {
+            opt.resend_packet_offset
+        } else {
+            packet.packet_offset().ok_or_else(|| {
+                SmtError::malformed("IPv6 packet without explicit packet offset")
+            })?
+        };
+
+        let payload = packet
+            .payload
+            .as_data()
+            .ok_or_else(|| SmtError::malformed("DATA packet without data payload"))?
+            .to_vec();
+
+        let msg = self.in_progress.entry(message_id).or_insert_with(|| MessageBuf {
+            message_length: opt.message_length,
+            src_port: packet.overlay.tcp.src_port,
+            dst_port: packet.overlay.tcp.dst_port,
+            ..MessageBuf::default()
+        });
+        if msg.message_length != opt.message_length {
+            return Err(SmtError::malformed(
+                "inconsistent message length across packets",
+            ));
+        }
+
+        let seg = msg.segments.entry(opt.tso_offset).or_insert_with(|| SegmentBuf {
+            record_count: opt.record_count,
+            first_record_index: opt.first_record_index,
+            ..SegmentBuf::default()
+        });
+        if seg.decoded || seg.chunks.contains_key(&packet_offset) {
+            self.stats.packets_duplicate += 1;
+            return Ok(None);
+        }
+        seg.chunks.insert(packet_offset, payload);
+        self.stats.packets_accepted += 1;
+
+        // Try to decode the segment, then check message completion.
+        self.try_decode_segment(message_id, opt.tso_offset)?;
+        self.try_complete(message_id)
+    }
+
+    fn try_decode_segment(&mut self, message_id: u64, tso_offset: u32) -> SmtResult<()> {
+        let encrypted = self.config.crypto_mode.is_encrypted();
+        let msg = self
+            .in_progress
+            .get_mut(&message_id)
+            .expect("caller inserted");
+        let Some(seg) = msg.segments.get_mut(&tso_offset) else {
+            return Ok(());
+        };
+        if seg.decoded {
+            return Ok(());
+        }
+        let prefix = seg.contiguous_prefix();
+
+        if !encrypted {
+            // Plaintext (Homa baseline): bytes land directly at the TSO offset.
+            // We only know a plaintext segment is complete when the whole message
+            // byte count adds up, so place the contiguous prefix incrementally.
+            let already: usize = msg
+                .app_chunks
+                .get(&tso_offset)
+                .map(|c| c.len())
+                .unwrap_or(0);
+            if prefix.len() > already {
+                msg.app_bytes += prefix.len() - already;
+                msg.app_chunks.insert(tso_offset, prefix);
+            }
+            return Ok(());
+        }
+
+        // Encrypted: parse whole records out of the contiguous prefix.
+        let mut complete_records = 0u16;
+        let mut consumed = 0usize;
+        while complete_records < seg.record_count {
+            let rest = &prefix[consumed..];
+            let Ok((hdr, hdr_len)) = TlsRecordHeader::decode(rest) else {
+                break;
+            };
+            if rest.len() < hdr_len + hdr.length as usize {
+                break;
+            }
+            consumed += hdr_len + hdr.length as usize;
+            complete_records += 1;
+        }
+        if complete_records < seg.record_count {
+            return Ok(()); // not yet complete
+        }
+
+        // All records present: decrypt them in order.
+        let cipher = self
+            .cipher
+            .as_ref()
+            .ok_or_else(|| SmtError::Session("encrypted session without a receive cipher".into()))?;
+        let mut at = 0usize;
+        let mut app_offset = tso_offset;
+        for i in 0..seg.record_count {
+            let record_index = seg.first_record_index as u64 + i as u64;
+            let seq = self
+                .layout
+                .compose(message_id, record_index)
+                .map_err(SmtError::Crypto)?;
+            let (plain, used) = cipher.decrypt_record(seq.value(), &prefix[at..]).map_err(|e| {
+                self.stats.auth_failures += 1;
+                SmtError::Crypto(e)
+            })?;
+            at += used;
+            let app = if self.config.framing_header {
+                let (framing, flen) = FramingHeader::decode(&plain.plaintext)?;
+                let end = flen + framing.app_data_len as usize;
+                if plain.plaintext.len() < end {
+                    return Err(SmtError::malformed("framing header exceeds record"));
+                }
+                plain.plaintext[flen..end].to_vec()
+            } else {
+                plain.plaintext
+            };
+            let len = app.len();
+            msg.app_chunks.insert(app_offset, app);
+            msg.app_bytes += len;
+            app_offset += len as u32;
+        }
+        seg.decoded = true;
+        seg.chunks.clear();
+        Ok(())
+    }
+
+    fn try_complete(&mut self, message_id: u64) -> SmtResult<Option<ReceivedMessage>> {
+        let done = {
+            let Some(msg) = self.in_progress.get(&message_id) else {
+                return Ok(None);
+            };
+            msg.app_bytes >= msg.message_length as usize
+        };
+        if !done {
+            return Ok(None);
+        }
+        let msg = self.in_progress.remove(&message_id).expect("checked above");
+        let mut data = Vec::with_capacity(msg.message_length as usize);
+        let mut expected = 0u32;
+        for (&off, chunk) in &msg.app_chunks {
+            if off != expected {
+                return Err(SmtError::malformed(format!(
+                    "gap in reassembled message at offset {expected} (next chunk at {off})"
+                )));
+            }
+            data.extend_from_slice(chunk);
+            expected += chunk.len() as u32;
+        }
+        if data.len() != msg.message_length as usize {
+            return Err(SmtError::malformed("reassembled length mismatch"));
+        }
+        self.replay.mark_completed(message_id);
+        self.stats.messages_delivered += 1;
+        Ok(Some(ReceivedMessage {
+            message_id,
+            src_port: msg.src_port,
+            dst_port: msg.dst_port,
+            data,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{PathInfo, SmtSegmenter};
+    use crate::SmtConfig;
+    use smt_crypto::key_schedule::Secret;
+    use smt_crypto::CipherSuite;
+    use smt_wire::DEFAULT_MTU;
+
+    fn cipher() -> RecordCipher {
+        RecordCipher::from_secret(
+            CipherSuite::Aes128GcmSha256,
+            &Secret::from_slice(&[7u8; 32]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn send_receive(config: SmtConfig, data: &[u8], shuffle: bool) -> ReceivedMessage {
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx_cipher = cipher();
+        let use_cipher = config.crypto_mode.is_encrypted();
+        let msg = segmenter
+            .segment_message(
+                PathInfo::loopback(10, 20),
+                5,
+                data,
+                0,
+                use_cipher.then_some(&tx_cipher),
+                None,
+                4 << 20,
+            )
+            .unwrap();
+        let mut rx = SmtReceiver::new(
+            config,
+            SeqnoLayout::default(),
+            use_cipher.then(cipher),
+        );
+        let mut packets: Vec<Packet> = msg
+            .segments
+            .iter()
+            .flat_map(|s| s.packetize(DEFAULT_MTU).unwrap())
+            .collect();
+        if shuffle {
+            packets.reverse();
+        }
+        let mut delivered = None;
+        for p in &packets {
+            if let Some(m) = rx.on_packet(p).unwrap() {
+                delivered = Some(m);
+            }
+        }
+        delivered.expect("message delivered")
+    }
+
+    #[test]
+    fn roundtrip_small_encrypted() {
+        let m = send_receive(SmtConfig::software(), b"hello world", false);
+        assert_eq!(m.data, b"hello world");
+        assert_eq!(m.message_id, 5);
+        assert_eq!(m.src_port, 10);
+        assert_eq!(m.dst_port, 20);
+    }
+
+    #[test]
+    fn roundtrip_large_encrypted_out_of_order() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let m = send_receive(SmtConfig::software(), &data, true);
+        assert_eq!(m.data, data);
+    }
+
+    #[test]
+    fn roundtrip_plaintext() {
+        let data = vec![3u8; 50_000];
+        let m = send_receive(SmtConfig::plaintext(), &data, false);
+        assert_eq!(m.data, data);
+    }
+
+    #[test]
+    fn roundtrip_without_framing_header() {
+        let mut config = SmtConfig::software();
+        config.framing_header = false;
+        let data = vec![9u8; 40_000];
+        let m = send_receive(config, &data, false);
+        assert_eq!(m.data, data);
+    }
+
+    #[test]
+    fn roundtrip_without_tso() {
+        let config = SmtConfig::software().without_tso();
+        let data = vec![4u8; 20_000];
+        let m = send_receive(config, &data, true);
+        assert_eq!(m.data, data);
+    }
+
+    #[test]
+    fn duplicate_packets_ignored() {
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let msg = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                0,
+                &vec![1u8; 10_000],
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+        // Deliver the first packet twice before the rest.
+        rx.on_packet(&packets[0]).unwrap();
+        rx.on_packet(&packets[0]).unwrap();
+        assert_eq!(rx.stats.packets_duplicate, 1);
+        let mut delivered = None;
+        for p in &packets[1..] {
+            if let Some(m) = rx.on_packet(p).unwrap() {
+                delivered = Some(m);
+            }
+        }
+        assert_eq!(delivered.unwrap().data, vec![1u8; 10_000]);
+    }
+
+    #[test]
+    fn replayed_message_dropped_without_decryption() {
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let msg = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                9,
+                b"only once",
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+        let mut count = 0;
+        for p in &packets {
+            if rx.on_packet(p).unwrap().is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 1);
+        assert!(rx.already_delivered(9));
+        // Replaying the entire message yields nothing and is counted.
+        for p in &packets {
+            assert!(rx.on_packet(p).unwrap().is_none());
+        }
+        assert_eq!(rx.stats.packets_replayed as usize, packets.len());
+        assert_eq!(rx.stats.messages_delivered, 1);
+    }
+
+    #[test]
+    fn tampered_payload_detected() {
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let msg = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                0,
+                b"sensitive",
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let mut packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+        // Flip a ciphertext byte.
+        if let smt_wire::PacketPayload::Data(b) = &packets[0].payload {
+            let mut v = b.to_vec();
+            let last = v.len() - 1;
+            v[last] ^= 0xff;
+            packets[0].payload = smt_wire::PacketPayload::Data(v.into());
+        }
+        let err = rx.on_packet(&packets[0]);
+        assert!(matches!(
+            err,
+            Err(SmtError::Crypto(
+                smt_crypto::CryptoError::AuthenticationFailed
+            ))
+        ));
+        assert_eq!(rx.stats.auth_failures, 1);
+    }
+
+    #[test]
+    fn corrupted_offload_packet_rejected() {
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let msg = segmenter
+            .segment_message(PathInfo::loopback(1, 2), 0, b"x", 0, Some(&tx), None, 1024)
+            .unwrap();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let mut packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+        packets[0].corrupted = true;
+        assert!(rx.on_packet(&packets[0]).is_err());
+    }
+
+    #[test]
+    fn interleaved_messages_reassemble_independently() {
+        // The property that motivates SMT: different messages of one session can
+        // arrive interleaved and out of order without head-of-line blocking.
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let data_a: Vec<u8> = vec![0xaa; 60_000];
+        let data_b: Vec<u8> = vec![0xbb; 45_000];
+        let msg_a = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                1,
+                &data_a,
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let msg_b = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                2,
+                &data_b,
+                1,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let pkts_a: Vec<Packet> = msg_a
+            .segments
+            .iter()
+            .flat_map(|s| s.packetize(DEFAULT_MTU).unwrap())
+            .collect();
+        let pkts_b: Vec<Packet> = msg_b
+            .segments
+            .iter()
+            .flat_map(|s| s.packetize(DEFAULT_MTU).unwrap())
+            .collect();
+
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let mut delivered = Vec::new();
+        // Interleave: one packet of A, one of B, alternating; B finishes first.
+        let mut ia = pkts_a.iter();
+        let mut ib = pkts_b.iter();
+        loop {
+            let mut progressed = false;
+            if let Some(p) = ib.next() {
+                if let Some(m) = rx.on_packet(p).unwrap() {
+                    delivered.push(m);
+                }
+                progressed = true;
+            }
+            if let Some(p) = ia.next() {
+                if let Some(m) = rx.on_packet(p).unwrap() {
+                    delivered.push(m);
+                }
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert_eq!(delivered.len(), 2);
+        let a = delivered.iter().find(|m| m.message_id == 1).unwrap();
+        let b = delivered.iter().find(|m| m.message_id == 2).unwrap();
+        assert_eq!(a.data, data_a);
+        assert_eq!(b.data, data_b);
+        // The shorter message B completed before the larger A.
+        assert_eq!(delivered[0].message_id, 2);
+    }
+
+    #[test]
+    fn retransmitted_packet_fills_gap() {
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let data = vec![7u8; 12_000];
+        let msg = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                0,
+                &data,
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        // Deliver all but packet 3 (simulated loss).
+        for (i, p) in packets.iter().enumerate() {
+            if i != 3 {
+                assert!(rx.on_packet(p).unwrap().is_none());
+            }
+        }
+        // Retransmit packet 3 with the resend-offset marking.
+        let mut retx = packets[3].clone();
+        SmtSegmenter::mark_retransmission(&mut retx);
+        let m = rx.on_packet(&retx).unwrap().expect("message completes");
+        assert_eq!(m.data, data);
+    }
+
+    #[test]
+    fn wrong_packet_type_rejected() {
+        let config = SmtConfig::software();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let overlay = smt_wire::SmtOverlayHeader {
+            tcp: smt_wire::OverlayTcpHeader::new(1, 2, PacketType::Grant),
+            options: smt_wire::SmtOptionArea::new(0, 0),
+        };
+        let pkt = Packet {
+            ip: smt_wire::IpHeader::V4(smt_wire::Ipv4Header::new(
+                [1, 1, 1, 1],
+                [2, 2, 2, 2],
+                smt_wire::IPPROTO_SMT,
+                60,
+            )),
+            overlay,
+            payload: smt_wire::PacketPayload::Grant(smt_wire::HomaGrant {
+                message_id: 0,
+                granted_offset: 0,
+                priority: 0,
+            }),
+            corrupted: false,
+        };
+        assert!(rx.on_packet(&pkt).is_err());
+    }
+}

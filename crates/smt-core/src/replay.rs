@@ -1,0 +1,118 @@
+//! Message-uniqueness enforcement (paper §4.4.1, §6.1 "Non-replayability").
+//!
+//! Per-message record sequence number spaces mean the *relative* record sequence
+//! number can repeat across messages, so TLS's implicit replay protection no
+//! longer applies at the record level.  SMT instead guarantees that a **message
+//! ID is accepted at most once per session**: the receiver discards any packet
+//! whose message ID it has already completed (or abandoned), without decrypting —
+//! just as TCP discards packets with past sequence numbers.
+//!
+//! Message IDs are allocated monotonically by the sender, so the guard tracks a
+//! low-water mark plus the sparse set of IDs above it that are complete or in
+//! progress; memory stays bounded no matter how many messages a session carries.
+
+use std::collections::BTreeSet;
+
+/// Tracks which message IDs have been seen/completed on the receive side.
+#[derive(Debug, Default)]
+pub struct ReplayGuard {
+    /// Every ID strictly below this value has been completed (or rejected).
+    low_water: u64,
+    /// Completed IDs at or above the low-water mark.
+    completed: BTreeSet<u64>,
+}
+
+impl ReplayGuard {
+    /// Creates an empty guard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if `id` has already been completed (i.e. accepting more packets for
+    /// it would constitute a replay).
+    pub fn is_replayed(&self, id: u64) -> bool {
+        id < self.low_water || self.completed.contains(&id)
+    }
+
+    /// Marks `id` as completed. Returns `false` if it was already completed
+    /// (a replay), `true` if this is the first completion.
+    pub fn mark_completed(&mut self, id: u64) -> bool {
+        if self.is_replayed(id) {
+            return false;
+        }
+        self.completed.insert(id);
+        self.compact();
+        true
+    }
+
+    /// Number of IDs tracked above the low-water mark (bounded-memory check).
+    pub fn tracked(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// The current low-water mark (all IDs below it are considered replayed).
+    pub fn low_water(&self) -> u64 {
+        self.low_water
+    }
+
+    fn compact(&mut self) {
+        // Advance the low-water mark over any contiguous prefix of completed IDs.
+        while self.completed.remove(&self.low_water) {
+            self.low_water += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_completion_accepted_second_rejected() {
+        let mut g = ReplayGuard::new();
+        assert!(!g.is_replayed(5));
+        assert!(g.mark_completed(5));
+        assert!(g.is_replayed(5));
+        assert!(!g.mark_completed(5));
+    }
+
+    #[test]
+    fn low_water_compacts_contiguous_ids() {
+        let mut g = ReplayGuard::new();
+        for id in 0..1000 {
+            assert!(g.mark_completed(id));
+        }
+        // All contiguous from zero: memory stays O(1).
+        assert_eq!(g.tracked(), 0);
+        assert_eq!(g.low_water(), 1000);
+        assert!(g.is_replayed(999));
+        assert!(!g.is_replayed(1000));
+    }
+
+    #[test]
+    fn out_of_order_completion_tracked_sparsely() {
+        let mut g = ReplayGuard::new();
+        // Messages complete out of order (the whole point of SMT/Homa).
+        assert!(g.mark_completed(3));
+        assert!(g.mark_completed(1));
+        assert!(g.mark_completed(4));
+        assert_eq!(g.tracked(), 3);
+        assert!(!g.is_replayed(0));
+        assert!(!g.is_replayed(2));
+        // Filling the gaps collapses the set.
+        assert!(g.mark_completed(0));
+        assert!(g.mark_completed(2));
+        assert_eq!(g.tracked(), 0);
+        assert_eq!(g.low_water(), 5);
+    }
+
+    #[test]
+    fn replay_below_low_water_rejected() {
+        let mut g = ReplayGuard::new();
+        for id in 0..10 {
+            g.mark_completed(id);
+        }
+        assert!(g.is_replayed(0));
+        assert!(!g.mark_completed(7));
+    }
+}

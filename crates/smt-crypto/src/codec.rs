@@ -1,0 +1,193 @@
+//! Tiny binary codec helpers used to serialize handshake messages.
+//!
+//! Handshake flights are exchanged inside CONTROL packets; their encoding only has
+//! to be unambiguous and length-prefixed (it is not byte-compatible with RFC 8446
+//! handshake framing — see DESIGN.md).  Each helper mirrors the TLS convention of
+//! length-prefixed opaque vectors.
+
+use crate::{CryptoError, CryptoResult};
+
+/// Incrementally writes length-prefixed fields into a byte vector.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u64.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a u16-length-prefixed opaque vector.
+    pub fn put_vec16(&mut self, v: &[u8]) -> &mut Self {
+        debug_assert!(v.len() <= u16::MAX as usize);
+        self.put_u16(v.len() as u16);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a u32-length-prefixed opaque vector.
+    pub fn put_vec32(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length of the accumulated bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Incrementally reads length-prefixed fields from a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> CryptoResult<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(CryptoError::handshake(format!(
+                "truncated field: wanted {n} bytes, {} remain",
+                self.buf.len() - self.at
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> CryptoResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian u16.
+    pub fn get_u16(&mut self) -> CryptoResult<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn get_u32(&mut self) -> CryptoResult<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn get_u64(&mut self) -> CryptoResult<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a u16-length-prefixed opaque vector.
+    pub fn get_vec16(&mut self) -> CryptoResult<Vec<u8>> {
+        let n = self.get_u16()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a u32-length-prefixed opaque vector.
+    pub fn get_vec32(&mut self) -> CryptoResult<Vec<u8>> {
+        let n = self.get_u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Errors unless every byte has been consumed.
+    pub fn expect_end(&self) -> CryptoResult<()> {
+        if self.remaining() != 0 {
+            return Err(CryptoError::handshake(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_types() {
+        let mut w = Writer::new();
+        w.put_u8(7)
+            .put_u16(512)
+            .put_u32(70_000)
+            .put_u64(1 << 40)
+            .put_vec16(b"hello")
+            .put_vec32(&[9u8; 300]);
+        let bytes = w.finish();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 512);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_vec16().unwrap(), b"hello");
+        assert_eq!(r.get_vec32().unwrap(), vec![9u8; 300]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = Reader::new(&[0x01]);
+        assert!(r.get_u32().is_err());
+        let mut r = Reader::new(&[0x00, 0x05, b'a']);
+        assert!(r.get_vec16().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1).put_u8(2);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        r.get_u8().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! ECDHE key shares and the pre-generated key cache (paper §4.5.1).
+//!
+//! Handshake latency is dominated by public-key operations (Table 2).  One of the
+//! paper's optimisations is **key pre-generation**: because a datacenter operator
+//! controls the security parameters centrally, endpoints can maintain a pool of
+//! ephemeral ECDH key pairs generated ahead of time, removing the `Key Gen` rows
+//! (S2.1 / C1.1) from the handshake's critical path.
+
+use crate::{CryptoError, CryptoResult};
+use p256::ecdh::EphemeralSecret;
+use p256::PublicKey;
+use rand::rngs::OsRng;
+use std::collections::VecDeque;
+
+/// An ECDH key pair on P-256 (`secp256r1`, the group used in §5.6).
+pub struct EcdhKeyPair {
+    secret: EphemeralSecret,
+    public: PublicKey,
+}
+
+impl std::fmt::Debug for EcdhKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EcdhKeyPair(..)")
+    }
+}
+
+impl EcdhKeyPair {
+    /// Generates a fresh key pair.
+    pub fn generate() -> Self {
+        let secret = EphemeralSecret::random(&mut OsRng);
+        let public = secret.public_key();
+        Self { secret, public }
+    }
+
+    /// The public share in uncompressed SEC1 encoding (65 bytes).
+    pub fn public_bytes(&self) -> Vec<u8> {
+        self.public.to_sec1_bytes().to_vec()
+    }
+
+    /// Computes the ECDH shared secret with a peer's public share.
+    pub fn diffie_hellman(&self, peer_public: &[u8]) -> CryptoResult<Vec<u8>> {
+        let peer = PublicKey::from_sec1_bytes(peer_public)
+            .map_err(|e| CryptoError::handshake(format!("bad peer key share: {e}")))?;
+        let shared = self.secret.diffie_hellman(&peer);
+        Ok(shared.raw_secret_bytes().to_vec())
+    }
+}
+
+/// A pool of pre-generated ephemeral key pairs (paper §4.5.1 "Key pre-generation").
+///
+/// `take` pops a standby pair if one is available, falling back to on-demand
+/// generation otherwise; `refill` tops the pool back up outside the handshake's
+/// critical path.
+#[derive(Debug, Default)]
+pub struct KeyCache {
+    pool: VecDeque<EcdhKeyPair>,
+    target: usize,
+}
+
+impl KeyCache {
+    /// Creates a cache that tries to keep `target` standby key pairs.
+    pub fn new(target: usize) -> Self {
+        let mut cache = Self {
+            pool: VecDeque::with_capacity(target),
+            target,
+        };
+        cache.refill();
+        cache
+    }
+
+    /// Number of standby pairs currently available.
+    pub fn available(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Pops a standby pair, or generates one on demand if the pool is empty.
+    /// Returns `(pair, was_pregenerated)`.
+    pub fn take(&mut self) -> (EcdhKeyPair, bool) {
+        match self.pool.pop_front() {
+            Some(p) => (p, true),
+            None => (EcdhKeyPair::generate(), false),
+        }
+    }
+
+    /// Regenerates key pairs until the pool holds the target count.
+    pub fn refill(&mut self) {
+        while self.pool.len() < self.target {
+            self.pool.push_back(EcdhKeyPair::generate());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdh_agreement() {
+        let a = EcdhKeyPair::generate();
+        let b = EcdhKeyPair::generate();
+        let s1 = a.diffie_hellman(&b.public_bytes()).unwrap();
+        let s2 = b.diffie_hellman(&a.public_bytes()).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 32);
+    }
+
+    #[test]
+    fn distinct_pairs_distinct_secrets() {
+        let a = EcdhKeyPair::generate();
+        let b = EcdhKeyPair::generate();
+        let c = EcdhKeyPair::generate();
+        assert_ne!(
+            a.diffie_hellman(&b.public_bytes()).unwrap(),
+            a.diffie_hellman(&c.public_bytes()).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_peer_share_rejected() {
+        let a = EcdhKeyPair::generate();
+        assert!(a.diffie_hellman(&[0u8; 65]).is_err());
+        assert!(a.diffie_hellman(b"short").is_err());
+    }
+
+    #[test]
+    fn public_bytes_are_sec1_uncompressed() {
+        let a = EcdhKeyPair::generate();
+        let pb = a.public_bytes();
+        assert_eq!(pb.len(), 65);
+        assert_eq!(pb[0], 0x04);
+    }
+
+    #[test]
+    fn key_cache_pregeneration() {
+        let mut cache = KeyCache::new(2);
+        assert_eq!(cache.available(), 2);
+        let (_, pre1) = cache.take();
+        let (_, pre2) = cache.take();
+        let (_, pre3) = cache.take();
+        assert!(pre1 && pre2);
+        assert!(!pre3);
+        cache.refill();
+        assert_eq!(cache.available(), 2);
+    }
+
+    #[test]
+    fn reusable_for_multiple_exchanges() {
+        // The server's long-term SMT-ticket share performs many exchanges.
+        let server = EcdhKeyPair::generate();
+        let c1 = EcdhKeyPair::generate();
+        let c2 = EcdhKeyPair::generate();
+        let s1 = server.diffie_hellman(&c1.public_bytes()).unwrap();
+        let s2 = server.diffie_hellman(&c2.public_bytes()).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(s1, c1.diffie_hellman(&server.public_bytes()).unwrap());
+    }
+}

@@ -1,0 +1,505 @@
+//! Handshake messages exchanged by SMT endpoints.
+//!
+//! The message set mirrors TLS 1.3 (§4.2 "Session Initiation"): ClientHello,
+//! ServerHello, EncryptedExtensions, Certificate, CertificateVerify, Finished and
+//! NewSessionTicket, plus the paper's **SMT-ticket** (§4.5.2) — a DNS-distributed
+//! bundle of the server's long-term ECDH share, its certificate chain and a
+//! signature, which enables 0-RTT data.
+//!
+//! The encoding is a compact length-prefixed binary format (see `codec`); it is
+//! not byte-compatible with RFC 8446 handshake framing, which is irrelevant to
+//! the properties evaluated in the paper (the crypto operations are identical).
+
+use crate::cert::CertificateChain;
+use crate::codec::{Reader, Writer};
+use crate::{CryptoError, CryptoResult};
+use serde::{Deserialize, Serialize};
+
+/// SMT protocol-level extensions negotiated in the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmtExtensions {
+    /// Bits of the composite sequence number used for the message ID (§4.4.1).
+    pub msg_id_bits: u8,
+    /// Maximum message size the receiver accepts, in bytes.
+    pub max_message_size: u32,
+}
+
+impl Default for SmtExtensions {
+    fn default() -> Self {
+        Self {
+            msg_id_bits: smt_wire::DEFAULT_MSG_ID_BITS as u8,
+            max_message_size: smt_wire::DEFAULT_MAX_MESSAGE_SIZE as u32,
+        }
+    }
+}
+
+/// ClientHello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// 32-byte client random (also the anti-replay handle for 0-RTT, §4.5.3).
+    pub random: [u8; 32],
+    /// Client ECDHE key share (SEC1).
+    pub key_share: Vec<u8>,
+    /// Offered cipher suites (IANA code points).
+    pub cipher_suites: Vec<u16>,
+    /// Requested SMT extensions.
+    pub extensions: SmtExtensions,
+    /// Pre-shared-key identity (session-resumption ticket id), if resuming.
+    pub psk_identity: Option<u64>,
+    /// PSK binder (HMAC proving possession of the PSK).
+    pub psk_binder: Option<[u8; 32]>,
+    /// SMT-ticket identity for the 0-RTT handshake, if used.
+    pub smt_ticket_id: Option<u64>,
+    /// Whether 0-RTT early data follows this hello.
+    pub early_data: bool,
+    /// Whether the client offers mutual authentication (mTLS).
+    pub offer_client_auth: bool,
+}
+
+/// ServerHello.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// 32-byte server random.
+    pub random: [u8; 32],
+    /// Server ECDHE key share; `None` when a non-forward-secret 0-RTT or pure-PSK
+    /// exchange was accepted and no ephemeral exchange is performed.
+    pub key_share: Option<Vec<u8>>,
+    /// Selected cipher suite.
+    pub cipher_suite: u16,
+    /// Whether the offered PSK (resumption) was accepted.
+    pub psk_accepted: bool,
+    /// Whether 0-RTT early data was accepted.
+    pub early_data_accepted: bool,
+}
+
+/// EncryptedExtensions (sent under handshake keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncryptedExtensions {
+    /// Negotiated SMT extensions (authoritative values chosen by the server).
+    pub extensions: SmtExtensions,
+    /// Whether the server requests a client certificate (mTLS).
+    pub request_client_auth: bool,
+}
+
+/// Certificate message carrying a chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateMsg {
+    /// The certificate chain.
+    pub chain: CertificateChain,
+}
+
+/// CertificateVerify: an ECDSA signature over the transcript hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateVerify {
+    /// DER-encoded ECDSA signature.
+    pub signature: Vec<u8>,
+}
+
+/// Finished: HMAC over the transcript hash under the finished key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finished {
+    /// 32-byte verify data.
+    pub verify_data: [u8; 32],
+}
+
+/// NewSessionTicket: enables PSK resumption (§4.5.2 "We retain TLS 1.3's session
+/// resumption mechanism").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewSessionTicket {
+    /// Ticket identity presented in a future ClientHello.
+    pub ticket_id: u64,
+    /// Nonce mixed into the resumption PSK derivation.
+    pub nonce: Vec<u8>,
+    /// Ticket lifetime in seconds.
+    pub lifetime_secs: u32,
+}
+
+/// The DNS-distributed SMT-ticket enabling 0-RTT data (§4.5.2).
+///
+/// Contains (i) the server's long-term ECDH public share, (ii) its certificate
+/// chain, and (iii) a signature over the ticket by the certificate's private key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmtTicket {
+    /// Identity the client echoes in its ClientHello so the server can find the
+    /// matching long-term key.
+    pub ticket_id: u64,
+    /// Server's long-term ECDH public share (SEC1).
+    pub server_dh_public: Vec<u8>,
+    /// Server certificate chain.
+    pub chain: CertificateChain,
+    /// Ticket validity in seconds (the paper recommends at most one hour, §4.5.3).
+    pub validity_secs: u32,
+    /// Issue timestamp (seconds since the epoch of the issuing resolver).
+    pub issued_at: u64,
+    /// Signature over the to-be-signed ticket by the certificate's private key.
+    pub signature: Vec<u8>,
+}
+
+impl SmtTicket {
+    /// The byte string covered by the ticket signature.
+    pub fn to_be_signed(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.ticket_id)
+            .put_vec16(&self.server_dh_public)
+            .put_vec32(&self.chain.encode())
+            .put_u32(self.validity_secs)
+            .put_u64(self.issued_at);
+        w.finish()
+    }
+
+    /// True if the ticket has expired relative to `now` (same clock as
+    /// `issued_at`).
+    pub fn expired(&self, now: u64) -> bool {
+        now > self.issued_at + self.validity_secs as u64
+    }
+}
+
+/// Any handshake message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeMessage {
+    /// ClientHello.
+    ClientHello(ClientHello),
+    /// ServerHello.
+    ServerHello(ServerHello),
+    /// EncryptedExtensions.
+    EncryptedExtensions(EncryptedExtensions),
+    /// Certificate.
+    Certificate(CertificateMsg),
+    /// CertificateVerify.
+    CertificateVerify(CertificateVerify),
+    /// Finished.
+    Finished(Finished),
+    /// NewSessionTicket.
+    NewSessionTicket(NewSessionTicket),
+    /// SMT-ticket (distributed out of band; also usable in-band for testing).
+    SmtTicket(SmtTicket),
+}
+
+impl HandshakeMessage {
+    fn type_byte(&self) -> u8 {
+        match self {
+            HandshakeMessage::ClientHello(_) => 1,
+            HandshakeMessage::ServerHello(_) => 2,
+            HandshakeMessage::EncryptedExtensions(_) => 8,
+            HandshakeMessage::Certificate(_) => 11,
+            HandshakeMessage::CertificateVerify(_) => 15,
+            HandshakeMessage::Finished(_) => 20,
+            HandshakeMessage::NewSessionTicket(_) => 4,
+            HandshakeMessage::SmtTicket(_) => 0xF0,
+        }
+    }
+
+    /// Serializes the message, including its type byte and length prefix.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut w = Writer::new();
+        w.put_u8(self.type_byte());
+        w.put_vec32(&body);
+        w.finish()
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            HandshakeMessage::ClientHello(m) => {
+                w.put_vec16(&m.random);
+                w.put_vec16(&m.key_share);
+                w.put_u16(m.cipher_suites.len() as u16);
+                for c in &m.cipher_suites {
+                    w.put_u16(*c);
+                }
+                w.put_u8(m.extensions.msg_id_bits);
+                w.put_u32(m.extensions.max_message_size);
+                w.put_u8(m.psk_identity.is_some() as u8);
+                w.put_u64(m.psk_identity.unwrap_or(0));
+                w.put_u8(m.psk_binder.is_some() as u8);
+                w.put_vec16(m.psk_binder.as_ref().map(|b| &b[..]).unwrap_or(&[]));
+                w.put_u8(m.smt_ticket_id.is_some() as u8);
+                w.put_u64(m.smt_ticket_id.unwrap_or(0));
+                w.put_u8(m.early_data as u8);
+                w.put_u8(m.offer_client_auth as u8);
+            }
+            HandshakeMessage::ServerHello(m) => {
+                w.put_vec16(&m.random);
+                w.put_u8(m.key_share.is_some() as u8);
+                w.put_vec16(m.key_share.as_deref().unwrap_or(&[]));
+                w.put_u16(m.cipher_suite);
+                w.put_u8(m.psk_accepted as u8);
+                w.put_u8(m.early_data_accepted as u8);
+            }
+            HandshakeMessage::EncryptedExtensions(m) => {
+                w.put_u8(m.extensions.msg_id_bits);
+                w.put_u32(m.extensions.max_message_size);
+                w.put_u8(m.request_client_auth as u8);
+            }
+            HandshakeMessage::Certificate(m) => {
+                w.put_vec32(&m.chain.encode());
+            }
+            HandshakeMessage::CertificateVerify(m) => {
+                w.put_vec16(&m.signature);
+            }
+            HandshakeMessage::Finished(m) => {
+                w.put_vec16(&m.verify_data);
+            }
+            HandshakeMessage::NewSessionTicket(m) => {
+                w.put_u64(m.ticket_id);
+                w.put_vec16(&m.nonce);
+                w.put_u32(m.lifetime_secs);
+            }
+            HandshakeMessage::SmtTicket(m) => {
+                w.put_u64(m.ticket_id);
+                w.put_vec16(&m.server_dh_public);
+                w.put_vec32(&m.chain.encode());
+                w.put_u32(m.validity_secs);
+                w.put_u64(m.issued_at);
+                w.put_vec16(&m.signature);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one message from the reader.
+    pub fn decode_from(r: &mut Reader<'_>) -> CryptoResult<Self> {
+        let ty = r.get_u8()?;
+        let body = r.get_vec32()?;
+        let mut b = Reader::new(&body);
+        let msg = match ty {
+            1 => {
+                let random = fixed32(&b.get_vec16()?)?;
+                let key_share = b.get_vec16()?;
+                let n = b.get_u16()? as usize;
+                let mut cipher_suites = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cipher_suites.push(b.get_u16()?);
+                }
+                let extensions = SmtExtensions {
+                    msg_id_bits: b.get_u8()?,
+                    max_message_size: b.get_u32()?,
+                };
+                let has_psk = b.get_u8()? != 0;
+                let psk_id = b.get_u64()?;
+                let has_binder = b.get_u8()? != 0;
+                let binder_raw = b.get_vec16()?;
+                let has_smt_ticket = b.get_u8()? != 0;
+                let smt_ticket = b.get_u64()?;
+                let early_data = b.get_u8()? != 0;
+                let offer_client_auth = b.get_u8()? != 0;
+                HandshakeMessage::ClientHello(ClientHello {
+                    random,
+                    key_share,
+                    cipher_suites,
+                    extensions,
+                    psk_identity: has_psk.then_some(psk_id),
+                    psk_binder: if has_binder {
+                        Some(fixed32(&binder_raw)?)
+                    } else {
+                        None
+                    },
+                    smt_ticket_id: has_smt_ticket.then_some(smt_ticket),
+                    early_data,
+                    offer_client_auth,
+                })
+            }
+            2 => {
+                let random = fixed32(&b.get_vec16()?)?;
+                let has_share = b.get_u8()? != 0;
+                let share = b.get_vec16()?;
+                HandshakeMessage::ServerHello(ServerHello {
+                    random,
+                    key_share: has_share.then_some(share),
+                    cipher_suite: b.get_u16()?,
+                    psk_accepted: b.get_u8()? != 0,
+                    early_data_accepted: b.get_u8()? != 0,
+                })
+            }
+            8 => HandshakeMessage::EncryptedExtensions(EncryptedExtensions {
+                extensions: SmtExtensions {
+                    msg_id_bits: b.get_u8()?,
+                    max_message_size: b.get_u32()?,
+                },
+                request_client_auth: b.get_u8()? != 0,
+            }),
+            11 => HandshakeMessage::Certificate(CertificateMsg {
+                chain: CertificateChain::decode(&b.get_vec32()?)?,
+            }),
+            15 => HandshakeMessage::CertificateVerify(CertificateVerify {
+                signature: b.get_vec16()?,
+            }),
+            20 => HandshakeMessage::Finished(Finished {
+                verify_data: fixed32(&b.get_vec16()?)?,
+            }),
+            4 => HandshakeMessage::NewSessionTicket(NewSessionTicket {
+                ticket_id: b.get_u64()?,
+                nonce: b.get_vec16()?,
+                lifetime_secs: b.get_u32()?,
+            }),
+            0xF0 => HandshakeMessage::SmtTicket(SmtTicket {
+                ticket_id: b.get_u64()?,
+                server_dh_public: b.get_vec16()?,
+                chain: CertificateChain::decode(&b.get_vec32()?)?,
+                validity_secs: b.get_u32()?,
+                issued_at: b.get_u64()?,
+                signature: b.get_vec16()?,
+            }),
+            other => {
+                return Err(CryptoError::handshake(format!(
+                    "unknown handshake message type {other}"
+                )))
+            }
+        };
+        b.expect_end()?;
+        Ok(msg)
+    }
+
+    /// Decodes a single message from a byte slice.
+    pub fn decode(bytes: &[u8]) -> CryptoResult<Self> {
+        let mut r = Reader::new(bytes);
+        let m = Self::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(m)
+    }
+}
+
+/// A handshake flight: an ordered list of messages serialized back to back.
+pub fn encode_flight(messages: &[HandshakeMessage]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for m in messages {
+        out.extend_from_slice(&m.encode());
+    }
+    out
+}
+
+/// Decodes a flight into its messages.
+pub fn decode_flight(bytes: &[u8]) -> CryptoResult<Vec<HandshakeMessage>> {
+    let mut r = Reader::new(bytes);
+    let mut out = Vec::new();
+    while r.remaining() > 0 {
+        out.push(HandshakeMessage::decode_from(&mut r)?);
+    }
+    Ok(out)
+}
+
+fn fixed32(v: &[u8]) -> CryptoResult<[u8; 32]> {
+    v.try_into()
+        .map_err(|_| CryptoError::handshake(format!("expected 32-byte field, got {}", v.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertificateAuthority;
+
+    fn sample_chain() -> CertificateChain {
+        CertificateAuthority::new("test-ca")
+            .issue_identity("server")
+            .chain
+    }
+
+    fn sample_client_hello() -> ClientHello {
+        ClientHello {
+            random: [7u8; 32],
+            key_share: vec![4u8; 65],
+            cipher_suites: vec![0x1301, 0x1302],
+            extensions: SmtExtensions::default(),
+            psk_identity: Some(99),
+            psk_binder: Some([1u8; 32]),
+            smt_ticket_id: None,
+            early_data: true,
+            offer_client_auth: false,
+        }
+    }
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let m = HandshakeMessage::ClientHello(sample_client_hello());
+        let d = HandshakeMessage::decode(&m.encode()).unwrap();
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn server_hello_roundtrip_with_and_without_share() {
+        for share in [Some(vec![9u8; 65]), None] {
+            let m = HandshakeMessage::ServerHello(ServerHello {
+                random: [3u8; 32],
+                key_share: share,
+                cipher_suite: 0x1301,
+                psk_accepted: true,
+                early_data_accepted: false,
+            });
+            assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn certificate_and_verify_roundtrip() {
+        let c = HandshakeMessage::Certificate(CertificateMsg {
+            chain: sample_chain(),
+        });
+        let v = HandshakeMessage::CertificateVerify(CertificateVerify {
+            signature: vec![0xaa; 70],
+        });
+        assert_eq!(HandshakeMessage::decode(&c.encode()).unwrap(), c);
+        assert_eq!(HandshakeMessage::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn flight_roundtrip() {
+        let msgs = vec![
+            HandshakeMessage::ClientHello(sample_client_hello()),
+            HandshakeMessage::Finished(Finished {
+                verify_data: [5u8; 32],
+            }),
+            HandshakeMessage::NewSessionTicket(NewSessionTicket {
+                ticket_id: 1,
+                nonce: vec![0, 1, 2],
+                lifetime_secs: 3600,
+            }),
+        ];
+        let wire = encode_flight(&msgs);
+        let decoded = decode_flight(&wire).unwrap();
+        assert_eq!(decoded, msgs);
+    }
+
+    #[test]
+    fn smt_ticket_roundtrip_and_expiry() {
+        let t = SmtTicket {
+            ticket_id: 5,
+            server_dh_public: vec![4u8; 65],
+            chain: sample_chain(),
+            validity_secs: 3600,
+            issued_at: 1000,
+            signature: vec![1, 2, 3],
+        };
+        let m = HandshakeMessage::SmtTicket(t.clone());
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+        assert!(!t.expired(1000 + 3600));
+        assert!(t.expired(1000 + 3601));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(0x77);
+        w.put_vec32(b"junk");
+        assert!(HandshakeMessage::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let m = HandshakeMessage::Finished(Finished {
+            verify_data: [0u8; 32],
+        });
+        let mut bytes = m.encode();
+        bytes.push(0);
+        assert!(HandshakeMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_flight_rejected() {
+        let m = HandshakeMessage::Finished(Finished {
+            verify_data: [0u8; 32],
+        });
+        let bytes = m.encode();
+        assert!(decode_flight(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

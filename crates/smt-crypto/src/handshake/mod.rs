@@ -1,0 +1,106 @@
+//! SMT session establishment.
+//!
+//! SMT initiates a secure session with a TLS 1.3 handshake performed by the
+//! application (paper §4.2); the negotiated traffic secrets are then registered
+//! with the SMT socket, exactly as kTLS does for TCP.  Three exchanges are
+//! implemented, matching the configurations measured in Fig. 12:
+//!
+//! | Variant        | Module       | Paper name | RTTs before data | Forward secrecy |
+//! |----------------|--------------|------------|------------------|-----------------|
+//! | Standard 1-RTT | [`full`]     | Init-1RTT  | 1                | yes             |
+//! | SMT-ticket     | [`zero_rtt`] | Init       | 0                | no (0-RTT data) |
+//! | SMT-ticket +FS | [`zero_rtt`] | Init-FS    | 0 (data), 1 (FS) | yes after SH    |
+//! | Resumption     | [`full`]     | Rsmp       | 1                | no              |
+//! | Resumption +FS | [`full`]     | Rsmp-FS    | 1                | yes             |
+//!
+//! Every state machine records the per-operation timing breakdown of Table 2
+//! ([`timing::HandshakeTimings`]).
+
+pub mod full;
+pub mod keys;
+pub mod messages;
+pub mod timing;
+pub mod zero_rtt;
+
+pub use full::{establish, ClientConfig, ClientHandshake, ServerConfig, ServerHandshake};
+pub use keys::{EcdhKeyPair, KeyCache};
+pub use messages::{
+    decode_flight, encode_flight, ClientHello, EncryptedExtensions, Finished, HandshakeMessage,
+    NewSessionTicket, ServerHello, SmtExtensions, SmtTicket,
+};
+pub use timing::{HandshakeTimings, OpId};
+pub use zero_rtt::{
+    ReplayCache, SmtTicketIssuer, ZeroRttClientHandshake, ZeroRttServerHandshake,
+};
+
+use crate::key_schedule::Secret;
+use crate::seqno::SeqnoLayout;
+use crate::suite::CipherSuite;
+use crate::{CryptoError, CryptoResult};
+
+/// The output of a completed handshake: everything the SMT protocol engine needs
+/// to protect application messages in both directions.
+#[derive(Debug)]
+pub struct SessionKeys {
+    /// Negotiated cipher suite.
+    pub suite: CipherSuite,
+    /// True on the client side.
+    pub is_client: bool,
+    /// Traffic secret protecting data this endpoint sends.
+    pub send_secret: Secret,
+    /// Traffic secret protecting data this endpoint receives.
+    pub recv_secret: Secret,
+    /// Resumption master secret (mints session tickets).
+    pub resumption_master: Secret,
+    /// Negotiated composite-sequence-number layout (§4.4.1).
+    pub seqno_layout: SeqnoLayout,
+    /// Negotiated maximum message size in bytes.
+    pub max_message_size: u32,
+    /// Authenticated peer identity (certificate subject), when available.
+    pub peer_identity: Option<String>,
+    /// Whether 0-RTT early data was sent/accepted in this handshake.
+    pub early_data_accepted: bool,
+    /// Whether the session's application keys are forward secret.
+    pub forward_secret: bool,
+    /// Per-operation timing breakdown (Table 2).
+    pub timings: HandshakeTimings,
+    /// Session ticket issued by the server for future resumption, if any.
+    pub issued_ticket: Option<NewSessionTicket>,
+}
+
+impl SessionKeys {
+    /// Derives the resumption PSK for a ticket minted from this session
+    /// (both sides derive the same value, RFC 8446 §4.6.1).
+    pub fn resumption_psk(&self, ticket: &NewSessionTicket) -> Secret {
+        crate::key_schedule::KeySchedule::resumption_psk(&self.resumption_master, &ticket.nonce)
+    }
+
+    /// Validates that the negotiated extension values are coherent and returns
+    /// the seqno layout (convenience for the protocol engine).
+    pub fn layout(&self) -> SeqnoLayout {
+        self.seqno_layout
+    }
+}
+
+/// Builds a [`SeqnoLayout`] from the negotiated `msg_id_bits` extension value.
+pub fn layout_from_extension(msg_id_bits: u8) -> CryptoResult<SeqnoLayout> {
+    if msg_id_bits == 0 || msg_id_bits as u32 >= 64 {
+        return Err(CryptoError::handshake(format!(
+            "invalid msg_id_bits extension {msg_id_bits}"
+        )));
+    }
+    SeqnoLayout::new(msg_id_bits as u32, 64 - msg_id_bits as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_from_extension_bounds() {
+        assert!(layout_from_extension(0).is_err());
+        assert!(layout_from_extension(64).is_err());
+        let l = layout_from_extension(48).unwrap();
+        assert_eq!(l.record_index_bits, 16);
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-operation handshake timing (paper Table 2).
+//!
+//! The paper breaks the TLS 1.3 initial handshake into individually timed
+//! operations on each side (S1–S3 on the server, C1.1–C5 on the client) to show
+//! where the latency comes from and which operations the SMT key-exchange
+//! optimisations (§4.5.1/§4.5.2) remove.  The handshake state machines in this
+//! crate record the same breakdown so the Table 2 harness can regenerate the
+//! measurement on the reproduction machine.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Identifiers of the timed handshake operations, matching Table 2 rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum OpId {
+    // --- server side -----------------------------------------------------
+    /// S1: parse and process the ClientHello.
+    S1ProcessChlo,
+    /// S2.1: generate the server ephemeral key share.
+    S2_1KeyGen,
+    /// S2.2: ECDH exchange with the client share.
+    S2_2EcdhExchange,
+    /// S2.3: build the ServerHello.
+    S2_3ShloGen,
+    /// S2.4: encode EncryptedExtensions and the certificate chain.
+    S2_4EeCertEncode,
+    /// S2.5: generate CertificateVerify (ECDSA sign over the transcript).
+    S2_5CertVerifyGen,
+    /// S2.6: derive handshake/application secrets.
+    S2_6SecretDerive,
+    /// S3: verify the client Finished.
+    S3ProcessFinished,
+    // --- client side -----------------------------------------------------
+    /// C1.1: generate the client ephemeral key share.
+    C1_1KeyGen,
+    /// C1.2: build the rest of the ClientHello.
+    C1_2OthersGen,
+    /// C2.1: parse and process the ServerHello.
+    C2_1ProcessShlo,
+    /// C2.2: ECDH exchange with the server share.
+    C2_2EcdhExchange,
+    /// C2.3: derive handshake/application secrets.
+    C2_3SecretDerive,
+    /// C3.1: decode the certificate chain.
+    C3_1DecodeCert,
+    /// C3.2: validate the certificate chain against the CA.
+    C3_2VerifyCert,
+    /// C4.1: rebuild the CertificateVerify signed data.
+    C4_1BuildSignData,
+    /// C4.2: verify the CertificateVerify signature.
+    C4_2VerifyCertVerify,
+    /// C5: verify the server Finished and emit the client Finished.
+    C5ProcessFinished,
+}
+
+impl OpId {
+    /// The paper's row label for this operation (e.g. "S2.2").
+    pub fn label(self) -> &'static str {
+        match self {
+            OpId::S1ProcessChlo => "S1",
+            OpId::S2_1KeyGen => "S2.1",
+            OpId::S2_2EcdhExchange => "S2.2",
+            OpId::S2_3ShloGen => "S2.3",
+            OpId::S2_4EeCertEncode => "S2.4",
+            OpId::S2_5CertVerifyGen => "S2.5",
+            OpId::S2_6SecretDerive => "S2.6",
+            OpId::S3ProcessFinished => "S3",
+            OpId::C1_1KeyGen => "C1.1",
+            OpId::C1_2OthersGen => "C1.2",
+            OpId::C2_1ProcessShlo => "C2.1",
+            OpId::C2_2EcdhExchange => "C2.2",
+            OpId::C2_3SecretDerive => "C2.3",
+            OpId::C3_1DecodeCert => "C3.1",
+            OpId::C3_2VerifyCert => "C3.2",
+            OpId::C4_1BuildSignData => "C4.1",
+            OpId::C4_2VerifyCertVerify => "C4.2",
+            OpId::C5ProcessFinished => "C5",
+        }
+    }
+
+    /// The paper's operation description for this row.
+    pub fn description(self) -> &'static str {
+        match self {
+            OpId::S1ProcessChlo => "Process CHLO",
+            OpId::S2_1KeyGen => "Key Gen",
+            OpId::S2_2EcdhExchange => "ECDH Exchange",
+            OpId::S2_3ShloGen => "SHLO Gen",
+            OpId::S2_4EeCertEncode => "EE & Cert Encode",
+            OpId::S2_5CertVerifyGen => "CertVerify Gen",
+            OpId::S2_6SecretDerive => "Secret Derive",
+            OpId::S3ProcessFinished => "Process Finished",
+            OpId::C1_1KeyGen => "Key Gen",
+            OpId::C1_2OthersGen => "Others Gen",
+            OpId::C2_1ProcessShlo => "Process SHLO",
+            OpId::C2_2EcdhExchange => "ECDH Exchange",
+            OpId::C2_3SecretDerive => "Secret Derive",
+            OpId::C3_1DecodeCert => "Decode Cert",
+            OpId::C3_2VerifyCert => "Verify Cert",
+            OpId::C4_1BuildSignData => "Build Sign Data",
+            OpId::C4_2VerifyCertVerify => "Verify CertVerify",
+            OpId::C5ProcessFinished => "Process Finished",
+        }
+    }
+
+    /// True for server-side operations.
+    pub fn is_server(self) -> bool {
+        matches!(
+            self,
+            OpId::S1ProcessChlo
+                | OpId::S2_1KeyGen
+                | OpId::S2_2EcdhExchange
+                | OpId::S2_3ShloGen
+                | OpId::S2_4EeCertEncode
+                | OpId::S2_5CertVerifyGen
+                | OpId::S2_6SecretDerive
+                | OpId::S3ProcessFinished
+        )
+    }
+
+    /// All operations in Table 2 order.
+    pub fn all() -> Vec<OpId> {
+        vec![
+            OpId::S1ProcessChlo,
+            OpId::S2_1KeyGen,
+            OpId::S2_2EcdhExchange,
+            OpId::S2_3ShloGen,
+            OpId::S2_4EeCertEncode,
+            OpId::S2_5CertVerifyGen,
+            OpId::S2_6SecretDerive,
+            OpId::S3ProcessFinished,
+            OpId::C1_1KeyGen,
+            OpId::C1_2OthersGen,
+            OpId::C2_1ProcessShlo,
+            OpId::C2_2EcdhExchange,
+            OpId::C2_3SecretDerive,
+            OpId::C3_1DecodeCert,
+            OpId::C3_2VerifyCert,
+            OpId::C4_1BuildSignData,
+            OpId::C4_2VerifyCertVerify,
+            OpId::C5ProcessFinished,
+        ]
+    }
+}
+
+/// Accumulated per-operation durations for one handshake run.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct HandshakeTimings {
+    durations: BTreeMap<OpId, Duration>,
+}
+
+impl HandshakeTimings {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, attributing the elapsed time to `op` (accumulating if the
+    /// operation is recorded more than once).
+    pub fn time<T>(&mut self, op: OpId, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        *self.durations.entry(op).or_default() += elapsed;
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&mut self, op: OpId, d: Duration) {
+        *self.durations.entry(op).or_default() += d;
+    }
+
+    /// The recorded duration for `op`, if any.
+    pub fn get(&self, op: OpId) -> Option<Duration> {
+        self.durations.get(&op).copied()
+    }
+
+    /// Total time across all recorded operations.
+    pub fn total(&self) -> Duration {
+        self.durations.values().sum()
+    }
+
+    /// Total time across server-side (or client-side) operations.
+    pub fn total_side(&self, server: bool) -> Duration {
+        self.durations
+            .iter()
+            .filter(|(op, _)| op.is_server() == server)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Iterates the recorded rows in Table 2 order.
+    pub fn rows(&self) -> impl Iterator<Item = (OpId, Duration)> + '_ {
+        OpId::all()
+            .into_iter()
+            .filter_map(move |op| self.durations.get(&op).map(|d| (op, *d)))
+    }
+
+    /// Merges another recorder into this one (e.g. client + server timings).
+    pub fn merge(&mut self, other: &HandshakeTimings) {
+        for (op, d) in &other.durations {
+            *self.durations.entry(*op).or_default() += *d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_and_accumulate() {
+        let mut t = HandshakeTimings::new();
+        let v = t.time(OpId::S1ProcessChlo, || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t.get(OpId::S1ProcessChlo).is_some());
+        t.record(OpId::S1ProcessChlo, Duration::from_micros(10));
+        assert!(t.get(OpId::S1ProcessChlo).unwrap() >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(OpId::S2_5CertVerifyGen.label(), "S2.5");
+        assert_eq!(OpId::C4_2VerifyCertVerify.label(), "C4.2");
+        assert_eq!(OpId::C3_2VerifyCert.description(), "Verify Cert");
+        assert_eq!(OpId::all().len(), 18);
+    }
+
+    #[test]
+    fn side_totals() {
+        let mut t = HandshakeTimings::new();
+        t.record(OpId::S1ProcessChlo, Duration::from_micros(5));
+        t.record(OpId::C1_1KeyGen, Duration::from_micros(7));
+        assert_eq!(t.total_side(true), Duration::from_micros(5));
+        assert_eq!(t.total_side(false), Duration::from_micros(7));
+        assert_eq!(t.total(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = HandshakeTimings::new();
+        let mut b = HandshakeTimings::new();
+        a.record(OpId::S1ProcessChlo, Duration::from_micros(1));
+        b.record(OpId::C5ProcessFinished, Duration::from_micros(2));
+        a.merge(&b);
+        assert_eq!(a.rows().count(), 2);
+    }
+
+    #[test]
+    fn rows_in_table_order() {
+        let mut t = HandshakeTimings::new();
+        t.record(OpId::C5ProcessFinished, Duration::from_micros(2));
+        t.record(OpId::S1ProcessChlo, Duration::from_micros(1));
+        let rows: Vec<_> = t.rows().map(|(op, _)| op).collect();
+        assert_eq!(rows, vec![OpId::S1ProcessChlo, OpId::C5ProcessFinished]);
+    }
+}

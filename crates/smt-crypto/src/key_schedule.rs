@@ -1,0 +1,413 @@
+//! The TLS 1.3 key schedule (RFC 8446 §7.1) used by SMT sessions.
+//!
+//! SMT performs the handshake with standard TLS 1.3 semantics (§4.2), so the key
+//! schedule is the usual HKDF-SHA256 ladder:
+//!
+//! ```text
+//!              0
+//!              |
+//!   PSK ->  HKDF-Extract = Early Secret
+//!              |
+//!              +--> Derive-Secret(., "ext binder" | "res binder", "") = binder_key
+//!              +--> Derive-Secret(., "c e traffic", CH)              = 0-RTT keys
+//!              |
+//!        Derive-Secret(., "derived", "")
+//!              |
+//! (EC)DHE -> HKDF-Extract = Handshake Secret
+//!              |
+//!              +--> Derive-Secret(., "c hs traffic", CH..SH) = client hs keys
+//!              +--> Derive-Secret(., "s hs traffic", CH..SH) = server hs keys
+//!              |
+//!        Derive-Secret(., "derived", "")
+//!              |
+//!     0 -> HKDF-Extract = Master Secret
+//!              |
+//!              +--> Derive-Secret(., "c ap traffic", CH..Fin) = client app keys
+//!              +--> Derive-Secret(., "s ap traffic", CH..Fin) = server app keys
+//!              +--> Derive-Secret(., "res master",  CH..Fin) = resumption secret
+//! ```
+//!
+//! The SMT 0-RTT variant (§4.5.2) reuses the same ladder with the *SMT-key* —
+//! derived from the server's long-term DH share and the client's ephemeral share —
+//! taking the place of the PSK.
+
+use crate::aead::{AeadKey, Iv, NONCE_LEN};
+use crate::suite::CipherSuite;
+use crate::{CryptoError, CryptoResult};
+use hkdf::Hkdf;
+use sha2::{Digest, Sha256};
+
+/// Length of SHA-256 output, the hash used by both supported suites.
+pub const HASH_LEN: usize = 32;
+
+/// An opaque secret in the key-schedule ladder.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Secret(pub(crate) [u8; HASH_LEN]);
+
+impl std::fmt::Debug for Secret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Secret(..)")
+    }
+}
+
+impl Secret {
+    /// Builds a secret from raw bytes (must be exactly the hash length).
+    pub fn from_slice(s: &[u8]) -> CryptoResult<Self> {
+        if s.len() != HASH_LEN {
+            return Err(CryptoError::InvalidLength {
+                what: "secret",
+                expected: HASH_LEN,
+                got: s.len(),
+            });
+        }
+        let mut out = [0u8; HASH_LEN];
+        out.copy_from_slice(s);
+        Ok(Self(out))
+    }
+
+    /// The all-zero secret (used where RFC 8446 feeds zeros into Extract).
+    pub fn zero() -> Self {
+        Self([0u8; HASH_LEN])
+    }
+
+    /// Raw bytes of the secret (used to build tickets / PSKs).
+    pub fn as_bytes(&self) -> &[u8; HASH_LEN] {
+        &self.0
+    }
+}
+
+/// HKDF-Expand-Label from RFC 8446 §7.1 (with the "tls13 " label prefix).
+pub fn hkdf_expand_label(secret: &Secret, label: &str, context: &[u8], len: usize) -> Vec<u8> {
+    let hk = Hkdf::<Sha256>::from_prk(&secret.0).expect("prk is hash-sized");
+    let mut info = Vec::with_capacity(4 + 6 + label.len() + 1 + context.len());
+    info.extend_from_slice(&(len as u16).to_be_bytes());
+    let full_label = format!("tls13 {label}");
+    info.push(full_label.len() as u8);
+    info.extend_from_slice(full_label.as_bytes());
+    info.push(context.len() as u8);
+    info.extend_from_slice(context);
+    let mut out = vec![0u8; len];
+    hk.expand(&info, &mut out)
+        .expect("output length within HKDF limits");
+    out
+}
+
+/// Derive-Secret from RFC 8446 §7.1: Expand-Label with a transcript hash context.
+pub fn derive_secret(secret: &Secret, label: &str, transcript_hash: &[u8]) -> Secret {
+    let out = hkdf_expand_label(secret, label, transcript_hash, HASH_LEN);
+    Secret::from_slice(&out).expect("hash-sized output")
+}
+
+/// HKDF-Extract.
+pub fn hkdf_extract(salt: &Secret, ikm: &[u8]) -> Secret {
+    let (prk, _) = Hkdf::<Sha256>::extract(Some(&salt.0), ikm);
+    Secret::from_slice(&prk).expect("hash-sized prk")
+}
+
+/// Computes the SHA-256 hash of a transcript.
+pub fn transcript_hash(transcript: &[u8]) -> [u8; HASH_LEN] {
+    let mut h = Sha256::new();
+    h.update(transcript);
+    h.finalize().into()
+}
+
+/// HMAC-SHA256, used for Finished message verification.
+pub fn hmac(key: &[u8], data: &[u8]) -> [u8; HASH_LEN] {
+    // HMAC via the HKDF crate is not exposed; implement the standard construction.
+    const BLOCK: usize = 64;
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d: [u8; HASH_LEN] = Sha256::digest(key).into();
+        k[..HASH_LEN].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(ipad);
+    inner.update(data);
+    let inner: [u8; HASH_LEN] = inner.finalize().into();
+    let mut outer = Sha256::new();
+    outer.update(opad);
+    outer.update(inner);
+    outer.finalize().into()
+}
+
+/// Per-direction traffic keys: AEAD key + static IV.
+pub struct TrafficKeys {
+    /// The AEAD key.
+    pub key: AeadKey,
+    /// The static write IV (XORed with record sequence numbers).
+    pub iv: Iv,
+    /// Raw key bytes, retained so they can be programmed into simulated NIC flow
+    /// contexts (mirrors the kTLS `setsockopt` interface the paper reuses, §4.2).
+    pub raw_key: Vec<u8>,
+}
+
+impl std::fmt::Debug for TrafficKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficKeys").finish_non_exhaustive()
+    }
+}
+
+impl TrafficKeys {
+    /// Derives traffic keys from a traffic secret (RFC 8446 §7.3).
+    pub fn derive(suite: CipherSuite, traffic_secret: &Secret) -> CryptoResult<Self> {
+        let raw_key = hkdf_expand_label(traffic_secret, "key", b"", suite.key_len());
+        let iv_bytes = hkdf_expand_label(traffic_secret, "iv", b"", NONCE_LEN);
+        Ok(Self {
+            key: AeadKey::new(suite.aead(), &raw_key)?,
+            iv: Iv::from_slice(&iv_bytes)?,
+            raw_key,
+        })
+    }
+}
+
+/// The state of the TLS 1.3 key-schedule ladder for one session.
+#[derive(Debug)]
+pub struct KeySchedule {
+    suite: CipherSuite,
+    current: Secret,
+    stage: Stage,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Early,
+    Handshake,
+    Master,
+}
+
+/// Secrets derived at the handshake stage.
+#[derive(Debug)]
+pub struct HandshakeSecrets {
+    /// Client handshake traffic secret.
+    pub client: Secret,
+    /// Server handshake traffic secret.
+    pub server: Secret,
+}
+
+/// Secrets derived at the application stage.
+#[derive(Debug)]
+pub struct ApplicationSecrets {
+    /// Client application traffic secret.
+    pub client: Secret,
+    /// Server application traffic secret.
+    pub server: Secret,
+    /// Resumption master secret (used to mint session tickets).
+    pub resumption: Secret,
+}
+
+impl KeySchedule {
+    /// Starts the ladder with an optional PSK (resumption or SMT-key).
+    pub fn new(suite: CipherSuite, psk: Option<&Secret>) -> Self {
+        let zero = Secret::zero();
+        let ikm = psk.map(|p| p.0.to_vec()).unwrap_or_else(|| vec![0u8; HASH_LEN]);
+        let early = hkdf_extract(&zero, &ikm);
+        Self {
+            suite,
+            current: early,
+            stage: Stage::Early,
+        }
+    }
+
+    /// The cipher suite this schedule derives keys for.
+    pub fn suite(&self) -> CipherSuite {
+        self.suite
+    }
+
+    /// Derives the 0-RTT ("client early traffic") secret from the early secret.
+    pub fn early_traffic_secret(&self, client_hello_hash: &[u8]) -> CryptoResult<Secret> {
+        if self.stage != Stage::Early {
+            return Err(CryptoError::handshake("early secret already consumed"));
+        }
+        Ok(derive_secret(&self.current, "c e traffic", client_hello_hash))
+    }
+
+    /// Derives the binder key used to authenticate a PSK / SMT-ticket.
+    pub fn binder_key(&self) -> CryptoResult<Secret> {
+        if self.stage != Stage::Early {
+            return Err(CryptoError::handshake("early secret already consumed"));
+        }
+        Ok(derive_secret(&self.current, "res binder", &transcript_hash(b"")))
+    }
+
+    /// Feeds the (EC)DHE shared secret, moving to the handshake stage, and returns
+    /// the handshake traffic secrets.
+    pub fn into_handshake(
+        &mut self,
+        dhe_shared: &[u8],
+        transcript_ch_sh: &[u8],
+    ) -> CryptoResult<HandshakeSecrets> {
+        if self.stage != Stage::Early {
+            return Err(CryptoError::handshake("key schedule not at early stage"));
+        }
+        let derived = derive_secret(&self.current, "derived", &transcript_hash(b""));
+        let hs = hkdf_extract(&derived, dhe_shared);
+        let secrets = HandshakeSecrets {
+            client: derive_secret(&hs, "c hs traffic", transcript_ch_sh),
+            server: derive_secret(&hs, "s hs traffic", transcript_ch_sh),
+        };
+        self.current = hs;
+        self.stage = Stage::Handshake;
+        Ok(secrets)
+    }
+
+    /// Moves to the master-secret stage and returns the application secrets.
+    pub fn into_application(
+        &mut self,
+        transcript_ch_fin: &[u8],
+    ) -> CryptoResult<ApplicationSecrets> {
+        if self.stage != Stage::Handshake {
+            return Err(CryptoError::handshake("key schedule not at handshake stage"));
+        }
+        let derived = derive_secret(&self.current, "derived", &transcript_hash(b""));
+        let master = hkdf_extract(&derived, &[0u8; HASH_LEN]);
+        let secrets = ApplicationSecrets {
+            client: derive_secret(&master, "c ap traffic", transcript_ch_fin),
+            server: derive_secret(&master, "s ap traffic", transcript_ch_fin),
+            resumption: derive_secret(&master, "res master", transcript_ch_fin),
+        };
+        self.current = master;
+        self.stage = Stage::Master;
+        Ok(secrets)
+    }
+
+    /// Derives the Finished MAC key from a handshake traffic secret.
+    pub fn finished_key(traffic_secret: &Secret) -> Vec<u8> {
+        hkdf_expand_label(traffic_secret, "finished", b"", HASH_LEN)
+    }
+
+    /// Computes a Finished verify-data MAC over a transcript hash.
+    pub fn finished_mac(traffic_secret: &Secret, transcript_hash: &[u8]) -> [u8; HASH_LEN] {
+        let key = Self::finished_key(traffic_secret);
+        hmac(&key, transcript_hash)
+    }
+
+    /// Derives a per-ticket resumption PSK from the resumption master secret.
+    pub fn resumption_psk(resumption_master: &Secret, ticket_nonce: &[u8]) -> Secret {
+        let out = hkdf_expand_label(resumption_master, "resumption", ticket_nonce, HASH_LEN);
+        Secret::from_slice(&out).expect("hash-sized")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ladder(psk: Option<&Secret>, dhe: &[u8]) -> (ApplicationSecrets, HandshakeSecrets) {
+        let mut ks = KeySchedule::new(CipherSuite::Aes128GcmSha256, psk);
+        let hs = ks.into_handshake(dhe, b"CH..SH-hash").unwrap();
+        let app = ks.into_application(b"CH..Fin-hash").unwrap();
+        (app, hs)
+    }
+
+    #[test]
+    fn ladder_is_deterministic() {
+        let (a1, h1) = run_ladder(None, b"shared-secret");
+        let (a2, h2) = run_ladder(None, b"shared-secret");
+        assert_eq!(a1.client.0, a2.client.0);
+        assert_eq!(a1.server.0, a2.server.0);
+        assert_eq!(h1.client.0, h2.client.0);
+        assert_eq!(h1.server.0, h2.server.0);
+    }
+
+    #[test]
+    fn different_dhe_different_keys() {
+        let (a1, _) = run_ladder(None, b"shared-secret-1");
+        let (a2, _) = run_ladder(None, b"shared-secret-2");
+        assert_ne!(a1.client.0, a2.client.0);
+    }
+
+    #[test]
+    fn psk_changes_early_ladder() {
+        let psk = Secret([0x11; HASH_LEN]);
+        let (a1, _) = run_ladder(Some(&psk), b"dhe");
+        let (a2, _) = run_ladder(None, b"dhe");
+        assert_ne!(a1.client.0, a2.client.0);
+    }
+
+    #[test]
+    fn client_and_server_secrets_differ() {
+        let (app, hs) = run_ladder(None, b"dhe");
+        assert_ne!(app.client.0, app.server.0);
+        assert_ne!(hs.client.0, hs.server.0);
+        assert_ne!(app.client.0, hs.client.0);
+    }
+
+    #[test]
+    fn stage_misuse_rejected() {
+        let mut ks = KeySchedule::new(CipherSuite::Aes128GcmSha256, None);
+        assert!(ks.into_application(b"x").is_err());
+        ks.into_handshake(b"dhe", b"t").unwrap();
+        assert!(ks.early_traffic_secret(b"t").is_err());
+        assert!(ks.into_handshake(b"dhe", b"t").is_err());
+        ks.into_application(b"t2").unwrap();
+        assert!(ks.into_application(b"t2").is_err());
+    }
+
+    #[test]
+    fn traffic_keys_derivable_and_usable() {
+        let (app, _) = run_ladder(None, b"dhe");
+        let client = TrafficKeys::derive(CipherSuite::Aes128GcmSha256, &app.client).unwrap();
+        let server = TrafficKeys::derive(CipherSuite::Aes128GcmSha256, &app.client).unwrap();
+        // Same secret -> same keys: client seals, server opens.
+        let nonce = client.iv.nonce_for(1);
+        let ct = client.key.seal(&nonce, b"aad", b"hello");
+        assert_eq!(server.key.open(&nonce, b"aad", &ct).unwrap(), b"hello");
+        assert_eq!(client.raw_key.len(), 16);
+    }
+
+    #[test]
+    fn finished_mac_depends_on_transcript_and_key() {
+        let s1 = Secret([1u8; HASH_LEN]);
+        let s2 = Secret([2u8; HASH_LEN]);
+        let m1 = KeySchedule::finished_mac(&s1, b"transcript-a");
+        let m2 = KeySchedule::finished_mac(&s1, b"transcript-b");
+        let m3 = KeySchedule::finished_mac(&s2, b"transcript-a");
+        assert_ne!(m1, m2);
+        assert_ne!(m1, m3);
+        assert_eq!(m1, KeySchedule::finished_mac(&s1, b"transcript-a"));
+    }
+
+    #[test]
+    fn hmac_known_answer() {
+        // RFC 4231 test case 2: key = "Jefe", data = "what do ya want for nothing?"
+        let mac = hmac(b"Jefe", b"what do ya want for nothing?");
+        let expected = [
+            0x5b, 0xdc, 0xc1, 0x46, 0xbf, 0x60, 0x75, 0x4e, 0x6a, 0x04, 0x24, 0x26, 0x08, 0x95,
+            0x75, 0xc7, 0x5a, 0x00, 0x3f, 0x08, 0x9d, 0x27, 0x39, 0x83, 0x9d, 0xec, 0x58, 0xb9,
+            0x64, 0xec, 0x38, 0x43,
+        ];
+        assert_eq!(mac, expected);
+    }
+
+    #[test]
+    fn resumption_psk_varies_with_nonce() {
+        let rm = Secret([7u8; HASH_LEN]);
+        let p1 = KeySchedule::resumption_psk(&rm, &[0]);
+        let p2 = KeySchedule::resumption_psk(&rm, &[1]);
+        assert_ne!(p1.0, p2.0);
+    }
+
+    #[test]
+    fn early_traffic_secret_and_binder() {
+        let psk = Secret([9u8; HASH_LEN]);
+        let ks = KeySchedule::new(CipherSuite::Aes128GcmSha256, Some(&psk));
+        let e = ks.early_traffic_secret(b"ch-hash").unwrap();
+        let b = ks.binder_key().unwrap();
+        assert_ne!(e.0, b.0);
+    }
+
+    #[test]
+    fn secret_debug_does_not_leak() {
+        let s = Secret([0xAB; HASH_LEN]);
+        assert_eq!(format!("{s:?}"), "Secret(..)");
+        assert!(Secret::from_slice(&[0u8; 31]).is_err());
+    }
+}

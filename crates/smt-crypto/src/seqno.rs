@@ -1,0 +1,290 @@
+//! Composite record sequence numbers (paper §4.4.1, Figs. 4 and 5).
+//!
+//! TLS fixes the record sequence number at 64 bits, and it is the only free
+//! variable available to make every record nonce in the session unique.  SMT
+//! therefore splits those 64 bits between a **message ID** (upper bits) and an
+//! **intra-message record index** (lower bits).  The index occupies the low bits
+//! so that the NIC's self-incrementing counter — which simply adds one per record,
+//! exactly as it does for TLS/TCP — produces the correct composite value for
+//! consecutive records of the same message.
+//!
+//! The split is a trade-off (Fig. 5): more index bits allow larger messages
+//! (`2^index_bits × record_size`), more ID bits allow more messages per session
+//! (`2^id_bits`).  The paper's default is 48 ID bits and 16 index bits, allowing
+//! 2^48 messages and, with maximum-size 16 KB records, messages up to 1 GB.
+
+use crate::{CryptoError, CryptoResult};
+use serde::{Deserialize, Serialize};
+use smt_wire::{DEFAULT_MSG_ID_BITS, DEFAULT_RECORD_INDEX_BITS, MAX_TLS_RECORD};
+
+/// The bit allocation of the 64-bit composite record sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SeqnoLayout {
+    /// Bits devoted to the message ID (upper bits).
+    pub msg_id_bits: u32,
+    /// Bits devoted to the intra-message record index (lower bits).
+    pub record_index_bits: u32,
+}
+
+impl Default for SeqnoLayout {
+    fn default() -> Self {
+        Self {
+            msg_id_bits: DEFAULT_MSG_ID_BITS,
+            record_index_bits: DEFAULT_RECORD_INDEX_BITS,
+        }
+    }
+}
+
+impl SeqnoLayout {
+    /// Creates a layout, validating that the two fields cover exactly 64 bits and
+    /// that each side is non-degenerate.
+    pub fn new(msg_id_bits: u32, record_index_bits: u32) -> CryptoResult<Self> {
+        if msg_id_bits + record_index_bits != 64 {
+            return Err(CryptoError::seqno(format!(
+                "bit split must cover 64 bits, got {msg_id_bits}+{record_index_bits}"
+            )));
+        }
+        if msg_id_bits == 0 || record_index_bits == 0 || msg_id_bits >= 64 {
+            return Err(CryptoError::seqno(
+                "both message-ID and record-index fields need at least one bit",
+            ));
+        }
+        Ok(Self {
+            msg_id_bits,
+            record_index_bits,
+        })
+    }
+
+    /// Maximum number of distinct message IDs this layout supports.
+    pub fn max_messages(&self) -> u128 {
+        1u128 << self.msg_id_bits
+    }
+
+    /// Maximum number of records per message.
+    pub fn max_records_per_message(&self) -> u64 {
+        if self.record_index_bits >= 64 {
+            u64::MAX
+        } else {
+            1u64 << self.record_index_bits
+        }
+    }
+
+    /// Maximum message size in bytes given a record payload size
+    /// (defaults: 16 KB records, the TLS maximum).
+    pub fn max_message_size(&self, record_size: usize) -> u128 {
+        self.max_records_per_message() as u128 * record_size as u128
+    }
+
+    /// Maximum message ID value (inclusive).
+    pub fn max_message_id(&self) -> u64 {
+        if self.msg_id_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.msg_id_bits) - 1
+        }
+    }
+
+    /// Maximum record index value (inclusive).
+    pub fn max_record_index(&self) -> u64 {
+        (1u64 << self.record_index_bits) - 1
+    }
+
+    /// Composes a 64-bit record sequence number from a message ID and an
+    /// intra-message record index.
+    pub fn compose(&self, message_id: u64, record_index: u64) -> CryptoResult<CompositeSeqno> {
+        if message_id > self.max_message_id() {
+            return Err(CryptoError::seqno(format!(
+                "message id {message_id} exceeds {}-bit field",
+                self.msg_id_bits
+            )));
+        }
+        if record_index > self.max_record_index() {
+            return Err(CryptoError::seqno(format!(
+                "record index {record_index} exceeds {}-bit field (message too large)",
+                self.record_index_bits
+            )));
+        }
+        Ok(CompositeSeqno {
+            value: (message_id << self.record_index_bits) | record_index,
+            layout: *self,
+        })
+    }
+
+    /// Splits a raw 64-bit sequence number into (message ID, record index).
+    pub fn decompose(&self, value: u64) -> (u64, u64) {
+        let idx_mask = self.max_record_index();
+        (value >> self.record_index_bits, value & idx_mask)
+    }
+
+    /// One row of the Fig. 5 trade-off: for this layout, the maximum number of
+    /// messages and the maximum message sizes with small (1.5 KB) and maximum
+    /// (16 KB) records.
+    pub fn tradeoff_row(&self) -> TradeoffRow {
+        TradeoffRow {
+            record_index_bits: self.record_index_bits,
+            msg_id_bits: self.msg_id_bits,
+            max_messages: self.max_messages(),
+            max_message_size_small_records: self.max_message_size(1500),
+            max_message_size_max_records: self.max_message_size(MAX_TLS_RECORD),
+        }
+    }
+
+    /// The full Fig. 5 sweep: record-index bits from `lo` to `hi` inclusive.
+    pub fn tradeoff_sweep(lo: u32, hi: u32) -> Vec<TradeoffRow> {
+        (lo..=hi)
+            .filter_map(|idx_bits| SeqnoLayout::new(64 - idx_bits, idx_bits).ok())
+            .map(|l| l.tradeoff_row())
+            .collect()
+    }
+}
+
+/// One point of the Fig. 5 trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TradeoffRow {
+    /// Bits allocated to the record index ("message size field" in Fig. 5).
+    pub record_index_bits: u32,
+    /// Bits allocated to the message ID.
+    pub msg_id_bits: u32,
+    /// Number of distinct messages the session can carry.
+    pub max_messages: u128,
+    /// Maximum message size with 1.5 KB records.
+    pub max_message_size_small_records: u128,
+    /// Maximum message size with 16 KB (maximum) records.
+    pub max_message_size_max_records: u128,
+}
+
+/// A composed 64-bit record sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CompositeSeqno {
+    value: u64,
+    layout: SeqnoLayout,
+}
+
+impl CompositeSeqno {
+    /// The raw 64-bit value used for the AEAD nonce.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The message-ID component.
+    pub fn message_id(&self) -> u64 {
+        self.layout.decompose(self.value).0
+    }
+
+    /// The intra-message record-index component.
+    pub fn record_index(&self) -> u64 {
+        self.layout.decompose(self.value).1
+    }
+
+    /// The layout this value was composed with.
+    pub fn layout(&self) -> SeqnoLayout {
+        self.layout
+    }
+
+    /// The next record of the same message (the NIC's self-incrementing counter
+    /// performs exactly this +1 on the low bits).
+    pub fn next_record(&self) -> CryptoResult<CompositeSeqno> {
+        let idx = self.record_index();
+        self.layout.compose(self.message_id(), idx + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_matches_paper() {
+        let l = SeqnoLayout::default();
+        assert_eq!(l.msg_id_bits, 48);
+        assert_eq!(l.record_index_bits, 16);
+        // 65 K records per message (§4.4.1) ...
+        assert_eq!(l.max_records_per_message(), 65_536);
+        // ... supporting ~1 GB messages with 16 KB records ...
+        assert_eq!(l.max_message_size(MAX_TLS_RECORD), 1 << 30);
+        // ... and ~98 MB (decimal, as quoted in §4.4.1) with 1.5 KB records.
+        let small = l.max_message_size(1500);
+        assert_eq!(small, 65_536 * 1500);
+        assert!(small > 95_000_000 && small < 100_000_000);
+        // 2^48 message IDs.
+        assert_eq!(l.max_messages(), 1u128 << 48);
+    }
+
+    #[test]
+    fn compose_decompose_roundtrip() {
+        let l = SeqnoLayout::default();
+        let s = l.compose(0x1234_5678_9abc, 0x00ff).unwrap();
+        assert_eq!(s.message_id(), 0x1234_5678_9abc);
+        assert_eq!(s.record_index(), 0x00ff);
+        let (id, idx) = l.decompose(s.value());
+        assert_eq!((id, idx), (0x1234_5678_9abc, 0x00ff));
+    }
+
+    #[test]
+    fn record_index_occupies_low_bits() {
+        // Consecutive records of a message differ by exactly 1 in the raw value,
+        // which is what lets the NIC's self-incrementing counter work (§4.4.1).
+        let l = SeqnoLayout::default();
+        let a = l.compose(42, 0).unwrap();
+        let b = l.compose(42, 1).unwrap();
+        assert_eq!(b.value(), a.value() + 1);
+        assert_eq!(a.next_record().unwrap(), b);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let l = SeqnoLayout::default();
+        assert!(l.compose(1 << 48, 0).is_err());
+        assert!(l.compose(0, 1 << 16).is_err());
+        let last = l.compose(1, l.max_record_index()).unwrap();
+        assert!(last.next_record().is_err());
+    }
+
+    #[test]
+    fn invalid_layouts_rejected() {
+        assert!(SeqnoLayout::new(32, 16).is_err());
+        assert!(SeqnoLayout::new(64, 0).is_err());
+        assert!(SeqnoLayout::new(0, 64).is_err());
+    }
+
+    #[test]
+    fn distinct_messages_never_collide() {
+        // Core security property behind non-replayability: two different
+        // (message, index) pairs can never map to the same 64-bit value.
+        let l = SeqnoLayout::default();
+        let a = l.compose(7, 3).unwrap();
+        let b = l.compose(8, 3).unwrap();
+        let c = l.compose(7, 4).unwrap();
+        assert_ne!(a.value(), b.value());
+        assert_ne!(a.value(), c.value());
+        assert_ne!(b.value(), c.value());
+    }
+
+    #[test]
+    fn fig5_sweep_shape() {
+        let rows = SeqnoLayout::tradeoff_sweep(8, 17);
+        assert_eq!(rows.len(), 10);
+        // More index bits -> larger messages, fewer message IDs (monotone).
+        for w in rows.windows(2) {
+            assert!(w[1].max_message_size_max_records > w[0].max_message_size_max_records);
+            assert!(w[1].max_messages < w[0].max_messages);
+        }
+        // Paper quotes ~0.4 MB max message at 8 index bits with small records
+        // and ~196.6 MB at 17 bits.
+        let first = &rows[0];
+        assert_eq!(first.record_index_bits, 8);
+        assert_eq!(first.max_message_size_small_records, 256 * 1500);
+        let last = &rows[9];
+        assert_eq!(last.record_index_bits, 17);
+        assert_eq!(last.max_message_size_small_records, 131_072 * 1500);
+    }
+
+    #[test]
+    fn alternative_split_supported() {
+        // §4.4.1: endpoints may negotiate a different message-ID length.
+        let l = SeqnoLayout::new(40, 24).unwrap();
+        let s = l.compose((1 << 40) - 1, (1 << 24) - 1).unwrap();
+        assert_eq!(s.message_id(), (1 << 40) - 1);
+        assert_eq!(s.record_index(), (1 << 24) - 1);
+    }
+}

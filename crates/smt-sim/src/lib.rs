@@ -1,0 +1,45 @@
+//! # smt-sim — simulated datacenter host/NIC/link substrate
+//!
+//! The paper evaluates SMT on two Xeon servers connected back-to-back with
+//! ConnectX-7 100 Gb/s NICs running a patched Linux kernel.  That testbed is not
+//! available to this reproduction, so this crate provides the substitute
+//! substrate (see DESIGN.md §1):
+//!
+//! * [`cost`] — a calibrated **cost model** for host-stack operations: per-packet
+//!   stack traversal, per-byte copies, per-byte software AES-GCM, per-record NIC
+//!   offload descriptor handling, syscalls and interrupts;
+//! * [`nic`] — a packet-level **NIC model** implementing TSO (header replication +
+//!   IPID increment) and **TLS autonomous offload** semantics: per-queue flow
+//!   contexts with self-incrementing record sequence numbers and resync
+//!   descriptors; out-of-sequence segments without a resync produce corrupted
+//!   records exactly as in paper Fig. 2;
+//! * [`link`] — a full-duplex link with configurable bandwidth, propagation delay
+//!   and MTU;
+//! * [`resource`] — serial resources (CPU cores, NIC queues, links) with
+//!   earliest-available-time semantics used by the queueing simulation;
+//! * [`pipeline`] — a discrete-event, closed-loop **RPC pipeline simulator** that
+//!   models application threads, softirq cores, the Homa-style single pacer
+//!   thread, NIC queues and the wire on both hosts; the transport crates supply
+//!   per-RPC stage costs derived from the real protocol engines.
+//!
+//! The protocol engines themselves (`smt-core`, `smt-crypto`) are *not*
+//! simulated — they run for real; only time is.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod link;
+pub mod nic;
+pub mod pipeline;
+pub mod resource;
+pub mod time;
+
+pub use cost::CostModel;
+pub use link::Link;
+pub use nic::{NicModel, NicStats};
+pub use pipeline::{
+    LatencySummary, PipelineConfig, RpcCosts, RpcPipelineSim, SimReport, SoftirqSteering,
+};
+pub use resource::{Resource, ResourcePool};
+pub use time::Nanos;

@@ -1,0 +1,83 @@
+//! The back-to-back link between the two simulated hosts.
+
+use crate::cost::CostModel;
+use crate::resource::Resource;
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A full-duplex point-to-point link (the paper's testbed connects the two hosts
+/// back to back with 100 Gb/s ConnectX-7 NICs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Bandwidth in Gb/s.
+    pub gbps: f64,
+    /// Propagation delay in nanoseconds.
+    pub propagation_ns: Nanos,
+    /// Network MTU in bytes.
+    pub mtu: usize,
+    forward: Resource,
+    reverse: Resource,
+}
+
+impl Link {
+    /// Creates a link from the cost model's bandwidth/propagation parameters.
+    pub fn from_cost_model(model: &CostModel, mtu: usize) -> Self {
+        Self {
+            gbps: model.link_gbps,
+            propagation_ns: model.propagation_ns,
+            mtu,
+            forward: Resource::new(),
+            reverse: Resource::new(),
+        }
+    }
+
+    /// Serialization time for `bytes` bytes.
+    pub fn serialization_ns(&self, bytes: usize) -> Nanos {
+        ((bytes as f64 * 8.0) / self.gbps).round() as Nanos
+    }
+
+    /// Transmits `bytes` in the client→server direction starting no earlier than
+    /// `ready`; returns the time the last bit arrives at the far end.
+    pub fn send_forward(&mut self, ready: Nanos, bytes: usize) -> Nanos {
+        let ser = self.serialization_ns(bytes);
+        self.forward.schedule(ready, ser) + self.propagation_ns
+    }
+
+    /// Transmits `bytes` in the server→client direction.
+    pub fn send_reverse(&mut self, ready: Nanos, bytes: usize) -> Nanos {
+        let ser = self.serialization_ns(bytes);
+        self.reverse.schedule(ready, ser) + self.propagation_ns
+    }
+
+    /// Utilisation of the busier direction over a horizon.
+    pub fn utilisation(&self, horizon: Nanos) -> f64 {
+        self.forward
+            .utilisation(horizon)
+            .max(self.reverse.utilisation(horizon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_are_independent() {
+        let model = CostModel::calibrated();
+        let mut link = Link::from_cost_model(&model, 1500);
+        let f = link.send_forward(0, 125_000); // 10 µs at 100 Gb/s
+        let r = link.send_reverse(0, 125_000);
+        assert_eq!(f, r);
+        assert_eq!(f, 10_000 + model.propagation_ns);
+    }
+
+    #[test]
+    fn serialization_queues_within_a_direction() {
+        let model = CostModel::calibrated();
+        let mut link = Link::from_cost_model(&model, 1500);
+        let a = link.send_forward(0, 125_000);
+        let b = link.send_forward(0, 125_000);
+        assert!(b > a);
+        assert!(link.utilisation(b) > 0.5);
+    }
+}

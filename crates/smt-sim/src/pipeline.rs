@@ -1,0 +1,572 @@
+//! Closed-loop RPC pipeline simulation.
+//!
+//! This is the queueing model of the paper's testbed used to regenerate the
+//! latency and throughput figures (Figs. 6–11).  Each host has:
+//!
+//! * a pool of **application threads** (12 per host in §5.2) issuing or serving
+//!   RPCs;
+//! * a pool of **softirq cores** (4 per host in §5.2) performing stack
+//!   transmit/receive work — steered **per connection** for TCP-based stacks
+//!   (the 5-tuple core affinity that causes HoLB at a core) or **per message**
+//!   for Homa/SMT;
+//! * a single **pacer thread** (Homa/SMT only) whose per-message cost is what
+//!   caps small-RPC throughput in Homa/Linux (§5.2);
+//! * a full-duplex **link** with finite bandwidth.
+//!
+//! The per-RPC stage costs ([`RpcCosts`]) are supplied by the transport profiles
+//! in `smt-transport`, which derive byte/packet/record counts from the real
+//! protocol engines and convert them to time with the [`crate::CostModel`].
+//! Clients are closed-loop: each of the `concurrency` outstanding slots issues a
+//! new RPC as soon as its previous one completes, exactly like the paper's
+//! throughput experiment.
+
+use crate::resource::{Resource, ResourcePool};
+use crate::time::{to_micros, to_secs, Nanos};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How stack (softirq) work is steered across cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SoftirqSteering {
+    /// TCP-style: all work of one connection is pinned to one core
+    /// (flow 5-tuple RSS/RPS affinity) — small RPCs wait behind large ones.
+    PerConnection,
+    /// Homa/SMT-style: each message picks the least-loaded core (SRPT-driven
+    /// dynamic dispatch, §2.2).
+    PerMessage,
+}
+
+/// Per-RPC stage costs for one transport stack, all in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RpcCosts {
+    /// Client application send path (syscall, copy, segmentation, sw crypto).
+    pub client_app_send_ns: Nanos,
+    /// Client pacer (Homa/SMT SRPT scheduler) transmit cost; 0 for TCP stacks.
+    pub client_pacer_tx_ns: Nanos,
+    /// Client softirq transmit cost (stack traversal, NIC queueing, offload
+    /// descriptors).
+    pub client_tx_softirq_ns: Nanos,
+    /// Request bytes on the wire (headers + records + tags).
+    pub request_wire_bytes: usize,
+    /// Fixed one-way wire latency excluded from serialization (NIC + propagation).
+    pub wire_fixed_ns: Nanos,
+    /// Server softirq receive cost (per-packet processing, reassembly, sw
+    /// decryption when not offloaded).
+    pub server_rx_softirq_ns: Nanos,
+    /// Server pacer receive cost; 0 for TCP stacks.
+    pub server_pacer_rx_ns: Nanos,
+    /// Server application cost: receive copy, application processing, and the
+    /// send path of the response (syscall, segmentation, sw crypto).
+    pub server_app_ns: Nanos,
+    /// Additional fixed latency inside the server application that does not
+    /// occupy a CPU (e.g. the NVMe SSD read in §5.4).
+    pub server_app_fixed_ns: Nanos,
+    /// Server pacer transmit cost; 0 for TCP stacks.
+    pub server_pacer_tx_ns: Nanos,
+    /// Server softirq transmit cost for the response.
+    pub server_tx_softirq_ns: Nanos,
+    /// Response bytes on the wire.
+    pub response_wire_bytes: usize,
+    /// Client softirq receive cost for the response.
+    pub client_rx_softirq_ns: Nanos,
+    /// Client pacer receive cost; 0 for TCP stacks.
+    pub client_pacer_rx_ns: Nanos,
+    /// Client application receive path (wakeup, copy, sw decryption).
+    pub client_app_recv_ns: Nanos,
+}
+
+impl RpcCosts {
+    /// Sum of all CPU/wire costs — a lower bound on the unloaded RTT.
+    pub fn total_unloaded_ns(&self, link_gbps: f64) -> Nanos {
+        let ser_req = ((self.request_wire_bytes as f64 * 8.0) / link_gbps).round() as Nanos;
+        let ser_resp = ((self.response_wire_bytes as f64 * 8.0) / link_gbps).round() as Nanos;
+        self.client_app_send_ns
+            + self.client_pacer_tx_ns
+            + self.client_tx_softirq_ns
+            + ser_req
+            + self.wire_fixed_ns
+            + self.server_rx_softirq_ns
+            + self.server_pacer_rx_ns
+            + self.server_app_ns
+            + self.server_app_fixed_ns
+            + self.server_pacer_tx_ns
+            + self.server_tx_softirq_ns
+            + ser_resp
+            + self.wire_fixed_ns
+            + self.client_rx_softirq_ns
+            + self.client_pacer_rx_ns
+            + self.client_app_recv_ns
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Application threads at the client (12 in §5.2).
+    pub client_app_threads: usize,
+    /// Application threads at the server (12 in §5.2; 1 for the Redis model).
+    pub server_app_threads: usize,
+    /// Softirq cores at the client (4 in §5.2).
+    pub client_softirq_cores: usize,
+    /// Softirq cores at the server (4 in §5.2).
+    pub server_softirq_cores: usize,
+    /// Total outstanding RPCs (closed loop).
+    pub concurrency: usize,
+    /// Softirq steering policy.
+    pub steering: SoftirqSteering,
+    /// Link bandwidth in Gb/s.
+    pub link_gbps: f64,
+    /// Simulated duration in nanoseconds.
+    pub duration: Nanos,
+    /// Warm-up period excluded from statistics.
+    pub warmup: Nanos,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            client_app_threads: 12,
+            server_app_threads: 12,
+            client_softirq_cores: 4,
+            server_softirq_cores: 4,
+            concurrency: 1,
+            steering: SoftirqSteering::PerMessage,
+            link_gbps: 100.0,
+            duration: 20 * crate::time::MILLISECOND,
+            warmup: 2 * crate::time::MILLISECOND,
+        }
+    }
+}
+
+/// Latency percentiles in microseconds.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 99th-percentile latency.
+    pub p99_us: f64,
+    /// Minimum latency.
+    pub min_us: f64,
+    /// Maximum latency.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a set of latencies given in nanoseconds.
+    pub fn from_nanos(mut samples: Vec<Nanos>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let pick = |q: f64| {
+            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+            to_micros(samples[idx])
+        };
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        Self {
+            mean_us: to_micros((sum / samples.len() as u128) as Nanos),
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            min_us: to_micros(samples[0]),
+            max_us: to_micros(*samples.last().unwrap()),
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimReport {
+    /// RPCs completed inside the measurement window.
+    pub completed: u64,
+    /// Measurement window length in nanoseconds.
+    pub window_ns: Nanos,
+    /// Throughput in RPCs per second.
+    pub throughput_rps: f64,
+    /// Latency summary over the measurement window.
+    pub latency: LatencySummary,
+    /// Client application-thread pool utilisation.
+    pub client_app_util: f64,
+    /// Client softirq pool utilisation.
+    pub client_softirq_util: f64,
+    /// Server softirq pool utilisation.
+    pub server_softirq_util: f64,
+    /// Server application-thread pool utilisation.
+    pub server_app_util: f64,
+    /// Client pacer utilisation (0 for TCP stacks).
+    pub client_pacer_util: f64,
+    /// Server pacer utilisation (0 for TCP stacks).
+    pub server_pacer_util: f64,
+    /// Link utilisation (busier direction).
+    pub link_util: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    AppSend,
+    PacerTxClient,
+    TxSoftirqClient,
+    WireRequest,
+    RxSoftirqServer,
+    PacerRxServer,
+    ServerApp,
+    PacerTxServer,
+    TxSoftirqServer,
+    WireResponse,
+    RxSoftirqClient,
+    PacerRxClient,
+    AppRecv,
+}
+
+/// The closed-loop pipeline simulator.
+#[derive(Debug)]
+pub struct RpcPipelineSim {
+    config: PipelineConfig,
+    costs: RpcCosts,
+}
+
+impl RpcPipelineSim {
+    /// Creates a simulator for one (transport, workload) combination.
+    pub fn new(config: PipelineConfig, costs: RpcCosts) -> Self {
+        Self { config, costs }
+    }
+
+    /// Runs the simulation and reports throughput/latency/utilisation.
+    pub fn run(&self) -> SimReport {
+        let cfg = &self.config;
+        let costs = &self.costs;
+
+        let mut client_app = ResourcePool::new(cfg.client_app_threads);
+        let mut server_app = ResourcePool::new(cfg.server_app_threads);
+        let mut client_softirq = ResourcePool::new(cfg.client_softirq_cores);
+        let mut server_softirq = ResourcePool::new(cfg.server_softirq_cores);
+        let mut client_pacer = Resource::new();
+        let mut server_pacer = Resource::new();
+        let mut link_fwd = Resource::new();
+        let mut link_rev = Resource::new();
+
+        let ser = |bytes: usize| -> Nanos { ((bytes as f64 * 8.0) / cfg.link_gbps).round() as Nanos };
+        let ser_req = ser(costs.request_wire_bytes);
+        let ser_resp = ser(costs.response_wire_bytes);
+
+        // Event queue: (ready time, sequence for determinism, slot, stage).
+        let mut heap: BinaryHeap<Reverse<(Nanos, u64, usize, u8)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut rpc_start: Vec<Nanos> = vec![0; cfg.concurrency];
+        // Per-slot softirq core chosen for the in-flight message (PerMessage
+        // steering keeps request and response of one RPC on their own cores).
+        let mut latencies: Vec<Nanos> = Vec::new();
+        let mut completed: u64 = 0;
+
+        let stage_code = |s: Stage| s as u8;
+        let stages = [
+            Stage::AppSend,
+            Stage::PacerTxClient,
+            Stage::TxSoftirqClient,
+            Stage::WireRequest,
+            Stage::RxSoftirqServer,
+            Stage::PacerRxServer,
+            Stage::ServerApp,
+            Stage::PacerTxServer,
+            Stage::TxSoftirqServer,
+            Stage::WireResponse,
+            Stage::RxSoftirqClient,
+            Stage::PacerRxClient,
+            Stage::AppRecv,
+        ];
+
+        for slot in 0..cfg.concurrency {
+            heap.push(Reverse((0, seq, slot, stage_code(Stage::AppSend))));
+            seq += 1;
+        }
+
+        let connection_of = |slot: usize| slot % cfg.client_app_threads;
+
+        while let Some(Reverse((ready, _, slot, stage_idx))) = heap.pop() {
+            if ready > cfg.duration {
+                continue;
+            }
+            let stage = stages[stage_idx as usize];
+            let conn = connection_of(slot);
+            let end = match stage {
+                Stage::AppSend => {
+                    rpc_start[slot] = ready;
+                    client_app.schedule_on(conn, ready, costs.client_app_send_ns)
+                }
+                Stage::PacerTxClient => {
+                    if costs.client_pacer_tx_ns == 0 {
+                        ready
+                    } else {
+                        client_pacer.schedule(ready, costs.client_pacer_tx_ns)
+                    }
+                }
+                Stage::TxSoftirqClient => match cfg.steering {
+                    SoftirqSteering::PerConnection => {
+                        client_softirq.schedule_on(conn, ready, costs.client_tx_softirq_ns)
+                    }
+                    SoftirqSteering::PerMessage => {
+                        client_softirq
+                            .schedule_least_loaded(ready, costs.client_tx_softirq_ns)
+                            .1
+                    }
+                },
+                Stage::WireRequest => link_fwd.schedule(ready, ser_req) + costs.wire_fixed_ns,
+                Stage::RxSoftirqServer => match cfg.steering {
+                    SoftirqSteering::PerConnection => {
+                        server_softirq.schedule_on(conn, ready, costs.server_rx_softirq_ns)
+                    }
+                    SoftirqSteering::PerMessage => {
+                        server_softirq
+                            .schedule_least_loaded(ready, costs.server_rx_softirq_ns)
+                            .1
+                    }
+                },
+                Stage::PacerRxServer => {
+                    if costs.server_pacer_rx_ns == 0 {
+                        ready
+                    } else {
+                        server_pacer.schedule(ready, costs.server_pacer_rx_ns)
+                    }
+                }
+                Stage::ServerApp => {
+                    let end = server_app.schedule_on(conn, ready, costs.server_app_ns);
+                    end + costs.server_app_fixed_ns
+                }
+                Stage::PacerTxServer => {
+                    if costs.server_pacer_tx_ns == 0 {
+                        ready
+                    } else {
+                        server_pacer.schedule(ready, costs.server_pacer_tx_ns)
+                    }
+                }
+                Stage::TxSoftirqServer => match cfg.steering {
+                    SoftirqSteering::PerConnection => {
+                        server_softirq.schedule_on(conn, ready, costs.server_tx_softirq_ns)
+                    }
+                    SoftirqSteering::PerMessage => {
+                        server_softirq
+                            .schedule_least_loaded(ready, costs.server_tx_softirq_ns)
+                            .1
+                    }
+                },
+                Stage::WireResponse => link_rev.schedule(ready, ser_resp) + costs.wire_fixed_ns,
+                Stage::RxSoftirqClient => match cfg.steering {
+                    SoftirqSteering::PerConnection => {
+                        client_softirq.schedule_on(conn, ready, costs.client_rx_softirq_ns)
+                    }
+                    SoftirqSteering::PerMessage => {
+                        client_softirq
+                            .schedule_least_loaded(ready, costs.client_rx_softirq_ns)
+                            .1
+                    }
+                },
+                Stage::PacerRxClient => {
+                    if costs.client_pacer_rx_ns == 0 {
+                        ready
+                    } else {
+                        client_pacer.schedule(ready, costs.client_pacer_rx_ns)
+                    }
+                }
+                Stage::AppRecv => {
+                    let end = client_app.schedule_on(conn, ready, costs.client_app_recv_ns);
+                    // RPC complete.
+                    if end >= cfg.warmup && end <= cfg.duration {
+                        latencies.push(end - rpc_start[slot]);
+                        completed += 1;
+                    }
+                    // Closed loop: immediately issue the next RPC on this slot.
+                    if end <= cfg.duration {
+                        heap.push(Reverse((end, seq, slot, stage_code(Stage::AppSend))));
+                        seq += 1;
+                    }
+                    continue;
+                }
+            };
+            let next = stages[stage_idx as usize + 1];
+            heap.push(Reverse((end, seq, slot, stage_code(next))));
+            seq += 1;
+        }
+
+        let window = cfg.duration.saturating_sub(cfg.warmup).max(1);
+        let horizon = cfg.duration;
+        SimReport {
+            completed,
+            window_ns: window,
+            throughput_rps: completed as f64 / to_secs(window),
+            latency: LatencySummary::from_nanos(latencies),
+            client_app_util: client_app.utilisation(horizon),
+            client_softirq_util: client_softirq.utilisation(horizon),
+            server_softirq_util: server_softirq.utilisation(horizon),
+            server_app_util: server_app.utilisation(horizon),
+            client_pacer_util: client_pacer.utilisation(horizon),
+            server_pacer_util: server_pacer.utilisation(horizon),
+            link_util: link_fwd
+                .utilisation(horizon)
+                .max(link_rev.utilisation(horizon)),
+        }
+    }
+
+    /// Convenience: the unloaded RTT (single outstanding RPC, long enough run),
+    /// in microseconds.
+    pub fn unloaded_rtt_us(&self) -> f64 {
+        let mut cfg = self.config;
+        cfg.concurrency = 1;
+        cfg.duration = 5 * crate::time::MILLISECOND;
+        cfg.warmup = crate::time::MILLISECOND / 2;
+        RpcPipelineSim::new(cfg, self.costs).run().latency.mean_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MILLISECOND;
+
+    fn simple_costs(app: Nanos, softirq: Nanos, pacer: Nanos) -> RpcCosts {
+        RpcCosts {
+            client_app_send_ns: app,
+            client_pacer_tx_ns: pacer,
+            client_tx_softirq_ns: softirq,
+            request_wire_bytes: 200,
+            wire_fixed_ns: 1000,
+            server_rx_softirq_ns: softirq,
+            server_pacer_rx_ns: pacer,
+            server_app_ns: app,
+            server_app_fixed_ns: 0,
+            server_pacer_tx_ns: pacer,
+            server_tx_softirq_ns: softirq,
+            response_wire_bytes: 200,
+            client_rx_softirq_ns: softirq,
+            client_pacer_rx_ns: pacer,
+            client_app_recv_ns: app,
+        }
+    }
+
+    fn config(concurrency: usize, steering: SoftirqSteering) -> PipelineConfig {
+        PipelineConfig {
+            concurrency,
+            steering,
+            duration: 20 * MILLISECOND,
+            warmup: 2 * MILLISECOND,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_is_sum_of_stages() {
+        let costs = simple_costs(1000, 500, 0);
+        let sim = RpcPipelineSim::new(config(1, SoftirqSteering::PerMessage), costs);
+        let report = sim.run();
+        let expected_ns = costs.total_unloaded_ns(100.0);
+        let got_us = report.latency.mean_us;
+        assert!(
+            (got_us - to_micros(expected_ns)).abs() < 0.5,
+            "got {got_us} expected {}",
+            to_micros(expected_ns)
+        );
+        // With one outstanding RPC there is no queueing: p99 ≈ p50.
+        assert!((report.latency.p99_us - report.latency.p50_us).abs() < 0.5);
+    }
+
+    #[test]
+    fn throughput_increases_with_concurrency_until_bottleneck() {
+        let costs = simple_costs(2000, 800, 0);
+        let t1 = RpcPipelineSim::new(config(1, SoftirqSteering::PerMessage), costs)
+            .run()
+            .throughput_rps;
+        let t32 = RpcPipelineSim::new(config(32, SoftirqSteering::PerMessage), costs)
+            .run()
+            .throughput_rps;
+        let t200 = RpcPipelineSim::new(config(200, SoftirqSteering::PerMessage), costs)
+            .run()
+            .throughput_rps;
+        assert!(t32 > 5.0 * t1);
+        // Saturated: more concurrency does not help much beyond the bottleneck.
+        assert!(t200 < t32 * 2.0);
+    }
+
+    #[test]
+    fn pacer_becomes_the_bottleneck_like_homa() {
+        // With a 700 ns pacer cost on rx+tx at the server, throughput caps near
+        // 1 / 1.4 µs ≈ 0.7 M RPC/s regardless of concurrency (§5.2).
+        let costs = simple_costs(1500, 400, 700);
+        let report = RpcPipelineSim::new(config(200, SoftirqSteering::PerMessage), costs).run();
+        assert!(
+            report.throughput_rps > 550_000.0 && report.throughput_rps < 800_000.0,
+            "throughput {}",
+            report.throughput_rps
+        );
+        assert!(report.server_pacer_util > 0.9);
+    }
+
+    #[test]
+    fn per_connection_steering_serializes_a_connection() {
+        // One connection (1 app thread) with many outstanding RPCs: per-connection
+        // steering forces all softirq work through one core, per-message steering
+        // spreads it over the 4 cores and achieves higher throughput.
+        let costs = simple_costs(500, 2000, 0);
+        let mut cfg = config(32, SoftirqSteering::PerConnection);
+        cfg.client_app_threads = 1;
+        cfg.server_app_threads = 1;
+        let pinned = RpcPipelineSim::new(cfg, costs).run();
+        let mut cfg2 = cfg;
+        cfg2.steering = SoftirqSteering::PerMessage;
+        let spread = RpcPipelineSim::new(cfg2, costs).run();
+        assert!(
+            spread.throughput_rps > pinned.throughput_rps * 1.5,
+            "spread {} pinned {}",
+            spread.throughput_rps,
+            pinned.throughput_rps
+        );
+    }
+
+    #[test]
+    fn link_constrains_large_transfers() {
+        // 1 MB responses at 100 Gb/s: the link caps throughput at ~12.5 K RPC/s.
+        let mut costs = simple_costs(1000, 500, 0);
+        costs.response_wire_bytes = 1_000_000;
+        let report = RpcPipelineSim::new(config(64, SoftirqSteering::PerMessage), costs).run();
+        let cap = 100e9 / (1_000_000.0 * 8.0);
+        assert!(report.throughput_rps < cap * 1.05);
+        assert!(report.link_util > 0.8);
+    }
+
+    #[test]
+    fn fixed_latency_adds_but_does_not_consume_cpu() {
+        let mut costs = simple_costs(1000, 500, 0);
+        costs.server_app_fixed_ns = 80_000; // 80 µs SSD read
+        let report = RpcPipelineSim::new(config(1, SoftirqSteering::PerMessage), costs).run();
+        assert!(report.latency.mean_us > 80.0);
+        assert!(report.server_app_util < 0.1);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::from_nanos(vec![1000, 2000, 3000, 4000, 100_000]);
+        assert!(s.p50_us <= s.p99_us);
+        assert_eq!(s.min_us, 1.0);
+        assert_eq!(s.max_us, 100.0);
+        let empty = LatencySummary::from_nanos(vec![]);
+        assert_eq!(empty.mean_us, 0.0);
+    }
+
+    #[test]
+    fn utilisations_are_fractions() {
+        let costs = simple_costs(100, 100, 0);
+        let report = RpcPipelineSim::new(config(4, SoftirqSteering::PerMessage), costs).run();
+        assert!(report.completed > 0);
+        for u in [
+            report.client_app_util,
+            report.client_softirq_util,
+            report.server_softirq_util,
+            report.server_app_util,
+            report.client_pacer_util,
+            report.server_pacer_util,
+            report.link_util,
+        ] {
+            assert!((0.0..=1.0).contains(&u), "utilisation {u} out of range");
+        }
+    }
+}

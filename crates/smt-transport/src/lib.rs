@@ -1,0 +1,30 @@
+//! # smt-transport — transports over the simulated substrate
+//!
+//! Two layers live here:
+//!
+//! * [`stack`] / [`profile`] — the **stack profiles** used by the evaluation
+//!   harness: for each transport the paper compares (TCP, kTLS-sw, kTLS-hw,
+//!   Homa, SMT-sw, SMT-hw, TCPLS), a profile derives the per-RPC byte / packet /
+//!   record / segment counts from the real protocol engines (`smt-core`) and
+//!   converts them into the per-stage costs the pipeline simulator consumes.
+//!   This is where the structural differences live: which stack pays software
+//!   AEAD and where, which can use TSO and TLS offload, which suffers 5-tuple
+//!   core affinity, and which is throttled by the single Homa pacer thread.
+//!
+//! * [`homa`] — a packet-level, receiver-driven message transport (unscheduled
+//!   data + GRANTs + RESENDs, paper §2.2) running the real SMT engine over the
+//!   NIC model and an in-memory lossy channel.  It is used by the integration
+//!   tests and examples to demonstrate end-to-end correctness (encryption,
+//!   reassembly, loss recovery, replay rejection), independent of the timing
+//!   model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod homa;
+pub mod profile;
+pub mod stack;
+
+pub use homa::{HomaConfig, HomaEndpoint, LossyChannel};
+pub use profile::{RpcWorkload, StackProfile};
+pub use stack::StackKind;

@@ -1,0 +1,111 @@
+//! Protocol constants shared by the SMT workspace.
+//!
+//! The values mirror the parameters used in the paper's implementation and
+//! evaluation: a 1.5 KB default MTU (with a 9 KB jumbo-frame option used in §5.2),
+//! 16 KB maximum TLS record size, 64 KB maximum TSO segment size, and a default
+//! composite record-sequence-number split of 48 bits of message ID and 16 bits of
+//! intra-message record index (§4.4.1).
+
+/// IANA-style protocol number used by SMT in the IP header. SMT is a *native*
+/// transport protocol: it overlays the TCP header structure for TSO compatibility
+/// but announces its own protocol number (paper §2.3, §4.3).
+pub const IPPROTO_SMT: u8 = 0x99;
+
+/// Protocol number used by the (simulated) Homa baseline.
+pub const IPPROTO_HOMA: u8 = 0x98;
+
+/// Standard TCP protocol number, used by the TCP / kTLS / TCPLS baselines.
+pub const IPPROTO_TCP: u8 = 6;
+
+/// Standard UDP protocol number (unused by SMT but kept for completeness).
+pub const IPPROTO_UDP: u8 = 17;
+
+/// Default network MTU in bytes (Ethernet-class 1500 B, paper §5 "HW&OS").
+pub const DEFAULT_MTU: usize = 1500;
+
+/// Jumbo-frame MTU evaluated in §5.2 ("Impact of a larger MTU").
+pub const JUMBO_MTU: usize = 9000;
+
+/// Maximum TLS record plaintext size (RFC 8446 §5.1: 2^14 bytes).
+pub const MAX_TLS_RECORD: usize = 16 * 1024;
+
+/// Maximum TSO segment size handed to the NIC (64 KB, paper §4.3).
+pub const MAX_TSO_SEGMENT: usize = 64 * 1024;
+
+/// TLS record header length in bytes (content type, legacy version, length).
+pub const TLS_RECORD_HEADER_LEN: usize = 5;
+
+/// AEAD authentication tag length for AES-GCM (bytes).
+pub const TLS_AUTH_TAG_LEN: usize = 16;
+
+/// SMT framing header length: a 4-byte application-data length prefix
+/// (paper Fig. 3, "Framing header (app data length)").
+pub const FRAMING_HEADER_LEN: usize = 4;
+
+/// Length of the overlay TCP common header (20 bytes, without options).
+pub const TCP_COMMON_HEADER_LEN: usize = 20;
+
+/// Length of the SMT option area carried in the TCP options space
+/// (message ID, message length, TSO offset, resend packet offset, type, flags).
+pub const SMT_OPTION_AREA_LEN: usize = 28;
+
+/// Total overlay header length: TCP common header + SMT option area.
+pub const SMT_OVERLAY_HEADER_LEN: usize = TCP_COMMON_HEADER_LEN + SMT_OPTION_AREA_LEN;
+
+/// IPv4 header length without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IPv6 fixed header length.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// Default number of bits of the 64-bit composite record sequence number devoted
+/// to the message ID (paper §4.4.1: "we opt for 48-bit message IDs").
+pub const DEFAULT_MSG_ID_BITS: u32 = 48;
+
+/// Default number of bits devoted to the intra-message record index (64 - 48).
+pub const DEFAULT_RECORD_INDEX_BITS: u32 = 16;
+
+/// Default maximum message size accepted by the Homa substrate (1 MB, the
+/// Homa/Linux default quoted in §4.4.1).
+pub const DEFAULT_MAX_MESSAGE_SIZE: usize = 1024 * 1024;
+
+/// Homa-style unscheduled data window: bytes a sender may transmit for a fresh
+/// message before receiving a GRANT (roughly one bandwidth-delay product).
+pub const DEFAULT_UNSCHEDULED_BYTES: usize = 60 * 1024;
+
+/// Maximum payload bytes carried by a single MTU-sized SMT packet with the
+/// default MTU, after IPv4 + overlay headers.
+pub const fn max_payload_per_packet(mtu: usize) -> usize {
+    mtu.saturating_sub(IPV4_HEADER_LEN + SMT_OVERLAY_HEADER_LEN)
+}
+
+/// Per-record protocol expansion: record header plus authentication tag.
+pub const RECORD_EXPANSION: usize = TLS_RECORD_HEADER_LEN + TLS_AUTH_TAG_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_header_fits_tcp_options_space() {
+        // TCP allows at most 40 bytes of options; the SMT option area must fit.
+        assert!(SMT_OPTION_AREA_LEN <= 40);
+        assert_eq!(SMT_OVERLAY_HEADER_LEN, 48);
+    }
+
+    #[test]
+    fn default_bit_split_covers_64_bits() {
+        assert_eq!(DEFAULT_MSG_ID_BITS + DEFAULT_RECORD_INDEX_BITS, 64);
+    }
+
+    #[test]
+    fn mtu_payload_positive() {
+        assert!(max_payload_per_packet(DEFAULT_MTU) > 1400);
+        assert!(max_payload_per_packet(JUMBO_MTU) > 8900);
+    }
+
+    #[test]
+    fn record_expansion_is_21_bytes() {
+        assert_eq!(RECORD_EXPANSION, 21);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for wire-format encoding and decoding.
+
+use thiserror::Error;
+
+/// Errors produced while encoding or decoding wire structures.
+#[derive(Debug, Error, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input buffer was shorter than the structure being decoded.
+    #[error("buffer truncated: needed {needed} bytes, had {available}")]
+    Truncated {
+        /// Bytes required to decode the structure.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+
+    /// The output buffer did not have room for the structure being encoded.
+    #[error("output buffer too small: needed {needed} bytes, had {available}")]
+    NoSpace {
+        /// Bytes required to encode the structure.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+
+    /// A field carried a value outside its legal range.
+    #[error("invalid field {field}: {reason}")]
+    InvalidField {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+
+    /// An unknown packet type discriminant was seen.
+    #[error("unknown packet type {0:#x}")]
+    UnknownPacketType(u8),
+
+    /// An unknown TLS content type was seen.
+    #[error("unknown TLS content type {0:#x}")]
+    UnknownContentType(u8),
+
+    /// An unknown IP version was seen.
+    #[error("unsupported IP version {0}")]
+    UnsupportedIpVersion(u8),
+
+    /// A length field disagreed with the actual payload.
+    #[error("length mismatch: header says {declared}, payload has {actual}")]
+    LengthMismatch {
+        /// Length declared in the header.
+        declared: usize,
+        /// Actual length observed.
+        actual: usize,
+    },
+}
+
+impl WireError {
+    /// Convenience constructor for an invalid-field error.
+    pub fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        WireError::InvalidField {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated {
+            needed: 20,
+            available: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("20") && s.contains("4"));
+
+        let e = WireError::invalid("message_length", "exceeds maximum");
+        assert!(e.to_string().contains("message_length"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            WireError::UnknownPacketType(9),
+            WireError::UnknownPacketType(9)
+        );
+        assert_ne!(
+            WireError::UnknownPacketType(9),
+            WireError::UnknownContentType(9)
+        );
+    }
+}

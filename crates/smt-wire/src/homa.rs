@@ -1,0 +1,306 @@
+//! Homa-style packet types and control packets.
+//!
+//! SMT reuses Homa's packet taxonomy (paper §2.2): DATA packets carry message
+//! payload, GRANT packets implement the receiver-driven congestion control (the
+//! receiver grants the sender permission to transmit more bytes of a message),
+//! RESEND packets request retransmission of a byte range, ACK packets confirm
+//! complete message delivery so the sender can release state, and BUSY packets
+//! tell the receiver that a granted message is still queued at the sender.
+//!
+//! NDP maps naturally onto these types (NACK ↔ RESEND, PULL ↔ GRANT), which is
+//! why the paper argues the Homa stack generalizes to other message-based
+//! datacenter transports.
+
+use crate::{WireError, WireResult};
+use serde::{Deserialize, Serialize};
+
+/// Packet type carried in the SMT/Homa overlay header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum PacketType {
+    /// Message payload (possibly one MTU-sized slice of a TSO segment).
+    Data = 0x10,
+    /// Receiver grants the sender permission to send more bytes (receiver-driven).
+    Grant = 0x11,
+    /// Receiver requests retransmission of a byte range of a message.
+    Resend = 0x12,
+    /// Receiver acknowledges complete receipt of a message.
+    Ack = 0x13,
+    /// Sender signals it is still working on a granted message.
+    Busy = 0x14,
+    /// Handshake / session-control payload (TLS handshake flights ride on these).
+    Control = 0x15,
+}
+
+impl PacketType {
+    /// Decodes a packet type from its wire discriminant.
+    pub fn from_u8(v: u8) -> WireResult<Self> {
+        match v {
+            0x10 => Ok(PacketType::Data),
+            0x11 => Ok(PacketType::Grant),
+            0x12 => Ok(PacketType::Resend),
+            0x13 => Ok(PacketType::Ack),
+            0x14 => Ok(PacketType::Busy),
+            0x15 => Ok(PacketType::Control),
+            other => Err(WireError::UnknownPacketType(other)),
+        }
+    }
+
+    /// True for packet types that carry application payload.
+    pub fn carries_payload(self) -> bool {
+        matches!(self, PacketType::Data | PacketType::Control)
+    }
+}
+
+/// GRANT control packet: the receiver allows the sender to transmit message bytes
+/// up to `granted_offset`, at network priority `priority`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomaGrant {
+    /// Message being granted.
+    pub message_id: u64,
+    /// Byte offset (exclusive) up to which the sender may now transmit.
+    pub granted_offset: u32,
+    /// Network priority the sender should use for the granted bytes.
+    pub priority: u8,
+}
+
+/// RESEND control packet: the receiver asks for retransmission of
+/// `[offset, offset + length)` of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomaResend {
+    /// Message whose bytes are missing.
+    pub message_id: u64,
+    /// First missing byte.
+    pub offset: u32,
+    /// Number of missing bytes.
+    pub length: u32,
+    /// Priority for the retransmitted data.
+    pub priority: u8,
+}
+
+/// ACK control packet: the receiver has fully received (and, for SMT, fully
+/// authenticated) the message, so the sender can release its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomaAck {
+    /// The completed message.
+    pub message_id: u64,
+}
+
+/// BUSY control packet: response to a RESEND when the sender has not finished
+/// transmitting the requested range yet (prevents spurious timeouts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HomaBusy {
+    /// The message the sender is still working on.
+    pub message_id: u64,
+}
+
+const GRANT_LEN: usize = 8 + 4 + 1;
+const RESEND_LEN: usize = 8 + 4 + 4 + 1;
+const ACK_LEN: usize = 8;
+const BUSY_LEN: usize = 8;
+
+macro_rules! check_space {
+    ($out:expr, $need:expr) => {
+        if $out.len() < $need {
+            return Err(WireError::NoSpace {
+                needed: $need,
+                available: $out.len(),
+            });
+        }
+    };
+}
+
+macro_rules! check_len {
+    ($buf:expr, $need:expr) => {
+        if $buf.len() < $need {
+            return Err(WireError::Truncated {
+                needed: $need,
+                available: $buf.len(),
+            });
+        }
+    };
+}
+
+impl HomaGrant {
+    /// Encoded length in bytes.
+    pub const LEN: usize = GRANT_LEN;
+
+    /// Encodes into `out`, returning the bytes written.
+    pub fn encode(&self, out: &mut [u8]) -> WireResult<usize> {
+        check_space!(out, GRANT_LEN);
+        out[0..8].copy_from_slice(&self.message_id.to_be_bytes());
+        out[8..12].copy_from_slice(&self.granted_offset.to_be_bytes());
+        out[12] = self.priority;
+        Ok(GRANT_LEN)
+    }
+
+    /// Decodes from `buf`, returning the value and bytes consumed.
+    pub fn decode(buf: &[u8]) -> WireResult<(Self, usize)> {
+        check_len!(buf, GRANT_LEN);
+        Ok((
+            Self {
+                message_id: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+                granted_offset: u32::from_be_bytes(buf[8..12].try_into().unwrap()),
+                priority: buf[12],
+            },
+            GRANT_LEN,
+        ))
+    }
+}
+
+impl HomaResend {
+    /// Encoded length in bytes.
+    pub const LEN: usize = RESEND_LEN;
+
+    /// Encodes into `out`, returning the bytes written.
+    pub fn encode(&self, out: &mut [u8]) -> WireResult<usize> {
+        check_space!(out, RESEND_LEN);
+        out[0..8].copy_from_slice(&self.message_id.to_be_bytes());
+        out[8..12].copy_from_slice(&self.offset.to_be_bytes());
+        out[12..16].copy_from_slice(&self.length.to_be_bytes());
+        out[16] = self.priority;
+        Ok(RESEND_LEN)
+    }
+
+    /// Decodes from `buf`, returning the value and bytes consumed.
+    pub fn decode(buf: &[u8]) -> WireResult<(Self, usize)> {
+        check_len!(buf, RESEND_LEN);
+        Ok((
+            Self {
+                message_id: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+                offset: u32::from_be_bytes(buf[8..12].try_into().unwrap()),
+                length: u32::from_be_bytes(buf[12..16].try_into().unwrap()),
+                priority: buf[16],
+            },
+            RESEND_LEN,
+        ))
+    }
+}
+
+impl HomaAck {
+    /// Encoded length in bytes.
+    pub const LEN: usize = ACK_LEN;
+
+    /// Encodes into `out`, returning the bytes written.
+    pub fn encode(&self, out: &mut [u8]) -> WireResult<usize> {
+        check_space!(out, ACK_LEN);
+        out[0..8].copy_from_slice(&self.message_id.to_be_bytes());
+        Ok(ACK_LEN)
+    }
+
+    /// Decodes from `buf`, returning the value and bytes consumed.
+    pub fn decode(buf: &[u8]) -> WireResult<(Self, usize)> {
+        check_len!(buf, ACK_LEN);
+        Ok((
+            Self {
+                message_id: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+            },
+            ACK_LEN,
+        ))
+    }
+}
+
+impl HomaBusy {
+    /// Encoded length in bytes.
+    pub const LEN: usize = BUSY_LEN;
+
+    /// Encodes into `out`, returning the bytes written.
+    pub fn encode(&self, out: &mut [u8]) -> WireResult<usize> {
+        check_space!(out, BUSY_LEN);
+        out[0..8].copy_from_slice(&self.message_id.to_be_bytes());
+        Ok(BUSY_LEN)
+    }
+
+    /// Decodes from `buf`, returning the value and bytes consumed.
+    pub fn decode(buf: &[u8]) -> WireResult<(Self, usize)> {
+        check_len!(buf, BUSY_LEN);
+        Ok((
+            Self {
+                message_id: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+            },
+            BUSY_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_type_roundtrip() {
+        for t in [
+            PacketType::Data,
+            PacketType::Grant,
+            PacketType::Resend,
+            PacketType::Ack,
+            PacketType::Busy,
+            PacketType::Control,
+        ] {
+            assert_eq!(PacketType::from_u8(t as u8).unwrap(), t);
+        }
+        assert!(matches!(
+            PacketType::from_u8(0xff),
+            Err(WireError::UnknownPacketType(0xff))
+        ));
+    }
+
+    #[test]
+    fn payload_carrying_types() {
+        assert!(PacketType::Data.carries_payload());
+        assert!(PacketType::Control.carries_payload());
+        assert!(!PacketType::Grant.carries_payload());
+        assert!(!PacketType::Ack.carries_payload());
+    }
+
+    #[test]
+    fn grant_roundtrip() {
+        let g = HomaGrant {
+            message_id: 7,
+            granted_offset: 131072,
+            priority: 3,
+        };
+        let mut buf = [0u8; 32];
+        let n = g.encode(&mut buf).unwrap();
+        let (d, m) = HomaGrant::decode(&buf).unwrap();
+        assert_eq!((d, m), (g, n));
+    }
+
+    #[test]
+    fn resend_roundtrip() {
+        let r = HomaResend {
+            message_id: 9,
+            offset: 3000,
+            length: 1500,
+            priority: 0,
+        };
+        let mut buf = [0u8; 32];
+        let n = r.encode(&mut buf).unwrap();
+        let (d, m) = HomaResend::decode(&buf).unwrap();
+        assert_eq!((d, m), (r, n));
+    }
+
+    #[test]
+    fn ack_busy_roundtrip() {
+        let a = HomaAck { message_id: 1 };
+        let b = HomaBusy { message_id: 2 };
+        let mut buf = [0u8; 16];
+        let n = a.encode(&mut buf).unwrap();
+        assert_eq!(HomaAck::decode(&buf).unwrap(), (a, n));
+        let n = b.encode(&mut buf).unwrap();
+        assert_eq!(HomaBusy::decode(&buf).unwrap(), (b, n));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        assert!(HomaGrant::decode(&[0u8; 4]).is_err());
+        assert!(HomaResend::decode(&[0u8; 4]).is_err());
+        assert!(HomaAck::decode(&[0u8; 4]).is_err());
+        let g = HomaGrant {
+            message_id: 1,
+            granted_offset: 2,
+            priority: 3,
+        };
+        assert!(g.encode(&mut [0u8; 4]).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! The generalized message-based transport header (paper Fig. 1).
+//!
+//! Every packet of a message-based transport (Homa, MTP, SMT) carries the source
+//! and destination ports, a message ID, the total message length and this packet's
+//! offset within the message, so the receiver can reassemble arbitrary-sized,
+//! unordered messages.  The shaded parts of Fig. 1 — everything except the message
+//! offset — are identical across all packets of one message.
+
+use crate::{WireError, WireResult};
+use serde::{Deserialize, Serialize};
+
+/// Generalized message-transport header (16 bytes src/dst port + msg id/len/off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MessageHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Message identifier, unique per (5-tuple, direction) within a session.
+    pub message_id: u64,
+    /// Total message length in bytes.
+    pub message_length: u32,
+    /// Offset of this packet's payload within the message.
+    pub message_offset: u32,
+}
+
+/// Encoded size of a [`MessageHeader`].
+pub const MESSAGE_HEADER_LEN: usize = 2 + 2 + 8 + 4 + 4;
+
+impl MessageHeader {
+    /// Creates a header for the first packet of a message.
+    pub fn new(src_port: u16, dst_port: u16, message_id: u64, message_length: u32) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            message_id,
+            message_length,
+            message_offset: 0,
+        }
+    }
+
+    /// Returns a copy of this header positioned at `offset` within the message.
+    pub fn at_offset(mut self, offset: u32) -> Self {
+        self.message_offset = offset;
+        self
+    }
+
+    /// Encoded length in bytes.
+    pub const fn len(&self) -> usize {
+        MESSAGE_HEADER_LEN
+    }
+
+    /// Returns true if the encoded representation would be empty (it never is).
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Encodes the header into `out`, returning the number of bytes written.
+    pub fn encode(&self, out: &mut [u8]) -> WireResult<usize> {
+        if out.len() < MESSAGE_HEADER_LEN {
+            return Err(WireError::NoSpace {
+                needed: MESSAGE_HEADER_LEN,
+                available: out.len(),
+            });
+        }
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..12].copy_from_slice(&self.message_id.to_be_bytes());
+        out[12..16].copy_from_slice(&self.message_length.to_be_bytes());
+        out[16..20].copy_from_slice(&self.message_offset.to_be_bytes());
+        Ok(MESSAGE_HEADER_LEN)
+    }
+
+    /// Decodes a header from `buf`, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> WireResult<(Self, usize)> {
+        if buf.len() < MESSAGE_HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: MESSAGE_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let hdr = Self {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            message_id: u64::from_be_bytes(buf[4..12].try_into().unwrap()),
+            message_length: u32::from_be_bytes(buf[12..16].try_into().unwrap()),
+            message_offset: u32::from_be_bytes(buf[16..20].try_into().unwrap()),
+        };
+        if hdr.message_offset > hdr.message_length {
+            return Err(WireError::invalid(
+                "message_offset",
+                format!(
+                    "offset {} exceeds message length {}",
+                    hdr.message_offset, hdr.message_length
+                ),
+            ));
+        }
+        Ok((hdr, MESSAGE_HEADER_LEN))
+    }
+
+    /// True when this header belongs to the same message as `other` (all the
+    /// shaded fields of Fig. 1 are equal; only the offset may differ).
+    pub fn same_message(&self, other: &Self) -> bool {
+        self.src_port == other.src_port
+            && self.dst_port == other.dst_port
+            && self.message_id == other.message_id
+            && self.message_length == other.message_length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = MessageHeader::new(4000, 5201, 0xdead_beef_cafe, 1 << 20).at_offset(4096);
+        let mut buf = [0u8; 64];
+        let n = h.encode(&mut buf).unwrap();
+        assert_eq!(n, MESSAGE_HEADER_LEN);
+        let (d, consumed) = MessageHeader::decode(&buf).unwrap();
+        assert_eq!(consumed, n);
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn same_message_ignores_offset() {
+        let a = MessageHeader::new(1, 2, 42, 1000);
+        let b = a.at_offset(500);
+        assert!(a.same_message(&b));
+        let c = MessageHeader::new(1, 2, 43, 1000);
+        assert!(!a.same_message(&c));
+    }
+
+    #[test]
+    fn offset_beyond_length_rejected() {
+        let h = MessageHeader {
+            src_port: 1,
+            dst_port: 2,
+            message_id: 3,
+            message_length: 100,
+            message_offset: 101,
+        };
+        let mut buf = [0u8; 64];
+        h.encode(&mut buf).unwrap();
+        assert!(matches!(
+            MessageHeader::decode(&buf),
+            Err(WireError::InvalidField { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            MessageHeader::decode(&[0u8; 10]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,222 @@
+//! TLS 1.3 record header (RFC 8446 §5.1) as used by SMT, kTLS and TCPLS.
+//!
+//! SMT keeps the standard TLS record framing so that the autonomous-offload TLS
+//! engines in commodity NICs (paper §2.3) can locate and encrypt records exactly as
+//! they would for TLS over TCP.  A record on the wire is:
+//!
+//! ```text
+//! +--------------+------------------+-----------------+
+//! | content type | legacy version   | length (2 bytes)|   5-byte header (plaintext)
+//! +--------------+------------------+-----------------+
+//! |        ciphertext = AEAD(plaintext ‖ content type) |   ≤ 2^14 + 256 bytes
+//! |        ... includes the 16-byte authentication tag |
+//! +-----------------------------------------------------+
+//! ```
+
+use crate::{WireError, WireResult, MAX_TLS_RECORD, TLS_AUTH_TAG_LEN, TLS_RECORD_HEADER_LEN};
+use serde::{Deserialize, Serialize};
+
+/// TLS content types relevant to SMT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ContentType {
+    /// Alert record.
+    Alert = 21,
+    /// Handshake record (ClientHello, ServerHello, Finished, tickets, ...).
+    Handshake = 22,
+    /// Application data record (all post-handshake records are sent as this
+    /// outer type in TLS 1.3).
+    ApplicationData = 23,
+}
+
+impl ContentType {
+    /// Decodes a content type from its wire value.
+    pub fn from_u8(v: u8) -> WireResult<Self> {
+        match v {
+            21 => Ok(ContentType::Alert),
+            22 => Ok(ContentType::Handshake),
+            23 => Ok(ContentType::ApplicationData),
+            other => Err(WireError::UnknownContentType(other)),
+        }
+    }
+}
+
+/// The 5-byte TLS record header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TlsRecordHeader {
+    /// Outer content type (always `ApplicationData` for protected records).
+    pub content_type: ContentType,
+    /// Length of the record body (ciphertext including the auth tag).
+    pub length: u16,
+}
+
+/// Legacy record version bytes (TLS 1.2 on the wire, per RFC 8446).
+pub const LEGACY_RECORD_VERSION: [u8; 2] = [0x03, 0x03];
+
+/// Maximum legal record-body length: 2^14 plaintext + 256 expansion allowance.
+pub const MAX_RECORD_BODY: usize = MAX_TLS_RECORD + 256;
+
+impl TlsRecordHeader {
+    /// Encoded length of the record header.
+    pub const LEN: usize = TLS_RECORD_HEADER_LEN;
+
+    /// Creates a header for a protected (application-data) record whose
+    /// ciphertext body (including tag) is `body_len` bytes.
+    pub fn application_data(body_len: usize) -> WireResult<Self> {
+        if body_len > MAX_RECORD_BODY {
+            return Err(WireError::invalid(
+                "length",
+                format!("record body {body_len} exceeds {MAX_RECORD_BODY}"),
+            ));
+        }
+        Ok(Self {
+            content_type: ContentType::ApplicationData,
+            length: body_len as u16,
+        })
+    }
+
+    /// Creates a header for a plaintext handshake record.
+    pub fn handshake(body_len: usize) -> WireResult<Self> {
+        if body_len > MAX_RECORD_BODY {
+            return Err(WireError::invalid(
+                "length",
+                format!("record body {body_len} exceeds {MAX_RECORD_BODY}"),
+            ));
+        }
+        Ok(Self {
+            content_type: ContentType::Handshake,
+            length: body_len as u16,
+        })
+    }
+
+    /// Encoded length in bytes.
+    pub const fn len(&self) -> usize {
+        TLS_RECORD_HEADER_LEN
+    }
+
+    /// Returns true if the encoded representation would be empty (it never is).
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Ciphertext length for a plaintext of `plaintext_len` bytes (adds the
+    /// 1-byte inner content type and the AEAD tag).
+    pub const fn ciphertext_len(plaintext_len: usize) -> usize {
+        plaintext_len + 1 + TLS_AUTH_TAG_LEN
+    }
+
+    /// Plaintext length recoverable from a ciphertext body of `body_len` bytes.
+    pub const fn plaintext_len(body_len: usize) -> usize {
+        body_len.saturating_sub(1 + TLS_AUTH_TAG_LEN)
+    }
+
+    /// Encodes the header into `out`, returning the number of bytes written.
+    pub fn encode(&self, out: &mut [u8]) -> WireResult<usize> {
+        if out.len() < TLS_RECORD_HEADER_LEN {
+            return Err(WireError::NoSpace {
+                needed: TLS_RECORD_HEADER_LEN,
+                available: out.len(),
+            });
+        }
+        out[0] = self.content_type as u8;
+        out[1..3].copy_from_slice(&LEGACY_RECORD_VERSION);
+        out[3..5].copy_from_slice(&self.length.to_be_bytes());
+        Ok(TLS_RECORD_HEADER_LEN)
+    }
+
+    /// Decodes a header from `buf`, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> WireResult<(Self, usize)> {
+        if buf.len() < TLS_RECORD_HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: TLS_RECORD_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let content_type = ContentType::from_u8(buf[0])?;
+        let length = u16::from_be_bytes([buf[3], buf[4]]);
+        if length as usize > MAX_RECORD_BODY {
+            return Err(WireError::invalid(
+                "length",
+                format!("record body {length} exceeds {MAX_RECORD_BODY}"),
+            ));
+        }
+        Ok((
+            Self {
+                content_type,
+                length,
+            },
+            TLS_RECORD_HEADER_LEN,
+        ))
+    }
+
+    /// The additional authenticated data (AAD) for this record, as defined by
+    /// RFC 8446 §5.2: the serialized record header itself.
+    pub fn aad(&self) -> [u8; TLS_RECORD_HEADER_LEN] {
+        let mut aad = [0u8; TLS_RECORD_HEADER_LEN];
+        // encode() into a fixed array cannot fail.
+        self.encode(&mut aad).expect("fixed-size AAD buffer");
+        aad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = TlsRecordHeader::application_data(1024).unwrap();
+        let mut buf = [0u8; 16];
+        let n = h.encode(&mut buf).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(buf[1..3], LEGACY_RECORD_VERSION);
+        let (d, consumed) = TlsRecordHeader::decode(&buf).unwrap();
+        assert_eq!(consumed, n);
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn ciphertext_accounting() {
+        // 1 KB plaintext -> 1 KB + inner type byte + 16 B tag.
+        assert_eq!(TlsRecordHeader::ciphertext_len(1024), 1024 + 17);
+        assert_eq!(TlsRecordHeader::plaintext_len(1024 + 17), 1024);
+        assert_eq!(TlsRecordHeader::plaintext_len(5), 0);
+    }
+
+    #[test]
+    fn oversize_rejected() {
+        assert!(TlsRecordHeader::application_data(MAX_RECORD_BODY + 1).is_err());
+        assert!(TlsRecordHeader::handshake(MAX_RECORD_BODY + 1).is_err());
+        // A forged header declaring an oversize body is rejected at decode.
+        let mut buf = [0u8; 5];
+        buf[0] = 23;
+        buf[1..3].copy_from_slice(&LEGACY_RECORD_VERSION);
+        buf[3..5].copy_from_slice(&(u16::MAX).to_be_bytes());
+        assert!(TlsRecordHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn unknown_content_type_rejected() {
+        let mut buf = [0u8; 5];
+        buf[0] = 99;
+        assert!(matches!(
+            TlsRecordHeader::decode(&buf),
+            Err(WireError::UnknownContentType(99))
+        ));
+    }
+
+    #[test]
+    fn aad_matches_encoding() {
+        let h = TlsRecordHeader::application_data(333).unwrap();
+        let mut buf = [0u8; 5];
+        h.encode(&mut buf).unwrap();
+        assert_eq!(h.aad(), buf);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(TlsRecordHeader::decode(&[23, 3]).is_err());
+        let h = TlsRecordHeader::handshake(10).unwrap();
+        assert!(h.encode(&mut [0u8; 3]).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! A small "service mesh" of RPC endpoints with mutual TLS (mTLS) over SMT,
+//! carried by the packet-level Homa transport over a lossy link.
+//!
+//! Run with: `cargo run --example rpc_mesh`
+
+use smt::core::segment::PathInfo;
+use smt::crypto::cert::CertificateAuthority;
+use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
+use smt::transport::homa::{drive, HomaConfig, HomaEndpoint, LossyChannel};
+use smt::transport::StackKind;
+
+fn main() {
+    let ca = CertificateAuthority::new("mesh-ca");
+    let frontend_id = ca.issue_identity("frontend.mesh.local");
+    let backend_id = ca.issue_identity("backend.mesh.local");
+
+    // Mutual authentication: the backend requires a client certificate.
+    let mut client_cfg = ClientConfig::new(ca.verifying_key(), "backend.mesh.local");
+    client_cfg.identity = Some(frontend_id);
+    let mut server_cfg = ServerConfig::new(backend_id, ca.verifying_key());
+    server_cfg.require_client_auth = true;
+    let (ck, sk) = establish(client_cfg, server_cfg).expect("mTLS handshake");
+    println!(
+        "mTLS established: backend authenticated the frontend as {:?}",
+        sk.peer_identity
+    );
+
+    // Packet-level transport over a 5 % lossy channel.
+    let client_path = PathInfo {
+        src: [10, 0, 0, 1],
+        dst: [10, 0, 0, 2],
+        src_port: 7100,
+        dst_port: 7200,
+    };
+    let server_path = PathInfo {
+        src: [10, 0, 0, 2],
+        dst: [10, 0, 0, 1],
+        src_port: 7200,
+        dst_port: 7100,
+    };
+    let mut frontend = HomaEndpoint::new(&ck, StackKind::SmtSw, HomaConfig::default(), client_path);
+    let mut backend = HomaEndpoint::new(&sk, StackKind::SmtSw, HomaConfig::default(), server_path);
+    let mut fwd = LossyChannel::new(0.05, 1234);
+    let mut rev = LossyChannel::new(0.05, 5678);
+
+    for i in 0..20u32 {
+        let req = format!("call#{i}: GET /inventory/{}", i * 7).into_bytes();
+        frontend.send_message(&req, (i % 4) as usize).expect("send");
+    }
+    drive(&mut frontend, &mut backend, &mut fwd, &mut rev, 500);
+
+    let received = backend.take_delivered();
+    println!(
+        "backend received {} RPCs over a lossy link ({} packets dropped, {} replays rejected)",
+        received.len(),
+        fwd.dropped + rev.dropped,
+        backend.session().receiver_stats().packets_replayed,
+    );
+    assert_eq!(received.len(), 20);
+}

@@ -1,0 +1,54 @@
+//! # smt — Secure Message Transport for datacenter networks
+//!
+//! An umbrella crate re-exporting the full SMT workspace: the wire formats, the
+//! cryptography, the protocol engine, the simulated host/NIC/link substrate, the
+//! transports and the evaluation applications.  See the README for a quickstart
+//! and `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+//!
+//! ```
+//! use smt::crypto::cert::CertificateAuthority;
+//! use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
+//! use smt::core::{SmtConfig, session::session_pair};
+//!
+//! // 1. Establish a secure session with a TLS 1.3 handshake.
+//! let ca = CertificateAuthority::new("dc-internal-ca");
+//! let id = ca.issue_identity("server.dc.local");
+//! let (client_keys, server_keys) = establish(
+//!     ClientConfig::new(ca.verifying_key(), "server.dc.local"),
+//!     ServerConfig::new(id, ca.verifying_key()),
+//! ).unwrap();
+//!
+//! // 2. Register the keys with SMT sessions and exchange an encrypted message.
+//! let (mut client, mut server) =
+//!     session_pair(&client_keys, &server_keys, SmtConfig::software(), 4000, 5201).unwrap();
+//! let out = client.send_message(b"hello datacenter", 0).unwrap();
+//! let mut delivered = None;
+//! for segment in &out.segments {
+//!     for packet in segment.packetize(1500).unwrap() {
+//!         if let Some(m) = server.receive_packet(&packet).unwrap() {
+//!             delivered = Some(m);
+//!         }
+//!     }
+//! }
+//! assert_eq!(delivered.unwrap().data, b"hello datacenter");
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Wire formats (re-export of `smt-wire`).
+pub use smt_wire as wire;
+
+/// Cryptography (re-export of `smt-crypto`).
+pub use smt_crypto as crypto;
+
+/// The SMT protocol engine (re-export of `smt-core`).
+pub use smt_core as core;
+
+/// The simulation substrate (re-export of `smt-sim`).
+pub use smt_sim as sim;
+
+/// Transports and stack profiles (re-export of `smt-transport`).
+pub use smt_transport as transport;
+
+/// Evaluation applications (re-export of `smt-apps`).
+pub use smt_apps as apps;

@@ -64,7 +64,10 @@ impl EchoPair {
         let out = self.client.send_message(payload, 0).expect("send");
         let mut request = None;
         for seg in &out.segments {
-            for pkt in seg.packetize(self.mtu.max(DEFAULT_MTU.min(self.mtu))).unwrap() {
+            for pkt in seg
+                .packetize(self.mtu.max(DEFAULT_MTU.min(self.mtu)))
+                .unwrap()
+            {
                 if let Some(m) = self.server.receive_packet(&pkt).expect("receive") {
                     request = Some(m);
                 }

@@ -170,10 +170,7 @@ impl YcsbGenerator {
             let (key, is_insert) = match self.workload {
                 YcsbWorkload::D | YcsbWorkload::E => {
                     self.inserted += 1;
-                    (
-                        self.key(self.config.record_count + self.inserted),
-                        true,
-                    )
+                    (self.key(self.config.record_count + self.inserted), true)
                 }
                 _ => {
                     let idx = self.zipfian_index();
@@ -209,9 +206,7 @@ impl YcsbGenerator {
                 self.zipfian_index()
             };
             YcsbOp {
-                request: KvRequest::Get {
-                    key: self.key(idx),
-                },
+                request: KvRequest::Get { key: self.key(idx) },
                 request_bytes: key_len + 8,
                 response_bytes: value_size + 8,
             }

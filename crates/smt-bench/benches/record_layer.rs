@@ -1,15 +1,21 @@
 //! Criterion micro-benchmarks of the record layer: software AES-128-GCM record
 //! protection with composite sequence numbers (the SMT data-path hot loop).
+//!
+//! Each size is measured through both API levels of the shared datapath:
+//! the allocating `encrypt_record`/`decrypt_record` conveniences and the
+//! zero-copy `seal_into`/`open` hot path that the segmenter, reassembler and
+//! kTLS baseline drive in steady state.
+use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use smt_crypto::key_schedule::Secret;
-use smt_crypto::record::RecordCipher;
+use smt_crypto::record::RecordProtector;
 use smt_crypto::{CipherSuite, SeqnoLayout};
 use smt_wire::ContentType;
 
 fn bench_record_protection(c: &mut Criterion) {
     let secret = Secret::from_slice(&[7u8; 32]).unwrap();
-    let tx = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
-    let rx = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+    let tx = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+    let mut rx = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
     let layout = SeqnoLayout::default();
 
     let mut group = c.benchmark_group("record_layer");
@@ -25,12 +31,29 @@ fn bench_record_protection(c: &mut Criterion) {
                     .unwrap()
             });
         });
+        group.bench_with_input(BenchmarkId::new("seal_into", size), &data, |b, data| {
+            let mut i = 0u64;
+            let mut out = BytesMut::with_capacity(size + 64);
+            b.iter(|| {
+                let seq = layout.compose(1, i % 65_536).unwrap().value();
+                i += 1;
+                out.clear();
+                tx.seal_into(seq, ContentType::ApplicationData, data, &mut out)
+                    .unwrap()
+            });
+        });
         let seq = layout.compose(1, 0).unwrap().value();
         let wire = tx
             .encrypt_record(seq, ContentType::ApplicationData, &data)
             .unwrap();
         group.bench_with_input(BenchmarkId::new("decrypt", size), &wire, |b, wire| {
             b.iter(|| rx.decrypt_record(seq, wire).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("open", size), &wire, |b, wire| {
+            b.iter(|| {
+                let (opened, used) = rx.open(seq, wire).unwrap();
+                (opened.plaintext.len(), used)
+            });
         });
     }
     group.finish();
@@ -40,7 +63,7 @@ fn bench_segmentation(c: &mut Criterion) {
     use smt_core::segment::{PathInfo, SmtSegmenter};
     use smt_core::SmtConfig;
     let secret = Secret::from_slice(&[7u8; 32]).unwrap();
-    let cipher = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+    let cipher = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
     let segmenter = SmtSegmenter::new(SmtConfig::software(), SeqnoLayout::default());
     let mut group = c.benchmark_group("segmentation");
     for size in [1024usize, 65_536, 512 * 1024] {
@@ -51,7 +74,15 @@ fn bench_segmentation(c: &mut Criterion) {
             b.iter(|| {
                 id += 1;
                 segmenter
-                    .segment_message(PathInfo::loopback(1, 2), id, d, 0, Some(&cipher), None, 4 << 20)
+                    .segment_message(
+                        PathInfo::loopback(1, 2),
+                        id,
+                        d,
+                        0,
+                        Some(&cipher),
+                        None,
+                        4 << 20,
+                    )
                     .unwrap()
             });
         });

@@ -2,7 +2,7 @@
 //! reassembly + decryption, end to end in memory).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use smt_core::segment::PathInfo;
-use smt_core::{SmtConfig, SmtSession};
+use smt_core::SmtConfig;
 use smt_crypto::cert::CertificateAuthority;
 use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
 

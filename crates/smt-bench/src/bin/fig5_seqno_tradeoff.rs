@@ -19,7 +19,12 @@ fn main() {
         .collect();
     output::print_table(
         "Fig. 5: message-size bits vs message-ID bits",
-        &["size bits", "ID bits", "max messages", "max msg size (1.5KB rec)"],
+        &[
+            "size bits",
+            "ID bits",
+            "max messages",
+            "max msg size (1.5KB rec)",
+        ],
         &table,
     );
 }

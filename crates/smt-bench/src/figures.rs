@@ -77,7 +77,9 @@ pub fn fig5_seqno_tradeoff() -> Vec<(u32, u32, u128, u128)> {
 
 /// The RPC sizes plotted in Fig. 6.
 pub fn fig6_sizes() -> Vec<usize> {
-    vec![64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536]
+    vec![
+        64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+    ]
 }
 
 /// Fig. 6: unloaded RTT (µs) for every stack and RPC size.
@@ -129,9 +131,13 @@ pub fn cpu_usage_at_load() -> Vec<SeriesPoint> {
     ] {
         let profile = StackProfile::new(stack);
         let costs = profile.rpc_costs(&RpcWorkload::echo(1024));
-        let report =
-            smt_sim::RpcPipelineSim::new(profile.pipeline_config(100), costs).run();
-        out.push(point(stack.label(), "client app", report.client_app_util * 100.0, "%"));
+        let report = smt_sim::RpcPipelineSim::new(profile.pipeline_config(100), costs).run();
+        out.push(point(
+            stack.label(),
+            "client app",
+            report.client_app_util * 100.0,
+            "%",
+        ));
         out.push(point(
             stack.label(),
             "client softirq",
@@ -144,7 +150,12 @@ pub fn cpu_usage_at_load() -> Vec<SeriesPoint> {
             report.server_softirq_util * 100.0,
             "%",
         ));
-        out.push(point(stack.label(), "server app", report.server_app_util * 100.0, "%"));
+        out.push(point(
+            stack.label(),
+            "server app",
+            report.server_app_util * 100.0,
+            "%",
+        ));
         out.push(point(
             stack.label(),
             "stack thread",
@@ -237,7 +248,12 @@ pub fn fig10_tcpls() -> Vec<SeriesPoint> {
     for stack in [StackKind::Tcpls, StackKind::SmtSw, StackKind::SmtHw] {
         let profile = StackProfile::new(stack);
         for size in [64usize, 256, 1024, 4096, 16384] {
-            out.push(point(stack.label(), size, profile.unloaded_rtt_us(size), "us"));
+            out.push(point(
+                stack.label(),
+                size,
+                profile.unloaded_rtt_us(size),
+                "us",
+            ));
         }
     }
     out
@@ -311,7 +327,12 @@ pub fn fig12_key_exchange(iterations: usize) -> Vec<SeriesPoint> {
                 // Handshake RTT plus the data RTT.
                 total += crypto_us + 2.0 * rtt_us;
             }
-            out.push(point("Init-1RTT", size, total / iterations.max(1) as f64, "us"));
+            out.push(point(
+                "Init-1RTT",
+                size,
+                total / iterations.max(1) as f64,
+                "us",
+            ));
         }
         // --- Rsmp / Rsmp-FS: session resumption ------------------------------
         for (label, fs) in [("Rsmp", false), ("Rsmp-FS", true)] {
@@ -334,13 +355,11 @@ pub fn fig12_key_exchange(iterations: usize) -> Vec<SeriesPoint> {
                     psk: psk_c,
                     forward_secrecy: fs,
                 });
-                client_cfg.pregenerated_key =
-                    Some(smt_crypto::handshake::EcdhKeyPair::generate());
+                client_cfg.pregenerated_key = Some(smt_crypto::handshake::EcdhKeyPair::generate());
                 let mut server_cfg = ServerConfig::new(id.clone(), ca.verifying_key());
                 server_cfg.resumption_psks.insert(ticket.ticket_id, psk_s);
                 server_cfg.resumption_forward_secrecy = fs;
-                server_cfg.pregenerated_key =
-                    Some(smt_crypto::handshake::EcdhKeyPair::generate());
+                server_cfg.pregenerated_key = Some(smt_crypto::handshake::EcdhKeyPair::generate());
                 let (ck, sk) = establish(client_cfg, server_cfg).expect("resumption");
                 let crypto_us = start.elapsed().as_secs_f64() * 1e6;
                 let _ = (ck, sk);

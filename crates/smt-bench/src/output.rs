@@ -21,7 +21,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }
@@ -30,7 +33,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// Emits rows as JSON if `--json` was passed on the command line.
 pub fn maybe_json<T: Serialize>(rows: &T) -> bool {
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(rows).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(rows).expect("serializable")
+        );
         true
     } else {
         false

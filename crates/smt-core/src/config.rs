@@ -141,8 +141,10 @@ mod tests {
     #[test]
     fn record_capacity_respects_framing() {
         let with = SmtConfig::default();
-        let mut without = SmtConfig::default();
-        without.framing_header = false;
+        let without = SmtConfig {
+            framing_header: false,
+            ..SmtConfig::default()
+        };
         assert_eq!(
             without.record_app_capacity(),
             with.record_app_capacity() + FRAMING_HEADER_LEN

@@ -53,10 +53,7 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        let e = SmtError::MessageTooLarge {
-            size: 10,
-            limit: 5,
-        };
+        let e = SmtError::MessageTooLarge { size: 10, limit: 5 };
         assert!(e.to_string().contains("10"));
         let c: SmtError = smt_crypto::CryptoError::AuthenticationFailed.into();
         assert!(matches!(c, SmtError::Crypto(_)));

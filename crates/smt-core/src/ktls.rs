@@ -6,14 +6,22 @@
 //! bytestream **in order**, which is exactly the property that causes
 //! head-of-line blocking on packet loss and on a CPU core (§2).  This module
 //! implements that record layer so the evaluation can compare SMT against it over
-//! the simulated TCP transport; the crypto is identical to SMT's — only the
-//! sequence-number space and the delivery model differ.
+//! the simulated TCP transport.
+//!
+//! The crypto is *identical* to SMT's — both drive the shared
+//! [`RecordProtector`] seal/open datapath in `smt-crypto`; only the
+//! sequence-number space (per-connection counter here, composite message‖index
+//! there) and the delivery model differ.  Records are sealed straight into a
+//! caller- or internally-managed [`BytesMut`] and opened into the protector's
+//! reusable scratch, so the steady-state stream costs no per-record heap
+//! allocation.
 
 use crate::config::CryptoMode;
 use crate::{SmtError, SmtResult};
+use bytes::BytesMut;
 use smt_crypto::handshake::SessionKeys;
 use smt_crypto::key_schedule::Secret;
-use smt_crypto::record::RecordCipher;
+use smt_crypto::record::RecordProtector;
 use smt_crypto::{CipherSuite, CryptoError};
 use smt_wire::{ContentType, TlsRecordHeader, MAX_TLS_RECORD};
 
@@ -23,7 +31,7 @@ const KTLS_RECORD_PAYLOAD: usize = MAX_TLS_RECORD - 256;
 /// Sender half: application bytes → TLS record stream appended to the TCP
 /// bytestream.
 pub struct KtlsSender {
-    cipher: RecordCipher,
+    protector: RecordProtector,
     seq: u64,
     crypto_mode: CryptoMode,
     /// Raw traffic secret + suite retained for NIC offload registration
@@ -45,18 +53,12 @@ impl std::fmt::Debug for KtlsSender {
 
 impl KtlsSender {
     /// Creates a sender from a traffic secret.
-    pub fn new(
-        suite: CipherSuite,
-        secret: &Secret,
-        crypto_mode: CryptoMode,
-    ) -> SmtResult<Self> {
+    pub fn new(suite: CipherSuite, secret: &Secret, crypto_mode: CryptoMode) -> SmtResult<Self> {
         Ok(Self {
-            cipher: RecordCipher::from_secret(suite, secret)?,
+            protector: RecordProtector::from_secret(suite, secret)?,
             seq: 0,
             crypto_mode,
-            offload_key: crypto_mode
-                .is_offloaded()
-                .then(|| (suite, secret.clone())),
+            offload_key: crypto_mode.is_offloaded().then(|| (suite, secret.clone())),
             bytes_sent: 0,
             records_sent: 0,
         })
@@ -73,41 +75,51 @@ impl KtlsSender {
         self.seq
     }
 
-    /// Encrypts `data` into one or more records and returns the bytes to append
-    /// to the TCP send stream.
-    pub fn send(&mut self, data: &[u8]) -> SmtResult<Vec<u8>> {
-        let mut out = Vec::with_capacity(data.len() + 64);
+    /// Encrypts `data` into one or more records, appending the wire bytes to
+    /// `out`. This is the zero-allocation hot path: records are sealed in place
+    /// in `out` through the shared [`RecordProtector`] datapath. Returns the
+    /// number of bytes appended.
+    pub fn send_into(&mut self, data: &[u8], out: &mut BytesMut) -> SmtResult<usize> {
+        let start = out.len();
         let mut offset = 0usize;
         loop {
             let take = KTLS_RECORD_PAYLOAD.min(data.len() - offset);
-            let record = self.cipher.encrypt_record(
+            self.protector.seal_into(
                 self.seq,
                 ContentType::ApplicationData,
                 &data[offset..offset + take],
+                out,
             )?;
             self.seq += 1;
             self.records_sent += 1;
-            out.extend_from_slice(&record);
             offset += take;
             if offset >= data.len() {
                 break;
             }
         }
         self.bytes_sent += data.len() as u64;
-        Ok(out)
+        Ok(out.len() - start)
+    }
+
+    /// Encrypts `data` into one or more records and returns the bytes to append
+    /// to the TCP send stream (allocating convenience over [`Self::send_into`]).
+    pub fn send(&mut self, data: &[u8]) -> SmtResult<Vec<u8>> {
+        let mut out = BytesMut::with_capacity(self.wire_len_for(data.len()));
+        self.send_into(data, &mut out)?;
+        Ok(out.into_vec())
     }
 
     /// Number of wire bytes `send` would produce for `len` application bytes
     /// (used by the cost model without materialising the ciphertext).
     pub fn wire_len_for(&self, len: usize) -> usize {
         if len == 0 {
-            return self.cipher.wire_record_len(0);
+            return self.protector.wire_record_len(0);
         }
         let full = len / KTLS_RECORD_PAYLOAD;
         let rem = len % KTLS_RECORD_PAYLOAD;
-        let mut total = full * self.cipher.wire_record_len(KTLS_RECORD_PAYLOAD);
+        let mut total = full * self.protector.wire_record_len(KTLS_RECORD_PAYLOAD);
         if rem > 0 {
-            total += self.cipher.wire_record_len(rem);
+            total += self.protector.wire_record_len(rem);
         }
         total
     }
@@ -120,9 +132,9 @@ impl KtlsSender {
 
 /// Receiver half: in-order TCP bytestream → decrypted application bytes.
 pub struct KtlsReceiver {
-    cipher: RecordCipher,
+    protector: RecordProtector,
     seq: u64,
-    buffer: Vec<u8>,
+    buffer: BytesMut,
     /// Bytes of application data delivered.
     pub bytes_delivered: u64,
     /// Records decrypted.
@@ -142,9 +154,9 @@ impl KtlsReceiver {
     /// Creates a receiver from a traffic secret.
     pub fn new(suite: CipherSuite, secret: &Secret) -> SmtResult<Self> {
         Ok(Self {
-            cipher: RecordCipher::from_secret(suite, secret)?,
+            protector: RecordProtector::from_secret(suite, secret)?,
             seq: 0,
-            buffer: Vec::new(),
+            buffer: BytesMut::new(),
             bytes_delivered: 0,
             records_received: 0,
         })
@@ -156,30 +168,37 @@ impl KtlsReceiver {
     pub fn on_bytes(&mut self, bytes: &[u8]) -> SmtResult<Vec<u8>> {
         self.buffer.extend_from_slice(bytes);
         let mut out = Vec::new();
-        loop {
-            let Ok((hdr, hdr_len)) = TlsRecordHeader::decode(&self.buffer) else {
-                break;
+        let mut consumed = 0usize;
+        let result = loop {
+            let rest = &self.buffer[consumed..];
+            let Ok((hdr, hdr_len)) = TlsRecordHeader::decode(rest) else {
+                break Ok(());
             };
-            let total = hdr_len + hdr.length as usize;
-            if self.buffer.len() < total {
-                break;
+            if rest.len() < hdr_len + hdr.length as usize {
+                break Ok(());
             }
-            let record: Vec<u8> = self.buffer.drain(..total).collect();
-            let (plain, _) = self
-                .cipher
-                .decrypt_record(self.seq, &record)
-                .map_err(SmtError::Crypto)?;
-            if plain.content_type != ContentType::ApplicationData {
-                return Err(SmtError::Crypto(CryptoError::handshake(
-                    "unexpected content type on kTLS stream",
-                )));
+            match self.protector.open(self.seq, rest) {
+                Ok((plain, used)) => {
+                    if plain.content_type != ContentType::ApplicationData {
+                        break Err(SmtError::Crypto(CryptoError::handshake(
+                            "unexpected content type on kTLS stream",
+                        )));
+                    }
+                    out.extend_from_slice(plain.plaintext);
+                    self.bytes_delivered += plain.plaintext.len() as u64;
+                    self.seq += 1;
+                    self.records_received += 1;
+                    consumed += used;
+                }
+                Err(e) => break Err(SmtError::Crypto(e)),
             }
-            self.seq += 1;
-            self.records_received += 1;
-            self.bytes_delivered += plain.plaintext.len() as u64;
-            out.extend_from_slice(&plain.plaintext);
+        };
+        // Drop every fully-processed record from the stream buffer, keeping any
+        // partial tail for the next delivery.
+        if consumed > 0 {
+            let _ = self.buffer.split_to(consumed);
         }
-        Ok(out)
+        result.map(|()| out)
     }
 
     /// Bytes currently buffered waiting for the rest of a record.
@@ -237,6 +256,19 @@ mod tests {
         let wire = server.sender.send(b"200 OK").unwrap();
         let got = client.receiver.on_bytes(&wire).unwrap();
         assert_eq!(got, b"200 OK");
+    }
+
+    #[test]
+    fn send_into_reuses_stream_buffer() {
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let mut stream = BytesMut::with_capacity(16 * 1024);
+        let n1 = client.sender.send_into(b"first", &mut stream).unwrap();
+        let n2 = client.sender.send_into(b"second", &mut stream).unwrap();
+        assert_eq!(stream.len(), n1 + n2);
+        let got = server.receiver.on_bytes(&stream).unwrap();
+        assert_eq!(got, b"firstsecond");
     }
 
     #[test]

@@ -17,11 +17,11 @@
 //! discarded **without decryption**; spurious retransmissions of packets already
 //! received are ignored idempotently.
 
-use crate::config::{CryptoMode, SmtConfig};
+use crate::config::SmtConfig;
 use crate::replay::ReplayGuard;
 use crate::{SmtError, SmtResult};
 use serde::{Deserialize, Serialize};
-use smt_crypto::record::RecordCipher;
+use smt_crypto::record::RecordProtector;
 use smt_crypto::SeqnoLayout;
 use smt_wire::{FramingHeader, Packet, PacketType, TlsRecordHeader};
 use std::collections::{BTreeMap, HashMap};
@@ -95,7 +95,7 @@ struct MessageBuf {
 pub struct SmtReceiver {
     config: SmtConfig,
     layout: SeqnoLayout,
-    cipher: Option<RecordCipher>,
+    cipher: Option<RecordProtector>,
     replay: ReplayGuard,
     in_progress: HashMap<u64, MessageBuf>,
     /// Usage counters.
@@ -104,7 +104,7 @@ pub struct SmtReceiver {
 
 impl SmtReceiver {
     /// Creates a receiver. `cipher` must be `Some` unless the mode is plaintext.
-    pub fn new(config: SmtConfig, layout: SeqnoLayout, cipher: Option<RecordCipher>) -> Self {
+    pub fn new(config: SmtConfig, layout: SeqnoLayout, cipher: Option<RecordProtector>) -> Self {
         Self {
             config,
             layout,
@@ -156,9 +156,9 @@ impl SmtReceiver {
         let packet_offset = if opt.is_retransmission() {
             opt.resend_packet_offset
         } else {
-            packet.packet_offset().ok_or_else(|| {
-                SmtError::malformed("IPv6 packet without explicit packet offset")
-            })?
+            packet
+                .packet_offset()
+                .ok_or_else(|| SmtError::malformed("IPv6 packet without explicit packet offset"))?
         };
 
         let payload = packet
@@ -167,23 +167,29 @@ impl SmtReceiver {
             .ok_or_else(|| SmtError::malformed("DATA packet without data payload"))?
             .to_vec();
 
-        let msg = self.in_progress.entry(message_id).or_insert_with(|| MessageBuf {
-            message_length: opt.message_length,
-            src_port: packet.overlay.tcp.src_port,
-            dst_port: packet.overlay.tcp.dst_port,
-            ..MessageBuf::default()
-        });
+        let msg = self
+            .in_progress
+            .entry(message_id)
+            .or_insert_with(|| MessageBuf {
+                message_length: opt.message_length,
+                src_port: packet.overlay.tcp.src_port,
+                dst_port: packet.overlay.tcp.dst_port,
+                ..MessageBuf::default()
+            });
         if msg.message_length != opt.message_length {
             return Err(SmtError::malformed(
                 "inconsistent message length across packets",
             ));
         }
 
-        let seg = msg.segments.entry(opt.tso_offset).or_insert_with(|| SegmentBuf {
-            record_count: opt.record_count,
-            first_record_index: opt.first_record_index,
-            ..SegmentBuf::default()
-        });
+        let seg = msg
+            .segments
+            .entry(opt.tso_offset)
+            .or_insert_with(|| SegmentBuf {
+                record_count: opt.record_count,
+                first_record_index: opt.first_record_index,
+                ..SegmentBuf::default()
+            });
         if seg.decoded || seg.chunks.contains_key(&packet_offset) {
             self.stats.packets_duplicate += 1;
             return Ok(None);
@@ -244,11 +250,13 @@ impl SmtReceiver {
             return Ok(()); // not yet complete
         }
 
-        // All records present: decrypt them in order.
-        let cipher = self
-            .cipher
-            .as_ref()
-            .ok_or_else(|| SmtError::Session("encrypted session without a receive cipher".into()))?;
+        // All records present: decrypt them in order through the shared
+        // zero-copy datapath — each record's plaintext is borrowed from the
+        // protector's scratch buffer and only the application bytes are copied
+        // into the message assembly.
+        let cipher = self.cipher.as_mut().ok_or_else(|| {
+            SmtError::Session("encrypted session without a receive cipher".into())
+        })?;
         let mut at = 0usize;
         let mut app_offset = tso_offset;
         for i in 0..seg.record_count {
@@ -257,23 +265,23 @@ impl SmtReceiver {
                 .layout
                 .compose(message_id, record_index)
                 .map_err(SmtError::Crypto)?;
-            let (plain, used) = cipher.decrypt_record(seq.value(), &prefix[at..]).map_err(|e| {
+            let (plain, used) = cipher.open(seq.value(), &prefix[at..]).map_err(|e| {
                 self.stats.auth_failures += 1;
                 SmtError::Crypto(e)
             })?;
             at += used;
-            let app = if self.config.framing_header {
-                let (framing, flen) = FramingHeader::decode(&plain.plaintext)?;
+            let app: &[u8] = if self.config.framing_header {
+                let (framing, flen) = FramingHeader::decode(plain.plaintext)?;
                 let end = flen + framing.app_data_len as usize;
                 if plain.plaintext.len() < end {
                     return Err(SmtError::malformed("framing header exceeds record"));
                 }
-                plain.plaintext[flen..end].to_vec()
+                &plain.plaintext[flen..end]
             } else {
                 plain.plaintext
             };
             let len = app.len();
-            msg.app_chunks.insert(app_offset, app);
+            msg.app_chunks.insert(app_offset, app.to_vec());
             msg.app_bytes += len;
             app_offset += len as u32;
         }
@@ -327,8 +335,8 @@ mod tests {
     use smt_crypto::CipherSuite;
     use smt_wire::DEFAULT_MTU;
 
-    fn cipher() -> RecordCipher {
-        RecordCipher::from_secret(
+    fn cipher() -> RecordProtector {
+        RecordProtector::from_secret(
             CipherSuite::Aes128GcmSha256,
             &Secret::from_slice(&[7u8; 32]).unwrap(),
         )
@@ -350,11 +358,7 @@ mod tests {
                 4 << 20,
             )
             .unwrap();
-        let mut rx = SmtReceiver::new(
-            config,
-            SeqnoLayout::default(),
-            use_cipher.then(cipher),
-        );
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), use_cipher.then(cipher));
         let mut packets: Vec<Packet> = msg
             .segments
             .iter()

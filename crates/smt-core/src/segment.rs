@@ -23,8 +23,8 @@
 use crate::config::{CryptoMode, SmtConfig};
 use crate::flow_context::FlowContextManager;
 use crate::{SmtError, SmtResult};
-use bytes::Bytes;
-use smt_crypto::record::RecordCipher;
+use bytes::{Bytes, BytesMut};
+use smt_crypto::record::{Padding, RecordProtector};
 use smt_crypto::SeqnoLayout;
 use smt_wire::{
     ContentType, FramingHeader, PacketType, SmtOptionArea, SmtOverlayHeader, TsoSegment,
@@ -130,7 +130,7 @@ impl SmtSegmenter {
         message_id: u64,
         data: &[u8],
         queue: usize,
-        cipher: Option<&RecordCipher>,
+        cipher: Option<&RecordProtector>,
         flow_contexts: Option<&mut FlowContextManager>,
         max_message_size: usize,
     ) -> SmtResult<OutgoingMessage> {
@@ -170,12 +170,8 @@ impl SmtSegmenter {
         first_record_index: usize,
         record_count: usize,
     ) -> SmtOverlayHeader {
-        let mut overlay = SmtOverlayHeader::data(
-            path.src_port,
-            path.dst_port,
-            message_id,
-            message_len as u32,
-        );
+        let mut overlay =
+            SmtOverlayHeader::data(path.src_port, path.dst_port, message_id, message_len as u32);
         overlay.options.tso_offset = tso_offset as u32;
         overlay.options.first_record_index = first_record_index as u16;
         overlay.options.record_count = record_count as u16;
@@ -227,100 +223,95 @@ impl SmtSegmenter {
         message_id: u64,
         data: &[u8],
         queue: usize,
-        cipher: &RecordCipher,
+        cipher: &RecordProtector,
         mut flow_contexts: Option<&mut FlowContextManager>,
     ) -> SmtResult<OutgoingMessage> {
         let chunk_limit = self.record_chunk_limit();
         let seg_limit = self.segment_payload_limit();
+        // Length concealment (§6.1): the configured granularity overrides the
+        // protector's own policy so both code paths agree on record sizes.
+        let padding = if self.config.padding_granularity > 1 {
+            Padding::Granularity(self.config.padding_granularity)
+        } else {
+            Padding::Default
+        };
+        let framing_len = if self.config.framing_header {
+            FRAMING_HEADER_LEN
+        } else {
+            0
+        };
 
-        // Stage 1: cut the message into records.
-        struct PendingRecord {
-            wire: Vec<u8>,
-            app_offset: usize,
-            app_len: usize,
-        }
-        let mut records: Vec<PendingRecord> = Vec::new();
-        let mut offset = 0usize;
-        let mut record_index: u64 = 0;
-        loop {
-            let take = chunk_limit.min(data.len() - offset);
-            let chunk = &data[offset..offset + take];
-            let mut plaintext =
-                Vec::with_capacity(take + if self.config.framing_header { 4 } else { 0 });
-            if self.config.framing_header {
-                let mut hdr = [0u8; FRAMING_HEADER_LEN];
-                FramingHeader::new(take as u32).encode(&mut hdr)?;
-                plaintext.extend_from_slice(&hdr);
-            }
-            plaintext.extend_from_slice(chunk);
-            let seq = self
-                .layout
-                .compose(message_id, record_index)
-                .map_err(|_| SmtError::MessageTooLarge {
-                    size: data.len(),
-                    limit: self.layout.max_records_per_message() as usize * chunk_limit,
-                })?;
-            let mut record_cipher_input = plaintext;
-            if self.config.padding_granularity > 1 {
-                // Length concealment: pad the record plaintext (§6.1).
-                let g = self.config.padding_granularity;
-                let padded = record_cipher_input.len().div_ceil(g) * g;
-                record_cipher_input.resize(padded, 0);
-            }
-            let wire =
-                cipher.encrypt_record(seq.value(), ContentType::ApplicationData, &record_cipher_input)?;
-            records.push(PendingRecord {
-                wire,
-                app_offset: offset,
-                app_len: take,
-            });
-            record_index += 1;
-            offset += take;
-            if offset >= data.len() {
-                break;
-            }
-        }
-
-        // Stage 2: pack records into TSO segments (records never straddle).
+        // Records are sealed straight into each segment's payload buffer —
+        // record sizes are known exactly in advance (`wire_record_len_with`),
+        // so packing and encryption fuse into one pass with no per-record
+        // intermediate allocation. Records never straddle segment boundaries.
         let mut segments = Vec::new();
         let mut wire_len = 0usize;
-        let mut i = 0usize;
-        while i < records.len() {
-            let first_record_index = i;
-            let tso_offset = records[i].app_offset;
-            let mut payload = Vec::new();
-            while i < records.len() && payload.len() + records[i].wire.len() <= seg_limit {
-                payload.extend_from_slice(&records[i].wire);
-                i += 1;
+        let mut offset = 0usize;
+        let mut record_index: u64 = 0;
+        let mut done = false;
+        while !done {
+            let first_record_index = record_index;
+            let tso_offset = offset;
+            let mut payload = BytesMut::new();
+            loop {
+                let take = chunk_limit.min(data.len() - offset);
+                let rec_len = cipher.wire_record_len_with(framing_len + take, padding);
+                if !payload.is_empty() && payload.len() + rec_len > seg_limit {
+                    break; // this record opens the next segment
+                }
+                if payload.is_empty() && rec_len > seg_limit {
+                    // A single record larger than the segment limit cannot
+                    // happen by construction (record_chunk_limit), but guard
+                    // against padding pushing one over.
+                    return Err(SmtError::Session(
+                        "record larger than TSO segment limit".into(),
+                    ));
+                }
+                let seq = self.layout.compose(message_id, record_index).map_err(|_| {
+                    SmtError::MessageTooLarge {
+                        size: data.len(),
+                        limit: self.layout.max_records_per_message() as usize * chunk_limit,
+                    }
+                })?;
+                let chunk = &data[offset..offset + take];
+                let mut hdr = [0u8; FRAMING_HEADER_LEN];
+                let parts: &[&[u8]] = if self.config.framing_header {
+                    FramingHeader::new(take as u32).encode(&mut hdr)?;
+                    &[&hdr, chunk]
+                } else {
+                    &[chunk]
+                };
+                cipher.seal_parts_into(
+                    seq.value(),
+                    ContentType::ApplicationData,
+                    parts,
+                    padding,
+                    &mut payload,
+                )?;
+                record_index += 1;
+                offset += take;
+                if offset >= data.len() {
+                    done = true;
+                    break;
+                }
             }
-            if payload.is_empty() {
-                // A single record larger than the segment limit cannot happen by
-                // construction (record_chunk_limit), but guard against it.
-                return Err(SmtError::Session(
-                    "record larger than TSO segment limit".into(),
-                ));
-            }
-            let record_count = i - first_record_index;
+            let record_count = (record_index - first_record_index) as usize;
             let overlay = self.overlay_for(
                 path,
                 message_id,
                 data.len(),
                 tso_offset,
-                first_record_index,
+                first_record_index as usize,
                 record_count,
             );
             wire_len += payload.len();
-            let mut seg = TsoSegment::new(
-                path.src,
-                path.dst,
-                IPPROTO_SMT,
-                overlay,
-                Bytes::from(payload),
-            );
+            let mut seg =
+                TsoSegment::new(path.src, path.dst, IPPROTO_SMT, overlay, payload.freeze());
             if let Some(fc) = flow_contexts.as_deref_mut() {
                 let first_seq = self
                     .layout
-                    .compose(message_id, first_record_index as u64)
+                    .compose(message_id, first_record_index)
                     .expect("validated above")
                     .value();
                 let update = fc.prepare_segment(queue, first_seq, record_count as u64);
@@ -333,7 +324,7 @@ impl SmtSegmenter {
             message_id,
             app_len: data.len(),
             wire_len,
-            record_count: records.len(),
+            record_count: record_index as usize,
             segments,
             queue,
         })
@@ -356,9 +347,12 @@ mod tests {
     use smt_crypto::key_schedule::Secret;
     use smt_crypto::CipherSuite;
 
-    fn cipher() -> RecordCipher {
-        RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &Secret::from_slice(&[7u8; 32]).unwrap())
-            .unwrap()
+    fn cipher() -> RecordProtector {
+        RecordProtector::from_secret(
+            CipherSuite::Aes128GcmSha256,
+            &Secret::from_slice(&[7u8; 32]).unwrap(),
+        )
+        .unwrap()
     }
 
     fn segmenter(config: SmtConfig) -> SmtSegmenter {
@@ -510,15 +504,7 @@ mod tests {
         let c = cipher();
         let data = vec![0u8; 2048];
         assert!(matches!(
-            s.segment_message(
-                PathInfo::loopback(1, 2),
-                0,
-                &data,
-                0,
-                Some(&c),
-                None,
-                1024
-            ),
+            s.segment_message(PathInfo::loopback(1, 2), 0, &data, 0, Some(&c), None, 1024),
             Err(SmtError::MessageTooLarge { .. })
         ));
     }
@@ -560,7 +546,15 @@ mod tests {
         let s = segmenter(config);
         let c = cipher();
         let short = s
-            .segment_message(PathInfo::loopback(1, 2), 0, b"a", 0, Some(&c), None, 1 << 20)
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                0,
+                b"a",
+                0,
+                Some(&c),
+                None,
+                1 << 20,
+            )
             .unwrap();
         let longer = s
             .segment_message(

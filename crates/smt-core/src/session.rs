@@ -10,7 +10,7 @@ use crate::{SmtError, SmtResult};
 use serde::{Deserialize, Serialize};
 use smt_crypto::handshake::SessionKeys;
 use smt_crypto::key_schedule::Secret;
-use smt_crypto::record::RecordCipher;
+use smt_crypto::record::RecordProtector;
 use smt_crypto::{CipherSuite, SeqnoLayout};
 use smt_wire::Packet;
 
@@ -36,7 +36,7 @@ pub struct SmtSession {
     path: PathInfo,
     segmenter: SmtSegmenter,
     receiver: SmtReceiver,
-    send_cipher: Option<RecordCipher>,
+    send_cipher: Option<RecordProtector>,
     /// Raw send traffic secret + suite, retained so the simulated NIC can be
     /// programmed with the key for autonomous offload (mirrors the kTLS
     /// `setsockopt(SOL_TLS)` registration the paper reuses, §4.2).
@@ -65,11 +65,11 @@ impl SmtSession {
             ));
         }
         let layout = keys.seqno_layout;
-        let mut send_cipher = RecordCipher::from_secret(keys.suite, &keys.send_secret)?;
+        let mut send_cipher = RecordProtector::from_secret(keys.suite, &keys.send_secret)?;
         if config.padding_granularity > 1 {
             send_cipher = send_cipher.with_padding(config.padding_granularity);
         }
-        let recv_cipher = RecordCipher::from_secret(keys.suite, &keys.recv_secret)?;
+        let recv_cipher = RecordProtector::from_secret(keys.suite, &keys.recv_secret)?;
         let offload_key = config
             .crypto_mode
             .is_offloaded()
@@ -281,8 +281,7 @@ mod tests {
     #[test]
     fn message_ids_increment_and_replay_rejected() {
         let (ck, sk) = handshake();
-        let (mut client, mut server) =
-            session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
+        let (mut client, mut server) = session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
         let a = client.send_message(b"first", 0).unwrap();
         let b = client.send_message(b"second", 0).unwrap();
         assert_eq!(a.message_id, 0);
@@ -342,8 +341,7 @@ mod tests {
     #[test]
     fn oversize_message_respects_negotiated_limit() {
         let (ck, sk) = handshake();
-        let (mut client, _server) =
-            session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
+        let (mut client, _server) = session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
         // Negotiated max message size is 1 MB (Homa default).
         let too_big = vec![0u8; (1 << 20) + 1];
         assert!(matches!(
@@ -357,8 +355,7 @@ mod tests {
         // A packet sent by the client cannot be decrypted as if it were
         // server-to-client traffic: feed the client's own packet back to it.
         let (ck, sk) = handshake();
-        let (mut client, _server) =
-            session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
+        let (mut client, _server) = session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
         let out = client.send_message(b"to the server", 0).unwrap();
         let pkt = &out.segments[0].packetize(DEFAULT_MTU).unwrap()[0];
         assert!(client.receive_packet(pkt).is_err());

@@ -8,7 +8,7 @@
 //! though per-message record indices restart at zero — see paper Fig. 4.
 
 use crate::{CryptoError, CryptoResult};
-use aes_gcm::aead::{Aead, KeyInit, Payload};
+use aes_gcm::aead::KeyInit;
 use aes_gcm::{Aes128Gcm, Aes256Gcm};
 use serde::{Deserialize, Serialize};
 
@@ -120,18 +120,45 @@ impl AeadKey {
         self.algorithm
     }
 
-    /// Encrypts `plaintext` with `nonce` and additional authenticated data `aad`,
-    /// returning ciphertext with the 16-byte tag appended.
-    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-        let payload = Payload {
-            msg: plaintext,
-            aad,
-        };
+    /// Encrypts `buf` in place, returning the detached 16-byte tag. This is the
+    /// zero-allocation primitive the record datapath is built on.
+    pub fn seal_in_place_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+    ) -> [u8; TAG_LEN] {
         match &self.inner {
-            Inner::A128(k) => k.encrypt(nonce.into(), payload),
-            Inner::A256(k) => k.encrypt(nonce.into(), payload),
+            Inner::A128(k) => k.encrypt_in_place_detached(nonce, aad, buf),
+            Inner::A256(k) => k.encrypt_in_place_detached(nonce, aad, buf),
         }
-        .expect("AES-GCM encryption is infallible for in-range lengths")
+    }
+
+    /// Verifies `tag` over `buf` and decrypts it in place; on failure the buffer
+    /// is left as ciphertext and an error is returned.
+    pub fn open_in_place_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+        tag: &[u8],
+    ) -> CryptoResult<()> {
+        match &self.inner {
+            Inner::A128(k) => k.decrypt_in_place_detached(nonce, aad, buf, tag),
+            Inner::A256(k) => k.decrypt_in_place_detached(nonce, aad, buf, tag),
+        }
+        .map_err(|_| CryptoError::AuthenticationFailed)
+    }
+
+    /// Encrypts `plaintext` with `nonce` and additional authenticated data `aad`,
+    /// returning ciphertext with the 16-byte tag appended (allocating
+    /// convenience over [`Self::seal_in_place_detached`]).
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        let tag = self.seal_in_place_detached(nonce, aad, &mut out);
+        out.extend_from_slice(&tag);
+        out
     }
 
     /// Decrypts `ciphertext` (with appended tag); fails if authentication fails.
@@ -141,15 +168,13 @@ impl AeadKey {
         aad: &[u8],
         ciphertext: &[u8],
     ) -> CryptoResult<Vec<u8>> {
-        let payload = Payload {
-            msg: ciphertext,
-            aad,
-        };
-        match &self.inner {
-            Inner::A128(k) => k.decrypt(nonce.into(), payload),
-            Inner::A256(k) => k.decrypt(nonce.into(), payload),
+        if ciphertext.len() < TAG_LEN {
+            return Err(CryptoError::AuthenticationFailed);
         }
-        .map_err(|_| CryptoError::AuthenticationFailed)
+        let (body, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+        let mut out = body.to_vec();
+        self.open_in_place_detached(nonce, aad, &mut out, tag)?;
+        Ok(out)
     }
 }
 

@@ -22,7 +22,7 @@ use super::timing::{HandshakeTimings, OpId};
 use super::{layout_from_extension, SessionKeys};
 use crate::cert::{random_bytes, validate_chain, Identity, VerifyingKey};
 use crate::key_schedule::{transcript_hash, KeySchedule, Secret};
-use crate::record::RecordCipher;
+use crate::record::RecordProtector;
 use crate::suite::CipherSuite;
 use crate::{CryptoError, CryptoResult};
 use smt_wire::ContentType;
@@ -165,8 +165,7 @@ impl ClientHandshake {
             };
             if let Some(res) = &config.resumption {
                 // Binder covers the hello without the binder itself.
-                let without =
-                    HandshakeMessage::ClientHello(hello.clone()).encode();
+                let without = HandshakeMessage::ClientHello(hello.clone()).encode();
                 hello.psk_binder = Some(binder_for(&res.psk, config.suite, &without));
             }
             let encoded = HandshakeMessage::ClientHello(hello.clone()).encode();
@@ -202,11 +201,15 @@ impl ClientHandshake {
         let suite = CipherSuite::from_code(sh.cipher_suite)
             .ok_or_else(|| CryptoError::handshake("server chose unknown cipher suite"))?;
         if suite != self.config.suite {
-            return Err(CryptoError::handshake("server chose unoffered cipher suite"));
+            return Err(CryptoError::handshake(
+                "server chose unoffered cipher suite",
+            ));
         }
         let resuming = sh.psk_accepted;
         if resuming && self.config.resumption.is_none() {
-            return Err(CryptoError::handshake("server accepted a PSK we never offered"));
+            return Err(CryptoError::handshake(
+                "server accepted a PSK we never offered",
+            ));
         }
 
         self.transcript
@@ -232,10 +235,12 @@ impl ClientHandshake {
         })?;
 
         // Decrypt the protected part of the server flight.
-        let server_hs_cipher = RecordCipher::from_secret(suite, &hs_secrets.server)?;
+        let mut server_hs_cipher = RecordProtector::from_secret(suite, &hs_secrets.server)?;
         let (inner, _) = server_hs_cipher.decrypt_record(0, &encrypted_rest)?;
         if inner.content_type != ContentType::Handshake {
-            return Err(CryptoError::handshake("server flight is not handshake data"));
+            return Err(CryptoError::handshake(
+                "server flight is not handshake data",
+            ));
         }
         let messages = decode_flight(&inner.plaintext)?;
         let mut iter = messages.into_iter().peekable();
@@ -267,9 +272,8 @@ impl ClientHandshake {
                 )
             })?;
             peer_identity = Some(cert_msg.chain.leaf()?.subject.clone());
-            let transcript_to_cert = transcript_hash(
-                &[self.transcript.as_slice(), cert_encoded.as_slice()].concat(),
-            );
+            let transcript_to_cert =
+                transcript_hash(&[self.transcript.as_slice(), cert_encoded.as_slice()].concat());
             self.transcript.extend_from_slice(&cert_encoded);
 
             let Some(HandshakeMessage::CertificateVerify(cv)) = iter.next() else {
@@ -296,7 +300,9 @@ impl ClientHandshake {
             let expected =
                 KeySchedule::finished_mac(&hs_secrets.server, &transcript_hash(&self.transcript));
             if expected != server_fin.verify_data {
-                return Err(CryptoError::handshake("server Finished verification failed"));
+                return Err(CryptoError::handshake(
+                    "server Finished verification failed",
+                ));
             }
             self.transcript
                 .extend_from_slice(&HandshakeMessage::Finished(server_fin).encode());
@@ -332,8 +338,9 @@ impl ClientHandshake {
             };
             msgs.push(HandshakeMessage::Finished(client_fin));
             let inner_flight = encode_flight(&msgs);
-            let client_hs_cipher = RecordCipher::from_secret(suite, &hs_secrets.client)?;
-            let protected = client_hs_cipher.encrypt_record(0, ContentType::Handshake, &inner_flight)?;
+            let client_hs_cipher = RecordProtector::from_secret(suite, &hs_secrets.client)?;
+            let protected =
+                client_hs_cipher.encrypt_record(0, ContentType::Handshake, &inner_flight)?;
             Ok::<_, CryptoError>((protected, app, ee.extensions))
         })?;
 
@@ -506,8 +513,9 @@ impl ServerHandshake {
 
         // Protect everything after the ServerHello with the handshake keys.
         let inner_flight = encode_flight(&inner_msgs);
-        let server_hs_cipher = RecordCipher::from_secret(suite, &hs_secrets.server)?;
-        let protected = server_hs_cipher.encrypt_record(0, ContentType::Handshake, &inner_flight)?;
+        let server_hs_cipher = RecordProtector::from_secret(suite, &hs_secrets.server)?;
+        let protected =
+            server_hs_cipher.encrypt_record(0, ContentType::Handshake, &inner_flight)?;
 
         let mut flight_out = sh_encoded;
         flight_out.extend_from_slice(&protected);
@@ -533,10 +541,13 @@ impl ServerHandshake {
     /// Processes the client's final flight, completing the handshake.
     pub fn finish(mut self, client_flight: &[u8]) -> CryptoResult<SessionKeys> {
         let mut timings = std::mem::take(&mut self.timings);
-        let client_hs_cipher = RecordCipher::from_secret(self.suite, &self.client_hs_secret)?;
+        let mut client_hs_cipher =
+            RecordProtector::from_secret(self.suite, &self.client_hs_secret)?;
         let (inner, _) = client_hs_cipher.decrypt_record(0, client_flight)?;
         if inner.content_type != ContentType::Handshake {
-            return Err(CryptoError::handshake("client flight is not handshake data"));
+            return Err(CryptoError::handshake(
+                "client flight is not handshake data",
+            ));
         }
         let msgs = decode_flight(&inner.plaintext)?;
         let mut iter = msgs.into_iter().peekable();
@@ -550,9 +561,8 @@ impl ServerHandshake {
             let leaf_key = validate_chain(&cert_msg.chain, &self.config.ca_key, None)?;
             peer_identity = Some(cert_msg.chain.leaf()?.subject.clone());
             let cert_encoded = HandshakeMessage::Certificate(cert_msg).encode();
-            let th = transcript_hash(
-                &[self.transcript.as_slice(), cert_encoded.as_slice()].concat(),
-            );
+            let th =
+                transcript_hash(&[self.transcript.as_slice(), cert_encoded.as_slice()].concat());
             self.transcript.extend_from_slice(&cert_encoded);
             let Some(HandshakeMessage::CertificateVerify(cv)) = iter.next() else {
                 return Err(CryptoError::handshake("expected client CertificateVerify"));
@@ -572,7 +582,9 @@ impl ServerHandshake {
                 &transcript_hash(&self.transcript),
             );
             if expected != fin.verify_data {
-                return Err(CryptoError::handshake("client Finished verification failed"));
+                return Err(CryptoError::handshake(
+                    "client Finished verification failed",
+                ));
             }
             Ok(())
         })?;
@@ -631,7 +643,7 @@ pub fn establish(
 mod tests {
     use super::*;
     use crate::cert::CertificateAuthority;
-    use crate::record::RecordCipherPair;
+    use crate::record::RecordProtectorPair;
 
     fn setup() -> (CertificateAuthority, Identity, Identity) {
         let ca = CertificateAuthority::new("dc-internal-ca");
@@ -642,10 +654,12 @@ mod tests {
 
     fn check_keys_work(client: &SessionKeys, server: &SessionKeys) {
         // Client-to-server direction.
-        let c = RecordCipherPair::derive(client.suite, &client.send_secret, &client.recv_secret)
-            .unwrap();
-        let s = RecordCipherPair::derive(server.suite, &server.send_secret, &server.recv_secret)
-            .unwrap();
+        let mut c =
+            RecordProtectorPair::derive(client.suite, &client.send_secret, &client.recv_secret)
+                .unwrap();
+        let mut s =
+            RecordProtectorPair::derive(server.suite, &server.send_secret, &server.recv_secret)
+                .unwrap();
         let wire = c
             .sender
             .encrypt_record(1, ContentType::ApplicationData, b"request")

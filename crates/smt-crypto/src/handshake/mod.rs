@@ -29,9 +29,7 @@ pub use messages::{
     NewSessionTicket, ServerHello, SmtExtensions, SmtTicket,
 };
 pub use timing::{HandshakeTimings, OpId};
-pub use zero_rtt::{
-    ReplayCache, SmtTicketIssuer, ZeroRttClientHandshake, ZeroRttServerHandshake,
-};
+pub use zero_rtt::{ReplayCache, SmtTicketIssuer, ZeroRttClientHandshake, ZeroRttServerHandshake};
 
 use crate::key_schedule::Secret;
 use crate::seqno::SeqnoLayout;

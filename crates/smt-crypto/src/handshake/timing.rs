@@ -55,6 +55,12 @@ pub enum OpId {
     C5ProcessFinished,
 }
 
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 impl OpId {
     /// The paper's row label for this operation (e.g. "S2.2").
     pub fn label(self) -> &'static str {

@@ -25,7 +25,7 @@ use super::timing::{HandshakeTimings, OpId};
 use super::{layout_from_extension, SessionKeys};
 use crate::cert::{random_bytes, validate_chain, Identity, VerifyingKey};
 use crate::key_schedule::{hkdf_extract, transcript_hash, KeySchedule, Secret};
-use crate::record::RecordCipher;
+use crate::record::RecordProtector;
 use crate::suite::CipherSuite;
 use crate::{CryptoError, CryptoResult};
 use smt_wire::ContentType;
@@ -216,7 +216,7 @@ impl ZeroRttClientHandshake {
                 KeySchedule::new(suite, Some(&smt_key))
                     .early_traffic_secret(&transcript_hash(&transcript))
             })?;
-            let cipher = RecordCipher::from_secret(suite, &early_secret)?;
+            let cipher = RecordProtector::from_secret(suite, &early_secret)?;
             let record = cipher.encrypt_record(0, ContentType::ApplicationData, early_data)?;
             flight.extend_from_slice(&record);
         }
@@ -257,13 +257,15 @@ impl ZeroRttClientHandshake {
             .extend_from_slice(&HandshakeMessage::ServerHello(sh.clone()).encode());
 
         // C2.2 — optional forward-secrecy ECDHE with the server's ephemeral share.
-        let dhe = timings.time(OpId::C2_2EcdhExchange, || match (&sh.key_share, self.forward_secrecy) {
-            (Some(share), true) => self.ephemeral.diffie_hellman(share),
-            (None, false) => Ok(Vec::new()),
-            (Some(_), false) => Ok(Vec::new()),
-            (None, true) => Err(CryptoError::handshake(
-                "forward secrecy requested but server omitted its key share",
-            )),
+        let dhe = timings.time(OpId::C2_2EcdhExchange, || {
+            match (&sh.key_share, self.forward_secrecy) {
+                (Some(share), true) => self.ephemeral.diffie_hellman(share),
+                (None, false) => Ok(Vec::new()),
+                (Some(_), false) => Ok(Vec::new()),
+                (None, true) => Err(CryptoError::handshake(
+                    "forward secrecy requested but server omitted its key share",
+                )),
+            }
         })?;
 
         // C2.3 — derive handshake and application secrets from the SMT-key ladder.
@@ -273,7 +275,7 @@ impl ZeroRttClientHandshake {
         })?;
 
         // Decrypt EncryptedExtensions + Finished.
-        let server_hs_cipher = RecordCipher::from_secret(self.suite, &hs_secrets.server)?;
+        let mut server_hs_cipher = RecordProtector::from_secret(self.suite, &hs_secrets.server)?;
         let (inner, _) = server_hs_cipher.decrypt_record(0, &encrypted_rest)?;
         let msgs = decode_flight(&inner.plaintext)?;
         let mut iter = msgs.into_iter();
@@ -292,7 +294,9 @@ impl ZeroRttClientHandshake {
             let expected =
                 KeySchedule::finished_mac(&hs_secrets.server, &transcript_hash(&self.transcript));
             if expected != server_fin.verify_data {
-                return Err(CryptoError::handshake("server Finished verification failed"));
+                return Err(CryptoError::handshake(
+                    "server Finished verification failed",
+                ));
             }
             self.transcript
                 .extend_from_slice(&HandshakeMessage::Finished(server_fin).encode());
@@ -304,7 +308,7 @@ impl ZeroRttClientHandshake {
                 ),
             };
             let inner_flight = encode_flight(&[HandshakeMessage::Finished(fin)]);
-            let cipher = RecordCipher::from_secret(self.suite, &hs_secrets.client)?;
+            let cipher = RecordProtector::from_secret(self.suite, &hs_secrets.client)?;
             let protected = cipher.encrypt_record(0, ContentType::Handshake, &inner_flight)?;
             Ok::<_, CryptoError>((protected, app))
         })?;
@@ -393,7 +397,7 @@ impl ZeroRttServerHandshake {
         let early_data = if ch.early_data && !early_record.is_empty() {
             let early_secret = KeySchedule::new(suite, Some(&smt_key))
                 .early_traffic_secret(&transcript_hash(&transcript))?;
-            let cipher = RecordCipher::from_secret(suite, &early_secret)?;
+            let mut cipher = RecordProtector::from_secret(suite, &early_secret)?;
             let (plain, _) = cipher.decrypt_record(0, &early_record)?;
             Some(plain.plaintext)
         } else {
@@ -461,8 +465,9 @@ impl ZeroRttServerHandshake {
         })?;
 
         let inner_flight = encode_flight(&[ee, HandshakeMessage::Finished(fin)]);
-        let server_hs_cipher = RecordCipher::from_secret(suite, &hs_secrets.server)?;
-        let protected = server_hs_cipher.encrypt_record(0, ContentType::Handshake, &inner_flight)?;
+        let server_hs_cipher = RecordProtector::from_secret(suite, &hs_secrets.server)?;
+        let protected =
+            server_hs_cipher.encrypt_record(0, ContentType::Handshake, &inner_flight)?;
         let mut flight_out = sh_encoded;
         flight_out.extend_from_slice(&protected);
 
@@ -486,7 +491,7 @@ impl ZeroRttServerHandshake {
     /// Verifies the client Finished and returns the server's session keys.
     pub fn finish(mut self, client_flight: &[u8]) -> CryptoResult<SessionKeys> {
         let mut timings = std::mem::take(&mut self.timings);
-        let cipher = RecordCipher::from_secret(self.suite, &self.client_hs_secret)?;
+        let mut cipher = RecordProtector::from_secret(self.suite, &self.client_hs_secret)?;
         let (inner, _) = cipher.decrypt_record(0, client_flight)?;
         let msgs = decode_flight(&inner.plaintext)?;
         let Some(HandshakeMessage::Finished(fin)) = msgs.into_iter().next() else {
@@ -498,7 +503,9 @@ impl ZeroRttServerHandshake {
                 &transcript_hash(&self.transcript),
             );
             if expected != fin.verify_data {
-                return Err(CryptoError::handshake("client Finished verification failed"));
+                return Err(CryptoError::handshake(
+                    "client Finished verification failed",
+                ));
             }
             Ok(())
         })?;
@@ -521,6 +528,7 @@ impl ZeroRttServerHandshake {
 
 /// Drives a complete in-memory 0-RTT exchange, returning
 /// `(client_keys, server_keys, early_data_received_by_server)`.
+#[allow(clippy::too_many_arguments)]
 pub fn establish_zero_rtt(
     suite: CipherSuite,
     ca_key: &VerifyingKey,
@@ -561,7 +569,7 @@ pub fn establish_zero_rtt(
 mod tests {
     use super::*;
     use crate::cert::CertificateAuthority;
-    use crate::record::RecordCipherPair;
+    use crate::record::RecordProtectorPair;
 
     fn setup() -> (CertificateAuthority, SmtTicketIssuer) {
         let ca = CertificateAuthority::new("dc-ca");
@@ -570,10 +578,11 @@ mod tests {
     }
 
     fn check_keys_work(client: &SessionKeys, server: &SessionKeys) {
-        let c = RecordCipherPair::derive(client.suite, &client.send_secret, &client.recv_secret)
+        let c = RecordProtectorPair::derive(client.suite, &client.send_secret, &client.recv_secret)
             .unwrap();
-        let s = RecordCipherPair::derive(server.suite, &server.send_secret, &server.recv_secret)
-            .unwrap();
+        let mut s =
+            RecordProtectorPair::derive(server.suite, &server.send_secret, &server.recv_secret)
+                .unwrap();
         let wire = c
             .sender
             .encrypt_record(9, ContentType::ApplicationData, b"post-handshake")

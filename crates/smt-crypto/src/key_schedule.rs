@@ -108,7 +108,7 @@ pub fn hkdf_extract(salt: &Secret, ikm: &[u8]) -> Secret {
 pub fn transcript_hash(transcript: &[u8]) -> [u8; HASH_LEN] {
     let mut h = Sha256::new();
     h.update(transcript);
-    h.finalize().into()
+    h.finalize()
 }
 
 /// HMAC-SHA256, used for Finished message verification.
@@ -117,7 +117,7 @@ pub fn hmac(key: &[u8], data: &[u8]) -> [u8; HASH_LEN] {
     const BLOCK: usize = 64;
     let mut k = [0u8; BLOCK];
     if key.len() > BLOCK {
-        let d: [u8; HASH_LEN] = Sha256::digest(key).into();
+        let d: [u8; HASH_LEN] = Sha256::digest(key);
         k[..HASH_LEN].copy_from_slice(&d);
     } else {
         k[..key.len()].copy_from_slice(key);
@@ -131,11 +131,11 @@ pub fn hmac(key: &[u8], data: &[u8]) -> [u8; HASH_LEN] {
     let mut inner = Sha256::new();
     inner.update(ipad);
     inner.update(data);
-    let inner: [u8; HASH_LEN] = inner.finalize().into();
+    let inner: [u8; HASH_LEN] = inner.finalize();
     let mut outer = Sha256::new();
     outer.update(opad);
     outer.update(inner);
-    outer.finalize().into()
+    outer.finalize()
 }
 
 /// Per-direction traffic keys: AEAD key + static IV.
@@ -207,7 +207,9 @@ impl KeySchedule {
     /// Starts the ladder with an optional PSK (resumption or SMT-key).
     pub fn new(suite: CipherSuite, psk: Option<&Secret>) -> Self {
         let zero = Secret::zero();
-        let ikm = psk.map(|p| p.0.to_vec()).unwrap_or_else(|| vec![0u8; HASH_LEN]);
+        let ikm = psk
+            .map(|p| p.0.to_vec())
+            .unwrap_or_else(|| vec![0u8; HASH_LEN]);
         let early = hkdf_extract(&zero, &ikm);
         Self {
             suite,
@@ -226,7 +228,11 @@ impl KeySchedule {
         if self.stage != Stage::Early {
             return Err(CryptoError::handshake("early secret already consumed"));
         }
-        Ok(derive_secret(&self.current, "c e traffic", client_hello_hash))
+        Ok(derive_secret(
+            &self.current,
+            "c e traffic",
+            client_hello_hash,
+        ))
     }
 
     /// Derives the binder key used to authenticate a PSK / SMT-ticket.
@@ -234,7 +240,11 @@ impl KeySchedule {
         if self.stage != Stage::Early {
             return Err(CryptoError::handshake("early secret already consumed"));
         }
-        Ok(derive_secret(&self.current, "res binder", &transcript_hash(b"")))
+        Ok(derive_secret(
+            &self.current,
+            "res binder",
+            &transcript_hash(b""),
+        ))
     }
 
     /// Feeds the (EC)DHE shared secret, moving to the handshake stage, and returns
@@ -264,7 +274,9 @@ impl KeySchedule {
         transcript_ch_fin: &[u8],
     ) -> CryptoResult<ApplicationSecrets> {
         if self.stage != Stage::Handshake {
-            return Err(CryptoError::handshake("key schedule not at handshake stage"));
+            return Err(CryptoError::handshake(
+                "key schedule not at handshake stage",
+            ));
         }
         let derived = derive_secret(&self.current, "derived", &transcript_hash(b""));
         let master = hkdf_extract(&derived, &[0u8; HASH_LEN]);

@@ -42,7 +42,10 @@ pub use aead::{AeadAlgorithm, AeadKey, Iv, NONCE_LEN};
 pub use cert::{Certificate, CertificateAuthority, CertificateChain, SigningKey, VerifyingKey};
 pub use error::CryptoError;
 pub use key_schedule::{KeySchedule, Secret, TrafficKeys};
-pub use record::{RecordCipher, RecordPlaintext};
+pub use record::{
+    OpenedRecord, Padding, RecordCipher, RecordCipherPair, RecordPlaintext, RecordProtector,
+    RecordProtectorPair,
+};
 pub use seqno::{CompositeSeqno, SeqnoLayout};
 pub use suite::CipherSuite;
 

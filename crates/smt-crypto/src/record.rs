@@ -1,4 +1,5 @@
-//! TLS 1.3 record protection as used by SMT, kTLS and TCPLS.
+//! TLS 1.3 record protection as used by SMT, kTLS and TCPLS — the **single
+//! shared record datapath** for the whole workspace.
 //!
 //! A protected record is `AEAD(plaintext ‖ content-type ‖ zero-padding)` with the
 //! serialized record header as additional authenticated data and a nonce derived
@@ -7,17 +8,32 @@
 //! For **TLS/TCP and kTLS** the sequence number is the per-connection counter; for
 //! **SMT** it is the composite value from [`crate::seqno`] (message ID ‖ record
 //! index), which keeps nonces unique across the per-message sequence spaces
-//! (paper §4.4, Fig. 4).  This module is agnostic: it just takes a 64-bit number.
+//! (paper §4.4, Fig. 4).  [`RecordProtector`] is agnostic: it just takes a 64-bit
+//! number — both the SMT segmenter/reassembler and the kTLS baseline drive the
+//! same seal/open implementation, so the evaluation compares *sequence-number
+//! disciplines*, never two different AEAD framings.
+//!
+//! Two API levels exist:
+//!
+//! * the **zero-copy hot path** — [`RecordProtector::seal_parts_into`] appends a
+//!   finished wire record straight into a caller-supplied [`BytesMut`] and
+//!   encrypts in place; [`RecordProtector::open`] decrypts into an internal
+//!   reusable scratch buffer and lends the plaintext out by reference. In steady
+//!   state neither direction performs a per-record heap allocation.
+//! * the **allocating conveniences** — [`RecordProtector::encrypt_record`] /
+//!   [`RecordProtector::decrypt_record`] keep the original `Vec`-returning shape
+//!   for handshake flights, tests and examples.
 //!
 //! Padding (`pad_to`) implements the length-concealment mechanism discussed in
 //! §6.1: the true application-data length is hidden by zero padding inside the
 //! ciphertext, and the plaintext framing/length metadata then reflects the padded
 //! size.
 
-use crate::aead::{AeadKey, Iv};
+use crate::aead::{AeadKey, Iv, TAG_LEN};
 use crate::key_schedule::{Secret, TrafficKeys};
 use crate::suite::CipherSuite;
 use crate::{CryptoError, CryptoResult};
+use bytes::BytesMut;
 use smt_wire::{ContentType, TlsRecordHeader, MAX_TLS_RECORD};
 
 /// A decrypted record: its inner content type and plaintext (padding removed).
@@ -29,35 +45,65 @@ pub struct RecordPlaintext {
     pub plaintext: Vec<u8>,
 }
 
-/// One direction of record protection: encrypts or decrypts records given an
-/// explicit record sequence number.
-pub struct RecordCipher {
+/// A decrypted record borrowed from the protector's scratch buffer
+/// (the zero-copy counterpart of [`RecordPlaintext`]).
+#[derive(Debug, PartialEq, Eq)]
+pub struct OpenedRecord<'a> {
+    /// The inner content type (application data, handshake, alert).
+    pub content_type: ContentType,
+    /// The plaintext with padding stripped, valid until the next `open` call.
+    pub plaintext: &'a [u8],
+}
+
+/// Padding policy for one sealed record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Padding {
+    /// Use the protector's configured policy (`with_padding`).
+    #[default]
+    Default,
+    /// No padding for this record, regardless of configuration.
+    None,
+    /// Pad this record's plaintext up to a multiple of the given granularity.
+    Granularity(usize),
+}
+
+/// One direction of record protection: seals or opens records given an explicit
+/// 64-bit record sequence number. This is the one shared datapath driven by the
+/// SMT composite-seqno engine and the kTLS per-connection baseline alike.
+pub struct RecordProtector {
     key: AeadKey,
     iv: Iv,
     /// Optional padded size: every record is padded up to a multiple of this
     /// value (length concealment, §6.1). `None` disables padding.
     pad_to: Option<usize>,
+    /// Reusable decrypt scratch; cleared and refilled on every `open`.
+    scratch: BytesMut,
 }
 
-impl std::fmt::Debug for RecordCipher {
+/// Backwards-compatible name from the seed tree; the type was unified into
+/// [`RecordProtector`] when the duplicated datapaths were merged.
+pub type RecordCipher = RecordProtector;
+
+impl std::fmt::Debug for RecordProtector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RecordCipher")
+        f.debug_struct("RecordProtector")
             .field("pad_to", &self.pad_to)
             .finish_non_exhaustive()
     }
 }
 
-impl RecordCipher {
-    /// Creates a record cipher from derived traffic keys.
+impl RecordProtector {
+    /// Creates a record protector from derived traffic keys.
     pub fn new(keys: TrafficKeys) -> Self {
         Self {
             key: keys.key,
             iv: keys.iv,
             pad_to: None,
+            scratch: BytesMut::new(),
         }
     }
 
-    /// Creates a record cipher directly from a traffic secret.
+    /// Creates a record protector directly from a traffic secret.
     pub fn from_secret(suite: CipherSuite, secret: &Secret) -> CryptoResult<Self> {
         Ok(Self::new(TrafficKeys::derive(suite, secret)?))
     }
@@ -72,65 +118,105 @@ impl RecordCipher {
         self
     }
 
-    /// Size of the on-the-wire record (header + ciphertext + tag) produced for a
-    /// plaintext of `len` bytes under the current padding policy.
-    pub fn wire_record_len(&self, len: usize) -> usize {
-        let padded = self.padded_len(len);
-        TlsRecordHeader::LEN + TlsRecordHeader::ciphertext_len(padded)
+    fn granularity_for(&self, padding: Padding) -> Option<usize> {
+        match padding {
+            Padding::Default => self.pad_to,
+            Padding::None => None,
+            Padding::Granularity(g) if g > 1 => Some(g),
+            Padding::Granularity(_) => None,
+        }
     }
 
-    fn padded_len(&self, len: usize) -> usize {
-        match self.pad_to {
+    fn padded_len_with(&self, len: usize, padding: Padding) -> usize {
+        match self.granularity_for(padding) {
             Some(g) => len.div_ceil(g).max(1) * g,
             None => len,
         }
     }
 
-    /// Encrypts one record.  Returns the full wire encoding: 5-byte record header
-    /// followed by the ciphertext (which embeds the inner content type, padding
-    /// and the 16-byte tag).
-    pub fn encrypt_record(
+    /// Size of the on-the-wire record (header + ciphertext + tag) produced for a
+    /// plaintext of `len` bytes under the configured padding policy.
+    pub fn wire_record_len(&self, len: usize) -> usize {
+        self.wire_record_len_with(len, Padding::Default)
+    }
+
+    /// [`Self::wire_record_len`] under an explicit padding policy.
+    pub fn wire_record_len_with(&self, len: usize, padding: Padding) -> usize {
+        let padded = self.padded_len_with(len, padding);
+        TlsRecordHeader::LEN + TlsRecordHeader::ciphertext_len(padded)
+    }
+
+    /// Seals one record whose plaintext is the concatenation of `parts`,
+    /// appending the full wire encoding (5-byte header, ciphertext, tag) to
+    /// `out`. Returns the number of bytes appended.
+    ///
+    /// This is the zero-allocation hot path: the inner plaintext is assembled
+    /// directly in `out` and encrypted in place, so a warmed-up `out` buffer
+    /// makes the whole seal allocation-free.
+    pub fn seal_parts_into(
         &self,
         seq: u64,
         content_type: ContentType,
-        plaintext: &[u8],
-    ) -> CryptoResult<Vec<u8>> {
-        if plaintext.len() > MAX_TLS_RECORD {
+        parts: &[&[u8]],
+        padding: Padding,
+        out: &mut BytesMut,
+    ) -> CryptoResult<usize> {
+        let plaintext_len: usize = parts.iter().map(|p| p.len()).sum();
+        if plaintext_len > MAX_TLS_RECORD {
             return Err(CryptoError::RecordTooLarge {
-                size: plaintext.len(),
+                size: plaintext_len,
                 max: MAX_TLS_RECORD,
             });
         }
-        let padded_len = self.padded_len(plaintext.len());
+        let padded_len = self.padded_len_with(plaintext_len, padding);
         if padded_len > MAX_TLS_RECORD {
             return Err(CryptoError::RecordTooLarge {
                 size: padded_len,
                 max: MAX_TLS_RECORD,
             });
         }
-        // Inner plaintext: content ‖ content-type ‖ zero padding.
-        let mut inner = Vec::with_capacity(padded_len + 1);
-        inner.extend_from_slice(plaintext);
-        inner.push(content_type as u8);
-        inner.resize(padded_len + 1, 0);
 
-        let body_len = inner.len() + crate::aead::TAG_LEN;
+        // Inner plaintext: content ‖ content-type ‖ zero padding, assembled
+        // directly in the output buffer after the 5-byte header.
+        let inner_len = padded_len + 1;
+        let body_len = inner_len + TAG_LEN;
         let header = TlsRecordHeader::application_data(body_len)?;
-        let aad = header.aad();
-        let nonce = self.iv.nonce_for(seq);
-        let ciphertext = self.key.seal(&nonce, &aad, &inner);
+        let start = out.len();
+        out.reserve(TlsRecordHeader::LEN + body_len);
+        out.extend_from_slice(&header.aad());
+        for part in parts {
+            out.extend_from_slice(part);
+        }
+        out.put_u8(content_type as u8);
+        out.resize(start + TlsRecordHeader::LEN + inner_len, 0);
 
-        let mut out = Vec::with_capacity(TlsRecordHeader::LEN + ciphertext.len());
-        let mut hdr = [0u8; TlsRecordHeader::LEN];
-        header.encode(&mut hdr)?;
-        out.extend_from_slice(&hdr);
-        out.extend_from_slice(&ciphertext);
-        Ok(out)
+        let nonce = self.iv.nonce_for(seq);
+        let aad = header.aad();
+        let body_start = start + TlsRecordHeader::LEN;
+        let tag = self
+            .key
+            .seal_in_place_detached(&nonce, &aad, &mut out[body_start..]);
+        out.extend_from_slice(&tag);
+        Ok(TlsRecordHeader::LEN + body_len)
     }
 
-    /// Decrypts one record from its full wire encoding (header + body), returning
-    /// the inner content type and plaintext, plus the number of bytes consumed.
-    pub fn decrypt_record(&self, seq: u64, wire: &[u8]) -> CryptoResult<(RecordPlaintext, usize)> {
+    /// Seals one record, appending its wire encoding to `out`
+    /// (single-slice convenience over [`Self::seal_parts_into`]).
+    pub fn seal_into(
+        &self,
+        seq: u64,
+        content_type: ContentType,
+        plaintext: &[u8],
+        out: &mut BytesMut,
+    ) -> CryptoResult<usize> {
+        self.seal_parts_into(seq, content_type, &[plaintext], Padding::Default, out)
+    }
+
+    /// Opens one record from its full wire encoding (header + body), decrypting
+    /// into the internal scratch buffer. Returns the borrowed plaintext and the
+    /// number of wire bytes consumed. No per-record heap allocation occurs once
+    /// the scratch buffer has warmed up.
+    pub fn open(&mut self, seq: u64, wire: &[u8]) -> CryptoResult<(OpenedRecord<'_>, usize)> {
         let (header, hdr_len) = TlsRecordHeader::decode(wire)?;
         let body_len = header.length as usize;
         if wire.len() < hdr_len + body_len {
@@ -139,37 +225,82 @@ impl RecordCipher {
                 available: wire.len(),
             }));
         }
-        let body = &wire[hdr_len..hdr_len + body_len];
+        if body_len < TAG_LEN + 1 {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let (ciphertext, tag) = wire[hdr_len..hdr_len + body_len].split_at(body_len - TAG_LEN);
         let aad = header.aad();
         let nonce = self.iv.nonce_for(seq);
-        let mut inner = self.key.open(&nonce, &aad, body)?;
+
+        self.scratch.clear();
+        self.scratch.extend_from_slice(ciphertext);
+        self.key
+            .open_in_place_detached(&nonce, &aad, &mut self.scratch, tag)?;
 
         // Strip zero padding, then the inner content type byte (RFC 8446 §5.4).
-        while let Some(&0) = inner.last() {
-            inner.pop();
+        let mut end = self.scratch.len();
+        while end > 0 && self.scratch[end - 1] == 0 {
+            end -= 1;
         }
-        let ct_byte = inner.pop().ok_or(CryptoError::AuthenticationFailed)?;
-        let content_type = ContentType::from_u8(ct_byte).map_err(CryptoError::Wire)?;
+        if end == 0 {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let content_type =
+            ContentType::from_u8(self.scratch[end - 1]).map_err(CryptoError::Wire)?;
         Ok((
-            RecordPlaintext {
+            OpenedRecord {
                 content_type,
-                plaintext: inner,
+                plaintext: &self.scratch[..end - 1],
             },
             hdr_len + body_len,
         ))
     }
+
+    /// Encrypts one record, returning the full wire encoding as a fresh `Vec`
+    /// (allocating convenience over [`Self::seal_parts_into`]).
+    pub fn encrypt_record(
+        &self,
+        seq: u64,
+        content_type: ContentType,
+        plaintext: &[u8],
+    ) -> CryptoResult<Vec<u8>> {
+        let mut out = BytesMut::with_capacity(self.wire_record_len(plaintext.len()));
+        self.seal_into(seq, content_type, plaintext, &mut out)?;
+        Ok(out.into_vec())
+    }
+
+    /// Decrypts one record from its full wire encoding, returning an owned
+    /// plaintext plus the number of bytes consumed (allocating convenience over
+    /// [`Self::open`]).
+    pub fn decrypt_record(
+        &mut self,
+        seq: u64,
+        wire: &[u8],
+    ) -> CryptoResult<(RecordPlaintext, usize)> {
+        let (opened, consumed) = self.open(seq, wire)?;
+        Ok((
+            RecordPlaintext {
+                content_type: opened.content_type,
+                plaintext: opened.plaintext.to_vec(),
+            },
+            consumed,
+        ))
+    }
 }
 
-/// A matched pair of record ciphers for a bidirectional session
+/// A matched pair of record protectors for a bidirectional session
 /// (convenience for tests and the simulator).
-pub struct RecordCipherPair {
-    /// Cipher protecting data we send.
-    pub sender: RecordCipher,
-    /// Cipher opening data we receive.
-    pub receiver: RecordCipher,
+pub struct RecordProtectorPair {
+    /// Protector sealing data we send.
+    pub sender: RecordProtector,
+    /// Protector opening data we receive.
+    pub receiver: RecordProtector,
 }
 
-impl RecordCipherPair {
+/// Backwards-compatible name from the seed tree.
+pub type RecordCipherPair = RecordProtectorPair;
+
+impl RecordProtectorPair {
     /// Derives a symmetric pair from two traffic secrets.
     pub fn derive(
         suite: CipherSuite,
@@ -177,8 +308,8 @@ impl RecordCipherPair {
         recv_secret: &Secret,
     ) -> CryptoResult<Self> {
         Ok(Self {
-            sender: RecordCipher::from_secret(suite, send_secret)?,
-            receiver: RecordCipher::from_secret(suite, recv_secret)?,
+            sender: RecordProtector::from_secret(suite, send_secret)?,
+            receiver: RecordProtector::from_secret(suite, recv_secret)?,
         })
     }
 }
@@ -188,16 +319,16 @@ mod tests {
     use super::*;
     use crate::key_schedule::HASH_LEN;
 
-    fn cipher_pair() -> (RecordCipher, RecordCipher) {
+    fn cipher_pair() -> (RecordProtector, RecordProtector) {
         let secret = Secret([0x33; HASH_LEN]);
-        let a = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
-        let b = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+        let a = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+        let b = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
         (a, b)
     }
 
     #[test]
     fn encrypt_decrypt_roundtrip() {
-        let (tx, rx) = cipher_pair();
+        let (tx, mut rx) = cipher_pair();
         let wire = tx
             .encrypt_record(5, ContentType::ApplicationData, b"hello smt")
             .unwrap();
@@ -208,10 +339,68 @@ mod tests {
     }
 
     #[test]
+    fn zero_copy_seal_open_roundtrip() {
+        let (tx, mut rx) = cipher_pair();
+        let mut out = BytesMut::with_capacity(4096);
+        let n1 = tx
+            .seal_parts_into(
+                1,
+                ContentType::ApplicationData,
+                &[b"hello ", b"zero-copy"],
+                Padding::Default,
+                &mut out,
+            )
+            .unwrap();
+        let n2 = tx
+            .seal_into(2, ContentType::ApplicationData, b"second", &mut out)
+            .unwrap();
+        assert_eq!(out.len(), n1 + n2);
+
+        let (first, used1) = rx.open(1, &out).unwrap();
+        assert_eq!(first.plaintext, b"hello zero-copy");
+        assert_eq!(used1, n1);
+        let (second, used2) = rx.open(2, &out[n1..]).unwrap();
+        assert_eq!(second.plaintext, b"second");
+        assert_eq!(used2, n2);
+    }
+
+    #[test]
+    fn zero_copy_matches_allocating_path() {
+        let (tx, mut rx) = cipher_pair();
+        let mut out = BytesMut::new();
+        tx.seal_into(9, ContentType::ApplicationData, b"same bytes", &mut out)
+            .unwrap();
+        let wire = tx
+            .encrypt_record(9, ContentType::ApplicationData, b"same bytes")
+            .unwrap();
+        assert_eq!(out.as_ref(), wire.as_slice());
+        assert_eq!(
+            rx.decrypt_record(9, &wire).unwrap().0.plaintext,
+            b"same bytes"
+        );
+    }
+
+    #[test]
+    fn steady_state_seal_reuses_buffer_capacity() {
+        let (tx, _) = cipher_pair();
+        let mut out = BytesMut::with_capacity(8192);
+        tx.seal_into(0, ContentType::ApplicationData, &[7u8; 1024], &mut out)
+            .unwrap();
+        let cap = out.capacity();
+        for seq in 1..50u64 {
+            out.clear();
+            tx.seal_into(seq, ContentType::ApplicationData, &[7u8; 1024], &mut out)
+                .unwrap();
+        }
+        // The warmed buffer is never regrown by the hot path.
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
     fn wrong_sequence_number_rejected() {
         // This is the property the NIC autonomous offload relies on: a record
         // encrypted under seq N only decrypts under seq N (paper Fig. 2).
-        let (tx, rx) = cipher_pair();
+        let (tx, mut rx) = cipher_pair();
         let wire = tx
             .encrypt_record(7, ContentType::ApplicationData, b"data")
             .unwrap();
@@ -221,7 +410,7 @@ mod tests {
 
     #[test]
     fn tampering_rejected() {
-        let (tx, rx) = cipher_pair();
+        let (tx, mut rx) = cipher_pair();
         let mut wire = tx
             .encrypt_record(1, ContentType::ApplicationData, b"data")
             .unwrap();
@@ -235,7 +424,7 @@ mod tests {
 
     #[test]
     fn header_is_authenticated() {
-        let (tx, rx) = cipher_pair();
+        let (tx, mut rx) = cipher_pair();
         let mut wire = tx
             .encrypt_record(1, ContentType::ApplicationData, b"data")
             .unwrap();
@@ -247,7 +436,7 @@ mod tests {
 
     #[test]
     fn handshake_content_type_preserved() {
-        let (tx, rx) = cipher_pair();
+        let (tx, mut rx) = cipher_pair();
         let wire = tx
             .encrypt_record(0, ContentType::Handshake, b"finished")
             .unwrap();
@@ -258,10 +447,10 @@ mod tests {
     #[test]
     fn padding_conceals_length() {
         let secret = Secret([0x44; HASH_LEN]);
-        let tx = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret)
+        let tx = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret)
             .unwrap()
             .with_padding(256);
-        let rx = RecordCipher::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+        let mut rx = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
 
         let w1 = tx
             .encrypt_record(1, ContentType::ApplicationData, b"a")
@@ -281,8 +470,27 @@ mod tests {
     }
 
     #[test]
+    fn per_record_padding_override() {
+        let (tx, mut rx) = cipher_pair();
+        let mut out = BytesMut::new();
+        tx.seal_parts_into(
+            1,
+            ContentType::ApplicationData,
+            &[b"x"],
+            Padding::Granularity(128),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            out.len(),
+            tx.wire_record_len_with(1, Padding::Granularity(128))
+        );
+        assert_eq!(rx.open(1, &out).unwrap().0.plaintext, b"x");
+    }
+
+    #[test]
     fn zero_length_plaintext_roundtrips() {
-        let (tx, rx) = cipher_pair();
+        let (tx, mut rx) = cipher_pair();
         let wire = tx
             .encrypt_record(9, ContentType::ApplicationData, b"")
             .unwrap();
@@ -302,7 +510,7 @@ mod tests {
 
     #[test]
     fn truncated_wire_rejected() {
-        let (tx, rx) = cipher_pair();
+        let (tx, mut rx) = cipher_pair();
         let wire = tx
             .encrypt_record(0, ContentType::ApplicationData, b"data")
             .unwrap();
@@ -313,7 +521,7 @@ mod tests {
     #[test]
     fn composite_seqnos_give_unique_nonces_across_messages() {
         use crate::seqno::SeqnoLayout;
-        let (tx, rx) = cipher_pair();
+        let (tx, mut rx) = cipher_pair();
         let layout = SeqnoLayout::default();
         // Record 0 of message 1 and record 0 of message 2 share a record index
         // but must not share a nonce: decrypting one under the other's seq fails.
@@ -323,18 +531,15 @@ mod tests {
             .encrypt_record(s1, ContentType::ApplicationData, b"msg1")
             .unwrap();
         assert!(rx.decrypt_record(s2, &wire).is_err());
-        assert_eq!(
-            rx.decrypt_record(s1, &wire).unwrap().0.plaintext,
-            b"msg1"
-        );
+        assert_eq!(rx.decrypt_record(s1, &wire).unwrap().0.plaintext, b"msg1");
     }
 
     #[test]
     fn cipher_pair_helper() {
         let c = Secret([1u8; HASH_LEN]);
         let s = Secret([2u8; HASH_LEN]);
-        let client = RecordCipherPair::derive(CipherSuite::Aes128GcmSha256, &c, &s).unwrap();
-        let server = RecordCipherPair::derive(CipherSuite::Aes128GcmSha256, &s, &c).unwrap();
+        let client = RecordProtectorPair::derive(CipherSuite::Aes128GcmSha256, &c, &s).unwrap();
+        let mut server = RecordProtectorPair::derive(CipherSuite::Aes128GcmSha256, &s, &c).unwrap();
         let wire = client
             .sender
             .encrypt_record(0, ContentType::ApplicationData, b"ping")

@@ -247,7 +247,8 @@ impl RpcPipelineSim {
         let mut link_fwd = Resource::new();
         let mut link_rev = Resource::new();
 
-        let ser = |bytes: usize| -> Nanos { ((bytes as f64 * 8.0) / cfg.link_gbps).round() as Nanos };
+        let ser =
+            |bytes: usize| -> Nanos { ((bytes as f64 * 8.0) / cfg.link_gbps).round() as Nanos };
         let ser_req = ser(costs.request_wire_bytes);
         let ser_resp = ser(costs.response_wire_bytes);
 

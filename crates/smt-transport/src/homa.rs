@@ -172,8 +172,7 @@ impl HomaEndpoint {
 
     /// Creates an unencrypted (plain Homa) endpoint.
     pub fn plaintext(config: HomaConfig, path: PathInfo) -> Self {
-        let smt_config = SmtConfig::plaintext()
-            .with_mtu(config.mtu);
+        let smt_config = SmtConfig::plaintext().with_mtu(config.mtu);
         Self {
             session: SmtSession::plaintext(smt_config, path),
             nic: NicModel::new(config.mtu, config.tso),
@@ -265,13 +264,16 @@ impl HomaEndpoint {
                 let message_id = packet.overlay.options.message_id;
                 // Track receive progress for grant decisions.
                 let per_packet = smt_wire::max_payload_per_packet(self.config.mtu).max(1);
-                let progress = self.recvs.entry(message_id).or_insert_with(|| RecvProgress {
-                    granted: self.config.unscheduled_packets,
-                    total_estimate: (packet.overlay.options.message_length as usize)
-                        .div_ceil(per_packet)
-                        .max(1),
-                    ..RecvProgress::default()
-                });
+                let progress = self
+                    .recvs
+                    .entry(message_id)
+                    .or_insert_with(|| RecvProgress {
+                        granted: self.config.unscheduled_packets,
+                        total_estimate: (packet.overlay.options.message_length as usize)
+                            .div_ceil(per_packet)
+                            .max(1),
+                        ..RecvProgress::default()
+                    });
                 if progress.complete {
                     // Completed (or replayed) message: the session will discard it.
                 } else {
@@ -295,8 +297,7 @@ impl HomaEndpoint {
                         let grant_packets = self.config.grant_packets;
                         let unscheduled = self.config.unscheduled_packets;
                         let new_grant = {
-                            let progress =
-                                self.recvs.get_mut(&message_id).expect("inserted above");
+                            let progress = self.recvs.get_mut(&message_id).expect("inserted above");
                             if !progress.complete
                                 && progress.total_estimate > unscheduled
                                 && progress.packets_seen + grant_packets > progress.granted
@@ -528,7 +529,8 @@ mod tests {
         for i in 0..10u8 {
             a.send_message(&vec![i; 2000 + i as usize * 111], i as usize % 4)
                 .unwrap();
-            b.send_message(&vec![0xf0 | i; 500], i as usize % 4).unwrap();
+            b.send_message(&vec![0xf0 | i; 500], i as usize % 4)
+                .unwrap();
         }
         drive(&mut a, &mut b, &mut ab, &mut ba, 200);
         assert_eq!(b.take_delivered().len(), 10);

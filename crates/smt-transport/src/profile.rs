@@ -163,7 +163,11 @@ impl StackProfile {
         } else {
             self.mtu - TCP_HEADERS
         };
-        let headers = if message_based { SMT_HEADERS } else { TCP_HEADERS };
+        let headers = if message_based {
+            SMT_HEADERS
+        } else {
+            TCP_HEADERS
+        };
 
         let (records, payload_bytes) = if !encrypted {
             (0, size)
@@ -206,7 +210,6 @@ impl StackProfile {
         let message_based = stack.is_message_based();
         let encrypted = stack.is_encrypted();
         let sw_tx_crypto = encrypted && !stack.offloads_tx_crypto();
-        let tcp_based = !message_based;
         let userspace_tls = matches!(stack, StackKind::UserTls | StackKind::Tcpls);
         let records = c.records as Nanos;
 
@@ -235,15 +238,14 @@ impl StackProfile {
             // All messages of the host pair share one flow 5-tuple, so the
             // per-packet stack work funnels through the single stack (softirq /
             // pacer) thread — the ~0.7 M RPC/s ceiling of §5.2.
-            pacer_tx += m.tx_stack_ns(c.segments, c.packets, self.tso)
-                + m.homa_pacer_per_message_ns;
+            pacer_tx +=
+                m.tx_stack_ns(c.segments, c.packets, self.tso) + m.homa_pacer_per_message_ns;
             if stack.offloads_tx_crypto() {
                 pacer_tx += m.offload_tx_ns(c.records, 1, 0);
             }
             // Per-packet receive demux on the stack thread is cheap (no in-order
             // queueing, no ACK generation): roughly half the TCP per-packet cost.
-            pacer_rx += (m.per_packet_rx_ns / 2) * c.packets as Nanos
-                + m.homa_pacer_per_message_ns;
+            pacer_rx += (m.per_packet_rx_ns / 2) * c.packets as Nanos + m.homa_pacer_per_message_ns;
             // Message-level receive work (SRPT dispatch, reassembly bookkeeping)
             // is spread across the other cores.
             rx_softirq = m.per_message_rx_ns;
@@ -304,8 +306,7 @@ impl StackProfile {
             // GRO batch cannot be overlapped (nothing has been delivered yet).
             if c.packets > 1 {
                 let batches = c.packets.div_ceil(GRO_BATCH_PACKETS).max(1) as u64;
-                let overlappable =
-                    m.serialization_ns(c.wire_bytes) * (batches - 1) / batches;
+                let overlappable = m.serialization_ns(c.wire_bytes) * (batches - 1) / batches;
                 let overlap = overlappable.min(app_recv.saturating_sub(m.app_wakeup_ns));
                 app_recv -= overlap;
             }
@@ -398,10 +399,10 @@ mod tests {
         // Cross-check the analytic accounting against the real SMT engine.
         use smt_core::segment::{PathInfo, SmtSegmenter};
         use smt_crypto::key_schedule::Secret;
-        use smt_crypto::record::RecordCipher;
+        use smt_crypto::record::RecordProtector;
         let profile = StackProfile::new(StackKind::SmtSw);
         let segmenter = SmtSegmenter::new(smt_core::SmtConfig::software(), Default::default());
-        let cipher = RecordCipher::from_secret(
+        let cipher = RecordProtector::from_secret(
             smt_crypto::CipherSuite::Aes128GcmSha256,
             &Secret::from_slice(&[1u8; 32]).unwrap(),
         )
@@ -424,8 +425,8 @@ mod tests {
             assert_eq!(counts.segments, real.segments.len(), "segments at {size}");
             // Wire payload bytes agree within a few bytes per record (padding of
             // the analytic model).
-            let diff = counts.wire_bytes as i64
-                - (real.wire_len + counts.packets * SMT_HEADERS) as i64;
+            let diff =
+                counts.wire_bytes as i64 - (real.wire_len + counts.packets * SMT_HEADERS) as i64;
             assert!(diff.abs() < 64, "wire bytes at {size}: {diff}");
         }
     }
@@ -444,7 +445,10 @@ mod tests {
             assert!(ktls_sw > tcp, "ktls {ktls_sw} vs tcp {tcp} at {bytes}");
             assert!(smt_sw > homa);
             // SMT beats kTLS, with and without offload (13–32 % in the paper).
-            assert!(smt_sw < ktls_sw, "smt {smt_sw} vs ktls {ktls_sw} at {bytes}");
+            assert!(
+                smt_sw < ktls_sw,
+                "smt {smt_sw} vs ktls {ktls_sw} at {bytes}"
+            );
             assert!(smt_hw < ktls_hw);
             // Offload never hurts.
             assert!(smt_hw <= smt_sw + 0.01);
@@ -518,8 +522,8 @@ mod tests {
         // under concurrency (CPU cycles freed).
         let p_sw = StackProfile::new(StackKind::SmtSw);
         let p_hw = StackProfile::new(StackKind::SmtHw);
-        let rtt_gain = (p_sw.unloaded_rtt_us(1024) - p_hw.unloaded_rtt_us(1024))
-            / p_sw.unloaded_rtt_us(1024);
+        let rtt_gain =
+            (p_sw.unloaded_rtt_us(1024) - p_hw.unloaded_rtt_us(1024)) / p_sw.unloaded_rtt_us(1024);
         let thr_gain = (p_hw.throughput_rps(1024, 150) - p_sw.throughput_rps(1024, 150))
             / p_sw.throughput_rps(1024, 150);
         assert!(rtt_gain < 0.10, "unloaded RTT gain {rtt_gain:.2}");
@@ -532,7 +536,10 @@ mod tests {
             let tcpls = rtt(StackKind::Tcpls, bytes);
             let smt_sw = rtt(StackKind::SmtSw, bytes);
             let smt_hw = rtt(StackKind::SmtHw, bytes);
-            assert!(smt_sw < tcpls, "smt-sw {smt_sw} vs tcpls {tcpls} at {bytes}");
+            assert!(
+                smt_sw < tcpls,
+                "smt-sw {smt_sw} vs tcpls {tcpls} at {bytes}"
+            );
             assert!(smt_hw < tcpls);
         }
     }

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn overlay_header_fits_tcp_options_space() {
         // TCP allows at most 40 bytes of options; the SMT option area must fit.
-        assert!(SMT_OPTION_AREA_LEN <= 40);
+        const { assert!(SMT_OPTION_AREA_LEN <= 40) };
         assert_eq!(SMT_OVERLAY_HEADER_LEN, 48);
     }
 

@@ -316,7 +316,12 @@ mod tests {
 
     #[test]
     fn ip_header_dispatch() {
-        let v4 = IpHeader::V4(Ipv4Header::new([1, 1, 1, 1], [2, 2, 2, 2], IPPROTO_SMT, 100));
+        let v4 = IpHeader::V4(Ipv4Header::new(
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            IPPROTO_SMT,
+            100,
+        ));
         let v6 = IpHeader::V6(Ipv6Header::new([1; 16], [2; 16], IPPROTO_SMT, 100));
         assert_eq!(v4.packet_id(), Some(0));
         assert_eq!(v6.packet_id(), None);
@@ -364,9 +369,6 @@ mod tests {
     fn no_space_rejected() {
         let h = Ipv4Header::new([1, 1, 1, 1], [2, 2, 2, 2], 6, 40);
         let mut buf = [0u8; 10];
-        assert!(matches!(
-            h.encode(&mut buf),
-            Err(WireError::NoSpace { .. })
-        ));
+        assert!(matches!(h.encode(&mut buf), Err(WireError::NoSpace { .. })));
     }
 }

@@ -274,7 +274,7 @@ impl TsoSegment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{IPPROTO_SMT, DEFAULT_MTU};
+    use crate::{DEFAULT_MTU, IPPROTO_SMT};
 
     fn segment(payload_len: usize) -> TsoSegment {
         let overlay = SmtOverlayHeader::data(1234, 5678, 42, payload_len as u32);

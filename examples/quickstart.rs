@@ -23,9 +23,14 @@ fn main() {
     );
 
     // 2. Register the keys with SMT sockets (sessions) on both ends.
-    let (mut client, mut server) =
-        session_pair(&client_keys, &server_keys, SmtConfig::software(), 4000, 5201)
-            .expect("session");
+    let (mut client, mut server) = session_pair(
+        &client_keys,
+        &server_keys,
+        SmtConfig::software(),
+        4000,
+        5201,
+    )
+    .expect("session");
 
     // 3. Send three concurrent messages; they may complete in any order.
     let payloads: Vec<Vec<u8>> = vec![

@@ -4,7 +4,9 @@
 //! Run with: `cargo run --example zero_rtt`
 
 use smt::crypto::cert::CertificateAuthority;
-use smt::crypto::handshake::zero_rtt::{establish_zero_rtt, ZeroRttClientHandshake, ZeroRttServerHandshake};
+use smt::crypto::handshake::zero_rtt::{
+    establish_zero_rtt, ZeroRttClientHandshake, ZeroRttServerHandshake,
+};
 use smt::crypto::handshake::{ReplayCache, SmtExtensions, SmtTicketIssuer};
 use smt::crypto::CipherSuite;
 

@@ -34,7 +34,12 @@ fn full_stack_roundtrip_all_crypto_modes() {
                     }
                 }
             }
-            assert_eq!(got.unwrap().data, data, "mode {:?} size {size}", config.crypto_mode);
+            assert_eq!(
+                got.unwrap().data,
+                data,
+                "mode {:?} size {size}",
+                config.crypto_mode
+            );
         }
     }
 }
@@ -42,8 +47,18 @@ fn full_stack_roundtrip_all_crypto_modes() {
 #[test]
 fn lossy_homa_transport_delivers_bidirectional_traffic() {
     let (ck, sk, _) = handshake();
-    let a_path = PathInfo { src: [10, 0, 0, 1], dst: [10, 0, 0, 2], src_port: 1, dst_port: 2 };
-    let b_path = PathInfo { src: [10, 0, 0, 2], dst: [10, 0, 0, 1], src_port: 2, dst_port: 1 };
+    let a_path = PathInfo {
+        src: [10, 0, 0, 1],
+        dst: [10, 0, 0, 2],
+        src_port: 1,
+        dst_port: 2,
+    };
+    let b_path = PathInfo {
+        src: [10, 0, 0, 2],
+        dst: [10, 0, 0, 1],
+        src_port: 2,
+        dst_port: 1,
+    };
     let mut a = HomaEndpoint::new(&ck, StackKind::SmtSw, HomaConfig::default(), a_path);
     let mut b = HomaEndpoint::new(&sk, StackKind::SmtSw, HomaConfig::default(), b_path);
     let mut ab = LossyChannel::new(0.08, 99);
@@ -103,10 +118,7 @@ fn mtls_and_plaintext_baseline_coexist() {
         }
     }
     assert_eq!(got.unwrap().data.len(), 10_000);
-    assert_eq!(
-        SmtConfig::plaintext().crypto_mode,
-        CryptoMode::Plaintext
-    );
+    assert_eq!(SmtConfig::plaintext().crypto_mode, CryptoMode::Plaintext);
 }
 
 #[test]

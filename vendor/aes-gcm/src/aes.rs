@@ -1,0 +1,213 @@
+//! AES block cipher, encryption direction only (GCM runs AES exclusively in
+//! counter mode, so the inverse cipher is never needed).
+//!
+//! Table-driven implementation: the classic four 1 KB T-tables, derived at
+//! first use from the S-box. This trades the cache-timing resistance of a
+//! bitsliced implementation for simplicity; acceptable for a simulation
+//! workspace that never handles third-party secrets.
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+/// T-table for the MixColumns ⊕ SubBytes combination: entry `i` is the column
+/// `[2·S(i), S(i), S(i), 3·S(i)]` packed big-endian; the other three tables are
+/// byte rotations of this one.
+fn t0(i: usize) -> u32 {
+    let s = SBOX[i];
+    let s2 = xtime(s);
+    let s3 = s2 ^ s;
+    u32::from_be_bytes([s2, s, s, s3])
+}
+
+/// AES encryption key schedule: expanded round keys as big-endian words.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<u32>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expands a 16- or 32-byte key. Panics on other lengths.
+    pub fn new(key: &[u8]) -> Self {
+        let nk = match key.len() {
+            16 => 4,
+            32 => 8,
+            n => panic!("unsupported AES key length {n}"),
+        };
+        let rounds = nk + 6;
+        let total_words = 4 * (rounds + 1);
+        let mut w = Vec::with_capacity(total_words);
+        for chunk in key.chunks_exact(4) {
+            w.push(u32::from_be_bytes(chunk.try_into().expect("4 bytes")));
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp = sub_word(temp.rotate_left(8)) ^ ((RCON[i / nk] as u32) << 24);
+            } else if nk > 6 && i % nk == 4 {
+                temp = sub_word(temp);
+            }
+            w.push(w[i - nk] ^ temp);
+        }
+        Self {
+            round_keys: w,
+            rounds,
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let rk = &self.round_keys;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().unwrap()) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().unwrap()) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().unwrap()) ^ rk[3];
+
+        let tables = tables();
+        for round in 1..self.rounds {
+            let (t0, t1, t2, t3) = tables;
+            let n0 = t0[(s0 >> 24) as usize]
+                ^ t1[((s1 >> 16) & 0xff) as usize]
+                ^ t2[((s2 >> 8) & 0xff) as usize]
+                ^ t3[(s3 & 0xff) as usize]
+                ^ rk[4 * round];
+            let n1 = t0[(s1 >> 24) as usize]
+                ^ t1[((s2 >> 16) & 0xff) as usize]
+                ^ t2[((s3 >> 8) & 0xff) as usize]
+                ^ t3[(s0 & 0xff) as usize]
+                ^ rk[4 * round + 1];
+            let n2 = t0[(s2 >> 24) as usize]
+                ^ t1[((s3 >> 16) & 0xff) as usize]
+                ^ t2[((s0 >> 8) & 0xff) as usize]
+                ^ t3[(s1 & 0xff) as usize]
+                ^ rk[4 * round + 2];
+            let n3 = t0[(s3 >> 24) as usize]
+                ^ t1[((s0 >> 16) & 0xff) as usize]
+                ^ t2[((s1 >> 8) & 0xff) as usize]
+                ^ t3[(s2 & 0xff) as usize]
+                ^ rk[4 * round + 3];
+            (s0, s1, s2, s3) = (n0, n1, n2, n3);
+        }
+
+        // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        let fr = 4 * self.rounds;
+        let o0 = final_word(s0, s1, s2, s3) ^ rk[fr];
+        let o1 = final_word(s1, s2, s3, s0) ^ rk[fr + 1];
+        let o2 = final_word(s2, s3, s0, s1) ^ rk[fr + 2];
+        let o3 = final_word(s3, s0, s1, s2) ^ rk[fr + 3];
+        block[0..4].copy_from_slice(&o0.to_be_bytes());
+        block[4..8].copy_from_slice(&o1.to_be_bytes());
+        block[8..12].copy_from_slice(&o2.to_be_bytes());
+        block[12..16].copy_from_slice(&o3.to_be_bytes());
+    }
+}
+
+fn final_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    u32::from_be_bytes([
+        SBOX[(a >> 24) as usize],
+        SBOX[((b >> 16) & 0xff) as usize],
+        SBOX[((c >> 8) & 0xff) as usize],
+        SBOX[(d & 0xff) as usize],
+    ])
+}
+
+fn sub_word(w: u32) -> u32 {
+    u32::from_be_bytes([
+        SBOX[(w >> 24) as usize],
+        SBOX[((w >> 16) & 0xff) as usize],
+        SBOX[((w >> 8) & 0xff) as usize],
+        SBOX[(w & 0xff) as usize],
+    ])
+}
+
+type TTables = ([u32; 256], [u32; 256], [u32; 256], [u32; 256]);
+
+fn tables() -> (
+    &'static [u32; 256],
+    &'static [u32; 256],
+    &'static [u32; 256],
+    &'static [u32; 256],
+) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Box<TTables>> = OnceLock::new();
+    let t = TABLES.get_or_init(|| {
+        let mut a = [0u32; 256];
+        let mut b = [0u32; 256];
+        let mut c = [0u32; 256];
+        let mut d = [0u32; 256];
+        for i in 0..256 {
+            let v = t0(i);
+            a[i] = v;
+            b[i] = v.rotate_right(8);
+            c[i] = v.rotate_right(16);
+            d[i] = v.rotate_right(24);
+        }
+        Box::new((a, b, c, d))
+    });
+    (&t.0, &t.1, &t.2, &t.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Aes;
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS-197 Appendix B.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        Aes::new(&key).encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+                0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS-197 Appendix C.3.
+        let key: Vec<u8> = (0u8..32).collect();
+        let mut block: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        Aes::new(&key).encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                0x60, 0x89
+            ]
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for the [`aes-gcm`](https://docs.rs/aes-gcm) crate.
+//!
+//! Pure-Rust AES-128/256-GCM (NIST SP 800-38D) exposing the subset of the
+//! RustCrypto API the workspace uses — `aead::{Aead, KeyInit, Payload}`,
+//! [`Aes128Gcm`], [`Aes256Gcm`] — plus detached **in-place** seal/open entry
+//! points ([`AesGcm::encrypt_in_place_detached`] /
+//! [`AesGcm::decrypt_in_place_detached`]) that the zero-copy record datapath
+//! builds on. Validated against NIST GCM test vectors below.
+
+#![forbid(unsafe_code)]
+
+mod aes;
+mod ghash;
+
+use aes::Aes;
+use ghash::GHash;
+
+/// GCM nonce length in bytes (96 bits, the only length supported here).
+pub const NONCE_LEN: usize = 12;
+
+/// GCM tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// A 96-bit GCM nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nonce([u8; NONCE_LEN]);
+
+impl From<[u8; NONCE_LEN]> for Nonce {
+    fn from(b: [u8; NONCE_LEN]) -> Self {
+        Nonce(b)
+    }
+}
+
+impl From<&[u8; NONCE_LEN]> for Nonce {
+    fn from(b: &[u8; NONCE_LEN]) -> Self {
+        Nonce(*b)
+    }
+}
+
+impl AsRef<[u8]> for Nonce {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// The `aead` facade module mirroring `aes_gcm::aead`.
+pub mod aead {
+    /// Opaque AEAD error (authentication failure or invalid input).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct Error;
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "aead::Error")
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Payload with associated data, as in the RustCrypto `aead` crate.
+    pub struct Payload<'msg, 'aad> {
+        /// Message to encrypt/decrypt.
+        pub msg: &'msg [u8],
+        /// Additional authenticated data.
+        pub aad: &'aad [u8],
+    }
+
+    impl<'msg> From<&'msg [u8]> for Payload<'msg, '_> {
+        fn from(msg: &'msg [u8]) -> Self {
+            Self { msg, aad: b"" }
+        }
+    }
+
+    /// Key-initialisation trait.
+    pub trait KeyInit: Sized {
+        /// Creates a cipher instance from a key slice, checking its length.
+        fn new_from_slice(key: &[u8]) -> Result<Self, Error>;
+    }
+
+    /// High-level AEAD encryption/decryption returning fresh buffers.
+    pub trait Aead {
+        /// Encrypts the payload, returning ciphertext with the tag appended.
+        fn encrypt<'msg, 'aad>(
+            &self,
+            nonce: &super::Nonce,
+            plaintext: impl Into<Payload<'msg, 'aad>>,
+        ) -> Result<Vec<u8>, Error>;
+
+        /// Decrypts ciphertext (with appended tag), verifying the tag.
+        fn decrypt<'msg, 'aad>(
+            &self,
+            nonce: &super::Nonce,
+            ciphertext: impl Into<Payload<'msg, 'aad>>,
+        ) -> Result<Vec<u8>, Error>;
+    }
+}
+
+use aead::{Aead, Error, KeyInit, Payload};
+
+/// AES-GCM instance generic over key size (via the expanded AES schedule).
+#[derive(Clone)]
+pub struct AesGcm<const KEY_LEN: usize> {
+    aes: Aes,
+    ghash_key: GHash,
+}
+
+/// AES-128-GCM.
+pub type Aes128Gcm = AesGcm<16>;
+
+/// AES-256-GCM.
+pub type Aes256Gcm = AesGcm<32>;
+
+impl<const KEY_LEN: usize> KeyInit for AesGcm<KEY_LEN> {
+    fn new_from_slice(key: &[u8]) -> Result<Self, Error> {
+        if key.len() != KEY_LEN {
+            return Err(Error);
+        }
+        let aes = Aes::new(key);
+        let mut h = [0u8; 16];
+        aes.encrypt_block(&mut h);
+        Ok(Self {
+            aes,
+            ghash_key: GHash::new(&h),
+        })
+    }
+}
+
+impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
+    fn counter_block(nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..NONCE_LEN].copy_from_slice(nonce);
+        block[12..16].copy_from_slice(&counter.to_be_bytes());
+        block
+    }
+
+    /// Applies the CTR keystream over `buf` starting at counter 2 (counter 1 is
+    /// reserved for the tag mask).
+    fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], buf: &mut [u8]) {
+        let mut counter = 2u32;
+        for chunk in buf.chunks_mut(16) {
+            let mut ks = Self::counter_block(nonce, counter);
+            self.aes.encrypt_block(&mut ks);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let mut ghash = self.ghash_key.clone();
+        ghash.update_padded(aad);
+        ghash.update_padded(ciphertext);
+        let mut tag =
+            ghash.finalize_with_lengths((aad.len() as u64) * 8, (ciphertext.len() as u64) * 8);
+        let mut j0 = Self::counter_block(nonce, 1);
+        self.aes.encrypt_block(&mut j0);
+        for (t, m) in tag.iter_mut().zip(j0.iter()) {
+            *t ^= m;
+        }
+        tag
+    }
+
+    /// Encrypts `buf` in place and returns the detached 16-byte tag.
+    pub fn encrypt_in_place_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        self.ctr_xor(nonce, buf);
+        self.tag(nonce, aad, buf)
+    }
+
+    /// Verifies `tag` over `buf` and decrypts it in place on success. The buffer
+    /// is left as ciphertext when verification fails.
+    pub fn decrypt_in_place_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), Error> {
+        let expected = self.tag(nonce, aad, buf);
+        // Constant-time-ish comparison.
+        if tag.len() != TAG_LEN {
+            return Err(Error);
+        }
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(Error);
+        }
+        self.ctr_xor(nonce, buf);
+        Ok(())
+    }
+}
+
+impl<const KEY_LEN: usize> Aead for AesGcm<KEY_LEN> {
+    fn encrypt<'msg, 'aad>(
+        &self,
+        nonce: &Nonce,
+        plaintext: impl Into<Payload<'msg, 'aad>>,
+    ) -> Result<Vec<u8>, Error> {
+        let payload = plaintext.into();
+        let mut out = Vec::with_capacity(payload.msg.len() + TAG_LEN);
+        out.extend_from_slice(payload.msg);
+        let tag = self.encrypt_in_place_detached(&nonce.0, payload.aad, &mut out);
+        out.extend_from_slice(&tag);
+        Ok(out)
+    }
+
+    fn decrypt<'msg, 'aad>(
+        &self,
+        nonce: &Nonce,
+        ciphertext: impl Into<Payload<'msg, 'aad>>,
+    ) -> Result<Vec<u8>, Error> {
+        let payload = ciphertext.into();
+        if payload.msg.len() < TAG_LEN {
+            return Err(Error);
+        }
+        let (ct, tag) = payload.msg.split_at(payload.msg.len() - TAG_LEN);
+        let mut out = ct.to_vec();
+        self.decrypt_in_place_detached(&nonce.0, payload.aad, &mut out, tag)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::aead::{Aead, KeyInit, Payload};
+    use super::{Aes128Gcm, Aes256Gcm, Nonce};
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn nist_gcm_128_test_case_3() {
+        // NIST GCM spec test case 3 (AES-128, no AAD).
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let nonce_bytes: [u8; 12] = unhex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let cipher = Aes128Gcm::new_from_slice(&key).unwrap();
+        let nonce: Nonce = (&nonce_bytes).into();
+        let out = cipher.encrypt(&nonce, pt.as_slice()).unwrap();
+        assert_eq!(
+            hex(&out[..64]),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+        );
+        assert_eq!(hex(&out[64..]), "4d5c2af327cd64a62cf35abd2ba6fab4");
+        let back = cipher.decrypt(&nonce, out.as_slice()).unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn nist_gcm_128_test_case_4_with_aad() {
+        // NIST GCM spec test case 4 (AES-128, with AAD, short final block).
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let nonce_bytes: [u8; 12] = unhex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let cipher = Aes128Gcm::new_from_slice(&key).unwrap();
+        let nonce: Nonce = (&nonce_bytes).into();
+        let out = cipher
+            .encrypt(
+                &nonce,
+                Payload {
+                    msg: &pt,
+                    aad: &aad,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            hex(&out[..pt.len()]),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+        );
+        assert_eq!(hex(&out[pt.len()..]), "5bc94fbc3221a5db94fae95ae7121a47");
+        let back = cipher
+            .decrypt(
+                &nonce,
+                Payload {
+                    msg: &out,
+                    aad: &aad,
+                },
+            )
+            .unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn nist_gcm_256_test_case_14() {
+        // AES-256-GCM, zero key, zero nonce, one zero block.
+        let key = [0u8; 32];
+        let nonce_bytes = [0u8; 12];
+        let pt = [0u8; 16];
+        let cipher = Aes256Gcm::new_from_slice(&key).unwrap();
+        let nonce: Nonce = (&nonce_bytes).into();
+        let out = cipher.encrypt(&nonce, pt.as_slice()).unwrap();
+        assert_eq!(hex(&out[..16]), "cea7403d4d606b6e074ec5d3baf39d18");
+        assert_eq!(hex(&out[16..]), "d0d1c8a799996bf0265b98b5d48ab919");
+    }
+
+    #[test]
+    fn tamper_and_aad_mismatch_rejected() {
+        let key = [7u8; 16];
+        let cipher = Aes128Gcm::new_from_slice(&key).unwrap();
+        let nonce_bytes = [1u8; 12];
+        let nonce: Nonce = (&nonce_bytes).into();
+        let mut out = cipher
+            .encrypt(
+                &nonce,
+                Payload {
+                    msg: b"hello",
+                    aad: b"aad",
+                },
+            )
+            .unwrap();
+        assert!(cipher
+            .decrypt(
+                &nonce,
+                Payload {
+                    msg: &out,
+                    aad: b"bad",
+                }
+            )
+            .is_err());
+        out[0] ^= 1;
+        assert!(cipher
+            .decrypt(
+                &nonce,
+                Payload {
+                    msg: &out,
+                    aad: b"aad",
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn in_place_matches_buffered() {
+        let key = [9u8; 16];
+        let cipher = Aes128Gcm::new_from_slice(&key).unwrap();
+        let nonce_bytes = [3u8; 12];
+        let nonce: Nonce = (&nonce_bytes).into();
+        let msg = b"in-place encryption check, length not a block multiple";
+        let buffered = cipher
+            .encrypt(&nonce, Payload { msg, aad: b"hdr" })
+            .unwrap();
+        let mut in_place = msg.to_vec();
+        let tag = cipher.encrypt_in_place_detached(&nonce_bytes, b"hdr", &mut in_place);
+        assert_eq!(&buffered[..msg.len()], in_place.as_slice());
+        assert_eq!(&buffered[msg.len()..], tag.as_slice());
+        cipher
+            .decrypt_in_place_detached(&nonce_bytes, b"hdr", &mut in_place, &tag)
+            .unwrap();
+        assert_eq!(in_place.as_slice(), msg);
+    }
+
+    #[test]
+    fn wrong_key_length_rejected() {
+        assert!(Aes128Gcm::new_from_slice(&[0u8; 15]).is_err());
+        assert!(Aes256Gcm::new_from_slice(&[0u8; 16]).is_err());
+    }
+}

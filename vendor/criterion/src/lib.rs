@@ -1,0 +1,394 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! A minimal micro-benchmark harness with the API subset the workspace's
+//! benches use: `Criterion::bench_function`, `benchmark_group` with
+//! `throughput` / `bench_with_input` / `finish`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is warmed up for a fixed wall-clock budget,
+//! then timed over batches until the measurement budget elapses; the mean
+//! per-iteration time and derived throughput are printed, and a JSON summary
+//! is written to `$CRITERION_JSON` (or `BENCH_<name>.json` in the working
+//! directory when `CRITERION_JSON_DIR` is set).
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting computations.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name (`group/function/param`).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+    /// Derived throughput in bytes/second, when annotated.
+    pub bytes_per_sec: Option<f64>,
+    /// Derived throughput in elements/second, when annotated.
+    pub elems_per_sec: Option<f64>,
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    measurement: &'a mut Option<(f64, u64)>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording the mean per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Measure in batches sized to ~1ms to amortize clock overhead.
+        let batch = ((1_000_000.0 / est_ns).ceil() as u64).clamp(1, 1 << 24);
+        let mut total_iters = 0u64;
+        let mut total_ns = 0u128;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_ns += t.elapsed().as_nanos();
+            total_iters += batch;
+        }
+        *self.measurement = Some((total_ns as f64 / total_iters as f64, total_iters));
+    }
+
+    /// `iter` variant receiving batch sizes (compatibility; calls `routine` once
+    /// per iteration).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch-size hint (accepted for API compatibility; ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input batches.
+    SmallInput,
+    /// Large input batches.
+    LargeInput,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    results: Vec<Measurement>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep budgets modest: these benches run in CI and as smoke tests.
+        let scale: f64 = std::env::var("CRITERION_TIME_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        Self {
+            results: Vec::new(),
+            warm_up: Duration::from_secs_f64(0.15 * scale),
+            measure: Duration::from_secs_f64(0.5 * scale),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let mut measurement = None;
+        let mut bencher = Bencher {
+            measurement: &mut measurement,
+            warm_up: self.warm_up,
+            measure: self.measure,
+        };
+        f(&mut bencher);
+        self.record(name, measurement, None);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn record(&mut self, name: String, m: Option<(f64, u64)>, throughput: Option<Throughput>) {
+        let Some((mean_ns, iterations)) = m else {
+            return;
+        };
+        let per_sec = 1e9 / mean_ns;
+        let (bytes_per_sec, elems_per_sec) = match throughput {
+            Some(Throughput::Bytes(b)) => (Some(per_sec * b as f64), None),
+            Some(Throughput::Elements(e)) => (None, Some(per_sec * e as f64)),
+            None => (None, None),
+        };
+        let m = Measurement {
+            name,
+            mean_ns,
+            iterations,
+            bytes_per_sec,
+            elems_per_sec,
+        };
+        print_measurement(&m);
+        self.results.push(m);
+    }
+
+    /// Prints the summary and writes the JSON report. Called by
+    /// `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        if let Some(path) = json_output_path() {
+            match std::fs::write(&path, self.to_json()) {
+                Ok(()) => eprintln!("criterion-shim: wrote {path}"),
+                Err(e) => eprintln!("criterion-shim: could not write {path}: {e}"),
+            }
+        }
+    }
+
+    /// Renders all measurements as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}",
+                m.name, m.mean_ns, m.iterations
+            ));
+            if let Some(b) = m.bytes_per_sec {
+                out.push_str(&format!(", \"throughput_bytes_per_sec\": {b:.0}"));
+                out.push_str(&format!(
+                    ", \"throughput_mib_per_sec\": {:.1}",
+                    b / (1024.0 * 1024.0)
+                ));
+            }
+            if let Some(e) = m.elems_per_sec {
+                out.push_str(&format!(", \"throughput_elems_per_sec\": {e:.0}"));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn json_output_path() -> Option<String> {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            return Some(path);
+        }
+    }
+    None
+}
+
+fn print_measurement(m: &Measurement) {
+    let time = if m.mean_ns >= 1e6 {
+        format!("{:.3} ms", m.mean_ns / 1e6)
+    } else if m.mean_ns >= 1e3 {
+        format!("{:.3} µs", m.mean_ns / 1e3)
+    } else {
+        format!("{:.1} ns", m.mean_ns)
+    };
+    let mut line = format!("{:<48} time: {:>12}", m.name, time);
+    if let Some(b) = m.bytes_per_sec {
+        line.push_str(&format!("   thrpt: {:>10.1} MiB/s", b / (1024.0 * 1024.0)));
+    }
+    if let Some(e) = m.elems_per_sec {
+        line.push_str(&format!("   thrpt: {e:>12.0} elem/s"));
+    }
+    println!("{line}");
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_name());
+        let mut measurement = None;
+        let mut bencher = Bencher {
+            measurement: &mut measurement,
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+        };
+        f(&mut bencher);
+        self.criterion.record(name, measurement, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; results were recorded eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion into a benchmark display name.
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            results: Vec::new(),
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert!(c.results[0].iterations > 0);
+    }
+
+    #[test]
+    fn group_throughput_annotation() {
+        let mut c = Criterion {
+            results: Vec::new(),
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_with_input(BenchmarkId::new("f", 1024), &1024usize, |b, &_n| {
+                b.iter(|| black_box(7u64) * 3)
+            });
+            g.finish();
+        }
+        assert!(c.results[0].bytes_per_sec.unwrap() > 0.0);
+        assert!(c.results[0].name.contains("g/f/1024"));
+        assert!(c.to_json().contains("throughput_bytes_per_sec"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline stand-in for the [`hkdf`](https://docs.rs/hkdf) crate.
+//!
+//! RFC 5869 HKDF-Extract / HKDF-Expand over HMAC-SHA256, exposing the same
+//! `Hkdf::<Sha256>` generic spelling the real crate uses (the hash parameter is
+//! fixed to SHA-256 — the only hash this workspace negotiates). Validated
+//! against the RFC 5869 test vectors below.
+
+#![forbid(unsafe_code)]
+
+use sha2::{Digest, Sha256};
+use std::marker::PhantomData;
+
+const HASH_LEN: usize = 32;
+const BLOCK_LEN: usize = 64;
+
+/// HMAC-SHA256 (RFC 2104).
+fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; HASH_LEN] {
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        k[..HASH_LEN].copy_from_slice(&Sha256::digest(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(ipad);
+    inner.update(data);
+    let inner = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(opad);
+    outer.update(inner);
+    outer.finalize()
+}
+
+/// Error returned when a PRK or requested output length is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLength;
+
+impl std::fmt::Display for InvalidLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid HKDF length")
+    }
+}
+
+impl std::error::Error for InvalidLength {}
+
+/// Error returned when a pseudo-random key has the wrong length.
+pub type InvalidPrkLength = InvalidLength;
+
+/// HKDF instance bound to an extracted pseudo-random key.
+pub struct Hkdf<H = Sha256> {
+    prk: [u8; HASH_LEN],
+    _hash: PhantomData<H>,
+}
+
+impl<H> Hkdf<H> {
+    /// HKDF-Extract: derives a PRK from optional salt and input key material,
+    /// returning `(prk, hkdf)` as the real crate does.
+    pub fn extract(salt: Option<&[u8]>, ikm: &[u8]) -> ([u8; HASH_LEN], Self) {
+        let zero_salt = [0u8; HASH_LEN];
+        let prk = hmac_sha256(salt.unwrap_or(&zero_salt), ikm);
+        (
+            prk,
+            Self {
+                prk,
+                _hash: PhantomData,
+            },
+        )
+    }
+
+    /// Creates an instance directly from a pseudo-random key.
+    pub fn from_prk(prk: &[u8]) -> Result<Self, InvalidPrkLength> {
+        if prk.len() < HASH_LEN {
+            return Err(InvalidLength);
+        }
+        let mut p = [0u8; HASH_LEN];
+        p.copy_from_slice(&prk[..HASH_LEN]);
+        Ok(Self {
+            prk: p,
+            _hash: PhantomData,
+        })
+    }
+
+    /// Creates an instance by extracting from salt + ikm (convenience).
+    pub fn new(salt: Option<&[u8]>, ikm: &[u8]) -> Self {
+        Self::extract(salt, ikm).1
+    }
+
+    /// HKDF-Expand: fills `okm` with output keying material derived with `info`.
+    pub fn expand(&self, info: &[u8], okm: &mut [u8]) -> Result<(), InvalidLength> {
+        if okm.len() > 255 * HASH_LEN {
+            return Err(InvalidLength);
+        }
+        let mut prev: Option<[u8; HASH_LEN]> = None;
+        let mut t = Vec::with_capacity(HASH_LEN + info.len() + 1);
+        let mut offset = 0usize;
+        let mut counter = 1u8;
+        while offset < okm.len() {
+            t.clear();
+            if let Some(p) = prev {
+                t.extend_from_slice(&p);
+            }
+            t.extend_from_slice(info);
+            t.push(counter);
+            let block = hmac_sha256(&self.prk, &t);
+            let take = (okm.len() - offset).min(HASH_LEN);
+            okm[offset..offset + take].copy_from_slice(&block[..take]);
+            offset += take;
+            counter = counter.wrapping_add(1);
+            prev = Some(block);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let (prk, hk) = Hkdf::<Sha256>::extract(Some(&salt), &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        hk.expand(&info, &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_empty_salt_info() {
+        let ikm = [0x0bu8; 22];
+        let (prk, hk) = Hkdf::<Sha256>::extract(None, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04"
+        );
+        let mut okm = [0u8; 42];
+        hk.expand(&[], &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn from_prk_then_expand_matches_extract_path() {
+        let ikm = b"input key material";
+        let (prk, hk) = Hkdf::<Sha256>::extract(Some(b"salt"), ikm);
+        let hk2 = Hkdf::<Sha256>::from_prk(&prk).unwrap();
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        hk.expand(b"info", &mut a).unwrap();
+        hk2.expand(b"info", &mut b).unwrap();
+        assert_eq!(a, b);
+        assert!(Hkdf::<Sha256>::from_prk(&[0u8; 16]).is_err());
+    }
+
+    #[test]
+    fn expand_length_limit() {
+        let hk = Hkdf::<Sha256>::new(None, b"ikm");
+        let mut too_long = vec![0u8; 255 * 32 + 1];
+        assert!(hk.expand(b"", &mut too_long).is_err());
+        let mut max = vec![0u8; 255 * 32];
+        assert!(hk.expand(b"", &mut max).is_ok());
+    }
+}

@@ -1,0 +1,281 @@
+//! 256-bit modular arithmetic via Montgomery multiplication (CIOS).
+//!
+//! One [`Modulus`] instance carries the precomputed Montgomery constants for a
+//! fixed odd modulus; the P-256 field prime and group order instances are
+//! created lazily. Values passed to and returned from the `mont_*` helpers are
+//! in Montgomery form unless stated otherwise; `to_mont` / `from_mont` convert.
+
+/// A 256-bit unsigned integer, little-endian u64 limbs.
+pub type U256 = [u64; 4];
+
+/// Comparison: a < b.
+pub fn lt(a: &U256, b: &U256) -> bool {
+    for i in (0..4).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// True if a == 0.
+pub fn is_zero(a: &U256) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// a + b with carry out.
+pub fn add(a: &U256, b: &U256) -> (U256, bool) {
+    let mut out = [0u64; 4];
+    let mut carry = 0u128;
+    for i in 0..4 {
+        let s = a[i] as u128 + b[i] as u128 + carry;
+        out[i] = s as u64;
+        carry = s >> 64;
+    }
+    (out, carry != 0)
+}
+
+/// a - b with borrow out.
+pub fn sub(a: &U256, b: &U256) -> (U256, bool) {
+    let mut out = [0u64; 4];
+    let mut borrow = 0i128;
+    for i in 0..4 {
+        let d = a[i] as i128 - b[i] as i128 - borrow;
+        if d < 0 {
+            out[i] = (d + (1i128 << 64)) as u64;
+            borrow = 1;
+        } else {
+            out[i] = d as u64;
+            borrow = 0;
+        }
+    }
+    (out, borrow != 0)
+}
+
+/// Parses a 32-byte big-endian integer.
+pub fn from_be_bytes(b: &[u8; 32]) -> U256 {
+    let mut out = [0u64; 4];
+    for i in 0..4 {
+        out[3 - i] = u64::from_be_bytes(b[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+    }
+    out
+}
+
+/// Serializes to 32 big-endian bytes.
+pub fn to_be_bytes(a: &U256) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&a[3 - i].to_be_bytes());
+    }
+    out
+}
+
+/// A fixed odd modulus with precomputed Montgomery constants.
+pub struct Modulus {
+    /// The modulus m.
+    pub m: U256,
+    /// -m⁻¹ mod 2⁶⁴.
+    m_prime: u64,
+    /// R² mod m where R = 2²⁵⁶ (converts into Montgomery form).
+    r2: U256,
+    /// R mod m (the Montgomery form of 1).
+    pub one: U256,
+}
+
+impl Modulus {
+    /// Builds the constants for an odd modulus.
+    pub fn new(m: U256) -> Self {
+        // m⁻¹ mod 2⁶⁴ by Newton iteration, then negate.
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m[0].wrapping_mul(inv)));
+        }
+        let m_prime = inv.wrapping_neg();
+
+        // R mod m: (2²⁵⁶ - m) mod m computed by subtracting m from zero with wrap.
+        let (r_mod_m, _) = sub(&[0, 0, 0, 0], &m); // = 2²⁵⁶ - m ≡ R (mod m), already < m? not necessarily; reduce.
+        let one = reduce_once(r_mod_m, &m);
+
+        // R² mod m by 256 modular doublings of R.
+        let mut r2 = one;
+        for _ in 0..256 {
+            r2 = mod_add(&r2, &r2, &m);
+        }
+
+        Self {
+            m,
+            m_prime,
+            r2,
+            one,
+        }
+    }
+
+    /// Montgomery multiplication: returns a·b·R⁻¹ mod m.
+    pub fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
+        // CIOS (coarsely integrated operand scanning).
+        let mut t = [0u64; 6];
+        for &ai in a.iter().take(4) {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[4] as u128 + carry;
+            t[4] = s as u64;
+            t[5] = (s >> 64) as u64;
+
+            // Reduce one limb: u = t[0]·m' mod 2⁶⁴; t += u·m; t >>= 64.
+            let u = t[0].wrapping_mul(self.m_prime);
+            let s = t[0] as u128 + u as u128 * self.m[0] as u128;
+            let mut carry = s >> 64;
+            for j in 1..4 {
+                let s = t[j] as u128 + u as u128 * self.m[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[4] as u128 + carry;
+            t[3] = s as u64;
+            t[4] = t[5] + ((s >> 64) as u64);
+            t[5] = 0;
+        }
+        let mut out = [t[0], t[1], t[2], t[3]];
+        if t[4] != 0 || !lt(&out, &self.m) {
+            let (r, _) = sub(&out, &self.m);
+            out = r;
+        }
+        out
+    }
+
+    /// Converts into Montgomery form.
+    pub fn to_mont(&self, a: &U256) -> U256 {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn from_mont(&self, a: &U256) -> U256 {
+        self.mont_mul(a, &[1, 0, 0, 0])
+    }
+
+    /// Modular addition (plain or Montgomery form — it is linear).
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        mod_add(a, b, &self.m)
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        let (r, borrow) = sub(a, b);
+        if borrow {
+            let (r2, _) = add(&r, &self.m);
+            r2
+        } else {
+            r
+        }
+    }
+
+    /// Montgomery exponentiation: a^e mod m (a in Montgomery form; result too).
+    pub fn mont_pow(&self, a: &U256, e: &U256) -> U256 {
+        let mut result = self.one;
+        for i in (0..256).rev() {
+            result = self.mont_mul(&result, &result);
+            if (e[i / 64] >> (i % 64)) & 1 == 1 {
+                result = self.mont_mul(&result, a);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse via Fermat (m must be prime): a⁻¹ = a^(m-2).
+    /// Input and output in Montgomery form.
+    pub fn mont_inv(&self, a: &U256) -> U256 {
+        let (e, _) = sub(&self.m, &[2, 0, 0, 0]);
+        self.mont_pow(a, &e)
+    }
+
+    /// Reduces an arbitrary 256-bit value mod m (plain form).
+    pub fn reduce(&self, a: &U256) -> U256 {
+        reduce_once(*a, &self.m)
+    }
+}
+
+fn reduce_once(a: U256, m: &U256) -> U256 {
+    if lt(&a, m) {
+        a
+    } else {
+        let (r, _) = sub(&a, m);
+        // A single subtraction suffices for values < 2m; values up to 2²⁵⁶-1 may
+        // need one more for small moduli, but both P-256 moduli exceed 2²⁵⁵ so
+        // a < 2²⁵⁶ < 2m never needs a second pass... except a < 2²⁵⁶ ≤ 2m holds
+        // exactly because m > 2²⁵⁵. Keep a defensive loop for clarity.
+        if lt(&r, m) {
+            r
+        } else {
+            let (r2, _) = sub(&r, m);
+            r2
+        }
+    }
+}
+
+fn mod_add(a: &U256, b: &U256, m: &U256) -> U256 {
+    let (s, carry) = add(a, b);
+    if carry || !lt(&s, m) {
+        let (r, _) = sub(&s, m);
+        r
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p256_p() -> U256 {
+        [
+            0xFFFF_FFFF_FFFF_FFFF,
+            0x0000_0000_FFFF_FFFF,
+            0x0000_0000_0000_0000,
+            0xFFFF_FFFF_0000_0001,
+        ]
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let md = Modulus::new(p256_p());
+        let a: U256 = [0x1234_5678, 0x9abc_def0, 7, 42];
+        let am = md.to_mont(&a);
+        assert_eq!(md.from_mont(&am), a);
+    }
+
+    #[test]
+    fn mul_matches_small_numbers() {
+        let md = Modulus::new(p256_p());
+        let a = md.to_mont(&[1_000_000_007, 0, 0, 0]);
+        let b = md.to_mont(&[998_244_353, 0, 0, 0]);
+        let c = md.from_mont(&md.mont_mul(&a, &b));
+        assert_eq!(c, [1_000_000_007u64 * 998_244_353, 0, 0, 0]);
+    }
+
+    #[test]
+    fn inverse_works() {
+        let md = Modulus::new(p256_p());
+        let a = md.to_mont(&[0xdead_beef, 0xcafe, 1, 0]);
+        let inv = md.mont_inv(&a);
+        let prod = md.mont_mul(&a, &inv);
+        assert_eq!(prod, md.one);
+    }
+
+    #[test]
+    fn add_sub_inverse_ops() {
+        let md = Modulus::new(p256_p());
+        let a: U256 = [5, 6, 7, 8];
+        let b: U256 = [9, 10, 11, 12];
+        let s = md.add(&a, &b);
+        assert_eq!(md.sub(&s, &b), a);
+        // Subtraction below zero wraps mod m.
+        let z = md.sub(&a, &b);
+        assert_eq!(md.add(&z, &b), a);
+    }
+}

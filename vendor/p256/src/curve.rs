@@ -1,0 +1,316 @@
+//! NIST P-256 group operations in Jacobian coordinates.
+
+use crate::arith::{self, Modulus, U256};
+use std::sync::OnceLock;
+
+/// The field prime p = 2²⁵⁶ − 2²²⁴ + 2¹⁹² + 2⁹⁶ − 1.
+pub const P: U256 = [
+    0xFFFF_FFFF_FFFF_FFFF,
+    0x0000_0000_FFFF_FFFF,
+    0x0000_0000_0000_0000,
+    0xFFFF_FFFF_0000_0001,
+];
+
+/// The group order n.
+pub const N: U256 = [
+    0xF3B9_CAC2_FC63_2551,
+    0xBCE6_FAAD_A717_9E84,
+    0xFFFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Base-point x coordinate.
+const GX: U256 = [
+    0xF4A1_3945_D898_C296,
+    0x7703_7D81_2DEB_33A0,
+    0xF8BC_E6E5_63A4_40F2,
+    0x6B17_D1F2_E12C_4247,
+];
+
+/// Base-point y coordinate.
+const GY: U256 = [
+    0xCBB6_4068_37BF_51F5,
+    0x2BCE_3357_6B31_5ECE,
+    0x8EE7_EB4A_7C0F_9E16,
+    0x4FE3_42E2_FE1A_7F9B,
+];
+
+/// Curve coefficient b (a is fixed to −3).
+const B: U256 = [
+    0x3BCE_3C3E_27D2_604B,
+    0x651D_06B0_CC53_B0F6,
+    0xB3EB_BD55_7698_86BC,
+    0x5AC6_35D8_AA3A_93E7,
+];
+
+/// The field modulus instance (Montgomery constants for p).
+pub fn fp() -> &'static Modulus {
+    static FP: OnceLock<Modulus> = OnceLock::new();
+    FP.get_or_init(|| Modulus::new(P))
+}
+
+/// The scalar modulus instance (Montgomery constants for n).
+pub fn fn_() -> &'static Modulus {
+    static FN: OnceLock<Modulus> = OnceLock::new();
+    FN.get_or_init(|| Modulus::new(N))
+}
+
+/// A point in Jacobian coordinates, field elements in Montgomery form.
+/// The identity is encoded as Z = 0.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+/// An affine point (plain-form coordinates), or the identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Affine {
+    /// x coordinate (plain form).
+    pub x: U256,
+    /// y coordinate (plain form).
+    pub y: U256,
+    /// True for the point at infinity.
+    pub infinity: bool,
+}
+
+impl Point {
+    /// The identity element.
+    pub fn identity() -> Self {
+        Self {
+            x: fp().one,
+            y: fp().one,
+            z: [0, 0, 0, 0],
+        }
+    }
+
+    /// The generator G.
+    pub fn generator() -> Self {
+        let f = fp();
+        Self {
+            x: f.to_mont(&GX),
+            y: f.to_mont(&GY),
+            z: f.one,
+        }
+    }
+
+    /// Builds from affine coordinates (plain form). Does not validate.
+    pub fn from_affine(a: &Affine) -> Self {
+        if a.infinity {
+            return Self::identity();
+        }
+        let f = fp();
+        Self {
+            x: f.to_mont(&a.x),
+            y: f.to_mont(&a.y),
+            z: f.one,
+        }
+    }
+
+    /// True if this is the identity.
+    pub fn is_identity(&self) -> bool {
+        arith::is_zero(&self.z)
+    }
+
+    /// Point doubling (a = −3 formulas).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        let f = fp();
+        let delta = f.mont_mul(&self.z, &self.z);
+        let gamma = f.mont_mul(&self.y, &self.y);
+        let beta = f.mont_mul(&self.x, &gamma);
+        let t1 = f.sub(&self.x, &delta);
+        let t2 = f.add(&self.x, &delta);
+        let t3 = f.mont_mul(&t1, &t2);
+        let alpha = f.add(&f.add(&t3, &t3), &t3);
+        let alpha2 = f.mont_mul(&alpha, &alpha);
+        let beta2 = f.add(&beta, &beta);
+        let beta4 = f.add(&beta2, &beta2);
+        let beta8 = f.add(&beta4, &beta4);
+        let x3 = f.sub(&alpha2, &beta8);
+        let yz = f.add(&self.y, &self.z);
+        let yz2 = f.mont_mul(&yz, &yz);
+        let z3 = f.sub(&f.sub(&yz2, &gamma), &delta);
+        let g2 = f.mont_mul(&gamma, &gamma);
+        let g2x2 = f.add(&g2, &g2);
+        let g2x4 = f.add(&g2x2, &g2x2);
+        let g2x8 = f.add(&g2x4, &g2x4);
+        let y3 = f.sub(&f.mont_mul(&alpha, &f.sub(&beta4, &x3)), &g2x8);
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General point addition.
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let f = fp();
+        let z1z1 = f.mont_mul(&self.z, &self.z);
+        let z2z2 = f.mont_mul(&other.z, &other.z);
+        let u1 = f.mont_mul(&self.x, &z2z2);
+        let u2 = f.mont_mul(&other.x, &z1z1);
+        let s1 = f.mont_mul(&f.mont_mul(&self.y, &other.z), &z2z2);
+        let s2 = f.mont_mul(&f.mont_mul(&other.y, &self.z), &z1z1);
+        let h = f.sub(&u2, &u1);
+        let r = f.sub(&s2, &s1);
+        if arith::is_zero(&h) {
+            if arith::is_zero(&r) {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let hh = f.mont_mul(&h, &h);
+        let hhh = f.mont_mul(&h, &hh);
+        let v = f.mont_mul(&u1, &hh);
+        let r2 = f.mont_mul(&r, &r);
+        let x3 = f.sub(&f.sub(&r2, &hhh), &f.add(&v, &v));
+        let y3 = f.sub(&f.mont_mul(&r, &f.sub(&v, &x3)), &f.mont_mul(&s1, &hhh));
+        let z3 = f.mont_mul(&f.mont_mul(&self.z, &other.z), &h);
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Scalar multiplication (left-to-right double-and-add).
+    pub fn mul(&self, k: &U256) -> Self {
+        let mut acc = Self::identity();
+        let mut started = false;
+        for i in (0..256).rev() {
+            if started {
+                acc = acc.double();
+            }
+            if (k[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = if started { acc.add(self) } else { *self };
+                started = true;
+            }
+        }
+        if started {
+            acc
+        } else {
+            Self::identity()
+        }
+    }
+
+    /// Converts to affine coordinates (plain form).
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_affine(&self) -> Affine {
+        if self.is_identity() {
+            return Affine {
+                x: [0; 4],
+                y: [0; 4],
+                infinity: true,
+            };
+        }
+        let f = fp();
+        let zinv = f.mont_inv(&self.z);
+        let zinv2 = f.mont_mul(&zinv, &zinv);
+        let zinv3 = f.mont_mul(&zinv2, &zinv);
+        Affine {
+            x: f.from_mont(&f.mont_mul(&self.x, &zinv2)),
+            y: f.from_mont(&f.mont_mul(&self.y, &zinv3)),
+            infinity: false,
+        }
+    }
+}
+
+impl Affine {
+    /// Checks the curve equation y² = x³ − 3x + b (plain-form input).
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return false;
+        }
+        if !arith::lt(&self.x, &P) || !arith::lt(&self.y, &P) {
+            return false;
+        }
+        let f = fp();
+        let x = f.to_mont(&self.x);
+        let y = f.to_mont(&self.y);
+        let y2 = f.mont_mul(&y, &y);
+        let x2 = f.mont_mul(&x, &x);
+        let x3 = f.mont_mul(&x2, &x);
+        let threex = f.add(&f.add(&x, &x), &x);
+        let rhs = f.add(&f.sub(&x3, &threex), &f.to_mont(&B));
+        y2 == rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{from_be_bytes, to_be_bytes};
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..64)
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        let g = Point::generator().to_affine();
+        assert!(g.is_on_curve());
+        assert_eq!(g.x, GX);
+        assert_eq!(g.y, GY);
+    }
+
+    #[test]
+    fn order_times_generator_is_identity() {
+        let inf = Point::generator().mul(&N);
+        assert!(inf.to_affine().infinity);
+    }
+
+    #[test]
+    fn rfc6979_key_pair() {
+        // RFC 6979 A.2.5: d·G must equal the published public key.
+        let d = from_be_bytes(&unhex32(
+            "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721",
+        ));
+        let q = Point::generator().mul(&d).to_affine();
+        assert_eq!(
+            to_be_bytes(&q.x),
+            unhex32("60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6")
+        );
+        assert_eq!(
+            to_be_bytes(&q.y),
+            unhex32("7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299")
+        );
+    }
+
+    #[test]
+    fn add_double_consistency() {
+        let g = Point::generator();
+        let two_g = g.double().to_affine();
+        let also_two_g = g.add(&g).to_affine();
+        assert_eq!(two_g, also_two_g);
+        let three_g = g.double().add(&g).to_affine();
+        let three_g2 = g.mul(&[3, 0, 0, 0]).to_affine();
+        assert_eq!(three_g, three_g2);
+        assert!(three_g.is_on_curve());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = Point::generator();
+        let a: U256 = [0x1234_5678_9abc_def0, 0x1111, 0x2222, 0x0333];
+        let b: U256 = [0x0fed_cba9_8765_4321, 0x4444, 0x5555, 0x0666];
+        let (sum, _) = crate::arith::add(&a, &b);
+        // (a+b)G == aG + bG (sum stays < n here by construction).
+        let lhs = g.mul(&sum).to_affine();
+        let rhs = g.mul(&a).add(&g.mul(&b)).to_affine();
+        assert_eq!(lhs, rhs);
+    }
+}

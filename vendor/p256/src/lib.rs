@@ -1,0 +1,444 @@
+//! Offline stand-in for the [`p256`](https://docs.rs/p256) crate.
+//!
+//! Pure-Rust NIST P-256 (secp256r1) with the API subset the workspace uses:
+//! [`ecdh::EphemeralSecret`] / [`PublicKey`] for key agreement and
+//! [`ecdsa::SigningKey`] / [`ecdsa::VerifyingKey`] / [`ecdsa::Signature`] for
+//! signatures (DER-encoded, message prehashed with SHA-256 as in the real
+//! crate's `Signer` impl). Field and group arithmetic are validated against
+//! RFC 6979 / NIST vectors in the `arith` and `curve` modules.
+
+#![forbid(unsafe_code)]
+
+mod arith;
+mod curve;
+
+use arith::{from_be_bytes, to_be_bytes, U256};
+use curve::{fn_, Affine, Point, N};
+use rand::RngCore;
+
+/// Error type covering every failure mode (invalid encodings, bad signatures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p256 error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A validated P-256 public key (affine point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey {
+    point: Affine,
+}
+
+impl PublicKey {
+    /// Parses an SEC1-encoded point (uncompressed `04 ‖ x ‖ y` only).
+    pub fn from_sec1_bytes(bytes: &[u8]) -> Result<Self, Error> {
+        if bytes.len() != 65 || bytes[0] != 0x04 {
+            return Err(Error);
+        }
+        let x = from_be_bytes(bytes[1..33].try_into().expect("32 bytes"));
+        let y = from_be_bytes(bytes[33..65].try_into().expect("32 bytes"));
+        let point = Affine {
+            x,
+            y,
+            infinity: false,
+        };
+        if !point.is_on_curve() {
+            return Err(Error);
+        }
+        Ok(Self { point })
+    }
+
+    /// Serializes to uncompressed SEC1 form (65 bytes).
+    pub fn to_sec1_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(65);
+        out.push(0x04);
+        out.extend_from_slice(&to_be_bytes(&self.point.x));
+        out.extend_from_slice(&to_be_bytes(&self.point.y));
+        out
+    }
+
+    /// Returns an encoded-point wrapper (compatibility with the real API).
+    pub fn to_encoded_point(&self, compress: bool) -> EncodedPoint {
+        assert!(!compress, "compressed points are not supported");
+        EncodedPoint {
+            bytes: self.to_sec1_bytes(),
+        }
+    }
+
+    fn to_point(self) -> Point {
+        Point::from_affine(&self.point)
+    }
+}
+
+/// An SEC1-encoded point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedPoint {
+    bytes: Vec<u8>,
+}
+
+impl EncodedPoint {
+    /// The raw encoding.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Samples a uniform non-zero scalar in `[1, n-1]`.
+fn random_scalar(rng: &mut impl RngCore) -> U256 {
+    loop {
+        let mut buf = [0u8; 32];
+        rng.fill_bytes(&mut buf);
+        let candidate = from_be_bytes(&buf);
+        if !arith::is_zero(&candidate) && arith::lt(&candidate, &N) {
+            return candidate;
+        }
+    }
+}
+
+/// Elliptic-curve Diffie–Hellman.
+pub mod ecdh {
+    use super::*;
+
+    /// An ephemeral ECDH secret scalar.
+    pub struct EphemeralSecret {
+        scalar: U256,
+    }
+
+    impl EphemeralSecret {
+        /// Generates a fresh ephemeral secret.
+        pub fn random(rng: &mut impl RngCore) -> Self {
+            Self {
+                scalar: random_scalar(rng),
+            }
+        }
+
+        /// The corresponding public key.
+        pub fn public_key(&self) -> PublicKey {
+            PublicKey {
+                point: Point::generator().mul(&self.scalar).to_affine(),
+            }
+        }
+
+        /// Computes the shared secret with a peer public key.
+        pub fn diffie_hellman(&self, peer: &PublicKey) -> SharedSecret {
+            let shared = peer.to_point().mul(&self.scalar).to_affine();
+            SharedSecret {
+                bytes: to_be_bytes(&shared.x),
+            }
+        }
+    }
+
+    /// The raw x-coordinate shared secret.
+    pub struct SharedSecret {
+        bytes: [u8; 32],
+    }
+
+    impl SharedSecret {
+        /// The raw shared-secret bytes (the x coordinate).
+        pub fn raw_secret_bytes(&self) -> &[u8; 32] {
+            &self.bytes
+        }
+    }
+}
+
+/// ECDSA signing and verification (SHA-256 prehash, DER signatures).
+pub mod ecdsa {
+    use super::*;
+    use sha2::Sha256;
+
+    /// Re-export of the signing/verification traits (mirrors `p256::ecdsa::signature`).
+    pub mod signature {
+        /// Signs messages, producing signatures of type `S`.
+        pub trait Signer<S> {
+            /// Signs `msg`, panicking on RNG failure (mirrors the real trait's
+            /// `sign`, which is the infallible wrapper over `try_sign`).
+            fn sign(&self, msg: &[u8]) -> S;
+        }
+
+        /// Verifies message signatures of type `S`.
+        pub trait Verifier<S> {
+            /// Verifies `signature` over `msg`.
+            fn verify(&self, msg: &[u8], signature: &S) -> Result<(), super::Error>;
+        }
+    }
+
+    pub use super::Error;
+
+    /// An ECDSA/P-256 signing key.
+    #[derive(Clone)]
+    pub struct SigningKey {
+        scalar: U256,
+        verifying: VerifyingKey,
+    }
+
+    /// An ECDSA/P-256 verifying key.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct VerifyingKey {
+        key: PublicKey,
+    }
+
+    /// An ECDSA signature (r, s), normalised scalars.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Signature {
+        r: U256,
+        s: U256,
+    }
+
+    impl SigningKey {
+        /// Generates a fresh signing key.
+        pub fn random(rng: &mut impl RngCore) -> Self {
+            let scalar = random_scalar(rng);
+            Self::from_scalar(scalar)
+        }
+
+        fn from_scalar(scalar: U256) -> Self {
+            let point = Point::generator().mul(&scalar).to_affine();
+            Self {
+                scalar,
+                verifying: VerifyingKey {
+                    key: PublicKey { point },
+                },
+            }
+        }
+
+        /// The corresponding verifying key.
+        pub fn verifying_key(&self) -> VerifyingKey {
+            self.verifying
+        }
+    }
+
+    impl VerifyingKey {
+        /// Parses from SEC1 bytes.
+        pub fn from_sec1_bytes(bytes: &[u8]) -> Result<Self, Error> {
+            Ok(Self {
+                key: PublicKey::from_sec1_bytes(bytes)?,
+            })
+        }
+
+        /// SEC1 encoded-point form.
+        pub fn to_encoded_point(&self, compress: bool) -> EncodedPoint {
+            self.key.to_encoded_point(compress)
+        }
+    }
+
+    /// Hash the message and reduce into the scalar field.
+    fn message_scalar(msg: &[u8]) -> U256 {
+        let digest = Sha256::digest(msg);
+        let z = from_be_bytes(&digest);
+        fn_().reduce(&z)
+    }
+
+    impl signature::Signer<Signature> for SigningKey {
+        fn sign(&self, msg: &[u8]) -> Signature {
+            let n = fn_();
+            let z = message_scalar(msg);
+            loop {
+                let k = random_scalar(&mut rand::rngs::OsRng);
+                let point = Point::generator().mul(&k).to_affine();
+                let r = n.reduce(&point.x);
+                if arith::is_zero(&r) {
+                    continue;
+                }
+                // s = k⁻¹ (z + r·d) mod n, all in Montgomery form.
+                let km = n.to_mont(&k);
+                let rm = n.to_mont(&r);
+                let dm = n.to_mont(&self.scalar);
+                let zm = n.to_mont(&z);
+                let rd = n.mont_mul(&rm, &dm);
+                let sum = n.add(&zm, &rd);
+                let kinv = n.mont_inv(&km);
+                let s = n.from_mont(&n.mont_mul(&kinv, &sum));
+                if arith::is_zero(&s) {
+                    continue;
+                }
+                return Signature { r, s };
+            }
+        }
+    }
+
+    impl signature::Verifier<Signature> for VerifyingKey {
+        fn verify(&self, msg: &[u8], signature: &Signature) -> Result<(), Error> {
+            let n = fn_();
+            let Signature { r, s } = *signature;
+            if arith::is_zero(&r) || arith::is_zero(&s) || !arith::lt(&r, &N) || !arith::lt(&s, &N)
+            {
+                return Err(Error);
+            }
+            let z = message_scalar(msg);
+            let sm = n.to_mont(&s);
+            let sinv = n.mont_inv(&sm);
+            let u1 = n.from_mont(&n.mont_mul(&n.to_mont(&z), &sinv));
+            let u2 = n.from_mont(&n.mont_mul(&n.to_mont(&r), &sinv));
+            let point = Point::generator()
+                .mul(&u1)
+                .add(&self.key.to_point().mul(&u2));
+            let affine = point.to_affine();
+            if affine.infinity {
+                return Err(Error);
+            }
+            if n.reduce(&affine.x) == r {
+                Ok(())
+            } else {
+                Err(Error)
+            }
+        }
+    }
+
+    impl Signature {
+        /// DER-encodes the signature (SEQUENCE of two INTEGERs).
+        pub fn to_der(&self) -> DerSignature {
+            fn encode_int(v: &U256, out: &mut Vec<u8>) {
+                let bytes = to_be_bytes(v);
+                let first = bytes.iter().position(|&b| b != 0).unwrap_or(31);
+                let mut body: Vec<u8> = bytes[first..].to_vec();
+                if body[0] & 0x80 != 0 {
+                    body.insert(0, 0);
+                }
+                out.push(0x02);
+                out.push(body.len() as u8);
+                out.extend_from_slice(&body);
+            }
+            let mut body = Vec::with_capacity(72);
+            encode_int(&self.r, &mut body);
+            encode_int(&self.s, &mut body);
+            let mut bytes = Vec::with_capacity(body.len() + 2);
+            bytes.push(0x30);
+            bytes.push(body.len() as u8);
+            bytes.extend_from_slice(&body);
+            DerSignature { bytes }
+        }
+
+        /// Parses a DER-encoded signature.
+        pub fn from_der(bytes: &[u8]) -> Result<Self, Error> {
+            fn read_int(b: &[u8]) -> Result<(U256, usize), Error> {
+                if b.len() < 2 || b[0] != 0x02 {
+                    return Err(Error);
+                }
+                let len = b[1] as usize;
+                if len == 0 || len > 33 || b.len() < 2 + len {
+                    return Err(Error);
+                }
+                let raw = &b[2..2 + len];
+                let raw = if raw.len() == 33 {
+                    if raw[0] != 0 {
+                        return Err(Error);
+                    }
+                    &raw[1..]
+                } else {
+                    raw
+                };
+                let mut buf = [0u8; 32];
+                buf[32 - raw.len()..].copy_from_slice(raw);
+                Ok((from_be_bytes(&buf), 2 + len))
+            }
+            if bytes.len() < 2 || bytes[0] != 0x30 || bytes[1] as usize != bytes.len() - 2 {
+                return Err(Error);
+            }
+            let (r, used) = read_int(&bytes[2..])?;
+            let (s, used2) = read_int(&bytes[2 + used..])?;
+            if 2 + used + used2 != bytes.len() {
+                return Err(Error);
+            }
+            Ok(Self { r, s })
+        }
+    }
+
+    /// An owned DER-encoded signature.
+    #[derive(Debug, Clone)]
+    pub struct DerSignature {
+        bytes: Vec<u8>,
+    }
+
+    impl DerSignature {
+        /// The DER bytes.
+        pub fn as_bytes(&self) -> &[u8] {
+            &self.bytes
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::signature::{Signer, Verifier};
+        use super::*;
+
+        #[test]
+        fn sign_verify_roundtrip() {
+            let key = SigningKey::random(&mut rand::rngs::OsRng);
+            let vk = key.verifying_key();
+            let sig = key.sign(b"message");
+            vk.verify(b"message", &sig).unwrap();
+            assert!(vk.verify(b"other message", &sig).is_err());
+        }
+
+        #[test]
+        fn der_roundtrip() {
+            let key = SigningKey::random(&mut rand::rngs::OsRng);
+            let sig = key.sign(b"x");
+            let der = sig.to_der();
+            let back = Signature::from_der(der.as_bytes()).unwrap();
+            assert_eq!(back, sig);
+            assert!(Signature::from_der(&[0x30, 0x01, 0x00]).is_err());
+        }
+
+        #[test]
+        fn sec1_roundtrip_and_validation() {
+            let key = SigningKey::random(&mut rand::rngs::OsRng);
+            let vk = key.verifying_key();
+            let encoded = vk.to_encoded_point(false);
+            let back = VerifyingKey::from_sec1_bytes(encoded.as_bytes()).unwrap();
+            assert_eq!(back, vk);
+            assert!(VerifyingKey::from_sec1_bytes(&[0u8; 65]).is_err());
+            assert!(VerifyingKey::from_sec1_bytes(&[4u8; 12]).is_err());
+        }
+
+        #[test]
+        fn cross_key_verification_fails() {
+            let a = SigningKey::random(&mut rand::rngs::OsRng);
+            let b = SigningKey::random(&mut rand::rngs::OsRng);
+            let sig = a.sign(b"payload");
+            assert!(b.verifying_key().verify(b"payload", &sig).is_err());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ecdh::EphemeralSecret;
+    use super::PublicKey;
+
+    #[test]
+    fn ecdh_agreement() {
+        let a = EphemeralSecret::random(&mut rand::rngs::OsRng);
+        let b = EphemeralSecret::random(&mut rand::rngs::OsRng);
+        let pa = a.public_key();
+        let pb = b.public_key();
+        let s1 = a.diffie_hellman(&pb);
+        let s2 = b.diffie_hellman(&pa);
+        assert_eq!(s1.raw_secret_bytes(), s2.raw_secret_bytes());
+    }
+
+    #[test]
+    fn sec1_bytes_shape() {
+        let a = EphemeralSecret::random(&mut rand::rngs::OsRng);
+        let bytes = a.public_key().to_sec1_bytes();
+        assert_eq!(bytes.len(), 65);
+        assert_eq!(bytes[0], 0x04);
+        let back = PublicKey::from_sec1_bytes(&bytes).unwrap();
+        assert_eq!(back, a.public_key());
+    }
+
+    #[test]
+    fn invalid_points_rejected() {
+        assert!(PublicKey::from_sec1_bytes(&[0u8; 65]).is_err());
+        let mut bytes = EphemeralSecret::random(&mut rand::rngs::OsRng)
+            .public_key()
+            .to_sec1_bytes();
+        bytes[40] ^= 1;
+        assert!(PublicKey::from_sec1_bytes(&bytes).is_err());
+    }
+}

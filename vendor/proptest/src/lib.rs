@@ -1,0 +1,257 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! Supports the macro surface this workspace's property tests use:
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     #[test]
+//!     fn prop(x in 0u64..100, data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+//!         prop_assert!(x < 100);
+//!     }
+//! }
+//! ```
+//!
+//! Each property runs `cases` times with a deterministic seeded RNG (override
+//! the seed with `PROPTEST_SEED`). There is **no shrinking** — failures print
+//! the failing case number and seed so the run can be reproduced.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// Re-exported so generated tests can name the RNG type.
+pub type TestRng = StdRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A source of random values of type `Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy for "any value of this type".
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the `any::<T>()` strategy.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+              u64 => next_u64, usize => next_u64,
+              i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        use rand::RngCore;
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length sampled from `len`. The length
+    /// parameter is a concrete `Range<usize>` so that bare integer-literal
+    /// ranges at call sites infer `usize` (mirroring how the real proptest's
+    /// `SizeRange` conversions behave).
+    pub fn vec<S>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Builds the per-property RNG, honouring `PROPTEST_SEED`.
+pub fn rng_for(name: &str, case: u32) -> TestRng {
+    use rand::SeedableRng;
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5eed_cafe);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(base ^ h ^ ((case as u64) << 32))
+}
+
+/// Asserts within a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples all strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::rng_for(stringify!($name), case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 5u64..10, y in 0usize..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+        }
+
+        #[test]
+        fn vec_lengths(data in crate::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(data.len() >= 2 && data.len() < 6);
+        }
+
+        #[test]
+        fn any_values_sample(b in any::<bool>(), v in any::<u64>()) {
+            let _ = (b, v);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        use crate::Strategy;
+        let mut r1 = crate::rng_for("t", 3);
+        let mut r2 = crate::rng_for("t", 3);
+        let s = 0u64..1000;
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! Instead of serde's visitor-based data model, [`Serialize`] converts a value
+//! into a self-describing [`Value`] tree that `serde_json` renders. That is the
+//! only serialization this workspace performs (`--json` experiment output), so
+//! the simplified model keeps every `#[derive(Serialize, Deserialize)]` in the
+//! tree compiling without the real crate. [`Deserialize`] is a marker trait —
+//! nothing in the workspace deserializes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// null
+    Null,
+    /// true / false
+    Bool(bool),
+    /// A number, stored pre-formatted to preserve integer width and float shape.
+    Number(String),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered map (field order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a serialized value.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait for deserializable types (derive-compatible; unused at runtime).
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(self.to_string())
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(format_float(*self as f64))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(format_float(*self))
+    }
+}
+impl Deserialize for f64 {}
+
+fn format_float(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        // JSON has no NaN/Infinity; mirror serde_json's `null`.
+        "null".to_string()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T> Deserialize for Box<T> {}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Mirrors real serde's {secs, nanos} representation.
+        Value::Object(vec![
+            ("secs".to_string(), self.as_secs().to_value()),
+            ("nanos".to_string(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+impl Deserialize for std::time::Duration {}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<K, V> Deserialize for std::collections::HashMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(42u64.to_value(), Value::Number("42".to_string()));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!((1.5f64).to_value(), Value::Number("1.5".to_string()));
+        assert_eq!((2.0f64).to_value(), Value::Number("2.0".to_string()));
+        assert_eq!("hi".to_value(), Value::String("hi".to_string()));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![
+                Value::Number("1".into()),
+                Value::Number("2".into()),
+                Value::Number("3".into())
+            ])
+        );
+        let t = (1u8, "x".to_string());
+        assert_eq!(
+            t.to_value(),
+            Value::Array(vec![Value::Number("1".into()), Value::String("x".into())])
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for [`serde_derive`](https://docs.rs/serde_derive).
+//!
+//! `#[derive(Serialize)]` generates an impl of this workspace's simplified
+//! `serde::Serialize` trait (`fn to_value(&self) -> serde::Value`), covering
+//! named structs, tuple structs and enums (unit, tuple and struct variants)
+//! with serde's default externally-tagged representation.
+//! `#[derive(Deserialize)]` implements the marker trait `serde::Deserialize`
+//! (nothing in this workspace deserializes, but the derives must compile).
+//!
+//! Parsing is done directly on the token stream (no `syn`); generic types are
+//! not supported — and not used by this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    kind: String,
+    name: String,
+    body: Option<proc_macro::Group>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes.
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 1;
+        }
+    }
+    // Skip visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+    // Find the body group (brace or paren), if any.
+    let mut body = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                body = Some(g.clone());
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("generic types are not supported by the offline serde_derive")
+            }
+            _ => i += 1,
+        }
+    }
+    Item { kind, name, body }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        if matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            *i += 1;
+            if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                *i += 1;
+            }
+            continue;
+        }
+        if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            *i += 1;
+            if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Field names of a named-field body.
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        names.push(field.to_string());
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) => {
+                    if p.as_char() == '<' {
+                        depth += 1;
+                    }
+                    if p.as_char() == '>' {
+                        depth -= 1;
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    names
+}
+
+/// Number of fields in a tuple body.
+fn tuple_field_count(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0i32;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma creates a phantom field; detect it.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(tuple_field_count(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(named_field_names(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+/// Derives the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match item.kind.as_str() {
+        "struct" => match &item.body {
+            None => "::serde::Value::Null".to_string(),
+            Some(g) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_field_names(g.stream());
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                    })
+                    .collect();
+                format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+            }
+            Some(g) => {
+                let count = tuple_field_count(g.stream());
+                if count == 1 {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                } else {
+                    let entries: Vec<String> = (0..count)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+                }
+            }
+        },
+        "enum" => {
+            let variants = parse_enum_variants(item.body.as_ref().expect("enum body").stream());
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vn, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"
+                    ),
+                    VariantShape::Tuple(count) => {
+                        let bindings: Vec<String> =
+                            (0..*count).map(|k| format!("arg{k}")).collect();
+                        let inner = if *count == 1 {
+                            "::serde::Serialize::to_value(arg0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),",
+                            bindings.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let pattern = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {pattern} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+        other => panic!("cannot derive Serialize for {other}"),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the workspace `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json).
+//!
+//! Renders the simplified `serde::Value` tree produced by this workspace's
+//! vendored `serde` as JSON text. Only serialization is provided — nothing in
+//! the workspace parses JSON.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+
+/// Serialization error (infallible in this implementation, kept for API shape).
+#[derive(Debug, Clone)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_close, sep) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (level + 1)),
+            " ".repeat(w * level),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(n),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(item, out, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape_into(k, out);
+                out.push_str(sep);
+                write_value(val, out, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![(1u8, "a\"b".to_string()), (2, "c".to_string())];
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "[[1,\"a\\\"b\"],[2,\"c\"]]");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("[\n"));
+        assert!(pretty.contains("  ["));
+    }
+
+    #[test]
+    fn object_rendering() {
+        let v = Value::Object(vec![
+            ("x".to_string(), Value::Number("1".to_string())),
+            ("y".to_string(), Value::Null),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        assert_eq!(to_string(&Raw(v)).unwrap(), "{\"x\":1,\"y\":null}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Offline stand-in for the [`thiserror`](https://docs.rs/thiserror) crate.
+//!
+//! Provides `#[derive(Error)]` with the attribute subset this workspace uses:
+//!
+//! * `#[error("format string")]` — generates `Display` using the literal as a
+//!   format template; named fields are captured implicitly, positional `{0}`
+//!   references are rewritten to generated bindings;
+//! * `#[error(transparent)]` — `Display` delegates to the single inner field;
+//! * `#[from]` on a variant's single field — generates a `From` impl.
+//!
+//! The input is parsed directly from the token stream (no `syn`), supporting
+//! non-generic enums — which is every error type in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum DisplayAttr {
+    Format(String),
+    Transparent,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields: (count, index-with-`#[from]`, type string of that field).
+    Tuple(usize, Option<(usize, String)>),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    display: Option<DisplayAttr>,
+    fields: Fields,
+}
+
+/// Derives `Display`, `std::error::Error` and `From` impls.
+#[proc_macro_derive(Error, attributes(error, from, source, backtrace))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attributes(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected enum/struct, got {other:?}"),
+    };
+    if kind != "enum" {
+        panic!("this offline thiserror supports #[derive(Error)] on enums only");
+    }
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected enum name, got {other:?}"),
+    };
+    i += 1;
+    let body = loop {
+        match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(_) => i += 1,
+            None => panic!("enum body not found"),
+        }
+    };
+
+    let variants = parse_variants(body.stream());
+    let mut out = String::new();
+
+    // Display impl.
+    out.push_str(&format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+         fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         match self {{\n"
+    ));
+    for v in &variants {
+        let vn = &v.name;
+        match (&v.display, &v.fields) {
+            (Some(DisplayAttr::Transparent), Fields::Tuple(1, _)) => {
+                out.push_str(&format!(
+                    "{name}::{vn}(inner) => ::std::fmt::Display::fmt(inner, f),\n"
+                ));
+            }
+            (Some(DisplayAttr::Format(fmt)), Fields::Unit) => {
+                out.push_str(&format!("{name}::{vn} => write!(f, {fmt}),\n"));
+            }
+            (Some(DisplayAttr::Format(fmt)), Fields::Named(fields)) => {
+                let pattern = fields.join(", ");
+                out.push_str(&format!(
+                    "{name}::{vn} {{ {pattern} }} => write!(f, {fmt}),\n"
+                ));
+            }
+            (Some(DisplayAttr::Format(fmt)), Fields::Tuple(count, _)) => {
+                let bindings: Vec<String> = (0..*count).map(|k| format!("arg{k}")).collect();
+                let rewritten = rewrite_positional(fmt);
+                out.push_str(&format!(
+                    "{name}::{vn}({}) => {{ {} write!(f, {rewritten}) }},\n",
+                    bindings.join(", "),
+                    // Silence unused warnings for fields the template skips.
+                    bindings
+                        .iter()
+                        .map(|b| format!("let _ = {b};"))
+                        .collect::<String>(),
+                ));
+            }
+            (None, _) => {
+                // No #[error] attr: fall back to the variant name.
+                let pattern = match &v.fields {
+                    Fields::Unit => String::new(),
+                    Fields::Tuple(..) => "(..)".to_string(),
+                    Fields::Named(_) => "{ .. }".to_string(),
+                };
+                out.push_str(&format!("{name}::{vn} {pattern} => write!(f, \"{vn}\"),\n"));
+            }
+            (Some(DisplayAttr::Transparent), _) => {
+                panic!("#[error(transparent)] requires exactly one tuple field")
+            }
+        }
+    }
+    out.push_str("}\n}\n}\n");
+
+    // std::error::Error impl.
+    out.push_str(&format!("impl ::std::error::Error for {name} {{}}\n"));
+
+    // From impls for #[from] fields.
+    for v in &variants {
+        if let Fields::Tuple(1, Some((0, ty))) = &v.fields {
+            let vn = &v.name;
+            out.push_str(&format!(
+                "impl ::std::convert::From<{ty}> for {name} {{\n\
+                 fn from(source: {ty}) -> Self {{ {name}::{vn}(source) }}\n\
+                 }}\n"
+            ));
+        }
+    }
+
+    out.parse().expect("generated impl parses")
+}
+
+/// Rewrites `{0}` / `{0:spec}` positional references to `{arg0}` bindings.
+fn rewrite_positional(fmt: &str) -> String {
+    let mut out = String::with_capacity(fmt.len() + 8);
+    let chars: Vec<char> = fmt.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j < chars.len() && (chars[j] == '}' || chars[j] == ':') {
+                out.push('{');
+                out.push_str("arg");
+                out.extend(&chars[i + 1..j]);
+                i = j;
+                continue;
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Reads attributes at the cursor, returning the `#[error(...)]` payload if any.
+fn read_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<DisplayAttr> {
+    let mut display = None;
+    while matches!(&tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*i) else {
+            break;
+        };
+        if g.delimiter() == Delimiter::Bracket {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "error") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                    display = match args.first() {
+                        Some(TokenTree::Ident(id)) if id.to_string() == "transparent" => {
+                            Some(DisplayAttr::Transparent)
+                        }
+                        Some(TokenTree::Literal(_)) => {
+                            // Keep the whole argument list verbatim (the format
+                            // literal plus any extra format args).
+                            let text: String = args
+                                .iter()
+                                .map(|t| t.to_string())
+                                .collect::<Vec<_>>()
+                                .join(" ");
+                            Some(DisplayAttr::Format(text))
+                        }
+                        _ => None,
+                    };
+                }
+            }
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+    display
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let display = read_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("expected variant name at {:?}", tokens.get(i));
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                parse_tuple_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip to (and past) the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant {
+            name,
+            display,
+            fields,
+        });
+    }
+    variants
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0usize;
+    let mut from_field: Option<(usize, String)> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes on this field.
+        let mut has_from = false;
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Bracket {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "from")
+                    {
+                        has_from = true;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        // Optional visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        // Type tokens until a top-level comma.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Punct(p) => {
+                    if p.as_char() == '<' {
+                        depth += 1;
+                    }
+                    if p.as_char() == '>' {
+                        depth -= 1;
+                    }
+                    ty.push_str(&p.to_string());
+                    i += 1;
+                }
+                t => {
+                    if !ty.is_empty()
+                        && !ty.ends_with(':')
+                        && !ty.ends_with('<')
+                        && !ty.ends_with('&')
+                    {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&t.to_string());
+                    i += 1;
+                }
+            }
+        }
+        if has_from {
+            from_field = Some((count, ty.trim().to_string()));
+        }
+        count += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Fields::Tuple(count, from_field)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        names.push(field.to_string());
+        i += 1;
+        // Skip ": Type" until top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) => {
+                    if p.as_char() == '<' {
+                        depth += 1;
+                    }
+                    if p.as_char() == '>' {
+                        depth -= 1;
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    names
+}

@@ -1,16 +1,21 @@
 //! Criterion micro-benchmarks of the record layer: software AES-128-GCM record
 //! protection with composite sequence numbers (the SMT data-path hot loop).
 //!
-//! Each size is measured through both API levels of the shared datapath:
-//! the allocating `encrypt_record`/`decrypt_record` conveniences and the
-//! zero-copy `seal_into`/`open` hot path that the segmenter, reassembler and
-//! kTLS baseline drive in steady state.
+//! Each size is measured through the API levels of the shared datapath:
+//! the allocating `encrypt_record`/`decrypt_record` conveniences, the
+//! zero-copy `seal_into`/`open` hot path, and the batched
+//! `seal_batch_into`/`open_batch` entry points that the segmenter, reassembler
+//! and kTLS baseline drive per message segmentation in steady state.
 use bytes::BytesMut;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use smt_crypto::key_schedule::Secret;
-use smt_crypto::record::RecordProtector;
+use smt_crypto::record::{Padding, RecordProtector, SealRequest};
 use smt_crypto::{CipherSuite, SeqnoLayout};
 use smt_wire::ContentType;
+
+/// Records per batch in the batched benchmarks (a 16-record run is what a
+/// 64 KB TSO segmentation of 4 KB records produces).
+const BATCH: usize = 16;
 
 fn bench_record_protection(c: &mut Criterion) {
     let secret = Secret::from_slice(&[7u8; 32]).unwrap();
@@ -55,6 +60,55 @@ fn bench_record_protection(c: &mut Criterion) {
                 (opened.plaintext.len(), used)
             });
         });
+
+        // Batched paths: a run of BATCH records per call, as the segmenter
+        // and reassembler drive them per message segmentation.
+        group.throughput(Throughput::Bytes((size * BATCH) as u64));
+        let parts: Vec<[&[u8]; 1]> = (0..BATCH).map(|_| [data.as_slice()]).collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("seal_batch{BATCH}"), size),
+            &parts,
+            |b, parts| {
+                let mut msg = 1u64;
+                let mut out = BytesMut::with_capacity(BATCH * (size + 64));
+                b.iter(|| {
+                    msg += 1;
+                    let batch: Vec<SealRequest<'_>> = parts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| SealRequest {
+                            seq: layout.compose(msg, i as u64).unwrap().value(),
+                            content_type: ContentType::ApplicationData,
+                            parts: &p[..],
+                            padding: Padding::Default,
+                        })
+                        .collect();
+                    out.clear();
+                    tx.seal_batch_into(&batch, &mut out).unwrap()
+                });
+            },
+        );
+        let mut wire_batch = BytesMut::new();
+        let first_seq = layout.compose(2, 0).unwrap().value();
+        for i in 0..BATCH {
+            tx.seal_into(
+                first_seq + i as u64,
+                ContentType::ApplicationData,
+                &data,
+                &mut wire_batch,
+            )
+            .unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("open_batch{BATCH}"), size),
+            &wire_batch,
+            |b, wire| {
+                b.iter(|| {
+                    let batch = rx.open_batch(first_seq, BATCH, wire).unwrap();
+                    (batch.plaintext_len(), batch.consumed)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,148 @@
+//! Compares two `BENCH_*.json` reports (as written by the criterion shim via
+//! `CRITERION_JSON`) and prints per-benchmark deltas.
+//!
+//! ```text
+//! bench_diff <baseline.json> <new.json> [--max-regress <percent>]
+//! ```
+//!
+//! For every benchmark present in both files the mean time delta and the
+//! throughput speedup are printed; benchmarks present in only one file are
+//! listed separately. With `--max-regress P`, the exit status is non-zero if
+//! any shared benchmark's mean time regressed by more than `P` percent — used
+//! manually when refreshing `BENCH_record_layer.json` and by CI to eyeball the
+//! perf trajectory per PR.
+
+use smt_bench::output::print_table;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Bench {
+    name: String,
+    mean_ns: f64,
+    mib_per_sec: Option<f64>,
+}
+
+fn load(path: &str) -> Result<Vec<Bench>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value = serde_json::from_str(&text).map_err(|_| format!("{path}: invalid JSON"))?;
+    let list = value
+        .get("benchmarks")
+        .and_then(|b| b.as_array())
+        .ok_or_else(|| format!("{path}: missing `benchmarks` array"))?;
+    let mut out = Vec::with_capacity(list.len());
+    for entry in list {
+        let name = entry
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| format!("{path}: benchmark without a name"))?;
+        let mean_ns = entry
+            .get("mean_ns")
+            .and_then(|m| m.as_f64())
+            .ok_or_else(|| format!("{path}: `{name}` has no mean_ns"))?;
+        out.push(Bench {
+            name: name.to_string(),
+            mean_ns,
+            mib_per_sec: entry.get("throughput_mib_per_sec").and_then(|t| t.as_f64()),
+        });
+    }
+    Ok(out)
+}
+
+fn fmt_mib(v: Option<f64>) -> String {
+    v.map(|m| format!("{m:.1}")).unwrap_or_else(|| "-".into())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regress: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-regress" {
+            let v = it
+                .next()
+                .ok_or("--max-regress needs a percent value")?
+                .parse::<f64>()
+                .map_err(|e| format!("--max-regress: {e}"))?;
+            max_regress = Some(v);
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        return Err(
+            "usage: bench_diff <baseline.json> <new.json> [--max-regress <percent>]".into(),
+        );
+    };
+
+    let base = load(base_path)?;
+    let new = load(new_path)?;
+
+    let mut rows = Vec::new();
+    let mut worst: Option<(f64, String)> = None;
+    for b in &base {
+        let Some(n) = new.iter().find(|n| n.name == b.name) else {
+            continue;
+        };
+        // Positive delta = slower (regression); speedup > 1 = faster.
+        let delta_pct = (n.mean_ns - b.mean_ns) / b.mean_ns * 100.0;
+        let speedup = b.mean_ns / n.mean_ns;
+        if worst.as_ref().is_none_or(|(w, _)| delta_pct > *w) {
+            worst = Some((delta_pct, b.name.clone()));
+        }
+        rows.push(vec![
+            b.name.clone(),
+            format!("{:.1}", b.mean_ns),
+            format!("{:.1}", n.mean_ns),
+            format!("{delta_pct:+.1}%"),
+            fmt_mib(b.mib_per_sec),
+            fmt_mib(n.mib_per_sec),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print_table(
+        &format!("bench diff: {base_path} -> {new_path}"),
+        &[
+            "benchmark",
+            "base ns",
+            "new ns",
+            "Δ mean",
+            "base MiB/s",
+            "new MiB/s",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    let only = |a: &[Bench], b: &[Bench], which: &str| {
+        let missing: Vec<&str> = a
+            .iter()
+            .filter(|x| !b.iter().any(|y| y.name == x.name))
+            .map(|x| x.name.as_str())
+            .collect();
+        if !missing.is_empty() {
+            println!("\nonly in {which}: {}", missing.join(", "));
+        }
+    };
+    only(&base, &new, "baseline");
+    only(&new, &base, "new");
+
+    if let (Some(limit), Some((worst_pct, name))) = (max_regress, worst) {
+        if worst_pct > limit {
+            eprintln!("FAIL: `{name}` regressed {worst_pct:+.1}% (limit {limit:.1}%)");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("\nworst mean delta {worst_pct:+.1}% within the {limit:.1}% limit");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bench_diff: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

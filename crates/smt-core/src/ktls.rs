@@ -11,22 +11,28 @@
 //! The crypto is *identical* to SMT's — both drive the shared
 //! [`RecordProtector`] seal/open datapath in `smt-crypto`; only the
 //! sequence-number space (per-connection counter here, composite message‖index
-//! there) and the delivery model differ.  Records are sealed straight into a
-//! caller- or internally-managed [`BytesMut`] and opened into the protector's
-//! reusable scratch, so the steady-state stream costs no per-record heap
-//! allocation.
+//! there) and the delivery model differ.  Whole sends and whole runs of
+//! received records go through the **batched** record API
+//! (`seal_batch_into`/`open_batch`): one reservation, one scratch fill and one
+//! fused-AEAD drive per call instead of per record.
 
 use crate::config::CryptoMode;
 use crate::{SmtError, SmtResult};
 use bytes::BytesMut;
 use smt_crypto::handshake::SessionKeys;
 use smt_crypto::key_schedule::Secret;
-use smt_crypto::record::RecordProtector;
+use smt_crypto::record::{Padding, RecordProtector, SealRequest};
 use smt_crypto::{CipherSuite, CryptoError};
 use smt_wire::{ContentType, TlsRecordHeader, MAX_TLS_RECORD};
 
 /// Maximum application bytes per kTLS record (leave room for framing overhead).
 const KTLS_RECORD_PAYLOAD: usize = MAX_TLS_RECORD - 256;
+
+/// Caps on one batched receive-open run: at most this many records and (soft)
+/// this many wire bytes per `open_batch` call, so the protector's reusable
+/// scratch stays burst-independent while still amortizing across a run.
+const KTLS_OPEN_BATCH_RECORDS: usize = 16;
+const KTLS_OPEN_BATCH_BYTES: usize = 64 * 1024;
 
 /// Sender half: application bytes → TLS record stream appended to the TCP
 /// bytestream.
@@ -76,29 +82,33 @@ impl KtlsSender {
     }
 
     /// Encrypts `data` into one or more records, appending the wire bytes to
-    /// `out`. This is the zero-allocation hot path: records are sealed in place
-    /// in `out` through the shared [`RecordProtector`] datapath. Returns the
-    /// number of bytes appended.
+    /// `out`. The whole send is cut into records up front and sealed through
+    /// the batched [`RecordProtector`] datapath in one call, so `out` grows at
+    /// most once and every record runs the fused AEAD pass back to back.
+    /// Returns the number of bytes appended.
     pub fn send_into(&mut self, data: &[u8], out: &mut BytesMut) -> SmtResult<usize> {
-        let start = out.len();
-        let mut offset = 0usize;
-        loop {
-            let take = KTLS_RECORD_PAYLOAD.min(data.len() - offset);
-            self.protector.seal_into(
-                self.seq,
-                ContentType::ApplicationData,
-                &data[offset..offset + take],
-                out,
-            )?;
-            self.seq += 1;
-            self.records_sent += 1;
-            offset += take;
-            if offset >= data.len() {
-                break;
-            }
-        }
+        // Record chunking: every KTLS_RECORD_PAYLOAD bytes, with one (possibly
+        // empty) record for an empty send.
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            vec![&[]]
+        } else {
+            data.chunks(KTLS_RECORD_PAYLOAD).collect()
+        };
+        let batch: Vec<SealRequest<'_>> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| SealRequest {
+                seq: self.seq + i as u64,
+                content_type: ContentType::ApplicationData,
+                parts: std::slice::from_ref(chunk),
+                padding: Padding::Default,
+            })
+            .collect();
+        let appended = self.protector.seal_batch_into(&batch, out)?;
+        self.seq += chunks.len() as u64;
+        self.records_sent += chunks.len() as u64;
         self.bytes_sent += data.len() as u64;
-        Ok(out.len() - start)
+        Ok(appended)
     }
 
     /// Encrypts `data` into one or more records and returns the bytes to append
@@ -165,40 +175,58 @@ impl KtlsReceiver {
     /// Appends in-order bytes from the TCP stream and returns any application
     /// data that became available.  Partial records stay buffered (this is the
     /// stream reassembly the application would otherwise do itself, §2).
+    ///
+    /// Complete records in the buffer are opened in batched calls under their
+    /// consecutive sequence numbers, capped at [`KTLS_OPEN_BATCH_RECORDS`] /
+    /// [`KTLS_OPEN_BATCH_BYTES`] per call so the protector's reusable scratch
+    /// stays bounded regardless of burst size. A failure in any run poisons
+    /// the delivery (the TCP stream is dead at that point anyway).
     pub fn on_bytes(&mut self, bytes: &[u8]) -> SmtResult<Vec<u8>> {
         self.buffer.extend_from_slice(bytes);
         let mut out = Vec::new();
-        let mut consumed = 0usize;
-        let result = loop {
-            let rest = &self.buffer[consumed..];
-            let Ok((hdr, hdr_len)) = TlsRecordHeader::decode(rest) else {
-                break Ok(());
-            };
-            if rest.len() < hdr_len + hdr.length as usize {
-                break Ok(());
-            }
-            match self.protector.open(self.seq, rest) {
-                Ok((plain, used)) => {
-                    if plain.content_type != ContentType::ApplicationData {
-                        break Err(SmtError::Crypto(CryptoError::handshake(
-                            "unexpected content type on kTLS stream",
-                        )));
-                    }
-                    out.extend_from_slice(plain.plaintext);
-                    self.bytes_delivered += plain.plaintext.len() as u64;
-                    self.seq += 1;
-                    self.records_received += 1;
-                    consumed += used;
+        loop {
+            // Scan one capped run of complete records at the head.
+            let mut run_records = 0usize;
+            let mut run_len = 0usize;
+            while run_records < KTLS_OPEN_BATCH_RECORDS && run_len < KTLS_OPEN_BATCH_BYTES {
+                let rest = &self.buffer[run_len..];
+                let Ok((hdr, hdr_len)) = TlsRecordHeader::decode(rest) else {
+                    break;
+                };
+                if rest.len() < hdr_len + hdr.length as usize {
+                    break;
                 }
-                Err(e) => break Err(SmtError::Crypto(e)),
+                run_len += hdr_len + hdr.length as usize;
+                run_records += 1;
             }
-        };
-        // Drop every fully-processed record from the stream buffer, keeping any
-        // partial tail for the next delivery.
-        if consumed > 0 {
+            if run_records == 0 {
+                break;
+            }
+
+            let batch = self
+                .protector
+                .open_batch(self.seq, run_records, &self.buffer[..run_len])
+                .map_err(SmtError::Crypto)?;
+            out.reserve(batch.plaintext_len());
+            let before = out.len();
+            for record in batch.iter() {
+                if record.content_type != ContentType::ApplicationData {
+                    return Err(SmtError::Crypto(CryptoError::handshake(
+                        "unexpected content type on kTLS stream",
+                    )));
+                }
+                out.extend_from_slice(record.plaintext);
+            }
+            let consumed = batch.consumed;
+            debug_assert_eq!(consumed, run_len);
+            self.seq += run_records as u64;
+            self.records_received += run_records as u64;
+            self.bytes_delivered += (out.len() - before) as u64;
+            // Drop the fully-processed run from the stream buffer, keeping any
+            // partial tail for the next delivery.
             let _ = self.buffer.split_to(consumed);
         }
-        result.map(|()| out)
+        Ok(out)
     }
 
     /// Bytes currently buffered waiting for the rest of a record.

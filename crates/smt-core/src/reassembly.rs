@@ -250,26 +250,37 @@ impl SmtReceiver {
             return Ok(()); // not yet complete
         }
 
-        // All records present: decrypt them in order through the shared
-        // zero-copy datapath — each record's plaintext is borrowed from the
-        // protector's scratch buffer and only the application bytes are copied
-        // into the message assembly.
+        // All records present: open the whole contiguous run in one batched
+        // call through the shared datapath. Records of one segment carry
+        // consecutive record indices, so their composite sequence numbers are
+        // consecutive too; composing the first and last indices validates the
+        // full range. Only the application bytes are then copied out of the
+        // protector's scratch into the message assembly.
         let cipher = self.cipher.as_mut().ok_or_else(|| {
             SmtError::Session("encrypted session without a receive cipher".into())
         })?;
-        let mut at = 0usize;
-        let mut app_offset = tso_offset;
-        for i in 0..seg.record_count {
-            let record_index = seg.first_record_index as u64 + i as u64;
-            let seq = self
-                .layout
-                .compose(message_id, record_index)
-                .map_err(SmtError::Crypto)?;
-            let (plain, used) = cipher.open(seq.value(), &prefix[at..]).map_err(|e| {
+        let first_index = seg.first_record_index as u64;
+        let first_seq = self
+            .layout
+            .compose(message_id, first_index)
+            .map_err(SmtError::Crypto)?;
+        let last_seq = self
+            .layout
+            .compose(message_id, first_index + seg.record_count.max(1) as u64 - 1)
+            .map_err(SmtError::Crypto)?;
+        debug_assert_eq!(
+            last_seq.value() - first_seq.value(),
+            seg.record_count.max(1) as u64 - 1,
+            "contiguous record indices must compose to consecutive seqnos"
+        );
+        let batch = cipher
+            .open_batch(first_seq.value(), seg.record_count as usize, &prefix)
+            .map_err(|e| {
                 self.stats.auth_failures += 1;
                 SmtError::Crypto(e)
             })?;
-            at += used;
+        let mut app_offset = tso_offset;
+        for plain in batch.iter() {
             let app: &[u8] = if self.config.framing_header {
                 let (framing, flen) = FramingHeader::decode(plain.plaintext)?;
                 let end = flen + framing.app_data_len as usize;

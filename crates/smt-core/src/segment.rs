@@ -24,7 +24,7 @@ use crate::config::{CryptoMode, SmtConfig};
 use crate::flow_context::FlowContextManager;
 use crate::{SmtError, SmtResult};
 use bytes::{Bytes, BytesMut};
-use smt_crypto::record::{Padding, RecordProtector};
+use smt_crypto::record::{Padding, RecordProtector, SealRequest};
 use smt_crypto::SeqnoLayout;
 use smt_wire::{
     ContentType, FramingHeader, PacketType, SmtOptionArea, SmtOverlayHeader, TsoSegment,
@@ -241,10 +241,11 @@ impl SmtSegmenter {
             0
         };
 
-        // Records are sealed straight into each segment's payload buffer —
-        // record sizes are known exactly in advance (`wire_record_len_with`),
-        // so packing and encryption fuse into one pass with no per-record
-        // intermediate allocation. Records never straddle segment boundaries.
+        // Two-phase segmentation: first *plan* the records of a segment (sizes
+        // are known exactly in advance via `wire_record_len_with`), then seal
+        // the whole segment's records through the batched record API in one
+        // call — one exact-size payload reservation and one fused-AEAD drive
+        // per segment. Records never straddle segment boundaries.
         let mut segments = Vec::new();
         let mut wire_len = 0usize;
         let mut offset = 0usize;
@@ -253,14 +254,18 @@ impl SmtSegmenter {
         while !done {
             let first_record_index = record_index;
             let tso_offset = offset;
-            let mut payload = BytesMut::new();
+
+            // Plan: (seq, app-data chunk) per record plus the segment's total
+            // wire size under the padding policy.
+            let mut planned: Vec<(u64, &[u8])> = Vec::new();
+            let mut seg_bytes = 0usize;
             loop {
                 let take = chunk_limit.min(data.len() - offset);
                 let rec_len = cipher.wire_record_len_with(framing_len + take, padding);
-                if !payload.is_empty() && payload.len() + rec_len > seg_limit {
+                if !planned.is_empty() && seg_bytes + rec_len > seg_limit {
                     break; // this record opens the next segment
                 }
-                if payload.is_empty() && rec_len > seg_limit {
+                if planned.is_empty() && rec_len > seg_limit {
                     // A single record larger than the segment limit cannot
                     // happen by construction (record_chunk_limit), but guard
                     // against padding pushing one over.
@@ -274,21 +279,8 @@ impl SmtSegmenter {
                         limit: self.layout.max_records_per_message() as usize * chunk_limit,
                     }
                 })?;
-                let chunk = &data[offset..offset + take];
-                let mut hdr = [0u8; FRAMING_HEADER_LEN];
-                let parts: &[&[u8]] = if self.config.framing_header {
-                    FramingHeader::new(take as u32).encode(&mut hdr)?;
-                    &[&hdr, chunk]
-                } else {
-                    &[chunk]
-                };
-                cipher.seal_parts_into(
-                    seq.value(),
-                    ContentType::ApplicationData,
-                    parts,
-                    padding,
-                    &mut payload,
-                )?;
+                planned.push((seq.value(), &data[offset..offset + take]));
+                seg_bytes += rec_len;
                 record_index += 1;
                 offset += take;
                 if offset >= data.len() {
@@ -296,6 +288,43 @@ impl SmtSegmenter {
                     break;
                 }
             }
+
+            // Seal: framing headers first (they must outlive the requests),
+            // then the whole segment through one batched call.
+            let headers: Vec<[u8; FRAMING_HEADER_LEN]> = planned
+                .iter()
+                .map(|(_, chunk)| {
+                    let mut hdr = [0u8; FRAMING_HEADER_LEN];
+                    if self.config.framing_header {
+                        FramingHeader::new(chunk.len() as u32).encode(&mut hdr)?;
+                    }
+                    Ok(hdr)
+                })
+                .collect::<SmtResult<_>>()?;
+            let parts: Vec<[&[u8]; 2]> = planned
+                .iter()
+                .zip(headers.iter())
+                .map(|((_, chunk), hdr)| [&hdr[..], *chunk])
+                .collect();
+            let batch: Vec<SealRequest<'_>> = planned
+                .iter()
+                .zip(parts.iter())
+                .map(|((seq, _), p)| SealRequest {
+                    seq: *seq,
+                    content_type: ContentType::ApplicationData,
+                    // Without framing headers the first part is empty.
+                    parts: if self.config.framing_header {
+                        &p[..]
+                    } else {
+                        &p[1..]
+                    },
+                    padding,
+                })
+                .collect();
+            let mut payload = BytesMut::with_capacity(seg_bytes);
+            let sealed = cipher.seal_batch_into(&batch, &mut payload)?;
+            debug_assert_eq!(sealed, seg_bytes);
+
             let record_count = (record_index - first_record_index) as usize;
             let overlay = self.overlay_for(
                 path,

@@ -96,6 +96,11 @@ impl std::fmt::Debug for AeadKey {
 
 impl AeadKey {
     /// Creates an AEAD key from raw key material.
+    ///
+    /// Key install is the expensive step by design: the AES round keys are
+    /// expanded and the GHASH key tables (`H..H⁴`, 16 KB) are precomputed here
+    /// once per connection direction, so sealing and opening records runs the
+    /// fused multi-block engine with zero per-record setup.
     pub fn new(algorithm: AeadAlgorithm, key: &[u8]) -> CryptoResult<Self> {
         if key.len() != algorithm.key_len() {
             return Err(CryptoError::InvalidLength {

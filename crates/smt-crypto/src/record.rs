@@ -13,13 +13,21 @@
 //! same seal/open implementation, so the evaluation compares *sequence-number
 //! disciplines*, never two different AEAD framings.
 //!
-//! Two API levels exist:
+//! Three API levels exist:
 //!
-//! * the **zero-copy hot path** — [`RecordProtector::seal_parts_into`] appends a
-//!   finished wire record straight into a caller-supplied [`BytesMut`] and
-//!   encrypts in place; [`RecordProtector::open`] decrypts into an internal
-//!   reusable scratch buffer and lends the plaintext out by reference. In steady
-//!   state neither direction performs a per-record heap allocation.
+//! * the **batched hot path** — [`RecordProtector::seal_batch_into`] seals a
+//!   whole run of records into one output buffer with a single size
+//!   computation and reservation, and [`RecordProtector::open_batch`] opens a
+//!   contiguous run of wire records (consecutive sequence numbers) into the
+//!   shared scratch in one call. Nonce construction, AAD encoding and scratch
+//!   management are amortized across the batch; this is what the segmenter,
+//!   the reassembler and the kTLS stream drive per message/segment.
+//! * the **single-record zero-copy path** — [`RecordProtector::seal_parts_into`]
+//!   appends one finished wire record straight into a caller-supplied
+//!   [`BytesMut`] and encrypts in place; [`RecordProtector::open`] decrypts
+//!   into the internal reusable scratch buffer and lends the plaintext out by
+//!   reference. In steady state neither direction performs a per-record heap
+//!   allocation.
 //! * the **allocating conveniences** — [`RecordProtector::encrypt_record`] /
 //!   [`RecordProtector::decrypt_record`] keep the original `Vec`-returning shape
 //!   for handshake flights, tests and examples.
@@ -67,6 +75,82 @@ pub enum Padding {
     Granularity(usize),
 }
 
+/// One record of a [`RecordProtector::seal_batch_into`] batch.
+#[derive(Clone, Copy)]
+pub struct SealRequest<'a> {
+    /// Record sequence number (composite for SMT, counter for kTLS).
+    pub seq: u64,
+    /// Inner content type.
+    pub content_type: ContentType,
+    /// Plaintext parts, concatenated in order into the record body.
+    pub parts: &'a [&'a [u8]],
+    /// Padding policy for this record.
+    pub padding: Padding,
+}
+
+impl std::fmt::Debug for SealRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SealRequest")
+            .field("seq", &self.seq)
+            .field("content_type", &self.content_type)
+            .field("len", &self.parts.iter().map(|p| p.len()).sum::<usize>())
+            .field("padding", &self.padding)
+            .finish()
+    }
+}
+
+/// Index entry for one record opened into the batch scratch.
+#[derive(Debug, Clone, Copy)]
+struct BatchEntry {
+    content_type: ContentType,
+    start: usize,
+    end: usize,
+}
+
+/// A batch of opened records, borrowed from the protector's scratch buffer
+/// (the multi-record counterpart of [`OpenedRecord`]). Valid until the next
+/// `open`/`open_batch` call.
+#[derive(Debug)]
+pub struct OpenedBatch<'a> {
+    scratch: &'a [u8],
+    entries: &'a [BatchEntry],
+    /// Total wire bytes consumed from the input.
+    pub consumed: usize,
+}
+
+impl<'a> OpenedBatch<'a> {
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`-th opened record.
+    pub fn get(&self, i: usize) -> Option<OpenedRecord<'a>> {
+        self.entries.get(i).map(|e| OpenedRecord {
+            content_type: e.content_type,
+            plaintext: &self.scratch[e.start..e.end],
+        })
+    }
+
+    /// Iterates the opened records in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = OpenedRecord<'a>> + '_ {
+        self.entries.iter().map(|e| OpenedRecord {
+            content_type: e.content_type,
+            plaintext: &self.scratch[e.start..e.end],
+        })
+    }
+
+    /// Total plaintext bytes across the batch.
+    pub fn plaintext_len(&self) -> usize {
+        self.entries.iter().map(|e| e.end - e.start).sum()
+    }
+}
+
 /// One direction of record protection: seals or opens records given an explicit
 /// 64-bit record sequence number. This is the one shared datapath driven by the
 /// SMT composite-seqno engine and the kTLS per-connection baseline alike.
@@ -76,8 +160,10 @@ pub struct RecordProtector {
     /// Optional padded size: every record is padded up to a multiple of this
     /// value (length concealment, §6.1). `None` disables padding.
     pad_to: Option<usize>,
-    /// Reusable decrypt scratch; cleared and refilled on every `open`.
+    /// Reusable decrypt scratch; cleared and refilled on every open call.
     scratch: BytesMut,
+    /// Reusable per-batch record index into `scratch`.
+    batch_entries: Vec<BatchEntry>,
 }
 
 /// Backwards-compatible name from the seed tree; the type was unified into
@@ -100,6 +186,7 @@ impl RecordProtector {
             iv: keys.iv,
             pad_to: None,
             scratch: BytesMut::new(),
+            batch_entries: Vec::new(),
         }
     }
 
@@ -181,9 +268,10 @@ impl RecordProtector {
         let inner_len = padded_len + 1;
         let body_len = inner_len + TAG_LEN;
         let header = TlsRecordHeader::application_data(body_len)?;
+        let aad = header.aad();
         let start = out.len();
         out.reserve(TlsRecordHeader::LEN + body_len);
-        out.extend_from_slice(&header.aad());
+        out.extend_from_slice(&aad);
         for part in parts {
             out.extend_from_slice(part);
         }
@@ -191,13 +279,39 @@ impl RecordProtector {
         out.resize(start + TlsRecordHeader::LEN + inner_len, 0);
 
         let nonce = self.iv.nonce_for(seq);
-        let aad = header.aad();
         let body_start = start + TlsRecordHeader::LEN;
         let tag = self
             .key
             .seal_in_place_detached(&nonce, &aad, &mut out[body_start..]);
         out.extend_from_slice(&tag);
         Ok(TlsRecordHeader::LEN + body_len)
+    }
+
+    /// Seals a whole batch of records, appending their wire encodings to `out`
+    /// in order. Returns the number of bytes appended.
+    ///
+    /// The exact total wire size is computed up front so `out` grows (at most)
+    /// once for the entire batch, and every record is then assembled and
+    /// encrypted in place — the per-record cost is the AEAD work itself.
+    pub fn seal_batch_into(
+        &self,
+        batch: &[SealRequest<'_>],
+        out: &mut BytesMut,
+    ) -> CryptoResult<usize> {
+        let total: usize = batch
+            .iter()
+            .map(|r| {
+                let len: usize = r.parts.iter().map(|p| p.len()).sum();
+                self.wire_record_len_with(len, r.padding)
+            })
+            .sum();
+        out.reserve(total);
+        let start = out.len();
+        for r in batch {
+            self.seal_parts_into(r.seq, r.content_type, r.parts, r.padding, out)?;
+        }
+        debug_assert_eq!(out.len() - start, total);
+        Ok(out.len() - start)
     }
 
     /// Seals one record, appending its wire encoding to `out`
@@ -217,43 +331,79 @@ impl RecordProtector {
     /// number of wire bytes consumed. No per-record heap allocation occurs once
     /// the scratch buffer has warmed up.
     pub fn open(&mut self, seq: u64, wire: &[u8]) -> CryptoResult<(OpenedRecord<'_>, usize)> {
-        let (header, hdr_len) = TlsRecordHeader::decode(wire)?;
-        let body_len = header.length as usize;
-        if wire.len() < hdr_len + body_len {
-            return Err(CryptoError::Wire(smt_wire::WireError::Truncated {
-                needed: hdr_len + body_len,
-                available: wire.len(),
-            }));
-        }
-        if body_len < TAG_LEN + 1 {
-            return Err(CryptoError::AuthenticationFailed);
-        }
-        let (ciphertext, tag) = wire[hdr_len..hdr_len + body_len].split_at(body_len - TAG_LEN);
-        let aad = header.aad();
-        let nonce = self.iv.nonce_for(seq);
+        let batch = self.open_batch(seq, 1, wire)?;
+        let consumed = batch.consumed;
+        let record = batch.get(0).expect("opened exactly one record");
+        Ok((record, consumed))
+    }
 
+    /// Opens a contiguous run of `count` records from `wire`, under consecutive
+    /// sequence numbers `first_seq, first_seq + 1, ..` — the layout both the
+    /// SMT composite space (consecutive record indices within a message) and
+    /// the kTLS counter produce for adjacent records.
+    ///
+    /// All plaintexts land in the shared scratch buffer in wire order and are
+    /// lent out through the returned [`OpenedBatch`]; nonce derivation, AAD
+    /// decoding and scratch management are amortized over the run. On any
+    /// failure (truncation, authentication) the whole batch errs and nothing is
+    /// lent out.
+    pub fn open_batch(
+        &mut self,
+        first_seq: u64,
+        count: usize,
+        wire: &[u8],
+    ) -> CryptoResult<OpenedBatch<'_>> {
         self.scratch.clear();
-        self.scratch.extend_from_slice(ciphertext);
-        self.key
-            .open_in_place_detached(&nonce, &aad, &mut self.scratch, tag)?;
+        self.batch_entries.clear();
+        self.batch_entries.reserve(count);
+        let mut at = 0usize;
+        for i in 0..count {
+            let seq = first_seq.wrapping_add(i as u64);
+            let rest = &wire[at..];
+            let (header, hdr_len) = TlsRecordHeader::decode(rest)?;
+            let body_len = header.length as usize;
+            if rest.len() < hdr_len + body_len {
+                return Err(CryptoError::Wire(smt_wire::WireError::Truncated {
+                    needed: at + hdr_len + body_len,
+                    available: wire.len(),
+                }));
+            }
+            if body_len < TAG_LEN + 1 {
+                return Err(CryptoError::AuthenticationFailed);
+            }
+            let (ciphertext, tag) = rest[hdr_len..hdr_len + body_len].split_at(body_len - TAG_LEN);
+            let aad = header.aad();
+            let nonce = self.iv.nonce_for(seq);
 
-        // Strip zero padding, then the inner content type byte (RFC 8446 §5.4).
-        let mut end = self.scratch.len();
-        while end > 0 && self.scratch[end - 1] == 0 {
-            end -= 1;
-        }
-        if end == 0 {
-            return Err(CryptoError::AuthenticationFailed);
-        }
-        let content_type =
-            ContentType::from_u8(self.scratch[end - 1]).map_err(CryptoError::Wire)?;
-        Ok((
-            OpenedRecord {
+            let ct_start = self.scratch.len();
+            self.scratch.extend_from_slice(ciphertext);
+            self.key
+                .open_in_place_detached(&nonce, &aad, &mut self.scratch[ct_start..], tag)?;
+
+            // Strip zero padding, then the inner content type byte
+            // (RFC 8446 §5.4). Padding remnants stay in the scratch between
+            // records; the index entries carry the trimmed ranges.
+            let mut end = self.scratch.len();
+            while end > ct_start && self.scratch[end - 1] == 0 {
+                end -= 1;
+            }
+            if end == ct_start {
+                return Err(CryptoError::AuthenticationFailed);
+            }
+            let content_type =
+                ContentType::from_u8(self.scratch[end - 1]).map_err(CryptoError::Wire)?;
+            self.batch_entries.push(BatchEntry {
                 content_type,
-                plaintext: &self.scratch[..end - 1],
-            },
-            hdr_len + body_len,
-        ))
+                start: ct_start,
+                end: end - 1,
+            });
+            at += hdr_len + body_len;
+        }
+        Ok(OpenedBatch {
+            scratch: &self.scratch,
+            entries: &self.batch_entries,
+            consumed: at,
+        })
     }
 
     /// Encrypts one record, returning the full wire encoding as a fresh `Vec`
@@ -532,6 +682,111 @@ mod tests {
             .unwrap();
         assert!(rx.decrypt_record(s2, &wire).is_err());
         assert_eq!(rx.decrypt_record(s1, &wire).unwrap().0.plaintext, b"msg1");
+    }
+
+    #[test]
+    fn seal_batch_matches_sequential_seals() {
+        let (tx, _) = cipher_pair();
+        let payloads: [&[u8]; 3] = [b"first", b"second record", b""];
+        let mut sequential = BytesMut::new();
+        for (i, p) in payloads.iter().enumerate() {
+            tx.seal_parts_into(
+                i as u64,
+                ContentType::ApplicationData,
+                &[p],
+                Padding::Default,
+                &mut sequential,
+            )
+            .unwrap();
+        }
+
+        let parts: Vec<[&[u8]; 1]> = payloads.iter().map(|p| [*p]).collect();
+        let batch: Vec<SealRequest<'_>> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SealRequest {
+                seq: i as u64,
+                content_type: ContentType::ApplicationData,
+                parts: &p[..],
+                padding: Padding::Default,
+            })
+            .collect();
+        let mut batched = BytesMut::new();
+        let n = tx.seal_batch_into(&batch, &mut batched).unwrap();
+        assert_eq!(n, batched.len());
+        assert_eq!(batched.as_ref(), sequential.as_ref());
+    }
+
+    #[test]
+    fn open_batch_roundtrips_contiguous_run() {
+        let (tx, mut rx) = cipher_pair();
+        let payloads: [&[u8]; 4] = [b"alpha", b"bravo charlie", b"", b"delta"];
+        let mut wire = BytesMut::new();
+        for (i, p) in payloads.iter().enumerate() {
+            tx.seal_into(7 + i as u64, ContentType::ApplicationData, p, &mut wire)
+                .unwrap();
+        }
+        let batch = rx.open_batch(7, payloads.len(), &wire).unwrap();
+        assert_eq!(batch.len(), payloads.len());
+        assert!(!batch.is_empty());
+        assert_eq!(batch.consumed, wire.len());
+        assert_eq!(
+            batch.plaintext_len(),
+            payloads.iter().map(|p| p.len()).sum::<usize>()
+        );
+        for (opened, expect) in batch.iter().zip(payloads.iter()) {
+            assert_eq!(opened.content_type, ContentType::ApplicationData);
+            assert_eq!(opened.plaintext, *expect);
+        }
+        assert_eq!(batch.get(1).unwrap().plaintext, b"bravo charlie");
+        assert!(batch.get(4).is_none());
+    }
+
+    #[test]
+    fn open_batch_rejects_tamper_and_truncation_atomically() {
+        let (tx, mut rx) = cipher_pair();
+        let mut wire = BytesMut::new();
+        tx.seal_into(0, ContentType::ApplicationData, b"one", &mut wire)
+            .unwrap();
+        let first_len = wire.len();
+        tx.seal_into(1, ContentType::ApplicationData, b"two", &mut wire)
+            .unwrap();
+
+        // Tamper with the second record: the whole batch fails.
+        let mut tampered = wire.to_vec();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 1;
+        assert!(rx.open_batch(0, 2, &tampered).is_err());
+
+        // Truncated second record: truncation error, not plaintext.
+        assert!(rx.open_batch(0, 2, &wire[..wire.len() - 3]).is_err());
+
+        // A shorter count over the same bytes still succeeds.
+        let batch = rx.open_batch(0, 1, &wire).unwrap();
+        assert_eq!(batch.consumed, first_len);
+        assert_eq!(batch.get(0).unwrap().plaintext, b"one");
+    }
+
+    #[test]
+    fn open_batch_with_padded_records() {
+        let secret = Secret([0x55; HASH_LEN]);
+        let tx = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret)
+            .unwrap()
+            .with_padding(128);
+        let mut rx = RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &secret).unwrap();
+        let mut wire = BytesMut::new();
+        tx.seal_into(0, ContentType::ApplicationData, b"short", &mut wire)
+            .unwrap();
+        tx.seal_into(1, ContentType::Handshake, &[9u8; 100], &mut wire)
+            .unwrap();
+        let batch = rx.open_batch(0, 2, &wire).unwrap();
+        assert_eq!(batch.get(0).unwrap().plaintext, b"short");
+        assert_eq!(
+            batch.get(0).unwrap().content_type,
+            ContentType::ApplicationData
+        );
+        assert_eq!(batch.get(1).unwrap().plaintext, &[9u8; 100]);
+        assert_eq!(batch.get(1).unwrap().content_type, ContentType::Handshake);
     }
 
     #[test]

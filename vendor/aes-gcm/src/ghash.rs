@@ -1,8 +1,20 @@
 //! GHASH universal hash over GF(2^128) (NIST SP 800-38D §6.4).
 //!
-//! Uses Shoup's 4-bit table method: 16 precomputed multiples of the hash key
-//! `H`, processed one nibble at a time — a reasonable speed/simplicity point
-//! for a pure-Rust implementation.
+//! Two implementations live here:
+//!
+//! * [`GHashKey`] — the **production** path: Shoup's 8-bit table method with
+//!   per-key tables for `H`, `H²`, `H³` and `H⁴` (4 × 4 KB, built once at key
+//!   install) plus a key-independent 256-entry reduction table.  A byte is
+//!   absorbed per table lookup, and runs of four blocks are folded with the
+//!   aggregated reduction `Y′ = (Y ⊕ C₀)·H⁴ ⊕ C₁·H³ ⊕ C₂·H² ⊕ C₃·H`, which
+//!   turns the serial per-block dependency chain into four independent chains
+//!   the CPU can overlap.
+//! * [`GHash`] — the **retained scalar reference**: Shoup's 4-bit nibble
+//!   method processing one block at a time, kept as the independently-coded
+//!   cross-check for the fused multi-block engine (see the property tests in
+//!   `lib.rs`).
+
+use std::sync::OnceLock;
 
 /// Reduction table for the 4-bit shift: R[i] = i·(x^124 mod P) folded into the
 /// top 16 bits, for the GCM polynomial P = x^128 + x^7 + x^2 + x + 1.
@@ -11,15 +23,203 @@ const R: [u16; 16] = [
     0x9180, 0x8da0, 0xa9c0, 0xb5e0,
 ];
 
-/// GHASH state with precomputed key tables.
+/// One GF(2^128) element in GCM's reflected bit order, as (hi, lo) words.
+pub type Element = (u64, u64);
+
+/// A 256-entry Shoup table: `table[b]` = (byte `b`, MSB-first) · H^k.
+type ByteTable = [Element; 256];
+
+fn xor(a: Element, b: Element) -> Element {
+    (a.0 ^ b.0, a.1 ^ b.1)
+}
+
+/// Multiply by x in GCM's reflected representation (right shift with reduction).
+fn mul_by_x(v: Element) -> Element {
+    let (hi, lo) = v;
+    let carry = lo & 1;
+    let lo = (lo >> 1) | (hi << 63);
+    let hi = (hi >> 1) ^ (carry * 0xe100_0000_0000_0000);
+    (hi, lo)
+}
+
+fn load(block: &[u8]) -> Element {
+    (
+        u64::from_be_bytes(block[0..8].try_into().expect("8 bytes")),
+        u64::from_be_bytes(block[8..16].try_into().expect("8 bytes")),
+    )
+}
+
+/// The key-independent 8-bit reduction table: `R8[b]` is the value folded into
+/// the high word when the byte `b` is shifted off the low end of an element
+/// (i.e. the reduction part of multiplying by x^8).
+fn r8_table() -> &'static [u64; 256] {
+    static R8: OnceLock<Box<[u64; 256]>> = OnceLock::new();
+    R8.get_or_init(|| {
+        let mut t = Box::new([0u64; 256]);
+        for (b, slot) in t.iter_mut().enumerate() {
+            // Shift the byte off one bit at a time; the accumulated reductions
+            // are exactly the x^8 reduction constant for this byte value.
+            let mut v: Element = (0, b as u64);
+            for _ in 0..8 {
+                v = mul_by_x(v);
+            }
+            debug_assert_eq!(v.1, 0);
+            *slot = v.0;
+        }
+        t
+    })
+}
+
+/// Multiply by x^8: shift one byte with table-driven reduction.
+#[inline(always)]
+fn mul_by_x8(z: Element, r8: &[u64; 256]) -> Element {
+    let carry = (z.1 & 0xff) as usize;
+    ((z.0 >> 8) ^ r8[carry], (z.1 >> 8) | (z.0 << 56))
+}
+
+/// Builds the 256-entry Shoup table for an arbitrary element `h`.
+fn build_table(h: Element) -> ByteTable {
+    let mut t = [(0u64, 0u64); 256];
+    // Powers of two: table[0x80] = h (MSB ↦ h·x^0), halving the index walks up
+    // the powers of x.
+    t[0x80] = h;
+    let mut i = 0x80usize;
+    while i > 1 {
+        let v = mul_by_x(t[i]);
+        i >>= 1;
+        t[i] = v;
+    }
+    // Composites: XOR of the power-of-two entries of their set bits.
+    for i in 2..256usize {
+        if !i.is_power_of_two() {
+            let msb = 1usize << (usize::BITS - 1 - i.leading_zeros());
+            t[i] = xor(t[msb], t[i - msb]);
+        }
+    }
+    t
+}
+
+/// One full 128×128 table multiply: `x · H^k` for the table of `H^k`.
+fn mul_words(t: &ByteTable, r8: &[u64; 256], x: Element) -> Element {
+    let hi = x.0.to_be_bytes();
+    let lo = x.1.to_be_bytes();
+    let mut z = t[lo[7] as usize];
+    for i in (0..15).rev() {
+        let b = if i < 8 { hi[i] } else { lo[i - 8] };
+        z = xor(mul_by_x8(z, r8), t[b as usize]);
+    }
+    z
+}
+
+/// Precomputed per-key GHASH tables for the fused multi-block engine.
+///
+/// Holds 8-bit Shoup tables for `H`, `H²`, `H³`, `H⁴` (16 KB total), built once
+/// when the AEAD key is installed; hashing borrows the tables immutably, so no
+/// per-record table work or cloning occurs on the datapath.
+#[derive(Clone)]
+pub struct GHashKey {
+    /// `tables[k]` is the byte table for `H^(k+1)`.
+    tables: Box<[ByteTable; 4]>,
+    r8: &'static [u64; 256],
+}
+
+impl GHashKey {
+    /// Creates the key tables from `h` (the encryption of the zero block).
+    pub fn new(h: &[u8; 16]) -> Self {
+        let r8 = r8_table();
+        let h1 = load(h);
+        let t1 = build_table(h1);
+        let h2 = mul_words(&t1, r8, h1);
+        let h3 = mul_words(&t1, r8, h2);
+        let h4 = mul_words(&t1, r8, h3);
+        Self {
+            tables: Box::new([t1, build_table(h2), build_table(h3), build_table(h4)]),
+            r8,
+        }
+    }
+
+    /// Absorbs one 16-byte block: `y ← (y ⊕ block)·H`.
+    #[inline]
+    pub fn update_block(&self, y: &mut Element, block: &[u8]) {
+        let x = xor(*y, load(block));
+        *y = mul_words(&self.tables[0], self.r8, x);
+    }
+
+    /// Absorbs four consecutive blocks (64 bytes) with aggregated reduction:
+    /// the four table multiplies are independent dependency chains, so the CPU
+    /// overlaps them instead of waiting block-by-block.
+    #[inline]
+    pub fn update4(&self, y: &mut Element, c: &[u8; 64]) {
+        let [t1, t2, t3, t4] = &*self.tables;
+        let r8 = self.r8;
+        // First block carries the running state: (y ⊕ c0)·H⁴.
+        let x0 = xor(*y, load(&c[0..16]));
+        let b0hi = x0.0.to_be_bytes();
+        let b0lo = x0.1.to_be_bytes();
+        let mut z0 = t4[b0lo[7] as usize];
+        let mut z1 = t3[c[31] as usize];
+        let mut z2 = t2[c[47] as usize];
+        let mut z3 = t1[c[63] as usize];
+        for i in (0..15).rev() {
+            let b0 = if i < 8 { b0hi[i] } else { b0lo[i - 8] };
+            z0 = xor(mul_by_x8(z0, r8), t4[b0 as usize]);
+            z1 = xor(mul_by_x8(z1, r8), t3[c[16 + i] as usize]);
+            z2 = xor(mul_by_x8(z2, r8), t2[c[32 + i] as usize]);
+            z3 = xor(mul_by_x8(z3, r8), t1[c[48 + i] as usize]);
+        }
+        *y = xor(xor(z0, z1), xor(z2, z3));
+    }
+
+    /// Absorbs a byte string, zero-padding the final partial block. Full
+    /// 64-byte runs go through the aggregated four-block fold.
+    pub fn update_padded(&self, y: &mut Element, data: &[u8]) {
+        let mut quads = data.chunks_exact(64);
+        for quad in &mut quads {
+            self.update4(y, quad.try_into().expect("64 bytes"));
+        }
+        let rest = quads.remainder();
+        let mut blocks = rest.chunks_exact(16);
+        for block in &mut blocks {
+            self.update_block(y, block);
+        }
+        let rem = blocks.remainder();
+        if !rem.is_empty() {
+            let mut block = [0u8; 16];
+            block[..rem.len()].copy_from_slice(rem);
+            self.update_block(y, &block);
+        }
+    }
+
+    /// Absorbs the standard `len(A) ‖ len(C)` block and serializes the digest.
+    pub fn finalize_with_lengths(&self, y: &mut Element, aad_bits: u64, ct_bits: u64) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[0..8].copy_from_slice(&aad_bits.to_be_bytes());
+        block[8..16].copy_from_slice(&ct_bits.to_be_bytes());
+        self.update_block(y, &block);
+        let mut out = [0u8; 16];
+        out[0..8].copy_from_slice(&y.0.to_be_bytes());
+        out[8..16].copy_from_slice(&y.1.to_be_bytes());
+        out
+    }
+}
+
+impl std::fmt::Debug for GHashKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key-derived table material.
+        write!(f, "GHashKey(..)")
+    }
+}
+
+/// GHASH state with precomputed key tables — the retained scalar reference
+/// implementation (Shoup 4-bit nibble tables, one block at a time).
 #[derive(Clone)]
 pub struct GHash {
     /// table[i] = (i as 4-bit value) · H in GF(2^128), bits stored as (hi, lo).
-    table: [(u64, u64); 16],
-    y: (u64, u64),
+    table: [Element; 16],
+    y: Element,
 }
 
-fn gf_mul_by_x4(v: (u64, u64)) -> (u64, u64) {
+fn gf_mul_by_x4(v: Element) -> Element {
     // Multiply by x^4 (shift right by 4 in GCM's reflected bit order) and reduce.
     let (hi, lo) = v;
     let carry = (lo & 0xf) as usize;
@@ -28,17 +228,10 @@ fn gf_mul_by_x4(v: (u64, u64)) -> (u64, u64) {
     (hi, lo)
 }
 
-fn xor(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
-    (a.0 ^ b.0, a.1 ^ b.1)
-}
-
 impl GHash {
     /// Creates a GHASH instance keyed with `h` (the encryption of the zero block).
     pub fn new(h: &[u8; 16]) -> Self {
-        let h = (
-            u64::from_be_bytes(h[0..8].try_into().unwrap()),
-            u64::from_be_bytes(h[8..16].try_into().unwrap()),
-        );
+        let h = load(h);
         // table[i] = i·H: build by GF additions of H·x^k terms.
         // In GCM's reflected convention, the multiplier nibble's bit j (MSB
         // first) selects H·x^j; table[1<<3-j]... Simplest: table[8] = H, and
@@ -68,10 +261,7 @@ impl GHash {
 
     /// Absorbs one 16-byte block.
     pub fn update_block(&mut self, block: &[u8; 16]) {
-        let x = (
-            u64::from_be_bytes(block[0..8].try_into().unwrap()),
-            u64::from_be_bytes(block[8..16].try_into().unwrap()),
-        );
+        let x = load(block);
         let mut z = (0u64, 0u64);
         let y = xor(self.y, x);
         // Process 32 nibbles from least-significant end of the 128-bit value.
@@ -121,58 +311,105 @@ impl GHash {
     }
 }
 
-/// Multiply by x in GCM's reflected representation (right shift with reduction).
-fn mul_by_x(v: (u64, u64)) -> (u64, u64) {
-    let (hi, lo) = v;
-    let carry = lo & 1;
-    let lo = (lo >> 1) | (hi << 63);
-    let hi = (hi >> 1) ^ (carry * 0xe100_0000_0000_0000);
-    (hi, lo)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn slow_mul(x: Element, h: Element) -> Element {
+        // Bit-by-bit GF(2^128) multiply, the independent ground truth.
+        let mut z = (0u64, 0u64);
+        let mut v = h;
+        for i in 0..128 {
+            let bit = if i < 64 {
+                (x.0 >> (63 - i)) & 1
+            } else {
+                (x.1 >> (127 - i)) & 1
+            };
+            if bit == 1 {
+                z = xor(z, v);
+            }
+            v = mul_by_x(v);
+        }
+        z
+    }
+
+    const H_BYTES: [u8; 16] = [
+        0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34, 0x2b,
+        0x2e,
+    ];
+    const BLOCK: [u8; 16] = [
+        0x03, 0x88, 0xda, 0xce, 0x60, 0xb6, 0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9, 0x71, 0xb2, 0xfe,
+        0x78,
+    ];
+
     #[test]
     fn nibble_order_matches_bitwise_reference() {
-        // Compare the table implementation against a slow bit-by-bit GF mul.
-        fn slow_mul(x: (u64, u64), h: (u64, u64)) -> (u64, u64) {
-            let mut z = (0u64, 0u64);
-            let mut v = h;
-            for i in 0..128 {
-                let bit = if i < 64 {
-                    (x.0 >> (63 - i)) & 1
-                } else {
-                    (x.1 >> (127 - i)) & 1
-                };
-                if bit == 1 {
-                    z = xor(z, v);
-                }
-                v = mul_by_x(v);
-            }
-            z
-        }
-
-        let h_bytes: [u8; 16] = [
-            0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34,
-            0x2b, 0x2e,
-        ];
-        let mut g = GHash::new(&h_bytes);
-        let block: [u8; 16] = [
-            0x03, 0x88, 0xda, 0xce, 0x60, 0xb6, 0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9, 0x71, 0xb2,
-            0xfe, 0x78,
-        ];
-        g.update_block(&block);
-        let h = (
-            u64::from_be_bytes(h_bytes[0..8].try_into().unwrap()),
-            u64::from_be_bytes(h_bytes[8..16].try_into().unwrap()),
-        );
-        let x = (
-            u64::from_be_bytes(block[0..8].try_into().unwrap()),
-            u64::from_be_bytes(block[8..16].try_into().unwrap()),
-        );
-        let expect = slow_mul(x, h);
+        // Compare the nibble-table implementation against a slow bit-by-bit mul.
+        let mut g = GHash::new(&H_BYTES);
+        g.update_block(&BLOCK);
+        let expect = slow_mul(load(&BLOCK), load(&H_BYTES));
         assert_eq!(g.y, expect);
+    }
+
+    #[test]
+    fn byte_table_matches_bitwise_reference() {
+        let key = GHashKey::new(&H_BYTES);
+        let mut y = (0u64, 0u64);
+        key.update_block(&mut y, &BLOCK);
+        let expect = slow_mul(load(&BLOCK), load(&H_BYTES));
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn aggregated_fold_matches_serial() {
+        // Four blocks through update4 must equal four serial update_block calls,
+        // and the 8-bit path must equal the retained nibble reference.
+        let key = GHashKey::new(&H_BYTES);
+        let mut data = [0u8; 64];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let mut y_fast = (7u64, 9u64);
+        key.update4(&mut y_fast, &data);
+
+        let mut y_serial = (7u64, 9u64);
+        for block in data.chunks_exact(16) {
+            key.update_block(&mut y_serial, block);
+        }
+        assert_eq!(y_fast, y_serial);
+
+        let mut reference = GHash::new(&H_BYTES);
+        reference.y = (7, 9);
+        for block in data.chunks_exact(16) {
+            reference.update_block(block.try_into().unwrap());
+        }
+        assert_eq!(y_fast, reference.y);
+    }
+
+    #[test]
+    fn update_padded_paths_agree_across_lengths() {
+        let key = GHashKey::new(&H_BYTES);
+        for len in [0usize, 1, 15, 16, 17, 48, 63, 64, 65, 127, 128, 200] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            let mut y_fast = (0u64, 0u64);
+            key.update_padded(&mut y_fast, &data);
+            let mut reference = GHash::new(&H_BYTES);
+            reference.update_padded(&data);
+            assert_eq!(y_fast, reference.y, "length {len}");
+        }
+    }
+
+    #[test]
+    fn mul_by_x8_equals_eight_single_shifts() {
+        let r8 = r8_table();
+        let mut v = load(&H_BYTES);
+        for _ in 0..50 {
+            let mut expect = v;
+            for _ in 0..8 {
+                expect = mul_by_x(expect);
+            }
+            assert_eq!(mul_by_x8(v, r8), expect);
+            v = mul_by_x(xor(v, (0x1234_5678_9abc_def0, 0x0fed_cba9_8765_4321)));
+        }
     }
 }

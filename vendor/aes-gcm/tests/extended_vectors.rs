@@ -1,0 +1,155 @@
+//! Extended AES-GCM known-answer tests for multi-block inputs.
+//!
+//! The NIST SP 800-38D appendix vectors stop at 64-byte plaintexts, which
+//! never leaves the fused engine's tail path. These vectors extend the same
+//! well-known keys/nonces (GCM spec test cases 3/4 key material) to lengths
+//! that exercise the 8-way interleaved keystream generator and the aggregated
+//! GHASH folds: ≥2 full 128-byte strides, stride+1 tails, and a ~1 KB record.
+//!
+//! Provenance: ciphertext/tag values were produced with an independent
+//! implementation (PyCA `cryptography`, backed by OpenSSL's EVP AES-GCM) and
+//! are reproducible from the formulaic plaintexts below with any conformant
+//! AES-GCM. Both the buffered API and the fused in-place detached seal/open
+//! are checked, in both directions.
+
+use aes_gcm::aead::{Aead, KeyInit, Payload};
+use aes_gcm::{Aes128Gcm, Aes256Gcm, Nonce};
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+const KEY_128: &str = "feffe9928665731c6d6a8f9467308308";
+const KEY_256: &str = "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f";
+const NONCE: &str = "cafebabefacedbaddecaf888";
+const AAD_20: &str = "feedfacedeadbeeffeedfacedeadbeefabaddad2";
+/// A TLS-1.3-record-shaped 13-byte AAD.
+const AAD_13: &str = "000017030300000000000000ff";
+
+/// `len` bytes of the arithmetic pattern `i·step + offset (mod 256)`.
+fn pattern(len: usize, step: usize, offset: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i * step + offset) & 0xff) as u8)
+        .collect()
+}
+
+fn check_128(pt: &[u8], aad: &[u8], ct_hex: &str, tag_hex: &str) {
+    let cipher = Aes128Gcm::new_from_slice(&unhex(KEY_128)).unwrap();
+    check(&cipher, pt, aad, ct_hex, tag_hex);
+}
+
+fn check<const K: usize>(
+    cipher: &aes_gcm::AesGcm<K>,
+    pt: &[u8],
+    aad: &[u8],
+    ct_hex: &str,
+    tag_hex: &str,
+) {
+    let nonce_bytes: [u8; 12] = unhex(NONCE).try_into().unwrap();
+    let expect_ct = unhex(ct_hex);
+    let expect_tag = unhex(tag_hex);
+    assert_eq!(expect_ct.len(), pt.len());
+
+    // Fused in-place seal.
+    let mut buf = pt.to_vec();
+    let tag = cipher.encrypt_in_place_detached(&nonce_bytes, aad, &mut buf);
+    assert_eq!(buf, expect_ct, "ciphertext mismatch");
+    assert_eq!(tag, expect_tag.as_slice(), "tag mismatch");
+
+    // Fused in-place open (the single-pass GHASH-then-decrypt path).
+    cipher
+        .decrypt_in_place_detached(&nonce_bytes, aad, &mut buf, &expect_tag)
+        .expect("authentic ciphertext must open");
+    assert_eq!(buf, pt, "roundtrip plaintext mismatch");
+
+    // Buffered API against the same vector.
+    let nonce: Nonce = (&nonce_bytes).into();
+    let out = cipher.encrypt(&nonce, Payload { msg: pt, aad }).unwrap();
+    assert_eq!(&out[..pt.len()], expect_ct.as_slice());
+    assert_eq!(&out[pt.len()..], expect_tag.as_slice());
+    let back = cipher.decrypt(&nonce, Payload { msg: &out, aad }).unwrap();
+    assert_eq!(back, pt);
+
+    // A flipped ciphertext byte in the interleaved region must fail and leave
+    // the buffer as ciphertext (the fused decrypt's restore path).
+    let mut tampered = expect_ct.clone();
+    if !tampered.is_empty() {
+        let mid = tampered.len() / 2;
+        tampered[mid] ^= 0x40;
+        let image = tampered.clone();
+        assert!(cipher
+            .decrypt_in_place_detached(&nonce_bytes, aad, &mut tampered, &expect_tag)
+            .is_err());
+        assert_eq!(tampered, image, "failed open must not release plaintext");
+    }
+}
+
+#[test]
+fn aes128_256_bytes_two_full_strides_no_aad() {
+    // 256 bytes = exactly two 128-byte strides: pure 8-way interleaved path.
+    check_128(
+        &pattern(256, 1, 0),
+        b"",
+        "9bb32ee4ddf674c6e62222792728fc09751c9a6f2d23452d03945405bf8035431dc83a04e52bbc687a694e55c90f310f9af8d4fff4327cf7bf02a19361adb5ef9de925878ab7f7b6f0e0b502866dc52e4689a6a2979c71687b8e02479f2eba3e907f3edcc14a269538656daf735a1f1eb1cc86c61413f507fcf3d04d7a67e9277e577f326cbe2298abf0bc20caedab4f50274e15b6d01ead0a4a624fa7a438b4d2cce4b5090c4216a9ee342a98af8810310dc972117c819ecb5504392642e99f6472c63d5e546f69670d0e6a6393607dfe436cf0aea665c0933b3fe35c447be5507c9c126df33c411f6897d8a9aec47c4161c82a639200e73e68ead1f6d85a93",
+        "8c8a365d70bde6b80fe9e06325c23657",
+    );
+}
+
+#[test]
+fn aes128_257_bytes_stride_plus_one_with_aad() {
+    // 257 bytes: two full strides plus a 1-byte tail — exercises the fused
+    // bulk path and the partial-block epilogue together, with AAD.
+    check_128(
+        &pattern(257, 7, 3),
+        &unhex(AAD_20),
+        "98b83dffc6d55ff5d56961227c7b976a167709f4b6a0ce9eb03ff7de6453fe80de03e9df3e08975b49624d4ed21c5a6cf99387a4af7137440ca90208fa3e3e6c1e62b61c11145c0543abf659dd3eae4d25e2b5b98c9f7a5b48a5219c44fd71fd53b4ed071ae98d268beeee34e8c9747dd2a7d59d4f50be34cfd8f3566174e2247d5c6c29779d09ab98bbff7b91bec02c334cdd8e2d53951eb9e1c1947c77f3771107376ed22f69259ae5373183bce37352669a294a3fca2d78fea7a2bdd1621ce7f955a6c5f7c4dad4464d3138c00b1e9d287febb5a56ef3a0101c388797b02693b74fc9b65097f2ace31443323daf1f220a9b7138d14bd40d43c9caedcb519022",
+        "8d978e98c443f4881cc6ead603706c8b",
+    );
+}
+
+#[test]
+fn aes128_1000_bytes_record_sized_tls_aad() {
+    // A record-sized payload (7 strides + 104-byte tail) under a
+    // TLS-record-shaped 13-byte AAD: the shape the record layer seals.
+    check_128(
+        &pattern(1000, 13, 5),
+        &unhex(AAD_13),
+        "9ea033cbe0b521a18351afe68a8b49ceb0ef67803020700a26c7197ad2e3a0c4985ba7eb18e8694f5f5a434aa46c4448df4b695069b189105ad16cac4c8ea0e898fa38a8b77422511513389d2bce706903fadbcd8a9f444f5e5dcfb872cd2fb915eca3b3bc0973b21d5660b09eb9ead9747f3b698990806099a09d725744fc207b44621d51fd77ffce8331bf674e1e8895d4b3faabd32b8a2f192f30cac7ad33575f795af4cf97318cdd3935f5ccfd5774be74dd8cff74792e86c9060b61fc986161db126397ba8e82fe83f5ce30d53abb30119fb3a550e7b6e8f21cb1a7ee62d5ef017d10b069663a5b9ac7444d31bb84d27585fe1175805b3ba7eedbfb4f9424731ea5c9dff6cd29f38b18b92d9e20548095a7651ab22b41a9e49408c963552baa24e411f37b056e26fb70ca368f8cfd89b86e537cbde41954d8f7d5a32bc5856b03b07b6dcdd2dce8924aab2b38de9d93019f70a9c7125f23788f406783653531a2bd4d93638fc5c36ae9c21f8c212c23c9780d0a4bf26ffc87f068079d00aafacf498a91cde1ffd0e10a9d41e80106a4c73b3947594d5a23efc51b75f29590ee145ff3f96fd0cbf282c724ce1e98addddd02ecf52fa67a82884cf7e14ccc8dded0a7827e50f31bb9284ed4c27fb7d79c9d179478442378e871aff20dffbacf490dbe66c40f16d3186d04494ce66e77e9f6cc6537eef4deb995c66d8712cb19f1c6a2a610b6fd6139c2c8a7fd57a536b50e5736c84275d756fd554d428bc57a17fdf94ac351760c916ea69019c2db90b970280e54171d2d342e1b581904e6f0f6675317eda9c03cadeb8f527cee186ce81efc615dddc1ecbae8fa66ed25cdf4c98cbdc66d8626820706012f0db934109d0961ef94b19855fdfc9d98d9b44b1a8ba79fddc5a6b2d488bb92479da4cd8cf9832cd71d102772c23d8dbefdbb9018529e0cd2152eaf3dbf3b1c6201ae039e614f7c23b5ae89f7465732331cd5a188a891d7f0d1355e5ea7dcddb160d69c532a224c92a470de157328defb5a828507df05516359c06bd00b3a8bf4b11b457e67f0de98e5c70fbd4afc70547a5605f2a7e1c89154132bbbb2f39c86f0fa6d357fcb1e952547315124bb4a4682baf83406f74a6edc7b8fcd74cdb3af5200d5bdad4b6c6686f928c6bea5c00e60c39aae7e6fa5a91c9ad3fbc2d74e07a237083eb1debe85d3e978b92bd3711e153a6f3116852f304542ddbb33d27fb18c6b8851c602ada83395f79d644ae562e101e8b5471b57d6d8d889fe811888256ecac678cdc408e7555ac6562aaaa69eaad02a7d9c82b37b0e0c5acc5df6d5a33be84be3ed5e8b2f912774ede239ab1e17d273f587be5009b3e0ae979d09dac7a812ad0c0e4a5d684603837e8345654a146f6caae28e5af2b76acb",
+        "cf9efc7cb442ee8c67d748b9f40f1c85",
+    );
+}
+
+#[test]
+fn aes256_384_bytes_three_strides_with_aad() {
+    // AES-256 through the same multi-block machinery (14-round schedule).
+    let cipher = Aes256Gcm::new_from_slice(&unhex(KEY_256)).unwrap();
+    check(
+        &cipher,
+        &pattern(384, 11, 1),
+        &unhex(AAD_20),
+        "8bafb70487420c551f6f32a7fe8d1299bc9c078302f1998a47cb1b5b8bc92ea9cc3cb6c44c4ceacc9f9fe7b2d773db6348488e639ec2db8e4ae60eb62b441cf4a04e8990a2bc5ed149fe0924ed4eab5d69cc81edc78d72b16379ab9ae19997fce05bfcbfc0e5cb9573ea81961d18b2070b76f8ff67c28bdb0926767069278ae3eca08cb7088efa7300d4f0b79557929086f76245d07cc817458e860a50d36aadbba634cec7a93bf01dc0886567f7c257df2abc1b05f05e9009b6e4c70716993d60674966b4c9e3fdffc00cb0c01a4eff47c0a69e7e147a7cf7bbad54939184b38937fdbdc16f275a10294a2664e8e9afa027959516a80b2d05a3e4ed37c9b54692584497bca3799972b742c30d6757bec97aa55509b40bd7163895e16f69dca48ddce8126a3c98963871caef98f909cda2ce6637e4f8085230509f5a12bbc45cad7fffe592ae2ada446d4db40a8b8e6f44c7ac7ef32e4b9a5a9e4d31da40e848d55b2d30d3313fb2d6309dcdc3bc23502e97e56e9acf786f6b4b5ff02497ea2a",
+        "b8afebc90b1d05d81605fcaadaab4c7f",
+    );
+}
+
+#[test]
+fn reference_path_agrees_with_vectors() {
+    // The retained scalar reference path must produce the same vector outputs
+    // as the fused engine (it is the cross-check, so pin it to the KATs too).
+    let cipher = Aes128Gcm::new_from_slice(&unhex(KEY_128)).unwrap();
+    let nonce_bytes: [u8; 12] = unhex(NONCE).try_into().unwrap();
+    let pt = pattern(256, 1, 0);
+    let mut fused = pt.clone();
+    let fused_tag = cipher.encrypt_in_place_detached(&nonce_bytes, b"", &mut fused);
+    let mut reference = pt.clone();
+    let ref_tag = cipher.encrypt_in_place_detached_reference(&nonce_bytes, b"", &mut reference);
+    assert_eq!(fused, reference);
+    assert_eq!(fused_tag, ref_tag);
+    cipher
+        .decrypt_in_place_detached_reference(&nonce_bytes, b"", &mut reference, &ref_tag)
+        .unwrap();
+    assert_eq!(reference, pt);
+}

@@ -28,6 +28,40 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up a field of an [`Value::Object`] by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The contents of a [`Value::String`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A [`Value::Number`] parsed as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can be converted into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into a serialized value.

@@ -1,12 +1,14 @@
 //! Offline stand-in for [`serde_json`](https://docs.rs/serde_json).
 //!
 //! Renders the simplified `serde::Value` tree produced by this workspace's
-//! vendored `serde` as JSON text. Only serialization is provided — nothing in
-//! the workspace parses JSON.
+//! vendored `serde` as JSON text, and parses JSON text back into a [`Value`]
+//! tree ([`from_str`]) — enough for the bench tooling to read the
+//! `BENCH_*.json` reports it writes.
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+use serde::Serialize;
+pub use serde::Value;
 
 /// Serialization error (infallible in this implementation, kept for API shape).
 #[derive(Debug, Clone)]
@@ -95,6 +97,197 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize)
     }
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// A straightforward recursive-descent parser over the full JSON grammar
+/// (numbers are kept as their source text, matching how [`Value::Number`]
+/// stores them on the serialization side).
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(Error);
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(())
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek().ok_or(Error)? {
+            b'n' => self.eat_literal("null").map(|()| Value::Null),
+            b't' => self.eat_literal("true").map(|()| Value::Bool(true)),
+            b'f' => self.eat_literal("false").map(|()| Value::Bool(false)),
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(Error),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or(Error)? {
+                b'"' => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.at += 1;
+                    match self.peek().ok_or(Error)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.at + 1..self.at + 5).ok_or(Error)?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| Error)?,
+                                16,
+                            )
+                            .map_err(|_| Error)?;
+                            // Surrogate pairs are not needed by the bench
+                            // reports; map them to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.at += 4;
+                        }
+                        _ => return Err(Error),
+                    }
+                    self.at += 1;
+                }
+                _ => {
+                    // Consume the whole run of ordinary bytes at once. The
+                    // delimiters (`"`, `\`) are ASCII, so the scan below can
+                    // only stop on a UTF-8 character boundary and the run is a
+                    // valid subslice to validate in one O(run) pass.
+                    let start = self.at;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.at += 1;
+                    }
+                    let run =
+                        std::str::from_utf8(&self.bytes[start..self.at]).map_err(|_| Error)?;
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).map_err(|_| Error)?;
+        // Validate through Rust's float grammar (accepts all JSON numbers).
+        text.parse::<f64>().map_err(|_| Error)?;
+        Ok(Value::Number(text.to_string()))
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek().ok_or(Error)? {
+                b',' => self.at += 1,
+                b']' => {
+                    self.at += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek().ok_or(Error)? {
+                b',' => self.at += 1,
+                b'}' => {
+                    self.at += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+}
+
 /// Serializes a value to compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
@@ -121,6 +314,41 @@ mod tests {
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains("[\n"));
         assert!(pretty.contains("  ["));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"benchmarks": [
+            {"name": "record_layer/seal_into/1024", "mean_ns": 7790.3, "iterations": 64220,
+             "throughput_mib_per_sec": 125.4},
+            {"name": "x", "ok": true, "none": null, "neg": -3e-2, "s": "a\"\nA"}
+        ]}"#;
+        let v = from_str(text).unwrap();
+        let benches = v.get("benchmarks").unwrap().as_array().unwrap();
+        assert_eq!(benches.len(), 2);
+        assert_eq!(
+            benches[0].get("name").unwrap().as_str().unwrap(),
+            "record_layer/seal_into/1024"
+        );
+        assert_eq!(benches[0].get("mean_ns").unwrap().as_f64().unwrap(), 7790.3);
+        assert_eq!(
+            benches[0].get("iterations").unwrap().as_f64().unwrap(),
+            64220.0
+        );
+        assert_eq!(benches[1].get("ok").unwrap(), &Value::Bool(true));
+        assert_eq!(benches[1].get("none").unwrap(), &Value::Null);
+        assert_eq!(benches[1].get("neg").unwrap().as_f64().unwrap(), -0.03);
+        assert_eq!(benches[1].get("s").unwrap().as_str().unwrap(), "a\"\nA");
+
+        // What this crate prints, it can re-read.
+        let printed = to_string_pretty(&vec![(1u8, "x".to_string())]).unwrap();
+        assert!(from_str(&printed).is_ok());
+
+        // Garbage is an error, not a panic.
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("").is_err());
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod ycsb;
 
 pub use blockstore::{BlockStore, BlockStoreConfig, FioGenerator};
 pub use kv::{KvRequest, KvResponse, KvStore};
-pub use rpc::EchoServer;
+pub use rpc::{EchoPair, EchoServer};
 pub use ycsb::{YcsbConfig, YcsbGenerator, YcsbOp, YcsbWorkload};

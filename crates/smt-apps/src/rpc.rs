@@ -1,14 +1,16 @@
 //! The RPC echo application used by the latency/throughput experiments.
 //!
-//! The paper uses "our custom application" (§5.1) that issues fixed-size RPCs and
-//! echoes them back.  The functional implementation here runs each request
-//! through a real SMT session pair, so the examples and integration tests
-//! exercise encryption, segmentation and reassembly end to end.
+//! The paper uses "our custom application" (§5.1) that issues fixed-size RPCs
+//! and echoes them back.  The functional implementation here runs each request
+//! through a pair of [`SecureEndpoint`]s built for any evaluated stack, so the
+//! examples and integration tests exercise encryption, segmentation,
+//! reassembly and delivery end to end through the uniform endpoint API.
 
-use smt_core::reassembly::ReceivedMessage;
-use smt_core::{SmtConfig, SmtSession};
+use smt_core::{CryptoMode, SmtConfig};
 use smt_crypto::handshake::SessionKeys;
-use smt_wire::DEFAULT_MTU;
+use smt_transport::{
+    drive_pair, take_delivered, Endpoint, LossyChannel, SecureEndpoint, StackKind,
+};
 
 /// A trivial echo server: every received message is returned verbatim.
 #[derive(Debug, Default)]
@@ -25,69 +27,101 @@ impl EchoServer {
         Self::default()
     }
 
-    /// Handles one request, producing the response payload.
-    pub fn handle(&mut self, request: &ReceivedMessage) -> Vec<u8> {
+    /// Handles one request payload, producing the response payload.
+    pub fn handle(&mut self, request: &[u8]) -> Vec<u8> {
         self.served += 1;
-        self.bytes += request.data.len() as u64;
-        request.data.clone()
+        self.bytes += request.len() as u64;
+        request.to_vec()
     }
 }
 
-/// A connected RPC pair: a client session and a server session with an echo
-/// server behind it, with packets carried in memory.
+/// A connected RPC pair: a client endpoint and a server endpoint with an echo
+/// server behind it, with packets carried over in-memory channels.
 pub struct EchoPair {
-    /// Client-side SMT session.
-    pub client: SmtSession,
-    /// Server-side SMT session.
-    pub server: SmtSession,
+    /// Client-side endpoint.
+    pub client: Endpoint,
+    /// Server-side endpoint.
+    pub server: Endpoint,
     /// The echo application.
     pub app: EchoServer,
-    mtu: usize,
+    to_server: LossyChannel,
+    to_client: LossyChannel,
 }
 
 impl EchoPair {
-    /// Builds a pair from handshake keys.
-    pub fn new(client_keys: &SessionKeys, server_keys: &SessionKeys, config: SmtConfig) -> Self {
-        let (client, server) =
-            smt_core::session::session_pair(client_keys, server_keys, config, 4000, 5201)
-                .expect("valid keys");
+    /// Maximum driver rounds per RPC direction; generous enough for any
+    /// message size the experiments use.
+    const MAX_ROUNDS: usize = 10_000;
+
+    /// Builds a pair on `stack` from handshake keys.
+    pub fn new_on_stack(
+        client_keys: &SessionKeys,
+        server_keys: &SessionKeys,
+        stack: StackKind,
+    ) -> Self {
+        let (client, server) = Endpoint::builder()
+            .stack(stack)
+            .pair(client_keys, server_keys, 4000, 5201)
+            .expect("valid keys");
         Self {
             client,
             server,
             app: EchoServer::new(),
-            mtu: config.mtu,
+            to_server: LossyChannel::reliable(),
+            to_client: LossyChannel::reliable(),
+        }
+    }
+
+    /// Builds a pair from handshake keys and an engine configuration,
+    /// preserving the historical `SmtConfig`-driven entry point: the crypto
+    /// mode selects the SMT stack variant (software, offload or plain Homa).
+    pub fn new(client_keys: &SessionKeys, server_keys: &SessionKeys, config: SmtConfig) -> Self {
+        let stack = match config.crypto_mode {
+            CryptoMode::Plaintext => StackKind::Homa,
+            CryptoMode::Software => StackKind::SmtSw,
+            CryptoMode::HardwareOffload => StackKind::SmtHw,
+        };
+        let (client, server) = Endpoint::builder()
+            .stack(stack)
+            .mtu(config.mtu)
+            .tso(config.tso_enabled)
+            .pair(client_keys, server_keys, 4000, 5201)
+            .expect("valid keys");
+        Self {
+            client,
+            server,
+            app: EchoServer::new(),
+            to_server: LossyChannel::reliable(),
+            to_client: LossyChannel::reliable(),
         }
     }
 
     /// Performs one echo RPC of `payload`, returning the response bytes.
     pub fn call(&mut self, payload: &[u8]) -> Vec<u8> {
-        let out = self.client.send_message(payload, 0).expect("send");
-        let mut request = None;
-        for seg in &out.segments {
-            for pkt in seg
-                .packetize(self.mtu.max(DEFAULT_MTU.min(self.mtu)))
-                .unwrap()
-            {
-                if let Some(m) = self.server.receive_packet(&pkt).expect("receive") {
-                    request = Some(m);
-                }
-            }
-        }
-        let request = request.expect("request delivered");
-        let response_payload = self.app.handle(&request);
-        let out = self
-            .server
-            .send_message(&response_payload, 1)
-            .expect("send response");
-        let mut response = None;
-        for seg in &out.segments {
-            for pkt in seg.packetize(self.mtu).unwrap() {
-                if let Some(m) = self.client.receive_packet(&pkt).expect("receive response") {
-                    response = Some(m);
-                }
-            }
-        }
-        response.expect("response delivered").data
+        self.client.send(payload).expect("send request");
+        drive_pair(
+            &mut self.client,
+            &mut self.server,
+            &mut self.to_server,
+            &mut self.to_client,
+            Self::MAX_ROUNDS,
+        );
+        let (_, request) = take_delivered(&mut self.server)
+            .pop()
+            .expect("request delivered");
+        let response = self.app.handle(&request);
+        self.server.send(&response).expect("send response");
+        drive_pair(
+            &mut self.client,
+            &mut self.server,
+            &mut self.to_server,
+            &mut self.to_client,
+            Self::MAX_ROUNDS,
+        );
+        take_delivered(&mut self.client)
+            .pop()
+            .expect("response delivered")
+            .1
     }
 }
 
@@ -125,5 +159,14 @@ mod tests {
         let mut pair = EchoPair::new(&ck, &sk, SmtConfig::hardware_offload());
         let payload = vec![7u8; 10_000];
         assert_eq!(pair.call(&payload), payload);
+    }
+
+    #[test]
+    fn echo_over_a_stream_stack() {
+        let (ck, sk) = keys();
+        let mut pair = EchoPair::new_on_stack(&ck, &sk, StackKind::KtlsSw);
+        let payload = vec![3u8; 20_000];
+        assert_eq!(pair.call(&payload), payload);
+        assert_eq!(pair.app.served, 1);
     }
 }

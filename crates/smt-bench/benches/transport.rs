@@ -1,40 +1,46 @@
 //! Criterion benchmarks of the packet-level datapath (segmentation + NIC TSO +
-//! reassembly + decryption, end to end in memory).
+//! reassembly + decryption, end to end in memory), driven through the unified
+//! endpoint API so the message and stream stacks are measured by the same loop.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use smt_core::segment::PathInfo;
-use smt_core::SmtConfig;
 use smt_crypto::cert::CertificateAuthority;
-use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
+use smt_crypto::handshake::{establish, ClientConfig, ServerConfig, SessionKeys};
+use smt_transport::{
+    drive_pair, take_delivered, Endpoint, LossyChannel, SecureEndpoint, StackKind,
+};
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn keys() -> (SessionKeys, SessionKeys) {
     let ca = CertificateAuthority::new("ca");
     let id = ca.issue_identity("server");
-    let (ck, sk) = establish(
+    establish(
         ClientConfig::new(ca.verifying_key(), "server"),
         ServerConfig::new(id, ca.verifying_key()),
     )
-    .unwrap();
+    .unwrap()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_message");
     for size in [64usize, 1024, 8192, 65_536] {
         let data = vec![5u8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("smt_sw", size), &data, |b, d| {
-            let (mut tx, mut rx) =
-                smt_core::session::session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
-            let _ = PathInfo::loopback(1, 2);
-            b.iter(|| {
-                let out = tx.send_message(d, 0).unwrap();
-                let mut delivered = None;
-                for seg in &out.segments {
-                    for pkt in seg.packetize(1500).unwrap() {
-                        if let Some(m) = rx.receive_packet(&pkt).unwrap() {
-                            delivered = Some(m);
-                        }
-                    }
-                }
-                delivered.unwrap()
+        for (name, stack) in [("smt_sw", StackKind::SmtSw), ("ktls_sw", StackKind::KtlsSw)] {
+            group.bench_with_input(BenchmarkId::new(name, size), &data, |b, d| {
+                let (ck, sk) = keys();
+                let (mut tx, mut rx) = Endpoint::builder()
+                    .stack(stack)
+                    .pair(&ck, &sk, 1, 2)
+                    .unwrap();
+                let mut ab = LossyChannel::reliable();
+                let mut ba = LossyChannel::reliable();
+                b.iter(|| {
+                    tx.send(d).unwrap();
+                    drive_pair(&mut tx, &mut rx, &mut ab, &mut ba, 1000);
+                    let delivered = take_delivered(&mut rx);
+                    assert_eq!(delivered.len(), 1);
+                    delivered
+                });
             });
-        });
+        }
     }
     group.finish();
 }

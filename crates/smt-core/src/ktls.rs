@@ -177,8 +177,8 @@ impl KtlsReceiver {
     /// stream reassembly the application would otherwise do itself, §2).
     ///
     /// Complete records in the buffer are opened in batched calls under their
-    /// consecutive sequence numbers, capped at [`KTLS_OPEN_BATCH_RECORDS`] /
-    /// [`KTLS_OPEN_BATCH_BYTES`] per call so the protector's reusable scratch
+    /// consecutive sequence numbers, capped at `KTLS_OPEN_BATCH_RECORDS` /
+    /// `KTLS_OPEN_BATCH_BYTES` per call so the protector's reusable scratch
     /// stays bounded regardless of burst size. A failure in any run poisons
     /// the delivery (the TCP stream is dead at that point anyway).
     pub fn on_bytes(&mut self, bytes: &[u8]) -> SmtResult<Vec<u8>> {

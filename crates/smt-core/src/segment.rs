@@ -16,7 +16,8 @@
 //! * `Plaintext` — segments carry raw application bytes (the Homa baseline);
 //! * `Software` — records are encrypted here, on the CPU;
 //! * `HardwareOffload` — records are encrypted under the same composite sequence
-//!   numbers, and every segment additionally carries a [`TlsOffloadDescriptor`]
+//!   numbers, and every segment additionally carries a
+//!   [`TlsOffloadDescriptor`](smt_wire::TlsOffloadDescriptor)
 //!   obtained from the [`FlowContextManager`]; the simulator charges the AEAD
 //!   work to the NIC and verifies the descriptor/resync discipline of §4.4.2.
 
@@ -53,6 +54,30 @@ impl PathInfo {
             dst: [127, 0, 0, 1],
             src_port,
             dst_port,
+        }
+    }
+
+    /// The two directions of one connection between the canonical evaluation
+    /// hosts (10.0.0.1 → 10.0.0.2): the client path and the matching reversed
+    /// server path.  Tests, examples, `session_pair` and the endpoint builder
+    /// all derive their addresses from this single helper.
+    pub fn pair(client_port: u16, server_port: u16) -> (Self, Self) {
+        let client = Self {
+            src: [10, 0, 0, 1],
+            dst: [10, 0, 0, 2],
+            src_port: client_port,
+            dst_port: server_port,
+        };
+        (client, client.reversed())
+    }
+
+    /// The same path as seen from the other end.
+    pub fn reversed(&self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
         }
     }
 }

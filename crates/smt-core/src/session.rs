@@ -27,6 +27,10 @@ pub struct SessionStats {
     pub messages_received: u64,
     /// Application bytes delivered.
     pub bytes_received: u64,
+    /// Wire payload bytes handed to the receiver, counted before reassembly or
+    /// authentication — the receive-side mirror of `wire_bytes_sent` (replays
+    /// and corrupt packets still arrived on the wire, so they count too).
+    pub wire_bytes_received: u64,
 }
 
 /// One endpoint's view of an SMT session.
@@ -186,6 +190,7 @@ impl SmtSession {
     /// Processes a received DATA packet, returning a completed message if this
     /// packet finishes its reassembly.
     pub fn receive_packet(&mut self, packet: &Packet) -> SmtResult<Option<ReceivedMessage>> {
+        self.stats.wire_bytes_received += packet.payload.wire_len() as u64;
         let out = self.receiver.on_packet(packet)?;
         if let Some(m) = &out {
             self.stats.messages_received += 1;
@@ -209,18 +214,7 @@ pub fn session_pair(
     client_port: u16,
     server_port: u16,
 ) -> SmtResult<(SmtSession, SmtSession)> {
-    let client_path = PathInfo {
-        src: [10, 0, 0, 1],
-        dst: [10, 0, 0, 2],
-        src_port: client_port,
-        dst_port: server_port,
-    };
-    let server_path = PathInfo {
-        src: [10, 0, 0, 2],
-        dst: [10, 0, 0, 1],
-        src_port: server_port,
-        dst_port: client_port,
-    };
+    let (client_path, server_path) = PathInfo::pair(client_port, server_port);
     Ok((
         SmtSession::new(client_keys, config, client_path)?,
         SmtSession::new(server_keys, config, server_path)?,
@@ -276,6 +270,15 @@ mod tests {
         assert_eq!(client.stats().messages_sent, 1);
         assert_eq!(client.stats().messages_received, 1);
         assert_eq!(server.stats().messages_received, 1);
+        // Wire accounting is symmetric over a lossless in-memory link.
+        assert_eq!(
+            server.stats().wire_bytes_received,
+            client.stats().wire_bytes_sent
+        );
+        assert_eq!(
+            client.stats().wire_bytes_received,
+            server.stats().wire_bytes_sent
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! The message-based endpoint backend: Homa, SMT-sw and SMT-hw.
+//!
+//! A thin event adapter over [`HomaEndpoint`], which already runs the real SMT
+//! engine (encryption, segmentation, reassembly, replay rejection) over the
+//! simulated NIC and the receiver-driven Homa mechanisms (unscheduled data,
+//! GRANTs, RESENDs, ACKs).  This wrapper owns the control-packet outbox and
+//! converts deliveries/acks into [`Event`]s so the stack can be driven through
+//! the uniform [`SecureEndpoint`] contract.
+
+use super::{EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint};
+use crate::homa::{HomaConfig, HomaEndpoint};
+use crate::stack::StackKind;
+use smt_core::segment::PathInfo;
+use smt_core::SmtSession;
+use smt_crypto::handshake::SessionKeys;
+use smt_wire::Packet;
+use std::collections::VecDeque;
+
+/// A [`SecureEndpoint`] over the receiver-driven message transport.
+pub struct MessageEndpoint {
+    stack: StackKind,
+    inner: HomaEndpoint,
+    outbox: VecDeque<Packet>,
+    events: VecDeque<Event>,
+    nic_queues: usize,
+    next_queue: usize,
+}
+
+impl std::fmt::Debug for MessageEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessageEndpoint")
+            .field("stack", &self.stack)
+            .field("outbox", &self.outbox.len())
+            .field("events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MessageEndpoint {
+    /// Builds the backend for one of the message-based stacks.
+    pub(crate) fn new(
+        stack: StackKind,
+        keys: Option<&SessionKeys>,
+        config: HomaConfig,
+        path: PathInfo,
+    ) -> EndpointResult<Self> {
+        debug_assert!(stack.is_message_based());
+        let (inner, handshake) = match (stack, keys) {
+            (StackKind::Homa, _) => (HomaEndpoint::plaintext(config, path), None),
+            (_, Some(keys)) => (
+                HomaEndpoint::new(keys, stack, config, path)?,
+                Some(Event::HandshakeComplete {
+                    peer_identity: keys.peer_identity.clone(),
+                    forward_secret: keys.forward_secret,
+                }),
+            ),
+            (_, None) => {
+                return Err(EndpointError::Config(format!(
+                    "stack {} requires handshake keys",
+                    stack.label()
+                )))
+            }
+        };
+        let nic_queues = inner.session().config().nic_queues.max(1);
+        Ok(Self {
+            stack,
+            inner,
+            outbox: VecDeque::new(),
+            events: handshake.into_iter().collect(),
+            nic_queues,
+            next_queue: 0,
+        })
+    }
+
+    /// The underlying SMT session (replay checks, flow contexts, raw stats).
+    pub fn session(&self) -> &SmtSession {
+        self.inner.session()
+    }
+
+    /// NIC model statistics (TSO expansion, offload records, resyncs).
+    pub fn nic_stats(&self) -> smt_sim::nic::NicStats {
+        self.inner.nic_stats()
+    }
+
+    /// Messages with unacknowledged send state.
+    pub fn pending_sends(&self) -> usize {
+        self.inner.pending_sends()
+    }
+
+    fn pump(&mut self) {
+        for m in self.inner.take_delivered() {
+            self.events.push_back(Event::MessageDelivered {
+                id: MessageId(m.message_id),
+                data: m.data,
+            });
+        }
+        for id in self.inner.take_acked() {
+            self.events.push_back(Event::MessageAcked(MessageId(id)));
+        }
+    }
+}
+
+impl SecureEndpoint for MessageEndpoint {
+    fn stack(&self) -> StackKind {
+        self.stack
+    }
+
+    fn send(&mut self, data: &[u8]) -> EndpointResult<MessageId> {
+        // Spread messages across the NIC TX queues round-robin, one queue per
+        // message (§4.4.2: all segments of a message share a queue).
+        let queue = self.next_queue;
+        self.next_queue = (self.next_queue + 1) % self.nic_queues;
+        let id = self.inner.send_message(data, queue)?;
+        Ok(MessageId(id))
+    }
+
+    fn handle_datagram(&mut self, datagram: &Packet) -> EndpointResult<()> {
+        let responses = self.inner.handle_packet(datagram);
+        self.outbox.extend(responses);
+        self.pump();
+        Ok(())
+    }
+
+    fn poll_transmit(&mut self, out: &mut Vec<Packet>) -> usize {
+        let before = out.len();
+        out.extend(self.outbox.drain(..));
+        out.extend(self.inner.poll_transmit());
+        out.len() - before
+    }
+
+    fn poll_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    fn on_timeout(&mut self) {
+        let resends = self.inner.poll_resend();
+        self.outbox.extend(resends);
+        let retx = self.inner.poll_retransmit_unacked();
+        self.outbox.extend(retx);
+    }
+
+    fn stats(&self) -> EndpointStats {
+        let session = self.inner.session().stats();
+        let receiver = self.inner.session().receiver_stats();
+        EndpointStats {
+            messages_sent: session.messages_sent,
+            bytes_sent: session.bytes_sent,
+            wire_bytes_sent: session.wire_bytes_sent,
+            messages_delivered: session.messages_received,
+            bytes_delivered: session.bytes_received,
+            wire_bytes_received: session.wire_bytes_received,
+            replays_rejected: receiver.packets_replayed + receiver.packets_duplicate,
+        }
+    }
+}

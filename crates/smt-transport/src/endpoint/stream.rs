@@ -1,0 +1,438 @@
+//! The stream-based endpoint backend: TCP, user-space TLS, kTLS-sw, kTLS-hw
+//! and TCPLS.
+//!
+//! These stacks share one shape (paper §2.1): a reliable in-order bytestream
+//! with the TLS record layer — or nothing, for plain TCP — layered on top, and
+//! the application's own message framing above that.  This backend implements
+//! that shape behind the [`SecureEndpoint`] contract:
+//!
+//! * **Framing.**  Each [`send`](SecureEndpoint::send) writes a 12-byte frame
+//!   header (message ID + length) plus the payload onto the stream — the
+//!   delimiting work TCP applications must do themselves, which SMT gets for
+//!   free from message boundaries.
+//! * **Record layer.**  Encrypted stacks run the framed bytes through the
+//!   shared kTLS machinery ([`KtlsSender`]/[`KtlsReceiver`] from `smt-core`),
+//!   so the crypto datapath is byte-identical to the kernel TLS baseline.
+//!   kTLS-hw registers its offload key exactly like the kernel interface;
+//!   receive-side crypto is always software (§5: nobody offloads receive).
+//! * **Reliable delivery.**  The wire bytes are carried in TSO segments
+//!   through the simulated NIC, with the stream offset in the overlay option
+//!   area.  The receiver reassembles out-of-order segments, drops duplicates
+//!   (counting them as replays), and acknowledges with a cumulative offset;
+//!   the sender retransmits go-back-N from the highest cumulative ACK when
+//!   the driver signals a quiet wire ([`on_timeout`](SecureEndpoint::on_timeout)).
+//!   This is the minimal TCP: enough to recover from loss, reordering and
+//!   duplication on the simulated link, while keeping the defining limitation
+//!   that bytes — and therefore records — can only be *consumed* in order.
+//!
+//! The 64-bit stream offset is carried in the overlay option area: the low
+//! 32 bits in `tso_offset` and the high 32 bits in the reserved word, so the
+//! stream never wraps.
+
+use super::{EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint};
+use crate::stack::StackKind;
+use bytes::{Bytes, BytesMut};
+use smt_core::config::CryptoMode;
+use smt_core::ktls::{KtlsReceiver, KtlsSender, KtlsSession};
+use smt_core::segment::PathInfo;
+use smt_crypto::handshake::SessionKeys;
+use smt_sim::nic::NicModel;
+use smt_wire::{
+    max_payload_per_packet, HomaAck, OverlayTcpHeader, Packet, PacketPayload, PacketType,
+    SmtOptionArea, SmtOverlayHeader, TsoSegment, IPPROTO_TCP, MAX_TSO_SEGMENT,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bytes of frame header preceding every message on the stream: message ID
+/// (8 bytes BE) + payload length (4 bytes BE).
+const FRAME_HEADER: usize = 12;
+
+/// A [`SecureEndpoint`] over a TCP-like reliable bytestream.
+pub struct StreamEndpoint {
+    stack: StackKind,
+    path: PathInfo,
+    mtu: usize,
+    tso: bool,
+    nic: NicModel,
+    /// Record layer, `None` for plain TCP.
+    tls_tx: Option<KtlsSender>,
+    tls_rx: Option<KtlsReceiver>,
+
+    // Transmit side.
+    /// Unacknowledged wire bytes; `wire[0]` is stream offset `wire_base`.
+    wire: BytesMut,
+    /// Stream offset of the first retained (= first unacked) wire byte.
+    wire_base: u64,
+    /// Next stream offset to put on the wire (rewound by retransmission).
+    next_send: u64,
+    /// Highest cumulative ACK received.
+    acked: u64,
+    /// Outstanding messages: (id, wire offset at which the message ends).
+    inflight: VecDeque<(MessageId, u64)>,
+    next_msg_id: u64,
+
+    // Receive side.
+    /// Next in-order stream offset expected.
+    recv_next: u64,
+    /// Out-of-order wire segments keyed by stream offset.
+    ooo: BTreeMap<u64, Bytes>,
+    /// Decrypted, in-order plaintext awaiting frame delimiting.
+    frame_buf: BytesMut,
+    /// A cumulative ACK should be emitted on the next poll.
+    ack_pending: bool,
+
+    events: VecDeque<Event>,
+    stats: EndpointStats,
+    /// Set after a fatal stream error; all further traffic is dropped.
+    dead: bool,
+}
+
+impl std::fmt::Debug for StreamEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamEndpoint")
+            .field("stack", &self.stack)
+            .field("acked", &self.acked)
+            .field("recv_next", &self.recv_next)
+            .field("dead", &self.dead)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamEndpoint {
+    /// Builds the backend for one of the stream-based stacks.
+    pub(crate) fn new(
+        stack: StackKind,
+        keys: Option<&SessionKeys>,
+        mtu: usize,
+        tso: bool,
+        path: PathInfo,
+    ) -> EndpointResult<Self> {
+        debug_assert!(!stack.is_message_based());
+        let crypto_mode = match stack {
+            StackKind::Tcp => None,
+            StackKind::KtlsHw => Some(CryptoMode::HardwareOffload),
+            // User-space TLS, kTLS-sw and TCPLS all run software record crypto
+            // over the same datapath; their differences (syscall boundary,
+            // record size, multiplexing) live in the cost profiles.
+            _ => Some(CryptoMode::Software),
+        };
+        let (tls_tx, tls_rx, handshake) = match crypto_mode {
+            None => (None, None, None),
+            Some(mode) => {
+                let keys = keys.ok_or_else(|| {
+                    EndpointError::Config(format!(
+                        "stack {} requires handshake keys",
+                        stack.label()
+                    ))
+                })?;
+                let session = KtlsSession::new(keys, mode)?;
+                (
+                    Some(session.sender),
+                    Some(session.receiver),
+                    Some(Event::HandshakeComplete {
+                        peer_identity: keys.peer_identity.clone(),
+                        forward_secret: keys.forward_secret,
+                    }),
+                )
+            }
+        };
+        Ok(Self {
+            stack,
+            path,
+            mtu,
+            tso,
+            nic: NicModel::new(mtu, tso),
+            tls_tx,
+            tls_rx,
+            wire: BytesMut::new(),
+            wire_base: 0,
+            next_send: 0,
+            acked: 0,
+            inflight: VecDeque::new(),
+            next_msg_id: 0,
+            recv_next: 0,
+            ooo: BTreeMap::new(),
+            frame_buf: BytesMut::new(),
+            ack_pending: false,
+            events: handshake.into_iter().collect(),
+            stats: EndpointStats::default(),
+            dead: false,
+        })
+    }
+
+    /// The key material registered with the NIC for kTLS-hw, mirroring the
+    /// kernel TLS offload interface.
+    pub fn offload_key(
+        &self,
+    ) -> Option<(smt_crypto::CipherSuite, &smt_crypto::key_schedule::Secret)> {
+        self.tls_tx.as_ref().and_then(|tx| tx.offload_key())
+    }
+
+    /// NIC model statistics (TSO expansion of the stream).
+    pub fn nic_stats(&self) -> smt_sim::nic::NicStats {
+        self.nic.stats
+    }
+
+    /// Stream offset one past the last produced wire byte.
+    fn produced(&self) -> u64 {
+        self.wire_base + self.wire.len() as u64
+    }
+
+    fn fatal(&mut self, msg: String) -> EndpointError {
+        self.dead = true;
+        self.events.push_back(Event::Error(msg.clone()));
+        EndpointError::Stream(msg)
+    }
+
+    fn ack_packet(&self) -> Packet {
+        let overlay = SmtOverlayHeader {
+            tcp: OverlayTcpHeader::new(self.path.src_port, self.path.dst_port, PacketType::Ack),
+            // The cumulative stream offset rides in the ACK body's message-id
+            // field; the option area is unused on a pure-ACK packet.
+            options: SmtOptionArea::new(0, 0),
+        };
+        Packet {
+            ip: smt_wire::IpHeader::V4(smt_wire::Ipv4Header::new(
+                self.path.src,
+                self.path.dst,
+                IPPROTO_TCP,
+                (smt_wire::IPV4_HEADER_LEN + smt_wire::SMT_OVERLAY_LEN + HomaAck::LEN) as u16,
+            )),
+            overlay,
+            payload: PacketPayload::Ack(HomaAck {
+                message_id: self.recv_next,
+            }),
+            corrupted: false,
+        }
+    }
+
+    /// Consumes newly in-order wire bytes: record-layer decryption (when
+    /// encrypted), then frame delimiting into delivered messages.
+    fn deliver_in_order(&mut self, bytes: &[u8]) -> EndpointResult<()> {
+        let plaintext = match &mut self.tls_rx {
+            Some(rx) => match rx.on_bytes(bytes) {
+                Ok(p) => p,
+                Err(e) => {
+                    return Err(self.fatal(format!("record layer failed on in-order stream: {e}")))
+                }
+            },
+            None => bytes.to_vec(),
+        };
+        self.frame_buf.extend_from_slice(&plaintext);
+        while self.frame_buf.len() >= FRAME_HEADER {
+            let header: &[u8] = &self.frame_buf;
+            let id = u64::from_be_bytes(header[..8].try_into().expect("8 bytes"));
+            let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+            if self.frame_buf.len() < FRAME_HEADER + len {
+                break;
+            }
+            let _ = self.frame_buf.split_to(FRAME_HEADER);
+            let data = self.frame_buf.split_to(len)[..].to_vec();
+            self.stats.messages_delivered += 1;
+            self.stats.bytes_delivered += data.len() as u64;
+            self.events.push_back(Event::MessageDelivered {
+                id: MessageId(id),
+                data,
+            });
+        }
+        Ok(())
+    }
+
+    fn handle_data(&mut self, datagram: &Packet) -> EndpointResult<()> {
+        let Some(bytes) = datagram.payload.as_data() else {
+            return Ok(());
+        };
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        self.stats.wire_bytes_received += bytes.len() as u64;
+        // Stream offset of this packet: the segment's 64-bit base offset
+        // (low word in tso_offset, high word in the reserved field) plus the
+        // packet's position within the TSO expansion, at the sender's stride
+        // (carried in the resend-packet-offset word; fall back to our own MTU
+        // for a peer that did not stamp it).
+        let stride = match datagram.overlay.options.resend_packet_offset {
+            0 => max_payload_per_packet(self.mtu) as u64,
+            s => u64::from(s),
+        };
+        let base = (u64::from(datagram.overlay.options.reserved) << 32)
+            | u64::from(datagram.overlay.options.tso_offset);
+        let offset = base + u64::from(datagram.packet_offset().unwrap_or(0)) * stride;
+        let end = offset + bytes.len() as u64;
+
+        if end <= self.recv_next {
+            // Entirely old data: a network duplicate or a spurious
+            // retransmission. Re-ACK so the sender advances.
+            self.stats.replays_rejected += 1;
+            self.ack_pending = true;
+            return Ok(());
+        }
+        match self.ooo.get(&offset) {
+            Some(existing) if existing.len() >= bytes.len() => {
+                // Byte-identical duplicate still waiting in the reorder buffer.
+                self.stats.replays_rejected += 1;
+                self.ack_pending = true;
+                return Ok(());
+            }
+            _ => {
+                self.ooo.insert(offset, bytes.clone());
+            }
+        }
+
+        // Advance the in-order prefix through the reorder buffer.
+        let mut in_order = Vec::new();
+        while let Some((&off, _)) = self.ooo.iter().next() {
+            if off > self.recv_next {
+                break;
+            }
+            let chunk = self.ooo.remove(&off).expect("first entry");
+            let chunk_end = off + chunk.len() as u64;
+            if chunk_end <= self.recv_next {
+                continue; // Buffered bytes that a larger chunk already covered.
+            }
+            let skip = (self.recv_next - off) as usize;
+            in_order.extend_from_slice(&chunk[skip..]);
+            self.recv_next = chunk_end;
+        }
+        self.ack_pending = true;
+        if in_order.is_empty() {
+            return Ok(());
+        }
+        self.deliver_in_order(&in_order)
+    }
+
+    fn handle_ack(&mut self, offset: u64) {
+        let offset = offset.min(self.produced());
+        if offset <= self.acked {
+            return;
+        }
+        self.acked = offset;
+        if self.next_send < offset {
+            self.next_send = offset;
+        }
+        // Release the acknowledged prefix of the retransmit buffer.
+        let drop = (offset - self.wire_base) as usize;
+        let _ = self.wire.split_to(drop);
+        self.wire_base = offset;
+        while let Some(&(id, end)) = self.inflight.front() {
+            if end > offset {
+                break;
+            }
+            self.inflight.pop_front();
+            self.events.push_back(Event::MessageAcked(id));
+        }
+    }
+}
+
+impl SecureEndpoint for StreamEndpoint {
+    fn stack(&self) -> StackKind {
+        self.stack
+    }
+
+    fn send(&mut self, data: &[u8]) -> EndpointResult<MessageId> {
+        if self.dead {
+            return Err(EndpointError::Stream("endpoint is dead".into()));
+        }
+        let id = MessageId(self.next_msg_id);
+        self.next_msg_id += 1;
+
+        let mut framed = Vec::with_capacity(FRAME_HEADER + data.len());
+        framed.extend_from_slice(&id.0.to_be_bytes());
+        framed.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        framed.extend_from_slice(data);
+
+        let appended = match &mut self.tls_tx {
+            Some(tx) => tx.send_into(&framed, &mut self.wire)?,
+            None => {
+                self.wire.extend_from_slice(&framed);
+                framed.len()
+            }
+        };
+        self.inflight.push_back((id, self.produced()));
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        self.stats.wire_bytes_sent += appended as u64;
+        Ok(id)
+    }
+
+    fn handle_datagram(&mut self, datagram: &Packet) -> EndpointResult<()> {
+        if self.dead {
+            return Ok(());
+        }
+        match datagram.overlay.tcp.packet_type {
+            PacketType::Data => self.handle_data(datagram),
+            PacketType::Ack => {
+                if let PacketPayload::Ack(a) = &datagram.payload {
+                    self.handle_ack(a.message_id);
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn poll_transmit(&mut self, out: &mut Vec<Packet>) -> usize {
+        // A dead endpoint emits nothing — in particular not a pending ACK
+        // covering bytes the record layer rejected, which would make the
+        // sender release (and report as acknowledged) an undelivered message.
+        if self.dead {
+            return 0;
+        }
+        let before = out.len();
+        if self.ack_pending {
+            self.ack_pending = false;
+            out.push(self.ack_packet());
+        }
+        // Hand the unsent stream suffix to the NIC in TSO segments (one MTU
+        // payload per segment when TSO is off, like the real no-TSO path).
+        let seg_max = if self.tso {
+            MAX_TSO_SEGMENT
+        } else {
+            max_payload_per_packet(self.mtu)
+        };
+        while self.next_send < self.produced() {
+            let start = (self.next_send - self.wire_base) as usize;
+            let take = seg_max.min(self.wire.len() - start);
+            let chunk = Bytes::copy_from_slice(&self.wire[start..start + take]);
+            let mut overlay = SmtOverlayHeader {
+                tcp: OverlayTcpHeader::new(
+                    self.path.src_port,
+                    self.path.dst_port,
+                    PacketType::Data,
+                ),
+                options: SmtOptionArea::new(0, take as u32),
+            };
+            overlay.options.tso_offset = self.next_send as u32;
+            overlay.options.reserved = (self.next_send >> 32) as u32;
+            // The receiver reconstructs each packet's stream offset as
+            // base + IPID * stride, where the stride is the *sender's* NIC
+            // per-packet payload. Carry it in the (otherwise unused on a
+            // stream flow) resend-packet-offset word so mixed-MTU endpoints
+            // cannot desync.
+            overlay.options.resend_packet_offset =
+                max_payload_per_packet(self.mtu).min(u16::MAX as usize) as u16;
+            let segment =
+                TsoSegment::new(self.path.src, self.path.dst, IPPROTO_TCP, overlay, chunk);
+            let (packets, _nic_ns) = self.nic.transmit(0, &segment);
+            out.extend(packets);
+            self.next_send += take as u64;
+        }
+        out.len() - before
+    }
+
+    fn poll_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    fn on_timeout(&mut self) {
+        // Quiet wire with unacknowledged data: go-back-N from the cumulative
+        // ACK (the TCP retransmission timer, compressed to one event).
+        if !self.dead && self.acked < self.produced() {
+            self.next_send = self.acked;
+        }
+    }
+
+    fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+}

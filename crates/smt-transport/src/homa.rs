@@ -133,6 +133,7 @@ pub struct HomaEndpoint {
     sends: HashMap<u64, PendingSend>,
     recvs: HashMap<u64, RecvProgress>,
     delivered: Vec<ReceivedMessage>,
+    acked: Vec<u64>,
 }
 
 impl std::fmt::Debug for HomaEndpoint {
@@ -146,7 +147,16 @@ impl std::fmt::Debug for HomaEndpoint {
 
 impl HomaEndpoint {
     /// Creates an encrypted endpoint (SMT-sw or SMT-hw depending on `stack`).
-    pub fn new(keys: &SessionKeys, stack: StackKind, config: HomaConfig, path: PathInfo) -> Self {
+    ///
+    /// Fails if the handshake keys cannot drive the negotiated cipher suite
+    /// (truncated secrets, unsupported suite) rather than panicking, so callers
+    /// holding attacker-supplied or deserialized keys can recover.
+    pub fn new(
+        keys: &SessionKeys,
+        stack: StackKind,
+        config: HomaConfig,
+        path: PathInfo,
+    ) -> Result<Self, smt_core::SmtError> {
         let mut smt_config = match stack {
             StackKind::SmtHw => SmtConfig::hardware_offload(),
             StackKind::Homa => SmtConfig::plaintext(),
@@ -157,8 +167,18 @@ impl HomaEndpoint {
         let session = if stack == StackKind::Homa {
             SmtSession::plaintext(smt_config, path)
         } else {
-            SmtSession::new(keys, smt_config, path).expect("valid keys")
+            SmtSession::new(keys, smt_config, path)?
         };
+        Ok(Self::from_session(session, config, path))
+    }
+
+    /// Creates an unencrypted (plain Homa) endpoint.
+    pub fn plaintext(config: HomaConfig, path: PathInfo) -> Self {
+        let smt_config = SmtConfig::plaintext().with_mtu(config.mtu);
+        Self::from_session(SmtSession::plaintext(smt_config, path), config, path)
+    }
+
+    fn from_session(session: SmtSession, config: HomaConfig, path: PathInfo) -> Self {
         Self {
             session,
             nic: NicModel::new(config.mtu, config.tso),
@@ -167,20 +187,7 @@ impl HomaEndpoint {
             sends: HashMap::new(),
             recvs: HashMap::new(),
             delivered: Vec::new(),
-        }
-    }
-
-    /// Creates an unencrypted (plain Homa) endpoint.
-    pub fn plaintext(config: HomaConfig, path: PathInfo) -> Self {
-        let smt_config = SmtConfig::plaintext().with_mtu(config.mtu);
-        Self {
-            session: SmtSession::plaintext(smt_config, path),
-            nic: NicModel::new(config.mtu, config.tso),
-            config,
-            path,
-            sends: HashMap::new(),
-            recvs: HashMap::new(),
-            delivered: Vec::new(),
+            acked: Vec::new(),
         }
     }
 
@@ -197,6 +204,11 @@ impl HomaEndpoint {
     /// Messages delivered so far (drains the queue).
     pub fn take_delivered(&mut self) -> Vec<ReceivedMessage> {
         std::mem::take(&mut self.delivered)
+    }
+
+    /// Message IDs whose ACK arrived since the last call (drains the queue).
+    pub fn take_acked(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.acked)
     }
 
     /// Number of messages with unacknowledged send state.
@@ -274,8 +286,11 @@ impl HomaEndpoint {
                             .max(1),
                         ..RecvProgress::default()
                     });
-                if progress.complete {
-                    // Completed (or replayed) message: the session will discard it.
+                let was_complete = progress.complete;
+                if was_complete {
+                    // Completed (or replayed) message: the session will discard
+                    // the payload; re-ACK below in case the original ACK was
+                    // lost and the sender is retransmitting to get one.
                 } else {
                     progress.packets_seen += 1;
                 }
@@ -326,6 +341,13 @@ impl HomaEndpoint {
                         // RESEND will recover the data if it was real loss.
                     }
                 }
+                if was_complete {
+                    out.push(self.control_packet(
+                        PacketPayload::Ack(HomaAck { message_id }),
+                        PacketType::Ack,
+                        message_id,
+                    ));
+                }
             }
             PacketType::Grant => {
                 if let PacketPayload::Grant(g) = &packet.payload {
@@ -352,11 +374,38 @@ impl HomaEndpoint {
             PacketType::Ack => {
                 if let PacketPayload::Ack(a) = &packet.payload {
                     if let Some(send) = self.sends.get_mut(&a.message_id) {
-                        send.acked = true;
+                        if !send.acked {
+                            send.acked = true;
+                            self.acked.push(a.message_id);
+                        }
                     }
                 }
             }
             PacketType::Busy | PacketType::Control => {}
+        }
+        out
+    }
+
+    /// Retransmits the unscheduled prefix of every send that has not been
+    /// acknowledged (invoked by the driver when the channel goes quiet — the
+    /// sender-side timeout).  This recovers the two cases receiver-driven
+    /// RESENDs cannot: a message whose every packet was lost (the receiver
+    /// never learned it exists) and a completed message whose ACK was lost.
+    pub fn poll_retransmit_unacked(&mut self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for send in self.sends.values() {
+            if send.acked {
+                continue;
+            }
+            let limit = send
+                .sent
+                .min(self.config.unscheduled_packets)
+                .min(send.packets.len());
+            for p in &send.packets[..limit] {
+                let mut retx = p.clone();
+                smt_core::segment::SmtSegmenter::mark_retransmission(&mut retx);
+                out.push(retx);
+            }
         }
         out
     }
@@ -388,63 +437,65 @@ impl HomaEndpoint {
     }
 }
 
-/// Drives two endpoints over a pair of lossy channels until traffic quiesces or
-/// `max_rounds` is reached.  Returns the number of rounds executed.
-pub fn drive(
-    a: &mut HomaEndpoint,
-    b: &mut HomaEndpoint,
-    a_to_b: &mut LossyChannel,
-    b_to_a: &mut LossyChannel,
-    max_rounds: usize,
-) -> usize {
-    for round in 0..max_rounds {
-        let mut activity = false;
-
-        let tx = a.poll_transmit();
-        if !tx.is_empty() {
-            activity = true;
-            a_to_b.push(tx);
-        }
-        let tx = b.poll_transmit();
-        if !tx.is_empty() {
-            activity = true;
-            b_to_a.push(tx);
-        }
-
-        for p in a_to_b.drain() {
-            activity = true;
-            let responses = b.handle_packet(&p);
-            if !responses.is_empty() {
-                b_to_a.push(responses);
-            }
-        }
-        for p in b_to_a.drain() {
-            activity = true;
-            let responses = a.handle_packet(&p);
-            if !responses.is_empty() {
-                a_to_b.push(responses);
-            }
-        }
-
-        if !activity {
-            // Quiet: ask both sides to recover anything missing.
-            let ra = a.poll_resend();
-            let rb = b.poll_resend();
-            if ra.is_empty() && rb.is_empty() {
-                return round;
-            }
-            a_to_b.push(ra);
-            b_to_a.push(rb);
-        }
-    }
-    max_rounds
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use smt_crypto::cert::CertificateAuthority;
     use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
+
+    /// Protocol-level drive loop for exercising `HomaEndpoint` directly.
+    /// Production consumers drive stacks through
+    /// [`crate::endpoint::drive_pair`]; this helper exists only so these unit
+    /// tests can observe the raw GRANT/RESEND/ACK exchange.
+    fn drive(
+        a: &mut HomaEndpoint,
+        b: &mut HomaEndpoint,
+        a_to_b: &mut LossyChannel,
+        b_to_a: &mut LossyChannel,
+        max_rounds: usize,
+    ) -> usize {
+        for round in 0..max_rounds {
+            let mut activity = false;
+
+            let tx = a.poll_transmit();
+            if !tx.is_empty() {
+                activity = true;
+                a_to_b.push(tx);
+            }
+            let tx = b.poll_transmit();
+            if !tx.is_empty() {
+                activity = true;
+                b_to_a.push(tx);
+            }
+
+            for p in a_to_b.drain() {
+                activity = true;
+                let responses = b.handle_packet(&p);
+                if !responses.is_empty() {
+                    b_to_a.push(responses);
+                }
+            }
+            for p in b_to_a.drain() {
+                activity = true;
+                let responses = a.handle_packet(&p);
+                if !responses.is_empty() {
+                    a_to_b.push(responses);
+                }
+            }
+
+            if !activity {
+                // Quiet: ask both sides to recover anything missing.
+                let ra = a.poll_resend();
+                let rb = b.poll_resend();
+                if ra.is_empty() && rb.is_empty() {
+                    return round;
+                }
+                a_to_b.push(ra);
+                b_to_a.push(rb);
+            }
+        }
+        max_rounds
+    }
 
     fn keys() -> (SessionKeys, SessionKeys) {
         let ca = CertificateAuthority::new("ca");
@@ -458,21 +509,10 @@ mod tests {
 
     fn pair(stack: StackKind, config: HomaConfig) -> (HomaEndpoint, HomaEndpoint) {
         let (ck, sk) = keys();
-        let client_path = PathInfo {
-            src: [10, 0, 0, 1],
-            dst: [10, 0, 0, 2],
-            src_port: 4000,
-            dst_port: 5201,
-        };
-        let server_path = PathInfo {
-            src: [10, 0, 0, 2],
-            dst: [10, 0, 0, 1],
-            src_port: 5201,
-            dst_port: 4000,
-        };
+        let (client_path, server_path) = PathInfo::pair(4000, 5201);
         (
-            HomaEndpoint::new(&ck, stack, config, client_path),
-            HomaEndpoint::new(&sk, stack, config, server_path),
+            HomaEndpoint::new(&ck, stack, config, client_path).unwrap(),
+            HomaEndpoint::new(&sk, stack, config, server_path).unwrap(),
         )
     }
 

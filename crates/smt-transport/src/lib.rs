@@ -1,6 +1,13 @@
 //! # smt-transport — transports over the simulated substrate
 //!
-//! Two layers live here:
+//! Three layers live here:
+//!
+//! * [`endpoint`] — the **unified event-driven endpoint API**: a
+//!   [`SecureEndpoint`] trait (send / handle_datagram / poll_transmit /
+//!   poll_event) plus an [`Endpoint::builder`] that maps every evaluated
+//!   [`StackKind`] onto a concrete implementation.  This is the only surface
+//!   applications, examples, benches and integration tests drive stacks
+//!   through.
 //!
 //! * [`stack`] / [`profile`] — the **stack profiles** used by the evaluation
 //!   harness: for each transport the paper compares (TCP, kTLS-sw, kTLS-hw,
@@ -13,18 +20,21 @@
 //!
 //! * [`homa`] — a packet-level, receiver-driven message transport (unscheduled
 //!   data + GRANTs + RESENDs, paper §2.2) running the real SMT engine over the
-//!   NIC model and an in-memory lossy channel.  It is used by the integration
-//!   tests and examples to demonstrate end-to-end correctness (encryption,
-//!   reassembly, loss recovery, replay rejection), independent of the timing
-//!   model.
+//!   NIC model and an in-memory lossy channel.  It backs the message-based
+//!   endpoints; consumers reach it through the [`endpoint`] layer.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod endpoint;
 pub mod homa;
 pub mod profile;
 pub mod stack;
 
+pub use endpoint::{
+    drive_pair, take_delivered, Endpoint, EndpointBuilder, EndpointError, EndpointResult,
+    EndpointStats, Event, MessageEndpoint, MessageId, SecureEndpoint, StreamEndpoint,
+};
 pub use homa::{HomaConfig, HomaEndpoint, LossyChannel};
 pub use profile::{RpcWorkload, StackProfile};
 pub use stack::StackKind;

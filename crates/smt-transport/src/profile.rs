@@ -576,4 +576,60 @@ mod tests {
         assert!(large.wire_bytes > small.wire_bytes);
         assert_eq!(small.records, 1);
     }
+
+    #[test]
+    fn analytic_wire_accounting_matches_functional_endpoints() {
+        // The profiles feed the pipeline simulator from closed-form wire
+        // accounting; the endpoint API runs the same stacks functionally.
+        // The two must agree on payload wire bytes (records + tags + framing,
+        // excluding per-packet headers) to within a few percent, or the
+        // simulated figures drift away from what the datapath actually emits.
+        use crate::endpoint::{drive_pair, Endpoint, SecureEndpoint};
+        use crate::homa::LossyChannel;
+        use smt_crypto::cert::CertificateAuthority;
+        use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
+
+        let ca = CertificateAuthority::new("profile-ca");
+        let id = ca.issue_identity("server");
+        for stack in [
+            StackKind::SmtSw,
+            StackKind::KtlsSw,
+            StackKind::Tcpls,
+            StackKind::Tcp,
+            StackKind::Homa,
+        ] {
+            for size in [1024usize, 16_000, 120_000] {
+                let profile = StackProfile::new(stack);
+                let c = profile.counts(size);
+                let headers = if stack.is_message_based() {
+                    SMT_HEADERS
+                } else {
+                    TCP_HEADERS
+                };
+                let analytic_payload = (c.wire_bytes - c.packets * headers) as f64;
+
+                let (ck, sk) = establish(
+                    ClientConfig::new(ca.verifying_key(), "server"),
+                    ServerConfig::new(id.clone(), ca.verifying_key()),
+                )
+                .unwrap();
+                let (mut a, mut b) = Endpoint::builder()
+                    .stack(stack)
+                    .pair(&ck, &sk, 1, 2)
+                    .unwrap();
+                a.send(&vec![0u8; size]).unwrap();
+                let mut ab = LossyChannel::reliable();
+                let mut ba = LossyChannel::reliable();
+                drive_pair(&mut a, &mut b, &mut ab, &mut ba, 1000);
+                let measured = a.stats().wire_bytes_sent as f64;
+
+                let tolerance = analytic_payload * 0.05 + 96.0;
+                assert!(
+                    (measured - analytic_payload).abs() <= tolerance,
+                    "{} at {size}B: analytic {analytic_payload} vs measured {measured}",
+                    stack.label()
+                );
+            }
+        }
+    }
 }

@@ -26,6 +26,21 @@ pub enum StackKind {
 }
 
 impl StackKind {
+    /// Every evaluated stack, stream-based first then message-based — the
+    /// full matrix the endpoint conformance tests iterate.
+    pub const fn all() -> [StackKind; 8] {
+        [
+            StackKind::Tcp,
+            StackKind::UserTls,
+            StackKind::KtlsSw,
+            StackKind::KtlsHw,
+            StackKind::Tcpls,
+            StackKind::Homa,
+            StackKind::SmtSw,
+            StackKind::SmtHw,
+        ]
+    }
+
     /// The label used in the paper's figures.
     pub fn label(self) -> &'static str {
         match self {

@@ -17,7 +17,7 @@
 //!   IPID-based packet-offset mechanism SMT uses to reassemble TSO segments.
 //!
 //! All structures offer `encode`/`decode` pairs operating on byte slices
-//! ([`bytes::BufMut`]/[`bytes::Buf`] style), are independent of any particular I/O
+//! (`bytes::BufMut`/`bytes::Buf` style), are independent of any particular I/O
 //! substrate, and carry no allocation requirements beyond the payload itself.
 //!
 //! The crate is deliberately free of cryptography and transport logic; it is the

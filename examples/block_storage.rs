@@ -1,16 +1,19 @@
-//! Remote block storage (NVMe-oF-like) over SMT with FIO-style random reads.
+//! Remote block storage (NVMe-oF-like) over SMT with FIO-style random reads,
+//! driven through the unified endpoint API with NIC crypto offload.
 //!
 //! Run with: `cargo run --example block_storage`
 
 use smt::apps::blockstore::BlockRequest;
 use smt::apps::{BlockStore, BlockStoreConfig, FioGenerator};
-use smt::core::{session::session_pair, SmtConfig};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
-use smt::transport::{RpcWorkload, StackKind, StackProfile};
+use smt::transport::{
+    drive_pair, take_delivered, Endpoint, LossyChannel, RpcWorkload, SecureEndpoint, StackKind,
+    StackProfile,
+};
 
 fn main() {
-    // Functional path: read blocks over a real SMT session.
+    // Functional path: read blocks over a real SMT-hw endpoint pair.
     let ca = CertificateAuthority::new("dc-internal-ca");
     let id = ca.issue_identity("nvme.dc.local");
     let (ck, sk) = establish(
@@ -18,8 +21,12 @@ fn main() {
         ServerConfig::new(id, ca.verifying_key()),
     )
     .expect("handshake");
-    let (mut client, mut server) =
-        session_pair(&ck, &sk, SmtConfig::hardware_offload(), 9000, 4420).expect("session");
+    let (mut client, mut server) = Endpoint::builder()
+        .stack(StackKind::SmtHw)
+        .pair(&ck, &sk, 9000, 4420)
+        .expect("endpoints");
+    let mut to_server = LossyChannel::reliable();
+    let mut to_client = LossyChannel::reliable();
 
     let mut store = BlockStore::new(BlockStoreConfig::default());
     let mut fio = FioGenerator::new(1 << 20, 4, 7);
@@ -29,25 +36,35 @@ fn main() {
             BlockRequest::Read { lba } => lba.to_be_bytes().to_vec(),
             BlockRequest::Write { lba } => lba.to_be_bytes().to_vec(),
         };
-        let out = client.send_message(&encoded, 0).unwrap();
-        let mut request = None;
-        for seg in &out.segments {
-            for pkt in seg.packetize(1500).unwrap() {
-                if let Some(m) = server.receive_packet(&pkt).unwrap() {
-                    request = Some(m);
-                }
-            }
-        }
-        let lba = u64::from_be_bytes(request.unwrap().data[..8].try_into().unwrap());
+        client.send(&encoded).expect("send");
+        drive_pair(
+            &mut client,
+            &mut server,
+            &mut to_server,
+            &mut to_client,
+            200,
+        );
+        let (_, request) = take_delivered(&mut server).pop().expect("request");
+        let lba = u64::from_be_bytes(request[..8].try_into().unwrap());
         let (block, _lat) = store.execute(&BlockRequest::Read { lba }, None);
-        let out = server.send_message(&block, 1).unwrap();
-        for seg in &out.segments {
-            for pkt in seg.packetize(1500).unwrap() {
-                client.receive_packet(&pkt).unwrap();
-            }
-        }
+        server.send(&block).expect("respond");
+        drive_pair(
+            &mut client,
+            &mut server,
+            &mut to_server,
+            &mut to_client,
+            200,
+        );
+        take_delivered(&mut client).pop().expect("block");
     }
-    println!("served {} block reads over SMT-hw", store.reads);
+    let offload = server
+        .as_message()
+        .map(|m| m.nic_stats().offload_records)
+        .unwrap_or(0);
+    println!(
+        "served {} block reads over SMT-hw ({offload} records NIC-encrypted on the response path)",
+        store.reads,
+    );
 
     // Evaluation path: P50/P99 latency vs iodepth (the Fig. 9 model).
     println!("\niodepth  stack     p50(us)  p99(us)");

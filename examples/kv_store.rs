@@ -1,11 +1,14 @@
-//! A Redis-like key-value store served over SMT, driven by a YCSB workload.
+//! A Redis-like key-value store served over SMT, driven by a YCSB workload,
+//! with both sides behind the unified endpoint API.
 //!
 //! Run with: `cargo run --example kv_store`
 
 use smt::apps::{KvRequest, KvResponse, KvStore, YcsbConfig, YcsbGenerator, YcsbWorkload};
-use smt::core::{session::session_pair, SmtConfig};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
+use smt::transport::{
+    drive_pair, take_delivered, Endpoint, LossyChannel, SecureEndpoint, StackKind,
+};
 
 fn main() {
     let ca = CertificateAuthority::new("dc-internal-ca");
@@ -15,8 +18,12 @@ fn main() {
         ServerConfig::new(id, ca.verifying_key()),
     )
     .expect("handshake");
-    let (mut client, mut server) =
-        session_pair(&ck, &sk, SmtConfig::software(), 7000, 6379).expect("session");
+    let (mut client, mut server) = Endpoint::builder()
+        .stack(StackKind::SmtSw)
+        .pair(&ck, &sk, 7000, 6379)
+        .expect("endpoints");
+    let mut to_server = LossyChannel::reliable();
+    let mut to_client = LossyChannel::reliable();
 
     // The store is single threaded, exactly like Redis (§5.3).
     let mut store = KvStore::new();
@@ -36,29 +43,28 @@ fn main() {
     for _ in 0..200 {
         let op = gen.next_op();
         // Client -> server over SMT.
-        let out = client.send_message(&op.request.encode(), 0).expect("send");
-        let mut request = None;
-        for seg in &out.segments {
-            for pkt in seg.packetize(1500).unwrap() {
-                if let Some(m) = server.receive_packet(&pkt).unwrap() {
-                    request = Some(m);
-                }
-            }
-        }
-        let request = request.expect("request");
-        let response = store.handle_wire(&request.data);
+        client.send(&op.request.encode()).expect("send");
+        drive_pair(
+            &mut client,
+            &mut server,
+            &mut to_server,
+            &mut to_client,
+            200,
+        );
+        let (_, request) = take_delivered(&mut server).pop().expect("request");
+        let response = store.handle_wire(&request);
 
         // Server -> client over SMT.
-        let out = server.send_message(&response, 1).expect("respond");
-        let mut reply = None;
-        for seg in &out.segments {
-            for pkt in seg.packetize(1500).unwrap() {
-                if let Some(m) = client.receive_packet(&pkt).unwrap() {
-                    reply = Some(m);
-                }
-            }
-        }
-        match KvResponse::decode(&reply.expect("reply").data).expect("decode") {
+        server.send(&response).expect("respond");
+        drive_pair(
+            &mut client,
+            &mut server,
+            &mut to_server,
+            &mut to_client,
+            200,
+        );
+        let (_, reply) = take_delivered(&mut client).pop().expect("reply");
+        match KvResponse::decode(&reply).expect("decode") {
             KvResponse::Value(_) | KvResponse::Values(_) | KvResponse::NotFound => reads += 1,
             KvResponse::Ok => writes += 1,
         }

@@ -1,10 +1,11 @@
-//! Quickstart: establish a secure SMT session and exchange encrypted messages.
+//! Quickstart: establish a secure SMT session and exchange encrypted messages
+//! through the unified endpoint API.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use smt::core::{session::session_pair, SmtConfig};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
+use smt::transport::{drive_pair, Endpoint, Event, LossyChannel, SecureEndpoint, StackKind};
 
 fn main() {
     // The datacenter operates an internal CA; every endpoint pre-installs its key.
@@ -22,15 +23,13 @@ fn main() {
         client_keys.suite, client_keys.forward_secret, client_keys.seqno_layout.msg_id_bits
     );
 
-    // 2. Register the keys with SMT sockets (sessions) on both ends.
-    let (mut client, mut server) = session_pair(
-        &client_keys,
-        &server_keys,
-        SmtConfig::software(),
-        4000,
-        5201,
-    )
-    .expect("session");
+    // 2. Register the keys with secure endpoints on both ends.  The same
+    //    builder serves every evaluated stack; swap SmtSw for KtlsSw (or any
+    //    other StackKind) and nothing below changes.
+    let (mut client, mut server) = Endpoint::builder()
+        .stack(StackKind::SmtSw)
+        .pair(&client_keys, &server_keys, 4000, 5201)
+        .expect("endpoints");
 
     // 3. Send three concurrent messages; they may complete in any order.
     let payloads: Vec<Vec<u8>> = vec![
@@ -38,36 +37,42 @@ fn main() {
         vec![0x42u8; 200_000], // a large message spanning many records
         b"GET /blob/beta".to_vec(),
     ];
-    let mut outgoing = Vec::new();
-    for (i, p) in payloads.iter().enumerate() {
-        outgoing.push(client.send_message(p, i % 4).expect("send"));
+    for p in &payloads {
+        client.send(p).expect("send");
     }
 
-    // 4. Deliver packets (here: in memory, interleaved across messages).
-    let mut packets = Vec::new();
-    for msg in &outgoing {
-        for seg in &msg.segments {
-            packets.extend(seg.packetize(1500).expect("packetize"));
-        }
-    }
-    // Shuffle-ish interleaving: reverse to show order independence.
-    packets.reverse();
+    // 4. Move packets until the pair quiesces (here: in memory and lossless;
+    //    the same loop recovers from loss on a lossy channel).
+    let mut to_server = LossyChannel::reliable();
+    let mut to_client = LossyChannel::reliable();
+    drive_pair(
+        &mut client,
+        &mut server,
+        &mut to_server,
+        &mut to_client,
+        1000,
+    );
+
+    // 5. Consume delivery events.
     let mut delivered = 0;
-    for pkt in &packets {
-        if let Some(m) = server.receive_packet(pkt).expect("receive") {
-            println!(
-                "delivered message id={} ({} bytes)",
-                m.message_id,
-                m.data.len()
-            );
-            delivered += 1;
+    while let Some(event) = server.poll_event() {
+        match event {
+            Event::HandshakeComplete { peer_identity, .. } => {
+                println!("server ready (peer identity: {peer_identity:?})");
+            }
+            Event::MessageDelivered { id, data } => {
+                println!("delivered {id} ({} bytes)", data.len());
+                delivered += 1;
+            }
+            Event::MessageAcked(_) | Event::Error(_) => {}
         }
     }
     assert_eq!(delivered, payloads.len());
     println!(
-        "stats: sent={} received={} replay-rejected={}",
+        "stats: sent={} delivered={} wire-bytes rx={} replay-rejected={}",
         client.stats().messages_sent,
-        server.stats().messages_received,
-        server.receiver_stats().packets_replayed,
+        server.stats().messages_delivered,
+        server.stats().wire_bytes_received,
+        server.stats().replays_rejected,
     );
 }

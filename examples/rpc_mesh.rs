@@ -1,13 +1,12 @@
 //! A small "service mesh" of RPC endpoints with mutual TLS (mTLS) over SMT,
-//! carried by the packet-level Homa transport over a lossy link.
+//! carried by the packet-level receiver-driven transport over a lossy link,
+//! driven entirely through the unified endpoint API.
 //!
 //! Run with: `cargo run --example rpc_mesh`
 
-use smt::core::segment::PathInfo;
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
-use smt::transport::homa::{drive, HomaConfig, HomaEndpoint, LossyChannel};
-use smt::transport::StackKind;
+use smt::transport::{drive_pair, Endpoint, Event, LossyChannel, SecureEndpoint, StackKind};
 
 fn main() {
     let ca = CertificateAuthority::new("mesh-ca");
@@ -20,41 +19,37 @@ fn main() {
     let mut server_cfg = ServerConfig::new(backend_id, ca.verifying_key());
     server_cfg.require_client_auth = true;
     let (ck, sk) = establish(client_cfg, server_cfg).expect("mTLS handshake");
-    println!(
-        "mTLS established: backend authenticated the frontend as {:?}",
-        sk.peer_identity
-    );
 
-    // Packet-level transport over a 5 % lossy channel.
-    let client_path = PathInfo {
-        src: [10, 0, 0, 1],
-        dst: [10, 0, 0, 2],
-        src_port: 7100,
-        dst_port: 7200,
-    };
-    let server_path = PathInfo {
-        src: [10, 0, 0, 2],
-        dst: [10, 0, 0, 1],
-        src_port: 7200,
-        dst_port: 7100,
-    };
-    let mut frontend = HomaEndpoint::new(&ck, StackKind::SmtSw, HomaConfig::default(), client_path);
-    let mut backend = HomaEndpoint::new(&sk, StackKind::SmtSw, HomaConfig::default(), server_path);
+    // Endpoints over a 5 % lossy channel in each direction.
+    let (mut frontend, mut backend) = Endpoint::builder()
+        .stack(StackKind::SmtSw)
+        .pair(&ck, &sk, 7100, 7200)
+        .expect("endpoints");
     let mut fwd = LossyChannel::new(0.05, 1234);
     let mut rev = LossyChannel::new(0.05, 5678);
 
+    // The backend's first event announces the authenticated peer.
+    if let Some(Event::HandshakeComplete { peer_identity, .. }) = backend.poll_event() {
+        println!("mTLS established: backend authenticated the frontend as {peer_identity:?}");
+    }
+
     for i in 0..20u32 {
         let req = format!("call#{i}: GET /inventory/{}", i * 7).into_bytes();
-        frontend.send_message(&req, (i % 4) as usize).expect("send");
+        frontend.send(&req).expect("send");
     }
-    drive(&mut frontend, &mut backend, &mut fwd, &mut rev, 500);
+    drive_pair(&mut frontend, &mut backend, &mut fwd, &mut rev, 500);
 
-    let received = backend.take_delivered();
+    let mut received = 0;
+    while let Some(event) = backend.poll_event() {
+        if let Event::MessageDelivered { .. } = event {
+            received += 1;
+        }
+    }
     println!(
         "backend received {} RPCs over a lossy link ({} packets dropped, {} replays rejected)",
-        received.len(),
+        received,
         fwd.dropped + rev.dropped,
-        backend.session().receiver_stats().packets_replayed,
+        backend.stats().replays_rejected,
     );
-    assert_eq!(received.len(), 20);
+    assert_eq!(received, 20);
 }

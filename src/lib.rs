@@ -8,7 +8,8 @@
 //! ```
 //! use smt::crypto::cert::CertificateAuthority;
 //! use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
-//! use smt::core::{SmtConfig, session::session_pair};
+//! use smt::transport::{drive_pair, take_delivered, Endpoint, LossyChannel,
+//!                      SecureEndpoint, StackKind};
 //!
 //! // 1. Establish a secure session with a TLS 1.3 handshake.
 //! let ca = CertificateAuthority::new("dc-internal-ca");
@@ -18,19 +19,17 @@
 //!     ServerConfig::new(id, ca.verifying_key()),
 //! ).unwrap();
 //!
-//! // 2. Register the keys with SMT sessions and exchange an encrypted message.
-//! let (mut client, mut server) =
-//!     session_pair(&client_keys, &server_keys, SmtConfig::software(), 4000, 5201).unwrap();
-//! let out = client.send_message(b"hello datacenter", 0).unwrap();
-//! let mut delivered = None;
-//! for segment in &out.segments {
-//!     for packet in segment.packetize(1500).unwrap() {
-//!         if let Some(m) = server.receive_packet(&packet).unwrap() {
-//!             delivered = Some(m);
-//!         }
-//!     }
-//! }
-//! assert_eq!(delivered.unwrap().data, b"hello datacenter");
+//! // 2. Register the keys with secure endpoints — any evaluated stack fits
+//! //    behind the same builder and trait — and exchange a message.
+//! let (mut client, mut server) = Endpoint::builder()
+//!     .stack(StackKind::SmtSw)
+//!     .pair(&client_keys, &server_keys, 4000, 5201)
+//!     .unwrap();
+//! client.send(b"hello datacenter").unwrap();
+//! let (mut to_server, mut to_client) = (LossyChannel::reliable(), LossyChannel::reliable());
+//! drive_pair(&mut client, &mut server, &mut to_server, &mut to_client, 100);
+//! let delivered = take_delivered(&mut server);
+//! assert_eq!(delivered[0].1, b"hello datacenter");
 //! ```
 
 #![forbid(unsafe_code)]

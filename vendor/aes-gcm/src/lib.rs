@@ -12,9 +12,9 @@
 //! The in-place entry points run a **fused CTR + GHASH pass**: the payload is
 //! processed in 128-byte strides where eight CTR keystream blocks are generated
 //! together through the interleaved T-table scheduler
-//! ([`aes::Aes::ctr8_keystream`]), XOR-ed into the buffer, and the resulting
+//! (`aes::Aes::ctr8_keystream`), XOR-ed into the buffer, and the resulting
 //! ciphertext is folded into the tag with the aggregated four-block GHASH
-//! ([`ghash::GHashKey::update4`]) — each cache line of payload is touched
+//! (`ghash::GHashKey::update4`) — each cache line of payload is touched
 //! exactly once. The per-key GHASH tables (`H..H⁴`, 16 KB) are precomputed at
 //! key-install time in [`KeyInit::new_from_slice`], never per record.
 //!

@@ -8,9 +8,7 @@
 
 use smt_core::{CryptoMode, SmtConfig};
 use smt_crypto::handshake::SessionKeys;
-use smt_transport::{
-    drive_pair, take_delivered, Endpoint, LossyChannel, SecureEndpoint, StackKind,
-};
+use smt_transport::{drive_pair, take_delivered, Endpoint, PairFabric, SecureEndpoint, StackKind};
 
 /// A trivial echo server: every received message is returned verbatim.
 #[derive(Debug, Default)]
@@ -36,7 +34,8 @@ impl EchoServer {
 }
 
 /// A connected RPC pair: a client endpoint and a server endpoint with an echo
-/// server behind it, with packets carried over in-memory channels.
+/// server behind it, with packets carried over a two-host fabric in simulated
+/// time.
 pub struct EchoPair {
     /// Client-side endpoint.
     pub client: Endpoint,
@@ -44,14 +43,13 @@ pub struct EchoPair {
     pub server: Endpoint,
     /// The echo application.
     pub app: EchoServer,
-    to_server: LossyChannel,
-    to_client: LossyChannel,
+    link: PairFabric,
 }
 
 impl EchoPair {
-    /// Maximum driver rounds per RPC direction; generous enough for any
+    /// Maximum driver events per RPC direction; generous enough for any
     /// message size the experiments use.
-    const MAX_ROUNDS: usize = 10_000;
+    const MAX_EVENTS: usize = 1_000_000;
 
     /// Builds a pair on `stack` from handshake keys.
     pub fn new_on_stack(
@@ -67,8 +65,7 @@ impl EchoPair {
             client,
             server,
             app: EchoServer::new(),
-            to_server: LossyChannel::reliable(),
-            to_client: LossyChannel::reliable(),
+            link: PairFabric::reliable(),
         }
     }
 
@@ -91,32 +88,38 @@ impl EchoPair {
             client,
             server,
             app: EchoServer::new(),
-            to_server: LossyChannel::reliable(),
-            to_client: LossyChannel::reliable(),
+            link: PairFabric::reliable(),
         }
+    }
+
+    /// The pair's current virtual time.
+    pub fn now(&self) -> u64 {
+        self.link.now()
     }
 
     /// Performs one echo RPC of `payload`, returning the response bytes.
     pub fn call(&mut self, payload: &[u8]) -> Vec<u8> {
-        self.client.send(payload).expect("send request");
+        self.client
+            .send(payload, self.link.now())
+            .expect("send request");
         drive_pair(
             &mut self.client,
             &mut self.server,
-            &mut self.to_server,
-            &mut self.to_client,
-            Self::MAX_ROUNDS,
+            &mut self.link,
+            Self::MAX_EVENTS,
         );
         let (_, request) = take_delivered(&mut self.server)
             .pop()
             .expect("request delivered");
         let response = self.app.handle(&request);
-        self.server.send(&response).expect("send response");
+        self.server
+            .send(&response, self.link.now())
+            .expect("send response");
         drive_pair(
             &mut self.client,
             &mut self.server,
-            &mut self.to_server,
-            &mut self.to_client,
-            Self::MAX_ROUNDS,
+            &mut self.link,
+            Self::MAX_EVENTS,
         );
         take_delivered(&mut self.client)
             .pop()

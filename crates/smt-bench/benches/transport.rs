@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use smt_crypto::cert::CertificateAuthority;
 use smt_crypto::handshake::{establish, ClientConfig, ServerConfig, SessionKeys};
-use smt_transport::{
-    drive_pair, take_delivered, Endpoint, LossyChannel, SecureEndpoint, StackKind,
-};
+use smt_transport::{drive_pair, take_delivered, Endpoint, PairFabric, SecureEndpoint, StackKind};
 
 fn keys() -> (SessionKeys, SessionKeys) {
     let ca = CertificateAuthority::new("ca");
@@ -30,11 +28,10 @@ fn bench_end_to_end(c: &mut Criterion) {
                     .stack(stack)
                     .pair(&ck, &sk, 1, 2)
                     .unwrap();
-                let mut ab = LossyChannel::reliable();
-                let mut ba = LossyChannel::reliable();
+                let mut link = PairFabric::reliable();
                 b.iter(|| {
-                    tx.send(d).unwrap();
-                    drive_pair(&mut tx, &mut rx, &mut ab, &mut ba, 1000);
+                    tx.send(d, link.now()).unwrap();
+                    drive_pair(&mut tx, &mut rx, &mut link, 1_000_000);
                     let delivered = take_delivered(&mut rx);
                     assert_eq!(delivered.len(), 1);
                     delivered

@@ -10,6 +10,7 @@
 
 pub mod figures;
 pub mod output;
+pub mod scenarios;
 
 pub use figures::*;
 pub use output::print_table;

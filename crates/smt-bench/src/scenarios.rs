@@ -1,0 +1,193 @@
+//! The scenario matrix: every evaluated stack driven through the
+//! discrete-event network harness (`smt_sim::net`) over the canonical
+//! multi-host workloads — N→1 incast, an all-to-all RPC mesh with echo
+//! replies, and an open-loop Poisson load sweep — plus a lossy incast that
+//! exercises loss recovery.
+//!
+//! The `scenarios` binary prints the matrix and emits `BENCH_scenarios.json`
+//! in the same `{"benchmarks": [...]}` shape the criterion shim writes, so
+//! `bench_diff --max-regress` gates scenario regressions in CI exactly like
+//! the record-layer microbenches.  Simulation results are deterministic per
+//! seed, so any delta in the gate is a behavioural change, not noise.
+
+use smt_apps::EchoServer;
+use smt_crypto::cert::CertificateAuthority;
+use smt_crypto::handshake::{establish, ClientConfig, ServerConfig, SessionKeys};
+use smt_sim::net::{
+    all_to_all_scenario, incast_scenario, poisson_pair_scenario, run_scenario, FaultConfig,
+    LinkConfig, Scenario, ScenarioReport, SizeMix,
+};
+use smt_sim::time::MILLISECOND;
+use smt_transport::{scenario_endpoints, StackKind};
+
+/// One scenario of the matrix: the description plus whether delivered
+/// requests are echoed back as RPC replies.
+#[derive(Debug, Clone)]
+pub struct ScenarioCase {
+    /// The scenario description (topology, workload, faults).
+    pub scenario: Scenario,
+    /// When true, every delivered request is echoed back on the same flow
+    /// (the RPC mesh pattern).
+    pub rpc_echo: bool,
+}
+
+/// One row of the matrix: a scenario run on one stack.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScenarioRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Stack label (paper legend).
+    pub stack: String,
+    /// Everything measured.
+    pub report: ScenarioReport,
+}
+
+/// The scenario suite.  `smoke` restricts it to the CI subset: incast plus
+/// one load point (run on two stacks by [`scenario_matrix`]).
+pub fn suite(smoke: bool) -> Vec<ScenarioCase> {
+    let link = LinkConfig::default();
+    let mut cases = vec![
+        // 8→1 incast: the workload TCP famously mishandles; all senders burst
+        // into one receiver's ingress link.
+        ScenarioCase {
+            scenario: incast_scenario(8, 16 * 1024, 4, link, FaultConfig::none()),
+            rpc_echo: false,
+        },
+        // One flow under open-loop Poisson load at a medium rate.
+        ScenarioCase {
+            scenario: load_point(200_000.0),
+            rpc_echo: false,
+        },
+    ];
+    if !smoke {
+        cases.push(ScenarioCase {
+            // The same incast under 1% uniform loss: recovery must not lose
+            // messages, and the retransmit counters become meaningful.
+            scenario: {
+                let mut s = incast_scenario(8, 16 * 1024, 4, link, FaultConfig::lossy(0.01, 4242));
+                s.name = "incast8-loss1pct".into();
+                s
+            },
+            rpc_echo: false,
+        });
+        cases.push(ScenarioCase {
+            // 4-host all-to-all RPC mesh with echo replies (via smt-apps).
+            scenario: all_to_all_scenario(
+                4,
+                20_000.0,
+                2 * MILLISECOND,
+                &SizeMix::rpc_small(),
+                7,
+                link,
+                FaultConfig::none(),
+            ),
+            rpc_echo: true,
+        });
+        // The rest of the load sweep.
+        for rate in [50_000.0, 800_000.0] {
+            cases.push(ScenarioCase {
+                scenario: load_point(rate),
+                rpc_echo: false,
+            });
+        }
+    }
+    cases
+}
+
+fn load_point(rate: f64) -> Scenario {
+    poisson_pair_scenario(
+        rate,
+        2 * MILLISECOND,
+        &SizeMix::rpc_medium(),
+        11,
+        LinkConfig::default(),
+        FaultConfig::none(),
+    )
+}
+
+/// Performs one handshake whose keys every scenario endpoint pair reuses
+/// (each pair is an independent session; see `scenario_endpoints`).
+pub fn scenario_keys() -> (SessionKeys, SessionKeys) {
+    let ca = CertificateAuthority::new("scenario-ca");
+    let id = ca.issue_identity("scenario.dc.local");
+    establish(
+        ClientConfig::new(ca.verifying_key(), "scenario.dc.local"),
+        ServerConfig::new(id, ca.verifying_key()),
+    )
+    .expect("scenario handshake")
+}
+
+/// Runs one scenario case on one stack.
+pub fn run_case(
+    case: &ScenarioCase,
+    stack: StackKind,
+    keys: &(SessionKeys, SessionKeys),
+) -> ScenarioReport {
+    let mut endpoints = scenario_endpoints(&case.scenario, stack, &keys.0, &keys.1);
+    let mut echo = EchoServer::new();
+    let rpc = case.rpc_echo;
+    run_scenario(&case.scenario, &mut endpoints, |_flow, _id, req, _now| {
+        rpc.then(|| echo.handle(req))
+    })
+}
+
+/// Runs the full matrix: every suite scenario on every stack (`smoke`: the
+/// reduced suite on SMT-sw and kTLS-sw only).
+pub fn scenario_matrix(smoke: bool) -> Vec<ScenarioRow> {
+    let stacks: Vec<StackKind> = if smoke {
+        vec![StackKind::SmtSw, StackKind::KtlsSw]
+    } else {
+        StackKind::all().to_vec()
+    };
+    let keys = scenario_keys();
+    let mut rows = Vec::new();
+    for case in suite(smoke) {
+        for &stack in &stacks {
+            let report = run_case(&case, stack, &keys);
+            rows.push(ScenarioRow {
+                scenario: case.scenario.name.clone(),
+                stack: stack.label().to_string(),
+                report,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_matrix_delivers_everything() {
+        for row in scenario_matrix(true) {
+            assert_eq!(
+                row.report.messages_sent, row.report.messages_delivered,
+                "{}/{} lost messages",
+                row.scenario, row.stack
+            );
+            assert!(!row.report.truncated, "{}/{}", row.scenario, row.stack);
+            assert!(row.report.latency.p99_us >= row.report.latency.p50_us);
+        }
+    }
+
+    #[test]
+    fn mesh_echo_produces_replies() {
+        let keys = scenario_keys();
+        let case = ScenarioCase {
+            scenario: all_to_all_scenario(
+                3,
+                10_000.0,
+                MILLISECOND,
+                &SizeMix::rpc_small(),
+                5,
+                LinkConfig::default(),
+                FaultConfig::none(),
+            ),
+            rpc_echo: true,
+        };
+        let report = run_case(&case, StackKind::SmtSw, &keys);
+        assert_eq!(report.replies_delivered, report.messages_delivered);
+        assert!(report.replies_delivered > 0);
+    }
+}

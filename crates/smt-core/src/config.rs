@@ -52,6 +52,13 @@ pub struct SmtConfig {
     pub flow_contexts_per_queue: usize,
     /// Number of NIC TX queues (one per sending core in the evaluation setup).
     pub nic_queues: usize,
+    /// Baseline network round-trip time in nanoseconds, used to derive the
+    /// sender retransmission timeout (the paper's testbed RTT is a few µs).
+    pub base_rtt_ns: u64,
+    /// Sender retransmission timeout as a multiple of `base_rtt_ns` (the
+    /// HomaEndpoint unscheduled-prefix retransmit and the StreamEndpoint
+    /// go-back-N timer both fire after [`SmtConfig::rto_ns`]).
+    pub rto_rtt_multiple: u32,
 }
 
 impl Default for SmtConfig {
@@ -66,6 +73,8 @@ impl Default for SmtConfig {
             padding_granularity: 0,
             flow_contexts_per_queue: 1,
             nic_queues: 4,
+            base_rtt_ns: 10_000,
+            rto_rtt_multiple: 4,
         }
     }
 }
@@ -104,6 +113,18 @@ impl SmtConfig {
         self
     }
 
+    /// Sets the baseline RTT the retransmission timeout is derived from.
+    pub fn with_base_rtt_ns(mut self, rtt_ns: u64) -> Self {
+        self.base_rtt_ns = rtt_ns;
+        self
+    }
+
+    /// The sender retransmission timeout: `base_rtt_ns * rto_rtt_multiple`,
+    /// never zero.
+    pub fn rto_ns(&self) -> u64 {
+        (self.base_rtt_ns * u64::from(self.rto_rtt_multiple)).max(1)
+    }
+
     /// Largest application payload a single record may carry under this
     /// configuration (accounts for the framing header when enabled).
     pub fn record_app_capacity(&self) -> usize {
@@ -136,6 +157,21 @@ mod tests {
         let c = SmtConfig::software().without_tso().with_mtu(9000);
         assert!(!c.tso_enabled);
         assert_eq!(c.mtu, 9000);
+    }
+
+    #[test]
+    fn rto_is_an_rtt_multiple_and_never_zero() {
+        let c = SmtConfig::default();
+        assert_eq!(c.rto_ns(), c.base_rtt_ns * u64::from(c.rto_rtt_multiple));
+        let z = SmtConfig {
+            base_rtt_ns: 0,
+            ..SmtConfig::default()
+        };
+        assert_eq!(z.rto_ns(), 1);
+        assert_eq!(
+            SmtConfig::default().with_base_rtt_ns(25_000).rto_ns(),
+            100_000
+        );
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //! * [`pipeline`] — a discrete-event, closed-loop **RPC pipeline simulator** that
 //!   models application threads, softirq cores, the Homa-style single pacer
 //!   thread, NIC queues and the wire on both hosts; the transport crates supply
-//!   per-RPC stage costs derived from the real protocol engines.
+//!   per-RPC stage costs derived from the real protocol engines;
+//! * [`net`] — the **discrete-event network harness**: a virtual clock and
+//!   deterministic event queue, a multi-host fabric of queued links with
+//!   finite tail-drop buffers and seeded loss/reorder/duplication injection,
+//!   open-loop workload generators (Poisson arrivals, incast, all-to-all
+//!   mesh), and a scenario runner that hosts the *real* protocol engines in
+//!   simulated time and reports latency percentiles / goodput / retransmits.
 //!
 //! The protocol engines themselves (`smt-core`, `smt-crypto`) are *not*
 //! simulated — they run for real; only time is.
@@ -30,6 +36,7 @@
 
 pub mod cost;
 pub mod link;
+pub mod net;
 pub mod nic;
 pub mod pipeline;
 pub mod resource;
@@ -37,6 +44,10 @@ pub mod time;
 
 pub use cost::CostModel;
 pub use link::Link;
+pub use net::{
+    run_scenario, Fabric, FabricStats, FaultConfig, FaultyLink, LinkConfig, Scenario,
+    ScenarioReport, SimEndpoint, SimEndpointStats,
+};
 pub use nic::{NicModel, NicStats};
 pub use pipeline::{
     LatencySummary, PipelineConfig, RpcCosts, RpcPipelineSim, SimReport, SoftirqSteering,

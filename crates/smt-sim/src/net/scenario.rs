@@ -1,0 +1,598 @@
+//! The scenario layer: hosts real protocol engines on the fabric, drives them
+//! in simulated time, and reports what happened.
+//!
+//! A [`Scenario`] describes a topology (hosts + flows), a workload (a
+//! time-sorted list of [`ScheduledSend`]s) and the network conditions
+//! ([`LinkConfig`] + [`FaultConfig`]).  [`run_scenario`] couples it to a set
+//! of [`SimEndpoint`]s — two per flow, the real `smt-transport` engines in
+//! production use — and runs the discrete-event loop: workload sends, packet
+//! arrivals and retransmission timers, all on the virtual clock, until traffic
+//! quiesces or the event budget runs out.
+//!
+//! Everything observable lands in a [`ScenarioReport`]: per-message latency
+//! percentiles, goodput, retransmission/timeout/drop counters from both the
+//! endpoints and the fabric, and an order-sensitive [`trace_hash`] digest of
+//! the full event sequence that the determinism tests compare across runs.
+//!
+//! [`trace_hash`]: ScenarioReport::trace_hash
+
+use super::event::TraceHash;
+use super::fabric::{Fabric, FabricStats, FaultConfig, HostId, LinkConfig, PortId};
+use crate::pipeline::LatencySummary;
+use crate::time::{Nanos, SECOND};
+use serde::{Deserialize, Serialize};
+use smt_wire::Packet;
+use std::collections::BTreeMap;
+
+/// Counters a simulated endpoint exposes to the scenario layer, uniform
+/// across protocol stacks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimEndpointStats {
+    /// Data packets retransmitted by the send side.
+    pub retransmissions: u64,
+    /// Retransmission timers that fired.
+    pub timeouts_fired: u64,
+    /// Received datagrams the endpoint discarded (failed authentication,
+    /// malformed, or arrived after a fatal error).
+    pub datagrams_dropped: u64,
+    /// Messages delivered to the application.
+    pub messages_delivered: u64,
+    /// Wire payload bytes produced by the send side.
+    pub wire_bytes_sent: u64,
+}
+
+/// The contract a protocol engine implements to live on the fabric.
+///
+/// This is the time-based mirror of `smt-transport`'s `SecureEndpoint`: every
+/// driving call carries the virtual clock, and the endpoint exposes its next
+/// retransmission deadline instead of relying on a caller-owned tick loop.
+/// (`smt-transport` implements it for its unified `Endpoint`, so any of the
+/// eight evaluated stacks drops in here.)
+pub trait SimEndpoint {
+    /// Queues one application message at time `now`; returns its ID, or
+    /// `None` if the endpoint refused it (fatal prior error).
+    fn send(&mut self, data: &[u8], now: Nanos) -> Option<u64>;
+
+    /// Processes one packet received from the fabric at time `now`.
+    fn handle_datagram(&mut self, packet: &Packet, now: Nanos);
+
+    /// Appends every packet the endpoint wants on the wire at time `now`,
+    /// returning how many were appended.
+    fn poll_transmit(&mut self, now: Nanos, out: &mut Vec<Packet>) -> usize;
+
+    /// The absolute time of the endpoint's next retransmission deadline, if
+    /// it has outstanding work.
+    fn next_timeout(&self) -> Option<Nanos>;
+
+    /// Fires the retransmission timer at time `now`.
+    fn on_timeout(&mut self, now: Nanos);
+
+    /// Drains completed deliveries as `(message_id, payload)` pairs.
+    fn take_delivered(&mut self) -> Vec<(u64, Vec<u8>)>;
+
+    /// Aggregate counters.
+    fn sim_stats(&self) -> SimEndpointStats;
+}
+
+/// One bidirectional flow between two hosts; the scenario allocates a port
+/// (and an endpoint) for each end.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Host of the initiating (client) end.
+    pub src_host: HostId,
+    /// Host of the responding (server) end.
+    pub dst_host: HostId,
+}
+
+/// One workload-initiated message: at time `at`, the client end of `flow`
+/// sends `size` bytes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScheduledSend {
+    /// Virtual send time.
+    pub at: Nanos,
+    /// Index into [`Scenario::flows`].
+    pub flow: usize,
+    /// Application payload size in bytes.
+    pub size: usize,
+}
+
+/// A complete scenario description: topology, workload, network conditions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable scenario name (lands in the report and bench JSON).
+    pub name: String,
+    /// Number of hosts in the fabric.
+    pub n_hosts: usize,
+    /// The flows; endpoint pair `2*i` / `2*i + 1` serves flow `i`.
+    pub flows: Vec<FlowSpec>,
+    /// Workload sends, sorted by time.
+    pub sends: Vec<ScheduledSend>,
+    /// Link parameters shared by every host.
+    pub link: LinkConfig,
+    /// Fault injection applied to all traffic.
+    pub faults: FaultConfig,
+    /// Hard cap on processed events (a runaway-protocol backstop).
+    pub max_events: u64,
+}
+
+impl Scenario {
+    /// A scenario skeleton with default network conditions and event budget.
+    pub fn new(name: impl Into<String>, n_hosts: usize) -> Self {
+        Self {
+            name: name.into(),
+            n_hosts,
+            flows: Vec::new(),
+            sends: Vec::new(),
+            link: LinkConfig::default(),
+            faults: FaultConfig::none(),
+            max_events: 20_000_000,
+        }
+    }
+
+    /// Total workload bytes scheduled.
+    pub fn offered_bytes(&self) -> u64 {
+        self.sends.iter().map(|s| s.size as u64).sum()
+    }
+
+    /// Sorts the workload by `(time, flow)`; [`run_scenario`] requires sorted
+    /// sends, and generators call this before returning.
+    pub fn sort_sends(&mut self) {
+        self.sends.sort_by_key(|s| (s.at, s.flow, s.size));
+    }
+}
+
+/// Everything measured over one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Workload messages handed to `send`.
+    pub messages_sent: u64,
+    /// Workload messages delivered end to end (excludes replies).
+    pub messages_delivered: u64,
+    /// Replies delivered back to the requesting end (RPC scenarios).
+    pub replies_delivered: u64,
+    /// Application bytes delivered (workload + replies).
+    pub bytes_delivered: u64,
+    /// Virtual time of the last processed event.
+    pub duration_ns: Nanos,
+    /// One-way delivery latency over workload messages (and replies, measured
+    /// from their own send).
+    pub latency: LatencySummary,
+    /// Delivered application bytes over the run duration, in Gb/s.
+    pub goodput_gbps: f64,
+    /// Data packets retransmitted, summed over all endpoints.
+    pub retransmissions: u64,
+    /// Retransmission timers fired, summed over all endpoints.
+    pub timeouts_fired: u64,
+    /// Datagrams discarded by endpoints (auth failures, malformed).
+    pub endpoint_datagrams_dropped: u64,
+    /// Fabric counters (offered/delivered/dropped/duplicated).
+    pub fabric: FabricStats,
+    /// Order-sensitive digest of the processed event sequence; equal digests
+    /// mean bit-identical runs.
+    pub trace_hash: u64,
+    /// Events processed.
+    pub events: u64,
+    /// True when the run hit [`Scenario::max_events`] before quiescing.
+    pub truncated: bool,
+}
+
+/// What caused an event, folded into the trace digest.
+mod trace_tag {
+    pub const SEND: u64 = 1;
+    pub const ARRIVAL: u64 = 2;
+    pub const TIMEOUT: u64 = 3;
+    pub const DELIVERY: u64 = 4;
+}
+
+/// Runs `scenario` over `endpoints` (two per flow: index `2*f` is the client
+/// end of flow `f`, `2*f + 1` the server end).
+///
+/// `on_deliver(flow, message_id, payload, now)` is invoked for every workload
+/// message delivered at a server end; returning `Some(reply)` makes the
+/// server end send that reply back on the same flow (the RPC pattern — the
+/// bench harness plugs `smt-apps`' echo server in here).  Replies' deliveries
+/// at the client end are measured like any other message but are counted
+/// separately in the report.
+pub fn run_scenario(
+    scenario: &Scenario,
+    endpoints: &mut [Box<dyn SimEndpoint + '_>],
+    mut on_deliver: impl FnMut(usize, u64, &[u8], Nanos) -> Option<Vec<u8>>,
+) -> ScenarioReport {
+    assert_eq!(
+        endpoints.len(),
+        scenario.flows.len() * 2,
+        "one endpoint per flow end"
+    );
+    let mut fabric = Fabric::new(scenario.link, scenario.faults);
+    for _ in 0..scenario.n_hosts {
+        fabric.add_host();
+    }
+    let mut ports: Vec<PortId> = Vec::with_capacity(endpoints.len());
+    for flow in &scenario.flows {
+        let a = fabric.add_port(flow.src_host);
+        let b = fabric.add_port(flow.dst_host);
+        fabric.connect(a, b);
+        ports.push(a);
+        ports.push(b);
+    }
+    // Ports are allocated densely in endpoint order, so PortId == endpoint
+    // index; keep the assertion in case the fabric ever changes.
+    debug_assert!(ports.iter().enumerate().all(|(i, &p)| i == p));
+
+    let mut trace = TraceHash::new();
+    let mut now: Nanos = 0;
+    let mut events: u64 = 0;
+    let mut truncated = false;
+    let mut send_idx = 0usize;
+    // (endpoint index, message id) -> send time, for latency measurement.
+    let mut in_flight: BTreeMap<(usize, u64), Nanos> = BTreeMap::new();
+    let mut latencies: Vec<Nanos> = Vec::new();
+    let mut messages_sent: u64 = 0;
+    let mut messages_delivered: u64 = 0;
+    let mut replies_delivered: u64 = 0;
+    let mut bytes_delivered: u64 = 0;
+    let mut scratch: Vec<Packet> = Vec::new();
+
+    // Drains transmit queues and deliveries of the endpoints in `dirty`,
+    // feeding transmissions into the fabric and deliveries into the latency
+    // accounting (and the reply hook, which may dirty further endpoints).
+    macro_rules! pump {
+        ($dirty:expr) => {{
+            let mut work: Vec<usize> = $dirty;
+            while let Some(ep) = work.pop() {
+                scratch.clear();
+                if endpoints[ep].poll_transmit(now, &mut scratch) > 0 {
+                    fabric.send(now, ports[ep], std::mem::take(&mut scratch));
+                }
+                for (id, data) in endpoints[ep].take_delivered() {
+                    trace.note(trace_tag::DELIVERY);
+                    trace.note(now);
+                    trace.note(ep as u64);
+                    trace.note(id);
+                    trace.note(data.len() as u64);
+                    bytes_delivered += data.len() as u64;
+                    let is_server_end = ep % 2 == 1;
+                    if is_server_end {
+                        messages_delivered += 1;
+                        let flow = ep / 2;
+                        if let Some(start) = in_flight.remove(&(flow * 2, id)) {
+                            latencies.push(now.saturating_sub(start));
+                        }
+                        if let Some(reply) = on_deliver(flow, id, &data, now) {
+                            if let Some(rid) = endpoints[ep].send(&reply, now) {
+                                in_flight.insert((ep, rid), now);
+                                if !work.contains(&ep) {
+                                    work.push(ep);
+                                }
+                            }
+                        }
+                    } else {
+                        replies_delivered += 1;
+                        let flow = ep / 2;
+                        if let Some(start) = in_flight.remove(&(flow * 2 + 1, id)) {
+                            latencies.push(now.saturating_sub(start));
+                        }
+                    }
+                }
+                // The reply (or an ACK queued during delivery) may have left
+                // fresh transmissions behind; one more pass catches them.
+                scratch.clear();
+                if endpoints[ep].poll_transmit(now, &mut scratch) > 0 {
+                    fabric.send(now, ports[ep], std::mem::take(&mut scratch));
+                }
+            }
+        }};
+    }
+
+    loop {
+        if events >= scenario.max_events {
+            truncated = true;
+            break;
+        }
+        let t_send = scenario.sends.get(send_idx).map(|s| s.at);
+        let t_net = fabric.next_arrival();
+        let t_timer = endpoints.iter().filter_map(|e| e.next_timeout()).min();
+        // Deterministic cause priority at equal times: workload sends, then
+        // packet arrivals, then timers.
+        enum Cause {
+            Send,
+            Net,
+            Timer,
+        }
+        let next = [
+            t_send.map(|t| (t, 0u8)),
+            t_net.map(|t| (t, 1u8)),
+            t_timer.map(|t| (t, 2u8)),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        let Some((t, tag)) = next else { break };
+        let cause = match tag {
+            0 => Cause::Send,
+            1 => Cause::Net,
+            _ => Cause::Timer,
+        };
+        now = now.max(t);
+        events += 1;
+        match cause {
+            Cause::Send => {
+                let s = scenario.sends[send_idx];
+                send_idx += 1;
+                let ep = s.flow * 2;
+                // Deterministic filler payload; contents don't matter to the
+                // engines beyond their length.
+                let fill = (s.flow as u8).wrapping_mul(31).wrapping_add(s.size as u8);
+                let data = vec![fill; s.size];
+                trace.note(trace_tag::SEND);
+                trace.note(now);
+                trace.note(ep as u64);
+                trace.note(s.size as u64);
+                if let Some(id) = endpoints[ep].send(&data, now) {
+                    messages_sent += 1;
+                    in_flight.insert((ep, id), now);
+                }
+                pump!(vec![ep]);
+            }
+            Cause::Net => {
+                let Some((at, port, packet)) = fabric.pop_arrival() else {
+                    continue;
+                };
+                now = now.max(at);
+                trace.note(trace_tag::ARRIVAL);
+                trace.note(now);
+                trace.note(port as u64);
+                trace.note(packet.wire_len() as u64);
+                endpoints[port].handle_datagram(&packet, now);
+                pump!(vec![port]);
+            }
+            Cause::Timer => {
+                let mut dirty = Vec::new();
+                for (i, ep) in endpoints.iter_mut().enumerate() {
+                    if ep.next_timeout().is_some_and(|d| d <= now) {
+                        trace.note(trace_tag::TIMEOUT);
+                        trace.note(now);
+                        trace.note(i as u64);
+                        ep.on_timeout(now);
+                        dirty.push(i);
+                    }
+                }
+                pump!(dirty);
+            }
+        }
+    }
+
+    let mut retransmissions = 0;
+    let mut timeouts_fired = 0;
+    let mut endpoint_datagrams_dropped = 0;
+    for ep in endpoints.iter() {
+        let s = ep.sim_stats();
+        retransmissions += s.retransmissions;
+        timeouts_fired += s.timeouts_fired;
+        endpoint_datagrams_dropped += s.datagrams_dropped;
+    }
+    let duration_ns = now.max(1);
+    ScenarioReport {
+        name: scenario.name.clone(),
+        messages_sent,
+        messages_delivered,
+        replies_delivered,
+        bytes_delivered,
+        duration_ns,
+        latency: LatencySummary::from_nanos(latencies),
+        goodput_gbps: (bytes_delivered as f64 * 8.0) / (duration_ns as f64 / SECOND as f64) / 1e9,
+        retransmissions,
+        timeouts_fired,
+        endpoint_datagrams_dropped,
+        fabric: fabric.stats,
+        trace_hash: trace.digest(),
+        events,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy reliable endpoint: sends each message as one packet, retransmits
+    /// on timeout until the peer's ACK arrives.  Exercises the runner without
+    /// pulling protocol crates into smt-sim.
+    #[derive(Default)]
+    struct ToyEndpoint {
+        outbox: Vec<Packet>,
+        unacked: BTreeMap<u64, (Packet, Nanos)>,
+        next_id: u64,
+        delivered: Vec<(u64, Vec<u8>)>,
+        seen: std::collections::BTreeSet<u64>,
+        stats: SimEndpointStats,
+        rto: Nanos,
+        deadline: Option<Nanos>,
+        port: (u16, u16),
+    }
+
+    impl ToyEndpoint {
+        fn new(src: u16, dst: u16) -> Self {
+            Self {
+                rto: 100_000,
+                port: (src, dst),
+                ..Self::default()
+            }
+        }
+
+        fn packet(&self, id: u64, payload: &[u8], ack: bool) -> Packet {
+            use smt_wire::*;
+            let ptype = if ack {
+                PacketType::Ack
+            } else {
+                PacketType::Data
+            };
+            Packet {
+                ip: IpHeader::V4(Ipv4Header::new(
+                    [10, 0, 0, 1],
+                    [10, 0, 0, 2],
+                    IPPROTO_SMT,
+                    (IPV4_HEADER_LEN + SMT_OVERLAY_LEN + payload.len()) as u16,
+                )),
+                overlay: SmtOverlayHeader {
+                    tcp: OverlayTcpHeader::new(self.port.0, self.port.1, ptype),
+                    options: SmtOptionArea::new(id, payload.len() as u32),
+                },
+                payload: if ack {
+                    PacketPayload::Ack(HomaAck { message_id: id })
+                } else {
+                    PacketPayload::Data(payload.to_vec().into())
+                },
+                corrupted: false,
+            }
+        }
+    }
+
+    impl SimEndpoint for ToyEndpoint {
+        fn send(&mut self, data: &[u8], now: Nanos) -> Option<u64> {
+            let id = self.next_id;
+            self.next_id += 1;
+            let p = self.packet(id, data, false);
+            self.stats.wire_bytes_sent += data.len() as u64;
+            self.outbox.push(p.clone());
+            self.unacked.insert(id, (p, now));
+            self.deadline = Some(
+                self.deadline
+                    .map_or(now + self.rto, |d| d.min(now + self.rto)),
+            );
+            Some(id)
+        }
+
+        fn handle_datagram(&mut self, packet: &Packet, now: Nanos) {
+            use smt_wire::{PacketPayload, PacketType};
+            match packet.overlay.tcp.packet_type {
+                PacketType::Data => {
+                    let id = packet.overlay.options.message_id;
+                    if let PacketPayload::Data(d) = &packet.payload {
+                        if self.seen.insert(id) {
+                            self.delivered.push((id, d.to_vec()));
+                            self.stats.messages_delivered += 1;
+                        }
+                    }
+                    self.outbox.push(self.packet(id, &[], true));
+                }
+                PacketType::Ack => {
+                    if let PacketPayload::Ack(a) = &packet.payload {
+                        self.unacked.remove(&a.message_id);
+                        if self.unacked.is_empty() {
+                            self.deadline = None;
+                        } else {
+                            self.deadline = Some(now + self.rto);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn poll_transmit(&mut self, _now: Nanos, out: &mut Vec<Packet>) -> usize {
+            let n = self.outbox.len();
+            out.append(&mut self.outbox);
+            n
+        }
+
+        fn next_timeout(&self) -> Option<Nanos> {
+            self.deadline
+        }
+
+        fn on_timeout(&mut self, now: Nanos) {
+            self.stats.timeouts_fired += 1;
+            for (p, _) in self.unacked.values() {
+                self.stats.retransmissions += 1;
+                self.outbox.push(p.clone());
+            }
+            self.deadline = if self.unacked.is_empty() {
+                None
+            } else {
+                Some(now + self.rto)
+            };
+        }
+
+        fn take_delivered(&mut self) -> Vec<(u64, Vec<u8>)> {
+            std::mem::take(&mut self.delivered)
+        }
+
+        fn sim_stats(&self) -> SimEndpointStats {
+            self.stats
+        }
+    }
+
+    fn toy_scenario(faults: FaultConfig) -> Scenario {
+        let mut s = Scenario::new("toy", 2);
+        s.flows.push(FlowSpec {
+            src_host: 0,
+            dst_host: 1,
+        });
+        s.faults = faults;
+        for i in 0..40u64 {
+            s.sends.push(ScheduledSend {
+                at: i * 10_000,
+                flow: 0,
+                size: 600,
+            });
+        }
+        s.sort_sends();
+        s
+    }
+
+    fn toy_endpoints() -> Vec<Box<dyn SimEndpoint>> {
+        vec![
+            Box::new(ToyEndpoint::new(1, 2)),
+            Box::new(ToyEndpoint::new(2, 1)),
+        ]
+    }
+
+    #[test]
+    fn lossless_run_delivers_everything_without_retransmission() {
+        let s = toy_scenario(FaultConfig::none());
+        let mut eps = toy_endpoints();
+        let report = run_scenario(&s, &mut eps, |_, _, _, _| None);
+        assert_eq!(report.messages_sent, 40);
+        assert_eq!(report.messages_delivered, 40);
+        assert_eq!(report.retransmissions, 0);
+        assert!(!report.truncated);
+        assert!(report.latency.p50_us > 0.0);
+        assert!(report.goodput_gbps > 0.0);
+    }
+
+    #[test]
+    fn lossy_run_recovers_via_timeouts() {
+        let s = toy_scenario(FaultConfig::lossy(0.3, 9));
+        let mut eps = toy_endpoints();
+        let report = run_scenario(&s, &mut eps, |_, _, _, _| None);
+        assert_eq!(report.messages_delivered, 40, "all messages recovered");
+        assert!(report.retransmissions > 0);
+        assert!(report.timeouts_fired > 0);
+        assert!(report.fabric.dropped_faults > 0);
+    }
+
+    #[test]
+    fn rpc_replies_flow_back_and_are_measured() {
+        let s = toy_scenario(FaultConfig::none());
+        let mut eps = toy_endpoints();
+        let report = run_scenario(&s, &mut eps, |_, _, req, _| Some(req.to_vec()));
+        assert_eq!(report.messages_delivered, 40);
+        assert_eq!(report.replies_delivered, 40);
+        assert_eq!(report.bytes_delivered, 2 * 40 * 600);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_reports_and_traces() {
+        let run = |seed| {
+            let s = toy_scenario(FaultConfig::lossy(0.25, seed));
+            let mut eps = toy_endpoints();
+            run_scenario(&s, &mut eps, |_, _, _, _| None)
+        };
+        let (a, b) = (run(5), run(5));
+        assert_eq!(a.trace_hash, b.trace_hash);
+        assert_eq!(a, b);
+        assert_ne!(run(5).trace_hash, run(6).trace_hash);
+    }
+}

@@ -1,0 +1,291 @@
+//! Open-loop workload generators: message-size mixes, Poisson arrivals, and
+//! the canonical multi-host topologies (N→1 incast, all-to-all mesh).
+//!
+//! Everything is generated from a seed up front into a plain
+//! [`ScheduledSend`] list, so a workload is data — inspectable, serializable
+//! and bit-reproducible — rather than code interleaved with the event loop.
+//! The size mixes follow the paper's evaluation: small-RPC-dominated
+//! ([`SizeMix::rpc_small`]), the mixed KV/RPC distribution
+//! ([`SizeMix::rpc_medium`]) and the storage-leaning mix
+//! ([`SizeMix::storage`]).
+
+use super::fabric::{FaultConfig, LinkConfig};
+use super::scenario::{FlowSpec, Scenario, ScheduledSend};
+use crate::time::{Nanos, SECOND};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A weighted empirical message-size distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeMix {
+    /// `(size, weight)` entries; weights need not sum to 1.
+    entries: Vec<(usize, f64)>,
+    total: f64,
+}
+
+impl SizeMix {
+    /// Builds a mix from `(size, weight)` entries.
+    pub fn new(entries: Vec<(usize, f64)>) -> Self {
+        assert!(!entries.is_empty(), "empty size mix");
+        let total = entries.iter().map(|(_, w)| w).sum();
+        Self { entries, total }
+    }
+
+    /// Every message is exactly `size` bytes.
+    pub fn fixed(size: usize) -> Self {
+        Self::new(vec![(size, 1.0)])
+    }
+
+    /// Small-RPC-dominated traffic (most messages fit in the first RTT).
+    pub fn rpc_small() -> Self {
+        Self::new(vec![
+            (64, 0.2),
+            (256, 0.3),
+            (512, 0.2),
+            (1024, 0.2),
+            (2048, 0.1),
+        ])
+    }
+
+    /// The mixed KV/RPC distribution of the load experiments: mostly small
+    /// with a heavy tail of multi-record messages.
+    pub fn rpc_medium() -> Self {
+        Self::new(vec![
+            (256, 0.3),
+            (1024, 0.3),
+            (4096, 0.2),
+            (16 * 1024, 0.15),
+            (64 * 1024, 0.05),
+        ])
+    }
+
+    /// Storage-leaning traffic (block reads dominate bytes).
+    pub fn storage() -> Self {
+        Self::new(vec![(4096, 0.5), (64 * 1024, 0.3), (256 * 1024, 0.2)])
+    }
+
+    /// Samples one size.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let mut x = rng.gen::<f64>() * self.total;
+        for &(size, w) in &self.entries {
+            if x < w {
+                return size;
+            }
+            x -= w;
+        }
+        self.entries.last().expect("non-empty").0
+    }
+
+    /// Mean message size under the mix.
+    pub fn mean(&self) -> f64 {
+        self.entries.iter().map(|&(s, w)| s as f64 * w).sum::<f64>() / self.total
+    }
+}
+
+/// Draws an exponential inter-arrival gap with the given mean.
+fn exp_gap_ns(rng: &mut StdRng, mean_ns: f64) -> Nanos {
+    // Inverse CDF on a (0, 1] uniform; clamp away from 0 to keep ln finite.
+    let u: f64 = (1.0 - rng.gen::<f64>()).max(1e-12);
+    (-u.ln() * mean_ns).round().max(1.0) as Nanos
+}
+
+/// Appends an open-loop Poisson process for `flow` to `sends`: messages at
+/// `rate_per_sec` with sizes from `mix`, over `[0, duration_ns)`.
+pub fn poisson_flow(
+    sends: &mut Vec<ScheduledSend>,
+    flow: usize,
+    rate_per_sec: f64,
+    duration_ns: Nanos,
+    mix: &SizeMix,
+    rng: &mut StdRng,
+) {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    let mean_gap = SECOND as f64 / rate_per_sec;
+    let mut t = exp_gap_ns(rng, mean_gap);
+    while t < duration_ns {
+        sends.push(ScheduledSend {
+            at: t,
+            flow,
+            size: mix.sample(rng),
+        });
+        t += exp_gap_ns(rng, mean_gap);
+    }
+}
+
+/// N→1 incast: `n_senders` hosts each fire `messages_per_sender` messages of
+/// `size` bytes at one receiver host, all released in a burst at t=0 (each
+/// sender staggered by one nanosecond so the event order is explicit).
+pub fn incast_scenario(
+    n_senders: usize,
+    size: usize,
+    messages_per_sender: usize,
+    link: LinkConfig,
+    faults: FaultConfig,
+) -> Scenario {
+    let mut s = Scenario::new(format!("incast{n_senders}x{size}"), n_senders + 1);
+    let receiver = n_senders;
+    for sender in 0..n_senders {
+        s.flows.push(FlowSpec {
+            src_host: sender,
+            dst_host: receiver,
+        });
+        for m in 0..messages_per_sender {
+            s.sends.push(ScheduledSend {
+                at: (sender + m * n_senders) as Nanos,
+                flow: sender,
+                size,
+            });
+        }
+    }
+    s.link = link;
+    s.faults = faults;
+    s.sort_sends();
+    s
+}
+
+/// All-to-all RPC mesh: every ordered host pair gets a flow carrying an
+/// open-loop Poisson process at `rate_per_flow` messages/s over
+/// `duration_ns`, sizes from `mix`.
+pub fn all_to_all_scenario(
+    n_hosts: usize,
+    rate_per_flow: f64,
+    duration_ns: Nanos,
+    mix: &SizeMix,
+    seed: u64,
+    link: LinkConfig,
+    faults: FaultConfig,
+) -> Scenario {
+    let mut s = Scenario::new(format!("mesh{n_hosts}"), n_hosts);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa11_70a1);
+    for src in 0..n_hosts {
+        for dst in 0..n_hosts {
+            if src == dst {
+                continue;
+            }
+            let flow = s.flows.len();
+            s.flows.push(FlowSpec {
+                src_host: src,
+                dst_host: dst,
+            });
+            poisson_flow(
+                &mut s.sends,
+                flow,
+                rate_per_flow,
+                duration_ns,
+                mix,
+                &mut rng,
+            );
+        }
+    }
+    s.link = link;
+    s.faults = faults;
+    s.sort_sends();
+    s
+}
+
+/// A two-host load point: one flow carrying Poisson traffic at `rate_per_sec`
+/// over `duration_ns`, sizes from `mix` — the unit of the load sweep.
+pub fn poisson_pair_scenario(
+    rate_per_sec: f64,
+    duration_ns: Nanos,
+    mix: &SizeMix,
+    seed: u64,
+    link: LinkConfig,
+    faults: FaultConfig,
+) -> Scenario {
+    let mut s = Scenario::new(format!("poisson{:.0}k", rate_per_sec / 1000.0), 2);
+    s.flows.push(FlowSpec {
+        src_host: 0,
+        dst_host: 1,
+    });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9013_5500);
+    poisson_flow(&mut s.sends, 0, rate_per_sec, duration_ns, mix, &mut rng);
+    s.link = link;
+    s.faults = faults;
+    s.sort_sends();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_mix_samples_only_listed_sizes() {
+        let mix = SizeMix::rpc_medium();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = mix.sample(&mut rng);
+            assert!([256, 1024, 4096, 16 * 1024, 64 * 1024].contains(&s));
+        }
+        assert!(mix.mean() > 256.0 && mix.mean() < 64.0 * 1024.0);
+    }
+
+    #[test]
+    fn poisson_rate_is_approximately_honoured() {
+        let mut sends = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        // 100k msgs/s over 50 ms -> ~5000 messages.
+        poisson_flow(
+            &mut sends,
+            0,
+            100_000.0,
+            50 * crate::time::MILLISECOND,
+            &SizeMix::fixed(128),
+            &mut rng,
+        );
+        assert!(
+            (4000..6000).contains(&sends.len()),
+            "got {} arrivals",
+            sends.len()
+        );
+        assert!(sends.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn incast_topology_shape() {
+        let s = incast_scenario(8, 16_384, 4, LinkConfig::default(), FaultConfig::none());
+        assert_eq!(s.n_hosts, 9);
+        assert_eq!(s.flows.len(), 8);
+        assert!(s.flows.iter().all(|f| f.dst_host == 8));
+        assert_eq!(s.sends.len(), 32);
+        assert_eq!(s.offered_bytes(), 32 * 16_384);
+    }
+
+    #[test]
+    fn mesh_covers_every_ordered_pair() {
+        let s = all_to_all_scenario(
+            4,
+            10_000.0,
+            crate::time::MILLISECOND,
+            &SizeMix::rpc_small(),
+            3,
+            LinkConfig::default(),
+            FaultConfig::none(),
+        );
+        assert_eq!(s.flows.len(), 12);
+        assert!(!s.sends.is_empty());
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let make = |seed| {
+            all_to_all_scenario(
+                3,
+                50_000.0,
+                crate::time::MILLISECOND,
+                &SizeMix::rpc_medium(),
+                seed,
+                LinkConfig::default(),
+                FaultConfig::none(),
+            )
+            .sends
+            .iter()
+            .map(|s| (s.at, s.flow, s.size))
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(make(11), make(11));
+        assert_ne!(make(11), make(12));
+    }
+}

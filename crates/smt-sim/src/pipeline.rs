@@ -140,7 +140,7 @@ impl Default for PipelineConfig {
 }
 
 /// Latency percentiles in microseconds.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Mean latency.
     pub mean_us: f64,

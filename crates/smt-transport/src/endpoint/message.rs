@@ -3,7 +3,9 @@
 //! A thin event adapter over [`HomaEndpoint`], which already runs the real SMT
 //! engine (encryption, segmentation, reassembly, replay rejection) over the
 //! simulated NIC and the receiver-driven Homa mechanisms (unscheduled data,
-//! GRANTs, RESENDs, ACKs).  This wrapper owns the control-packet outbox and
+//! GRANTs, RESENDs, ACKs).  This wrapper owns the control-packet outbox, the
+//! retransmission timer (an RTT multiple from `smt_core::SmtConfig`, armed in
+//! virtual time whenever sends are unacknowledged or receives incomplete) and
 //! converts deliveries/acks into [`Event`]s so the stack can be driven through
 //! the uniform [`SecureEndpoint`] contract.
 
@@ -13,6 +15,7 @@ use crate::stack::StackKind;
 use smt_core::segment::PathInfo;
 use smt_core::SmtSession;
 use smt_crypto::handshake::SessionKeys;
+use smt_sim::Nanos;
 use smt_wire::Packet;
 use std::collections::VecDeque;
 
@@ -24,6 +27,12 @@ pub struct MessageEndpoint {
     events: VecDeque<Event>,
     nic_queues: usize,
     next_queue: usize,
+    /// Retransmission timeout (RESEND / unscheduled-prefix retransmit timer).
+    rto_ns: Nanos,
+    /// Absolute deadline of the armed timer, if work is outstanding.
+    rto_deadline: Option<Nanos>,
+    /// Timers that fired and queued recovery traffic.
+    timeouts_fired: u64,
 }
 
 impl std::fmt::Debug for MessageEndpoint {
@@ -32,6 +41,7 @@ impl std::fmt::Debug for MessageEndpoint {
             .field("stack", &self.stack)
             .field("outbox", &self.outbox.len())
             .field("events", &self.events.len())
+            .field("rto_deadline", &self.rto_deadline)
             .finish_non_exhaustive()
     }
 }
@@ -43,6 +53,7 @@ impl MessageEndpoint {
         keys: Option<&SessionKeys>,
         config: HomaConfig,
         path: PathInfo,
+        rto_ns: Nanos,
     ) -> EndpointResult<Self> {
         debug_assert!(stack.is_message_based());
         let (inner, handshake) = match (stack, keys) {
@@ -69,6 +80,9 @@ impl MessageEndpoint {
             events: handshake.into_iter().collect(),
             nic_queues,
             next_queue: 0,
+            rto_ns: rto_ns.max(1),
+            rto_deadline: None,
+            timeouts_fired: 0,
         })
     }
 
@@ -85,6 +99,24 @@ impl MessageEndpoint {
     /// Messages with unacknowledged send state.
     pub fn pending_sends(&self) -> usize {
         self.inner.pending_sends()
+    }
+
+    /// True while sends are unacknowledged or receives incomplete.
+    fn work_outstanding(&self) -> bool {
+        self.inner.pending_sends() > 0 || self.inner.incomplete_recvs() > 0
+    }
+
+    /// Re-evaluates the timer after an arrival at time `now`.  Arrivals never
+    /// *extend* an armed deadline — on a busy session, traffic for other
+    /// messages would otherwise starve the only recovery path of a fully-lost
+    /// message (the sender timeout) indefinitely.  They only arm a missing
+    /// timer or disarm a no-longer-needed one.
+    fn rearm_after_arrival(&mut self, now: Nanos) {
+        if !self.work_outstanding() {
+            self.rto_deadline = None;
+        } else if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto_ns);
+        }
     }
 
     fn pump(&mut self) {
@@ -105,23 +137,27 @@ impl SecureEndpoint for MessageEndpoint {
         self.stack
     }
 
-    fn send(&mut self, data: &[u8]) -> EndpointResult<MessageId> {
+    fn send(&mut self, data: &[u8], now: Nanos) -> EndpointResult<MessageId> {
         // Spread messages across the NIC TX queues round-robin, one queue per
         // message (§4.4.2: all segments of a message share a queue).
         let queue = self.next_queue;
         self.next_queue = (self.next_queue + 1) % self.nic_queues;
         let id = self.inner.send_message(data, queue)?;
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto_ns);
+        }
         Ok(MessageId(id))
     }
 
-    fn handle_datagram(&mut self, datagram: &Packet) -> EndpointResult<()> {
+    fn handle_datagram(&mut self, datagram: &Packet, now: Nanos) -> EndpointResult<()> {
         let responses = self.inner.handle_packet(datagram);
         self.outbox.extend(responses);
         self.pump();
+        self.rearm_after_arrival(now);
         Ok(())
     }
 
-    fn poll_transmit(&mut self, out: &mut Vec<Packet>) -> usize {
+    fn poll_transmit(&mut self, _now: Nanos, out: &mut Vec<Packet>) -> usize {
         let before = out.len();
         out.extend(self.outbox.drain(..));
         out.extend(self.inner.poll_transmit());
@@ -132,11 +168,32 @@ impl SecureEndpoint for MessageEndpoint {
         self.events.pop_front()
     }
 
-    fn on_timeout(&mut self) {
+    fn next_timeout(&self) -> Option<Nanos> {
+        self.rto_deadline
+    }
+
+    fn on_timeout(&mut self, now: Nanos) {
+        let Some(deadline) = self.rto_deadline else {
+            return;
+        };
+        if now < deadline {
+            return; // Early tick: not due yet.
+        }
+        if !self.work_outstanding() {
+            self.rto_deadline = None;
+            return;
+        }
+        self.timeouts_fired += 1;
+        // Receiver side: request RESENDs for incomplete messages.  Sender
+        // side: retransmit the unscheduled prefix of unacknowledged sends
+        // (recovers fully-lost messages and lost ACKs).
         let resends = self.inner.poll_resend();
         self.outbox.extend(resends);
         let retx = self.inner.poll_retransmit_unacked();
         self.outbox.extend(retx);
+        // A fired timer always re-arms one full period out (work is still
+        // outstanding here).
+        self.rto_deadline = Some(now + self.rto_ns);
     }
 
     fn stats(&self) -> EndpointStats {
@@ -150,6 +207,9 @@ impl SecureEndpoint for MessageEndpoint {
             bytes_delivered: session.bytes_received,
             wire_bytes_received: session.wire_bytes_received,
             replays_rejected: receiver.packets_replayed + receiver.packets_duplicate,
+            retransmissions: self.inner.retransmitted_packets(),
+            timeouts_fired: self.timeouts_fired,
+            datagrams_dropped: self.inner.recv_errors(),
         }
     }
 }

@@ -1,0 +1,133 @@
+//! Hosts the unified [`Endpoint`] on the discrete-event network harness.
+//!
+//! `smt_sim::net` defines the [`SimEndpoint`] contract its scenario runner
+//! drives; this module implements it for [`Endpoint`], so any of the eight
+//! evaluated [`StackKind`]s drops into a multi-host scenario (incast,
+//! all-to-all mesh, Poisson load) unchanged.  [`scenario_endpoints`] builds
+//! the two-per-flow endpoint set `run_scenario` expects from one handshake's
+//! keys.
+
+use super::{take_delivered, Endpoint, SecureEndpoint};
+use crate::stack::StackKind;
+use smt_crypto::handshake::SessionKeys;
+use smt_sim::net::{Scenario, SimEndpoint, SimEndpointStats};
+use smt_sim::Nanos;
+use smt_wire::Packet;
+
+impl SimEndpoint for Endpoint {
+    fn send(&mut self, data: &[u8], now: Nanos) -> Option<u64> {
+        SecureEndpoint::send(self, data, now).ok().map(|id| id.0)
+    }
+
+    fn handle_datagram(&mut self, packet: &Packet, now: Nanos) {
+        // Fatal errors surface via Event::Error and the stats; the harness
+        // keeps the scenario moving.
+        let _ = SecureEndpoint::handle_datagram(self, packet, now);
+    }
+
+    fn poll_transmit(&mut self, now: Nanos, out: &mut Vec<Packet>) -> usize {
+        SecureEndpoint::poll_transmit(self, now, out)
+    }
+
+    fn next_timeout(&self) -> Option<Nanos> {
+        SecureEndpoint::next_timeout(self)
+    }
+
+    fn on_timeout(&mut self, now: Nanos) {
+        SecureEndpoint::on_timeout(self, now)
+    }
+
+    fn take_delivered(&mut self) -> Vec<(u64, Vec<u8>)> {
+        take_delivered(self)
+            .into_iter()
+            .map(|(id, data)| (id.0, data))
+            .collect()
+    }
+
+    fn sim_stats(&self) -> SimEndpointStats {
+        let s = self.stats();
+        SimEndpointStats {
+            retransmissions: s.retransmissions,
+            timeouts_fired: s.timeouts_fired,
+            datagrams_dropped: s.datagrams_dropped,
+            messages_delivered: s.messages_delivered,
+            wire_bytes_sent: s.wire_bytes_sent,
+        }
+    }
+}
+
+/// Builds the endpoint set for `scenario` on `stack`: one client/server pair
+/// per flow (endpoint `2*f` is flow `f`'s client end, `2*f + 1` its server
+/// end), each flow on its own port pair so concurrent flows never collide.
+///
+/// The same handshake keys drive every flow — each pair is an independent
+/// session with its own counters, so sharing key material across flows is
+/// sound and keeps scenario setup off the hot path.  For the unencrypted
+/// stacks (TCP, Homa) the keys are ignored.
+pub fn scenario_endpoints(
+    scenario: &Scenario,
+    stack: StackKind,
+    client_keys: &SessionKeys,
+    server_keys: &SessionKeys,
+) -> Vec<Box<dyn SimEndpoint>> {
+    let mut endpoints: Vec<Box<dyn SimEndpoint>> = Vec::with_capacity(scenario.flows.len() * 2);
+    for (flow, _) in scenario.flows.iter().enumerate() {
+        let base = 10_000u16.wrapping_add((flow as u16) * 2);
+        let (client, server) = Endpoint::builder()
+            .stack(stack)
+            .pair(client_keys, server_keys, base, base + 1)
+            .expect("valid scenario endpoint configuration");
+        endpoints.push(Box::new(client));
+        endpoints.push(Box::new(server));
+    }
+    endpoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_crypto::cert::CertificateAuthority;
+    use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
+    use smt_sim::net::{incast_scenario, run_scenario, FaultConfig, LinkConfig};
+
+    fn keys() -> (SessionKeys, SessionKeys) {
+        let ca = CertificateAuthority::new("sim-ca");
+        let id = ca.issue_identity("server");
+        establish(
+            ClientConfig::new(ca.verifying_key(), "server"),
+            ServerConfig::new(id, ca.verifying_key()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incast_delivers_on_a_real_stack() {
+        let (ck, sk) = keys();
+        let scenario = incast_scenario(4, 4096, 3, LinkConfig::default(), FaultConfig::none());
+        let mut eps = scenario_endpoints(&scenario, StackKind::SmtSw, &ck, &sk);
+        let report = run_scenario(&scenario, &mut eps, |_, _, _, _| None);
+        assert_eq!(report.messages_sent, 12);
+        assert_eq!(report.messages_delivered, 12);
+        assert!(!report.truncated);
+        assert!(report.latency.p99_us >= report.latency.p50_us);
+        assert!(report.goodput_gbps > 0.0);
+    }
+
+    #[test]
+    fn incast_under_loss_recovers_on_a_stream_stack() {
+        let (ck, sk) = keys();
+        let scenario = incast_scenario(
+            4,
+            4096,
+            3,
+            LinkConfig::default(),
+            FaultConfig::lossy(0.05, 17),
+        );
+        let mut eps = scenario_endpoints(&scenario, StackKind::KtlsSw, &ck, &sk);
+        let report = run_scenario(&scenario, &mut eps, |_, _, _, _| None);
+        assert_eq!(report.messages_delivered, 12, "loss recovered: {report:?}");
+        assert!(report.fabric.dropped_faults > 0);
+        assert!(report.retransmissions > 0);
+        assert!(report.timeouts_fired > 0);
+    }
+}

@@ -20,7 +20,10 @@
 //!   area.  The receiver reassembles out-of-order segments, drops duplicates
 //!   (counting them as replays), and acknowledges with a cumulative offset;
 //!   the sender retransmits go-back-N from the highest cumulative ACK when
-//!   the driver signals a quiet wire ([`on_timeout`](SecureEndpoint::on_timeout)).
+//!   its retransmission timer — an RTT multiple from `smt_core::SmtConfig`,
+//!   armed in virtual time and exposed via
+//!   [`next_timeout`](SecureEndpoint::next_timeout) — expires
+//!   ([`on_timeout`](SecureEndpoint::on_timeout)).
 //!   This is the minimal TCP: enough to recover from loss, reordering and
 //!   duplication on the simulated link, while keeping the defining limitation
 //!   that bytes — and therefore records — can only be *consumed* in order.
@@ -37,6 +40,7 @@ use smt_core::ktls::{KtlsReceiver, KtlsSender, KtlsSession};
 use smt_core::segment::PathInfo;
 use smt_crypto::handshake::SessionKeys;
 use smt_sim::nic::NicModel;
+use smt_sim::Nanos;
 use smt_wire::{
     max_payload_per_packet, HomaAck, OverlayTcpHeader, Packet, PacketPayload, PacketType,
     SmtOptionArea, SmtOverlayHeader, TsoSegment, IPPROTO_TCP, MAX_TSO_SEGMENT,
@@ -81,6 +85,14 @@ pub struct StreamEndpoint {
     /// A cumulative ACK should be emitted on the next poll.
     ack_pending: bool,
 
+    /// Retransmission timeout (go-back-N timer period).
+    rto_ns: Nanos,
+    /// Absolute deadline of the armed retransmission timer, if any.
+    rto_deadline: Option<Nanos>,
+    /// Highest stream offset ever handed to the NIC; emitting below this
+    /// marks packets as retransmissions.
+    sent_high: u64,
+
     events: VecDeque<Event>,
     stats: EndpointStats,
     /// Set after a fatal stream error; all further traffic is dropped.
@@ -106,6 +118,7 @@ impl StreamEndpoint {
         mtu: usize,
         tso: bool,
         path: PathInfo,
+        rto_ns: Nanos,
     ) -> EndpointResult<Self> {
         debug_assert!(!stack.is_message_based());
         let crypto_mode = match stack {
@@ -154,6 +167,9 @@ impl StreamEndpoint {
             ooo: BTreeMap::new(),
             frame_buf: BytesMut::new(),
             ack_pending: false,
+            rto_ns: rto_ns.max(1),
+            rto_deadline: None,
+            sent_high: 0,
             events: handshake.into_iter().collect(),
             stats: EndpointStats::default(),
             dead: false,
@@ -180,6 +196,8 @@ impl StreamEndpoint {
 
     fn fatal(&mut self, msg: String) -> EndpointError {
         self.dead = true;
+        // The datagram whose bytes failed the record layer is discarded.
+        self.stats.datagrams_dropped += 1;
         self.events.push_back(Event::Error(msg.clone()));
         EndpointError::Stream(msg)
     }
@@ -301,12 +319,19 @@ impl StreamEndpoint {
         self.deliver_in_order(&in_order)
     }
 
-    fn handle_ack(&mut self, offset: u64) {
+    fn handle_ack(&mut self, offset: u64, now: Nanos) {
         let offset = offset.min(self.produced());
         if offset <= self.acked {
             return;
         }
         self.acked = offset;
+        // Progress restarts the go-back-N timer; full acknowledgement
+        // disarms it.
+        self.rto_deadline = if offset < self.produced() {
+            Some(now + self.rto_ns)
+        } else {
+            None
+        };
         if self.next_send < offset {
             self.next_send = offset;
         }
@@ -329,7 +354,7 @@ impl SecureEndpoint for StreamEndpoint {
         self.stack
     }
 
-    fn send(&mut self, data: &[u8]) -> EndpointResult<MessageId> {
+    fn send(&mut self, data: &[u8], now: Nanos) -> EndpointResult<MessageId> {
         if self.dead {
             return Err(EndpointError::Stream("endpoint is dead".into()));
         }
@@ -349,21 +374,25 @@ impl SecureEndpoint for StreamEndpoint {
             }
         };
         self.inflight.push_back((id, self.produced()));
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto_ns);
+        }
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
         self.stats.wire_bytes_sent += appended as u64;
         Ok(id)
     }
 
-    fn handle_datagram(&mut self, datagram: &Packet) -> EndpointResult<()> {
+    fn handle_datagram(&mut self, datagram: &Packet, now: Nanos) -> EndpointResult<()> {
         if self.dead {
+            self.stats.datagrams_dropped += 1;
             return Ok(());
         }
         match datagram.overlay.tcp.packet_type {
             PacketType::Data => self.handle_data(datagram),
             PacketType::Ack => {
                 if let PacketPayload::Ack(a) = &datagram.payload {
-                    self.handle_ack(a.message_id);
+                    self.handle_ack(a.message_id, now);
                 }
                 Ok(())
             }
@@ -371,7 +400,7 @@ impl SecureEndpoint for StreamEndpoint {
         }
     }
 
-    fn poll_transmit(&mut self, out: &mut Vec<Packet>) -> usize {
+    fn poll_transmit(&mut self, _now: Nanos, out: &mut Vec<Packet>) -> usize {
         // A dead endpoint emits nothing — in particular not a pending ACK
         // covering bytes the record layer rejected, which would make the
         // sender release (and report as acknowledged) an undelivered message.
@@ -414,8 +443,17 @@ impl SecureEndpoint for StreamEndpoint {
             let segment =
                 TsoSegment::new(self.path.src, self.path.dst, IPPROTO_TCP, overlay, chunk);
             let (packets, _nic_ns) = self.nic.transmit(0, &segment);
+            if self.next_send < self.sent_high {
+                // The chunk's prefix below the high-water mark has been on
+                // the wire before (go-back-N recovery); packets past it carry
+                // fresh bytes and are not retransmissions.
+                let retx_bytes = (self.sent_high - self.next_send).min(take as u64);
+                let stride = max_payload_per_packet(self.mtu).max(1) as u64;
+                self.stats.retransmissions += retx_bytes.div_ceil(stride).min(packets.len() as u64);
+            }
             out.extend(packets);
             self.next_send += take as u64;
+            self.sent_high = self.sent_high.max(self.next_send);
         }
         out.len() - before
     }
@@ -424,11 +462,31 @@ impl SecureEndpoint for StreamEndpoint {
         self.events.pop_front()
     }
 
-    fn on_timeout(&mut self) {
-        // Quiet wire with unacknowledged data: go-back-N from the cumulative
-        // ACK (the TCP retransmission timer, compressed to one event).
-        if !self.dead && self.acked < self.produced() {
+    fn next_timeout(&self) -> Option<Nanos> {
+        if self.dead {
+            return None;
+        }
+        self.rto_deadline
+    }
+
+    fn on_timeout(&mut self, now: Nanos) {
+        // Expired timer with unacknowledged data: go-back-N from the
+        // cumulative ACK (the TCP retransmission timer).
+        if self.dead {
+            return;
+        }
+        let Some(deadline) = self.rto_deadline else {
+            return;
+        };
+        if now < deadline {
+            return; // Early tick: not due yet.
+        }
+        if self.acked < self.produced() {
+            self.stats.timeouts_fired += 1;
             self.next_send = self.acked;
+            self.rto_deadline = Some(now + self.rto_ns);
+        } else {
+            self.rto_deadline = None;
         }
     }
 

@@ -1,8 +1,8 @@
 //! A packet-level, receiver-driven message transport (Homa-style) carrying SMT.
 //!
 //! This is the correctness-level datapath: it runs the real SMT engine
-//! (`smt-core`) over the NIC model (`smt-sim::nic`) and an in-memory, optionally
-//! lossy channel, exercising the protocol mechanisms the paper relies on:
+//! (`smt-core`) over the NIC model (`smt-sim::nic`), exercising the protocol
+//! mechanisms the paper relies on:
 //!
 //! * **unscheduled data** — the first part of every message is sent without
 //!   waiting for the receiver (first-RTT data, §2.2/§4.2);
@@ -19,8 +19,6 @@
 //! encrypted, unordered message delivery over a lossy link).
 
 use crate::stack::StackKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smt_core::reassembly::ReceivedMessage;
 use smt_core::segment::PathInfo;
 use smt_core::{SmtConfig, SmtSession};
@@ -30,7 +28,7 @@ use smt_wire::{
     HomaAck, HomaGrant, HomaResend, OverlayTcpHeader, Packet, PacketPayload, PacketType,
     SmtOptionArea, SmtOverlayHeader,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// Configuration of the packet-level transport.
 #[derive(Debug, Clone, Copy)]
@@ -56,58 +54,6 @@ impl Default for HomaConfig {
     }
 }
 
-/// An in-memory unidirectional channel with configurable packet loss.
-#[derive(Debug)]
-pub struct LossyChannel {
-    queue: VecDeque<Packet>,
-    loss_probability: f64,
-    rng: StdRng,
-    /// Packets dropped so far.
-    pub dropped: u64,
-    /// Packets delivered so far.
-    pub delivered: u64,
-}
-
-impl LossyChannel {
-    /// Creates a channel that drops packets with probability `loss_probability`.
-    pub fn new(loss_probability: f64, seed: u64) -> Self {
-        Self {
-            queue: VecDeque::new(),
-            loss_probability,
-            rng: StdRng::seed_from_u64(seed),
-            dropped: 0,
-            delivered: 0,
-        }
-    }
-
-    /// A lossless channel.
-    pub fn reliable() -> Self {
-        Self::new(0.0, 0)
-    }
-
-    /// Pushes packets into the channel, applying loss.
-    pub fn push(&mut self, packets: Vec<Packet>) {
-        for p in packets {
-            if self.loss_probability > 0.0 && self.rng.gen::<f64>() < self.loss_probability {
-                self.dropped += 1;
-            } else {
-                self.queue.push_back(p);
-            }
-        }
-    }
-
-    /// Drains every queued packet.
-    pub fn drain(&mut self) -> Vec<Packet> {
-        self.delivered += self.queue.len() as u64;
-        self.queue.drain(..).collect()
-    }
-
-    /// Number of packets currently in flight.
-    pub fn in_flight(&self) -> usize {
-        self.queue.len()
-    }
-}
-
 #[derive(Debug)]
 struct PendingSend {
     packets: Vec<Packet>,
@@ -130,10 +76,18 @@ pub struct HomaEndpoint {
     nic: NicModel,
     config: HomaConfig,
     path: PathInfo,
-    sends: HashMap<u64, PendingSend>,
-    recvs: HashMap<u64, RecvProgress>,
+    // BTreeMaps, not HashMaps: poll_transmit/poll_resend iterate these, and
+    // the discrete-event harness needs iteration order (hence packet emission
+    // order) to be deterministic across runs.
+    sends: BTreeMap<u64, PendingSend>,
+    recvs: BTreeMap<u64, RecvProgress>,
     delivered: Vec<ReceivedMessage>,
     acked: Vec<u64>,
+    /// Data packets retransmitted (RESEND-triggered plus sender-timeout).
+    retransmitted_packets: u64,
+    /// Received packets the session rejected (failed authentication or
+    /// malformed) and this endpoint therefore dropped.
+    recv_errors: u64,
 }
 
 impl std::fmt::Debug for HomaEndpoint {
@@ -184,10 +138,12 @@ impl HomaEndpoint {
             nic: NicModel::new(config.mtu, config.tso),
             config,
             path,
-            sends: HashMap::new(),
-            recvs: HashMap::new(),
+            sends: BTreeMap::new(),
+            recvs: BTreeMap::new(),
             delivered: Vec::new(),
             acked: Vec::new(),
+            retransmitted_packets: 0,
+            recv_errors: 0,
         }
     }
 
@@ -214,6 +170,22 @@ impl HomaEndpoint {
     /// Number of messages with unacknowledged send state.
     pub fn pending_sends(&self) -> usize {
         self.sends.values().filter(|s| !s.acked).count()
+    }
+
+    /// Number of messages that started arriving but have not completed.
+    pub fn incomplete_recvs(&self) -> usize {
+        self.recvs.values().filter(|p| !p.complete).count()
+    }
+
+    /// Data packets retransmitted so far (RESEND-triggered plus
+    /// sender-timeout).
+    pub fn retransmitted_packets(&self) -> u64 {
+        self.retransmitted_packets
+    }
+
+    /// Received packets the session rejected and this endpoint dropped.
+    pub fn recv_errors(&self) -> u64 {
+        self.recv_errors
     }
 
     /// Queues a message for transmission; returns its message ID.
@@ -339,6 +311,7 @@ impl HomaEndpoint {
                     Err(_) => {
                         // Authentication failure or malformed packet: drop. A
                         // RESEND will recover the data if it was real loss.
+                        self.recv_errors += 1;
                     }
                 }
                 if was_complete {
@@ -363,6 +336,7 @@ impl HomaEndpoint {
                         // message RESEND); mark the resend offset so the receiver
                         // can place them (§4.3).
                         let limit = send.sent.min(send.packets.len());
+                        self.retransmitted_packets += limit as u64;
                         for p in &send.packets[..limit] {
                             let mut retx = p.clone();
                             smt_core::segment::SmtSegmenter::mark_retransmission(&mut retx);
@@ -407,6 +381,7 @@ impl HomaEndpoint {
                 out.push(retx);
             }
         }
+        self.retransmitted_packets += out.len() as u64;
         out
     }
 
@@ -442,6 +417,47 @@ mod tests {
     use super::*;
     use smt_crypto::cert::CertificateAuthority;
     use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
+    use smt_sim::net::{Admission, FaultConfig, FaultyLink};
+    use std::collections::VecDeque;
+
+    /// Test-only FIFO flight channel applying the repository's one fault
+    /// model (`smt_sim::net::FaultyLink`) per pushed packet.  Production
+    /// consumers move packets through the fabric (`endpoint::drive_pair`,
+    /// `smt_sim::net::run_scenario`); this exists so these unit tests can
+    /// observe the raw GRANT/RESEND/ACK exchange flight by flight.
+    struct LossyChannel {
+        queue: VecDeque<Packet>,
+        faults: FaultyLink,
+    }
+
+    impl LossyChannel {
+        fn new(loss: f64, seed: u64) -> Self {
+            Self {
+                queue: VecDeque::new(),
+                faults: FaultyLink::new(FaultConfig::lossy(loss, seed)),
+            }
+        }
+
+        fn reliable() -> Self {
+            Self::new(0.0, 0)
+        }
+
+        fn push(&mut self, packets: Vec<Packet>) {
+            for p in packets {
+                if self.faults.admit() != Admission::Drop {
+                    self.queue.push_back(p);
+                }
+            }
+        }
+
+        fn drain(&mut self) -> Vec<Packet> {
+            self.queue.drain(..).collect()
+        }
+
+        fn dropped(&self) -> u64 {
+            self.faults.stats.dropped
+        }
+    }
 
     /// Protocol-level drive loop for exercising `HomaEndpoint` directly.
     /// Production consumers drive stacks through
@@ -556,9 +572,9 @@ mod tests {
         a.send_message(&data, 0).unwrap();
         drive(&mut a, &mut b, &mut ab, &mut ba, 500);
         let got = b.take_delivered();
-        assert_eq!(got.len(), 1, "dropped {} packets", ab.dropped);
+        assert_eq!(got.len(), 1, "dropped {} packets", ab.dropped());
         assert_eq!(got[0].data, data);
-        assert!(ab.dropped > 0, "loss did occur");
+        assert!(ab.dropped() > 0, "loss did occur");
     }
 
     #[test]

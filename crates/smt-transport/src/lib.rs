@@ -20,8 +20,8 @@
 //!
 //! * [`homa`] — a packet-level, receiver-driven message transport (unscheduled
 //!   data + GRANTs + RESENDs, paper §2.2) running the real SMT engine over the
-//!   NIC model and an in-memory lossy channel.  It backs the message-based
-//!   endpoints; consumers reach it through the [`endpoint`] layer.
+//!   NIC model.  It backs the message-based endpoints; consumers reach it
+//!   through the [`endpoint`] layer.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,9 +32,10 @@ pub mod profile;
 pub mod stack;
 
 pub use endpoint::{
-    drive_pair, take_delivered, Endpoint, EndpointBuilder, EndpointError, EndpointResult,
-    EndpointStats, Event, MessageEndpoint, MessageId, SecureEndpoint, StreamEndpoint,
+    drive_pair, scenario_endpoints, take_delivered, Endpoint, EndpointBuilder, EndpointError,
+    EndpointResult, EndpointStats, Event, MessageEndpoint, MessageId, PairFabric, SecureEndpoint,
+    StreamEndpoint,
 };
-pub use homa::{HomaConfig, HomaEndpoint, LossyChannel};
+pub use homa::{HomaConfig, HomaEndpoint};
 pub use profile::{RpcWorkload, StackProfile};
 pub use stack::StackKind;

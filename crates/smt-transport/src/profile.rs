@@ -584,8 +584,7 @@ mod tests {
         // The two must agree on payload wire bytes (records + tags + framing,
         // excluding per-packet headers) to within a few percent, or the
         // simulated figures drift away from what the datapath actually emits.
-        use crate::endpoint::{drive_pair, Endpoint, SecureEndpoint};
-        use crate::homa::LossyChannel;
+        use crate::endpoint::{drive_pair, Endpoint, PairFabric, SecureEndpoint};
         use smt_crypto::cert::CertificateAuthority;
         use smt_crypto::handshake::{establish, ClientConfig, ServerConfig};
 
@@ -617,10 +616,9 @@ mod tests {
                     .stack(stack)
                     .pair(&ck, &sk, 1, 2)
                     .unwrap();
-                a.send(&vec![0u8; size]).unwrap();
-                let mut ab = LossyChannel::reliable();
-                let mut ba = LossyChannel::reliable();
-                drive_pair(&mut a, &mut b, &mut ab, &mut ba, 1000);
+                a.send(&vec![0u8; size], 0).unwrap();
+                let mut link = PairFabric::reliable();
+                drive_pair(&mut a, &mut b, &mut link, 1_000_000);
                 let measured = a.stats().wire_bytes_sent as f64;
 
                 let tolerance = analytic_payload * 0.05 + 96.0;

@@ -8,7 +8,7 @@ use smt::apps::{BlockStore, BlockStoreConfig, FioGenerator};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
 use smt::transport::{
-    drive_pair, take_delivered, Endpoint, LossyChannel, RpcWorkload, SecureEndpoint, StackKind,
+    drive_pair, take_delivered, Endpoint, PairFabric, RpcWorkload, SecureEndpoint, StackKind,
     StackProfile,
 };
 
@@ -25,8 +25,7 @@ fn main() {
         .stack(StackKind::SmtHw)
         .pair(&ck, &sk, 9000, 4420)
         .expect("endpoints");
-    let mut to_server = LossyChannel::reliable();
-    let mut to_client = LossyChannel::reliable();
+    let mut link = PairFabric::reliable();
 
     let mut store = BlockStore::new(BlockStoreConfig::default());
     let mut fio = FioGenerator::new(1 << 20, 4, 7);
@@ -36,25 +35,13 @@ fn main() {
             BlockRequest::Read { lba } => lba.to_be_bytes().to_vec(),
             BlockRequest::Write { lba } => lba.to_be_bytes().to_vec(),
         };
-        client.send(&encoded).expect("send");
-        drive_pair(
-            &mut client,
-            &mut server,
-            &mut to_server,
-            &mut to_client,
-            200,
-        );
+        client.send(&encoded, link.now()).expect("send");
+        drive_pair(&mut client, &mut server, &mut link, 1_000_000);
         let (_, request) = take_delivered(&mut server).pop().expect("request");
         let lba = u64::from_be_bytes(request[..8].try_into().unwrap());
         let (block, _lat) = store.execute(&BlockRequest::Read { lba }, None);
-        server.send(&block).expect("respond");
-        drive_pair(
-            &mut client,
-            &mut server,
-            &mut to_server,
-            &mut to_client,
-            200,
-        );
+        server.send(&block, link.now()).expect("respond");
+        drive_pair(&mut client, &mut server, &mut link, 1_000_000);
         take_delivered(&mut client).pop().expect("block");
     }
     let offload = server

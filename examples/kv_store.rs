@@ -6,9 +6,7 @@
 use smt::apps::{KvRequest, KvResponse, KvStore, YcsbConfig, YcsbGenerator, YcsbWorkload};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
-use smt::transport::{
-    drive_pair, take_delivered, Endpoint, LossyChannel, SecureEndpoint, StackKind,
-};
+use smt::transport::{drive_pair, take_delivered, Endpoint, PairFabric, SecureEndpoint, StackKind};
 
 fn main() {
     let ca = CertificateAuthority::new("dc-internal-ca");
@@ -22,8 +20,7 @@ fn main() {
         .stack(StackKind::SmtSw)
         .pair(&ck, &sk, 7000, 6379)
         .expect("endpoints");
-    let mut to_server = LossyChannel::reliable();
-    let mut to_client = LossyChannel::reliable();
+    let mut link = PairFabric::reliable();
 
     // The store is single threaded, exactly like Redis (§5.3).
     let mut store = KvStore::new();
@@ -43,26 +40,14 @@ fn main() {
     for _ in 0..200 {
         let op = gen.next_op();
         // Client -> server over SMT.
-        client.send(&op.request.encode()).expect("send");
-        drive_pair(
-            &mut client,
-            &mut server,
-            &mut to_server,
-            &mut to_client,
-            200,
-        );
+        client.send(&op.request.encode(), link.now()).expect("send");
+        drive_pair(&mut client, &mut server, &mut link, 1_000_000);
         let (_, request) = take_delivered(&mut server).pop().expect("request");
         let response = store.handle_wire(&request);
 
         // Server -> client over SMT.
-        server.send(&response).expect("respond");
-        drive_pair(
-            &mut client,
-            &mut server,
-            &mut to_server,
-            &mut to_client,
-            200,
-        );
+        server.send(&response, link.now()).expect("respond");
+        drive_pair(&mut client, &mut server, &mut link, 1_000_000);
         let (_, reply) = take_delivered(&mut client).pop().expect("reply");
         match KvResponse::decode(&reply).expect("decode") {
             KvResponse::Value(_) | KvResponse::Values(_) | KvResponse::NotFound => reads += 1,

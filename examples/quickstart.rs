@@ -5,7 +5,7 @@
 
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
-use smt::transport::{drive_pair, Endpoint, Event, LossyChannel, SecureEndpoint, StackKind};
+use smt::transport::{drive_pair, Endpoint, Event, PairFabric, SecureEndpoint, StackKind};
 
 fn main() {
     // The datacenter operates an internal CA; every endpoint pre-installs its key.
@@ -38,20 +38,14 @@ fn main() {
         b"GET /blob/beta".to_vec(),
     ];
     for p in &payloads {
-        client.send(p).expect("send");
+        client.send(p, 0).expect("send");
     }
 
-    // 4. Move packets until the pair quiesces (here: in memory and lossless;
-    //    the same loop recovers from loss on a lossy channel).
-    let mut to_server = LossyChannel::reliable();
-    let mut to_client = LossyChannel::reliable();
-    drive_pair(
-        &mut client,
-        &mut server,
-        &mut to_server,
-        &mut to_client,
-        1000,
-    );
+    // 4. Move packets over a two-host fabric in simulated time until the
+    //    pair quiesces (here lossless; the same loop recovers from loss).
+    let mut link = PairFabric::reliable();
+    drive_pair(&mut client, &mut server, &mut link, 1_000_000);
+    println!("pair quiesced at t={} ns (virtual)", link.now());
 
     // 5. Consume delivery events.
     let mut delivered = 0;

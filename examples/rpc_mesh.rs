@@ -6,7 +6,7 @@
 
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
-use smt::transport::{drive_pair, Endpoint, Event, LossyChannel, SecureEndpoint, StackKind};
+use smt::transport::{drive_pair, Endpoint, Event, PairFabric, SecureEndpoint, StackKind};
 
 fn main() {
     let ca = CertificateAuthority::new("mesh-ca");
@@ -20,13 +20,12 @@ fn main() {
     server_cfg.require_client_auth = true;
     let (ck, sk) = establish(client_cfg, server_cfg).expect("mTLS handshake");
 
-    // Endpoints over a 5 % lossy channel in each direction.
+    // Endpoints over a fabric dropping 5 % of all packets.
     let (mut frontend, mut backend) = Endpoint::builder()
         .stack(StackKind::SmtSw)
         .pair(&ck, &sk, 7100, 7200)
         .expect("endpoints");
-    let mut fwd = LossyChannel::new(0.05, 1234);
-    let mut rev = LossyChannel::new(0.05, 5678);
+    let mut link = PairFabric::lossy(0.05, 1234);
 
     // The backend's first event announces the authenticated peer.
     if let Some(Event::HandshakeComplete { peer_identity, .. }) = backend.poll_event() {
@@ -35,9 +34,9 @@ fn main() {
 
     for i in 0..20u32 {
         let req = format!("call#{i}: GET /inventory/{}", i * 7).into_bytes();
-        frontend.send(&req).expect("send");
+        frontend.send(&req, link.now()).expect("send");
     }
-    drive_pair(&mut frontend, &mut backend, &mut fwd, &mut rev, 500);
+    drive_pair(&mut frontend, &mut backend, &mut link, 1_000_000);
 
     let mut received = 0;
     while let Some(event) = backend.poll_event() {
@@ -48,7 +47,7 @@ fn main() {
     println!(
         "backend received {} RPCs over a lossy link ({} packets dropped, {} replays rejected)",
         received,
-        fwd.dropped + rev.dropped,
+        link.dropped(),
         backend.stats().replays_rejected,
     );
     assert_eq!(received, 20);

@@ -9,9 +9,7 @@ use smt::crypto::handshake::zero_rtt::{
 };
 use smt::crypto::handshake::{ReplayCache, SmtExtensions, SmtTicketIssuer};
 use smt::crypto::CipherSuite;
-use smt::transport::{
-    drive_pair, take_delivered, Endpoint, LossyChannel, SecureEndpoint, StackKind,
-};
+use smt::transport::{drive_pair, take_delivered, Endpoint, PairFabric, SecureEndpoint, StackKind};
 
 fn main() {
     let ca = CertificateAuthority::new("dc-internal-ca");
@@ -48,11 +46,10 @@ fn main() {
             .pair(&client_keys, &server_keys, 4100, 4430)
             .expect("endpoints");
         client
-            .send(b"GET /config?v=4 (post-handshake)")
+            .send(b"GET /config?v=4 (post-handshake)", 0)
             .expect("send");
-        let mut to_server = LossyChannel::reliable();
-        let mut to_client = LossyChannel::reliable();
-        drive_pair(&mut client, &mut server, &mut to_server, &mut to_client, 50);
+        let mut link = PairFabric::reliable();
+        drive_pair(&mut client, &mut server, &mut link, 1_000_000);
         let delivered = take_delivered(&mut server);
         assert_eq!(delivered.len(), 1);
         println!(

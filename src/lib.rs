@@ -8,7 +8,7 @@
 //! ```
 //! use smt::crypto::cert::CertificateAuthority;
 //! use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
-//! use smt::transport::{drive_pair, take_delivered, Endpoint, LossyChannel,
+//! use smt::transport::{drive_pair, take_delivered, Endpoint, PairFabric,
 //!                      SecureEndpoint, StackKind};
 //!
 //! // 1. Establish a secure session with a TLS 1.3 handshake.
@@ -25,9 +25,9 @@
 //!     .stack(StackKind::SmtSw)
 //!     .pair(&client_keys, &server_keys, 4000, 5201)
 //!     .unwrap();
-//! client.send(b"hello datacenter").unwrap();
-//! let (mut to_server, mut to_client) = (LossyChannel::reliable(), LossyChannel::reliable());
-//! drive_pair(&mut client, &mut server, &mut to_server, &mut to_client, 100);
+//! client.send(b"hello datacenter", 0).unwrap();
+//! let mut link = PairFabric::reliable();
+//! drive_pair(&mut client, &mut server, &mut link, 1_000_000);
 //! let delivered = take_delivered(&mut server);
 //! assert_eq!(delivered[0].1, b"hello datacenter");
 //! ```

@@ -8,7 +8,7 @@ use smt::core::{CryptoMode, SmtConfig};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig, SessionKeys};
 use smt::transport::{
-    drive_pair, take_delivered, Endpoint, Event, LossyChannel, SecureEndpoint, StackKind,
+    drive_pair, take_delivered, Endpoint, Event, PairFabric, SecureEndpoint, StackKind,
 };
 
 fn handshake() -> (SessionKeys, SessionKeys, CertificateAuthority) {
@@ -36,17 +36,10 @@ fn full_stack_roundtrip_on_every_stack() {
             .map(|&size| (0..size).map(|i| (i % 241) as u8).collect())
             .collect();
         for data in &payloads {
-            client.send(data).unwrap();
+            client.send(data, 0).unwrap();
         }
-        let mut to_server = LossyChannel::reliable();
-        let mut to_client = LossyChannel::reliable();
-        drive_pair(
-            &mut client,
-            &mut server,
-            &mut to_server,
-            &mut to_client,
-            2000,
-        );
+        let mut link = PairFabric::reliable();
+        drive_pair(&mut client, &mut server, &mut link, 2_000_000);
         let mut got = take_delivered(&mut server);
         got.sort_by_key(|(id, _)| *id);
         assert_eq!(got.len(), payloads.len(), "stack {}", stack.label());
@@ -71,16 +64,15 @@ fn lossy_transport_delivers_bidirectional_traffic() {
         .stack(StackKind::SmtSw)
         .pair(&ck, &sk, 1, 2)
         .unwrap();
-    let mut ab = LossyChannel::new(0.08, 99);
-    let mut ba = LossyChannel::new(0.08, 77);
+    let mut link = PairFabric::lossy(0.08, 99);
     let payloads: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 5_000 + i * 7_000]).collect();
     for p in &payloads {
-        a.send(p).unwrap();
+        a.send(p, 0).unwrap();
     }
     for i in 0..4u8 {
-        b.send(&vec![0xB0 | i; 900]).unwrap();
+        b.send(&vec![0xB0 | i; 900], 0).unwrap();
     }
-    drive_pair(&mut a, &mut b, &mut ab, &mut ba, 1000);
+    drive_pair(&mut a, &mut b, &mut link, 1_000_000);
     let to_b = take_delivered(&mut b);
     let to_a = take_delivered(&mut a);
     assert_eq!(to_b.len(), payloads.len());
@@ -111,10 +103,9 @@ fn mtls_identity_surfaces_in_handshake_event() {
         }
         other => panic!("expected handshake event, got {other:?}"),
     }
-    c.send(b"authenticated").unwrap();
-    let mut ab = LossyChannel::reliable();
-    let mut ba = LossyChannel::reliable();
-    drive_pair(&mut c, &mut s, &mut ab, &mut ba, 100);
+    c.send(b"authenticated", 0).unwrap();
+    let mut link = PairFabric::reliable();
+    drive_pair(&mut c, &mut s, &mut link, 1_000_000);
     assert_eq!(take_delivered(&mut s)[0].1, b"authenticated");
 
     // The plaintext Homa baseline coexists, built keyless from the same
@@ -123,8 +114,9 @@ fn mtls_identity_surfaces_in_handshake_event() {
         .stack(StackKind::Homa)
         .pair_plaintext(1, 2)
         .unwrap();
-    pa.send(&vec![9u8; 10_000]).unwrap();
-    drive_pair(&mut pa, &mut pb, &mut ab, &mut ba, 100);
+    pa.send(&vec![9u8; 10_000], 0).unwrap();
+    let mut plain_link = PairFabric::reliable();
+    drive_pair(&mut pa, &mut pb, &mut plain_link, 1_000_000);
     assert_eq!(take_delivered(&mut pb)[0].1.len(), 10_000);
     assert_eq!(SmtConfig::plaintext().crypto_mode, CryptoMode::Plaintext);
 }
@@ -153,10 +145,9 @@ fn zero_rtt_keys_drive_endpoints() {
         .stack(StackKind::SmtSw)
         .pair(&ck, &sk, 10, 20)
         .unwrap();
-    c.send(b"post-handshake data").unwrap();
-    let mut ab = LossyChannel::reliable();
-    let mut ba = LossyChannel::reliable();
-    drive_pair(&mut c, &mut s, &mut ab, &mut ba, 100);
+    c.send(b"post-handshake data", 0).unwrap();
+    let mut link = PairFabric::reliable();
+    drive_pair(&mut c, &mut s, &mut link, 1_000_000);
     assert_eq!(take_delivered(&mut s)[0].1, b"post-handshake data");
 }
 
@@ -168,10 +159,9 @@ fn acks_release_sender_state_on_both_backends() {
             .stack(stack)
             .pair(&ck, &sk, 30, 40)
             .unwrap();
-        let id = c.send(&vec![1u8; 50_000]).unwrap();
-        let mut ab = LossyChannel::reliable();
-        let mut ba = LossyChannel::reliable();
-        drive_pair(&mut c, &mut s, &mut ab, &mut ba, 500);
+        let id = c.send(&vec![1u8; 50_000], 0).unwrap();
+        let mut link = PairFabric::reliable();
+        drive_pair(&mut c, &mut s, &mut link, 1_000_000);
         let acked: Vec<_> = std::iter::from_fn(|| c.poll_event())
             .filter_map(|e| match e {
                 Event::MessageAcked(id) => Some(id),

@@ -6,14 +6,17 @@
 //! are interchangeable behind one interface, and chaos on the wire (within
 //! what a datacenter fabric can do to packets: reorder, duplicate) never
 //! changes what the application observes.
+//!
+//! The chaos comes from the seeded `smt_sim::net::FaultyLink` — the *same*
+//! fault model the discrete-event scenarios inject — applied per flight via
+//! [`FaultyLink::scramble_flight`], so tests and scenarios agree on what a
+//! misbehaving network does.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig, SessionKeys};
+use smt::sim::net::{FaultConfig, FaultyLink};
 use smt::transport::{take_delivered, Endpoint, SecureEndpoint, StackKind};
-use smt::wire::{Packet, PacketType};
 
 fn handshake() -> (SessionKeys, SessionKeys) {
     let ca = CertificateAuthority::new("matrix-ca");
@@ -25,50 +28,46 @@ fn handshake() -> (SessionKeys, SessionKeys) {
     .unwrap()
 }
 
-/// Duplicates every DATA packet and shuffles the whole batch (Fisher–Yates on
-/// the seeded RNG), so each flight arrives reordered with one duplicate of
-/// every data-bearing packet.
-fn reorder_and_duplicate(packets: &mut Vec<Packet>, rng: &mut StdRng) {
-    let dups: Vec<Packet> = packets
-        .iter()
-        .filter(|p| p.overlay.tcp.packet_type == PacketType::Data)
-        .cloned()
-        .collect();
-    packets.extend(dups);
-    for i in (1..packets.len()).rev() {
-        let j = rng.gen_range(0usize..=i);
-        packets.swap(i, j);
-    }
-}
-
-/// Drives the pair with per-flight reordering and duplication until both
-/// sides quiesce (two consecutive idle rounds after timeout recovery).
+/// Drives the pair flight by flight, scrambling every flight through the
+/// shared fault model (duplicate + shuffle, no loss), until both sides
+/// quiesce (two consecutive idle rounds after timeout recovery).  Flights are
+/// delivered instantaneously; virtual time advances only to run the
+/// endpoints' retransmission timers when the wire goes idle.
 fn pump_chaotic(client: &mut Endpoint, server: &mut Endpoint, seed: u64, max_rounds: usize) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chaos = FaultyLink::new(FaultConfig::chaotic(seed));
+    let mut now = 0u64;
     let mut idle = 0;
     for _ in 0..max_rounds {
         let mut to_server = Vec::new();
-        client.poll_transmit(&mut to_server);
+        client.poll_transmit(now, &mut to_server);
         let mut to_client = Vec::new();
-        server.poll_transmit(&mut to_client);
+        server.poll_transmit(now, &mut to_client);
 
         if to_server.is_empty() && to_client.is_empty() {
             idle += 1;
             if idle >= 2 {
                 return;
             }
-            client.on_timeout();
-            server.on_timeout();
+            // Jump the clock to the earliest armed timer and fire both ends.
+            if let Some(deadline) = [client.next_timeout(), server.next_timeout()]
+                .into_iter()
+                .flatten()
+                .min()
+            {
+                now = now.max(deadline);
+            }
+            client.on_timeout(now);
+            server.on_timeout(now);
             continue;
         }
         idle = 0;
-        reorder_and_duplicate(&mut to_server, &mut rng);
-        reorder_and_duplicate(&mut to_client, &mut rng);
+        chaos.scramble_flight(&mut to_server);
+        chaos.scramble_flight(&mut to_client);
         for p in &to_server {
-            let _ = server.handle_datagram(p);
+            let _ = server.handle_datagram(p, now);
         }
         for p in &to_client {
-            let _ = client.handle_datagram(p);
+            let _ = client.handle_datagram(p, now);
         }
     }
     panic!("pair did not quiesce within {max_rounds} rounds");
@@ -93,7 +92,7 @@ proptest! {
                 .pair(&ck, &sk, 4000, 5201)
                 .unwrap();
             for p in &payloads {
-                client.send(p).unwrap();
+                client.send(p, 0).unwrap();
             }
             pump_chaotic(&mut client, &mut server, seed, 10_000);
 

@@ -1,0 +1,121 @@
+//! Measures connection-setup latency over the wire — the Fig. 12 / Table 2
+//! analogue — and emits `BENCH_setup_latency.json`.
+//!
+//! ```text
+//! setup_latency [--smoke] [--json] [--out <path>]
+//! ```
+//!
+//! * `--smoke` — the CI subset: SMT-sw and kTLS-sw, lossless only.
+//! * `--json` — print the rows as JSON instead of a table.
+//! * `--out <path>` — where to write the bench-diff-compatible report
+//!   (default `BENCH_setup_latency.json` in the current directory).
+//!
+//! Every connection runs the **in-band** handshake through the endpoints and
+//! the two-host fabric: cold connections do the full 1-RTT exchange, resumed
+//! connections 0-RTT with an SMT-ticket minted in-band by the cold
+//! connection.  `mean_ns` in the JSON is the time-to-first-request-delivery
+//! (`ttfb_ns`), so `bench_diff BENCH_setup_latency.json <new> --max-regress P`
+//! gates setup-latency regressions.  Output is deterministic per seed up to
+//! a few ns of ECDSA signature-length variation — any real delta is a
+//! behavioural change, not noise.
+//!
+//! The binary asserts the headline property before exiting: resumed (0-RTT)
+//! setup delivers the first request ≥ 1 network RTT earlier than cold setup
+//! on the SMT stacks.
+
+use smt_bench::output::{maybe_json, print_table};
+use smt_bench::setup_latency::{assert_zero_rtt_wins, setup_latency_matrix, SetupRow};
+
+fn bench_json(rows: &[SetupRow]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let loss_suffix = if row.loss_pct > 0.0 { "-loss10pct" } else { "" };
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"setup_latency/{mode}{loss}/{stack}\", ",
+                "\"mean_ns\": {ttfb}, \"hs_rtt_ns\": {hs}, \"done_ns\": {done}, ",
+                "\"resumed\": {resumed}, \"retransmissions\": {retx}, ",
+                "\"delivered\": {delivered}}}{comma}\n"
+            ),
+            mode = row.mode,
+            loss = loss_suffix,
+            stack = row.stack,
+            ttfb = row.ttfb_ns,
+            hs = row.hs_rtt_ns,
+            done = row.done_ns,
+            resumed = row.resumed,
+            retx = row.retransmissions,
+            delivered = row.delivered,
+            comma = if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_setup_latency.json".to_string());
+
+    let rows = setup_latency_matrix(smoke);
+
+    if !maybe_json(&rows) {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.stack.clone(),
+                    row.mode.to_string(),
+                    format!("{:.0}%", row.loss_pct),
+                    row.hs_rtt_ns.to_string(),
+                    row.ttfb_ns.to_string(),
+                    row.done_ns.to_string(),
+                    row.resumed.to_string(),
+                    row.retransmissions.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            if smoke {
+                "setup latency over the wire (smoke subset)"
+            } else {
+                "setup latency over the wire (all stacks, cold vs resumed)"
+            },
+            &[
+                "stack",
+                "mode",
+                "loss",
+                "hs_rtt(ns)",
+                "ttfb(ns)",
+                "done(ns)",
+                "resumed",
+                "retx",
+            ],
+            &table,
+        );
+    }
+
+    std::fs::write(&out_path, bench_json(&rows)).expect("write setup-latency report");
+    eprintln!("wrote {out_path}");
+
+    // The paper's headline setup claim, asserted on every run: 0-RTT
+    // resumption beats cold setup by at least one network round trip.
+    if smoke {
+        assert_zero_rtt_wins(&rows, &["SMT-sw", "kTLS-sw"]);
+    } else {
+        assert_zero_rtt_wins(&rows, &["SMT-sw", "SMT-hw", "kTLS-sw"]);
+    }
+    for row in &rows {
+        assert_eq!(
+            row.delivered, 1,
+            "{}/{} lost the request",
+            row.stack, row.mode
+        );
+    }
+}

@@ -11,6 +11,7 @@
 pub mod figures;
 pub mod output;
 pub mod scenarios;
+pub mod setup_latency;
 
 pub use figures::*;
 pub use output::print_table;

@@ -354,6 +354,7 @@ impl ClientHandshake {
             max_message_size: ee_ext.max_message_size,
             peer_identity,
             early_data_accepted: false,
+            resumed: resuming,
             forward_secret: sh.key_share.is_some(),
             timings,
             issued_ticket: None,
@@ -611,6 +612,7 @@ impl ServerHandshake {
             max_message_size: self.negotiated.max_message_size,
             peer_identity,
             early_data_accepted: false,
+            resumed: self.resumed,
             forward_secret: self.forward_secret,
             timings,
             issued_ticket,

@@ -15,15 +15,27 @@
 //!
 //! Every state machine records the per-operation timing breakdown of Table 2
 //! ([`timing::HandshakeTimings`]).
+//!
+//! The exchanges above are one-shot, in-memory state machines.  [`machine`]
+//! wraps them in **resumable, duplicate-tolerant** client/server machines that
+//! consume raw flight bytes from the wire — the form the in-band connection
+//! setup in `smt-transport` drives over a lossy fabric — and adds in-band
+//! SMT-ticket distribution so a second connection can do 0-RTT without a DNS
+//! side channel.
 
 pub mod full;
 pub mod keys;
+pub mod machine;
 pub mod messages;
 pub mod timing;
 pub mod zero_rtt;
 
 pub use full::{establish, ClientConfig, ClientHandshake, ServerConfig, ServerHandshake};
 pub use keys::{EcdhKeyPair, KeyCache};
+pub use machine::{
+    ClientFlightOutcome, ClientMachine, ClientMode, ServerFlightOutcome, ServerMachine,
+    ZeroRttContext,
+};
 pub use messages::{
     decode_flight, encode_flight, ClientHello, EncryptedExtensions, Finished, HandshakeMessage,
     NewSessionTicket, ServerHello, SmtExtensions, SmtTicket,
@@ -58,6 +70,8 @@ pub struct SessionKeys {
     pub peer_identity: Option<String>,
     /// Whether 0-RTT early data was sent/accepted in this handshake.
     pub early_data_accepted: bool,
+    /// Whether this session resumed a previous one (PSK or SMT-ticket).
+    pub resumed: bool,
     /// Whether the session's application keys are forward secret.
     pub forward_secret: bool,
     /// Per-operation timing breakdown (Table 2).

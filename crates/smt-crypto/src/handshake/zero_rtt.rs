@@ -323,6 +323,7 @@ impl ZeroRttClientHandshake {
             max_message_size: self.extensions.max_message_size,
             peer_identity: Some(self.server_name),
             early_data_accepted: true,
+            resumed: true,
             forward_secret: self.forward_secrecy,
             timings,
             issued_ticket: None,
@@ -519,6 +520,7 @@ impl ZeroRttServerHandshake {
             max_message_size: self.extensions.max_message_size,
             peer_identity: None,
             early_data_accepted: true,
+            resumed: true,
             forward_secret: self.forward_secret,
             timings,
             issued_ticket: None,

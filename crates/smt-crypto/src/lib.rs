@@ -25,7 +25,7 @@
 //! protocol engine (`smt-core`) combines these primitives with the wire formats
 //! from `smt-wire`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod aead;

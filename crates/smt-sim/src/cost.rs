@@ -4,7 +4,7 @@
 //! NICs, Linux 6.2) cannot be reproduced without the hardware, so the model
 //! captures the *structure* of the costs — what is per packet, per byte, per
 //! record, per message, and which CPU core pays it — with default magnitudes
-//! chosen so the relative results of §5 hold (see DESIGN.md §6 and
+//! chosen so the relative results of §5 hold (see DESIGN.md §7 and
 //! EXPERIMENTS.md).  Every parameter is public so the benches can sweep them.
 //!
 //! The key structural choices, mirroring the paper's analysis:

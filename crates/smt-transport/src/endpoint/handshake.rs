@@ -1,0 +1,676 @@
+//! In-band connection setup: handshake flights carried in CONTROL packets
+//! over the fabric, with clocked RTO retransmission.
+//!
+//! [`EndpointBuilder::connect`](super::EndpointBuilder::connect) and
+//! [`EndpointBuilder::accept`](super::EndpointBuilder::accept) build endpoints
+//! that establish their own keys on the wire instead of receiving them out of
+//! band.  Both backends share the machinery in this module:
+//!
+//! * **Flight carrier.** A handshake flight (the byte strings produced by
+//!   `smt_crypto::handshake::machine`) is fragmented into
+//!   [`PacketType::Control`] packets — option area: `message_id` = flight
+//!   sequence number, `message_length` = flight length, `tso_offset` =
+//!   fragment offset — and reassembled on the far side.  Flights 0/2 travel
+//!   client→server (ClientHello + optional 0-RTT record, then Finished),
+//!   flight 1 server→client (ServerHello + optional in-band SMT-ticket +
+//!   encrypted messages).
+//! * **Loss recovery.** The sender of a flight retransmits it when its RTO
+//!   (the same `rto_ns` the data path uses) expires without the next flight
+//!   arriving, and either side answers a *duplicate* of the previous flight
+//!   by resending its own — the receiver-driven half of recovery.  Duplicate
+//!   final flights are absorbed without response, so duplication faults
+//!   cannot create retransmission storms.
+//! * **Timing.** The driver stamps the virtual time of its first transmit
+//!   (client) or first ClientHello arrival (server); the difference to the
+//!   completing flight is the `rtt_ns` reported in
+//!   [`Event::HandshakeComplete`](super::Event::HandshakeComplete).
+//!
+//! The [`ZeroRttAcceptor`] is the shared server-side state of the paper's
+//! SMT-ticket handshake (§4.5.2/§4.5.3): the long-term ticket issuer plus the
+//! ClientHello-random anti-replay cache, shared by every accepted endpoint of
+//! one listener so a replayed 0-RTT first flight is rejected no matter which
+//! connection it is replayed against.
+
+use crate::stack::StackKind;
+use bytes::Bytes;
+use smt_core::segment::PathInfo;
+use smt_crypto::cert::{Identity, VerifyingKey};
+use smt_crypto::handshake::{
+    ClientConfig as CryptoClientConfig, ClientMachine, ClientMode, ReplayCache,
+    ServerConfig as CryptoServerConfig, ServerMachine, SessionKeys, SmtTicket, SmtTicketIssuer,
+    ZeroRttContext,
+};
+use smt_sim::Nanos;
+use smt_wire::{
+    max_payload_per_packet, IpHeader, Ipv4Header, OverlayTcpHeader, Packet, PacketPayload,
+    PacketType, SmtOptionArea, SmtOverlayHeader, IPV4_HEADER_LEN, SMT_OVERLAY_LEN,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Largest application payload that may piggyback as 0-RTT early data on the
+/// first flight (one TLS record).
+pub const EARLY_DATA_MAX: usize = 16 * 1024;
+
+/// Client-side configuration for [`super::EndpointBuilder::connect`].
+///
+/// A fresh configuration performs the full 1-RTT handshake; [`resume`] turns
+/// it into the SMT-ticket 0-RTT handshake that piggybacks the first queued
+/// message as early data.
+///
+/// [`resume`]: ConnectConfig::resume
+pub struct ConnectConfig {
+    pub(crate) crypto: CryptoClientConfig,
+    pub(crate) resume: Option<ResumeTicket>,
+    pub(crate) forward_secrecy: bool,
+}
+
+pub(crate) struct ResumeTicket {
+    pub(crate) ticket: SmtTicket,
+    pub(crate) now: u64,
+}
+
+impl std::fmt::Debug for ConnectConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnectConfig")
+            .field("server_name", &self.crypto.server_name)
+            .field("resume", &self.resume.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConnectConfig {
+    /// A client that authenticates the server against the internal CA.
+    pub fn new(ca_key: VerifyingKey, server_name: impl Into<String>) -> Self {
+        Self {
+            crypto: CryptoClientConfig::new(ca_key, server_name),
+            resume: None,
+            forward_secrecy: false,
+        }
+    }
+
+    /// Full control over the handshake (mTLS identity, cipher suite, PSK
+    /// resumption state, pre-generated keys, extensions).
+    pub fn from_crypto(crypto: CryptoClientConfig) -> Self {
+        Self {
+            crypto,
+            resume: None,
+            forward_secrecy: false,
+        }
+    }
+
+    /// Resumes with an SMT-ticket: the 0-RTT handshake that sends the first
+    /// queued message as early data in the very first flight.  `now` is the
+    /// client's clock for ticket expiry (same epoch as the ticket).
+    pub fn resume(mut self, ticket: SmtTicket, now: u64) -> Self {
+        self.resume = Some(ResumeTicket { ticket, now });
+        self
+    }
+
+    /// Requests the forward-secret 0-RTT variant ("Init-FS").  Must match the
+    /// server's `resumption_forward_secrecy` configuration.  Order-independent
+    /// with [`resume`](Self::resume); it only takes effect when resuming.
+    pub fn forward_secrecy(mut self, on: bool) -> Self {
+        self.forward_secrecy = on;
+        self
+    }
+
+    /// True when this configuration resumes with an SMT-ticket (0-RTT).
+    pub fn is_resumption(&self) -> bool {
+        self.resume.is_some()
+    }
+}
+
+/// The shared server-side state of the SMT-ticket 0-RTT handshake: the
+/// long-term ticket issuer and the ClientHello-random anti-replay cache
+/// (§4.5.3), shared across every endpoint accepted by one listener.
+#[derive(Clone)]
+pub struct ZeroRttAcceptor {
+    pub(crate) issuer: Arc<SmtTicketIssuer>,
+    pub(crate) replay: Arc<Mutex<ReplayCache>>,
+}
+
+impl std::fmt::Debug for ZeroRttAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZeroRttAcceptor")
+            .field("ticket_id", &self.issuer.ticket_id())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ZeroRttAcceptor {
+    /// Wraps a ticket issuer and a replay cache bounded to `replay_capacity`
+    /// ClientHello randoms.
+    pub fn new(issuer: SmtTicketIssuer, replay_capacity: usize) -> Self {
+        Self {
+            issuer: Arc::new(issuer),
+            replay: Arc::new(Mutex::new(ReplayCache::new(replay_capacity))),
+        }
+    }
+
+    /// Mints the current SMT-ticket, as the internal DNS resolver would
+    /// publish it (out-of-band distribution; accepted endpoints also splice
+    /// it into their server flight for in-band distribution).
+    pub fn ticket(&self, now: u64) -> SmtTicket {
+        self.issuer.ticket(now)
+    }
+}
+
+/// Server-side configuration for [`super::EndpointBuilder::accept`].
+pub struct AcceptConfig {
+    pub(crate) crypto: CryptoServerConfig,
+    pub(crate) acceptor: Option<ZeroRttAcceptor>,
+    pub(crate) ticket_now: u64,
+}
+
+impl std::fmt::Debug for AcceptConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AcceptConfig")
+            .field("zero_rtt", &self.acceptor.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AcceptConfig {
+    /// A server presenting `identity`, validating clients (under mTLS)
+    /// against the internal CA.
+    pub fn new(identity: Identity, ca_key: VerifyingKey) -> Self {
+        Self {
+            crypto: CryptoServerConfig::new(identity, ca_key),
+            acceptor: None,
+            ticket_now: 0,
+        }
+    }
+
+    /// Full control over the handshake (mTLS requirement, suites, PSKs,
+    /// extension limits).
+    pub fn from_crypto(crypto: CryptoServerConfig) -> Self {
+        Self {
+            crypto,
+            acceptor: None,
+            ticket_now: 0,
+        }
+    }
+
+    /// Enables SMT-ticket 0-RTT: the endpoint accepts ticket ClientHellos
+    /// through the shared `acceptor` *and* splices a fresh ticket into its
+    /// server flight so the client can resume in-band.
+    pub fn zero_rtt(mut self, acceptor: ZeroRttAcceptor) -> Self {
+        self.acceptor = Some(acceptor);
+        self
+    }
+
+    /// Sets the issue timestamp stamped on in-band minted tickets (same
+    /// epoch the resuming client passes to [`ConnectConfig::resume`]).
+    pub fn ticket_time(mut self, now: u64) -> Self {
+        self.ticket_now = now;
+        self
+    }
+}
+
+/// Everything a completed in-band handshake hands to the owning endpoint.
+pub(crate) struct HandshakeResult {
+    pub keys: SessionKeys,
+    /// Virtual time between this side's first handshake action and
+    /// completion.
+    pub rtt_ns: Nanos,
+    /// Whether the session was resumed (PSK or SMT-ticket).
+    pub resumed: bool,
+    /// In-band SMT-ticket received from the server (client side only).
+    pub ticket: Option<SmtTicket>,
+    /// Whether this (client) side piggybacked early data that the server
+    /// accepted.
+    pub early_data_sent: bool,
+}
+
+/// What one handled CONTROL packet produced.
+#[derive(Default)]
+pub(crate) struct DriverOutcome {
+    /// 0-RTT early data decrypted from the first flight (server side),
+    /// surfaced before the handshake completes — the point of the exchange.
+    pub early_data: Option<Vec<u8>>,
+    /// Present exactly once, when the handshake completes on this side.
+    pub complete: Option<Box<HandshakeResult>>,
+    /// A fatal handshake failure; the endpoint goes dead.
+    pub error: Option<String>,
+}
+
+enum Role {
+    Client {
+        pending: Option<Box<(CryptoClientConfig, Option<ResumeTicket>, bool)>>,
+        machine: Option<Box<ClientMachine>>,
+    },
+    Server {
+        machine: Box<ServerMachine>,
+        acceptor: Option<ZeroRttAcceptor>,
+    },
+}
+
+/// Reassembly state of one incoming flight.
+struct FlightRx {
+    total: usize,
+    frags: BTreeMap<usize, Bytes>,
+}
+
+impl FlightRx {
+    fn new(total: usize) -> Self {
+        Self {
+            total,
+            frags: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, offset: usize, data: &Bytes) {
+        self.frags.entry(offset).or_insert_with(|| data.clone());
+    }
+
+    /// Returns the flight bytes once the fragments cover `[0, total)`.
+    fn try_assemble(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.total);
+        for (&off, frag) in &self.frags {
+            if off > out.len() {
+                return None; // Gap.
+            }
+            if off + frag.len() > out.len() {
+                out.extend_from_slice(&frag[out.len() - off..]);
+            }
+        }
+        (out.len() >= self.total).then_some(out)
+    }
+}
+
+/// The per-endpoint in-band handshake driver: owns the state machine, the
+/// flight carrier and the retransmission timer.  The endpoint backends route
+/// CONTROL packets here and merge the driver's counters into their stats.
+pub(crate) struct HandshakeDriver {
+    role: Role,
+    path: PathInfo,
+    mtu: usize,
+    proto: u8,
+    rto_ns: Nanos,
+    deadline: Option<Nanos>,
+    started_at: Option<Nanos>,
+    outbox: VecDeque<Packet>,
+    last_flight: Vec<Packet>,
+    last_flight_seq: u64,
+    rx_expected: u64,
+    rx: Option<FlightRx>,
+    complete: bool,
+    failed: bool,
+    early_sent: bool,
+    // Counters merged into the owning endpoint's EndpointStats.
+    pub retransmissions: u64,
+    pub timeouts_fired: u64,
+    pub wire_bytes_sent: u64,
+    pub wire_bytes_received: u64,
+    pub datagrams_dropped: u64,
+}
+
+impl std::fmt::Debug for HandshakeDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandshakeDriver")
+            .field("client", &matches!(self.role, Role::Client { .. }))
+            .field("complete", &self.complete)
+            .field("failed", &self.failed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HandshakeDriver {
+    /// A client driver; the first flight is built lazily at the first
+    /// `poll_transmit` so queued application data can piggyback as 0-RTT
+    /// early data.
+    pub fn client(
+        config: ConnectConfig,
+        path: PathInfo,
+        mtu: usize,
+        proto: u8,
+        rto_ns: Nanos,
+    ) -> Self {
+        Self::new(
+            Role::Client {
+                pending: Some(Box::new((
+                    config.crypto,
+                    config.resume,
+                    config.forward_secrecy,
+                ))),
+                machine: None,
+            },
+            1,
+            path,
+            mtu,
+            proto,
+            rto_ns,
+        )
+    }
+
+    /// A server driver awaiting a ClientHello flight.
+    pub fn server(
+        config: AcceptConfig,
+        path: PathInfo,
+        mtu: usize,
+        proto: u8,
+        rto_ns: Nanos,
+    ) -> Self {
+        let ticket = config
+            .acceptor
+            .as_ref()
+            .map(|a| a.issuer.ticket(config.ticket_now));
+        Self::new(
+            Role::Server {
+                machine: Box::new(ServerMachine::new(config.crypto, ticket)),
+                acceptor: config.acceptor,
+            },
+            0,
+            path,
+            mtu,
+            proto,
+            rto_ns,
+        )
+    }
+
+    fn new(
+        role: Role,
+        rx_expected: u64,
+        path: PathInfo,
+        mtu: usize,
+        proto: u8,
+        rto_ns: Nanos,
+    ) -> Self {
+        Self {
+            role,
+            path,
+            mtu,
+            proto,
+            rto_ns: rto_ns.max(1),
+            deadline: None,
+            started_at: None,
+            outbox: VecDeque::new(),
+            last_flight: Vec::new(),
+            last_flight_seq: 0,
+            rx_expected,
+            rx: None,
+            complete: false,
+            failed: false,
+            early_sent: false,
+            retransmissions: 0,
+            timeouts_fired: 0,
+            wire_bytes_sent: 0,
+            wire_bytes_received: 0,
+            datagrams_dropped: 0,
+        }
+    }
+
+    /// True while the handshake is neither complete nor failed — application
+    /// data must be queued, not transmitted.
+    pub fn in_progress(&self) -> bool {
+        !self.complete && !self.failed
+    }
+
+    /// True when this is a client driver that has not built its first flight
+    /// yet.
+    pub fn needs_start(&self) -> bool {
+        matches!(
+            &self.role,
+            Role::Client {
+                pending: Some(_),
+                ..
+            }
+        )
+    }
+
+    /// True when the pending client start resumes with an SMT-ticket, i.e.
+    /// the first queued message can ride as 0-RTT early data.
+    pub fn wants_early_data(&self) -> bool {
+        match &self.role {
+            Role::Client {
+                pending: Some(boxed),
+                ..
+            } => boxed.1.is_some(),
+            _ => false,
+        }
+    }
+
+    /// Builds and queues the first client flight at virtual time `now`,
+    /// piggybacking `early_data` when resuming.  Returns an error message on
+    /// failure (expired ticket, bad configuration); the endpoint goes dead.
+    pub fn start_client(&mut self, now: Nanos, early_data: Option<Vec<u8>>) -> Result<(), String> {
+        let Role::Client { pending, machine } = &mut self.role else {
+            return Ok(());
+        };
+        let Some(boxed) = pending.take() else {
+            return Ok(());
+        };
+        let (crypto, resume, forward_secrecy) = *boxed;
+        let mode = match resume {
+            None => ClientMode::Full,
+            Some(r) => ClientMode::ZeroRtt {
+                ticket: r.ticket,
+                early_data: early_data.clone().unwrap_or_default(),
+                forward_secrecy,
+                now: r.now,
+            },
+        };
+        self.early_sent = early_data.is_some_and(|d| !d.is_empty());
+        match ClientMachine::start(crypto, mode) {
+            Ok((m, flight)) => {
+                *machine = Some(Box::new(m));
+                self.started_at = Some(now);
+                self.set_flight(0, &flight);
+                self.deadline = Some(now + self.rto_ns);
+                Ok(())
+            }
+            Err(e) => {
+                self.failed = true;
+                Err(format!("handshake start failed: {e}"))
+            }
+        }
+    }
+
+    /// Handles one CONTROL packet at virtual time `now`.
+    pub fn handle_control(&mut self, packet: &Packet, now: Nanos) -> DriverOutcome {
+        let mut outcome = DriverOutcome::default();
+        let Some(data) = packet.payload.as_data() else {
+            return outcome;
+        };
+        self.wire_bytes_received += data.len() as u64;
+        if self.failed {
+            self.datagrams_dropped += 1;
+            return outcome;
+        }
+        let seq = packet.overlay.options.message_id;
+        let total = packet.overlay.options.message_length as usize;
+        let offset = packet.overlay.options.tso_offset as usize;
+        if seq < self.rx_expected {
+            // A duplicate of a flight we already answered: if our own next
+            // flight is that answer, resend it (the peer evidently lost it).
+            // Only the flight's first fragment triggers the resend, so a
+            // k-fragment duplicate costs one reply, not k.  Duplicates of the
+            // final flight are absorbed silently so duplication faults cannot
+            // ping-pong forever.
+            if seq + 1 == self.last_flight_seq && !self.last_flight.is_empty() && offset == 0 {
+                self.retransmissions += self.last_flight.len() as u64;
+                self.outbox.extend(self.last_flight.iter().cloned());
+            }
+            return outcome;
+        }
+        if seq != self.rx_expected || total == 0 {
+            // A flight from the future (or malformed): unusable.
+            self.datagrams_dropped += 1;
+            return outcome;
+        }
+        let rx = self.rx.get_or_insert_with(|| FlightRx::new(total));
+        rx.insert(offset, data);
+        let Some(flight) = rx.try_assemble() else {
+            return outcome;
+        };
+        self.rx = None;
+        // Flight sequence numbers alternate directions (client 0 → server 1 →
+        // client 2), so the next flight *we* can receive is two ahead.
+        self.rx_expected = seq + 2;
+
+        // Drive the state machine with the assembled flight.
+        let mut reply: Option<(u64, Vec<u8>)> = None;
+        let mut completion: Option<(SessionKeys, bool, Option<SmtTicket>)> = None;
+        let mut first_arrival = false;
+        match &mut self.role {
+            Role::Client { machine, .. } => {
+                let Some(machine) = machine.as_mut() else {
+                    self.datagrams_dropped += 1;
+                    return outcome;
+                };
+                match machine.on_server_flight(&flight) {
+                    Ok(out) => {
+                        if let Some(fin) = out.reply {
+                            reply = Some((2, fin));
+                        }
+                        if let Some(keys) = out.keys {
+                            completion = Some((*keys, machine.resumed(), out.ticket));
+                        }
+                    }
+                    Err(e) => outcome.error = Some(format!("handshake failed: {e}")),
+                }
+            }
+            Role::Server { machine, acceptor } => {
+                first_arrival = true;
+                let result = match acceptor {
+                    Some(a) => {
+                        let mut replay = a.replay.lock().expect("replay cache lock");
+                        machine.on_flight(
+                            &flight,
+                            Some(ZeroRttContext {
+                                issuer: &a.issuer,
+                                replay: &mut replay,
+                            }),
+                        )
+                    }
+                    None => machine.on_flight(&flight, None),
+                };
+                match result {
+                    Ok(out) => {
+                        outcome.early_data = out.early_data;
+                        if let Some(bytes) = out.reply {
+                            reply = Some((1, bytes));
+                        }
+                        if let Some(keys) = out.keys {
+                            completion = Some((*keys, machine.resumed(), None));
+                        }
+                    }
+                    Err(e) => outcome.error = Some(format!("handshake failed: {e}")),
+                }
+            }
+        }
+
+        if outcome.error.is_some() {
+            self.failed = true;
+            self.deadline = None;
+            return outcome;
+        }
+        if first_arrival && self.started_at.is_none() {
+            self.started_at = Some(now);
+        }
+        if let Some((seq, bytes)) = reply {
+            self.set_flight(seq, &bytes);
+            if !self.complete {
+                self.deadline = Some(now + self.rto_ns);
+            }
+        }
+        if let Some((keys, resumed, ticket)) = completion {
+            self.complete = true;
+            self.deadline = None;
+            let rtt_ns = now.saturating_sub(self.started_at.unwrap_or(now));
+            outcome.complete = Some(Box::new(HandshakeResult {
+                keys,
+                rtt_ns,
+                resumed,
+                ticket,
+                early_data_sent: self.early_sent,
+            }));
+        }
+        outcome
+    }
+
+    /// Appends every queued handshake packet to `out`.
+    pub fn poll_transmit(&mut self, out: &mut Vec<Packet>) -> usize {
+        let n = self.outbox.len();
+        for p in self.outbox.drain(..) {
+            self.wire_bytes_sent += p.payload.wire_len() as u64;
+            out.push(p);
+        }
+        n
+    }
+
+    /// The armed retransmission deadline, if the handshake is in flight.
+    pub fn next_timeout(&self) -> Option<Nanos> {
+        if self.in_progress() {
+            self.deadline
+        } else {
+            None
+        }
+    }
+
+    /// Fires the retransmission timer: re-queues the current flight.
+    pub fn on_timeout(&mut self, now: Nanos) {
+        if !self.in_progress() {
+            return;
+        }
+        let Some(deadline) = self.deadline else {
+            return;
+        };
+        if now < deadline || self.last_flight.is_empty() {
+            return;
+        }
+        self.timeouts_fired += 1;
+        self.retransmissions += self.last_flight.len() as u64;
+        self.outbox.extend(self.last_flight.iter().cloned());
+        self.deadline = Some(now + self.rto_ns);
+    }
+
+    /// Fragments `bytes` into CONTROL packets, records them as the current
+    /// outgoing flight and queues them for transmission.
+    fn set_flight(&mut self, seq: u64, bytes: &[u8]) {
+        debug_assert!(!bytes.is_empty(), "handshake flights are never empty");
+        let per = max_payload_per_packet(self.mtu).max(1);
+        let total = bytes.len() as u32;
+        let mut packets = Vec::with_capacity(bytes.len().div_ceil(per));
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let take = per.min(bytes.len() - off);
+            let mut options = SmtOptionArea::new(seq, total);
+            options.tso_offset = off as u32;
+            let overlay = SmtOverlayHeader {
+                tcp: OverlayTcpHeader::new(
+                    self.path.src_port,
+                    self.path.dst_port,
+                    PacketType::Control,
+                ),
+                options,
+            };
+            packets.push(Packet {
+                ip: IpHeader::V4(Ipv4Header::new(
+                    self.path.src,
+                    self.path.dst,
+                    self.proto,
+                    (IPV4_HEADER_LEN + SMT_OVERLAY_LEN + take) as u16,
+                )),
+                overlay,
+                payload: PacketPayload::Data(Bytes::copy_from_slice(&bytes[off..off + take])),
+                corrupted: false,
+            });
+            off += take;
+        }
+        self.last_flight = packets.clone();
+        self.last_flight_seq = seq;
+        self.outbox.extend(packets);
+    }
+}
+
+/// Computes the per-stack transport protocol number stamped on handshake
+/// CONTROL packets (cosmetic — the fabric routes by port).
+pub(crate) fn control_proto(stack: StackKind) -> u8 {
+    if stack.is_message_based() {
+        smt_wire::IPPROTO_SMT
+    } else {
+        smt_wire::IPPROTO_TCP
+    }
+}

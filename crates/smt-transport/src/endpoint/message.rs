@@ -8,21 +8,51 @@
 //! virtual time whenever sends are unacknowledged or receives incomplete) and
 //! converts deliveries/acks into [`Event`]s so the stack can be driven through
 //! the uniform [`SecureEndpoint`] contract.
+//!
+//! Endpoints built via [`super::EndpointBuilder::connect`] /
+//! [`super::EndpointBuilder::accept`] start **unkeyed**: a
+//! [`HandshakeDriver`] runs the in-band handshake in CONTROL packets while
+//! application sends queue.  When the client resumes with an SMT-ticket, the
+//! first queued message piggybacks on the ClientHello flight as 0-RTT early
+//! data — the paper's first-RTT-data property (§4.5.2) — and is delivered at
+//! the server before the handshake even completes.  On completion the
+//! negotiated keys build the [`HomaEndpoint`], queued messages flush through
+//! it, and a real [`Event::HandshakeComplete`] (measured `rtt_ns`, `resumed`
+//! flag) is emitted.  Because the underlying session numbers its messages
+//! from zero, the endpoint tracks a small send/receive ID offset so the
+//! early-data message and the flushed queue keep the IDs the application was
+//! promised.
 
-use super::{EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint};
+use super::handshake::{control_proto, HandshakeDriver};
+use super::{
+    missing_keys, EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint,
+};
 use crate::homa::{HomaConfig, HomaEndpoint};
 use crate::stack::StackKind;
 use smt_core::segment::PathInfo;
 use smt_core::SmtSession;
 use smt_crypto::handshake::SessionKeys;
 use smt_sim::Nanos;
-use smt_wire::Packet;
+use smt_wire::{Packet, PacketType};
 use std::collections::VecDeque;
 
 /// A [`SecureEndpoint`] over the receiver-driven message transport.
 pub struct MessageEndpoint {
     stack: StackKind,
-    inner: HomaEndpoint,
+    /// The keyed transport; `None` while the in-band handshake is running.
+    inner: Option<HomaEndpoint>,
+    /// The in-band handshake driver; `None` on key-injected endpoints.
+    hs: Option<HandshakeDriver>,
+    /// Sends queued while the handshake runs, keyed by their public ID.
+    queued: VecDeque<(u64, Vec<u8>)>,
+    next_public_id: u64,
+    /// Public ID = session ID + offset, on the send side (1 after 0-RTT
+    /// early data consumed the first public ID without entering the session).
+    tx_id_offset: u64,
+    /// Same offset on the receive side (1 after early data was accepted).
+    rx_id_offset: u64,
+    config: HomaConfig,
+    path: PathInfo,
     outbox: VecDeque<Packet>,
     events: VecDeque<Event>,
     nic_queues: usize,
@@ -33,12 +63,18 @@ pub struct MessageEndpoint {
     rto_deadline: Option<Nanos>,
     /// Timers that fired and queued recovery traffic.
     timeouts_fired: u64,
+    /// Counters for traffic the session never sees (early data, unkeyed
+    /// drops), merged into [`EndpointStats`].
+    extra: EndpointStats,
+    /// Set after a fatal handshake failure; all traffic is dropped.
+    dead: bool,
 }
 
 impl std::fmt::Debug for MessageEndpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MessageEndpoint")
             .field("stack", &self.stack)
+            .field("established", &self.inner.is_some())
             .field("outbox", &self.outbox.len())
             .field("events", &self.events.len())
             .field("rto_deadline", &self.rto_deadline)
@@ -47,7 +83,8 @@ impl std::fmt::Debug for MessageEndpoint {
 }
 
 impl MessageEndpoint {
-    /// Builds the backend for one of the message-based stacks.
+    /// Builds the backend for one of the message-based stacks from
+    /// out-of-band handshake keys (the key-injection fast path).
     pub(crate) fn new(
         stack: StackKind,
         keys: Option<&SessionKeys>,
@@ -63,47 +100,128 @@ impl MessageEndpoint {
                 Some(Event::HandshakeComplete {
                     peer_identity: keys.peer_identity.clone(),
                     forward_secret: keys.forward_secret,
+                    rtt_ns: 0,
+                    resumed: keys.resumed,
                 }),
             ),
-            (_, None) => {
-                return Err(EndpointError::Config(format!(
-                    "stack {} requires handshake keys",
-                    stack.label()
-                )))
-            }
+            (_, None) => return Err(missing_keys(stack)),
         };
-        let nic_queues = inner.session().config().nic_queues.max(1);
-        Ok(Self {
+        let mut ep = Self::unkeyed(stack, config, path, rto_ns);
+        ep.inner = Some(inner);
+        ep.events = handshake.into_iter().collect();
+        Ok(ep)
+    }
+
+    /// Builds an endpoint that runs the in-band handshake as the client.
+    pub(crate) fn connect(
+        stack: StackKind,
+        config: super::ConnectConfig,
+        homa: HomaConfig,
+        path: PathInfo,
+        rto_ns: Nanos,
+    ) -> EndpointResult<Self> {
+        debug_assert!(stack.is_message_based());
+        let mut ep = Self::unkeyed(stack, homa, path, rto_ns);
+        if stack.is_encrypted() {
+            ep.hs = Some(HandshakeDriver::client(
+                config,
+                path,
+                homa.mtu,
+                control_proto(stack),
+                rto_ns,
+            ));
+        } else {
+            ep.inner = Some(HomaEndpoint::plaintext(homa, path));
+        }
+        Ok(ep)
+    }
+
+    /// Builds an endpoint that runs the in-band handshake as the server.
+    pub(crate) fn accept(
+        stack: StackKind,
+        config: super::AcceptConfig,
+        homa: HomaConfig,
+        path: PathInfo,
+        rto_ns: Nanos,
+    ) -> EndpointResult<Self> {
+        debug_assert!(stack.is_message_based());
+        let mut ep = Self::unkeyed(stack, homa, path, rto_ns);
+        if stack.is_encrypted() {
+            ep.hs = Some(HandshakeDriver::server(
+                config,
+                path,
+                homa.mtu,
+                control_proto(stack),
+                rto_ns,
+            ));
+        } else {
+            ep.inner = Some(HomaEndpoint::plaintext(homa, path));
+        }
+        Ok(ep)
+    }
+
+    fn unkeyed(stack: StackKind, config: HomaConfig, path: PathInfo, rto_ns: Nanos) -> Self {
+        // The session configuration HomaEndpoint will build with, so the NIC
+        // queue count is known before the keys are.
+        let smt_config = crate::homa::base_smt_config(stack);
+        Self {
             stack,
-            inner,
+            inner: None,
+            hs: None,
+            queued: VecDeque::new(),
+            next_public_id: 0,
+            tx_id_offset: 0,
+            rx_id_offset: 0,
+            config,
+            path,
             outbox: VecDeque::new(),
-            events: handshake.into_iter().collect(),
-            nic_queues,
+            events: VecDeque::new(),
+            nic_queues: smt_config.nic_queues.max(1),
             next_queue: 0,
             rto_ns: rto_ns.max(1),
             rto_deadline: None,
             timeouts_fired: 0,
-        })
+            extra: EndpointStats::default(),
+            dead: false,
+        }
     }
 
     /// The underlying SMT session (replay checks, flow contexts, raw stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics while an in-band handshake is still establishing the session;
+    /// gate on [`MessageEndpoint::is_established`] first.
     pub fn session(&self) -> &SmtSession {
-        self.inner.session()
+        self.inner
+            .as_ref()
+            .expect("session not established yet (in-band handshake in progress)")
+            .session()
+    }
+
+    /// True once the session keys are installed and the transport is live.
+    pub fn is_established(&self) -> bool {
+        self.inner.is_some()
     }
 
     /// NIC model statistics (TSO expansion, offload records, resyncs).
     pub fn nic_stats(&self) -> smt_sim::nic::NicStats {
-        self.inner.nic_stats()
+        self.inner
+            .as_ref()
+            .map(|i| i.nic_stats())
+            .unwrap_or_default()
     }
 
     /// Messages with unacknowledged send state.
     pub fn pending_sends(&self) -> usize {
-        self.inner.pending_sends()
+        self.inner.as_ref().map_or(0, |i| i.pending_sends())
     }
 
     /// True while sends are unacknowledged or receives incomplete.
     fn work_outstanding(&self) -> bool {
-        self.inner.pending_sends() > 0 || self.inner.incomplete_recvs() > 0
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.pending_sends() > 0 || i.incomplete_recvs() > 0)
     }
 
     /// Re-evaluates the timer after an arrival at time `now`.  Arrivals never
@@ -120,15 +238,106 @@ impl MessageEndpoint {
     }
 
     fn pump(&mut self) {
-        for m in self.inner.take_delivered() {
+        let Some(inner) = &mut self.inner else {
+            return;
+        };
+        for m in inner.take_delivered() {
             self.events.push_back(Event::MessageDelivered {
-                id: MessageId(m.message_id),
+                id: MessageId(m.message_id + self.rx_id_offset),
                 data: m.data,
             });
         }
-        for id in self.inner.take_acked() {
-            self.events.push_back(Event::MessageAcked(MessageId(id)));
+        for id in inner.take_acked() {
+            self.events
+                .push_back(Event::MessageAcked(MessageId(id + self.tx_id_offset)));
         }
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.dead = true;
+        self.events.push_back(Event::Error(msg));
+    }
+
+    /// Takes the first queued message as 0-RTT early data, if it fits in one
+    /// record.
+    fn take_early_candidate(&mut self) -> Option<Vec<u8>> {
+        match self.queued.front() {
+            Some((0, data)) if data.len() <= super::handshake::EARLY_DATA_MAX => {
+                let (_, data) = self.queued.pop_front().expect("checked front");
+                self.extra.messages_sent += 1;
+                self.extra.bytes_sent += data.len() as u64;
+                Some(data)
+            }
+            _ => None,
+        }
+    }
+
+    /// Applies the effects of one handled handshake CONTROL packet.
+    fn apply_hs_outcome(&mut self, outcome: super::handshake::DriverOutcome, now: Nanos) {
+        if let Some(early) = outcome.early_data {
+            self.rx_id_offset = 1;
+            self.extra.messages_delivered += 1;
+            self.extra.bytes_delivered += early.len() as u64;
+            self.events.push_back(Event::MessageDelivered {
+                id: MessageId(0),
+                data: early,
+            });
+        }
+        if let Some(err) = outcome.error {
+            self.fail(err);
+            return;
+        }
+        let Some(result) = outcome.complete else {
+            return;
+        };
+        let inner = match HomaEndpoint::new(&result.keys, self.stack, self.config, self.path) {
+            Ok(inner) => inner,
+            Err(e) => {
+                self.fail(format!("installing negotiated keys failed: {e}"));
+                return;
+            }
+        };
+        self.events.push_back(Event::HandshakeComplete {
+            peer_identity: result.keys.peer_identity.clone(),
+            forward_secret: result.keys.forward_secret,
+            rtt_ns: result.rtt_ns,
+            resumed: result.resumed,
+        });
+        if let Some(ticket) = result.ticket {
+            self.events
+                .push_back(Event::TicketReceived(Box::new(ticket)));
+        }
+        if result.early_data_sent {
+            // The server flight proves the 0-RTT record was accepted and
+            // decrypted; the piggybacked message is done end to end.
+            self.tx_id_offset = 1;
+            self.events.push_back(Event::MessageAcked(MessageId(0)));
+        }
+        self.inner = Some(inner);
+        // Flush the sends that queued during the handshake.
+        for (public_id, data) in std::mem::take(&mut self.queued) {
+            match self.inner_send(&data) {
+                Ok(id) => debug_assert_eq!(id, public_id, "flushed send kept its public ID"),
+                Err(e) => {
+                    self.fail(format!("flushing queued send failed: {e}"));
+                    return;
+                }
+            }
+        }
+        if self.work_outstanding() && self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto_ns);
+        }
+    }
+
+    /// Sends through the established session, returning the public ID.
+    fn inner_send(&mut self, data: &[u8]) -> EndpointResult<u64> {
+        // Spread messages across the NIC TX queues round-robin, one queue per
+        // message (§4.4.2: all segments of a message share a queue).
+        let queue = self.next_queue;
+        self.next_queue = (self.next_queue + 1) % self.nic_queues;
+        let inner = self.inner.as_mut().expect("established");
+        let id = inner.send_message(data, queue)?;
+        Ok(id + self.tx_id_offset)
     }
 }
 
@@ -138,29 +347,73 @@ impl SecureEndpoint for MessageEndpoint {
     }
 
     fn send(&mut self, data: &[u8], now: Nanos) -> EndpointResult<MessageId> {
-        // Spread messages across the NIC TX queues round-robin, one queue per
-        // message (§4.4.2: all segments of a message share a queue).
-        let queue = self.next_queue;
-        self.next_queue = (self.next_queue + 1) % self.nic_queues;
-        let id = self.inner.send_message(data, queue)?;
-        if self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.rto_ns);
+        if self.dead {
+            return Err(EndpointError::Config(
+                "endpoint is dead (handshake failed)".into(),
+            ));
         }
+        if self.inner.is_some() {
+            let id = self.inner_send(data)?;
+            self.next_public_id = self.next_public_id.max(id + 1);
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(now + self.rto_ns);
+            }
+            return Ok(MessageId(id));
+        }
+        // Handshake still running: queue; the first queued message may ride
+        // the ClientHello flight as 0-RTT early data.
+        let id = self.next_public_id;
+        self.next_public_id += 1;
+        self.queued.push_back((id, data.to_vec()));
         Ok(MessageId(id))
     }
 
     fn handle_datagram(&mut self, datagram: &Packet, now: Nanos) -> EndpointResult<()> {
-        let responses = self.inner.handle_packet(datagram);
+        if datagram.overlay.tcp.packet_type == PacketType::Control {
+            if let Some(mut hs) = self.hs.take() {
+                let outcome = hs.handle_control(datagram, now);
+                self.hs = Some(hs);
+                self.apply_hs_outcome(outcome, now);
+            }
+            return Ok(());
+        }
+        if self.dead {
+            self.extra.datagrams_dropped += 1;
+            return Ok(());
+        }
+        let Some(inner) = &mut self.inner else {
+            // Data raced ahead of the handshake (reordering): the sender's
+            // retransmission machinery recovers it once keys are installed.
+            self.extra.datagrams_dropped += 1;
+            return Ok(());
+        };
+        let responses = inner.handle_packet(datagram);
         self.outbox.extend(responses);
         self.pump();
         self.rearm_after_arrival(now);
         Ok(())
     }
 
-    fn poll_transmit(&mut self, _now: Nanos, out: &mut Vec<Packet>) -> usize {
+    fn poll_transmit(&mut self, now: Nanos, out: &mut Vec<Packet>) -> usize {
         let before = out.len();
-        out.extend(self.outbox.drain(..));
-        out.extend(self.inner.poll_transmit());
+        if let Some(mut hs) = self.hs.take() {
+            if hs.needs_start() && !self.dead {
+                let early = if hs.wants_early_data() {
+                    self.take_early_candidate()
+                } else {
+                    None
+                };
+                if let Err(e) = hs.start_client(now, early) {
+                    self.fail(e);
+                }
+            }
+            hs.poll_transmit(out);
+            self.hs = Some(hs);
+        }
+        if let Some(inner) = &mut self.inner {
+            out.extend(self.outbox.drain(..));
+            out.extend(inner.poll_transmit());
+        }
         out.len() - before
     }
 
@@ -169,10 +422,14 @@ impl SecureEndpoint for MessageEndpoint {
     }
 
     fn next_timeout(&self) -> Option<Nanos> {
-        self.rto_deadline
+        let hs = self.hs.as_ref().and_then(|h| h.next_timeout());
+        [hs, self.rto_deadline].into_iter().flatten().min()
     }
 
     fn on_timeout(&mut self, now: Nanos) {
+        if let Some(hs) = &mut self.hs {
+            hs.on_timeout(now);
+        }
         let Some(deadline) = self.rto_deadline else {
             return;
         };
@@ -187,9 +444,10 @@ impl SecureEndpoint for MessageEndpoint {
         // Receiver side: request RESENDs for incomplete messages.  Sender
         // side: retransmit the unscheduled prefix of unacknowledged sends
         // (recovers fully-lost messages and lost ACKs).
-        let resends = self.inner.poll_resend();
+        let inner = self.inner.as_mut().expect("work_outstanding implies inner");
+        let resends = inner.poll_resend();
         self.outbox.extend(resends);
-        let retx = self.inner.poll_retransmit_unacked();
+        let retx = inner.poll_retransmit_unacked();
         self.outbox.extend(retx);
         // A fired timer always re-arms one full period out (work is still
         // outstanding here).
@@ -197,19 +455,28 @@ impl SecureEndpoint for MessageEndpoint {
     }
 
     fn stats(&self) -> EndpointStats {
-        let session = self.inner.session().stats();
-        let receiver = self.inner.session().receiver_stats();
-        EndpointStats {
-            messages_sent: session.messages_sent,
-            bytes_sent: session.bytes_sent,
-            wire_bytes_sent: session.wire_bytes_sent,
-            messages_delivered: session.messages_received,
-            bytes_delivered: session.bytes_received,
-            wire_bytes_received: session.wire_bytes_received,
-            replays_rejected: receiver.packets_replayed + receiver.packets_duplicate,
-            retransmissions: self.inner.retransmitted_packets(),
-            timeouts_fired: self.timeouts_fired,
-            datagrams_dropped: self.inner.recv_errors(),
+        let mut stats = self.extra;
+        if let Some(inner) = &self.inner {
+            let session = inner.session().stats();
+            let receiver = inner.session().receiver_stats();
+            stats.messages_sent += session.messages_sent;
+            stats.bytes_sent += session.bytes_sent;
+            stats.wire_bytes_sent += session.wire_bytes_sent;
+            stats.messages_delivered += session.messages_received;
+            stats.bytes_delivered += session.bytes_received;
+            stats.wire_bytes_received += session.wire_bytes_received;
+            stats.replays_rejected += receiver.packets_replayed + receiver.packets_duplicate;
+            stats.retransmissions += inner.retransmitted_packets();
+            stats.datagrams_dropped += inner.recv_errors();
         }
+        stats.timeouts_fired += self.timeouts_fired;
+        if let Some(hs) = &self.hs {
+            stats.wire_bytes_sent += hs.wire_bytes_sent;
+            stats.wire_bytes_received += hs.wire_bytes_received;
+            stats.retransmissions += hs.retransmissions;
+            stats.timeouts_fired += hs.timeouts_fired;
+            stats.datagrams_dropped += hs.datagrams_dropped;
+        }
+        stats
     }
 }

@@ -36,12 +36,14 @@
 //! (`smt_sim::net::run_scenario`) drives the same trait over arbitrary
 //! topologies and workloads.
 
+mod handshake;
 mod message;
 mod sim;
 mod stream;
 
+pub use handshake::{AcceptConfig, ConnectConfig, ZeroRttAcceptor, EARLY_DATA_MAX};
 pub use message::MessageEndpoint;
-pub use sim::scenario_endpoints;
+pub use sim::{handshake_scenario_endpoints, scenario_endpoints};
 pub use stream::StreamEndpoint;
 
 use crate::homa::HomaConfig;
@@ -49,7 +51,7 @@ use crate::stack::StackKind;
 use serde::{Deserialize, Serialize};
 use smt_core::segment::PathInfo;
 use smt_core::SmtConfig;
-use smt_crypto::handshake::SessionKeys;
+use smt_crypto::handshake::{SessionKeys, SmtTicket};
 use smt_sim::net::{Fabric, FabricStats, FaultConfig, LinkConfig};
 use smt_sim::Nanos;
 use smt_wire::Packet;
@@ -77,13 +79,29 @@ impl std::fmt::Display for MessageId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// The session's handshake keys are installed and the endpoint is ready to
-    /// send.  Emitted once, first, by every encrypted stack.
+    /// send.  Emitted once by every encrypted stack.  On key-injected
+    /// endpoints ([`EndpointBuilder::build`]) it is synthesized immediately
+    /// with `rtt_ns = 0`; on in-band endpoints ([`EndpointBuilder::connect`] /
+    /// [`EndpointBuilder::accept`]) it carries the measured setup latency.
+    /// 0-RTT early-data deliveries may precede it on the accepting side —
+    /// that is the point of the 0-RTT exchange.
     HandshakeComplete {
         /// Authenticated peer identity (certificate subject), when available.
         peer_identity: Option<String>,
         /// Whether the session's application keys are forward secret.
         forward_secret: bool,
+        /// Virtual time between this side's first handshake action (first
+        /// flight transmitted for the client, ClientHello arrival for the
+        /// server) and handshake completion.  Zero for injected keys.
+        rtt_ns: Nanos,
+        /// Whether the session resumed a previous one (PSK or SMT-ticket
+        /// 0-RTT).
+        resumed: bool,
     },
+    /// The server spliced a fresh SMT-ticket into its flight (in-band ticket
+    /// distribution): keep it and pass it to
+    /// [`ConnectConfig::resume`] to make the next connection 0-RTT.
+    TicketReceived(Box<SmtTicket>),
     /// A complete message was delivered by the receive side.
     MessageDelivered {
         /// The sender-assigned message ID.
@@ -144,6 +162,18 @@ pub enum EndpointError {
 
 /// Result alias for endpoint operations.
 pub type EndpointResult<T> = Result<T, EndpointError>;
+
+/// The error for building an encrypted endpoint without key material, naming
+/// both remedies: the in-band handshake and the key-injection fast path.
+pub(crate) fn missing_keys(stack: StackKind) -> EndpointError {
+    EndpointError::Config(format!(
+        "stack {} requires handshake keys: establish them in-band with \
+         Endpoint::builder().connect(ConnectConfig) / .accept(AcceptConfig), or inject \
+         out-of-band keys via build(Some(&keys)) / pair(..) (the key-injection fast \
+         path for tests and benches)",
+        stack.label()
+    ))
+}
 
 /// The uniform, clocked, poll-based driving contract over every evaluated
 /// stack.
@@ -428,17 +458,18 @@ impl EndpointBuilder {
         self
     }
 
-    /// Builds one endpoint.  `keys` may be `None` only for the unencrypted
-    /// stacks (TCP, Homa); every encrypted stack needs handshake keys.
+    /// Builds one endpoint from out-of-band keys — the **key-injection fast
+    /// path** used by tests and benches that measure the established data
+    /// path without paying connection setup.  `keys` may be `None` only for
+    /// the unencrypted stacks (TCP, Homa); every encrypted stack needs
+    /// handshake keys.  Production-shaped consumers establish keys in-band
+    /// with [`connect`](Self::connect) / [`accept`](Self::accept) instead.
     pub fn build(self, keys: Option<&SessionKeys>) -> EndpointResult<Endpoint> {
         let path = self.path.ok_or_else(|| {
             EndpointError::Config("endpoint path not set (builder.path(..))".into())
         })?;
         if self.stack.is_encrypted() && keys.is_none() {
-            return Err(EndpointError::Config(format!(
-                "stack {} requires handshake keys",
-                self.stack.label()
-            )));
+            return Err(missing_keys(self.stack));
         }
         let mut homa = self.homa;
         homa.mtu = self.mtu;
@@ -463,8 +494,124 @@ impl EndpointBuilder {
         }
     }
 
+    /// Builds a client endpoint that establishes its session **in-band**: the
+    /// handshake flights travel in CONTROL packets through the same fabric as
+    /// the data, covered by the endpoint's RTO/retransmit machinery.  The
+    /// message stacks piggyback the ClientHello (plus 0-RTT early data when
+    /// [`ConnectConfig::resume`]ing) on the first flight; the stream stacks
+    /// run the same exchange as a TLS-style pre-data handshake.  Application
+    /// [`send`](SecureEndpoint::send)s queue until
+    /// [`Event::HandshakeComplete`] and then flush with their promised IDs.
+    ///
+    /// For the unencrypted stacks (TCP, Homa) this simply builds a plaintext
+    /// endpoint — there is nothing to negotiate.
+    pub fn connect(self, config: ConnectConfig) -> EndpointResult<Endpoint> {
+        let path = self.path.ok_or_else(|| {
+            EndpointError::Config("endpoint path not set (builder.path(..))".into())
+        })?;
+        let mut homa = self.homa;
+        homa.mtu = self.mtu;
+        homa.tso = self.tso;
+        if self.stack.is_message_based() {
+            Ok(Endpoint::Message(Box::new(MessageEndpoint::connect(
+                self.stack,
+                config,
+                homa,
+                path,
+                self.rto_ns,
+            )?)))
+        } else {
+            Ok(Endpoint::Stream(Box::new(StreamEndpoint::connect(
+                self.stack,
+                config,
+                self.mtu,
+                self.tso,
+                path,
+                self.rto_ns,
+            )?)))
+        }
+    }
+
+    /// Builds a server endpoint that accepts one in-band handshake (the
+    /// server side of [`connect`](Self::connect)).  Give every accepted
+    /// endpoint of one listener the same [`ZeroRttAcceptor`] via
+    /// [`AcceptConfig::zero_rtt`] to accept SMT-ticket 0-RTT resumption and
+    /// to mint in-band tickets — its shared anti-replay cache is what makes a
+    /// replayed 0-RTT first flight fail no matter which endpoint it hits.
+    pub fn accept(self, config: AcceptConfig) -> EndpointResult<Endpoint> {
+        let path = self.path.ok_or_else(|| {
+            EndpointError::Config("endpoint path not set (builder.path(..))".into())
+        })?;
+        let mut homa = self.homa;
+        homa.mtu = self.mtu;
+        homa.tso = self.tso;
+        if self.stack.is_message_based() {
+            Ok(Endpoint::Message(Box::new(MessageEndpoint::accept(
+                self.stack,
+                config,
+                homa,
+                path,
+                self.rto_ns,
+            )?)))
+        } else {
+            Ok(Endpoint::Stream(Box::new(StreamEndpoint::accept(
+                self.stack,
+                config,
+                self.mtu,
+                self.tso,
+                path,
+                self.rto_ns,
+            )?)))
+        }
+    }
+
+    /// Builds a connected client/server pair that performs the handshake
+    /// in-band over the fabric, on the canonical evaluation path
+    /// ([`PathInfo::pair`]).
+    ///
+    /// ```
+    /// use smt_crypto::cert::CertificateAuthority;
+    /// use smt_transport::endpoint::{AcceptConfig, ConnectConfig};
+    /// use smt_transport::{drive_pair, take_delivered, Endpoint, Event, PairFabric,
+    ///                     SecureEndpoint, StackKind};
+    ///
+    /// let ca = CertificateAuthority::new("dc-internal-ca");
+    /// let id = ca.issue_identity("server.dc.local");
+    /// let (mut client, mut server) = Endpoint::builder()
+    ///     .stack(StackKind::SmtSw)
+    ///     .handshake_pair(
+    ///         ConnectConfig::new(ca.verifying_key(), "server.dc.local"),
+    ///         AcceptConfig::new(id, ca.verifying_key()),
+    ///         4000,
+    ///         5201,
+    ///     )
+    ///     .unwrap();
+    /// // Sends queue behind the in-band handshake and flush on completion.
+    /// client.send(b"hello in-band", 0).unwrap();
+    /// let mut link = PairFabric::reliable();
+    /// drive_pair(&mut client, &mut server, &mut link, 1_000_000);
+    /// assert_eq!(take_delivered(&mut server)[0].1, b"hello in-band");
+    /// // The client observed a real, measured handshake.
+    /// let hs = client.poll_event().unwrap();
+    /// assert!(matches!(hs, Event::HandshakeComplete { rtt_ns, resumed: false, .. } if rtt_ns > 0));
+    /// ```
+    pub fn handshake_pair(
+        self,
+        connect: ConnectConfig,
+        accept: AcceptConfig,
+        client_port: u16,
+        server_port: u16,
+    ) -> EndpointResult<(Endpoint, Endpoint)> {
+        let (client_path, server_path) = PathInfo::pair(client_port, server_port);
+        Ok((
+            self.path(client_path).connect(connect)?,
+            self.path(server_path).accept(accept)?,
+        ))
+    }
+
     /// Builds a connected client/server pair from the two ends' handshake keys
-    /// on the canonical evaluation path ([`PathInfo::pair`]).  For the
+    /// on the canonical evaluation path ([`PathInfo::pair`]) — the
+    /// key-injection fast path (see [`build`](Self::build)).  For the
     /// unencrypted stacks the keys are ignored.
     pub fn pair(
         self,

@@ -7,9 +7,13 @@
 //! the two-per-flow endpoint set `run_scenario` expects from one handshake's
 //! keys.
 
-use super::{take_delivered, Endpoint, SecureEndpoint};
+use super::{
+    take_delivered, AcceptConfig, ConnectConfig, Endpoint, SecureEndpoint, ZeroRttAcceptor,
+};
 use crate::stack::StackKind;
-use smt_crypto::handshake::SessionKeys;
+use smt_core::segment::PathInfo;
+use smt_crypto::cert::{Identity, VerifyingKey};
+use smt_crypto::handshake::{SessionKeys, SmtTicket};
 use smt_sim::net::{Scenario, SimEndpoint, SimEndpointStats};
 use smt_sim::Nanos;
 use smt_wire::Packet;
@@ -77,6 +81,50 @@ pub fn scenario_endpoints(
             .stack(stack)
             .pair(client_keys, server_keys, base, base + 1)
             .expect("valid scenario endpoint configuration");
+        endpoints.push(Box::new(client));
+        endpoints.push(Box::new(server));
+    }
+    endpoints
+}
+
+/// Builds the endpoint set for `scenario` on `stack` with **in-band**
+/// connection setup: every flow is its own connection — the client end
+/// [`ConnectConfig`]s (resuming with `resume_ticket` for 0-RTT when given),
+/// the server end [`AcceptConfig`]s through the shared `acceptor`, and the
+/// handshake flights run through the same fabric, faults and timers as the
+/// workload itself.  The setup-latency scenario family and the handshake
+/// conformance tests drive this; key-injected scenarios use
+/// [`scenario_endpoints`].
+pub fn handshake_scenario_endpoints(
+    scenario: &Scenario,
+    stack: StackKind,
+    ca_key: &VerifyingKey,
+    server_name: &str,
+    identity: &Identity,
+    acceptor: &ZeroRttAcceptor,
+    resume_ticket: Option<&SmtTicket>,
+) -> Vec<Box<dyn SimEndpoint>> {
+    let mut endpoints: Vec<Box<dyn SimEndpoint>> = Vec::with_capacity(scenario.flows.len() * 2);
+    for (flow, _) in scenario.flows.iter().enumerate() {
+        let base = 10_000u16.wrapping_add((flow as u16) * 2);
+        let (client_path, server_path) = PathInfo::pair(base, base + 1);
+        let mut connect = ConnectConfig::new(ca_key.clone(), server_name);
+        if let Some(ticket) = resume_ticket {
+            connect = connect.resume(ticket.clone(), ticket.issued_at);
+        }
+        let accept = AcceptConfig::new(identity.clone(), ca_key.clone())
+            .zero_rtt(acceptor.clone())
+            .ticket_time(resume_ticket.map_or(0, |t| t.issued_at));
+        let client = Endpoint::builder()
+            .stack(stack)
+            .path(client_path)
+            .connect(connect)
+            .expect("valid scenario connect configuration");
+        let server = Endpoint::builder()
+            .stack(stack)
+            .path(server_path)
+            .accept(accept)
+            .expect("valid scenario accept configuration");
         endpoints.push(Box::new(client));
         endpoints.push(Box::new(server));
     }

@@ -31,8 +31,21 @@
 //! The 64-bit stream offset is carried in the overlay option area: the low
 //! 32 bits in `tso_offset` and the high 32 bits in the reserved word, so the
 //! stream never wraps.
+//!
+//! Endpoints built via [`super::EndpointBuilder::connect`] /
+//! [`super::EndpointBuilder::accept`] run a **TLS-style pre-data exchange**:
+//! the [`HandshakeDriver`] carries the flights in CONTROL packets before any
+//! stream bytes flow, application sends queue meanwhile, and on completion
+//! the negotiated keys build the record layer and the queue flushes onto the
+//! stream with the message IDs the application was already given.  A client
+//! resuming with an SMT-ticket still piggybacks its first queued message as
+//! 0-RTT early data in the first flight (TLS 1.3 semantics), delivered at
+//! the server ahead of handshake completion.
 
-use super::{EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint};
+use super::handshake::{control_proto, HandshakeDriver};
+use super::{
+    missing_keys, EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint,
+};
 use crate::stack::StackKind;
 use bytes::{Bytes, BytesMut};
 use smt_core::config::CryptoMode;
@@ -58,9 +71,17 @@ pub struct StreamEndpoint {
     mtu: usize,
     tso: bool,
     nic: NicModel,
-    /// Record layer, `None` for plain TCP.
+    /// Record layer, `None` for plain TCP (or before the in-band handshake
+    /// installs the negotiated keys).
     tls_tx: Option<KtlsSender>,
     tls_rx: Option<KtlsReceiver>,
+    /// Record crypto mode of this stack, kept so the in-band handshake can
+    /// build the record layer on completion.
+    crypto_mode: Option<CryptoMode>,
+    /// The in-band handshake driver; `None` on key-injected endpoints.
+    hs: Option<HandshakeDriver>,
+    /// Sends queued while the handshake runs, with their assigned IDs.
+    queued: VecDeque<(MessageId, Vec<u8>)>,
 
     // Transmit side.
     /// Unacknowledged wire bytes; `wire[0]` is stream offset `wire_base`.
@@ -110,8 +131,22 @@ impl std::fmt::Debug for StreamEndpoint {
     }
 }
 
+/// Record crypto mode of one of the stream-based stacks.
+///
+/// User-space TLS, kTLS-sw and TCPLS all run software record crypto over the
+/// same datapath; their differences (syscall boundary, record size,
+/// multiplexing) live in the cost profiles.
+fn stack_crypto_mode(stack: StackKind) -> Option<CryptoMode> {
+    match stack {
+        StackKind::Tcp => None,
+        StackKind::KtlsHw => Some(CryptoMode::HardwareOffload),
+        _ => Some(CryptoMode::Software),
+    }
+}
+
 impl StreamEndpoint {
-    /// Builds the backend for one of the stream-based stacks.
+    /// Builds the backend for one of the stream-based stacks from out-of-band
+    /// handshake keys (the key-injection fast path).
     pub(crate) fn new(
         stack: StackKind,
         keys: Option<&SessionKeys>,
@@ -120,43 +155,80 @@ impl StreamEndpoint {
         path: PathInfo,
         rto_ns: Nanos,
     ) -> EndpointResult<Self> {
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns);
+        if let Some(mode) = ep.crypto_mode {
+            let keys = keys.ok_or_else(|| missing_keys(stack))?;
+            let session = KtlsSession::new(keys, mode)?;
+            ep.tls_tx = Some(session.sender);
+            ep.tls_rx = Some(session.receiver);
+            ep.events.push_back(Event::HandshakeComplete {
+                peer_identity: keys.peer_identity.clone(),
+                forward_secret: keys.forward_secret,
+                rtt_ns: 0,
+                resumed: keys.resumed,
+            });
+        }
+        Ok(ep)
+    }
+
+    /// Builds an endpoint that runs the in-band handshake as the client
+    /// (a TLS-style pre-data exchange before any stream bytes flow).
+    pub(crate) fn connect(
+        stack: StackKind,
+        config: super::ConnectConfig,
+        mtu: usize,
+        tso: bool,
+        path: PathInfo,
+        rto_ns: Nanos,
+    ) -> EndpointResult<Self> {
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns);
+        if ep.crypto_mode.is_some() {
+            ep.hs = Some(HandshakeDriver::client(
+                config,
+                path,
+                mtu,
+                control_proto(stack),
+                rto_ns,
+            ));
+        }
+        Ok(ep)
+    }
+
+    /// Builds an endpoint that runs the in-band handshake as the server.
+    pub(crate) fn accept(
+        stack: StackKind,
+        config: super::AcceptConfig,
+        mtu: usize,
+        tso: bool,
+        path: PathInfo,
+        rto_ns: Nanos,
+    ) -> EndpointResult<Self> {
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns);
+        if ep.crypto_mode.is_some() {
+            ep.hs = Some(HandshakeDriver::server(
+                config,
+                path,
+                mtu,
+                control_proto(stack),
+                rto_ns,
+            ));
+        }
+        Ok(ep)
+    }
+
+    fn unkeyed(stack: StackKind, mtu: usize, tso: bool, path: PathInfo, rto_ns: Nanos) -> Self {
         debug_assert!(!stack.is_message_based());
-        let crypto_mode = match stack {
-            StackKind::Tcp => None,
-            StackKind::KtlsHw => Some(CryptoMode::HardwareOffload),
-            // User-space TLS, kTLS-sw and TCPLS all run software record crypto
-            // over the same datapath; their differences (syscall boundary,
-            // record size, multiplexing) live in the cost profiles.
-            _ => Some(CryptoMode::Software),
-        };
-        let (tls_tx, tls_rx, handshake) = match crypto_mode {
-            None => (None, None, None),
-            Some(mode) => {
-                let keys = keys.ok_or_else(|| {
-                    EndpointError::Config(format!(
-                        "stack {} requires handshake keys",
-                        stack.label()
-                    ))
-                })?;
-                let session = KtlsSession::new(keys, mode)?;
-                (
-                    Some(session.sender),
-                    Some(session.receiver),
-                    Some(Event::HandshakeComplete {
-                        peer_identity: keys.peer_identity.clone(),
-                        forward_secret: keys.forward_secret,
-                    }),
-                )
-            }
-        };
-        Ok(Self {
+        Self {
             stack,
             path,
             mtu,
             tso,
             nic: NicModel::new(mtu, tso),
-            tls_tx,
-            tls_rx,
+            tls_tx: None,
+            tls_rx: None,
+            crypto_mode: stack_crypto_mode(stack),
+            hs: None,
+            queued: VecDeque::new(),
             wire: BytesMut::new(),
             wire_base: 0,
             next_send: 0,
@@ -170,10 +242,20 @@ impl StreamEndpoint {
             rto_ns: rto_ns.max(1),
             rto_deadline: None,
             sent_high: 0,
-            events: handshake.into_iter().collect(),
+            events: VecDeque::new(),
             stats: EndpointStats::default(),
             dead: false,
-        })
+        }
+    }
+
+    /// True while the in-band handshake is still running (sends must queue).
+    fn handshaking(&self) -> bool {
+        self.hs.as_ref().is_some_and(|h| h.in_progress())
+    }
+
+    /// True once the record layer (or the plain-TCP bytestream) is live.
+    pub fn is_established(&self) -> bool {
+        !self.handshaking() && !self.dead
     }
 
     /// The key material registered with the NIC for kTLS-hw, mirroring the
@@ -319,6 +401,104 @@ impl StreamEndpoint {
         self.deliver_in_order(&in_order)
     }
 
+    /// Frames `data` as message `id` and appends it to the reliable stream
+    /// (through the record layer when encrypted), returning the wire bytes
+    /// produced.
+    fn enqueue_framed(&mut self, id: MessageId, data: &[u8]) -> EndpointResult<usize> {
+        let mut framed = Vec::with_capacity(FRAME_HEADER + data.len());
+        framed.extend_from_slice(&id.0.to_be_bytes());
+        framed.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        framed.extend_from_slice(data);
+        let appended = match &mut self.tls_tx {
+            Some(tx) => tx.send_into(&framed, &mut self.wire)?,
+            None => {
+                self.wire.extend_from_slice(&framed);
+                framed.len()
+            }
+        };
+        self.inflight.push_back((id, self.produced()));
+        self.stats.wire_bytes_sent += appended as u64;
+        Ok(appended)
+    }
+
+    /// Takes the first queued message as 0-RTT early data, if it fits in one
+    /// record.
+    fn take_early_candidate(&mut self) -> Option<Vec<u8>> {
+        match self.queued.front() {
+            Some((MessageId(0), data)) if data.len() <= super::handshake::EARLY_DATA_MAX => {
+                let (_, data) = self.queued.pop_front().expect("checked front");
+                self.stats.messages_sent += 1;
+                self.stats.bytes_sent += data.len() as u64;
+                Some(data)
+            }
+            _ => None,
+        }
+    }
+
+    /// Applies the effects of one handled handshake CONTROL packet.
+    fn apply_hs_outcome(&mut self, outcome: super::handshake::DriverOutcome, now: Nanos) {
+        if let Some(early) = outcome.early_data {
+            self.stats.messages_delivered += 1;
+            self.stats.bytes_delivered += early.len() as u64;
+            self.events.push_back(Event::MessageDelivered {
+                id: MessageId(0),
+                data: early,
+            });
+        }
+        if let Some(err) = outcome.error {
+            self.dead = true;
+            self.events.push_back(Event::Error(err));
+            return;
+        }
+        let Some(result) = outcome.complete else {
+            return;
+        };
+        if let Some(mode) = self.crypto_mode {
+            match KtlsSession::new(&result.keys, mode) {
+                Ok(session) => {
+                    self.tls_tx = Some(session.sender);
+                    self.tls_rx = Some(session.receiver);
+                }
+                Err(e) => {
+                    self.dead = true;
+                    self.events.push_back(Event::Error(format!(
+                        "installing negotiated keys failed: {e}"
+                    )));
+                    return;
+                }
+            }
+        }
+        self.events.push_back(Event::HandshakeComplete {
+            peer_identity: result.keys.peer_identity.clone(),
+            forward_secret: result.keys.forward_secret,
+            rtt_ns: result.rtt_ns,
+            resumed: result.resumed,
+        });
+        if let Some(ticket) = result.ticket {
+            self.events
+                .push_back(Event::TicketReceived(Box::new(ticket)));
+        }
+        if result.early_data_sent {
+            // The server flight proves the 0-RTT record was accepted; the
+            // piggybacked message is done end to end.
+            self.events.push_back(Event::MessageAcked(MessageId(0)));
+        }
+        // Flush the sends that queued during the handshake onto the stream.
+        for (id, data) in std::mem::take(&mut self.queued) {
+            self.stats.messages_sent += 1;
+            self.stats.bytes_sent += data.len() as u64;
+            if let Err(e) = self.enqueue_framed(id, &data) {
+                self.dead = true;
+                self.events
+                    .push_back(Event::Error(format!("flushing queued send failed: {e}")));
+                return;
+            }
+        }
+        if self.produced() > self.acked && self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto_ns);
+        }
+    }
+
     fn handle_ack(&mut self, offset: u64, now: Nanos) {
         let offset = offset.min(self.produced());
         if offset <= self.acked {
@@ -360,31 +540,39 @@ impl SecureEndpoint for StreamEndpoint {
         }
         let id = MessageId(self.next_msg_id);
         self.next_msg_id += 1;
-
-        let mut framed = Vec::with_capacity(FRAME_HEADER + data.len());
-        framed.extend_from_slice(&id.0.to_be_bytes());
-        framed.extend_from_slice(&(data.len() as u32).to_be_bytes());
-        framed.extend_from_slice(data);
-
-        let appended = match &mut self.tls_tx {
-            Some(tx) => tx.send_into(&framed, &mut self.wire)?,
-            None => {
-                self.wire.extend_from_slice(&framed);
-                framed.len()
-            }
-        };
-        self.inflight.push_back((id, self.produced()));
-        if self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.rto_ns);
+        if self.handshaking() {
+            // Pre-data exchange still running: queue; the first queued
+            // message may ride the ClientHello flight as 0-RTT early data.
+            // Send counters are bumped when the bytes actually leave (flush
+            // or early-data piggyback), like the message backend.
+            self.queued.push_back((id, data.to_vec()));
+            return Ok(id);
         }
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
-        self.stats.wire_bytes_sent += appended as u64;
+        self.enqueue_framed(id, data)?;
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto_ns);
+        }
         Ok(id)
     }
 
     fn handle_datagram(&mut self, datagram: &Packet, now: Nanos) -> EndpointResult<()> {
         if self.dead {
+            self.stats.datagrams_dropped += 1;
+            return Ok(());
+        }
+        if datagram.overlay.tcp.packet_type == PacketType::Control {
+            if let Some(mut hs) = self.hs.take() {
+                let outcome = hs.handle_control(datagram, now);
+                self.hs = Some(hs);
+                self.apply_hs_outcome(outcome, now);
+            }
+            return Ok(());
+        }
+        if self.handshaking() {
+            // Stream bytes raced ahead of the pre-data exchange (reordering):
+            // the sender's go-back-N timer recovers them once keys exist.
             self.stats.datagrams_dropped += 1;
             return Ok(());
         }
@@ -400,7 +588,7 @@ impl SecureEndpoint for StreamEndpoint {
         }
     }
 
-    fn poll_transmit(&mut self, _now: Nanos, out: &mut Vec<Packet>) -> usize {
+    fn poll_transmit(&mut self, now: Nanos, out: &mut Vec<Packet>) -> usize {
         // A dead endpoint emits nothing — in particular not a pending ACK
         // covering bytes the record layer rejected, which would make the
         // sender release (and report as acknowledged) an undelivered message.
@@ -408,6 +596,24 @@ impl SecureEndpoint for StreamEndpoint {
             return 0;
         }
         let before = out.len();
+        if let Some(mut hs) = self.hs.take() {
+            if hs.needs_start() {
+                let early = if hs.wants_early_data() {
+                    self.take_early_candidate()
+                } else {
+                    None
+                };
+                if let Err(e) = hs.start_client(now, early) {
+                    self.dead = true;
+                    self.events.push_back(Event::Error(e));
+                }
+            }
+            hs.poll_transmit(out);
+            self.hs = Some(hs);
+            if self.dead {
+                return out.len() - before;
+            }
+        }
         if self.ack_pending {
             self.ack_pending = false;
             out.push(self.ack_packet());
@@ -466,7 +672,8 @@ impl SecureEndpoint for StreamEndpoint {
         if self.dead {
             return None;
         }
-        self.rto_deadline
+        let hs = self.hs.as_ref().and_then(|h| h.next_timeout());
+        [hs, self.rto_deadline].into_iter().flatten().min()
     }
 
     fn on_timeout(&mut self, now: Nanos) {
@@ -474,6 +681,9 @@ impl SecureEndpoint for StreamEndpoint {
         // cumulative ACK (the TCP retransmission timer).
         if self.dead {
             return;
+        }
+        if let Some(hs) = &mut self.hs {
+            hs.on_timeout(now);
         }
         let Some(deadline) = self.rto_deadline else {
             return;
@@ -491,6 +701,14 @@ impl SecureEndpoint for StreamEndpoint {
     }
 
     fn stats(&self) -> EndpointStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(hs) = &self.hs {
+            stats.wire_bytes_sent += hs.wire_bytes_sent;
+            stats.wire_bytes_received += hs.wire_bytes_received;
+            stats.retransmissions += hs.retransmissions;
+            stats.timeouts_fired += hs.timeouts_fired;
+            stats.datagrams_dropped += hs.datagrams_dropped;
+        }
+        stats
     }
 }

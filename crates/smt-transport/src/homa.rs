@@ -99,6 +99,17 @@ impl std::fmt::Debug for HomaEndpoint {
     }
 }
 
+/// The engine configuration a message-based stack runs with (crypto mode,
+/// NIC queues) — shared with the endpoint layer, which needs it before the
+/// session itself exists (the in-band handshake builds the session late).
+pub(crate) fn base_smt_config(stack: StackKind) -> SmtConfig {
+    match stack {
+        StackKind::SmtHw => SmtConfig::hardware_offload(),
+        StackKind::Homa => SmtConfig::plaintext(),
+        _ => SmtConfig::software(),
+    }
+}
+
 impl HomaEndpoint {
     /// Creates an encrypted endpoint (SMT-sw or SMT-hw depending on `stack`).
     ///
@@ -111,11 +122,7 @@ impl HomaEndpoint {
         config: HomaConfig,
         path: PathInfo,
     ) -> Result<Self, smt_core::SmtError> {
-        let mut smt_config = match stack {
-            StackKind::SmtHw => SmtConfig::hardware_offload(),
-            StackKind::Homa => SmtConfig::plaintext(),
-            _ => SmtConfig::software(),
-        };
+        let mut smt_config = base_smt_config(stack);
         smt_config.mtu = config.mtu;
         smt_config.tso_enabled = config.tso;
         let session = if stack == StackKind::Homa {

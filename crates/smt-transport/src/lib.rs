@@ -23,7 +23,7 @@
 //!   NIC model.  It backs the message-based endpoints; consumers reach it
 //!   through the [`endpoint`] layer.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod endpoint;
@@ -32,9 +32,9 @@ pub mod profile;
 pub mod stack;
 
 pub use endpoint::{
-    drive_pair, scenario_endpoints, take_delivered, Endpoint, EndpointBuilder, EndpointError,
-    EndpointResult, EndpointStats, Event, MessageEndpoint, MessageId, PairFabric, SecureEndpoint,
-    StreamEndpoint,
+    drive_pair, handshake_scenario_endpoints, scenario_endpoints, take_delivered, AcceptConfig,
+    ConnectConfig, Endpoint, EndpointBuilder, EndpointError, EndpointResult, EndpointStats, Event,
+    MessageEndpoint, MessageId, PairFabric, SecureEndpoint, StreamEndpoint, ZeroRttAcceptor,
 };
 pub use homa::{HomaConfig, HomaEndpoint};
 pub use profile::{RpcWorkload, StackProfile};

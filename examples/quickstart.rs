@@ -58,7 +58,7 @@ fn main() {
                 println!("delivered {id} ({} bytes)", data.len());
                 delivered += 1;
             }
-            Event::MessageAcked(_) | Event::Error(_) => {}
+            Event::MessageAcked(_) | Event::TicketReceived(_) | Event::Error(_) => {}
         }
     }
     assert_eq!(delivered, payloads.len());

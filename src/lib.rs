@@ -7,30 +7,37 @@
 //!
 //! ```
 //! use smt::crypto::cert::CertificateAuthority;
-//! use smt::crypto::handshake::{establish, ClientConfig, ServerConfig};
+//! use smt::transport::endpoint::{AcceptConfig, ConnectConfig};
 //! use smt::transport::{drive_pair, take_delivered, Endpoint, PairFabric,
 //!                      SecureEndpoint, StackKind};
 //!
-//! // 1. Establish a secure session with a TLS 1.3 handshake.
+//! // 1. A client connects and a server accepts: the TLS 1.3 handshake runs
+//! //    in-band, piggybacked on the first flight over the simulated fabric.
 //! let ca = CertificateAuthority::new("dc-internal-ca");
 //! let id = ca.issue_identity("server.dc.local");
-//! let (client_keys, server_keys) = establish(
-//!     ClientConfig::new(ca.verifying_key(), "server.dc.local"),
-//!     ServerConfig::new(id, ca.verifying_key()),
-//! ).unwrap();
-//!
-//! // 2. Register the keys with secure endpoints — any evaluated stack fits
-//! //    behind the same builder and trait — and exchange a message.
 //! let (mut client, mut server) = Endpoint::builder()
 //!     .stack(StackKind::SmtSw)
-//!     .pair(&client_keys, &server_keys, 4000, 5201)
+//!     .handshake_pair(
+//!         ConnectConfig::new(ca.verifying_key(), "server.dc.local"),
+//!         AcceptConfig::new(id, ca.verifying_key()),
+//!         4000,
+//!         5201,
+//!     )
 //!     .unwrap();
+//!
+//! // 2. Send immediately — the message queues behind the handshake — and
+//! //    drive the pair in simulated time; any evaluated stack fits behind
+//! //    the same builder and trait.
 //! client.send(b"hello datacenter", 0).unwrap();
 //! let mut link = PairFabric::reliable();
 //! drive_pair(&mut client, &mut server, &mut link, 1_000_000);
 //! let delivered = take_delivered(&mut server);
 //! assert_eq!(delivered[0].1, b"hello datacenter");
 //! ```
+//!
+//! Out-of-band keys (`smt::crypto::handshake::establish` +
+//! `Endpoint::builder().pair(..)`) remain the key-injection fast path for
+//! tests and benches that only measure the established datapath.
 
 #![forbid(unsafe_code)]
 

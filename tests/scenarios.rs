@@ -3,11 +3,15 @@
 //! and the whole simulation is bit-deterministic per seed.
 
 use proptest::prelude::*;
+use smt::crypto::cert::CertificateAuthority;
+use smt::crypto::handshake::SmtTicketIssuer;
 use smt::sim::net::{
     incast_scenario, poisson_pair_scenario, run_scenario, FaultConfig, LinkConfig, Scenario,
     ScenarioReport, SizeMix,
 };
-use smt::transport::{scenario_endpoints, StackKind};
+use smt::transport::{
+    handshake_scenario_endpoints, scenario_endpoints, StackKind, ZeroRttAcceptor,
+};
 use smt_bench::scenarios::scenario_keys;
 
 fn run_stack(scenario: &Scenario, stack: StackKind) -> ScenarioReport {
@@ -70,6 +74,49 @@ fn poisson_load_point_is_sane_on_every_stack() {
         assert!(report.goodput_gbps > 0.0);
         assert_eq!(report.retransmissions, 0, "lossless: {}", stack.label());
     }
+}
+
+/// The in-band handshake drops into the multi-host scenario harness: a lossy
+/// incast where every flow is its own connection — cold first, then resumed
+/// (0-RTT) through the same listener — and no workload message is lost even
+/// though the handshake flights themselves ride the same faulty fabric.
+#[test]
+fn incast_with_in_band_handshakes_under_loss() {
+    let ca = CertificateAuthority::new("hs-scenario-ca");
+    let identity = ca.issue_identity("scenario.dc.local");
+    let acceptor = ZeroRttAcceptor::new(SmtTicketIssuer::new(identity.clone(), 3600), 1 << 12);
+    let scenario = incast_scenario(
+        4,
+        16 * 1024,
+        2,
+        LinkConfig::default(),
+        FaultConfig::lossy(0.01, 424242),
+    );
+    let mut dropped_total = 0;
+    for stack in [StackKind::SmtSw, StackKind::KtlsSw] {
+        for ticket in [None, Some(acceptor.ticket(10))] {
+            let resumed = ticket.is_some();
+            let mut endpoints = handshake_scenario_endpoints(
+                &scenario,
+                stack,
+                &ca.verifying_key(),
+                "scenario.dc.local",
+                &identity,
+                &acceptor,
+                ticket.as_ref(),
+            );
+            let report = run_scenario(&scenario, &mut endpoints, |_, _, _, _| None);
+            assert_eq!(
+                report.messages_sent,
+                report.messages_delivered,
+                "{} resumed={resumed}: lost messages: {report:?}",
+                stack.label()
+            );
+            assert!(!report.truncated, "{} resumed={resumed}", stack.label());
+            dropped_total += report.fabric.dropped_faults;
+        }
+    }
+    assert!(dropped_total > 0, "the fault model did inject loss");
 }
 
 proptest! {

@@ -18,6 +18,7 @@ use smt_sim::net::{
     LinkConfig, Scenario, ScenarioReport, SizeMix,
 };
 use smt_sim::time::MILLISECOND;
+use smt_sim::CostModel;
 use smt_transport::{scenario_endpoints, StackKind};
 
 /// One scenario of the matrix: the description plus whether delivered
@@ -90,6 +91,14 @@ pub fn suite(smoke: bool) -> Vec<ScenarioCase> {
                 rpc_echo: false,
             });
         }
+    }
+    // Every case charges the sender CPU the calibrated cost model measured
+    // for software record sealing (the `calibrate` binary's numbers), so
+    // software-crypto stacks pay real protocol CPU in their latency while
+    // offloaded stacks — which seal no records on the host — do not.
+    let cpu = CostModel::calibrated().cpu_charge();
+    for case in &mut cases {
+        case.scenario.cpu = Some(cpu);
     }
     cases
 }

@@ -1,0 +1,450 @@
+//! A shared per-host batch crypto engine: collects record seal work from many
+//! sessions between polls and runs it as one fused pass.
+//!
+//! Per-connection sealing drives the AEAD engine with one message's records at
+//! a time: each segment batch pays its own warm-up and returns to protocol work
+//! before the next connection's records arrive, so at small record sizes the
+//! wide keystream/GHASH pipeline never stays full. The [`CryptoEngine`]
+//! inverts that structure. Connections *stage* their [`SealRequest`] work into
+//! the engine as sends arrive (copying the plaintext into a per-connection
+//! arena, with the exact wire size known up front), and the first poll that
+//! needs output calls [`CryptoEngine::flush`], which seals **everything staged
+//! by every connection** back to back in one pass. Each connection then drains
+//! its own sealed bytes — byte-identical to what its
+//! [`RecordProtector`](crate::record::RecordProtector) would have produced —
+//! and finishes its segments.
+//!
+//! Opens are not deferred (in-order delivery would stall behind the batch);
+//! receivers open immediately through their own protector and report the work
+//! with [`CryptoEngine::note_open`] so [`EngineStats`] accounts both
+//! directions.
+//!
+//! The engine itself is single-threaded state; [`CryptoEngineHandle`] wraps it
+//! in `Arc<Mutex<..>>` so endpoints on one host share it the way they would
+//! share a per-core crypto worker.
+
+use crate::record::{Padding, RecordSealer, SealRequest};
+use crate::{CryptoError, CryptoResult};
+use bytes::{Bytes, BytesMut};
+use smt_wire::{ContentType, MAX_TLS_RECORD};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Identifies one registered connection (one send direction) on an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EngineConn(usize);
+
+/// Aggregate counters for one engine.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Fused passes executed (flushes that found staged work).
+    pub flushes: u64,
+    /// Records sealed across all connections.
+    pub records_sealed: u64,
+    /// Wire bytes produced by sealing.
+    pub bytes_sealed: u64,
+    /// Largest number of records sealed in a single flush.
+    pub max_flush_records: u64,
+    /// Largest number of connections contributing to a single flush.
+    pub max_flush_conns: u64,
+    /// Flushes whose batch spanned more than one connection — the
+    /// cross-session batching the engine exists for.
+    pub multi_conn_flushes: u64,
+    /// Records opened (reported via [`CryptoEngine::note_open`]).
+    pub records_opened: u64,
+    /// Wire bytes opened.
+    pub bytes_opened: u64,
+}
+
+/// One staged record: metadata plus a plaintext range in the connection arena.
+#[derive(Debug, Clone, Copy)]
+struct StagedRecord {
+    seq: u64,
+    content_type: ContentType,
+    padding: Padding,
+    start: usize,
+    end: usize,
+}
+
+struct ConnState {
+    sealer: RecordSealer,
+    /// Concatenated staged plaintexts; cleared on every flush.
+    arena: Vec<u8>,
+    staged: Vec<StagedRecord>,
+    /// Wire bytes staged records will produce (exact, computed at stage time).
+    staged_wire: usize,
+    /// Sealed output waiting to be drained by the owning connection.
+    sealed: BytesMut,
+}
+
+/// The batch crypto engine for one host. See the module docs.
+#[derive(Default)]
+pub struct CryptoEngine {
+    conns: Vec<ConnState>,
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for CryptoEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CryptoEngine")
+            .field("conns", &self.conns.len())
+            .field("staged_records", &self.staged_records())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl CryptoEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one send direction; the engine seals staged work with the
+    /// given sealer (shared key state, so registration is cheap).
+    pub fn register(&mut self, sealer: RecordSealer) -> EngineConn {
+        self.conns.push(ConnState {
+            sealer,
+            arena: Vec::new(),
+            staged: Vec::new(),
+            staged_wire: 0,
+            sealed: BytesMut::new(),
+        });
+        EngineConn(self.conns.len() - 1)
+    }
+
+    /// Number of registered connections.
+    pub fn conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Records currently staged across all connections.
+    pub fn staged_records(&self) -> usize {
+        self.conns.iter().map(|c| c.staged.len()).sum()
+    }
+
+    /// Stages a batch of seal requests for `conn`, copying their plaintext into
+    /// the connection arena. Returns the exact number of wire bytes the batch
+    /// will produce once flushed (so callers can do inflight bookkeeping before
+    /// the ciphertext exists). Size limits are validated here; [`Self::flush`]
+    /// cannot fail.
+    pub fn stage_batch(
+        &mut self,
+        conn: EngineConn,
+        batch: &[SealRequest<'_>],
+    ) -> CryptoResult<usize> {
+        let state = self
+            .conns
+            .get_mut(conn.0)
+            .ok_or_else(|| CryptoError::Engine(format!("unknown engine conn {}", conn.0)))?;
+        let mut wire = 0usize;
+        for r in batch {
+            let len: usize = r.parts.iter().map(|p| p.len()).sum();
+            if len > MAX_TLS_RECORD {
+                return Err(CryptoError::RecordTooLarge {
+                    size: len,
+                    max: MAX_TLS_RECORD,
+                });
+            }
+            let rec_wire = state.sealer.wire_record_len_with(len, r.padding);
+            // Padding must not push the inner plaintext past the record limit
+            // either (mirrors seal_parts_into so flush cannot fail).
+            let padded = rec_wire - smt_wire::TlsRecordHeader::LEN - 1 - crate::aead::TAG_LEN;
+            if padded > MAX_TLS_RECORD {
+                return Err(CryptoError::RecordTooLarge {
+                    size: padded,
+                    max: MAX_TLS_RECORD,
+                });
+            }
+            let start = state.arena.len();
+            for part in r.parts {
+                state.arena.extend_from_slice(part);
+            }
+            state.staged.push(StagedRecord {
+                seq: r.seq,
+                content_type: r.content_type,
+                padding: r.padding,
+                start,
+                end: state.arena.len(),
+            });
+            wire += rec_wire;
+        }
+        state.staged_wire += wire;
+        Ok(wire)
+    }
+
+    /// Seals everything staged by every connection in one fused pass. Returns
+    /// the number of records sealed (0 when nothing was staged — an idle flush
+    /// is free and unaccounted). The sealed bytes wait in per-connection
+    /// buffers until [`Self::drain`].
+    pub fn flush(&mut self) -> usize {
+        let total: usize = self.staged_records();
+        if total == 0 {
+            return 0;
+        }
+        let mut flush_conns = 0u64;
+        let mut flush_bytes = 0u64;
+        for state in &mut self.conns {
+            if state.staged.is_empty() {
+                continue;
+            }
+            flush_conns += 1;
+            let parts: Vec<[&[u8]; 1]> = state
+                .staged
+                .iter()
+                .map(|r| [&state.arena[r.start..r.end]])
+                .collect();
+            let batch: Vec<SealRequest<'_>> = state
+                .staged
+                .iter()
+                .zip(parts.iter())
+                .map(|(r, p)| SealRequest {
+                    seq: r.seq,
+                    content_type: r.content_type,
+                    parts: &p[..],
+                    padding: r.padding,
+                })
+                .collect();
+            let sealed = state
+                .sealer
+                .seal_batch_into(&batch, &mut state.sealed)
+                .expect("sizes validated at stage time");
+            debug_assert_eq!(sealed, state.staged_wire);
+            flush_bytes += sealed as u64;
+            state.arena.clear();
+            state.staged.clear();
+            state.staged_wire = 0;
+        }
+        self.stats.flushes += 1;
+        self.stats.records_sealed += total as u64;
+        self.stats.bytes_sealed += flush_bytes;
+        self.stats.max_flush_records = self.stats.max_flush_records.max(total as u64);
+        self.stats.max_flush_conns = self.stats.max_flush_conns.max(flush_conns);
+        if flush_conns > 1 {
+            self.stats.multi_conn_flushes += 1;
+        }
+        total
+    }
+
+    /// Takes the sealed wire bytes waiting for `conn` (empty if none). Staged
+    /// but unflushed work is *not* included — call [`Self::flush`] first.
+    pub fn drain(&mut self, conn: EngineConn) -> Bytes {
+        match self.conns.get_mut(conn.0) {
+            Some(state) => state.sealed.split().freeze(),
+            None => Bytes::new(),
+        }
+    }
+
+    /// Wire bytes staged (unflushed) plus sealed (undrained) for `conn`.
+    pub fn pending_wire(&self, conn: EngineConn) -> usize {
+        self.conns
+            .get(conn.0)
+            .map(|c| c.staged_wire + c.sealed.len())
+            .unwrap_or(0)
+    }
+
+    /// Accounts open work performed by a receiver (opens run immediately in
+    /// the receiver's own protector to preserve in-order delivery; the engine
+    /// only keeps the books).
+    pub fn note_open(&mut self, records: usize, wire_bytes: usize) {
+        self.stats.records_opened += records as u64;
+        self.stats.bytes_opened += wire_bytes as u64;
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// A cloneable, shareable handle to one host's [`CryptoEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct CryptoEngineHandle(Arc<Mutex<CryptoEngine>>);
+
+impl CryptoEngineHandle {
+    /// Creates a handle around a fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CryptoEngine> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// See [`CryptoEngine::register`].
+    pub fn register(&self, sealer: RecordSealer) -> EngineConn {
+        self.lock().register(sealer)
+    }
+
+    /// See [`CryptoEngine::stage_batch`].
+    pub fn stage_batch(&self, conn: EngineConn, batch: &[SealRequest<'_>]) -> CryptoResult<usize> {
+        self.lock().stage_batch(conn, batch)
+    }
+
+    /// See [`CryptoEngine::flush`].
+    pub fn flush(&self) -> usize {
+        self.lock().flush()
+    }
+
+    /// See [`CryptoEngine::drain`].
+    pub fn drain(&self, conn: EngineConn) -> Bytes {
+        self.lock().drain(conn)
+    }
+
+    /// See [`CryptoEngine::pending_wire`].
+    pub fn pending_wire(&self, conn: EngineConn) -> usize {
+        self.lock().pending_wire(conn)
+    }
+
+    /// See [`CryptoEngine::note_open`].
+    pub fn note_open(&self, records: usize, wire_bytes: usize) {
+        self.lock().note_open(records, wire_bytes)
+    }
+
+    /// See [`CryptoEngine::staged_records`].
+    pub fn staged_records(&self) -> usize {
+        self.lock().staged_records()
+    }
+
+    /// See [`CryptoEngine::stats`].
+    pub fn stats(&self) -> EngineStats {
+        self.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key_schedule::{Secret, HASH_LEN};
+    use crate::record::RecordProtector;
+    use crate::suite::CipherSuite;
+
+    fn protector(seed: u8) -> RecordProtector {
+        RecordProtector::from_secret(CipherSuite::Aes128GcmSha256, &Secret([seed; HASH_LEN]))
+            .unwrap()
+    }
+
+    fn req<'a>(seq: u64, parts: &'a [&'a [u8]]) -> SealRequest<'a> {
+        SealRequest {
+            seq,
+            content_type: ContentType::ApplicationData,
+            parts,
+            padding: Padding::Default,
+        }
+    }
+
+    #[test]
+    fn engine_output_matches_direct_seal() {
+        let tx = protector(0x21);
+        let mut engine = CryptoEngine::new();
+        let conn = engine.register(tx.sealer());
+
+        let parts_a: [&[u8]; 2] = [b"hello ", b"engine"];
+        let parts_b: [&[u8]; 1] = [b"second record"];
+        let batch = [req(4, &parts_a), req(5, &parts_b)];
+        let staged_wire = engine.stage_batch(conn, &batch).unwrap();
+        assert_eq!(engine.staged_records(), 2);
+        assert_eq!(engine.pending_wire(conn), staged_wire);
+
+        // Nothing drains before the flush.
+        assert!(engine.drain(conn).is_empty());
+        assert_eq!(engine.flush(), 2);
+        let sealed = engine.drain(conn);
+        assert_eq!(sealed.len(), staged_wire);
+
+        let mut direct = BytesMut::new();
+        tx.seal_batch_into(&batch, &mut direct).unwrap();
+        assert_eq!(sealed.as_ref(), direct.as_ref());
+
+        // Drained means gone.
+        assert!(engine.drain(conn).is_empty());
+        assert_eq!(engine.pending_wire(conn), 0);
+    }
+
+    #[test]
+    fn one_flush_covers_many_connections() {
+        let tx_a = protector(1);
+        let tx_b = protector(2);
+        let mut engine = CryptoEngine::new();
+        let a = engine.register(tx_a.sealer());
+        let b = engine.register(tx_b.sealer());
+
+        let pa: [&[u8]; 1] = [b"conn a payload"];
+        let pb: [&[u8]; 1] = [b"conn b payload"];
+        engine.stage_batch(a, &[req(0, &pa)]).unwrap();
+        engine.stage_batch(b, &[req(0, &pb), req(1, &pb)]).unwrap();
+
+        // The first flush seals everything; the second finds nothing.
+        assert_eq!(engine.flush(), 3);
+        assert_eq!(engine.flush(), 0);
+
+        let stats = engine.stats();
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.records_sealed, 3);
+        assert_eq!(stats.max_flush_records, 3);
+        assert_eq!(stats.max_flush_conns, 2);
+        assert_eq!(stats.multi_conn_flushes, 1);
+
+        // Each connection drains exactly its own records.
+        let mut want_a = BytesMut::new();
+        tx_a.seal_batch_into(&[req(0, &pa)], &mut want_a).unwrap();
+        assert_eq!(engine.drain(a).as_ref(), want_a.as_ref());
+        let mut want_b = BytesMut::new();
+        tx_b.seal_batch_into(&[req(0, &pb), req(1, &pb)], &mut want_b)
+            .unwrap();
+        assert_eq!(engine.drain(b).as_ref(), want_b.as_ref());
+    }
+
+    #[test]
+    fn staging_survives_interleaved_flushes() {
+        let tx = protector(9);
+        let mut rx = protector(9);
+        let mut engine = CryptoEngine::new();
+        let conn = engine.register(tx.sealer());
+        let p: [&[u8]; 1] = [b"data"];
+        engine.stage_batch(conn, &[req(0, &p)]).unwrap();
+        engine.flush();
+        engine.stage_batch(conn, &[req(1, &p)]).unwrap();
+        engine.flush();
+        // Two flushes' output accumulates until drained, in seq order.
+        let wire = engine.drain(conn);
+        let batch = rx.open_batch(0, 2, &wire).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.get(0).unwrap().plaintext, b"data");
+        assert_eq!(engine.stats().flushes, 2);
+    }
+
+    #[test]
+    fn oversize_and_unknown_conn_rejected_at_stage_time() {
+        let tx = protector(3);
+        let mut engine = CryptoEngine::new();
+        let conn = engine.register(tx.sealer());
+        let big = vec![0u8; MAX_TLS_RECORD + 1];
+        let parts: [&[u8]; 1] = [&big];
+        assert!(matches!(
+            engine.stage_batch(conn, &[req(0, &parts)]),
+            Err(CryptoError::RecordTooLarge { .. })
+        ));
+        let small: [&[u8]; 1] = [b"x"];
+        assert!(engine
+            .stage_batch(EngineConn(99), &[req(0, &small)])
+            .is_err());
+    }
+
+    #[test]
+    fn handle_shares_one_engine_and_accounts_opens() {
+        let tx = protector(7);
+        let handle = CryptoEngineHandle::new();
+        let clone = handle.clone();
+        let conn = handle.register(tx.sealer());
+        let p: [&[u8]; 1] = [b"shared"];
+        clone.stage_batch(conn, &[req(0, &p)]).unwrap();
+        assert_eq!(handle.staged_records(), 1);
+        assert_eq!(handle.flush(), 1);
+        let wire = clone.drain(conn);
+        assert!(!wire.is_empty());
+        handle.note_open(1, wire.len());
+        let stats = clone.stats();
+        assert_eq!(stats.records_opened, 1);
+        assert_eq!(stats.bytes_opened, wire.len() as u64);
+    }
+}

@@ -34,7 +34,8 @@ pub use fabric::{
     Admission, Fabric, FabricStats, FaultConfig, FaultStats, FaultyLink, HostId, LinkConfig, PortId,
 };
 pub use scenario::{
-    run_scenario, FlowSpec, Scenario, ScenarioReport, ScheduledSend, SimEndpoint, SimEndpointStats,
+    run_scenario, CpuCharge, FlowSpec, Scenario, ScenarioReport, ScheduledSend, SimEndpoint,
+    SimEndpointStats,
 };
 pub use workload::{
     all_to_all_scenario, incast_scenario, poisson_flow, poisson_pair_scenario, SizeMix,

@@ -39,6 +39,10 @@ pub struct SimEndpointStats {
     pub messages_delivered: u64,
     /// Wire payload bytes produced by the send side.
     pub wire_bytes_sent: u64,
+    /// TLS records sealed in software by the send side (zero for plaintext
+    /// and NIC-offloaded stacks).  [`run_scenario`] charges
+    /// [`Scenario::cpu`] per record counted here.
+    pub records_sealed: u64,
 }
 
 /// The contract a protocol engine implements to live on the fabric.
@@ -96,6 +100,31 @@ pub struct ScheduledSend {
     pub size: usize,
 }
 
+/// Sender-side CPU cost charged against the virtual clock for each workload
+/// send, modelling the protocol-stack time a real host would burn sealing
+/// records before the first byte reaches the wire.
+///
+/// The per-record and per-byte terms mirror `smt_sim::cost::CostModel`'s
+/// software-crypto split (`CostModel::cpu_charge` builds one of these from
+/// the calibrated model).  The charge is applied once per scheduled send,
+/// scaled by how many records the endpoint actually sealed for it — an
+/// offloaded or plaintext stack seals zero records and pays nothing, which
+/// is exactly the asymmetry the paper's CPU-vs-latency trade-off hinges on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuCharge {
+    /// Fixed cost per sealed record (AEAD setup, framing, seqno).
+    pub sw_per_record_ns: Nanos,
+    /// Marginal cost per application byte encrypted.
+    pub sw_ns_per_byte: f64,
+}
+
+impl CpuCharge {
+    /// Nanoseconds to seal `bytes` application bytes as `records` records.
+    pub fn seal_ns(&self, bytes: u64, records: u64) -> Nanos {
+        records * self.sw_per_record_ns + (bytes as f64 * self.sw_ns_per_byte) as Nanos
+    }
+}
+
 /// A complete scenario description: topology, workload, network conditions.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scenario {
@@ -113,6 +142,11 @@ pub struct Scenario {
     pub faults: FaultConfig,
     /// Hard cap on processed events (a runaway-protocol backstop).
     pub max_events: u64,
+    /// Sender CPU cost charged per workload send, scaled by the records the
+    /// endpoint sealed for it.  `None` (the default, and what older scenario
+    /// JSON deserializes to) runs the pre-existing zero-CPU-cost model.
+    #[serde(default)]
+    pub cpu: Option<CpuCharge>,
 }
 
 impl Scenario {
@@ -126,6 +160,7 @@ impl Scenario {
             link: LinkConfig::default(),
             faults: FaultConfig::none(),
             max_events: 20_000_000,
+            cpu: None,
         }
     }
 
@@ -167,6 +202,9 @@ pub struct ScenarioReport {
     pub timeouts_fired: u64,
     /// Datagrams discarded by endpoints (auth failures, malformed).
     pub endpoint_datagrams_dropped: u64,
+    /// TLS records sealed in software, summed over all endpoints (zero for
+    /// plaintext and offloaded stacks).
+    pub records_sealed: u64,
     /// Fabric counters (offered/delivered/dropped/duplicated).
     pub fabric: FabricStats,
     /// Order-sensitive digest of the processed event sequence; equal digests
@@ -235,20 +273,33 @@ pub fn run_scenario(
     let mut bytes_delivered: u64 = 0;
     let mut scratch: Vec<Packet> = Vec::new();
 
+    // When the CPU charge is enabled: the virtual time each endpoint's CPU
+    // becomes free again, so back-to-back sends on one host serialize behind
+    // each other's sealing work (a busy core, not a busy network).
+    let mut cpu_free: Vec<Nanos> = vec![0; endpoints.len()];
+
     // Drains transmit queues and deliveries of the endpoints in `dirty`,
     // feeding transmissions into the fabric and deliveries into the latency
     // accounting (and the reply hook, which may dirty further endpoints).
+    // The two-argument form stamps this pump's transmissions with a later
+    // time — the Send arm uses it to hold a sealed burst until the sending
+    // host's CPU charge has elapsed, without warping the shared clock (which
+    // would fire every other endpoint's retransmission timers spuriously).
     macro_rules! pump {
-        ($dirty:expr) => {{
+        ($dirty:expr) => {
+            pump!($dirty, now)
+        };
+        ($dirty:expr, $t:expr) => {{
+            let t: Nanos = $t;
             let mut work: Vec<usize> = $dirty;
             while let Some(ep) = work.pop() {
                 scratch.clear();
-                if endpoints[ep].poll_transmit(now, &mut scratch) > 0 {
-                    fabric.send(now, ports[ep], std::mem::take(&mut scratch));
+                if endpoints[ep].poll_transmit(t, &mut scratch) > 0 {
+                    fabric.send(t, ports[ep], std::mem::take(&mut scratch));
                 }
                 for (id, data) in endpoints[ep].take_delivered() {
                     trace.note(trace_tag::DELIVERY);
-                    trace.note(now);
+                    trace.note(t);
                     trace.note(ep as u64);
                     trace.note(id);
                     trace.note(data.len() as u64);
@@ -258,11 +309,11 @@ pub fn run_scenario(
                         messages_delivered += 1;
                         let flow = ep / 2;
                         if let Some(start) = in_flight.remove(&(flow * 2, id)) {
-                            latencies.push(now.saturating_sub(start));
+                            latencies.push(t.saturating_sub(start));
                         }
-                        if let Some(reply) = on_deliver(flow, id, &data, now) {
-                            if let Some(rid) = endpoints[ep].send(&reply, now) {
-                                in_flight.insert((ep, rid), now);
+                        if let Some(reply) = on_deliver(flow, id, &data, t) {
+                            if let Some(rid) = endpoints[ep].send(&reply, t) {
+                                in_flight.insert((ep, rid), t);
                                 if !work.contains(&ep) {
                                     work.push(ep);
                                 }
@@ -272,15 +323,15 @@ pub fn run_scenario(
                         replies_delivered += 1;
                         let flow = ep / 2;
                         if let Some(start) = in_flight.remove(&(flow * 2 + 1, id)) {
-                            latencies.push(now.saturating_sub(start));
+                            latencies.push(t.saturating_sub(start));
                         }
                     }
                 }
                 // The reply (or an ACK queued during delivery) may have left
                 // fresh transmissions behind; one more pass catches them.
                 scratch.clear();
-                if endpoints[ep].poll_transmit(now, &mut scratch) > 0 {
-                    fabric.send(now, ports[ep], std::mem::take(&mut scratch));
+                if endpoints[ep].poll_transmit(t, &mut scratch) > 0 {
+                    fabric.send(t, ports[ep], std::mem::take(&mut scratch));
                 }
             }
         }};
@@ -330,11 +381,31 @@ pub fn run_scenario(
                 trace.note(now);
                 trace.note(ep as u64);
                 trace.note(s.size as u64);
+                let sealed_before = scenario
+                    .cpu
+                    .map(|_| endpoints[ep].sim_stats().records_sealed);
                 if let Some(id) = endpoints[ep].send(&data, now) {
                     messages_sent += 1;
                     in_flight.insert((ep, id), now);
                 }
-                pump!(vec![ep]);
+                // Charge the sender's CPU for the records this send sealed
+                // (counted by the endpoint, so offloaded and plaintext
+                // stacks pay nothing): the sealed burst leaves the host only
+                // once its core is free — consecutive sends on one endpoint
+                // queue behind each other's sealing work.
+                let mut tx_at = now;
+                if let (Some(cpu), Some(before)) = (scenario.cpu, sealed_before) {
+                    let records = endpoints[ep]
+                        .sim_stats()
+                        .records_sealed
+                        .saturating_sub(before);
+                    if records > 0 {
+                        tx_at =
+                            cpu_free[ep].max(now) + cpu.seal_ns(s.size as u64, records).min(SECOND);
+                        cpu_free[ep] = tx_at;
+                    }
+                }
+                pump!(vec![ep], tx_at);
             }
             Cause::Net => {
                 let Some((at, port, packet)) = fabric.pop_arrival() else {
@@ -367,11 +438,13 @@ pub fn run_scenario(
     let mut retransmissions = 0;
     let mut timeouts_fired = 0;
     let mut endpoint_datagrams_dropped = 0;
+    let mut records_sealed = 0;
     for ep in endpoints.iter() {
         let s = ep.sim_stats();
         retransmissions += s.retransmissions;
         timeouts_fired += s.timeouts_fired;
         endpoint_datagrams_dropped += s.datagrams_dropped;
+        records_sealed += s.records_sealed;
     }
     let duration_ns = now.max(1);
     ScenarioReport {
@@ -386,6 +459,7 @@ pub fn run_scenario(
         retransmissions,
         timeouts_fired,
         endpoint_datagrams_dropped,
+        records_sealed,
         fabric: fabric.stats,
         trace_hash: trace.digest(),
         events,
@@ -456,6 +530,9 @@ mod tests {
             self.next_id += 1;
             let p = self.packet(id, data, false);
             self.stats.wire_bytes_sent += data.len() as u64;
+            // The toy stack pretends to software-seal one record per message
+            // so the CPU-charge path is exercised without protocol crates.
+            self.stats.records_sealed += 1;
             self.outbox.push(p.clone());
             self.unacked.insert(id, (p, now));
             self.deadline = Some(
@@ -581,6 +658,35 @@ mod tests {
         assert_eq!(report.messages_delivered, 40);
         assert_eq!(report.replies_delivered, 40);
         assert_eq!(report.bytes_delivered, 2 * 40 * 600);
+    }
+
+    #[test]
+    fn cpu_charge_delays_delivery_in_proportion_to_sealed_records() {
+        let free = {
+            let s = toy_scenario(FaultConfig::none());
+            let mut eps = toy_endpoints();
+            run_scenario(&s, &mut eps, |_, _, _, _| None)
+        };
+        let charged = {
+            let mut s = toy_scenario(FaultConfig::none());
+            s.cpu = Some(CpuCharge {
+                sw_per_record_ns: 5_000,
+                sw_ns_per_byte: 1.0,
+            });
+            let mut eps = toy_endpoints();
+            run_scenario(&s, &mut eps, |_, _, _, _| None)
+        };
+        assert_eq!(free.messages_delivered, 40);
+        assert_eq!(charged.messages_delivered, 40);
+        assert_eq!(charged.records_sealed, 40);
+        // Every send sealed one record: 5 µs + 600 B × 1 ns/B = 5.6 µs of
+        // sender CPU now sits in front of each message's wire time.
+        let added_us = charged.latency.p50_us - free.latency.p50_us;
+        assert!(
+            (added_us - 5.6).abs() < 0.5,
+            "p50 grew by {added_us} µs, expected ≈5.6 µs"
+        );
+        assert_ne!(free.trace_hash, charged.trace_hash);
     }
 
     #[test]

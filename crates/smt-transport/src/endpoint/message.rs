@@ -29,9 +29,10 @@ use super::{
 };
 use crate::homa::{HomaConfig, HomaEndpoint};
 use crate::stack::StackKind;
-use smt_core::segment::PathInfo;
+use smt_core::segment::{PathInfo, StagedMessage};
 use smt_core::SmtSession;
 use smt_crypto::handshake::SessionKeys;
+use smt_crypto::{CryptoEngineHandle, EngineConn};
 use smt_sim::Nanos;
 use smt_wire::{Packet, PacketType};
 use std::collections::VecDeque;
@@ -63,6 +64,12 @@ pub struct MessageEndpoint {
     rto_deadline: Option<Nanos>,
     /// Timers that fired and queued recovery traffic.
     timeouts_fired: u64,
+    /// Shared per-host batch crypto engine, when configured on the builder.
+    engine: Option<CryptoEngineHandle>,
+    /// This session's registration with the engine (software crypto only).
+    engine_conn: Option<EngineConn>,
+    /// Messages staged with the engine, awaiting the next poll's fused flush.
+    staged: Vec<StagedMessage>,
     /// Counters for traffic the session never sees (early data, unkeyed
     /// drops), merged into [`EndpointStats`].
     extra: EndpointStats,
@@ -91,6 +98,7 @@ impl MessageEndpoint {
         config: HomaConfig,
         path: PathInfo,
         rto_ns: Nanos,
+        engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
         debug_assert!(stack.is_message_based());
         let (inner, handshake) = match (stack, keys) {
@@ -106,8 +114,9 @@ impl MessageEndpoint {
             ),
             (_, None) => return Err(missing_keys(stack)),
         };
-        let mut ep = Self::unkeyed(stack, config, path, rto_ns);
+        let mut ep = Self::unkeyed(stack, config, path, rto_ns, engine);
         ep.inner = Some(inner);
+        ep.register_engine();
         ep.events = handshake.into_iter().collect();
         Ok(ep)
     }
@@ -119,9 +128,10 @@ impl MessageEndpoint {
         homa: HomaConfig,
         path: PathInfo,
         rto_ns: Nanos,
+        engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
         debug_assert!(stack.is_message_based());
-        let mut ep = Self::unkeyed(stack, homa, path, rto_ns);
+        let mut ep = Self::unkeyed(stack, homa, path, rto_ns, engine);
         if stack.is_encrypted() {
             ep.hs = Some(HandshakeDriver::client(
                 config,
@@ -143,9 +153,10 @@ impl MessageEndpoint {
         homa: HomaConfig,
         path: PathInfo,
         rto_ns: Nanos,
+        engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
         debug_assert!(stack.is_message_based());
-        let mut ep = Self::unkeyed(stack, homa, path, rto_ns);
+        let mut ep = Self::unkeyed(stack, homa, path, rto_ns, engine);
         if stack.is_encrypted() {
             ep.hs = Some(HandshakeDriver::server(
                 config,
@@ -160,7 +171,13 @@ impl MessageEndpoint {
         Ok(ep)
     }
 
-    fn unkeyed(stack: StackKind, config: HomaConfig, path: PathInfo, rto_ns: Nanos) -> Self {
+    fn unkeyed(
+        stack: StackKind,
+        config: HomaConfig,
+        path: PathInfo,
+        rto_ns: Nanos,
+        engine: Option<CryptoEngineHandle>,
+    ) -> Self {
         // The session configuration HomaEndpoint will build with, so the NIC
         // queue count is known before the keys are.
         let smt_config = crate::homa::base_smt_config(stack);
@@ -168,6 +185,9 @@ impl MessageEndpoint {
             stack,
             inner: None,
             hs: None,
+            engine,
+            engine_conn: None,
+            staged: Vec::new(),
             queued: VecDeque::new(),
             next_public_id: 0,
             tx_id_offset: 0,
@@ -204,6 +224,20 @@ impl MessageEndpoint {
         self.inner.is_some()
     }
 
+    /// Registers this session's sender with the shared batch crypto engine,
+    /// if one was configured on the builder and the session seals in software
+    /// (plaintext Homa has nothing to seal; SMT-hw seals in the NIC).
+    fn register_engine(&mut self) {
+        let Some(engine) = &self.engine else { return };
+        let Some(inner) = &self.inner else { return };
+        if inner.session().config().crypto_mode != smt_core::config::CryptoMode::Software {
+            return;
+        }
+        if let Some(sealer) = inner.session().sender_sealer() {
+            self.engine_conn = Some(engine.register(sealer));
+        }
+    }
+
     /// NIC model statistics (TSO expansion, offload records, resyncs).
     pub fn nic_stats(&self) -> smt_sim::nic::NicStats {
         self.inner
@@ -217,11 +251,14 @@ impl MessageEndpoint {
         self.inner.as_ref().map_or(0, |i| i.pending_sends())
     }
 
-    /// True while sends are unacknowledged or receives incomplete.
+    /// True while sends are unacknowledged, receives incomplete, or messages
+    /// are staged with the batch engine awaiting the next poll's flush.
     fn work_outstanding(&self) -> bool {
-        self.inner
-            .as_ref()
-            .is_some_and(|i| i.pending_sends() > 0 || i.incomplete_recvs() > 0)
+        !self.staged.is_empty()
+            || self
+                .inner
+                .as_ref()
+                .is_some_and(|i| i.pending_sends() > 0 || i.incomplete_recvs() > 0)
     }
 
     /// Re-evaluates the timer after an arrival at time `now`.  Arrivals never
@@ -314,6 +351,7 @@ impl MessageEndpoint {
             self.events.push_back(Event::MessageAcked(MessageId(0)));
         }
         self.inner = Some(inner);
+        self.register_engine();
         // Flush the sends that queued during the handshake.
         for (public_id, data) in std::mem::take(&mut self.queued) {
             match self.inner_send(&data) {
@@ -336,8 +374,49 @@ impl MessageEndpoint {
         let queue = self.next_queue;
         self.next_queue = (self.next_queue + 1) % self.nic_queues;
         let inner = self.inner.as_mut().expect("established");
-        let id = inner.send_message(data, queue)?;
+        let id = if let (Some(engine), Some(conn)) = (&self.engine, self.engine_conn) {
+            // Stage the record seal work with the shared batch engine; the
+            // ciphertext is produced at the next poll's fused flush. The plan
+            // (IDs, segment boundaries, exact wire sizes) is final now.
+            let staged = inner.stage_message(data, queue, engine, conn)?;
+            let id = staged.message_id;
+            self.staged.push(staged);
+            id
+        } else {
+            inner.send_message(data, queue)?
+        };
         Ok(id + self.tx_id_offset)
+    }
+
+    /// Materialises engine-staged messages: runs the shared fused flush (the
+    /// first endpoint on the host to poll seals *every* registered
+    /// connection's staged records in one pass), drains this connection's
+    /// ciphertext and hands the finished messages to the transport.
+    fn flush_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let engine = self.engine.as_ref().expect("staged implies an engine");
+        let conn = self.engine_conn.expect("staged implies registration");
+        engine.flush();
+        let mut sealed = engine.drain(conn);
+        let inner = self.inner.as_mut().expect("staged implies established");
+        let mut error = None;
+        for staged in std::mem::take(&mut self.staged) {
+            match staged.finish(&mut sealed) {
+                Ok(out) => {
+                    inner.send_prepared(out);
+                }
+                Err(e) => {
+                    error = Some(format!("finishing staged message failed: {e}"));
+                    break;
+                }
+            }
+        }
+        debug_assert!(sealed.is_empty(), "drained ciphertext fully consumed");
+        if let Some(msg) = error {
+            self.fail(msg);
+        }
     }
 }
 
@@ -410,6 +489,7 @@ impl SecureEndpoint for MessageEndpoint {
             hs.poll_transmit(out);
             self.hs = Some(hs);
         }
+        self.flush_staged();
         if let Some(inner) = &mut self.inner {
             out.extend(self.outbox.drain(..));
             out.extend(inner.poll_transmit());
@@ -468,6 +548,7 @@ impl SecureEndpoint for MessageEndpoint {
             stats.replays_rejected += receiver.packets_replayed + receiver.packets_duplicate;
             stats.retransmissions += inner.retransmitted_packets();
             stats.datagrams_dropped += inner.recv_errors();
+            stats.records_sealed += session.records_sealed;
         }
         stats.timeouts_fired += self.timeouts_fired;
         if let Some(hs) = &self.hs {

@@ -144,6 +144,11 @@ pub struct EndpointStats {
     /// Received datagrams this endpoint discarded: failed authentication,
     /// malformed, or arrived after a fatal error.
     pub datagrams_dropped: u64,
+    /// TLS records sealed in software on the send side — inline or through a
+    /// shared [`crate::endpoint::EndpointBuilder::crypto_engine`].  Offloaded
+    /// stacks (NIC-sealed records) leave this at zero; the simulator uses it
+    /// to charge per-record CPU cost.
+    pub records_sealed: u64,
 }
 
 /// Errors from endpoint construction and driving.
@@ -390,7 +395,7 @@ pub fn drive_pair(
 
 /// Builds [`Endpoint`]s: picks the backing machinery for a [`StackKind`] and
 /// carries the transport knobs shared by all stacks.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EndpointBuilder {
     stack: StackKind,
     mtu: usize,
@@ -398,6 +403,7 @@ pub struct EndpointBuilder {
     homa: HomaConfig,
     path: Option<PathInfo>,
     rto_ns: Nanos,
+    engine: Option<smt_crypto::CryptoEngineHandle>,
 }
 
 impl Default for EndpointBuilder {
@@ -409,6 +415,7 @@ impl Default for EndpointBuilder {
             homa: HomaConfig::default(),
             path: None,
             rto_ns: SmtConfig::default().rto_ns(),
+            engine: None,
         }
     }
 }
@@ -458,6 +465,21 @@ impl EndpointBuilder {
         self
     }
 
+    /// Shares a per-host batch [`CryptoEngine`](smt_crypto::CryptoEngine)
+    /// with this endpoint.  Software-crypto senders built from this builder
+    /// register with the engine and **stage** their record seal work at
+    /// [`send`](SecureEndpoint::send) instead of sealing inline; the first
+    /// endpoint to [`poll_transmit`](SecureEndpoint::poll_transmit) runs one
+    /// fused pass over everything every registered connection staged since
+    /// the last poll (the cross-session batch of §4.4).  Give the *same*
+    /// handle to every endpoint co-located on a simulated host.  Endpoints
+    /// without an engine (the default) seal inline, and stacks whose crypto
+    /// is not software-sealed (TCP, Homa, SMT-hw, kTLS-hw) ignore the handle.
+    pub fn crypto_engine(mut self, engine: smt_crypto::CryptoEngineHandle) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
     /// Builds one endpoint from out-of-band keys — the **key-injection fast
     /// path** used by tests and benches that measure the established data
     /// path without paying connection setup.  `keys` may be `None` only for
@@ -481,6 +503,7 @@ impl EndpointBuilder {
                 homa,
                 path,
                 self.rto_ns,
+                self.engine,
             )?)))
         } else {
             Ok(Endpoint::Stream(Box::new(StreamEndpoint::new(
@@ -490,6 +513,7 @@ impl EndpointBuilder {
                 self.tso,
                 path,
                 self.rto_ns,
+                self.engine,
             )?)))
         }
     }
@@ -519,6 +543,7 @@ impl EndpointBuilder {
                 homa,
                 path,
                 self.rto_ns,
+                self.engine,
             )?)))
         } else {
             Ok(Endpoint::Stream(Box::new(StreamEndpoint::connect(
@@ -528,6 +553,7 @@ impl EndpointBuilder {
                 self.tso,
                 path,
                 self.rto_ns,
+                self.engine,
             )?)))
         }
     }
@@ -552,6 +578,7 @@ impl EndpointBuilder {
                 homa,
                 path,
                 self.rto_ns,
+                self.engine,
             )?)))
         } else {
             Ok(Endpoint::Stream(Box::new(StreamEndpoint::accept(
@@ -561,6 +588,7 @@ impl EndpointBuilder {
                 self.tso,
                 path,
                 self.rto_ns,
+                self.engine,
             )?)))
         }
     }
@@ -604,7 +632,7 @@ impl EndpointBuilder {
     ) -> EndpointResult<(Endpoint, Endpoint)> {
         let (client_path, server_path) = PathInfo::pair(client_port, server_port);
         Ok((
-            self.path(client_path).connect(connect)?,
+            self.clone().path(client_path).connect(connect)?,
             self.path(server_path).accept(accept)?,
         ))
     }
@@ -622,7 +650,7 @@ impl EndpointBuilder {
     ) -> EndpointResult<(Endpoint, Endpoint)> {
         let (client_path, server_path) = PathInfo::pair(client_port, server_port);
         Ok((
-            self.path(client_path).build(Some(client_keys))?,
+            self.clone().path(client_path).build(Some(client_keys))?,
             self.path(server_path).build(Some(server_keys))?,
         ))
     }
@@ -636,7 +664,7 @@ impl EndpointBuilder {
     ) -> EndpointResult<(Endpoint, Endpoint)> {
         let (client_path, server_path) = PathInfo::pair(client_port, server_port);
         Ok((
-            self.path(client_path).build(None)?,
+            self.clone().path(client_path).build(None)?,
             self.path(server_path).build(None)?,
         ))
     }

@@ -56,6 +56,7 @@ impl SimEndpoint for Endpoint {
             datagrams_dropped: s.datagrams_dropped,
             messages_delivered: s.messages_delivered,
             wire_bytes_sent: s.wire_bytes_sent,
+            records_sealed: s.records_sealed,
         }
     }
 }

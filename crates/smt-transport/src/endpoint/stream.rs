@@ -52,6 +52,7 @@ use smt_core::config::CryptoMode;
 use smt_core::ktls::{KtlsReceiver, KtlsSender, KtlsSession};
 use smt_core::segment::PathInfo;
 use smt_crypto::handshake::SessionKeys;
+use smt_crypto::{CryptoEngineHandle, EngineConn};
 use smt_sim::nic::NicModel;
 use smt_sim::Nanos;
 use smt_wire::{
@@ -80,6 +81,12 @@ pub struct StreamEndpoint {
     crypto_mode: Option<CryptoMode>,
     /// The in-band handshake driver; `None` on key-injected endpoints.
     hs: Option<HandshakeDriver>,
+    /// Shared per-host batch crypto engine, when configured on the builder.
+    engine: Option<CryptoEngineHandle>,
+    /// This sender's registration with the engine (software crypto only).
+    engine_conn: Option<EngineConn>,
+    /// Wire bytes staged with the engine but not yet flushed into `wire`.
+    staged_wire: usize,
     /// Sends queued while the handshake runs, with their assigned IDs.
     queued: VecDeque<(MessageId, Vec<u8>)>,
 
@@ -154,13 +161,15 @@ impl StreamEndpoint {
         tso: bool,
         path: PathInfo,
         rto_ns: Nanos,
+        engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
-        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns);
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, engine);
         if let Some(mode) = ep.crypto_mode {
             let keys = keys.ok_or_else(|| missing_keys(stack))?;
             let session = KtlsSession::new(keys, mode)?;
             ep.tls_tx = Some(session.sender);
             ep.tls_rx = Some(session.receiver);
+            ep.register_engine();
             ep.events.push_back(Event::HandshakeComplete {
                 peer_identity: keys.peer_identity.clone(),
                 forward_secret: keys.forward_secret,
@@ -180,8 +189,9 @@ impl StreamEndpoint {
         tso: bool,
         path: PathInfo,
         rto_ns: Nanos,
+        engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
-        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns);
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, engine);
         if ep.crypto_mode.is_some() {
             ep.hs = Some(HandshakeDriver::client(
                 config,
@@ -202,8 +212,9 @@ impl StreamEndpoint {
         tso: bool,
         path: PathInfo,
         rto_ns: Nanos,
+        engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
-        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns);
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, engine);
         if ep.crypto_mode.is_some() {
             ep.hs = Some(HandshakeDriver::server(
                 config,
@@ -216,7 +227,14 @@ impl StreamEndpoint {
         Ok(ep)
     }
 
-    fn unkeyed(stack: StackKind, mtu: usize, tso: bool, path: PathInfo, rto_ns: Nanos) -> Self {
+    fn unkeyed(
+        stack: StackKind,
+        mtu: usize,
+        tso: bool,
+        path: PathInfo,
+        rto_ns: Nanos,
+        engine: Option<CryptoEngineHandle>,
+    ) -> Self {
         debug_assert!(!stack.is_message_based());
         Self {
             stack,
@@ -228,6 +246,9 @@ impl StreamEndpoint {
             tls_rx: None,
             crypto_mode: stack_crypto_mode(stack),
             hs: None,
+            engine,
+            engine_conn: None,
+            staged_wire: 0,
             queued: VecDeque::new(),
             wire: BytesMut::new(),
             wire_base: 0,
@@ -245,6 +266,17 @@ impl StreamEndpoint {
             events: VecDeque::new(),
             stats: EndpointStats::default(),
             dead: false,
+        }
+    }
+
+    /// Registers this sender with the shared batch crypto engine, if one was
+    /// configured on the builder and the stack runs *software* record crypto
+    /// (hardware offload seals in the NIC, so there is nothing to batch).
+    fn register_engine(&mut self) {
+        let Some(engine) = &self.engine else { return };
+        let Some(tx) = &self.tls_tx else { return };
+        if self.crypto_mode == Some(CryptoMode::Software) {
+            self.engine_conn = Some(engine.register(tx.sealer()));
         }
     }
 
@@ -410,13 +442,26 @@ impl StreamEndpoint {
         framed.extend_from_slice(&(data.len() as u32).to_be_bytes());
         framed.extend_from_slice(data);
         let appended = match &mut self.tls_tx {
-            Some(tx) => tx.send_into(&framed, &mut self.wire)?,
+            Some(tx) => {
+                if let (Some(engine), Some(conn)) = (&self.engine, self.engine_conn) {
+                    // Stage the records with the shared batch engine instead
+                    // of sealing inline; the ciphertext lands in `wire` at the
+                    // next poll's fused flush. The staged size is exact, so
+                    // stream offsets can be assigned now.
+                    let n = tx.stage_into(&framed, engine, conn)?;
+                    self.staged_wire += n;
+                    n
+                } else {
+                    tx.send_into(&framed, &mut self.wire)?
+                }
+            }
             None => {
                 self.wire.extend_from_slice(&framed);
                 framed.len()
             }
         };
-        self.inflight.push_back((id, self.produced()));
+        self.inflight
+            .push_back((id, self.produced() + self.staged_wire as u64));
         self.stats.wire_bytes_sent += appended as u64;
         Ok(appended)
     }
@@ -458,6 +503,7 @@ impl StreamEndpoint {
                 Ok(session) => {
                     self.tls_tx = Some(session.sender);
                     self.tls_rx = Some(session.receiver);
+                    self.register_engine();
                 }
                 Err(e) => {
                     self.dead = true;
@@ -494,7 +540,7 @@ impl StreamEndpoint {
                 return;
             }
         }
-        if self.produced() > self.acked && self.rto_deadline.is_none() {
+        if self.produced() + self.staged_wire as u64 > self.acked && self.rto_deadline.is_none() {
             self.rto_deadline = Some(now + self.rto_ns);
         }
     }
@@ -618,6 +664,19 @@ impl SecureEndpoint for StreamEndpoint {
             self.ack_pending = false;
             out.push(self.ack_packet());
         }
+        // Materialise ciphertext staged with the shared batch engine: the
+        // first endpoint to poll runs one fused pass over every registered
+        // connection's staged records; each connection then drains its own
+        // bytes (here, or on its own next poll).
+        if self.staged_wire > 0 {
+            let engine = self.engine.as_ref().expect("staged bytes imply an engine");
+            let conn = self.engine_conn.expect("staged bytes imply registration");
+            engine.flush();
+            let sealed = engine.drain(conn);
+            debug_assert_eq!(sealed.len(), self.staged_wire);
+            self.wire.extend_from_slice(&sealed);
+            self.staged_wire = 0;
+        }
         // Hand the unsent stream suffix to the NIC in TSO segments (one MTU
         // payload per segment when TSO is off, like the real no-TSO path).
         let seg_max = if self.tso {
@@ -702,6 +761,11 @@ impl SecureEndpoint for StreamEndpoint {
 
     fn stats(&self) -> EndpointStats {
         let mut stats = self.stats;
+        if let Some(tx) = &self.tls_tx {
+            if tx.crypto_mode() == CryptoMode::Software {
+                stats.records_sealed += tx.records_sent;
+            }
+        }
         if let Some(hs) = &self.hs {
             stats.wire_bytes_sent += hs.wire_bytes_sent;
             stats.wire_bytes_received += hs.wire_bytes_received;

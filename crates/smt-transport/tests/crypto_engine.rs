@@ -1,0 +1,198 @@
+//! Endpoint-level tests for the shared per-host batch crypto engine: sends
+//! stage record seal work, the first endpoint to poll runs one fused pass
+//! over every registered connection's staged records, and the wire bytes are
+//! identical to inline sealing.
+
+use smt_core::segment::PathInfo;
+use smt_crypto::cert::CertificateAuthority;
+use smt_crypto::handshake::{establish, ClientConfig, ServerConfig, SessionKeys};
+use smt_crypto::CryptoEngineHandle;
+use smt_transport::endpoint::{AcceptConfig, ConnectConfig};
+use smt_transport::{drive_pair, take_delivered, Endpoint, PairFabric, SecureEndpoint, StackKind};
+
+fn keys() -> (SessionKeys, SessionKeys) {
+    let ca = CertificateAuthority::new("dc-internal-ca");
+    let id = ca.issue_identity("server.dc.local");
+    establish(
+        ClientConfig::new(ca.verifying_key(), "server.dc.local"),
+        ServerConfig::new(id, ca.verifying_key()),
+    )
+    .unwrap()
+}
+
+/// Two SMT-sw connections on one host share one engine.  Both stage their
+/// sends before either polls; the first poll runs a single fused pass that
+/// seals *both* connections' records, and both messages arrive intact.
+#[test]
+fn one_flush_seals_two_connections() {
+    let engine = CryptoEngineHandle::default();
+    let (ck1, sk1) = keys();
+    let (ck2, sk2) = keys();
+    let builder = Endpoint::builder().stack(StackKind::SmtSw);
+    let (mut a1, mut s1) = builder
+        .clone()
+        .crypto_engine(engine.clone())
+        .pair(&ck1, &sk1, 4000, 5201)
+        .unwrap();
+    let (mut a2, mut s2) = builder
+        .crypto_engine(engine.clone())
+        .pair(&ck2, &sk2, 4002, 5202)
+        .unwrap();
+
+    a1.send(b"first connection message", 0).unwrap();
+    a2.send(b"second connection message", 0).unwrap();
+    // Neither endpoint has polled: both connections' records sit staged in
+    // the shared engine, none sealed yet.
+    assert_eq!(engine.staged_records(), 2);
+    assert_eq!(engine.stats().records_sealed, 0);
+
+    // The first poller triggers the cross-session fused pass.
+    let mut first_burst = Vec::new();
+    a1.poll_transmit(0, &mut first_burst);
+    let stats = engine.stats();
+    assert_eq!(stats.flushes, 1);
+    assert_eq!(stats.records_sealed, 2);
+    assert_eq!(stats.max_flush_conns, 2);
+    assert_eq!(stats.multi_conn_flushes, 1);
+    assert!(!first_burst.is_empty(), "poll emits the sealed message");
+
+    // Hand the already-emitted burst to its peer, then drive both pairs to
+    // completion (a2 drains its pre-sealed ciphertext on its own first poll).
+    for p in &first_burst {
+        s1.handle_datagram(p, 0).unwrap();
+    }
+    let mut link1 = PairFabric::reliable();
+    drive_pair(&mut a1, &mut s1, &mut link1, 50_000_000);
+    let mut link2 = PairFabric::reliable();
+    drive_pair(&mut a2, &mut s2, &mut link2, 50_000_000);
+
+    let got1 = take_delivered(&mut s1);
+    let got2 = take_delivered(&mut s2);
+    assert_eq!(got1.len(), 1);
+    assert_eq!(got1[0].1, b"first connection message");
+    assert_eq!(got2.len(), 1);
+    assert_eq!(got2[0].1, b"second connection message");
+}
+
+/// Engine-staged sealing produces byte-identical packets to inline sealing:
+/// two senders built from the same session keys, same payload, compared
+/// packet by packet.
+#[test]
+fn engine_wire_matches_inline_wire() {
+    let (ck, _sk) = keys();
+    let engine = CryptoEngineHandle::default();
+    let (client_path, _server_path) = PathInfo::pair(4000, 5201);
+    let builder = Endpoint::builder().stack(StackKind::SmtSw);
+    let mut inline_ep = builder.clone().path(client_path).build(Some(&ck)).unwrap();
+    let mut engine_ep = builder
+        .crypto_engine(engine.clone())
+        .path(client_path)
+        .build(Some(&ck))
+        .unwrap();
+
+    // Large enough for several records across several TSO segments.
+    let payload: Vec<u8> = (0..40_000u32).map(|i| (i * 31 % 251) as u8).collect();
+    inline_ep.send(&payload, 0).unwrap();
+    engine_ep.send(&payload, 0).unwrap();
+
+    let (mut inline_pkts, mut engine_pkts) = (Vec::new(), Vec::new());
+    inline_ep.poll_transmit(0, &mut inline_pkts);
+    engine_ep.poll_transmit(0, &mut engine_pkts);
+
+    assert!(!inline_pkts.is_empty());
+    assert_eq!(inline_pkts.len(), engine_pkts.len());
+    for (i, (x, y)) in inline_pkts.iter().zip(&engine_pkts).enumerate() {
+        assert_eq!(
+            x.payload.as_data(),
+            y.payload.as_data(),
+            "packet {i} differs between inline and engine sealing"
+        );
+    }
+    assert!(engine.stats().records_sealed > 0);
+}
+
+/// The stream stacks (kTLS-sw here) stage framed bytes through the same
+/// engine and deliver intact messages.
+#[test]
+fn stream_pair_roundtrip_through_engine() {
+    let engine = CryptoEngineHandle::default();
+    let (ck, sk) = keys();
+    let (mut client, mut server) = Endpoint::builder()
+        .stack(StackKind::KtlsSw)
+        .crypto_engine(engine.clone())
+        .pair(&ck, &sk, 4000, 5201)
+        .unwrap();
+
+    let big: Vec<u8> = (0..40_000u32).map(|i| (i % 239) as u8).collect();
+    client
+        .send(b"streamed through the batch engine", 0)
+        .unwrap();
+    client.send(&big, 0).unwrap();
+    let mut link = PairFabric::reliable();
+    drive_pair(&mut client, &mut server, &mut link, 50_000_000);
+
+    let got = take_delivered(&mut server);
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].1, b"streamed through the batch engine");
+    assert_eq!(got[1].1, big);
+    let stats = engine.stats();
+    assert!(stats.records_sealed >= 2);
+    assert!(stats.bytes_sealed > 40_000);
+}
+
+/// Endpoints that establish keys with the in-band handshake register with
+/// the engine on completion; the queued sends flush through it.
+#[test]
+fn inband_handshake_registers_with_engine() {
+    let engine = CryptoEngineHandle::default();
+    let ca = CertificateAuthority::new("dc-internal-ca");
+    let id = ca.issue_identity("server.dc.local");
+    let (mut client, mut server) = Endpoint::builder()
+        .stack(StackKind::SmtSw)
+        .crypto_engine(engine.clone())
+        .handshake_pair(
+            ConnectConfig::new(ca.verifying_key(), "server.dc.local"),
+            AcceptConfig::new(id, ca.verifying_key()),
+            4000,
+            5201,
+        )
+        .unwrap();
+
+    client.send(b"queued behind the handshake", 0).unwrap();
+    let mut link = PairFabric::reliable();
+    drive_pair(&mut client, &mut server, &mut link, 50_000_000);
+
+    let got = take_delivered(&mut server);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].1, b"queued behind the handshake");
+    assert!(
+        engine.stats().records_sealed >= 1,
+        "the queued send was sealed by the shared engine"
+    );
+}
+
+/// Stacks whose record crypto is not software-sealed ignore the engine
+/// entirely: hardware-offload SMT still works and stages nothing.
+#[test]
+fn offload_stack_ignores_engine() {
+    let engine = CryptoEngineHandle::default();
+    let (ck, sk) = keys();
+    let (mut client, mut server) = Endpoint::builder()
+        .stack(StackKind::SmtHw)
+        .crypto_engine(engine.clone())
+        .pair(&ck, &sk, 4000, 5201)
+        .unwrap();
+
+    client
+        .send(b"sealed by the NIC, not the engine", 0)
+        .unwrap();
+    let mut link = PairFabric::reliable();
+    drive_pair(&mut client, &mut server, &mut link, 50_000_000);
+
+    let got = take_delivered(&mut server);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].1, b"sealed by the NIC, not the engine");
+    let stats = engine.stats();
+    assert_eq!(stats.records_sealed, 0);
+    assert_eq!(stats.flushes, 0);
+}

@@ -58,6 +58,10 @@ fn t0(i: usize) -> u32 {
 /// CTR keystream generator ([`Aes::ctr8_keystream`]).
 pub const CTR_LANES: usize = 8;
 
+/// Number of counter blocks produced per [`Aes::ctr16_keystream`] call — the
+/// keystream half of the 256-byte wide stride used by the CLMUL tier.
+pub const WIDE_LANES: usize = 16;
+
 /// Error returned for AES key lengths other than 16 or 32 bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnsupportedKeyLength(pub usize);
@@ -78,6 +82,9 @@ pub struct Aes {
     /// Hardware AES available for the multi-block path (detected once here,
     /// so the per-record hot loop never re-probes CPU features).
     ni: bool,
+    /// VAES + AVX2 available: the 16-block keystream runs two AES blocks per
+    /// instruction in ymm registers. Only ever set when `ni` is set.
+    vaes: bool,
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -92,7 +99,13 @@ fn detect_ni() -> bool {
 
 impl Aes {
     /// Expands a 16- or 32-byte key; other lengths are an error, not a panic.
-    pub fn new(key: &[u8]) -> Result<Self, UnsupportedKeyLength> {
+    /// The keystream backend is pinned by `tier` (capped by what the CPU
+    /// supports), so tests and the forced-portable CI run can cross-check
+    /// tiers in-process without touching the process-global selection.
+    pub fn new_with_tier(
+        key: &[u8],
+        tier: crate::tier::CryptoTier,
+    ) -> Result<Self, UnsupportedKeyLength> {
         let nk = match key.len() {
             16 => 4,
             32 => 8,
@@ -113,11 +126,25 @@ impl Aes {
             }
             w.push(w[i - nk] ^ temp);
         }
+        use crate::tier::CryptoTier;
+        let ni = tier != CryptoTier::Portable && detect_ni();
+        let vaes = ni && tier == CryptoTier::WideClmul && crate::tier::detect_vaes();
         Ok(Self {
             round_keys: w,
             rounds,
-            ni: detect_ni(),
+            ni,
+            vaes,
         })
+    }
+
+    /// Whether the AES-NI keystream backend was selected at key expansion.
+    pub fn has_ni(&self) -> bool {
+        self.ni
+    }
+
+    /// Whether the VAES ymm keystream backend was selected at key expansion.
+    pub fn has_vaes(&self) -> bool {
+        self.vaes
     }
 
     /// Encrypts one 16-byte block in place.
@@ -184,6 +211,33 @@ impl Aes {
             return;
         }
         self.ctr8_keystream_portable(nonce, counter, ks);
+    }
+
+    /// Generates [`WIDE_LANES`] consecutive GCM counter-mode keystream blocks
+    /// (`nonce ‖ counter + lane`) into `ks` — the wide-stride companion of
+    /// [`Self::ctr8_keystream`] used by the CLMUL tier's 256-byte loop.
+    ///
+    /// With VAES + AVX2 the sixteen block states live in eight ymm registers,
+    /// two blocks per `vaesenc`; otherwise the call decomposes into two
+    /// 8-block runs of the existing backend, so the keystream bytes are
+    /// identical regardless of generator width.
+    #[allow(unsafe_code)]
+    pub fn ctr16_keystream(&self, nonce: &[u8; 12], counter: u32, ks: &mut [u8; 16 * WIDE_LANES]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.vaes {
+            // SAFETY: `self.vaes` is only set when `is_x86_feature_detected!`
+            // confirmed `vaes` + `avx2` (and `ni` confirmed `aes` + `sse4.1`)
+            // at key expansion.
+            unsafe { ni::ctr16_keystream_vaes(&self.round_keys, self.rounds, nonce, counter, ks) };
+            return;
+        }
+        let (lo, hi) = ks.split_at_mut(16 * CTR_LANES);
+        self.ctr8_keystream(nonce, counter, lo.try_into().expect("128 bytes"));
+        self.ctr8_keystream(
+            nonce,
+            counter.wrapping_add(CTR_LANES as u32),
+            hi.try_into().expect("128 bytes"),
+        );
     }
 
     /// The portable interleaved T-table backend of [`Self::ctr8_keystream`]
@@ -339,6 +393,61 @@ mod ni {
             out[8..16].copy_from_slice(&hi.to_le_bytes());
         }
     }
+
+    /// Generates 16 CTR keystream blocks with the VAES ymm round
+    /// instructions: eight 256-bit states, each carrying two counter blocks,
+    /// so every `vaesenc` advances two blocks at once.
+    ///
+    /// # Safety
+    ///
+    /// Requires the `vaes` and `avx2` CPU features in addition to `aes` and
+    /// `sse4.1` (the caller checks via `is_x86_feature_detected!` at key
+    /// expansion).
+    #[target_feature(enable = "vaes,avx2,aes,sse4.1")]
+    pub unsafe fn ctr16_keystream_vaes(
+        rk: &[u32],
+        rounds: usize,
+        nonce: &[u8; 12],
+        counter: u32,
+        ks: &mut [u8; 256],
+    ) {
+        // Same lane layout as the xmm path, broadcast to both ymm halves.
+        let key = |i: usize| -> __m256i {
+            _mm256_broadcastsi128_si256(_mm_set_epi32(
+                rk[4 * i + 3].swap_bytes() as i32,
+                rk[4 * i + 2].swap_bytes() as i32,
+                rk[4 * i + 1].swap_bytes() as i32,
+                rk[4 * i].swap_bytes() as i32,
+            ))
+        };
+        let n0 = u32::from_le_bytes(nonce[0..4].try_into().expect("4 bytes")) as i32;
+        let n1 = u32::from_le_bytes(nonce[4..8].try_into().expect("4 bytes")) as i32;
+        let n2 = u32::from_le_bytes(nonce[8..12].try_into().expect("4 bytes")) as i32;
+
+        let k0 = key(0);
+        let mut x = [_mm256_setzero_si256(); 8];
+        for (pair, slot) in x.iter_mut().enumerate() {
+            // Low 128-bit lane holds block 2·pair, high lane block 2·pair+1,
+            // matching the storeu byte order below.
+            let c_lo = counter.wrapping_add(2 * pair as u32).swap_bytes() as i32;
+            let c_hi = counter.wrapping_add(2 * pair as u32 + 1).swap_bytes() as i32;
+            let ctrs = _mm256_set_epi32(c_hi, n2, n1, n0, c_lo, n2, n1, n0);
+            *slot = _mm256_xor_si256(ctrs, k0);
+        }
+        for r in 1..rounds {
+            let k = key(r);
+            for slot in x.iter_mut() {
+                *slot = _mm256_aesenc_epi128(*slot, k);
+            }
+        }
+        let k = key(rounds);
+        for slot in x.iter_mut() {
+            *slot = _mm256_aesenclast_epi128(*slot, k);
+        }
+        for (slot, out) in x.iter().zip(ks.chunks_exact_mut(32)) {
+            _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, *slot);
+        }
+    }
 }
 
 fn final_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
@@ -389,6 +498,7 @@ fn tables() -> (
 #[cfg(test)]
 mod tests {
     use super::Aes;
+    use crate::tier::CryptoTier;
 
     #[test]
     fn fips197_aes128_vector() {
@@ -401,7 +511,9 @@ mod tests {
             0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
             0x07, 0x34,
         ];
-        Aes::new(&key).unwrap().encrypt_block(&mut block);
+        Aes::new_with_tier(&key, crate::tier::active_tier())
+            .unwrap()
+            .encrypt_block(&mut block);
         assert_eq!(
             block,
             [
@@ -416,7 +528,9 @@ mod tests {
         // FIPS-197 Appendix C.3.
         let key: Vec<u8> = (0u8..32).collect();
         let mut block: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
-        Aes::new(&key).unwrap().encrypt_block(&mut block);
+        Aes::new_with_tier(&key, crate::tier::active_tier())
+            .unwrap()
+            .encrypt_block(&mut block);
         assert_eq!(
             block,
             [
@@ -429,7 +543,7 @@ mod tests {
     #[test]
     fn bad_key_lengths_are_errors_not_panics() {
         for len in [0usize, 15, 17, 24, 31, 33] {
-            match Aes::new(&vec![0u8; len]) {
+            match Aes::new_with_tier(&vec![0u8; len], CryptoTier::Portable) {
                 Err(e) => assert_eq!(e, super::UnsupportedKeyLength(len)),
                 Ok(_) => panic!("length {len} accepted"),
             }
@@ -442,7 +556,7 @@ mod tests {
         // corresponding counter block, for both key sizes, across a counter
         // that differs per lane, through both backends.
         for key in [(0u8..16).collect::<Vec<u8>>(), (0u8..32).collect()] {
-            let aes = Aes::new(&key).unwrap();
+            let aes = Aes::new_with_tier(&key, crate::tier::active_tier()).unwrap();
             let nonce: [u8; 12] = core::array::from_fn(|i| (i as u8) ^ 0x5a);
             for start in [0u32, 1, 2, 1000, u32::MAX - 3] {
                 let mut ks = [0u8; 16 * super::CTR_LANES];
@@ -456,6 +570,40 @@ mod tests {
                     block[12..].copy_from_slice(&start.wrapping_add(lane as u32).to_be_bytes());
                     aes.encrypt_block(&mut block);
                     assert_eq!(&ks[lane * 16..lane * 16 + 16], &block, "lane {lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_ctr_matches_single_block_cipher_on_every_tier() {
+        // The 16-lane keystream must be byte-identical to 16 independent
+        // encrypt_block calls on every tier the CPU supports (VAES ymm,
+        // AES-NI xmm pairs, portable T-table quads), including across a
+        // counter wrap.
+        for key in [(0u8..16).collect::<Vec<u8>>(), (0u8..32).collect()] {
+            let nonce: [u8; 12] = core::array::from_fn(|i| (i as u8).wrapping_mul(37));
+            for tier in [
+                CryptoTier::WideClmul,
+                CryptoTier::AesNiShoup,
+                CryptoTier::Portable,
+            ] {
+                let aes = Aes::new_with_tier(&key, tier).unwrap();
+                for start in [0u32, 3, 0xdead_beef, u32::MAX - 7] {
+                    let mut ks = [0u8; 16 * super::WIDE_LANES];
+                    aes.ctr16_keystream(&nonce, start, &mut ks);
+                    for lane in 0..super::WIDE_LANES {
+                        let mut block = [0u8; 16];
+                        block[..12].copy_from_slice(&nonce);
+                        block[12..].copy_from_slice(&start.wrapping_add(lane as u32).to_be_bytes());
+                        aes.encrypt_block(&mut block);
+                        assert_eq!(
+                            &ks[lane * 16..lane * 16 + 16],
+                            &block,
+                            "tier {} lane {lane}",
+                            tier.name()
+                        );
+                    }
                 }
             }
         }

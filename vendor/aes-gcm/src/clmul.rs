@@ -1,0 +1,323 @@
+//! PCLMULQDQ GHASH backend: carry-less multiplication with precomputed key
+//! powers `H..H⁸` and 8-block aggregated, deferred reduction.
+//!
+//! GHASH state and key powers use the same representation as the portable
+//! code ([`Element`] = the block's big-endian `(hi, lo)` words, GCM's
+//! reflected bit order). A block enters the kernel via a byte-reversing
+//! shuffle so the xmm register holds the block's big-endian value, which is
+//! exactly the operand form the reflected-domain `gfmul` below expects (the
+//! classic formulation from Intel's carry-less-multiplication application
+//! note: 256-bit carry-less product, one left shift, then the two-phase
+//! fold by the GCM polynomial).
+//!
+//! The aggregated update computes
+//!
+//! ```text
+//! Y′ = (Y ⊕ C₀)·H⁸ ⊕ C₁·H⁷ ⊕ … ⊕ C₇·H
+//! ```
+//!
+//! accumulating the three 128-bit halves of all eight 256-bit partial
+//! products and performing the shift + polynomial reduction **once** per
+//! 128 bytes — eight independent multiply chains for the CPU to overlap,
+//! one reduction tail.
+//!
+//! Per-key state is the eight powers (128 bytes), versus 16 KB of Shoup
+//! tables on the portable tier; see the `ghash` module docs for the
+//! footprint table.
+//!
+//! Everything here is `unsafe` (intrinsics) and gated: [`ClmulKey`] is only
+//! constructed after `pclmulqdq`/`ssse3`/`sse2` were runtime-detected in
+//! `tier::active_tier`.
+
+#![allow(unsafe_code)]
+
+use crate::ghash::{gf_mul_slow, Element};
+use std::arch::x86_64::*;
+
+/// GHASH key powers `H^1..H^8` for the carry-less-multiply backend.
+///
+/// `powers[i]` is `H^(i+1)` as an [`Element`]; total per-key footprint is
+/// 128 bytes.
+#[derive(Clone)]
+pub struct ClmulKey {
+    powers: [Element; 8],
+}
+
+/// Whether the kernel's CPU features are present; [`ClmulKey`] must only be
+/// constructed when this holds (checked by `GHashKey::with_tier`, so explicit
+/// tier requests degrade safely on unsupported CPUs).
+pub fn supported() -> bool {
+    std::arch::is_x86_feature_detected!("pclmulqdq") && std::arch::is_x86_feature_detected!("ssse3")
+}
+
+impl ClmulKey {
+    /// Precomputes the powers from `h`. The powers are derived with the
+    /// scalar bit-by-bit multiply — key install is not a hot path, and this
+    /// keeps the setup independent of the kernel it feeds (the unit tests
+    /// pin one against the other).
+    ///
+    /// Caller contract: only construct after `tier::active_tier()` reported
+    /// [`crate::CryptoTier::WideClmul`] (the kernel needs `pclmulqdq`,
+    /// `ssse3` and `sse2`).
+    pub fn new(h: Element) -> Self {
+        debug_assert!(
+            std::arch::is_x86_feature_detected!("pclmulqdq")
+                && std::arch::is_x86_feature_detected!("ssse3"),
+            "ClmulKey constructed without CPU support"
+        );
+        let mut powers = [h; 8];
+        for i in 1..8 {
+            powers[i] = gf_mul_slow(powers[i - 1], h);
+        }
+        Self { powers }
+    }
+
+    /// Absorbs `data` (a multiple of 16 bytes) into `y`: full 128-byte runs
+    /// through the 8-block aggregated kernel, then one aggregated run for the
+    /// remaining 1–7 blocks.
+    #[inline]
+    pub fn update_blocks(&self, y: &mut Element, data: &[u8]) {
+        debug_assert_eq!(data.len() % 16, 0);
+        if data.is_empty() {
+            return;
+        }
+        // SAFETY: construction is gated on runtime detection of the features
+        // `ghash_blocks` enables.
+        unsafe { ghash_blocks(&self.powers, y, data) }
+    }
+}
+
+impl std::fmt::Debug for ClmulKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key-derived material.
+        write!(f, "ClmulKey(..)")
+    }
+}
+
+/// Shuffle mask reversing all 16 bytes of an xmm register (block bytes are
+/// big-endian network order; the kernel works on the big-endian value).
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn bswap_mask() -> __m128i {
+    _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+}
+
+/// Loads one 16-byte block as its big-endian value.
+#[inline]
+#[target_feature(enable = "ssse3")]
+unsafe fn load_block(ptr: *const u8, mask: __m128i) -> __m128i {
+    _mm_shuffle_epi8(_mm_loadu_si128(ptr as *const __m128i), mask)
+}
+
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn from_element(e: Element) -> __m128i {
+    _mm_set_epi64x(e.0 as i64, e.1 as i64)
+}
+
+#[inline]
+#[target_feature(enable = "sse2,sse4.1")]
+unsafe fn to_element(v: __m128i) -> Element {
+    (
+        _mm_extract_epi64::<1>(v) as u64,
+        _mm_cvtsi128_si64(v) as u64,
+    )
+}
+
+/// Accumulator for the three 128-bit halves of 256-bit carry-less products
+/// (low, middle, high), XOR-folded across blocks before a single reduction.
+struct Acc {
+    lo: __m128i,
+    mid: __m128i,
+    hi: __m128i,
+}
+
+/// Adds the schoolbook product `x · h` (both reflected-domain big-endian
+/// values) into the accumulator without reducing.
+#[inline]
+#[target_feature(enable = "pclmulqdq,sse2")]
+unsafe fn accumulate(acc: &mut Acc, x: __m128i, h: __m128i) {
+    acc.lo = _mm_xor_si128(acc.lo, _mm_clmulepi64_si128::<0x00>(x, h));
+    let m = _mm_xor_si128(
+        _mm_clmulepi64_si128::<0x01>(x, h),
+        _mm_clmulepi64_si128::<0x10>(x, h),
+    );
+    acc.mid = _mm_xor_si128(acc.mid, m);
+    acc.hi = _mm_xor_si128(acc.hi, _mm_clmulepi64_si128::<0x11>(x, h));
+}
+
+/// Reduces the accumulated 256-bit sum to a 128-bit reflected-domain element:
+/// fold the middle half in, shift the 256-bit value left by one (the
+/// reflected-domain alignment step), then the two-phase reduction by
+/// `x^128 + x^7 + x^2 + x + 1`.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn reduce(acc: Acc) -> __m128i {
+    let mut lo = _mm_xor_si128(acc.lo, _mm_slli_si128::<8>(acc.mid));
+    let mut hi = _mm_xor_si128(acc.hi, _mm_srli_si128::<8>(acc.mid));
+
+    // 256-bit shift left by one, carrying across the 32-bit lanes and the
+    // half boundary.
+    let c_lo = _mm_srli_epi32::<31>(lo);
+    let c_hi = _mm_srli_epi32::<31>(hi);
+    lo = _mm_slli_epi32::<1>(lo);
+    hi = _mm_slli_epi32::<1>(hi);
+    let carry_cross = _mm_srli_si128::<12>(c_lo);
+    lo = _mm_or_si128(lo, _mm_slli_si128::<4>(c_lo));
+    hi = _mm_or_si128(hi, _mm_slli_si128::<4>(c_hi));
+    hi = _mm_or_si128(hi, carry_cross);
+
+    // First reduction phase.
+    let a = _mm_slli_epi32::<31>(lo);
+    let b = _mm_slli_epi32::<30>(lo);
+    let c = _mm_slli_epi32::<25>(lo);
+    let abc = _mm_xor_si128(_mm_xor_si128(a, b), c);
+    let abc_hi = _mm_srli_si128::<4>(abc);
+    lo = _mm_xor_si128(lo, _mm_slli_si128::<12>(abc));
+
+    // Second reduction phase.
+    let d = _mm_srli_epi32::<1>(lo);
+    let e = _mm_srli_epi32::<2>(lo);
+    let f = _mm_srli_epi32::<7>(lo);
+    let def = _mm_xor_si128(_mm_xor_si128(d, e), _mm_xor_si128(f, abc_hi));
+    lo = _mm_xor_si128(lo, def);
+
+    _mm_xor_si128(hi, lo)
+}
+
+/// The full dispatch-free kernel: absorbs `data` (multiple of 16 bytes) into
+/// `y`, 8-block aggregated runs first, then one shorter aggregated run.
+///
+/// # Safety
+///
+/// Requires `pclmulqdq`, `ssse3`, `sse4.1` and `sse2` (runtime-detected
+/// before any [`ClmulKey`] exists).
+#[target_feature(enable = "pclmulqdq,ssse3,sse4.1,sse2")]
+unsafe fn ghash_blocks(powers: &[Element; 8], y: &mut Element, data: &[u8]) {
+    let mask = bswap_mask();
+    let h = [
+        from_element(powers[0]),
+        from_element(powers[1]),
+        from_element(powers[2]),
+        from_element(powers[3]),
+        from_element(powers[4]),
+        from_element(powers[5]),
+        from_element(powers[6]),
+        from_element(powers[7]),
+    ];
+    let mut acc_y = from_element(*y);
+
+    let mut chunks = data.chunks_exact(128);
+    for chunk in &mut chunks {
+        let mut acc = Acc {
+            lo: _mm_setzero_si128(),
+            mid: _mm_setzero_si128(),
+            hi: _mm_setzero_si128(),
+        };
+        // Block j multiplies H^(8-j); the running state folds into block 0.
+        let first = _mm_xor_si128(load_block(chunk.as_ptr(), mask), acc_y);
+        accumulate(&mut acc, first, h[7]);
+        for j in 1..8 {
+            let x = load_block(chunk.as_ptr().add(16 * j), mask);
+            accumulate(&mut acc, x, h[7 - j]);
+        }
+        acc_y = reduce(acc);
+    }
+
+    let rest = chunks.remainder();
+    let n = rest.len() / 16;
+    if n > 0 {
+        let mut acc = Acc {
+            lo: _mm_setzero_si128(),
+            mid: _mm_setzero_si128(),
+            hi: _mm_setzero_si128(),
+        };
+        let first = _mm_xor_si128(load_block(rest.as_ptr(), mask), acc_y);
+        accumulate(&mut acc, first, h[n - 1]);
+        for j in 1..n {
+            let x = load_block(rest.as_ptr().add(16 * j), mask);
+            accumulate(&mut acc, x, h[n - 1 - j]);
+        }
+        acc_y = reduce(acc);
+    }
+
+    *y = to_element(acc_y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::{active_tier, CryptoTier};
+
+    const H_BYTES: [u8; 16] = [
+        0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34, 0x2b,
+        0x2e,
+    ];
+
+    fn load(block: &[u8]) -> Element {
+        (
+            u64::from_be_bytes(block[0..8].try_into().unwrap()),
+            u64::from_be_bytes(block[8..16].try_into().unwrap()),
+        )
+    }
+
+    fn have_clmul() -> bool {
+        active_tier() == CryptoTier::WideClmul
+    }
+
+    #[test]
+    fn powers_match_scalar_ground_truth() {
+        if !have_clmul() {
+            return;
+        }
+        let h = load(&H_BYTES);
+        let key = ClmulKey::new(h);
+        assert_eq!(key.powers[0], h);
+        let mut expect = h;
+        for p in &key.powers[1..] {
+            expect = gf_mul_slow(expect, h);
+            assert_eq!(*p, expect);
+        }
+    }
+
+    #[test]
+    fn single_block_matches_bitwise_reference() {
+        if !have_clmul() {
+            return;
+        }
+        let h = load(&H_BYTES);
+        let key = ClmulKey::new(h);
+        let mut block = [0u8; 16];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(73).wrapping_add(5);
+        }
+        let mut y = (0u64, 0u64);
+        key.update_blocks(&mut y, &block);
+        assert_eq!(y, gf_mul_slow(load(&block), h));
+    }
+
+    #[test]
+    fn aggregated_runs_match_serial_mul_for_every_length() {
+        if !have_clmul() {
+            return;
+        }
+        let h = load(&H_BYTES);
+        let key = ClmulKey::new(h);
+        // 1..=24 blocks: covers sub-8 runs, exact multiples and 8+tail mixes.
+        for blocks in 1usize..=24 {
+            let data: Vec<u8> = (0..blocks * 16)
+                .map(|i| (i as u8).wrapping_mul(41).wrapping_add(blocks as u8))
+                .collect();
+            let mut y = (3u64, 17u64);
+            key.update_blocks(&mut y, &data);
+
+            // Serial ground truth: y ← (y ⊕ c)·H per block via the bitwise mul.
+            let mut expect = (3u64, 17u64);
+            for block in data.chunks_exact(16) {
+                let x = (expect.0 ^ load(block).0, expect.1 ^ load(block).1);
+                expect = gf_mul_slow(x, h);
+            }
+            assert_eq!(y, expect, "{blocks} blocks");
+        }
+    }
+}

@@ -1,18 +1,43 @@
 //! GHASH universal hash over GF(2^128) (NIST SP 800-38D §6.4).
 //!
-//! Two implementations live here:
+//! [`GHashKey`] is the production type; it dispatches between two backends
+//! chosen once at key install (see `tier::active_tier`):
 //!
-//! * [`GHashKey`] — the **production** path: Shoup's 8-bit table method with
-//!   per-key tables for `H`, `H²`, `H³` and `H⁴` (4 × 4 KB, built once at key
-//!   install) plus a key-independent 256-entry reduction table.  A byte is
-//!   absorbed per table lookup, and runs of four blocks are folded with the
-//!   aggregated reduction `Y′ = (Y ⊕ C₀)·H⁴ ⊕ C₁·H³ ⊕ C₂·H² ⊕ C₃·H`, which
-//!   turns the serial per-block dependency chain into four independent chains
-//!   the CPU can overlap.
-//! * [`GHash`] — the **retained scalar reference**: Shoup's 4-bit nibble
-//!   method processing one block at a time, kept as the independently-coded
-//!   cross-check for the fused multi-block engine (see the property tests in
-//!   `lib.rs`).
+//! * **CLMUL** (`x86_64` with `pclmulqdq`, the [`CryptoTier::WideClmul`]
+//!   tier) — hardware carry-less multiplication with precomputed powers
+//!   `H..H⁸` and 8-block aggregated reduction; the kernel lives in the
+//!   `clmul` module.
+//! * **Shoup 8-bit tables** (every other tier) — per-key tables for `H`,
+//!   `H²`, `H³` and `H⁴`, one byte absorbed per lookup, with runs of four
+//!   blocks folded via the aggregated reduction
+//!   `Y′ = (Y ⊕ C₀)·H⁴ ⊕ C₁·H³ ⊕ C₂·H² ⊕ C₃·H`, which turns the serial
+//!   per-block dependency chain into four independent chains the CPU can
+//!   overlap.
+//!
+//! [`GHash`] is the **retained scalar reference**: Shoup's 4-bit nibble
+//! method processing one block at a time, kept as the independently-coded
+//! cross-check for both backends (see the property tests in `lib.rs` and
+//! `tests/`).
+//!
+//! # Per-key memory footprint
+//!
+//! Hashing state is built once per key install and borrowed immutably on the
+//! datapath; nothing key-sized is rebuilt per record. The footprint differs
+//! sharply by backend:
+//!
+//! | backend            | per-key state                  | shared static state        |
+//! |--------------------|--------------------------------|----------------------------|
+//! | CLMUL              | 128 B (powers `H..H⁸`)         | —                          |
+//! | Shoup 8-bit tables | 16 KB (4 × 4 KB byte tables)   | 2 KB `x⁸` reduction table  |
+//! | scalar reference   | 256 B (16-entry nibble table)  | —                          |
+//!
+//! The `x⁸` reduction table ([`r8_table`]) is **key-independent** and built
+//! exactly once per process behind a `OnceLock`; every Shoup-backend key
+//! borrows it. On the CLMUL tier no byte tables are built at all, cutting
+//! per-key memory from 16 KB to 128 bytes — which matters once a per-host
+//! `CryptoEngine` keeps many session keys installed concurrently.
+//!
+//! [`CryptoTier::WideClmul`]: crate::CryptoTier::WideClmul
 
 use std::sync::OnceLock;
 
@@ -99,6 +124,26 @@ fn build_table(h: Element) -> ByteTable {
     t
 }
 
+/// Bit-by-bit GF(2^128) multiply in the reflected representation — the slow,
+/// independently-coded ground truth. Used to derive the CLMUL backend's key
+/// powers at install time and by the unit tests as the reference multiply.
+pub(crate) fn gf_mul_slow(x: Element, h: Element) -> Element {
+    let mut z = (0u64, 0u64);
+    let mut v = h;
+    for i in 0..128 {
+        let bit = if i < 64 {
+            (x.0 >> (63 - i)) & 1
+        } else {
+            (x.1 >> (127 - i)) & 1
+        };
+        if bit == 1 {
+            z = xor(z, v);
+        }
+        v = mul_by_x(v);
+    }
+    z
+}
+
 /// One full 128×128 table multiply: `x · H^k` for the table of `H^k`.
 fn mul_words(t: &ByteTable, r8: &[u64; 256], x: Element) -> Element {
     let hi = x.0.to_be_bytes();
@@ -111,21 +156,130 @@ fn mul_words(t: &ByteTable, r8: &[u64; 256], x: Element) -> Element {
     z
 }
 
-/// Precomputed per-key GHASH tables for the fused multi-block engine.
+/// Precomputed per-key GHASH state for the fused multi-block engine, with the
+/// backend picked once at key install (never re-probed on the datapath).
 ///
-/// Holds 8-bit Shoup tables for `H`, `H²`, `H³`, `H⁴` (16 KB total), built once
-/// when the AEAD key is installed; hashing borrows the tables immutably, so no
-/// per-record table work or cloning occurs on the datapath.
+/// See the module docs for the per-backend memory footprint.
 #[derive(Clone)]
 pub struct GHashKey {
+    backend: Backend,
+}
+
+#[derive(Clone)]
+enum Backend {
+    /// Carry-less-multiply kernel with powers `H..H⁸` (128 B per key).
+    #[cfg(target_arch = "x86_64")]
+    Clmul(crate::clmul::ClmulKey),
+    /// Shoup 8-bit byte tables for `H..H⁴` (16 KB per key) plus the shared
+    /// static `x⁸` reduction table.
+    Shoup(ShoupKey),
+}
+
+/// The Shoup-table backend state.
+#[derive(Clone)]
+struct ShoupKey {
     /// `tables[k]` is the byte table for `H^(k+1)`.
     tables: Box<[ByteTable; 4]>,
     r8: &'static [u64; 256],
 }
 
 impl GHashKey {
-    /// Creates the key tables from `h` (the encryption of the zero block).
-    pub fn new(h: &[u8; 16]) -> Self {
+    /// Creates the per-key state with an explicit tier choice — the in-process
+    /// way for tests and benches to pin a backend (the Portable and AesNiShoup
+    /// tiers share the Shoup GHASH backend).
+    pub fn with_tier(h: &[u8; 16], tier: crate::tier::CryptoTier) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        if tier == crate::tier::CryptoTier::WideClmul && crate::clmul::supported() {
+            return Self {
+                backend: Backend::Clmul(crate::clmul::ClmulKey::new(load(h))),
+            };
+        }
+        let _ = tier;
+        Self {
+            backend: Backend::Shoup(ShoupKey::new(h)),
+        }
+    }
+
+    /// Whether this key hashes through the carry-less-multiply kernel (the
+    /// fused engine widens its stride to 256 bytes when it does).
+    #[inline]
+    pub fn is_clmul(&self) -> bool {
+        match &self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Clmul(_) => true,
+            Backend::Shoup(_) => false,
+        }
+    }
+
+    /// Absorbs one 16-byte block: `y ← (y ⊕ block)·H`.
+    #[inline]
+    pub fn update_block(&self, y: &mut Element, block: &[u8]) {
+        match &self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Clmul(k) => k.update_blocks(y, block),
+            Backend::Shoup(k) => k.update_block(y, block),
+        }
+    }
+
+    /// Absorbs four consecutive blocks (64 bytes) with aggregated reduction.
+    #[inline]
+    pub fn update4(&self, y: &mut Element, c: &[u8; 64]) {
+        match &self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Clmul(k) => k.update_blocks(y, c),
+            Backend::Shoup(k) => k.update4(y, c),
+        }
+    }
+
+    /// Absorbs a whole-block byte string (`data.len() % 16 == 0`) through the
+    /// widest aggregated path the backend has: 8-block carry-less runs on the
+    /// CLMUL backend, 4-block table folds on the Shoup backend.
+    #[inline]
+    pub fn update_bulk(&self, y: &mut Element, data: &[u8]) {
+        debug_assert_eq!(data.len() % 16, 0);
+        match &self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Clmul(k) => k.update_blocks(y, data),
+            Backend::Shoup(k) => {
+                let mut quads = data.chunks_exact(64);
+                for quad in &mut quads {
+                    k.update4(y, quad.try_into().expect("64 bytes"));
+                }
+                for block in quads.remainder().chunks_exact(16) {
+                    k.update_block(y, block);
+                }
+            }
+        }
+    }
+
+    /// Absorbs a byte string, zero-padding the final partial block.
+    pub fn update_padded(&self, y: &mut Element, data: &[u8]) {
+        let whole = data.len() - data.len() % 16;
+        self.update_bulk(y, &data[..whole]);
+        let rem = &data[whole..];
+        if !rem.is_empty() {
+            let mut block = [0u8; 16];
+            block[..rem.len()].copy_from_slice(rem);
+            self.update_block(y, &block);
+        }
+    }
+
+    /// Absorbs the standard `len(A) ‖ len(C)` block and serializes the digest.
+    pub fn finalize_with_lengths(&self, y: &mut Element, aad_bits: u64, ct_bits: u64) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[0..8].copy_from_slice(&aad_bits.to_be_bytes());
+        block[8..16].copy_from_slice(&ct_bits.to_be_bytes());
+        self.update_block(y, &block);
+        let mut out = [0u8; 16];
+        out[0..8].copy_from_slice(&y.0.to_be_bytes());
+        out[8..16].copy_from_slice(&y.1.to_be_bytes());
+        out
+    }
+}
+
+impl ShoupKey {
+    /// Builds the key tables from `h` (the encryption of the zero block).
+    fn new(h: &[u8; 16]) -> Self {
         let r8 = r8_table();
         let h1 = load(h);
         let t1 = build_table(h1);
@@ -140,7 +294,7 @@ impl GHashKey {
 
     /// Absorbs one 16-byte block: `y ← (y ⊕ block)·H`.
     #[inline]
-    pub fn update_block(&self, y: &mut Element, block: &[u8]) {
+    fn update_block(&self, y: &mut Element, block: &[u8]) {
         let x = xor(*y, load(block));
         *y = mul_words(&self.tables[0], self.r8, x);
     }
@@ -149,7 +303,7 @@ impl GHashKey {
     /// the four table multiplies are independent dependency chains, so the CPU
     /// overlaps them instead of waiting block-by-block.
     #[inline]
-    pub fn update4(&self, y: &mut Element, c: &[u8; 64]) {
+    fn update4(&self, y: &mut Element, c: &[u8; 64]) {
         let [t1, t2, t3, t4] = &*self.tables;
         let r8 = self.r8;
         // First block carries the running state: (y ⊕ c0)·H⁴.
@@ -168,38 +322,6 @@ impl GHashKey {
             z3 = xor(mul_by_x8(z3, r8), t1[c[48 + i] as usize]);
         }
         *y = xor(xor(z0, z1), xor(z2, z3));
-    }
-
-    /// Absorbs a byte string, zero-padding the final partial block. Full
-    /// 64-byte runs go through the aggregated four-block fold.
-    pub fn update_padded(&self, y: &mut Element, data: &[u8]) {
-        let mut quads = data.chunks_exact(64);
-        for quad in &mut quads {
-            self.update4(y, quad.try_into().expect("64 bytes"));
-        }
-        let rest = quads.remainder();
-        let mut blocks = rest.chunks_exact(16);
-        for block in &mut blocks {
-            self.update_block(y, block);
-        }
-        let rem = blocks.remainder();
-        if !rem.is_empty() {
-            let mut block = [0u8; 16];
-            block[..rem.len()].copy_from_slice(rem);
-            self.update_block(y, &block);
-        }
-    }
-
-    /// Absorbs the standard `len(A) ‖ len(C)` block and serializes the digest.
-    pub fn finalize_with_lengths(&self, y: &mut Element, aad_bits: u64, ct_bits: u64) -> [u8; 16] {
-        let mut block = [0u8; 16];
-        block[0..8].copy_from_slice(&aad_bits.to_be_bytes());
-        block[8..16].copy_from_slice(&ct_bits.to_be_bytes());
-        self.update_block(y, &block);
-        let mut out = [0u8; 16];
-        out[0..8].copy_from_slice(&y.0.to_be_bytes());
-        out[8..16].copy_from_slice(&y.1.to_be_bytes());
-        out
     }
 }
 
@@ -314,23 +436,21 @@ impl GHash {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tier::CryptoTier;
 
+    /// Bit-by-bit GF(2^128) multiply, the independent ground truth.
     fn slow_mul(x: Element, h: Element) -> Element {
-        // Bit-by-bit GF(2^128) multiply, the independent ground truth.
-        let mut z = (0u64, 0u64);
-        let mut v = h;
-        for i in 0..128 {
-            let bit = if i < 64 {
-                (x.0 >> (63 - i)) & 1
-            } else {
-                (x.1 >> (127 - i)) & 1
-            };
-            if bit == 1 {
-                z = xor(z, v);
-            }
-            v = mul_by_x(v);
+        gf_mul_slow(x, h)
+    }
+
+    /// The backends every machine can construct: the Shoup path always, the
+    /// CLMUL path when the CPU supports it.
+    fn backends() -> Vec<GHashKey> {
+        let mut v = vec![GHashKey::with_tier(&H_BYTES, CryptoTier::Portable)];
+        if crate::tier::active_tier() == CryptoTier::WideClmul {
+            v.push(GHashKey::with_tier(&H_BYTES, CryptoTier::WideClmul));
         }
-        z
+        v
     }
 
     const H_BYTES: [u8; 16] = [
@@ -352,51 +472,79 @@ mod tests {
     }
 
     #[test]
-    fn byte_table_matches_bitwise_reference() {
-        let key = GHashKey::new(&H_BYTES);
-        let mut y = (0u64, 0u64);
-        key.update_block(&mut y, &BLOCK);
-        let expect = slow_mul(load(&BLOCK), load(&H_BYTES));
-        assert_eq!(y, expect);
+    fn every_backend_matches_bitwise_reference() {
+        for key in backends() {
+            let mut y = (0u64, 0u64);
+            key.update_block(&mut y, &BLOCK);
+            let expect = slow_mul(load(&BLOCK), load(&H_BYTES));
+            assert_eq!(y, expect, "clmul={}", key.is_clmul());
+        }
     }
 
     #[test]
     fn aggregated_fold_matches_serial() {
-        // Four blocks through update4 must equal four serial update_block calls,
-        // and the 8-bit path must equal the retained nibble reference.
-        let key = GHashKey::new(&H_BYTES);
+        // Four blocks through update4 must equal four serial update_block
+        // calls on every backend, and all must equal the retained nibble
+        // reference.
         let mut data = [0u8; 64];
         for (i, b) in data.iter_mut().enumerate() {
             *b = (i as u8).wrapping_mul(37).wrapping_add(11);
         }
-        let mut y_fast = (7u64, 9u64);
-        key.update4(&mut y_fast, &data);
-
-        let mut y_serial = (7u64, 9u64);
-        for block in data.chunks_exact(16) {
-            key.update_block(&mut y_serial, block);
-        }
-        assert_eq!(y_fast, y_serial);
-
         let mut reference = GHash::new(&H_BYTES);
         reference.y = (7, 9);
         for block in data.chunks_exact(16) {
             reference.update_block(block.try_into().unwrap());
         }
-        assert_eq!(y_fast, reference.y);
+
+        for key in backends() {
+            let mut y_fast = (7u64, 9u64);
+            key.update4(&mut y_fast, &data);
+
+            let mut y_serial = (7u64, 9u64);
+            for block in data.chunks_exact(16) {
+                key.update_block(&mut y_serial, block);
+            }
+            assert_eq!(y_fast, y_serial, "clmul={}", key.is_clmul());
+            assert_eq!(y_fast, reference.y, "clmul={}", key.is_clmul());
+        }
     }
 
     #[test]
     fn update_padded_paths_agree_across_lengths() {
-        let key = GHashKey::new(&H_BYTES);
-        for len in [0usize, 1, 15, 16, 17, 48, 63, 64, 65, 127, 128, 200] {
+        // Lengths chosen to hit the 4-block fold boundary (64), the CLMUL
+        // 8-block aggregation boundary (128), and partial finals around both.
+        for len in [
+            0usize, 1, 15, 16, 17, 48, 63, 64, 65, 127, 128, 129, 200, 255, 256, 257, 384, 511,
+        ] {
             let data: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
-            let mut y_fast = (0u64, 0u64);
-            key.update_padded(&mut y_fast, &data);
             let mut reference = GHash::new(&H_BYTES);
             reference.update_padded(&data);
-            assert_eq!(y_fast, reference.y, "length {len}");
+            for key in backends() {
+                let mut y_fast = (0u64, 0u64);
+                key.update_padded(&mut y_fast, &data);
+                assert_eq!(y_fast, reference.y, "length {len} clmul={}", key.is_clmul());
+            }
         }
+    }
+
+    #[test]
+    fn clmul_and_shoup_digests_agree() {
+        // Full digests (including the length block) must be identical across
+        // backends when both are available.
+        let keys = backends();
+        if keys.len() < 2 {
+            return;
+        }
+        let data: Vec<u8> = (0..1000).map(|i| (i * 13 + 5) as u8).collect();
+        let digests: Vec<[u8; 16]> = keys
+            .iter()
+            .map(|k| {
+                let mut y = (0u64, 0u64);
+                k.update_padded(&mut y, &data);
+                k.finalize_with_lengths(&mut y, 0, (data.len() as u64) * 8)
+            })
+            .collect();
+        assert_eq!(digests[0], digests[1]);
     }
 
     #[test]

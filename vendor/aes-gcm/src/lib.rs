@@ -9,35 +9,51 @@
 //!
 //! # The fused multi-block engine
 //!
-//! The in-place entry points run a **fused CTR + GHASH pass**: the payload is
-//! processed in 128-byte strides where eight CTR keystream blocks are generated
-//! together through the interleaved T-table scheduler
-//! (`aes::Aes::ctr8_keystream`), XOR-ed into the buffer, and the resulting
-//! ciphertext is folded into the tag with the aggregated four-block GHASH
-//! (`ghash::GHashKey::update4`) — each cache line of payload is touched
-//! exactly once. The per-key GHASH tables (`H..H⁴`, 16 KB) are precomputed at
-//! key-install time in [`KeyInit::new_from_slice`], never per record.
+//! The in-place entry points run a **fused CTR + GHASH pass** whose stride
+//! width follows the backend tier selected at key install (see [`tier`
+//! docs](CryptoTier)):
+//!
+//! * **`clmul-wide`** — 256-byte strides: sixteen CTR keystream blocks are
+//!   generated together (VAES ymm pairs where detected, AES-NI xmm
+//!   otherwise), XOR-ed into the buffer, and the fresh ciphertext is folded
+//!   into the tag with the PCLMULQDQ 8-block aggregated-reduction GHASH
+//!   (`ghash::GHashKey::update_bulk`).
+//! * **`aesni-shoup` / `portable`** — 128-byte strides: eight CTR blocks via
+//!   the AES-NI or interleaved T-table scheduler
+//!   (`aes::Aes::ctr8_keystream`), with the aggregated four-block Shoup-table
+//!   GHASH (`ghash::GHashKey::update4`).
+//!
+//! Either way each cache line of payload is touched exactly once, and all
+//! per-key GHASH material is precomputed at key-install time in
+//! [`KeyInit::new_from_slice`], never per record.
 //!
 //! The original scalar one-block implementation is **retained** as
 //! [`AesGcm::encrypt_in_place_detached_reference`] /
 //! [`AesGcm::decrypt_in_place_detached_reference`]: it shares no scheduling
-//! code with the fused path (single-block AES, nibble-table GHASH) and serves
-//! as the bit-for-bit cross-check in the property tests below.
+//! code with the fused paths (single-block AES, nibble-table GHASH) and
+//! serves as the bit-for-bit cross-check in the property tests below.
 //!
-//! `unsafe` is denied crate-wide except in `aes::ni`, the runtime-detected
-//! AES-NI backend of the keystream generator (x86-64 only); the portable
-//! T-table path is used everywhere else and on every other architecture.
+//! `unsafe` is denied crate-wide except in `aes::ni` and `clmul`, the
+//! runtime-detected hardware backends (x86-64 only); the portable T-table
+//! path is used everywhere else and on every other architecture.
 
 #![deny(unsafe_code)]
 
 mod aes;
+#[cfg(target_arch = "x86_64")]
+mod clmul;
 mod ghash;
+mod tier;
 
-use aes::{Aes, CTR_LANES};
+use aes::{Aes, CTR_LANES, WIDE_LANES};
 use ghash::{GHash, GHashKey};
+pub use tier::{active_tier, CryptoTier};
 
-/// Bytes processed per stride of the fused multi-block pass.
+/// Bytes processed per stride of the fused multi-block pass (Shoup tiers).
 const STRIDE: usize = 16 * CTR_LANES;
+
+/// Bytes processed per stride of the wide fused pass (CLMUL tier).
+const WIDE_STRIDE: usize = 16 * WIDE_LANES;
 
 /// GCM nonce length in bytes (96 bits, the only length supported here).
 pub const NONCE_LEN: usize = 12;
@@ -140,21 +156,53 @@ pub type Aes256Gcm = AesGcm<32>;
 
 impl<const KEY_LEN: usize> KeyInit for AesGcm<KEY_LEN> {
     fn new_from_slice(key: &[u8]) -> Result<Self, Error> {
-        if key.len() != KEY_LEN {
-            return Err(Error);
-        }
-        let aes = Aes::new(key).map_err(|_| Error)?;
-        let mut h = [0u8; 16];
-        aes.encrypt_block(&mut h);
-        Ok(Self {
-            aes,
-            ghash: GHashKey::new(&h),
-            ghash_ref: GHash::new(&h),
-        })
+        Self::new_with_tier(key, active_tier())
     }
 }
 
 impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
+    /// Like [`KeyInit::new_from_slice`] but with the backend tier pinned by
+    /// the caller instead of taken from [`active_tier`]. Tiers the CPU cannot
+    /// support degrade to the best supported one at or below the request, so
+    /// the result is always usable; tests and benches use this to cross-check
+    /// tiers in one process.
+    pub fn new_with_tier(key: &[u8], tier: CryptoTier) -> Result<Self, Error> {
+        if key.len() != KEY_LEN {
+            return Err(Error);
+        }
+        let aes = Aes::new_with_tier(key, tier).map_err(|_| Error)?;
+        let mut h = [0u8; 16];
+        aes.encrypt_block(&mut h);
+        Ok(Self {
+            ghash: GHashKey::with_tier(&h, tier),
+            ghash_ref: GHash::new(&h),
+            aes,
+        })
+    }
+
+    /// The tier this instance actually runs on after feature detection (a
+    /// [`Self::new_with_tier`] request for unsupported hardware degrades).
+    pub fn tier(&self) -> CryptoTier {
+        if self.ghash.is_clmul() {
+            CryptoTier::WideClmul
+        } else if self.aes.has_ni() {
+            CryptoTier::AesNiShoup
+        } else {
+            CryptoTier::Portable
+        }
+    }
+
+    /// Backend description for bench/log output: the tier name, with the
+    /// keystream flavour appended on the wide tier (`"clmul-wide+vaes"` when
+    /// the ymm generator is active, `"clmul-wide+aesni"` otherwise).
+    pub fn backend(&self) -> String {
+        match self.tier() {
+            CryptoTier::WideClmul if self.aes.has_vaes() => "clmul-wide+vaes".into(),
+            CryptoTier::WideClmul => "clmul-wide+aesni".into(),
+            t => t.name().into(),
+        }
+    }
+
     fn counter_block(nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 16] {
         let mut block = [0u8; 16];
         block[..NONCE_LEN].copy_from_slice(nonce);
@@ -189,10 +237,10 @@ impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
 
     /// Encrypts `buf` in place and returns the detached 16-byte tag.
     ///
-    /// This is the fused multi-block pass: per 128-byte stride, eight CTR
-    /// blocks are generated together, XOR-ed into the buffer, and the fresh
-    /// ciphertext is immediately folded into the tag with the aggregated
-    /// four-block GHASH — one pass over the payload.
+    /// This is the fused multi-block pass: per stride (256 bytes on the CLMUL
+    /// tier, 128 otherwise), the CTR keystream blocks are generated together,
+    /// XOR-ed into the buffer, and the fresh ciphertext is immediately folded
+    /// into the tag with the aggregated GHASH — one pass over the payload.
     pub fn encrypt_in_place_detached(
         &self,
         nonce: &[u8; NONCE_LEN],
@@ -202,27 +250,10 @@ impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
         let mut y = (0u64, 0u64);
         self.ghash.update_padded(&mut y, aad);
 
-        let mut counter = 2u32;
-        let mut ks = [0u8; STRIDE];
-        let mut strides = buf.chunks_exact_mut(STRIDE);
-        for chunk in strides.by_ref() {
-            self.aes.ctr8_keystream(nonce, counter, &mut ks);
-            counter = counter.wrapping_add(CTR_LANES as u32);
-            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-                *b ^= k;
-            }
-            self.ghash
-                .update4(&mut y, chunk[..64].try_into().expect("64"));
-            self.ghash
-                .update4(&mut y, chunk[64..].try_into().expect("64"));
-        }
-        let rem = strides.into_remainder();
-        if !rem.is_empty() {
-            self.aes.ctr8_keystream(nonce, counter, &mut ks);
-            for (b, k) in rem.iter_mut().zip(ks.iter()) {
-                *b ^= k;
-            }
-            self.ghash.update_padded(&mut y, rem);
+        if self.ghash.is_clmul() {
+            self.encrypt_strides_wide(nonce, buf, &mut y);
+        } else {
+            self.encrypt_strides(nonce, buf, &mut y);
         }
 
         let mut tag = self.ghash.finalize_with_lengths(
@@ -232,6 +263,60 @@ impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
         );
         self.mask_tag(nonce, &mut tag);
         tag
+    }
+
+    /// 128-byte-stride fused seal loop (Shoup-GHASH tiers).
+    fn encrypt_strides(&self, nonce: &[u8; NONCE_LEN], buf: &mut [u8], y: &mut (u64, u64)) {
+        let mut counter = 2u32;
+        let mut ks = [0u8; STRIDE];
+        let mut strides = buf.chunks_exact_mut(STRIDE);
+        for chunk in strides.by_ref() {
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            counter = counter.wrapping_add(CTR_LANES as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            self.ghash.update4(y, chunk[..64].try_into().expect("64"));
+            self.ghash.update4(y, chunk[64..].try_into().expect("64"));
+        }
+        let rem = strides.into_remainder();
+        if !rem.is_empty() {
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            for (b, k) in rem.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            self.ghash.update_padded(y, rem);
+        }
+    }
+
+    /// 256-byte-stride fused seal loop (CLMUL tier): sixteen keystream blocks
+    /// per iteration feeding two 8-block aggregated GHASH reductions. The tail
+    /// drops back to 8-block keystream granularity so short records never pay
+    /// for unused keystream blocks.
+    fn encrypt_strides_wide(&self, nonce: &[u8; NONCE_LEN], buf: &mut [u8], y: &mut (u64, u64)) {
+        let mut counter = 2u32;
+        let mut ks = [0u8; WIDE_STRIDE];
+        let mut strides = buf.chunks_exact_mut(WIDE_STRIDE);
+        for chunk in strides.by_ref() {
+            self.aes.ctr16_keystream(nonce, counter, &mut ks);
+            counter = counter.wrapping_add(WIDE_LANES as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            self.ghash.update_bulk(y, chunk);
+        }
+        let rem = strides.into_remainder();
+        if !rem.is_empty() {
+            let mut ks8 = [0u8; STRIDE];
+            for part in rem.chunks_mut(STRIDE) {
+                self.aes.ctr8_keystream(nonce, counter, &mut ks8);
+                counter = counter.wrapping_add(CTR_LANES as u32);
+                for (b, k) in part.iter_mut().zip(ks8.iter()) {
+                    *b ^= k;
+                }
+            }
+            self.ghash.update_padded(y, rem);
+        }
     }
 
     /// Verifies `tag` over `buf` and decrypts it in place on success. The buffer
@@ -255,28 +340,10 @@ impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
         let mut y = (0u64, 0u64);
         self.ghash.update_padded(&mut y, aad);
 
-        let mut counter = 2u32;
-        let mut ks = [0u8; STRIDE];
-        let mut strides = buf.chunks_exact_mut(STRIDE);
-        for chunk in strides.by_ref() {
-            // GHASH first (the tag covers ciphertext), then decrypt in place.
-            self.ghash
-                .update4(&mut y, chunk[..64].try_into().expect("64"));
-            self.ghash
-                .update4(&mut y, chunk[64..].try_into().expect("64"));
-            self.aes.ctr8_keystream(nonce, counter, &mut ks);
-            counter = counter.wrapping_add(CTR_LANES as u32);
-            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-                *b ^= k;
-            }
-        }
-        let rem = strides.into_remainder();
-        if !rem.is_empty() {
-            self.ghash.update_padded(&mut y, rem);
-            self.aes.ctr8_keystream(nonce, counter, &mut ks);
-            for (b, k) in rem.iter_mut().zip(ks.iter()) {
-                *b ^= k;
-            }
+        if self.ghash.is_clmul() {
+            self.decrypt_strides_wide(nonce, buf, &mut y);
+        } else {
+            self.decrypt_strides(nonce, buf, &mut y);
         }
 
         let mut expected = self.ghash.finalize_with_lengths(
@@ -298,6 +365,60 @@ impl<const KEY_LEN: usize> AesGcm<KEY_LEN> {
             return Err(Error);
         }
         Ok(())
+    }
+
+    /// 128-byte-stride fused open loop (Shoup-GHASH tiers).
+    fn decrypt_strides(&self, nonce: &[u8; NONCE_LEN], buf: &mut [u8], y: &mut (u64, u64)) {
+        let mut counter = 2u32;
+        let mut ks = [0u8; STRIDE];
+        let mut strides = buf.chunks_exact_mut(STRIDE);
+        for chunk in strides.by_ref() {
+            // GHASH first (the tag covers ciphertext), then decrypt in place.
+            self.ghash.update4(y, chunk[..64].try_into().expect("64"));
+            self.ghash.update4(y, chunk[64..].try_into().expect("64"));
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            counter = counter.wrapping_add(CTR_LANES as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        let rem = strides.into_remainder();
+        if !rem.is_empty() {
+            self.ghash.update_padded(y, rem);
+            self.aes.ctr8_keystream(nonce, counter, &mut ks);
+            for (b, k) in rem.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// 256-byte-stride fused open loop (CLMUL tier); the keystream bytes are
+    /// identical to the 8-block generator's, so mixed-width seal/open and the
+    /// [`Self::ctr_xor`] restore path all interoperate.
+    fn decrypt_strides_wide(&self, nonce: &[u8; NONCE_LEN], buf: &mut [u8], y: &mut (u64, u64)) {
+        let mut counter = 2u32;
+        let mut ks = [0u8; WIDE_STRIDE];
+        let mut strides = buf.chunks_exact_mut(WIDE_STRIDE);
+        for chunk in strides.by_ref() {
+            self.ghash.update_bulk(y, chunk);
+            self.aes.ctr16_keystream(nonce, counter, &mut ks);
+            counter = counter.wrapping_add(WIDE_LANES as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        let rem = strides.into_remainder();
+        if !rem.is_empty() {
+            self.ghash.update_padded(y, rem);
+            let mut ks8 = [0u8; STRIDE];
+            for part in rem.chunks_mut(STRIDE) {
+                self.aes.ctr8_keystream(nonce, counter, &mut ks8);
+                counter = counter.wrapping_add(CTR_LANES as u32);
+                for (b, k) in part.iter_mut().zip(ks8.iter()) {
+                    *b ^= k;
+                }
+            }
+        }
     }
 
     /// Retained scalar reference seal: one AES block and one GHASH block at a

@@ -1,0 +1,136 @@
+//! Backend tier selection for the fused AES-GCM engine.
+//!
+//! The record datapath has three implementation tiers, picked once per
+//! process (cached) and then per key at install time — the hot loops never
+//! re-probe CPU features:
+//!
+//! 1. [`CryptoTier::WideClmul`] — PCLMULQDQ carry-less-multiply GHASH with
+//!    precomputed powers `H..H⁸` and 8-block aggregated reduction, fused with
+//!    a 16-block-wide CTR keystream (VAES ymm pairs where available, AES-NI
+//!    xmm otherwise). Requires `pclmulqdq` + `aes` + `sse4.1`.
+//! 2. [`CryptoTier::AesNiShoup`] — AES-NI 8-block CTR keystream with the
+//!    Shoup 8-bit-table GHASH (the PR 2 engine). Requires `aes` + `sse4.1`.
+//! 3. [`CryptoTier::Portable`] — interleaved T-table CTR and Shoup-table
+//!    GHASH, pure safe Rust, any architecture.
+//!
+//! The scalar one-block implementation is *not* a tier: it is retained as the
+//! `*_reference` API purely as the independent cross-check for the tiers.
+//!
+//! # Forcing a tier
+//!
+//! Setting `SMT_CRYPTO_TIER` to `clmul`, `aesni` or `portable` caps the
+//! selection at that tier (requesting hardware the CPU lacks falls back to
+//! the best supported tier at or below the request). The value is read once
+//! and cached for the process; CI uses `SMT_CRYPTO_TIER=portable` to run the
+//! entire test suite on the fallback tier. In-process tests that need a
+//! specific tier should use the explicit `with_tier` constructors instead of
+//! the environment variable, which is intentionally process-global.
+
+use std::sync::OnceLock;
+
+/// One of the three fused-engine implementation tiers. Ordered fastest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CryptoTier {
+    /// CLMUL GHASH + wide (VAES/AES-NI) CTR over 256-byte strides.
+    WideClmul,
+    /// AES-NI 8-block CTR + Shoup-table GHASH over 128-byte strides.
+    AesNiShoup,
+    /// Interleaved T-table CTR + Shoup-table GHASH, no intrinsics.
+    Portable,
+}
+
+impl CryptoTier {
+    /// Short stable name, used in bench output and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            CryptoTier::WideClmul => "clmul-wide",
+            CryptoTier::AesNiShoup => "aesni-shoup",
+            CryptoTier::Portable => "portable",
+        }
+    }
+}
+
+/// Best tier the CPU supports, ignoring any override.
+#[cfg(target_arch = "x86_64")]
+fn detect_tier() -> CryptoTier {
+    let aesni =
+        std::arch::is_x86_feature_detected!("aes") && std::arch::is_x86_feature_detected!("sse4.1");
+    if aesni
+        && std::arch::is_x86_feature_detected!("pclmulqdq")
+        && std::arch::is_x86_feature_detected!("ssse3")
+    {
+        CryptoTier::WideClmul
+    } else if aesni {
+        CryptoTier::AesNiShoup
+    } else {
+        CryptoTier::Portable
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_tier() -> CryptoTier {
+    CryptoTier::Portable
+}
+
+/// Whether the VAES ymm keystream (two AES blocks per instruction) is usable;
+/// only consulted inside [`CryptoTier::WideClmul`].
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn detect_vaes() -> bool {
+    std::arch::is_x86_feature_detected!("vaes") && std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn detect_vaes() -> bool {
+    false
+}
+
+/// The tier every new key installs with: hardware detection capped by the
+/// `SMT_CRYPTO_TIER` override. Computed once per process.
+pub fn active_tier() -> CryptoTier {
+    static TIER: OnceLock<CryptoTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let detected = detect_tier();
+        let cap = match std::env::var("SMT_CRYPTO_TIER").ok().as_deref() {
+            Some("clmul") => CryptoTier::WideClmul,
+            Some("aesni") => CryptoTier::AesNiShoup,
+            Some("portable") => CryptoTier::Portable,
+            // Unknown values (and "auto") keep pure detection.
+            _ => CryptoTier::WideClmul,
+        };
+        // A request for hardware the CPU lacks degrades to what is supported;
+        // a request for a lower tier always wins (that is the CI use case).
+        detected.max(cap)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ordering_puts_fastest_first() {
+        assert!(CryptoTier::WideClmul < CryptoTier::AesNiShoup);
+        assert!(CryptoTier::AesNiShoup < CryptoTier::Portable);
+    }
+
+    #[test]
+    fn active_tier_is_stable_across_calls() {
+        assert_eq!(active_tier(), active_tier());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            CryptoTier::WideClmul.name(),
+            CryptoTier::AesNiShoup.name(),
+            CryptoTier::Portable.name(),
+        ];
+        assert_eq!(
+            names.len(),
+            names
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+    }
+}

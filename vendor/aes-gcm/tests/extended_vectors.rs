@@ -10,10 +10,20 @@
 //! implementation (PyCA `cryptography`, backed by OpenSSL's EVP AES-GCM) and
 //! are reproducible from the formulaic plaintexts below with any conformant
 //! AES-GCM. Both the buffered API and the fused in-place detached seal/open
-//! are checked, in both directions.
+//! are checked, in both directions — and every vector runs on **all three
+//! backend tiers** (CLMUL+wide CTR, AES-NI+Shoup, portable), so the 256-byte
+//! wide-stride loop, the 128-byte loop and the T-table fallback are each
+//! pinned to the same externally-generated answers. Tiers the CPU lacks
+//! degrade and simply re-check a supported backend.
 
 use aes_gcm::aead::{Aead, KeyInit, Payload};
-use aes_gcm::{Aes128Gcm, Aes256Gcm, Nonce};
+use aes_gcm::{Aes128Gcm, AesGcm, CryptoTier, Nonce};
+
+const TIERS: [CryptoTier; 3] = [
+    CryptoTier::WideClmul,
+    CryptoTier::AesNiShoup,
+    CryptoTier::Portable,
+];
 
 fn unhex(s: &str) -> Vec<u8> {
     (0..s.len())
@@ -37,12 +47,19 @@ fn pattern(len: usize, step: usize, offset: usize) -> Vec<u8> {
 }
 
 fn check_128(pt: &[u8], aad: &[u8], ct_hex: &str, tag_hex: &str) {
-    let cipher = Aes128Gcm::new_from_slice(&unhex(KEY_128)).unwrap();
-    check(&cipher, pt, aad, ct_hex, tag_hex);
+    check::<16>(KEY_128, pt, aad, ct_hex, tag_hex);
 }
 
-fn check<const K: usize>(
-    cipher: &aes_gcm::AesGcm<K>,
+fn check<const K: usize>(key_hex: &str, pt: &[u8], aad: &[u8], ct_hex: &str, tag_hex: &str) {
+    for tier in TIERS {
+        let cipher = AesGcm::<K>::new_with_tier(&unhex(key_hex), tier).unwrap();
+        check_on(&cipher, tier.name(), pt, aad, ct_hex, tag_hex);
+    }
+}
+
+fn check_on<const K: usize>(
+    cipher: &AesGcm<K>,
+    tier: &str,
     pt: &[u8],
     aad: &[u8],
     ct_hex: &str,
@@ -56,14 +73,14 @@ fn check<const K: usize>(
     // Fused in-place seal.
     let mut buf = pt.to_vec();
     let tag = cipher.encrypt_in_place_detached(&nonce_bytes, aad, &mut buf);
-    assert_eq!(buf, expect_ct, "ciphertext mismatch");
-    assert_eq!(tag, expect_tag.as_slice(), "tag mismatch");
+    assert_eq!(buf, expect_ct, "ciphertext mismatch on tier {tier}");
+    assert_eq!(tag, expect_tag.as_slice(), "tag mismatch on tier {tier}");
 
     // Fused in-place open (the single-pass GHASH-then-decrypt path).
     cipher
         .decrypt_in_place_detached(&nonce_bytes, aad, &mut buf, &expect_tag)
         .expect("authentic ciphertext must open");
-    assert_eq!(buf, pt, "roundtrip plaintext mismatch");
+    assert_eq!(buf, pt, "roundtrip plaintext mismatch on tier {tier}");
 
     // Buffered API against the same vector.
     let nonce: Nonce = (&nonce_bytes).into();
@@ -83,7 +100,10 @@ fn check<const K: usize>(
         assert!(cipher
             .decrypt_in_place_detached(&nonce_bytes, aad, &mut tampered, &expect_tag)
             .is_err());
-        assert_eq!(tampered, image, "failed open must not release plaintext");
+        assert_eq!(
+            tampered, image,
+            "failed open must not release plaintext (tier {tier})"
+        );
     }
 }
 
@@ -123,11 +143,34 @@ fn aes128_1000_bytes_record_sized_tls_aad() {
 }
 
 #[test]
+fn aes128_512_bytes_two_full_wide_strides_no_aad() {
+    // 512 bytes = exactly two 256-byte wide strides: the CLMUL tier's
+    // VAES/AES-NI 16-block loop with no tail at all.
+    check_128(
+        &pattern(512, 3, 9),
+        b"",
+        "92be23f5cceb69dfcf0f0f580615c1305c31b73e7c7e18744ad91944fefd483a54857755b476e131d3c4e3f468b28cb63355796e65afe16e368f2c12e05048161464a8161b2a6a2f594d18a327d07897ef240bf3c6c12c3132c34f06de53c747d932738d90177bcc1148408e5267222798e1abd7050ee81ef5fedd4c7b9a14de775a72237da33f8182dd9101ebd09676790a6344e78d43f443072f0ee6d945cd9b81a9e458511f4f0043998b391235a998a064e380e11c0742d889b8a7bf1466edff4baccfc9f2f0cea0a3cbc22eddc457eec1a1fffb3899da7672a21d39069c1931d1433cae61183645baf98893f945684ce53b728f1dfe3765e7d0f725a76a286d0e9be581beb365ad2ba635b316deb85e45192944da552db7e4aa24d78babe774f45abd6df37be2b85bce06e847721197a8505f62d59a750a9849797dc33b09f5930ed73385ac90b6b274a7353020714dd1a13cf7af6c33bdf831ecf96b9bf9ef7283618d6bf1c9dd4ad70ec144dfc0bd59c68194238c03a2c7ce44d975fea6e4df77a6cf859fb38e41b411df60ffea7a178575193133363deffb376b1a6b5c30c4e15f67e7ae476c2279e810d66641c3cd3ce0eb47d816dcc8f25b3fa432014040192e20188d57e70870d8dc77493b424d29d8262c5d1476f1115e9317440397dd804ada0768df064d3a85922e909b776672e9a9868ab2e7d5f84159fa35",
+        "0340adb6ad84eb658f086aa20476c963",
+    );
+}
+
+#[test]
+fn aes128_513_bytes_wide_stride_plus_one_with_aad() {
+    // 513 bytes: two wide strides plus a 1-byte tail — the wide bulk loop
+    // handing off to the 8-block tail path and the padded final GHASH block.
+    check_128(
+        &pattern(513, 5, 1),
+        &unhex(AAD_20),
+        "9ab427f7cce96de5c7051b4a1667b54a345bd31c5c5c3c4e62f3cd962e0fbcc09c4fb39774b4258b9b8eb7a638c0f8cc5b3f1dccc50d45d49e25b88070a2bcec9cee2c949ba8ee95d1c78c31b7a20ced874e6f516663888b9a699bd40ea133bd11f8b74f50d5bff6590214dc0215565df08bcff5252ccc24ddd4c95e6b68e0247f5076217da13bbb8ad78513fba2e20c11600766c7af67ce6b2dfbdc362bb137534b6d269893dbf54809cdd9696041d3f0ca00412043b8bdea721d2a374de09c6575cf2e4f4b764a462a3759525ca9be3f84a5035f599c2372dca670cdcbf266d1fb1581fc6ca5227e0feeabd8e18d3f0026811952ad39c41f4ff3c2e7d7539020670a99e583ba896da73fb425c162a4d034213b0966fe6f059d3078f4257f512fbe30987daf37c1aaf20f9c569a330879fdccf2ffc07120dda00cdbe98f37c1817f178c57b10116183c26e63747445a1927b5039c550bd69b172ce33c0b9f613125b641a14fafcb81971e855eb330a5a8d73de4a1b607b62b88d3dc542b8104aeeedb75a6cd81a5bb8455a601ad1485821073a7553b15091e173b29e799ee9194fa00239fa523140f26762bb862a21c29a9a99e4049e362be765c60cbcd50c889cac49baea29c37df6d9ce248ae03335328298b788488e7bcdc25c38e61e3becb5d19428a18c352974c1968d5e05aeaf31d0250c98ba2b09acdc1ea51ab0ecf1d",
+        "983b9774cff6e28ff9278d1c2f87e406",
+    );
+}
+
+#[test]
 fn aes256_384_bytes_three_strides_with_aad() {
     // AES-256 through the same multi-block machinery (14-round schedule).
-    let cipher = Aes256Gcm::new_from_slice(&unhex(KEY_256)).unwrap();
-    check(
-        &cipher,
+    check::<32>(
+        KEY_256,
         &pattern(384, 11, 1),
         &unhex(AAD_20),
         "8bafb70487420c551f6f32a7fe8d1299bc9c078302f1998a47cb1b5b8bc92ea9cc3cb6c44c4ceacc9f9fe7b2d773db6348488e639ec2db8e4ae60eb62b441cf4a04e8990a2bc5ed149fe0924ed4eab5d69cc81edc78d72b16379ab9ae19997fce05bfcbfc0e5cb9573ea81961d18b2070b76f8ff67c28bdb0926767069278ae3eca08cb7088efa7300d4f0b79557929086f76245d07cc817458e860a50d36aadbba634cec7a93bf01dc0886567f7c257df2abc1b05f05e9009b6e4c70716993d60674966b4c9e3fdffc00cb0c01a4eff47c0a69e7e147a7cf7bbad54939184b38937fdbdc16f275a10294a2664e8e9afa027959516a80b2d05a3e4ed37c9b54692584497bca3799972b742c30d6757bec97aa55509b40bd7163895e16f69dca48ddce8126a3c98963871caef98f909cda2ce6637e4f8085230509f5a12bbc45cad7fffe592ae2ada446d4db40a8b8e6f44c7ac7ef32e4b9a5a9e4d31da40e848d55b2d30d3313fb2d6309dcdc3bc23502e97e56e9acf786f6b4b5ff02497ea2a",

@@ -61,6 +61,18 @@ impl Bytes {
         }
     }
 
+    /// Splits the view at `at`: returns the prefix `[0, at)` and leaves
+    /// `[at, len)` in `self`, sharing the storage (no copy).
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
     /// Copies the view into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()

@@ -11,10 +11,51 @@
 //! is written to `$CRITERION_JSON` (or `BENCH_<name>.json` in the working
 //! directory when `CRITERION_JSON_DIR` is set).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::hint;
 use std::time::{Duration, Instant};
+
+/// Timestamp-counter calibration for cycles-per-byte reporting.
+///
+/// The shim times with the monotonic clock; the TSC is only used to learn the
+/// machine's cycle rate (constant-rate TSC, one `RDTSC` pair around a ~10 ms
+/// spin), so reported cycle counts are `time × rate` — stable under the same
+/// batching as the nanosecond numbers.  The sole `unsafe` in the crate lives
+/// here, scoped to the two `RDTSC` reads.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod tsc {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// TSC increments per nanosecond, calibrated once per process.
+    pub fn cycles_per_ns() -> Option<f64> {
+        static RATE: OnceLock<f64> = OnceLock::new();
+        let rate = *RATE.get_or_init(|| {
+            let start = Instant::now();
+            // SAFETY: RDTSC reads the timestamp counter, which exists on
+            // every x86_64 CPU; it has no memory side effects.
+            let c0 = unsafe { core::arch::x86_64::_rdtsc() };
+            while start.elapsed().as_millis() < 10 {
+                std::hint::spin_loop();
+            }
+            let elapsed_ns = start.elapsed().as_nanos() as f64;
+            // SAFETY: as above.
+            let c1 = unsafe { core::arch::x86_64::_rdtsc() };
+            c1.wrapping_sub(c0) as f64 / elapsed_ns
+        });
+        (rate > 0.0).then_some(rate)
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod tsc {
+    /// No TSC on this architecture; cycles-per-byte is omitted.
+    pub fn cycles_per_ns() -> Option<f64> {
+        None
+    }
+}
 
 /// Opaque value barrier preventing the optimizer from deleting computations.
 pub fn black_box<T>(x: T) -> T {
@@ -65,6 +106,9 @@ pub struct Measurement {
     pub bytes_per_sec: Option<f64>,
     /// Derived throughput in elements/second, when annotated.
     pub elems_per_sec: Option<f64>,
+    /// CPU cycles per processed byte (`mean_ns × TSC rate ÷ bytes`), when
+    /// byte throughput is annotated and the architecture exposes a TSC.
+    pub cycles_per_byte: Option<f64>,
 }
 
 /// The timing loop handle passed to benchmark closures.
@@ -183,12 +227,19 @@ impl Criterion {
             Some(Throughput::Elements(e)) => (None, Some(per_sec * e as f64)),
             None => (None, None),
         };
+        let cycles_per_byte = match throughput {
+            Some(Throughput::Bytes(b)) if b > 0 => {
+                tsc::cycles_per_ns().map(|rate| mean_ns * rate / b as f64)
+            }
+            _ => None,
+        };
         let m = Measurement {
             name,
             mean_ns,
             iterations,
             bytes_per_sec,
             elems_per_sec,
+            cycles_per_byte,
         };
         print_measurement(&m);
         self.results.push(m);
@@ -229,6 +280,9 @@ impl Criterion {
             if let Some(e) = m.elems_per_sec {
                 out.push_str(&format!(", \"throughput_elems_per_sec\": {e:.0}"));
             }
+            if let Some(cpb) = m.cycles_per_byte {
+                out.push_str(&format!(", \"cycles_per_byte\": {cpb:.3}"));
+            }
             out.push('}');
         }
         out.push_str("\n  ]\n}\n");
@@ -259,6 +313,9 @@ fn print_measurement(m: &Measurement) {
     }
     if let Some(e) = m.elems_per_sec {
         line.push_str(&format!("   thrpt: {e:>12.0} elem/s"));
+    }
+    if let Some(cpb) = m.cycles_per_byte {
+        line.push_str(&format!("   {cpb:>6.2} cyc/B"));
     }
     println!("{line}");
 }
@@ -390,5 +447,10 @@ mod tests {
         assert!(c.results[0].bytes_per_sec.unwrap() > 0.0);
         assert!(c.results[0].name.contains("g/f/1024"));
         assert!(c.to_json().contains("throughput_bytes_per_sec"));
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert!(c.results[0].cycles_per_byte.unwrap() > 0.0);
+            assert!(c.to_json().contains("cycles_per_byte"));
+        }
     }
 }

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod figures;
 pub mod output;
 pub mod scenarios;

@@ -39,6 +39,17 @@ pub struct ReceivedMessage {
     pub data: Vec<u8>,
 }
 
+/// Cap on the number of messages concurrently under reassembly.  Packets of
+/// forged message IDs never complete, so without a cap an attacker grows one
+/// `MessageBuf` per garbage datagram; beyond this many the receiver evicts
+/// (DESIGN.md §8 state-bounds table).
+pub const MAX_IN_PROGRESS_MESSAGES: usize = 1024;
+
+/// Cap on the total bytes buffered across every in-progress message.  The
+/// sender's flow control keeps legitimate traffic far below this; an
+/// attacker spraying partial segments hits it and triggers eviction.
+pub const MAX_TRACKED_BYTES: usize = 4 << 20;
+
 /// Counters exposed for tests, the simulator and the experiment harness.
 #[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
 pub struct ReceiverStats {
@@ -52,6 +63,10 @@ pub struct ReceiverStats {
     pub messages_delivered: u64,
     /// Records that failed authentication.
     pub auth_failures: u64,
+    /// In-progress message buffers evicted to stay under the state caps.
+    pub state_evictions: u64,
+    /// High-water mark of bytes retained across all reassembly buffers.
+    pub peak_tracked_bytes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -88,6 +103,9 @@ struct MessageBuf {
     app_bytes: usize,
     /// Per-TSO-offset segment reassembly buffers.
     segments: HashMap<u32, SegmentBuf>,
+    /// Bytes retained by this buffer (chunks + decrypted app bytes), kept as
+    /// a running count so the eviction policy never rescans.
+    buf_bytes: usize,
 }
 
 /// The receive-side engine for one direction of an SMT session.
@@ -98,6 +116,8 @@ pub struct SmtReceiver {
     cipher: Option<RecordProtector>,
     replay: ReplayGuard,
     in_progress: HashMap<u64, MessageBuf>,
+    /// Total bytes retained across every in-progress buffer.
+    tracked_bytes: usize,
     /// Usage counters.
     pub stats: ReceiverStats,
 }
@@ -111,6 +131,7 @@ impl SmtReceiver {
             cipher,
             replay: ReplayGuard::new(),
             in_progress: HashMap::new(),
+            tracked_bytes: 0,
             stats: ReceiverStats::default(),
         }
     }
@@ -118,6 +139,18 @@ impl SmtReceiver {
     /// Number of messages currently being reassembled.
     pub fn in_progress(&self) -> usize {
         self.in_progress.len()
+    }
+
+    /// Bytes currently retained across every reassembly buffer (bounded by
+    /// [`MAX_TRACKED_BYTES`]).
+    pub fn tracked_bytes(&self) -> usize {
+        self.tracked_bytes
+    }
+
+    /// Forced low-water advances taken by the message-ID replay guard to
+    /// stay under its cap.
+    pub fn replay_guard_evictions(&self) -> u64 {
+        self.replay.evictions()
     }
 
     /// True if `message_id` has already been delivered (replay detection).
@@ -190,24 +223,78 @@ impl SmtReceiver {
                 first_record_index: opt.first_record_index,
                 ..SegmentBuf::default()
             });
-        if seg.decoded || seg.chunks.contains_key(&packet_offset) {
+        if seg.record_count != opt.record_count || seg.first_record_index != opt.first_record_index
+        {
+            // Geometry disagrees with what earlier packets of this segment
+            // declared: forged or corrupted metadata.
+            return Err(SmtError::malformed(
+                "inconsistent segment geometry across packets",
+            ));
+        }
+        if seg.decoded {
             self.stats.packets_duplicate += 1;
             return Ok(None);
         }
+        if let Some(existing) = seg.chunks.get(&packet_offset) {
+            if *existing == payload {
+                // A spurious retransmission: byte-identical, idempotent.
+                self.stats.packets_duplicate += 1;
+                return Ok(None);
+            }
+            // A coalescing attack: a second, different payload for an offset
+            // we already buffered.  Without per-packet authentication the
+            // receiver cannot arbitrate, so it surfaces the conflict instead
+            // of silently preferring either copy (DESIGN.md §8).
+            return Err(SmtError::malformed(
+                "conflicting payload for already-buffered packet offset",
+            ));
+        }
+        let payload_len = payload.len();
         seg.chunks.insert(packet_offset, payload);
+        msg.buf_bytes += payload_len;
+        self.tracked_bytes += payload_len;
         self.stats.packets_accepted += 1;
 
         // Try to decode the segment, then check message completion.
         self.try_decode_segment(message_id, opt.tso_offset)?;
-        self.try_complete(message_id)
+        let delivered = self.try_complete(message_id)?;
+        self.enforce_bounds();
+        self.stats.peak_tracked_bytes =
+            self.stats.peak_tracked_bytes.max(self.tracked_bytes as u64);
+        Ok(delivered)
+    }
+
+    /// Evicts in-progress buffers (fewest retained bytes first, newest
+    /// message ID breaking ties — the profile of single-packet forgeries)
+    /// until both state caps hold again.  Evicted messages are *not* marked
+    /// replayed: a legitimate sender's retransmissions can still rebuild and
+    /// deliver them.
+    fn enforce_bounds(&mut self) {
+        while self.in_progress.len() > MAX_IN_PROGRESS_MESSAGES
+            || self.tracked_bytes > MAX_TRACKED_BYTES
+        {
+            let victim = self
+                .in_progress
+                .iter()
+                .min_by_key(|(&id, m)| (m.buf_bytes, std::cmp::Reverse(id)))
+                .map(|(&id, _)| id);
+            let Some(id) = victim else {
+                // No buffers left to evict; reset the byte count defensively.
+                self.tracked_bytes = 0;
+                return;
+            };
+            if let Some(evicted) = self.in_progress.remove(&id) {
+                self.tracked_bytes = self.tracked_bytes.saturating_sub(evicted.buf_bytes);
+            }
+            self.stats.state_evictions += 1;
+        }
     }
 
     fn try_decode_segment(&mut self, message_id: u64, tso_offset: u32) -> SmtResult<()> {
         let encrypted = self.config.crypto_mode.is_encrypted();
-        let msg = self
-            .in_progress
-            .get_mut(&message_id)
-            .expect("caller inserted");
+        let Some(msg) = self.in_progress.get_mut(&message_id) else {
+            return Ok(());
+        };
         let Some(seg) = msg.segments.get_mut(&tso_offset) else {
             return Ok(());
         };
@@ -226,8 +313,11 @@ impl SmtReceiver {
                 .map(|c| c.len())
                 .unwrap_or(0);
             if prefix.len() > already {
-                msg.app_bytes += prefix.len() - already;
+                let grown = prefix.len() - already;
+                msg.app_bytes += grown;
+                msg.buf_bytes += grown;
                 msg.app_chunks.insert(tso_offset, prefix);
+                self.tracked_bytes += grown;
             }
             return Ok(());
         }
@@ -280,6 +370,7 @@ impl SmtReceiver {
                 SmtError::Crypto(e)
             })?;
         let mut app_offset = tso_offset;
+        let mut delta = 0isize;
         for plain in batch.iter() {
             let app: &[u8] = if self.config.framing_header {
                 let (framing, flen) = FramingHeader::decode(plain.plaintext)?;
@@ -292,12 +383,20 @@ impl SmtReceiver {
                 plain.plaintext
             };
             let len = app.len();
-            msg.app_chunks.insert(app_offset, app.to_vec());
+            let replaced = msg
+                .app_chunks
+                .insert(app_offset, app.to_vec())
+                .map_or(0, |old| old.len());
             msg.app_bytes += len;
+            delta += len as isize - replaced as isize;
             app_offset += len as u32;
         }
         seg.decoded = true;
+        let cleared: usize = seg.chunks.values().map(|c| c.len()).sum();
         seg.chunks.clear();
+        delta -= cleared as isize;
+        msg.buf_bytes = msg.buf_bytes.saturating_add_signed(delta);
+        self.tracked_bytes = self.tracked_bytes.saturating_add_signed(delta);
         Ok(())
     }
 
@@ -311,7 +410,10 @@ impl SmtReceiver {
         if !done {
             return Ok(None);
         }
-        let msg = self.in_progress.remove(&message_id).expect("checked above");
+        let Some(msg) = self.in_progress.remove(&message_id) else {
+            return Ok(None);
+        };
+        self.tracked_bytes = self.tracked_bytes.saturating_sub(msg.buf_bytes);
         let mut data = Vec::with_capacity(msg.message_length as usize);
         let mut expected = 0u32;
         for (&off, chunk) in &msg.app_chunks {
@@ -326,7 +428,9 @@ impl SmtReceiver {
         if data.len() != msg.message_length as usize {
             return Err(SmtError::malformed("reassembled length mismatch"));
         }
+        let guard_evictions_before = self.replay.evictions();
         self.replay.mark_completed(message_id);
+        self.stats.state_evictions += self.replay.evictions() - guard_evictions_before;
         self.stats.messages_delivered += 1;
         Ok(Some(ReceivedMessage {
             message_id,
@@ -456,6 +560,174 @@ mod tests {
             }
         }
         assert_eq!(delivered.unwrap().data, vec![1u8; 10_000]);
+    }
+
+    #[test]
+    fn conflicting_duplicate_payload_rejected() {
+        // Coalescing attack: a second copy of an already-buffered packet
+        // offset carrying *different* bytes must surface a typed error, not
+        // be silently dropped in favor of the first copy.
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let msg = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                0,
+                &vec![1u8; 10_000],
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+        rx.on_packet(&packets[0]).unwrap();
+        // Same packet offset, tampered payload bytes.
+        let mut forged = packets[0].clone();
+        if let smt_wire::PacketPayload::Data(b) = &forged.payload {
+            let mut v = b.to_vec();
+            v[0] ^= 0x55;
+            forged.payload = smt_wire::PacketPayload::Data(v.into());
+        }
+        assert!(matches!(
+            rx.on_packet(&forged),
+            Err(SmtError::MalformedPacket(_))
+        ));
+        // A byte-identical retransmission is still absorbed idempotently.
+        assert!(rx.on_packet(&packets[0]).unwrap().is_none());
+        assert_eq!(rx.stats.packets_duplicate, 1);
+    }
+
+    #[test]
+    fn inconsistent_segment_geometry_rejected() {
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let msg = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                0,
+                &vec![1u8; 10_000],
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+        rx.on_packet(&packets[0]).unwrap();
+        // A later packet of the same segment claiming different geometry.
+        let mut forged = packets[1].clone();
+        forged.overlay.options.first_record_index += 7;
+        assert!(matches!(
+            rx.on_packet(&forged),
+            Err(SmtError::MalformedPacket(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_message_flood_stays_bounded() {
+        // One packet per forged message ID: without the cap this grows one
+        // MessageBuf per datagram forever.
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        for id in 0..3 * MAX_IN_PROGRESS_MESSAGES as u64 {
+            // A real first packet of a large message that never completes.
+            let msg = segmenter
+                .segment_message(
+                    PathInfo::loopback(1, 2),
+                    id,
+                    &vec![0xab; 4000],
+                    0,
+                    Some(&tx),
+                    None,
+                    1 << 20,
+                )
+                .unwrap();
+            let packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+            rx.on_packet(&packets[0]).unwrap();
+        }
+        assert!(rx.in_progress() <= MAX_IN_PROGRESS_MESSAGES);
+        assert!(rx.tracked_bytes() <= MAX_TRACKED_BYTES);
+        assert!(rx.stats.state_evictions > 0);
+        assert!(rx.stats.peak_tracked_bytes <= MAX_TRACKED_BYTES as u64);
+        // The receiver still works: a fresh complete message delivers.
+        let id = 4 * MAX_IN_PROGRESS_MESSAGES as u64;
+        let msg = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                id,
+                b"still alive",
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let mut delivered = None;
+        for p in msg.segments[0].packetize(DEFAULT_MTU).unwrap() {
+            if let Some(m) = rx.on_packet(&p).unwrap() {
+                delivered = Some(m);
+            }
+        }
+        assert_eq!(delivered.unwrap().data, b"still alive");
+    }
+
+    #[test]
+    fn eviction_recovers_via_retransmission() {
+        // An evicted legitimate message is not marked replayed: resending it
+        // from scratch still delivers.
+        let config = SmtConfig::software();
+        let segmenter = SmtSegmenter::new(config, SeqnoLayout::default());
+        let tx = cipher();
+        let mut rx = SmtReceiver::new(config, SeqnoLayout::default(), Some(cipher()));
+        let victim = segmenter
+            .segment_message(
+                PathInfo::loopback(1, 2),
+                0,
+                &vec![7u8; 9000],
+                0,
+                Some(&tx),
+                None,
+                1 << 20,
+            )
+            .unwrap();
+        let victim_packets = victim.segments[0].packetize(DEFAULT_MTU).unwrap();
+        // Buffer only the (short) final packet, so the victim holds the
+        // fewest bytes and is deterministically first in eviction order,
+        // then flood until it gets evicted.
+        rx.on_packet(victim_packets.last().unwrap()).unwrap();
+        for id in 1..=MAX_IN_PROGRESS_MESSAGES as u64 + 8 {
+            let msg = segmenter
+                .segment_message(
+                    PathInfo::loopback(1, 2),
+                    id,
+                    &vec![0xcd; 6000],
+                    0,
+                    Some(&tx),
+                    None,
+                    1 << 20,
+                )
+                .unwrap();
+            let packets = msg.segments[0].packetize(DEFAULT_MTU).unwrap();
+            rx.on_packet(&packets[0]).unwrap();
+        }
+        assert!(rx.stats.state_evictions > 0);
+        // Full retransmission of the victim delivers it.
+        let mut delivered = None;
+        for p in &victim_packets {
+            let mut retx = p.clone();
+            SmtSegmenter::mark_retransmission(&mut retx);
+            if let Some(m) = rx.on_packet(&retx).unwrap() {
+                delivered = Some(m);
+            }
+        }
+        assert_eq!(delivered.unwrap().data, vec![7u8; 9000]);
     }
 
     #[test]

@@ -13,6 +13,13 @@
 
 use std::collections::BTreeSet;
 
+/// Caps the sparse completed-ID set.  Message IDs are allocated monotonically
+/// by the sender, so a peer whose newest completions sit more than this many
+/// gaps above the oldest outstanding ID is either broken or hostile; the
+/// guard force-advances the low-water mark past the oldest tracked ID,
+/// treating the skipped gap IDs as rejected (they can no longer complete).
+pub const MAX_TRACKED_IDS: usize = 4096;
+
 /// Tracks which message IDs have been seen/completed on the receive side.
 #[derive(Debug, Default)]
 pub struct ReplayGuard {
@@ -20,6 +27,8 @@ pub struct ReplayGuard {
     low_water: u64,
     /// Completed IDs at or above the low-water mark.
     completed: BTreeSet<u64>,
+    /// Forced low-water advances taken to stay under [`MAX_TRACKED_IDS`].
+    evictions: u64,
 }
 
 impl ReplayGuard {
@@ -42,6 +51,17 @@ impl ReplayGuard {
         }
         self.completed.insert(id);
         self.compact();
+        // Bounded memory even against an adversarial ID pattern: evict the
+        // oldest tracked ID (and thereby reject every gap below it) once the
+        // sparse set would exceed its cap.
+        while self.completed.len() > MAX_TRACKED_IDS {
+            if let Some(&oldest) = self.completed.iter().next() {
+                self.completed.remove(&oldest);
+                self.low_water = oldest + 1;
+                self.evictions += 1;
+                self.compact();
+            }
+        }
         true
     }
 
@@ -53,6 +73,12 @@ impl ReplayGuard {
     /// The current low-water mark (all IDs below it are considered replayed).
     pub fn low_water(&self) -> u64 {
         self.low_water
+    }
+
+    /// Forced low-water advances taken to keep the sparse set under
+    /// [`MAX_TRACKED_IDS`] (surfaced as `state_evictions`).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     fn compact(&mut self) {
@@ -104,6 +130,21 @@ mod tests {
         assert!(g.mark_completed(2));
         assert_eq!(g.tracked(), 0);
         assert_eq!(g.low_water(), 5);
+    }
+
+    #[test]
+    fn adversarial_gap_pattern_stays_bounded() {
+        let mut g = ReplayGuard::new();
+        // Complete only odd IDs: every completion leaves a gap, the worst
+        // case for the sparse set.
+        for id in 0..3 * MAX_TRACKED_IDS as u64 {
+            g.mark_completed(2 * id + 1);
+        }
+        assert!(g.tracked() <= MAX_TRACKED_IDS);
+        assert!(g.evictions() > 0);
+        // Evicted gap IDs count as replayed — they can no longer complete.
+        assert!(g.is_replayed(0));
+        assert!(!g.mark_completed(0));
     }
 
     #[test]

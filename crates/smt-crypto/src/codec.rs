@@ -99,24 +99,48 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Reads exactly `N` bytes into an array, without any panicking
+    /// conversion on the untrusted-input path.
+    fn take_n<const N: usize>(&mut self) -> CryptoResult<[u8; N]> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Reads a single byte.
     pub fn get_u8(&mut self) -> CryptoResult<u8> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads a boolean flag byte, requiring the canonical encodings 0 or 1.
+    ///
+    /// Handshake transcripts are rebuilt from *re-encoded* messages, so a lax
+    /// `!= 0` reading would canonicalize a tampered flag byte (e.g. 2 → true
+    /// → re-encoded as 1) and let the modification escape the Finished MAC
+    /// and signature checks (found by fuzzing).
+    pub fn get_bool(&mut self) -> CryptoResult<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CryptoError::handshake(format!(
+                "non-canonical boolean byte {other:#04x}"
+            ))),
+        }
+    }
+
     /// Reads a big-endian u16.
     pub fn get_u16(&mut self) -> CryptoResult<u16> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_be_bytes(self.take_n()?))
     }
 
     /// Reads a big-endian u32.
     pub fn get_u32(&mut self) -> CryptoResult<u32> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.take_n()?))
     }
 
     /// Reads a big-endian u64.
     pub fn get_u64(&mut self) -> CryptoResult<u64> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.take_n()?))
     }
 
     /// Reads a u16-length-prefixed opaque vector.

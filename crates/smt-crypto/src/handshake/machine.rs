@@ -368,7 +368,10 @@ impl ServerMachine {
         };
 
         self.accepted_random = Some(ch.random);
-        let mut reply = outcome.reply.expect("hello produces a flight");
+        let mut outcome = outcome;
+        let Some(mut reply) = outcome.reply.take() else {
+            return Err(CryptoError::handshake("hello produced no reply flight"));
+        };
         if let Some(ticket) = &self.issue_ticket {
             reply = splice_inband_ticket(&reply, ticket)?;
         }

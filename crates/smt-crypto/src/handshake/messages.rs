@@ -276,14 +276,14 @@ impl HandshakeMessage {
                     msg_id_bits: b.get_u8()?,
                     max_message_size: b.get_u32()?,
                 };
-                let has_psk = b.get_u8()? != 0;
+                let has_psk = b.get_bool()?;
                 let psk_id = b.get_u64()?;
-                let has_binder = b.get_u8()? != 0;
+                let has_binder = b.get_bool()?;
                 let binder_raw = b.get_vec16()?;
-                let has_smt_ticket = b.get_u8()? != 0;
+                let has_smt_ticket = b.get_bool()?;
                 let smt_ticket = b.get_u64()?;
-                let early_data = b.get_u8()? != 0;
-                let offer_client_auth = b.get_u8()? != 0;
+                let early_data = b.get_bool()?;
+                let offer_client_auth = b.get_bool()?;
                 HandshakeMessage::ClientHello(ClientHello {
                     random,
                     key_share,
@@ -302,14 +302,14 @@ impl HandshakeMessage {
             }
             2 => {
                 let random = fixed32(&b.get_vec16()?)?;
-                let has_share = b.get_u8()? != 0;
+                let has_share = b.get_bool()?;
                 let share = b.get_vec16()?;
                 HandshakeMessage::ServerHello(ServerHello {
                     random,
                     key_share: has_share.then_some(share),
                     cipher_suite: b.get_u16()?,
-                    psk_accepted: b.get_u8()? != 0,
-                    early_data_accepted: b.get_u8()? != 0,
+                    psk_accepted: b.get_bool()?,
+                    early_data_accepted: b.get_bool()?,
                 })
             }
             8 => HandshakeMessage::EncryptedExtensions(EncryptedExtensions {
@@ -317,7 +317,7 @@ impl HandshakeMessage {
                     msg_id_bits: b.get_u8()?,
                     max_message_size: b.get_u32()?,
                 },
-                request_client_auth: b.get_u8()? != 0,
+                request_client_auth: b.get_bool()?,
             }),
             11 => HandshakeMessage::Certificate(CertificateMsg {
                 chain: CertificateChain::decode(&b.get_vec32()?)?,

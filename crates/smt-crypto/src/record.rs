@@ -416,7 +416,9 @@ impl RecordProtector {
     pub fn open(&mut self, seq: u64, wire: &[u8]) -> CryptoResult<(OpenedRecord<'_>, usize)> {
         let batch = self.open_batch(seq, 1, wire)?;
         let consumed = batch.consumed;
-        let record = batch.get(0).expect("opened exactly one record");
+        let record = batch
+            .get(0)
+            .ok_or_else(|| CryptoError::Engine("open_batch returned no record".into()))?;
         Ok((record, consumed))
     }
 

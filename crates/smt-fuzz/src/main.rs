@@ -1,0 +1,70 @@
+//! Driver binary for the in-repo fuzz harness.
+//!
+//! ```text
+//! smt-fuzz [--target NAME|all] [--iters N] [--seed S] [--list]
+//! ```
+//!
+//! Runs each selected target for N seeded iterations and prints one summary
+//! line per target.  A panic in any parser aborts the process with a
+//! backtrace — the failure signal; reproduce with the printed seed.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: smt-fuzz [--target NAME|all] [--iters N] [--seed S] [--list]");
+    eprintln!("targets: {}", smt_fuzz::target_names().join(", "));
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut target = String::from("all");
+    let mut iters: u64 = 10_000;
+    let mut seed: u64 = 1;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--target" => match args.next() {
+                Some(v) => target = v,
+                None => return usage(),
+            },
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => iters = v,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--list" => {
+                for name in smt_fuzz::target_names() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let reports = if target == "all" {
+        smt_fuzz::run_all(iters, seed)
+    } else {
+        match smt_fuzz::run_target(&target, iters, seed) {
+            Some(report) => vec![report],
+            None => {
+                eprintln!("unknown target '{target}'");
+                return usage();
+            }
+        }
+    };
+    for report in &reports {
+        println!("{report}");
+    }
+    println!(
+        "ok: {} target(s), {} iterations each, seed {}",
+        reports.len(),
+        iters,
+        seed
+    );
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,10 @@
 //!   propagation, finite tail-drop buffers) with one seeded [`FaultyLink`]
 //!   fault model (loss / reordering / duplication) shared with the
 //!   conformance tests;
+//! * [`adversary`] — a seeded hostile-network model on top of the fault
+//!   model: records flights and injects forged replays, corrupted/truncated
+//!   copies, coalescing-attack splices and garbage floods, plus an in-path
+//!   stall window (the chaos suite's substrate);
 //! * [`workload`] — open-loop generators: Poisson arrivals over the paper's
 //!   message-size mixes, N→1 incast, all-to-all mesh;
 //! * [`scenario`] — the [`SimEndpoint`] hosting contract, the [`Scenario`]
@@ -24,11 +28,13 @@
 //! stack runs its real code over these modeled links, with only time being
 //! virtual.
 
+pub mod adversary;
 pub mod event;
 pub mod fabric;
 pub mod scenario;
 pub mod workload;
 
+pub use adversary::{Adversary, AdversaryConfig, AdversaryStats};
 pub use event::{Clock, EventQueue, TraceHash};
 pub use fabric::{
     Admission, Fabric, FabricStats, FaultConfig, FaultStats, FaultyLink, HostId, LinkConfig, PortId,

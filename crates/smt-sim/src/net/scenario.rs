@@ -16,6 +16,7 @@
 //!
 //! [`trace_hash`]: ScenarioReport::trace_hash
 
+use super::adversary::{Adversary, AdversaryConfig, AdversaryStats};
 use super::event::TraceHash;
 use super::fabric::{Fabric, FabricStats, FaultConfig, HostId, LinkConfig, PortId};
 use crate::pipeline::LatencySummary;
@@ -43,6 +44,17 @@ pub struct SimEndpointStats {
     /// and NIC-offloaded stacks).  [`run_scenario`] charges
     /// [`Scenario::cpu`] per record counted here.
     pub records_sealed: u64,
+    /// Received datagrams rejected as structurally malformed before any
+    /// cryptographic check.
+    pub malformed_rejected: u64,
+    /// Received records/packets whose authentication failed (forged or
+    /// corrupted ciphertext).
+    pub auth_failures: u64,
+    /// Times a bounded per-peer buffer hit its cap and evicted state.
+    pub state_evictions: u64,
+    /// High-water mark of attacker-influenceable buffered bytes across the
+    /// endpoint's bounded buffers.
+    pub peak_tracked_bytes: u64,
 }
 
 /// The contract a protocol engine implements to live on the fabric.
@@ -147,6 +159,12 @@ pub struct Scenario {
     /// JSON deserializes to) runs the pre-existing zero-CPU-cost model.
     #[serde(default)]
     pub cpu: Option<CpuCharge>,
+    /// Hostile-network model composed on top of [`Self::faults`]: forged
+    /// replays, corrupted/truncated/spliced copies, garbage floods and an
+    /// in-path stall window.  `None` (the default, and what older scenario
+    /// JSON deserializes to) runs without an adversary.
+    #[serde(default)]
+    pub adversary: Option<AdversaryConfig>,
 }
 
 impl Scenario {
@@ -161,6 +179,7 @@ impl Scenario {
             faults: FaultConfig::none(),
             max_events: 20_000_000,
             cpu: None,
+            adversary: None,
         }
     }
 
@@ -205,6 +224,24 @@ pub struct ScenarioReport {
     /// TLS records sealed in software, summed over all endpoints (zero for
     /// plaintext and offloaded stacks).
     pub records_sealed: u64,
+    /// Structurally malformed datagrams rejected, summed over all endpoints.
+    #[serde(default)]
+    pub malformed_rejected: u64,
+    /// Authentication failures (forged/corrupted ciphertext), summed over all
+    /// endpoints.
+    #[serde(default)]
+    pub auth_failures: u64,
+    /// Bounded-buffer cap evictions, summed over all endpoints.
+    #[serde(default)]
+    pub state_evictions: u64,
+    /// Maximum over endpoints of the attacker-influenceable buffered-byte
+    /// high-water mark — the chaos suite's boundedness gauge.
+    #[serde(default)]
+    pub peak_tracked_bytes: u64,
+    /// What the adversary did (all zeros when [`Scenario::adversary`] is
+    /// `None`).
+    #[serde(default)]
+    pub adversary: AdversaryStats,
     /// Fabric counters (offered/delivered/dropped/duplicated).
     pub fabric: FabricStats,
     /// Order-sensitive digest of the processed event sequence; equal digests
@@ -222,6 +259,7 @@ mod trace_tag {
     pub const ARRIVAL: u64 = 2;
     pub const TIMEOUT: u64 = 3;
     pub const DELIVERY: u64 = 4;
+    pub const INJECT: u64 = 5;
 }
 
 /// Runs `scenario` over `endpoints` (two per flow: index `2*f` is the client
@@ -243,6 +281,7 @@ pub fn run_scenario(
         scenario.flows.len() * 2,
         "one endpoint per flow end"
     );
+    let mut adversary = scenario.adversary.map(Adversary::new);
     let mut fabric = Fabric::new(scenario.link, scenario.faults);
     for _ in 0..scenario.n_hosts {
         fabric.add_host();
@@ -295,6 +334,9 @@ pub fn run_scenario(
             while let Some(ep) = work.pop() {
                 scratch.clear();
                 if endpoints[ep].poll_transmit(t, &mut scratch) > 0 {
+                    if let Some(adv) = adversary.as_mut() {
+                        adv.tap(t, ports[ep], &mut scratch);
+                    }
                     fabric.send(t, ports[ep], std::mem::take(&mut scratch));
                 }
                 for (id, data) in endpoints[ep].take_delivered() {
@@ -331,6 +373,9 @@ pub fn run_scenario(
                 // fresh transmissions behind; one more pass catches them.
                 scratch.clear();
                 if endpoints[ep].poll_transmit(t, &mut scratch) > 0 {
+                    if let Some(adv) = adversary.as_mut() {
+                        adv.tap(t, ports[ep], &mut scratch);
+                    }
                     fabric.send(t, ports[ep], std::mem::take(&mut scratch));
                 }
             }
@@ -344,18 +389,21 @@ pub fn run_scenario(
         }
         let t_send = scenario.sends.get(send_idx).map(|s| s.at);
         let t_net = fabric.next_arrival();
+        let t_adv = adversary.as_ref().and_then(|a| a.next_injection());
         let t_timer = endpoints.iter().filter_map(|e| e.next_timeout()).min();
         // Deterministic cause priority at equal times: workload sends, then
-        // packet arrivals, then timers.
+        // packet arrivals, then adversary injections, then timers.
         enum Cause {
             Send,
             Net,
+            Inject,
             Timer,
         }
         let next = [
             t_send.map(|t| (t, 0u8)),
             t_net.map(|t| (t, 1u8)),
-            t_timer.map(|t| (t, 2u8)),
+            t_adv.map(|t| (t, 2u8)),
+            t_timer.map(|t| (t, 3u8)),
         ]
         .into_iter()
         .flatten()
@@ -364,6 +412,7 @@ pub fn run_scenario(
         let cause = match tag {
             0 => Cause::Send,
             1 => Cause::Net,
+            2 => Cause::Inject,
             _ => Cause::Timer,
         };
         now = now.max(t);
@@ -419,6 +468,21 @@ pub fn run_scenario(
                 endpoints[port].handle_datagram(&packet, now);
                 pump!(vec![port]);
             }
+            Cause::Inject => {
+                // Forged traffic enters the fabric from the recorded source
+                // port — the adversary spoofing the victim's peer.  Injections
+                // bypass the tap (the adversary does not forge its own
+                // forgeries).
+                if let Some(adv) = adversary.as_mut() {
+                    for (port, packet) in adv.pop_due(now) {
+                        trace.note(trace_tag::INJECT);
+                        trace.note(now);
+                        trace.note(port as u64);
+                        trace.note(packet.wire_len() as u64);
+                        fabric.send(now, port, vec![packet]);
+                    }
+                }
+            }
             Cause::Timer => {
                 let mut dirty = Vec::new();
                 for (i, ep) in endpoints.iter_mut().enumerate() {
@@ -439,12 +503,20 @@ pub fn run_scenario(
     let mut timeouts_fired = 0;
     let mut endpoint_datagrams_dropped = 0;
     let mut records_sealed = 0;
+    let mut malformed_rejected = 0;
+    let mut auth_failures = 0;
+    let mut state_evictions = 0;
+    let mut peak_tracked_bytes = 0u64;
     for ep in endpoints.iter() {
         let s = ep.sim_stats();
         retransmissions += s.retransmissions;
         timeouts_fired += s.timeouts_fired;
         endpoint_datagrams_dropped += s.datagrams_dropped;
         records_sealed += s.records_sealed;
+        malformed_rejected += s.malformed_rejected;
+        auth_failures += s.auth_failures;
+        state_evictions += s.state_evictions;
+        peak_tracked_bytes = peak_tracked_bytes.max(s.peak_tracked_bytes);
     }
     let duration_ns = now.max(1);
     ScenarioReport {
@@ -460,6 +532,11 @@ pub fn run_scenario(
         timeouts_fired,
         endpoint_datagrams_dropped,
         records_sealed,
+        malformed_rejected,
+        auth_failures,
+        state_evictions,
+        peak_tracked_bytes,
+        adversary: adversary.map(|a| a.stats).unwrap_or_default(),
         fabric: fabric.stats,
         trace_hash: trace.digest(),
         events,

@@ -52,6 +52,16 @@ use std::sync::{Arc, Mutex};
 /// first flight (one TLS record).
 pub const EARLY_DATA_MAX: usize = 16 * 1024;
 
+/// Cap on application bytes queued while an in-band handshake runs; beyond
+/// it `send` returns a typed error instead of buffering without bound.
+pub(crate) const MAX_QUEUED_BYTES: usize = 16 << 20;
+
+/// Hard cap on one reassembled handshake flight.  Real flights are a few KiB
+/// (the certificate chain dominates); the flight length is attacker-declared
+/// wire data, so anything larger is rejected before a single byte of it is
+/// buffered (DESIGN.md §8 state-bounds table).
+pub const MAX_FLIGHT_BYTES: usize = 64 * 1024;
+
 /// Client-side configuration for [`super::EndpointBuilder::connect`].
 ///
 /// A fresh configuration performs the full 1-RTT handshake; [`resume`] turns
@@ -250,6 +260,7 @@ enum Role {
 struct FlightRx {
     total: usize,
     frags: BTreeMap<usize, Bytes>,
+    frag_bytes: usize,
 }
 
 impl FlightRx {
@@ -257,11 +268,33 @@ impl FlightRx {
         Self {
             total,
             frags: BTreeMap::new(),
+            frag_bytes: 0,
         }
     }
 
-    fn insert(&mut self, offset: usize, data: &Bytes) {
-        self.frags.entry(offset).or_insert_with(|| data.clone());
+    /// Inserts a fragment.  Returns `false` when the fragment lies outside
+    /// `[0, total)` (forged geometry) or disagrees byte-for-byte with a copy
+    /// already received at the same offset (a coalescing/corruption attack);
+    /// the first authentic copy is kept and the conflict is surfaced to the
+    /// caller's counters.
+    fn insert(&mut self, offset: usize, data: &Bytes) -> bool {
+        if data.is_empty() || offset >= self.total || data.len() > self.total - offset {
+            return false;
+        }
+        match self.frags.entry(offset) {
+            std::collections::btree_map::Entry::Occupied(existing) => existing.get() == data,
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                self.frag_bytes += data.len();
+                slot.insert(data.clone());
+                true
+            }
+        }
+    }
+
+    /// Bytes currently buffered for this flight (bounded by `total`, which is
+    /// itself bounded by [`MAX_FLIGHT_BYTES`]).
+    fn tracked_bytes(&self) -> usize {
+        self.frag_bytes
     }
 
     /// Returns the flight bytes once the fragments cover `[0, total)`.
@@ -304,6 +337,8 @@ pub(crate) struct HandshakeDriver {
     pub wire_bytes_sent: u64,
     pub wire_bytes_received: u64,
     pub datagrams_dropped: u64,
+    pub malformed_rejected: u64,
+    pub peak_tracked_bytes: u64,
 }
 
 impl std::fmt::Debug for HandshakeDriver {
@@ -398,6 +433,8 @@ impl HandshakeDriver {
             wire_bytes_sent: 0,
             wire_bytes_received: 0,
             datagrams_dropped: 0,
+            malformed_rejected: 0,
+            peak_tracked_bytes: 0,
         }
     }
 
@@ -499,8 +536,23 @@ impl HandshakeDriver {
             self.datagrams_dropped += 1;
             return outcome;
         }
+        if total > MAX_FLIGHT_BYTES {
+            // Attacker-declared flight length: reject before buffering.
+            self.malformed_rejected += 1;
+            self.datagrams_dropped += 1;
+            return outcome;
+        }
         let rx = self.rx.get_or_insert_with(|| FlightRx::new(total));
-        rx.insert(offset, data);
+        if rx.total != total || !rx.insert(offset, data) {
+            // Geometry inconsistent with the flight under assembly, or a
+            // conflicting copy of an already-buffered fragment: a forged or
+            // corrupted packet.  Keep what we have — the authentic sender
+            // retransmits on its RTO if the flight cannot complete.
+            self.malformed_rejected += 1;
+            self.datagrams_dropped += 1;
+            return outcome;
+        }
+        self.peak_tracked_bytes = self.peak_tracked_bytes.max(rx.tracked_bytes() as u64);
         let Some(flight) = rx.try_assemble() else {
             return outcome;
         };
@@ -535,7 +587,10 @@ impl HandshakeDriver {
                 first_arrival = true;
                 let result = match acceptor {
                     Some(a) => {
-                        let mut replay = a.replay.lock().expect("replay cache lock");
+                        // Recover the cache even if another accepted endpoint
+                        // panicked while holding the lock: the cache contents
+                        // (a set of ClientHello randoms) stay valid.
+                        let mut replay = a.replay.lock().unwrap_or_else(|p| p.into_inner());
                         machine.on_flight(
                             &flight,
                             Some(ZeroRttContext {

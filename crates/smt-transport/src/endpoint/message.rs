@@ -23,7 +23,7 @@
 //! early-data message and the flushed queue keep the IDs the application was
 //! promised.
 
-use super::handshake::{control_proto, HandshakeDriver};
+use super::handshake::{control_proto, HandshakeDriver, MAX_QUEUED_BYTES};
 use super::{
     missing_keys, EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint,
 };
@@ -46,6 +46,8 @@ pub struct MessageEndpoint {
     hs: Option<HandshakeDriver>,
     /// Sends queued while the handshake runs, keyed by their public ID.
     queued: VecDeque<(u64, Vec<u8>)>,
+    /// Bytes held in `queued` (bounded by [`MAX_QUEUED_BYTES`]).
+    queued_bytes: usize,
     next_public_id: u64,
     /// Public ID = session ID + offset, on the send side (1 after 0-RTT
     /// early data consumed the first public ID without entering the session).
@@ -189,6 +191,7 @@ impl MessageEndpoint {
             engine_conn: None,
             staged: Vec::new(),
             queued: VecDeque::new(),
+            queued_bytes: 0,
             next_public_id: 0,
             tx_id_offset: 0,
             rx_id_offset: 0,
@@ -298,15 +301,18 @@ impl MessageEndpoint {
     /// Takes the first queued message as 0-RTT early data, if it fits in one
     /// record.
     fn take_early_candidate(&mut self) -> Option<Vec<u8>> {
-        match self.queued.front() {
-            Some((0, data)) if data.len() <= super::handshake::EARLY_DATA_MAX => {
-                let (_, data) = self.queued.pop_front().expect("checked front");
-                self.extra.messages_sent += 1;
-                self.extra.bytes_sent += data.len() as u64;
-                Some(data)
-            }
-            _ => None,
+        let eligible = matches!(
+            self.queued.front(),
+            Some((0, data)) if data.len() <= super::handshake::EARLY_DATA_MAX
+        );
+        if !eligible {
+            return None;
         }
+        let (_, data) = self.queued.pop_front()?;
+        self.queued_bytes = self.queued_bytes.saturating_sub(data.len());
+        self.extra.messages_sent += 1;
+        self.extra.bytes_sent += data.len() as u64;
+        Some(data)
     }
 
     /// Applies the effects of one handled handshake CONTROL packet.
@@ -353,6 +359,7 @@ impl MessageEndpoint {
         self.inner = Some(inner);
         self.register_engine();
         // Flush the sends that queued during the handshake.
+        self.queued_bytes = 0;
         for (public_id, data) in std::mem::take(&mut self.queued) {
             match self.inner_send(&data) {
                 Ok(id) => debug_assert_eq!(id, public_id, "flushed send kept its public ID"),
@@ -441,9 +448,17 @@ impl SecureEndpoint for MessageEndpoint {
         }
         // Handshake still running: queue; the first queued message may ride
         // the ClientHello flight as 0-RTT early data.
+        if self.queued_bytes + data.len() > MAX_QUEUED_BYTES {
+            return Err(EndpointError::Config(format!(
+                "handshake send queue full ({MAX_QUEUED_BYTES} bytes); retry after \
+                 HandshakeComplete"
+            )));
+        }
         let id = self.next_public_id;
         self.next_public_id += 1;
         self.queued.push_back((id, data.to_vec()));
+        self.queued_bytes += data.len();
+        self.extra.peak_tracked_bytes = self.extra.peak_tracked_bytes.max(self.queued_bytes as u64);
         Ok(MessageId(id))
     }
 
@@ -549,6 +564,12 @@ impl SecureEndpoint for MessageEndpoint {
             stats.retransmissions += inner.retransmitted_packets();
             stats.datagrams_dropped += inner.recv_errors();
             stats.records_sealed += session.records_sealed;
+            stats.auth_failures += receiver.auth_failures;
+            // Typed-error rejections that were not authentication failures
+            // were malformed wire input.
+            stats.malformed_rejected += inner.recv_errors().saturating_sub(receiver.auth_failures);
+            stats.state_evictions += receiver.state_evictions + inner.recv_state_evictions();
+            stats.peak_tracked_bytes = stats.peak_tracked_bytes.max(receiver.peak_tracked_bytes);
         }
         stats.timeouts_fired += self.timeouts_fired;
         if let Some(hs) = &self.hs {
@@ -557,6 +578,8 @@ impl SecureEndpoint for MessageEndpoint {
             stats.retransmissions += hs.retransmissions;
             stats.timeouts_fired += hs.timeouts_fired;
             stats.datagrams_dropped += hs.datagrams_dropped;
+            stats.malformed_rejected += hs.malformed_rejected;
+            stats.peak_tracked_bytes = stats.peak_tracked_bytes.max(hs.peak_tracked_bytes);
         }
         stats
     }

@@ -149,6 +149,22 @@ pub struct EndpointStats {
     /// stacks (NIC-sealed records) leave this at zero; the simulator uses it
     /// to charge per-record CPU cost.
     pub records_sealed: u64,
+    /// Received datagrams rejected as structurally malformed before any
+    /// cryptographic check: bad framing, inconsistent segment geometry,
+    /// oversized declared lengths, handshake fragments outside their flight.
+    pub malformed_rejected: u64,
+    /// Received records or packets whose AEAD tag (or stream-cipher state)
+    /// failed authentication — forged or corrupted ciphertext.
+    pub auth_failures: u64,
+    /// Times a bounded per-peer buffer (reassembly, out-of-order stream
+    /// segments, replay guard, handshake queue) hit its cap and evicted state
+    /// to stay within it.  Legitimate traffic recovers via retransmission.
+    pub state_evictions: u64,
+    /// High-water mark of attacker-influenceable buffered bytes across the
+    /// endpoint's bounded buffers (reassembly + out-of-order + queued sends +
+    /// handshake fragments).  Chaos scenarios assert this stays under the
+    /// configured caps even under floods.
+    pub peak_tracked_bytes: u64,
 }
 
 /// Errors from endpoint construction and driving.

@@ -65,6 +65,19 @@ use std::collections::{BTreeMap, VecDeque};
 /// (8 bytes BE) + payload length (4 bytes BE).
 const FRAME_HEADER: usize = 12;
 
+/// Cap on bytes parked in the out-of-order reorder buffer.  Everything in it
+/// is attacker-influenceable wire data; beyond the cap the furthest-ahead
+/// segment is evicted (go-back-N resends it) — DESIGN.md §8.
+const MAX_OOO_BYTES: usize = 4 << 20;
+
+/// Largest length a stream frame header may declare.  A larger value means
+/// the stream framing is corrupted (on plain TCP, undetectably injected):
+/// without the cap the frame buffer would grow forever waiting for a
+/// 4 GiB frame that never completes.
+const MAX_FRAME_LEN: usize = 16 << 20;
+
+use super::handshake::MAX_QUEUED_BYTES;
+
 /// A [`SecureEndpoint`] over a TCP-like reliable bytestream.
 pub struct StreamEndpoint {
     stack: StackKind,
@@ -89,6 +102,8 @@ pub struct StreamEndpoint {
     staged_wire: usize,
     /// Sends queued while the handshake runs, with their assigned IDs.
     queued: VecDeque<(MessageId, Vec<u8>)>,
+    /// Bytes held in `queued` (bounded by [`MAX_QUEUED_BYTES`]).
+    queued_bytes: usize,
 
     // Transmit side.
     /// Unacknowledged wire bytes; `wire[0]` is stream offset `wire_base`.
@@ -108,6 +123,8 @@ pub struct StreamEndpoint {
     recv_next: u64,
     /// Out-of-order wire segments keyed by stream offset.
     ooo: BTreeMap<u64, Bytes>,
+    /// Bytes held in `ooo` (bounded by [`MAX_OOO_BYTES`]).
+    ooo_bytes: usize,
     /// Decrypted, in-order plaintext awaiting frame delimiting.
     frame_buf: BytesMut,
     /// A cumulative ACK should be emitted on the next poll.
@@ -250,6 +267,7 @@ impl StreamEndpoint {
             engine_conn: None,
             staged_wire: 0,
             queued: VecDeque::new(),
+            queued_bytes: 0,
             wire: BytesMut::new(),
             wire_base: 0,
             next_send: 0,
@@ -258,6 +276,7 @@ impl StreamEndpoint {
             next_msg_id: 0,
             recv_next: 0,
             ooo: BTreeMap::new(),
+            ooo_bytes: 0,
             frame_buf: BytesMut::new(),
             ack_pending: false,
             rto_ns: rto_ns.max(1),
@@ -316,6 +335,12 @@ impl StreamEndpoint {
         EndpointError::Stream(msg)
     }
 
+    /// Records the current high-water mark of attacker-growable buffers.
+    fn note_tracked_bytes(&mut self) {
+        let tracked = (self.ooo_bytes + self.frame_buf.len() + self.queued_bytes) as u64;
+        self.stats.peak_tracked_bytes = self.stats.peak_tracked_bytes.max(tracked);
+    }
+
     fn ack_packet(&self) -> Packet {
         let overlay = SmtOverlayHeader {
             tcp: OverlayTcpHeader::new(self.path.src_port, self.path.dst_port, PacketType::Ack),
@@ -345,16 +370,39 @@ impl StreamEndpoint {
             Some(rx) => match rx.on_bytes(bytes) {
                 Ok(p) => p,
                 Err(e) => {
-                    return Err(self.fatal(format!("record layer failed on in-order stream: {e}")))
+                    if matches!(
+                        e,
+                        smt_core::SmtError::Crypto(smt_crypto::CryptoError::AuthenticationFailed)
+                    ) {
+                        self.stats.auth_failures += 1;
+                    }
+                    return Err(self.fatal(format!("record layer failed on in-order stream: {e}")));
                 }
             },
             None => bytes.to_vec(),
         };
         self.frame_buf.extend_from_slice(&plaintext);
+        self.note_tracked_bytes();
         while self.frame_buf.len() >= FRAME_HEADER {
             let header: &[u8] = &self.frame_buf;
-            let id = u64::from_be_bytes(header[..8].try_into().expect("8 bytes"));
-            let len = u32::from_be_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+            let Some(id_bytes) = header.get(..8).and_then(|s| <[u8; 8]>::try_from(s).ok()) else {
+                break;
+            };
+            let Some(len_bytes) = header.get(8..12).and_then(|s| <[u8; 4]>::try_from(s).ok())
+            else {
+                break;
+            };
+            let id = u64::from_be_bytes(id_bytes);
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            if len > MAX_FRAME_LEN {
+                // A corrupted (or, on plain TCP, injected) frame header: the
+                // stream can never resynchronise, and waiting for the declared
+                // bytes would grow the frame buffer without bound.
+                self.stats.malformed_rejected += 1;
+                return Err(self.fatal(format!(
+                    "stream framing corrupted: declared frame of {len} bytes exceeds {MAX_FRAME_LEN}"
+                )));
+            }
             if self.frame_buf.len() < FRAME_HEADER + len {
                 break;
             }
@@ -407,9 +455,25 @@ impl StreamEndpoint {
                 return Ok(());
             }
             _ => {
-                self.ooo.insert(offset, bytes.clone());
+                if let Some(replaced) = self.ooo.insert(offset, bytes.clone()) {
+                    self.ooo_bytes = self.ooo_bytes.saturating_sub(replaced.len());
+                }
+                self.ooo_bytes += bytes.len();
             }
         }
+        // Bounded reorder buffer: evict the furthest-ahead segment (the
+        // sender's go-back-N covers it again) until back under the cap.
+        while self.ooo_bytes > MAX_OOO_BYTES {
+            let Some((&far, _)) = self.ooo.iter().next_back() else {
+                self.ooo_bytes = 0;
+                break;
+            };
+            if let Some(evicted) = self.ooo.remove(&far) {
+                self.ooo_bytes = self.ooo_bytes.saturating_sub(evicted.len());
+            }
+            self.stats.state_evictions += 1;
+        }
+        self.note_tracked_bytes();
 
         // Advance the in-order prefix through the reorder buffer.
         let mut in_order = Vec::new();
@@ -417,7 +481,10 @@ impl StreamEndpoint {
             if off > self.recv_next {
                 break;
             }
-            let chunk = self.ooo.remove(&off).expect("first entry");
+            let Some(chunk) = self.ooo.remove(&off) else {
+                break;
+            };
+            self.ooo_bytes = self.ooo_bytes.saturating_sub(chunk.len());
             let chunk_end = off + chunk.len() as u64;
             if chunk_end <= self.recv_next {
                 continue; // Buffered bytes that a larger chunk already covered.
@@ -469,15 +536,18 @@ impl StreamEndpoint {
     /// Takes the first queued message as 0-RTT early data, if it fits in one
     /// record.
     fn take_early_candidate(&mut self) -> Option<Vec<u8>> {
-        match self.queued.front() {
-            Some((MessageId(0), data)) if data.len() <= super::handshake::EARLY_DATA_MAX => {
-                let (_, data) = self.queued.pop_front().expect("checked front");
-                self.stats.messages_sent += 1;
-                self.stats.bytes_sent += data.len() as u64;
-                Some(data)
-            }
-            _ => None,
+        let eligible = matches!(
+            self.queued.front(),
+            Some((MessageId(0), data)) if data.len() <= super::handshake::EARLY_DATA_MAX
+        );
+        if !eligible {
+            return None;
         }
+        let (_, data) = self.queued.pop_front()?;
+        self.queued_bytes = self.queued_bytes.saturating_sub(data.len());
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        Some(data)
     }
 
     /// Applies the effects of one handled handshake CONTROL packet.
@@ -530,6 +600,7 @@ impl StreamEndpoint {
             self.events.push_back(Event::MessageAcked(MessageId(0)));
         }
         // Flush the sends that queued during the handshake onto the stream.
+        self.queued_bytes = 0;
         for (id, data) in std::mem::take(&mut self.queued) {
             self.stats.messages_sent += 1;
             self.stats.bytes_sent += data.len() as u64;
@@ -591,7 +662,16 @@ impl SecureEndpoint for StreamEndpoint {
             // message may ride the ClientHello flight as 0-RTT early data.
             // Send counters are bumped when the bytes actually leave (flush
             // or early-data piggyback), like the message backend.
+            if self.queued_bytes + data.len() > MAX_QUEUED_BYTES {
+                self.next_msg_id -= 1;
+                return Err(EndpointError::Stream(format!(
+                    "handshake send queue full ({MAX_QUEUED_BYTES} bytes); retry after \
+                     HandshakeComplete"
+                )));
+            }
             self.queued.push_back((id, data.to_vec()));
+            self.queued_bytes += data.len();
+            self.note_tracked_bytes();
             return Ok(id);
         }
         self.stats.messages_sent += 1;
@@ -772,6 +852,8 @@ impl SecureEndpoint for StreamEndpoint {
             stats.retransmissions += hs.retransmissions;
             stats.timeouts_fired += hs.timeouts_fired;
             stats.datagrams_dropped += hs.datagrams_dropped;
+            stats.malformed_rejected += hs.malformed_rejected;
+            stats.peak_tracked_bytes = stats.peak_tracked_bytes.max(hs.peak_tracked_bytes);
         }
         stats
     }

@@ -68,7 +68,21 @@ struct RecvProgress {
     granted: usize,
     total_estimate: usize,
     complete: bool,
+    /// RESENDs issued since data last arrived; the receiver abandons the
+    /// message at `MAX_RESEND_ATTEMPTS` instead of requesting forever.
+    resends: u32,
 }
+
+/// Incomplete receives tracked at most; beyond this the receiver evicts the
+/// incomplete message with the least progress (an attacker spraying bogus
+/// message IDs gets its own state evicted first, not legitimate transfers).
+const MAX_INCOMPLETE_RECVS: usize = 1024;
+
+/// RESEND requests issued for one stalled message before the receiver
+/// abandons it.  A message whose sender is real recovers via the sender-side
+/// unscheduled-prefix retransmission; a forged message ID stops consuming
+/// timer state.
+const MAX_RESEND_ATTEMPTS: u32 = 8;
 
 /// One endpoint of the packet-level transport.
 pub struct HomaEndpoint {
@@ -88,6 +102,11 @@ pub struct HomaEndpoint {
     /// Received packets the session rejected (failed authentication or
     /// malformed) and this endpoint therefore dropped.
     recv_errors: u64,
+    /// Incomplete receives currently tracked (maintained incrementally so the
+    /// bound check never scans the map on the data path).
+    incomplete: usize,
+    /// Incomplete receives abandoned: RESEND give-up plus cap evictions.
+    recv_state_evictions: u64,
 }
 
 impl std::fmt::Debug for HomaEndpoint {
@@ -151,6 +170,8 @@ impl HomaEndpoint {
             acked: Vec::new(),
             retransmitted_packets: 0,
             recv_errors: 0,
+            incomplete: 0,
+            recv_state_evictions: 0,
         }
     }
 
@@ -181,7 +202,14 @@ impl HomaEndpoint {
 
     /// Number of messages that started arriving but have not completed.
     pub fn incomplete_recvs(&self) -> usize {
-        self.recvs.values().filter(|p| !p.complete).count()
+        self.incomplete
+    }
+
+    /// Incomplete receives abandoned to stay within bounds: RESEND give-up
+    /// after `MAX_RESEND_ATTEMPTS` quiet timeouts, plus evictions at the
+    /// `MAX_INCOMPLETE_RECVS` cap.
+    pub fn recv_state_evictions(&self) -> u64 {
+        self.recv_state_evictions
     }
 
     /// Data packets retransmitted so far (RESEND-triggered plus
@@ -276,18 +304,41 @@ impl HomaEndpoint {
         match packet.overlay.tcp.packet_type {
             PacketType::Data => {
                 let message_id = packet.overlay.options.message_id;
+                // A fresh message ID at the incomplete-receive cap evicts the
+                // tracked message with the least progress (newest ID breaks
+                // ties), so a spray of forged IDs cannibalizes its own state
+                // while transfers that are actually progressing survive.
+                // Legitimate evicted messages recover via the sender-side
+                // unscheduled-prefix retransmission.
+                if self.incomplete >= MAX_INCOMPLETE_RECVS && !self.recvs.contains_key(&message_id)
+                {
+                    let victim = self
+                        .recvs
+                        .iter()
+                        .filter(|(_, p)| !p.complete)
+                        .min_by_key(|(&id, p)| (p.packets_seen, std::cmp::Reverse(id)))
+                        .map(|(&id, _)| id);
+                    if let Some(id) = victim {
+                        self.recvs.remove(&id);
+                        self.incomplete -= 1;
+                        self.recv_state_evictions += 1;
+                    }
+                }
                 // Track receive progress for grant decisions.
                 let per_packet = smt_wire::max_payload_per_packet(self.config.mtu).max(1);
-                let progress = self
-                    .recvs
-                    .entry(message_id)
-                    .or_insert_with(|| RecvProgress {
-                        granted: self.config.unscheduled_packets,
-                        total_estimate: (packet.overlay.options.message_length as usize)
-                            .div_ceil(per_packet)
-                            .max(1),
-                        ..RecvProgress::default()
-                    });
+                let progress = match self.recvs.entry(message_id) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        self.incomplete += 1;
+                        v.insert(RecvProgress {
+                            granted: self.config.unscheduled_packets,
+                            total_estimate: (packet.overlay.options.message_length as usize)
+                                .div_ceil(per_packet)
+                                .max(1),
+                            ..RecvProgress::default()
+                        })
+                    }
+                };
                 let was_complete = progress.complete;
                 if was_complete {
                     // Completed (or replayed) message: the session will discard
@@ -295,13 +346,18 @@ impl HomaEndpoint {
                     // lost and the sender is retransmitting to get one.
                 } else {
                     progress.packets_seen += 1;
+                    // Data arrived: the stall clock restarts.
+                    progress.resends = 0;
                 }
                 match self.session.receive_packet(packet) {
                     Ok(Some(message)) => {
                         let id = message.message_id;
                         self.delivered.push(message);
                         if let Some(p) = self.recvs.get_mut(&id) {
-                            p.complete = true;
+                            if !p.complete {
+                                p.complete = true;
+                                self.incomplete -= 1;
+                            }
                         }
                         out.push(self.control_packet(
                             PacketPayload::Ack(HomaAck { message_id: id }),
@@ -417,7 +473,9 @@ impl HomaEndpoint {
 
     /// Issues RESEND requests for messages that have started arriving but have
     /// not completed (invoked by the driver when the channel goes quiet,
-    /// standing in for Homa's timeout-driven RESEND).
+    /// standing in for Homa's timeout-driven RESEND).  A message that stays
+    /// stalled through `MAX_RESEND_ATTEMPTS` quiet timeouts is abandoned —
+    /// a forged message ID must not keep the receiver's timer armed forever.
     pub fn poll_resend(&mut self) -> Vec<Packet> {
         let mut out = Vec::new();
         let ids: Vec<u64> = self
@@ -427,6 +485,16 @@ impl HomaEndpoint {
             .map(|(id, _)| *id)
             .collect();
         for id in ids {
+            let Some(progress) = self.recvs.get_mut(&id) else {
+                continue;
+            };
+            if progress.resends >= MAX_RESEND_ATTEMPTS {
+                self.recvs.remove(&id);
+                self.incomplete -= 1;
+                self.recv_state_evictions += 1;
+                continue;
+            }
+            progress.resends += 1;
             out.push(self.control_packet(
                 PacketPayload::Resend(HomaResend {
                     message_id: id,

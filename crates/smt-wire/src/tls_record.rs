@@ -133,6 +133,18 @@ impl TlsRecordHeader {
             });
         }
         let content_type = ContentType::from_u8(buf[0])?;
+        // RFC 8446 receivers may ignore the legacy version, but there the
+        // transmitted header bytes are the AEAD's AAD, so tampering with them
+        // still breaks authentication.  [`TlsRecordHeader::aad`] re-encodes
+        // the canonical header instead, which would let flipped version bytes
+        // escape authentication entirely — so reject them at parse time (every
+        // in-repo encoder writes the canonical version; found by fuzzing).
+        if buf[1..3] != LEGACY_RECORD_VERSION {
+            return Err(WireError::invalid(
+                "legacy_version",
+                format!("expected 0x0303, got {:#04x}{:02x}", buf[1], buf[2]),
+            ));
+        }
         let length = u16::from_be_bytes([buf[3], buf[4]]);
         if length as usize > MAX_RECORD_BODY {
             return Err(WireError::invalid(
@@ -211,6 +223,24 @@ mod tests {
         let mut buf = [0u8; 5];
         h.encode(&mut buf).unwrap();
         assert_eq!(h.aad(), buf);
+    }
+
+    #[test]
+    fn tampered_legacy_version_rejected() {
+        // aad() re-encodes the canonical header, so a flipped version byte
+        // would otherwise bypass AEAD authentication of the record header.
+        let h = TlsRecordHeader::application_data(64).unwrap();
+        let mut buf = [0u8; 5];
+        h.encode(&mut buf).unwrap();
+        for (at, val) in [(1, 0x00u8), (1, 0x02), (2, 0x00), (2, 0x04)] {
+            let mut forged = buf;
+            forged[at] = val;
+            assert!(
+                TlsRecordHeader::decode(&forged).is_err(),
+                "byte {at} = {val:#x}"
+            );
+        }
+        assert!(TlsRecordHeader::decode(&buf).is_ok());
     }
 
     #[test]

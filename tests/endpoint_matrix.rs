@@ -13,11 +13,17 @@
 //! misbehaving network does.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig, SessionKeys, SmtTicketIssuer};
 use smt::sim::net::{FaultConfig, FaultyLink};
 use smt::transport::endpoint::{AcceptConfig, ConnectConfig, ZeroRttAcceptor};
 use smt::transport::{take_delivered, Endpoint, Event, SecureEndpoint, StackKind};
+use smt::wire::{
+    IpHeader, Ipv4Header, Packet, PacketPayload, PacketType, SmtOverlayHeader, IPPROTO_SMT,
+    IPV4_HEADER_LEN, SMT_OVERLAY_LEN,
+};
 
 fn handshake() -> (SessionKeys, SessionKeys) {
     let ca = CertificateAuthority::new("matrix-ca");
@@ -82,6 +88,201 @@ fn pump_faulty(
         }
     }
     panic!("pair did not quiesce within {max_rounds} rounds");
+}
+
+/// One forged copy of an observed packet: a clone with one of six attacker
+/// mutations applied.  Payload mutations keep the delivery coordinates of the
+/// original (the copy must be recognized as a conflicting duplicate);
+/// coordinate mutations retarget into the bogus high-ID space (`≥ 2^40`) the
+/// fabric adversary also uses, so forged state lands in receiver tracking
+/// instead of colliding with live transfers.
+fn forge(rng: &mut StdRng, template: &Packet) -> Packet {
+    let mut p = template.clone();
+    match rng.gen_range(0..6u8) {
+        // Bit-flip one payload byte (content forgery, same coordinates).
+        0 => {
+            if let Some(data) = p.payload.as_data() {
+                if !data.is_empty() {
+                    let mut bytes = data.to_vec();
+                    let at = rng.gen_range(0..bytes.len());
+                    bytes[at] ^= 1 << rng.gen_range(0..8u8);
+                    p.payload = PacketPayload::Data(bytes.into());
+                }
+            }
+        }
+        // Cut the payload short (headers still declare the original lengths).
+        1 => {
+            if let Some(data) = p.payload.as_data() {
+                if data.len() >= 2 {
+                    p.payload = PacketPayload::Data(data.slice(0..data.len() / 2));
+                }
+            }
+        }
+        // Pad the payload beyond its declared length with random bytes.
+        2 => {
+            if let Some(data) = p.payload.as_data() {
+                let mut bytes = data.to_vec();
+                for _ in 0..rng.gen_range(1..=64usize) {
+                    bytes.push(rng.gen());
+                }
+                p.payload = PacketPayload::Data(bytes.into());
+            }
+        }
+        // Retarget to a bogus message: fresh high ID, random geometry.
+        3 => {
+            p.overlay.options.message_id = (1u64 << 40) | rng.gen::<u32>() as u64;
+            p.overlay.options.message_length = rng.gen_range(1..=64 * 1024);
+            p.overlay.options.tso_offset = rng.gen();
+        }
+        // Scramble the segment-geometry fields on the bogus-ID space (live
+        // coordinates stay untouched, matching the fabric adversary's model).
+        4 => {
+            p.overlay.options.message_id = (1u64 << 40) | rng.gen::<u32>() as u64;
+            p.overlay.options.record_count = rng.gen();
+            p.overlay.options.first_record_index = rng.gen();
+            p.overlay.options.flags = rng.gen();
+            p.overlay.options.resend_packet_offset = rng.gen();
+        }
+        // Relabel the packet type so the payload reaches the wrong parser.
+        _ => {
+            let types = [
+                PacketType::Data,
+                PacketType::Grant,
+                PacketType::Resend,
+                PacketType::Ack,
+                PacketType::Busy,
+                PacketType::Control,
+            ];
+            p.overlay.tcp.packet_type = types[rng.gen_range(0..types.len())];
+        }
+    }
+    p
+}
+
+/// A from-scratch garbage datagram: syntactically a packet, semantically
+/// noise — random type, geometry and payload bytes on a bogus high message
+/// ID, aimed at the victim's port (occasionally at a random, unknown one).
+fn garbage_datagram(rng: &mut StdRng, src_port: u16, dst_port: u16) -> Packet {
+    let len = rng.gen_range(0..1400usize);
+    let mut bytes = vec![0u8; len];
+    for b in &mut bytes {
+        *b = rng.gen();
+    }
+    let (src, dst) = if rng.gen_range(0..4u8) == 0 {
+        (rng.gen(), rng.gen())
+    } else {
+        (src_port, dst_port)
+    };
+    let types = [PacketType::Data, PacketType::Control, PacketType::Grant];
+    let mut overlay = SmtOverlayHeader::data(src, dst, (1u64 << 40) | rng.gen::<u32>() as u64, 0);
+    overlay.tcp.packet_type = types[rng.gen_range(0..types.len())];
+    overlay.options.message_length = rng.gen_range(0..=128 * 1024);
+    overlay.options.tso_offset = rng.gen();
+    overlay.options.record_count = rng.gen();
+    overlay.options.flags = rng.gen();
+    Packet {
+        ip: IpHeader::V4(Ipv4Header::new(
+            [10, 0, 0, 9],
+            [10, 0, 0, 2],
+            IPPROTO_SMT,
+            (IPV4_HEADER_LEN + SMT_OVERLAY_LEN + len) as u16,
+        )),
+        overlay,
+        payload: PacketPayload::Data(bytes.into()),
+        corrupted: false,
+    }
+}
+
+/// Drives the pair like [`pump_faulty`] on a clean wire, but after every
+/// legitimate flight lands it feeds both endpoints forged copies of the
+/// flight plus from-scratch garbage datagrams, straight into
+/// `handle_datagram`.  Originals land first — the fabric adversary's
+/// inject-delay model — so payload forgeries are conflicting duplicates.
+/// Every forged result is allowed to be an error; what it must never be is a
+/// panic or a change to what the application observes.
+fn pump_hostile(client: &mut Endpoint, server: &mut Endpoint, seed: u64, max_rounds: usize) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad_ca57_5eed_f00d);
+    let mut now = 0u64;
+    let mut idle = 0;
+    for _ in 0..max_rounds {
+        let mut to_server = Vec::new();
+        client.poll_transmit(now, &mut to_server);
+        let mut to_client = Vec::new();
+        server.poll_transmit(now, &mut to_client);
+
+        if to_server.is_empty() && to_client.is_empty() {
+            idle += 1;
+            if idle >= 2 {
+                return;
+            }
+            if let Some(deadline) = [client.next_timeout(), server.next_timeout()]
+                .into_iter()
+                .flatten()
+                .min()
+            {
+                now = now.max(deadline);
+            }
+            client.on_timeout(now);
+            server.on_timeout(now);
+            continue;
+        }
+        idle = 0;
+        for p in &to_server {
+            let _ = server.handle_datagram(p, now);
+        }
+        for p in &to_client {
+            let _ = client.handle_datagram(p, now);
+        }
+        // The attack: forged copies of what just crossed the wire, plus pure
+        // garbage, at both ends.
+        for p in to_server.iter().take(4) {
+            let forged = forge(&mut rng, p);
+            let _ = server.handle_datagram(&forged, now);
+        }
+        for p in to_client.iter().take(4) {
+            let forged = forge(&mut rng, p);
+            let _ = client.handle_datagram(&forged, now);
+        }
+        let g = garbage_datagram(&mut rng, 4000, 5201);
+        let _ = server.handle_datagram(&g, now);
+        let g = garbage_datagram(&mut rng, 5201, 4000);
+        let _ = client.handle_datagram(&g, now);
+    }
+    panic!("pair did not quiesce within {max_rounds} rounds");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Hostile input hardening, per stack: forged copies of live flights and
+    /// arbitrary garbage datagrams pushed straight into `handle_datagram`
+    /// never panic any of the eight stacks and never change what the
+    /// concurrent legitimate transfer delivers.
+    #[test]
+    fn forged_datagrams_never_panic_or_corrupt_delivery(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..4000), 1..3),
+        seed in any::<u64>(),
+    ) {
+        for stack in StackKind::all() {
+            let (ck, sk) = handshake();
+            let (mut client, mut server) = Endpoint::builder()
+                .stack(stack)
+                .pair(&ck, &sk, 4000, 5201)
+                .unwrap();
+            for p in &payloads {
+                client.send(p, 0).unwrap();
+            }
+            pump_hostile(&mut client, &mut server, seed, 20_000);
+
+            let mut got = take_delivered(&mut server);
+            got.sort_by_key(|(id, _)| *id);
+            let datas: Vec<Vec<u8>> = got.into_iter().map(|(_, d)| d).collect();
+            prop_assert_eq!(
+                &datas, &payloads,
+                "stack {} corrupted the live transfer under forged input", stack.label()
+            );
+        }
+    }
 }
 
 proptest! {

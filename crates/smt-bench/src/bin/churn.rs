@@ -1,0 +1,105 @@
+//! Measures connection setup under churn storm — many concurrent mixed-mode
+//! connects against one listener — and emits `BENCH_churn.json`.
+//!
+//! ```text
+//! churn [--smoke] [--json] [--out <path>]
+//! ```
+//!
+//! * `--smoke` — the CI subset: SMT-sw and kTLS-sw, small waves, same
+//!   benchmark names as the full storm.
+//! * `--json` — print the rows as JSON instead of a table.
+//! * `--out <path>` — where to write the bench-diff-compatible report
+//!   (default `BENCH_churn.json` in the current directory).
+//!
+//! Full mode storms every encrypted stack with 10k+ total connects in waves
+//! mixing cold (full handshake), resumed (0-RTT SMT ticket), and derived
+//! (path-secret HKDF) setup round-robin.  `mean_ns` in the JSON is the
+//! median setup latency (wave start → first request delivered at the
+//! listener), so `bench_diff BENCH_churn.json <new> --max-regress P` gates
+//! many-connection setup regressions; `p99_ns` and the per-stack virtual
+//! handshake rate ride along uninflated.
+//!
+//! The binary asserts the headline property before exiting: per stack, the
+//! derived mode's median setup is at or below ticket resumption's.
+
+use smt_bench::churn::{assert_derived_at_or_below_resumed, churn_matrix, ChurnRow};
+use smt_bench::output::{maybe_json, print_table};
+
+fn bench_json(rows: &[ChurnRow]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"churn/{stack}/{mode}\", ",
+                "\"mean_ns\": {p50}, \"p99_ns\": {p99}, ",
+                "\"connects\": {connects}, \"handshakes_per_sec\": {hps:.1}, ",
+                "\"state_evictions\": {evictions}}}{comma}\n"
+            ),
+            stack = row.stack,
+            mode = row.mode,
+            p50 = row.setup_p50_ns,
+            p99 = row.setup_p99_ns,
+            connects = row.connects,
+            hps = row.handshakes_per_sec,
+            evictions = row.state_evictions,
+            comma = if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_churn.json".to_string());
+
+    let rows = churn_matrix(smoke);
+
+    if !maybe_json(&rows) {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.stack.clone(),
+                    row.mode.to_string(),
+                    row.connects.to_string(),
+                    row.setup_p50_ns.to_string(),
+                    row.setup_p99_ns.to_string(),
+                    format!("{:.0}", row.handshakes_per_sec),
+                    row.state_evictions.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            if smoke {
+                "connection churn storm (smoke subset)"
+            } else {
+                "connection churn storm (encrypted stacks, 10k+ connects)"
+            },
+            &[
+                "stack",
+                "mode",
+                "connects",
+                "setup p50(ns)",
+                "setup p99(ns)",
+                "hs/sec",
+                "evictions",
+            ],
+            &table,
+        );
+    }
+
+    std::fs::write(&out_path, bench_json(&rows)).expect("write churn report");
+    eprintln!("wrote {out_path}");
+
+    // The many-connection headline, asserted on every run: deriving from a
+    // cached path secret never costs more at the median than carrying a
+    // resumption ticket.
+    assert_derived_at_or_below_resumed(&rows);
+}

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod churn;
 pub mod figures;
 pub mod output;
 pub mod scenarios;

@@ -19,11 +19,17 @@
 use crate::config::CryptoMode;
 use crate::{SmtError, SmtResult};
 use bytes::BytesMut;
-use smt_crypto::handshake::SessionKeys;
+use smt_crypto::handshake::{ratchet_secret, SessionKeys};
 use smt_crypto::key_schedule::Secret;
 use smt_crypto::record::{Padding, RecordProtector, SealRequest};
 use smt_crypto::{CipherSuite, CryptoError};
 use smt_wire::{ContentType, TlsRecordHeader, MAX_TLS_RECORD};
+
+/// The TLS 1.3 KeyUpdate handshake message with `update_not_requested`
+/// (RFC 8446 §4.6.3): msg_type 24, 3-byte length 1, request field 0. Sent
+/// in-band as a Handshake record to signal "subsequent records from me are
+/// under the next-epoch traffic secret".
+const KEY_UPDATE_MESSAGE: [u8; 5] = [24, 0, 0, 1, 0];
 
 /// Maximum application bytes per kTLS record (leave room for framing overhead).
 const KTLS_RECORD_PAYLOAD: usize = MAX_TLS_RECORD - 256;
@@ -39,6 +45,9 @@ const KTLS_OPEN_BATCH_BYTES: usize = 64 * 1024;
 pub struct KtlsSender {
     protector: RecordProtector,
     seq: u64,
+    suite: CipherSuite,
+    secret: Secret,
+    epoch: u16,
     crypto_mode: CryptoMode,
     /// Raw traffic secret + suite retained for NIC offload registration
     /// (kTLS-hw), mirroring the kernel TLS offload interface.
@@ -63,11 +72,40 @@ impl KtlsSender {
         Ok(Self {
             protector: RecordProtector::from_secret(suite, secret)?,
             seq: 0,
+            suite,
+            secret: secret.clone(),
+            epoch: 0,
             crypto_mode,
             offload_key: crypto_mode.is_offloaded().then(|| (suite, secret.clone())),
             bytes_sent: 0,
             records_sent: 0,
         })
+    }
+
+    /// Emits an in-band TLS KeyUpdate record sealed under the *current* keys,
+    /// then ratchets the send traffic secret forward one epoch and resets the
+    /// record sequence number (RFC 8446 §4.6.3 / §7.2). The returned bytes
+    /// must be appended to the send stream before any post-rekey record.
+    pub fn key_update(&mut self) -> SmtResult<Vec<u8>> {
+        let wire =
+            self.protector
+                .encrypt_record(self.seq, ContentType::Handshake, &KEY_UPDATE_MESSAGE)?;
+        self.records_sent += 1;
+        self.secret = ratchet_secret(&self.secret);
+        self.protector = RecordProtector::from_secret(self.suite, &self.secret)?;
+        self.seq = 0;
+        self.epoch += 1;
+        if self.offload_key.is_some() {
+            // Re-program the NIC flow context with the new-epoch key, exactly
+            // as the kernel re-issues the kTLS setsockopt after a KeyUpdate.
+            self.offload_key = Some((self.suite, self.secret.clone()));
+        }
+        Ok(wire)
+    }
+
+    /// The current send-direction key epoch (number of KeyUpdates emitted).
+    pub fn epoch(&self) -> u16 {
+        self.epoch
     }
 
     /// The key material to program into the NIC for kTLS-hw.
@@ -192,6 +230,9 @@ impl KtlsSender {
 pub struct KtlsReceiver {
     protector: RecordProtector,
     seq: u64,
+    suite: CipherSuite,
+    secret: Secret,
+    epoch: u16,
     buffer: BytesMut,
     /// Bytes of application data delivered.
     pub bytes_delivered: u64,
@@ -214,10 +255,18 @@ impl KtlsReceiver {
         Ok(Self {
             protector: RecordProtector::from_secret(suite, secret)?,
             seq: 0,
+            suite,
+            secret: secret.clone(),
+            epoch: 0,
             buffer: BytesMut::new(),
             bytes_delivered: 0,
             records_received: 0,
         })
+    }
+
+    /// The current receive-direction key epoch (KeyUpdates processed).
+    pub fn epoch(&self) -> u16 {
+        self.epoch
     }
 
     /// Appends in-order bytes from the TCP stream and returns any application
@@ -227,8 +276,15 @@ impl KtlsReceiver {
     /// Complete records in the buffer are opened in batched calls under their
     /// consecutive sequence numbers, capped at `KTLS_OPEN_BATCH_RECORDS` /
     /// `KTLS_OPEN_BATCH_BYTES` per call so the protector's reusable scratch
-    /// stays bounded regardless of burst size. A failure in any run poisons
-    /// the delivery (the TCP stream is dead at that point anyway).
+    /// stays bounded regardless of burst size.
+    ///
+    /// A Handshake record carrying a TLS KeyUpdate ratchets the receive
+    /// traffic secret forward one epoch and resets the sequence number, so
+    /// records after it open under the next-epoch keys.  When a KeyUpdate sits
+    /// mid-run, the records behind it fail to authenticate under the old keys
+    /// and the run is retried one record at a time from the head; every other
+    /// failure poisons the delivery (the TCP stream is dead at that point
+    /// anyway).
     pub fn on_bytes(&mut self, bytes: &[u8]) -> SmtResult<Vec<u8>> {
         self.buffer.extend_from_slice(bytes);
         let mut out = Vec::new();
@@ -236,6 +292,7 @@ impl KtlsReceiver {
             // Scan one capped run of complete records at the head.
             let mut run_records = 0usize;
             let mut run_len = 0usize;
+            let mut first_len = 0usize;
             while run_records < KTLS_OPEN_BATCH_RECORDS && run_len < KTLS_OPEN_BATCH_BYTES {
                 let rest = &self.buffer[run_len..];
                 let Ok((hdr, hdr_len)) = TlsRecordHeader::decode(rest) else {
@@ -245,36 +302,94 @@ impl KtlsReceiver {
                     break;
                 }
                 run_len += hdr_len + hdr.length as usize;
+                if run_records == 0 {
+                    first_len = run_len;
+                }
                 run_records += 1;
             }
             if run_records == 0 {
                 break;
             }
 
-            let batch = self
-                .protector
-                .open_batch(self.seq, run_records, &self.buffer[..run_len])
-                .map_err(SmtError::Crypto)?;
-            out.reserve(batch.plaintext_len());
             let before = out.len();
-            for record in batch.iter() {
-                if record.content_type != ContentType::ApplicationData {
-                    return Err(SmtError::Crypto(CryptoError::handshake(
-                        "unexpected content type on kTLS stream",
-                    )));
+            let (records, len, rekey) = match Self::open_run(
+                &mut self.protector,
+                self.seq,
+                run_records,
+                &self.buffer[..run_len],
+                &mut out,
+            ) {
+                Ok(rekey) => (run_records, run_len, rekey),
+                // A KeyUpdate mid-run makes the records behind it fail under
+                // the pre-update keys; if the head record alone opens we are
+                // in that case (the rekey below re-syncs), otherwise the
+                // stream is genuinely corrupt.
+                Err(e) if run_records > 1 => {
+                    out.truncate(before);
+                    match Self::open_run(
+                        &mut self.protector,
+                        self.seq,
+                        1,
+                        &self.buffer[..first_len],
+                        &mut out,
+                    ) {
+                        Ok(rekey) => (1, first_len, rekey),
+                        Err(_) => return Err(SmtError::Crypto(e)),
+                    }
                 }
-                out.extend_from_slice(record.plaintext);
-            }
-            let consumed = batch.consumed;
-            debug_assert_eq!(consumed, run_len);
-            self.seq += run_records as u64;
-            self.records_received += run_records as u64;
+                Err(e) => return Err(SmtError::Crypto(e)),
+            };
+            self.seq += records as u64;
+            self.records_received += records as u64;
             self.bytes_delivered += (out.len() - before) as u64;
             // Drop the fully-processed run from the stream buffer, keeping any
             // partial tail for the next delivery.
-            let _ = self.buffer.split_to(consumed);
+            let _ = self.buffer.split_to(len);
+            if rekey {
+                self.secret = ratchet_secret(&self.secret);
+                self.protector = RecordProtector::from_secret(self.suite, &self.secret)?;
+                self.seq = 0;
+                self.epoch += 1;
+            }
         }
         Ok(out)
+    }
+
+    /// Opens one run of records and appends the application bytes to `out`,
+    /// returning whether the run ended with a KeyUpdate.  A KeyUpdate can only
+    /// authenticate as the *last* record of an opened run: anything the peer
+    /// sealed after it used the next-epoch keys and fails under the current
+    /// protector, so the caller's run simply ends there.
+    fn open_run(
+        protector: &mut RecordProtector,
+        seq: u64,
+        records: usize,
+        wire: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<bool, CryptoError> {
+        let batch = protector.open_batch(seq, records, wire)?;
+        debug_assert_eq!(batch.consumed, wire.len());
+        out.reserve(batch.plaintext_len());
+        let mut rekey = false;
+        for record in batch.iter() {
+            match record.content_type {
+                ContentType::ApplicationData => out.extend_from_slice(record.plaintext),
+                ContentType::Handshake => {
+                    if record.plaintext != KEY_UPDATE_MESSAGE {
+                        return Err(CryptoError::handshake(
+                            "unexpected handshake record on kTLS stream",
+                        ));
+                    }
+                    rekey = true;
+                }
+                _ => {
+                    return Err(CryptoError::handshake(
+                        "unexpected content type on kTLS stream",
+                    ))
+                }
+            }
+        }
+        Ok(rekey)
     }
 
     /// Bytes currently buffered waiting for the rest of a record.
@@ -418,6 +533,93 @@ mod tests {
         s.send(b"one").unwrap();
         s.send(b"two").unwrap();
         assert_eq!(s.next_seq(), 2);
+    }
+
+    #[test]
+    fn key_update_roundtrip_mid_stream() {
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+
+        let mut stream = BytesMut::new();
+        client
+            .sender
+            .send_into(b"before rekey ", &mut stream)
+            .unwrap();
+        let ku = client.sender.key_update().unwrap();
+        stream.extend_from_slice(&ku);
+        client
+            .sender
+            .send_into(b"after rekey", &mut stream)
+            .unwrap();
+
+        // The whole run (old-epoch data, KeyUpdate, new-epoch data) arrives in
+        // one delivery; the receiver ratchets mid-buffer.
+        let got = server.receiver.on_bytes(&stream).unwrap();
+        assert_eq!(got, b"before rekey after rekey");
+        assert_eq!(client.sender.epoch(), 1);
+        assert_eq!(server.receiver.epoch(), 1);
+        // Both sides restarted their per-epoch sequence space.
+        assert_eq!(client.sender.next_seq(), 1);
+
+        // The new keys keep working in both directions of time.
+        let wire = client.sender.send(b"still alive").unwrap();
+        assert_eq!(server.receiver.on_bytes(&wire).unwrap(), b"still alive");
+    }
+
+    #[test]
+    fn key_update_survives_byte_at_a_time_delivery() {
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let mut stream = BytesMut::new();
+        for i in 0..3u8 {
+            client.sender.send_into(&[i; 100], &mut stream).unwrap();
+            stream.extend_from_slice(&client.sender.key_update().unwrap());
+        }
+        client.sender.send_into(b"tail", &mut stream).unwrap();
+        let mut got = Vec::new();
+        for chunk in stream.chunks(7) {
+            got.extend_from_slice(&server.receiver.on_bytes(chunk).unwrap());
+        }
+        let mut want = Vec::new();
+        for i in 0..3u8 {
+            want.extend_from_slice(&[i; 100]);
+        }
+        want.extend_from_slice(b"tail");
+        assert_eq!(got, want);
+        assert_eq!(server.receiver.epoch(), 3);
+    }
+
+    #[test]
+    fn forged_handshake_record_rejected() {
+        // A Handshake-typed record that is not a KeyUpdate must surface a
+        // typed error, not silently ratchet the receiver.
+        let (ck, sk) = keys();
+        let client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let wire = client
+            .sender
+            .protector
+            .encrypt_record(0, ContentType::Handshake, b"not a key update")
+            .unwrap();
+        assert!(server.receiver.on_bytes(&wire).is_err());
+    }
+
+    #[test]
+    fn corruption_after_key_update_still_detected() {
+        // The single-record fallback must not mask genuine corruption: tamper
+        // with the record after the KeyUpdate and the stream still dies.
+        let (ck, sk) = keys();
+        let mut client = KtlsSession::new(&ck, CryptoMode::Software).unwrap();
+        let mut server = KtlsSession::new(&sk, CryptoMode::Software).unwrap();
+        let mut stream = BytesMut::new();
+        client.sender.send_into(b"ok", &mut stream).unwrap();
+        stream.extend_from_slice(&client.sender.key_update().unwrap());
+        client.sender.send_into(b"tampered", &mut stream).unwrap();
+        let last = stream.len() - 1;
+        stream[last] ^= 0xff;
+        assert!(server.receiver.on_bytes(&stream).is_err());
     }
 
     #[test]

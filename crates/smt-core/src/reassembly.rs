@@ -21,7 +21,10 @@ use crate::config::SmtConfig;
 use crate::replay::ReplayGuard;
 use crate::{SmtError, SmtResult};
 use serde::{Deserialize, Serialize};
+use smt_crypto::handshake::ratchet_secret;
+use smt_crypto::key_schedule::Secret;
 use smt_crypto::record::RecordProtector;
+use smt_crypto::CipherSuite;
 use smt_crypto::SeqnoLayout;
 use smt_wire::{FramingHeader, Packet, PacketType, TlsRecordHeader};
 use std::collections::{BTreeMap, HashMap};
@@ -67,6 +70,9 @@ pub struct ReceiverStats {
     pub state_evictions: u64,
     /// High-water mark of bytes retained across all reassembly buffers.
     pub peak_tracked_bytes: u64,
+    /// Packets dropped because their key epoch is outside the receive window
+    /// (current, next, or the previous-epoch drain window).
+    pub epoch_rejected: u64,
 }
 
 #[derive(Debug, Default)]
@@ -75,6 +81,8 @@ struct SegmentBuf {
     chunks: BTreeMap<u16, Vec<u8>>,
     record_count: u16,
     first_record_index: u16,
+    /// Key epoch declared by this segment's packets (all must agree).
+    epoch: u16,
     decoded: bool,
 }
 
@@ -114,6 +122,15 @@ pub struct SmtReceiver {
     config: SmtConfig,
     layout: SeqnoLayout,
     cipher: Option<RecordProtector>,
+    /// Traffic secret behind `cipher`; required to ratchet forward on a
+    /// key-update (epoch bump).  `None` disables rekey support.
+    recv_secret: Option<Secret>,
+    suite: Option<CipherSuite>,
+    /// Current receive key epoch.
+    recv_epoch: u16,
+    /// Previous-epoch protector kept for one epoch as a drain window, so
+    /// retransmissions of packets sealed before a rekey still authenticate.
+    prev_cipher: Option<RecordProtector>,
     replay: ReplayGuard,
     in_progress: HashMap<u64, MessageBuf>,
     /// Total bytes retained across every in-progress buffer.
@@ -129,11 +146,30 @@ impl SmtReceiver {
             config,
             layout,
             cipher,
+            recv_secret: None,
+            suite: None,
+            recv_epoch: 0,
+            prev_cipher: None,
             replay: ReplayGuard::new(),
             in_progress: HashMap::new(),
             tracked_bytes: 0,
             stats: ReceiverStats::default(),
         }
+    }
+
+    /// Enables key-update support: with the traffic secret retained, the
+    /// receiver can ratchet to the next epoch when the sender stamps
+    /// `epoch + 1` in the overlay (and keeps the old keys for a one-epoch
+    /// drain window).  Without this, non-zero epochs are dropped.
+    pub fn with_rekey(mut self, suite: CipherSuite, secret: &Secret) -> Self {
+        self.suite = Some(suite);
+        self.recv_secret = Some(secret.clone());
+        self
+    }
+
+    /// Current receive key epoch.
+    pub fn recv_epoch(&self) -> u16 {
+        self.recv_epoch
     }
 
     /// Number of messages currently being reassembled.
@@ -184,6 +220,22 @@ impl SmtReceiver {
             return Ok(None);
         }
 
+        // Key-epoch window: accept the current epoch, the next one (the
+        // sender rekeyed; we ratchet on first successful decrypt), and the
+        // previous one while its drain-window protector is still held.
+        // Anything else is undecryptable — drop without buffering so forged
+        // epochs cannot occupy reassembly state.
+        if self.config.crypto_mode.is_encrypted() {
+            let cur = self.recv_epoch;
+            let in_window = opt.epoch == cur
+                || (opt.epoch == cur.wrapping_add(1) && self.recv_secret.is_some())
+                || (opt.epoch == cur.wrapping_sub(1) && self.prev_cipher.is_some());
+            if !in_window {
+                self.stats.epoch_rejected += 1;
+                return Ok(None);
+            }
+        }
+
         // Packet offset: IPID normally, the explicit resend offset for
         // retransmitted packets (§4.3).
         let packet_offset = if opt.is_retransmission() {
@@ -221,9 +273,12 @@ impl SmtReceiver {
             .or_insert_with(|| SegmentBuf {
                 record_count: opt.record_count,
                 first_record_index: opt.first_record_index,
+                epoch: opt.epoch,
                 ..SegmentBuf::default()
             });
-        if seg.record_count != opt.record_count || seg.first_record_index != opt.first_record_index
+        if seg.record_count != opt.record_count
+            || seg.first_record_index != opt.first_record_index
+            || seg.epoch != opt.epoch
         {
             // Geometry disagrees with what earlier packets of this segment
             // declared: forged or corrupted metadata.
@@ -346,9 +401,51 @@ impl SmtReceiver {
         // consecutive too; composing the first and last indices validates the
         // full range. Only the application bytes are then copied out of the
         // protector's scratch into the message assembly.
-        let cipher = self.cipher.as_mut().ok_or_else(|| {
-            SmtError::Session("encrypted session without a receive cipher".into())
-        })?;
+        //
+        // Key selection is by the segment's declared epoch.  A next-epoch
+        // segment is opened under a *candidate* ratcheted protector; the roll
+        // is only committed once authentication succeeds, so a forged epoch
+        // stamp cannot push the receiver's key schedule forward.
+        let seg_epoch = seg.epoch;
+        let cur = self.recv_epoch;
+        let mut candidate: Option<(RecordProtector, Secret)> = None;
+        let cipher: &mut RecordProtector = if seg_epoch == cur {
+            self.cipher.as_mut().ok_or_else(|| {
+                SmtError::Session("encrypted session without a receive cipher".into())
+            })?
+        } else if seg_epoch == cur.wrapping_add(1) {
+            let (suite, secret) = match (self.suite, self.recv_secret.as_ref()) {
+                (Some(s), Some(sec)) => (s, sec),
+                _ => {
+                    // Rekey material was never provided; the on_packet window
+                    // should have filtered this.  Drop the segment defensively.
+                    let held: usize = seg.chunks.values().map(|c| c.len()).sum();
+                    msg.segments.remove(&tso_offset);
+                    msg.buf_bytes = msg.buf_bytes.saturating_sub(held);
+                    self.tracked_bytes = self.tracked_bytes.saturating_sub(held);
+                    self.stats.epoch_rejected += 1;
+                    return Ok(());
+                }
+            };
+            let next = ratchet_secret(secret);
+            let protector = RecordProtector::from_secret(suite, &next).map_err(SmtError::Crypto)?;
+            candidate = Some((protector, next));
+            &mut candidate.as_mut().expect("just set").0
+        } else if let (true, Some(prev)) =
+            (seg_epoch == cur.wrapping_sub(1), self.prev_cipher.as_mut())
+        {
+            prev
+        } else {
+            // The window moved between buffering and decode (e.g. the rekey
+            // committed while this old segment was still partial and its
+            // drain window has since closed).  Undecryptable: drop it.
+            let held: usize = seg.chunks.values().map(|c| c.len()).sum();
+            msg.segments.remove(&tso_offset);
+            msg.buf_bytes = msg.buf_bytes.saturating_sub(held);
+            self.tracked_bytes = self.tracked_bytes.saturating_sub(held);
+            self.stats.epoch_rejected += 1;
+            return Ok(());
+        };
         let first_index = seg.first_record_index as u64;
         let first_seq = self
             .layout
@@ -397,6 +494,13 @@ impl SmtReceiver {
         delta -= cleared as isize;
         msg.buf_bytes = msg.buf_bytes.saturating_add_signed(delta);
         self.tracked_bytes = self.tracked_bytes.saturating_add_signed(delta);
+        if let Some((protector, next)) = candidate {
+            // A next-epoch segment authenticated: commit the ratchet and keep
+            // the outgoing keys for the drain window.
+            self.prev_cipher = self.cipher.replace(protector);
+            self.recv_secret = Some(next);
+            self.recv_epoch = self.recv_epoch.wrapping_add(1);
+        }
         Ok(())
     }
 

@@ -180,17 +180,35 @@ struct PlannedSegment<'a> {
 pub struct SmtSegmenter {
     config: SmtConfig,
     layout: SeqnoLayout,
+    /// Key epoch stamped into every produced segment's option area; bumped by
+    /// the session on rekey so the receiver picks the matching traffic keys.
+    send_epoch: u16,
 }
 
 impl SmtSegmenter {
     /// Creates a segmenter.
     pub fn new(config: SmtConfig, layout: SeqnoLayout) -> Self {
-        Self { config, layout }
+        Self {
+            config,
+            layout,
+            send_epoch: 0,
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &SmtConfig {
         &self.config
+    }
+
+    /// The key epoch currently stamped on outgoing segments.
+    pub fn send_epoch(&self) -> u16 {
+        self.send_epoch
+    }
+
+    /// Sets the key epoch stamped on subsequently produced segments (the
+    /// session bumps this when it ratchets its send traffic secret).
+    pub fn set_send_epoch(&mut self, epoch: u16) {
+        self.send_epoch = epoch;
     }
 
     /// Maximum payload bytes a segment may carry under the current configuration.
@@ -275,6 +293,7 @@ impl SmtSegmenter {
         overlay.options.tso_offset = tso_offset as u32;
         overlay.options.first_record_index = first_record_index as u16;
         overlay.options.record_count = record_count as u16;
+        overlay.options.epoch = self.send_epoch;
         if !self.config.tso_enabled {
             overlay.options.flags |= SmtOptionArea::FLAG_NO_TSO;
         }

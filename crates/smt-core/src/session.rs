@@ -8,7 +8,7 @@ use crate::reassembly::{ReceivedMessage, SmtReceiver};
 use crate::segment::{OutgoingMessage, PathInfo, SmtSegmenter, StagedMessage};
 use crate::{SmtError, SmtResult};
 use serde::{Deserialize, Serialize};
-use smt_crypto::handshake::SessionKeys;
+use smt_crypto::handshake::{ratchet_secret, SessionKeys};
 use smt_crypto::key_schedule::Secret;
 use smt_crypto::record::RecordProtector;
 use smt_crypto::{CipherSuite, SeqnoLayout};
@@ -44,6 +44,10 @@ pub struct SmtSession {
     segmenter: SmtSegmenter,
     receiver: SmtReceiver,
     send_cipher: Option<RecordProtector>,
+    /// Negotiated suite + current send traffic secret, retained so the
+    /// session can ratchet forward on [`SmtSession::rekey`].
+    suite: Option<CipherSuite>,
+    send_secret: Option<Secret>,
     /// Raw send traffic secret + suite, retained so the simulated NIC can be
     /// programmed with the key for autonomous offload (mirrors the kTLS
     /// `setsockopt(SOL_TLS)` registration the paper reuses, §4.2).
@@ -86,8 +90,11 @@ impl SmtSession {
             layout,
             path,
             segmenter: SmtSegmenter::new(config, layout),
-            receiver: SmtReceiver::new(config, layout, Some(recv_cipher)),
+            receiver: SmtReceiver::new(config, layout, Some(recv_cipher))
+                .with_rekey(keys.suite, &keys.recv_secret),
             send_cipher: Some(send_cipher),
+            suite: Some(keys.suite),
+            send_secret: Some(keys.send_secret.clone()),
             offload_key,
             flow_contexts: FlowContextManager::new(
                 config.nic_queues,
@@ -113,6 +120,8 @@ impl SmtSession {
             segmenter: SmtSegmenter::new(config, layout),
             receiver: SmtReceiver::new(config, layout, None),
             send_cipher: None,
+            suite: None,
+            send_secret: None,
             offload_key: None,
             flow_contexts: FlowContextManager::new(
                 config.nic_queues,
@@ -252,6 +261,52 @@ impl SmtSession {
     /// True if `message_id` was already delivered (replay detection).
     pub fn already_delivered(&self, message_id: u64) -> bool {
         self.receiver.already_delivered(message_id)
+    }
+
+    /// Key epoch stamped into segments currently being produced.
+    pub fn send_epoch(&self) -> u16 {
+        self.segmenter.send_epoch()
+    }
+
+    /// Key epoch the receive side currently decrypts under.
+    pub fn recv_epoch(&self) -> u16 {
+        self.receiver.recv_epoch()
+    }
+
+    /// Ratchets the send traffic secret one epoch forward (RFC 8446 §7.2
+    /// `traffic upd` style), rebuilds the send cipher, and stamps the new
+    /// epoch into every subsequently produced segment's overlay option area.
+    /// Message IDs are *not* reset — the composite seqno space is keyed by
+    /// monotonically increasing message IDs, so the rekey bounds the data
+    /// volume per key without disturbing reassembly or replay state.  The
+    /// peer rolls forward when the first next-epoch segment authenticates and
+    /// keeps the old keys for a one-epoch drain window, so retransmissions of
+    /// packets sealed before the rekey still deliver.  Returns the new send
+    /// epoch.  Plaintext sessions cannot rekey.
+    pub fn rekey(&mut self) -> SmtResult<u16> {
+        let (suite, secret) = match (self.suite, self.send_secret.as_ref()) {
+            (Some(su), Some(se)) => (su, se),
+            _ => {
+                return Err(SmtError::Session(
+                    "plaintext session has no keys to rekey".into(),
+                ))
+            }
+        };
+        let next = ratchet_secret(secret);
+        let mut cipher = RecordProtector::from_secret(suite, &next)?;
+        if self.config.padding_granularity > 1 {
+            cipher = cipher.with_padding(self.config.padding_granularity);
+        }
+        if self.offload_key.is_some() {
+            // Re-program the NIC key registration (the kTLS-style
+            // `setsockopt(SOL_TLS)` the paper reuses) with the new secret.
+            self.offload_key = Some((suite, next.clone()));
+        }
+        self.send_cipher = Some(cipher);
+        self.send_secret = Some(next);
+        let epoch = self.segmenter.send_epoch().wrapping_add(1);
+        self.segmenter.set_send_epoch(epoch);
+        Ok(epoch)
     }
 }
 
@@ -401,6 +456,107 @@ mod tests {
             client.send_message(&too_big, 0),
             Err(SmtError::MessageTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn rekey_mid_stream_delivers_across_epochs() {
+        let (ck, sk) = handshake();
+        let (mut client, mut server) = session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
+        let m = deliver(&mut client, &mut server, b"epoch zero", 0);
+        assert_eq!(m.data, b"epoch zero");
+        assert_eq!(client.rekey().unwrap(), 1);
+        assert_eq!(client.send_epoch(), 1);
+        let m = deliver(&mut client, &mut server, b"epoch one", 0);
+        assert_eq!(m.data, b"epoch one");
+        assert_eq!(server.recv_epoch(), 1);
+        // Back-to-back rekeys keep delivering; the receiver tracks each roll.
+        for e in 2u16..5 {
+            assert_eq!(client.rekey().unwrap(), e);
+            let msg = format!("epoch {e}");
+            let m = deliver(&mut client, &mut server, msg.as_bytes(), 0);
+            assert_eq!(m.data, msg.as_bytes());
+            assert_eq!(server.recv_epoch(), e);
+        }
+        // The reverse direction has its own schedule, still at epoch 0.
+        let r = deliver(&mut server, &mut client, b"reply", 0);
+        assert_eq!(r.data, b"reply");
+        assert_eq!(client.recv_epoch(), 0);
+        assert_eq!(server.receiver_stats().epoch_rejected, 0);
+        assert_eq!(server.receiver_stats().auth_failures, 0);
+    }
+
+    #[test]
+    fn drain_window_delivers_pre_rekey_retransmission() {
+        let (ck, sk) = handshake();
+        let (mut client, mut server) = session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
+        let data = vec![7u8; 12_000];
+        let out = client.send_message(&data, 0).unwrap();
+        let packets: Vec<_> = out
+            .segments
+            .iter()
+            .flat_map(|s| s.packetize(DEFAULT_MTU).unwrap())
+            .collect();
+        // Lose one packet of the epoch-0 message, then rekey and deliver a
+        // whole epoch-1 message so the receiver commits the roll.
+        for (i, p) in packets.iter().enumerate() {
+            if i != 3 {
+                assert!(server.receive_packet(p).unwrap().is_none());
+            }
+        }
+        client.rekey().unwrap();
+        let m = deliver(&mut client, &mut server, b"fresh epoch", 0);
+        assert_eq!(m.data, b"fresh epoch");
+        assert_eq!(server.recv_epoch(), 1);
+        // The retransmission still carries the old epoch stamp (it is the
+        // stored pre-rekey ciphertext); the drain-window keys decrypt it.
+        let mut retx = packets[3].clone();
+        crate::segment::SmtSegmenter::mark_retransmission(&mut retx);
+        let m = server
+            .receive_packet(&retx)
+            .unwrap()
+            .expect("pre-rekey message completes through the drain window");
+        assert_eq!(m.data, data);
+        assert_eq!(server.receiver_stats().epoch_rejected, 0);
+    }
+
+    #[test]
+    fn forged_epoch_outside_window_dropped_and_counted() {
+        let (ck, sk) = handshake();
+        let (mut client, mut server) = session_pair(&ck, &sk, SmtConfig::software(), 1, 2).unwrap();
+        let out = client.send_message(b"legit", 0).unwrap();
+        let mut pkt = out.segments[0].packetize(DEFAULT_MTU).unwrap()[0].clone();
+        pkt.overlay.options.epoch = 7;
+        // Far-future epoch: dropped without buffering or decryption.
+        assert!(server.receive_packet(&pkt).unwrap().is_none());
+        assert_eq!(server.receiver_stats().epoch_rejected, 1);
+        assert_eq!(server.receiver_stats().packets_accepted, 0);
+        // A forged next-epoch stamp fails authentication instead of rolling
+        // the receiver's key schedule forward.
+        pkt.overlay.options.epoch = 1;
+        assert!(server.receive_packet(&pkt).is_err());
+        assert_eq!(server.recv_epoch(), 0);
+        assert_eq!(server.receiver_stats().auth_failures, 1);
+        // A fresh genuine message still delivers at epoch 0 afterwards.
+        let m = deliver(&mut client, &mut server, b"still epoch zero", 0);
+        assert_eq!(m.data, b"still epoch zero");
+        assert_eq!(server.recv_epoch(), 0);
+    }
+
+    #[test]
+    fn plaintext_session_cannot_rekey() {
+        let mut s = SmtSession::plaintext(SmtConfig::plaintext(), PathInfo::loopback(1, 2));
+        assert!(s.rekey().is_err());
+    }
+
+    #[test]
+    fn offload_rekey_reprograms_nic_key() {
+        let (ck, sk) = handshake();
+        let (mut client, _server) =
+            session_pair(&ck, &sk, SmtConfig::hardware_offload(), 1, 2).unwrap();
+        let before = client.offload_key().map(|(_, s)| s.clone()).unwrap();
+        client.rekey().unwrap();
+        let after = client.offload_key().map(|(_, s)| s.clone()).unwrap();
+        assert_ne!(before, after, "NIC key registration must be refreshed");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! SMT-ticket distribution so a second connection can do 0-RTT without a DNS
 //! side channel.
 
+pub mod derived;
 pub mod full;
 pub mod keys;
 pub mod machine;
@@ -30,6 +31,11 @@ pub mod messages;
 pub mod timing;
 pub mod zero_rtt;
 
+pub use derived::{
+    derived_reject_flight, derived_server_respond, is_derived_flight, ratchet_secret,
+    DerivedClient, DerivedClientOutcome, DerivedServerOutcome, DerivedServerResponse, PathSecret,
+    PathSecretMap,
+};
 pub use full::{establish, ClientConfig, ClientHandshake, ServerConfig, ServerHandshake};
 pub use keys::{EcdhKeyPair, KeyCache};
 pub use machine::{

@@ -95,10 +95,17 @@ impl SmtTicketIssuer {
 
 /// Server-side record of recently seen ClientHello randoms (anti-replay for 0-RTT
 /// data, §4.5.3 / RFC 8446 §8).
+///
+/// The cache is bounded: once `capacity` randoms are tracked, each new insert
+/// evicts the *oldest* tracked random (insertion order) rather than resetting
+/// the whole window, so an attacker flooding the cache can only shrink the
+/// replay window gradually and the eviction shows up in [`ReplayCache::evictions`].
 #[derive(Debug, Default)]
 pub struct ReplayCache {
     seen: HashSet<[u8; 32]>,
+    order: std::collections::VecDeque<[u8; 32]>,
     capacity: usize,
+    evictions: u64,
 }
 
 impl ReplayCache {
@@ -106,7 +113,9 @@ impl ReplayCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             seen: HashSet::with_capacity(capacity.min(1 << 20)),
+            order: std::collections::VecDeque::with_capacity(capacity.min(1 << 20)),
             capacity,
+            evictions: 0,
         }
     }
 
@@ -115,11 +124,18 @@ impl ReplayCache {
         if self.seen.contains(random) {
             return false;
         }
-        if self.seen.len() >= self.capacity {
-            // Ticket rotation bounds the window; a full cache simply resets,
-            // trading a little replay surface for bounded memory.
-            self.seen.clear();
+        while self.seen.len() >= self.capacity.max(1) {
+            // Evict the oldest tracked random. Ticket rotation bounds the
+            // replay window; counted eviction keeps memory bounded without
+            // discarding the whole window at once.
+            if let Some(oldest) = self.order.pop_front() {
+                self.seen.remove(&oldest);
+                self.evictions += 1;
+            } else {
+                break;
+            }
         }
+        self.order.push_back(*random);
         self.seen.insert(*random)
     }
 
@@ -131,6 +147,11 @@ impl ReplayCache {
     /// True when no randoms are tracked.
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
+    }
+
+    /// Number of randoms evicted to stay within the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -775,9 +796,14 @@ mod tests {
         assert!(cache.check_and_insert(&[1u8; 32]));
         assert!(cache.check_and_insert(&[2u8; 32]));
         assert!(!cache.check_and_insert(&[1u8; 32]));
-        // Inserting beyond capacity clears the window rather than growing.
+        // Inserting beyond capacity evicts the oldest random, counted.
         assert!(cache.check_and_insert(&[3u8; 32]));
-        assert!(cache.len() <= 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // [1; 32] was the oldest and is no longer tracked; [3; 32] still is.
+        assert!(cache.check_and_insert(&[1u8; 32]));
+        assert!(!cache.check_and_insert(&[3u8; 32]));
+        assert_eq!(cache.evictions(), 2);
     }
 
     #[test]

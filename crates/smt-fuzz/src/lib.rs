@@ -32,8 +32,10 @@ use rand::{Rng, SeedableRng};
 use smt_crypto::cert::CertificateAuthority;
 use smt_crypto::handshake::full::ClientResumption;
 use smt_crypto::handshake::{
-    decode_flight, encode_flight, ClientConfig, ClientMachine, ClientMode, HandshakeMessage,
-    ReplayCache, ServerConfig, ServerMachine, SmtTicketIssuer, ZeroRttContext,
+    decode_flight, derived_reject_flight, derived_server_respond, encode_flight, is_derived_flight,
+    ClientConfig, ClientMachine, ClientMode, DerivedClient, DerivedClientOutcome,
+    DerivedServerOutcome, HandshakeMessage, PathSecret, PathSecretMap, ReplayCache, ServerConfig,
+    ServerMachine, SmtTicketIssuer, ZeroRttContext,
 };
 use smt_crypto::record::{Padding, RecordProtector, SealRequest};
 use smt_crypto::{CipherSuite, Secret};
@@ -172,7 +174,9 @@ const TARGETS: &[Target] = &[
     ("crypto_handshake_msg", fuzz_crypto_handshake_msg),
     ("crypto_client_flight", fuzz_crypto_client_flight),
     ("crypto_server_flight", fuzz_crypto_server_flight),
+    ("crypto_derived_flight", fuzz_crypto_derived_flight),
     ("record_open_batch", fuzz_record_open_batch),
+    ("transport_listener_demux", fuzz_transport_listener_demux),
 ];
 
 /// Names of every registered fuzz target.
@@ -335,6 +339,8 @@ fn fuzz_wire_overlay(iters: u64, seed: u64) -> FuzzReport {
                         first_record_index: m.rng.gen(),
                         flags: m.rng.gen(),
                         reserved: m.rng.gen(),
+                        connection_id: m.rng.gen(),
+                        epoch: m.rng.gen(),
                     },
                 };
                 let mut buf = vec![0u8; SmtOverlayHeader::LEN];
@@ -803,6 +809,246 @@ fn fuzz_crypto_server_flight(iters: u64, seed: u64) -> FuzzReport {
     }
 }
 
+fn fuzz_crypto_derived_flight(iters: u64, seed: u64) -> FuzzReport {
+    let mut m = Mutator::new(seed);
+    let pki = TestPki::new();
+    // The path secret under test is minted from a real completed handshake,
+    // exactly as the transport layer does it.
+    let (mut client, server_flight) = client_round(&pki, true);
+    let keys = client
+        .on_server_flight(&server_flight)
+        .expect("client completes")
+        .keys
+        .expect("completion produces session keys");
+    let path = PathSecret::mint(&keys, "server.fuzz.local");
+    let mut map = PathSecretMap::new(16);
+    map.insert(path.clone());
+    let mut replay = ReplayCache::new(4096);
+
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for i in 0..iters {
+        let ok = match i % 4 {
+            // The untampered hello is accepted exactly once (the replay cache
+            // rejects a re-presentation), the accept flight completes the
+            // client, and both sides agree on the early data.
+            0 => {
+                let (dc, hello) = DerivedClient::start(&path, b"early").expect("derived start");
+                assert!(is_derived_flight(&hello), "hello is recognizably derived");
+                let DerivedServerOutcome::Accepted(response) =
+                    derived_server_respond(&map, &mut replay, &hello)
+                        .expect("fresh derived hello accepted")
+                else {
+                    panic!("held path secret reported unknown (iteration {i}, seed {seed})");
+                };
+                assert_eq!(
+                    response.early_data.as_deref(),
+                    Some(&b"early"[..]),
+                    "early data decrypted on accept"
+                );
+                assert!(
+                    derived_server_respond(&map, &mut replay, &hello).is_err(),
+                    "replayed derived hello rejected (iteration {i}, seed {seed})"
+                );
+                let DerivedClientOutcome::Complete(_) = dc
+                    .on_server_flight(&response.flight)
+                    .expect("valid accept flight verifies")
+                else {
+                    panic!("valid accept flight did not complete (iteration {i}, seed {seed})");
+                };
+                true
+            }
+            // In-place corruption of the hello: every byte is covered by the
+            // path-secret MAC, the early-data AEAD, or the id lookup, so a
+            // changed flight must never be accepted — a typed error or an
+            // unknown-path reject, never a panic, never keys.
+            1 => {
+                let (_, hello) = DerivedClient::start(&path, b"early").expect("derived start");
+                let corrupted = m.corrupt(&hello);
+                let _ = is_derived_flight(&corrupted);
+                if corrupted == hello {
+                    // Identity corruption: consume the hello as the valid slice does.
+                    derived_server_respond(&map, &mut replay, &corrupted).is_ok()
+                } else {
+                    match derived_server_respond(&map, &mut replay, &corrupted) {
+                        Ok(DerivedServerOutcome::Accepted(_)) => {
+                            panic!("tampered derived hello accepted (iteration {i}, seed {seed})")
+                        }
+                        Ok(DerivedServerOutcome::Unknown { .. }) => false,
+                        Err(_) => false,
+                    }
+                }
+            }
+            // In-place corruption of the accept flight: the client must never
+            // complete from it (a parse/MAC error or a reject-shaped flight
+            // that triggers fallback are both safe outcomes).
+            2 => {
+                let (dc, hello) = DerivedClient::start(&path, b"").expect("derived start");
+                let DerivedServerOutcome::Accepted(response) =
+                    derived_server_respond(&map, &mut replay, &hello)
+                        .expect("fresh derived hello accepted")
+                else {
+                    panic!("held path secret reported unknown (iteration {i}, seed {seed})");
+                };
+                let corrupted = m.corrupt(&response.flight);
+                match dc.on_server_flight(&corrupted) {
+                    Ok(DerivedClientOutcome::Complete(_)) => {
+                        assert_eq!(
+                            corrupted, response.flight,
+                            "tampered accept flight completed (iteration {i}, seed {seed})"
+                        );
+                        true
+                    }
+                    Ok(DerivedClientOutcome::Rejected { .. }) => false,
+                    Err(_) => false,
+                }
+            }
+            // Byte soup into both sides, plus the reject-flight round trip.
+            _ => {
+                let soup = m.arbitrary(512);
+                let _ = is_derived_flight(&soup);
+                let server_ok = derived_server_respond(&map, &mut replay, &soup)
+                    .is_ok_and(|o| matches!(o, DerivedServerOutcome::Accepted(_)));
+                assert!(
+                    !server_ok,
+                    "byte soup forged a hello (iteration {i}, seed {seed})"
+                );
+                let (dc, _) = DerivedClient::start(&path, b"").expect("derived start");
+                if let Ok(DerivedClientOutcome::Complete(_)) = dc.on_server_flight(&soup) {
+                    panic!("byte soup forged an accept (iteration {i}, seed {seed})");
+                }
+                let reject = derived_reject_flight("fuzz reason");
+                match dc.on_server_flight(&reject).expect("reject flight parses") {
+                    DerivedClientOutcome::Rejected { reason } => {
+                        assert_eq!(reason, "fuzz reason", "reject reason round-trips")
+                    }
+                    DerivedClientOutcome::Complete(_) => {
+                        panic!("reject flight completed (iteration {i}, seed {seed})")
+                    }
+                }
+                false
+            }
+        };
+        if ok {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    FuzzReport {
+        target: "crypto_derived_flight",
+        iterations: iters,
+        accepted,
+        rejected,
+    }
+}
+
+fn fuzz_transport_listener_demux(iters: u64, seed: u64) -> FuzzReport {
+    use smt_transport::{ConnectConfig, Endpoint, Listener, SecureEndpoint};
+
+    let mut m = Mutator::new(seed);
+    let ca = CertificateAuthority::new("fuzz-demux-ca");
+    let identity = ca.issue_identity("server.fuzz.local");
+    const CAPACITY: usize = 8;
+    let mut listener = Listener::new(
+        Endpoint::builder().stack(smt_transport::StackKind::SmtSw),
+        identity,
+        ca.verifying_key(),
+        CAPACITY,
+    );
+    // Valid corpus: the first flight of a real connect on each of four
+    // connection IDs, as encoded wire bytes.
+    let corpus: Vec<Vec<u8>> = (1..=4u32)
+        .flat_map(|cid| {
+            let mut client = Endpoint::builder()
+                .stack(smt_transport::StackKind::SmtSw)
+                .connection_id(cid)
+                .path(smt_core::segment::PathInfo::pair(4000, 5201).0)
+                .connect(ConnectConfig::new(ca.verifying_key(), "server.fuzz.local"))
+                .expect("demux client");
+            client.send(b"hello listener", 0).expect("queue request");
+            let mut flight = Vec::new();
+            client.poll_transmit(0, &mut flight);
+            flight
+                .iter()
+                .map(|p| {
+                    let mut buf = vec![0u8; p.wire_len()];
+                    let n = p.encode(&mut buf).expect("encode corpus packet");
+                    buf.truncate(n);
+                    buf
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for i in 0..iters {
+        let now = i;
+        let ok = match i % 3 {
+            // Valid first-flight packets demux into per-connection endpoints
+            // (re-presenting them later is a carrier-level duplicate).
+            0 => {
+                let bytes = &corpus[m.below(corpus.len())];
+                let (packet, _) = Packet::decode(bytes).expect("valid corpus packet decodes");
+                listener.handle_datagram(&packet, now).is_ok()
+            }
+            // Byte-level mutations: whatever still parses as a packet goes
+            // straight into the demux path.
+            1 => {
+                let at = m.below(corpus.len());
+                match Packet::decode(&m.mutate(&corpus[at])) {
+                    Ok((packet, _)) => listener.handle_datagram(&packet, now).is_ok(),
+                    Err(_) => false,
+                }
+            }
+            // Structurally valid packets with adversarial demux coordinates:
+            // random/zero/known connection IDs, random packet types and
+            // epochs.  Unknown-ID data is dropped and counted; unknown-ID
+            // control packets spawn connections into the bounded table.
+            _ => {
+                let bytes = &corpus[m.below(corpus.len())];
+                let (mut packet, _) = Packet::decode(bytes).expect("valid corpus packet decodes");
+                packet.overlay.options.connection_id = match m.below(4) {
+                    0 => 0,
+                    1 => 1 + m.below(4) as u32,
+                    _ => m.rng.gen(),
+                };
+                packet.overlay.options.epoch = m.rng.gen();
+                if m.below(2) == 0 {
+                    let types = [
+                        PacketType::Data,
+                        PacketType::Grant,
+                        PacketType::Resend,
+                        PacketType::Ack,
+                        PacketType::Busy,
+                        PacketType::Control,
+                    ];
+                    packet.overlay.tcp.packet_type = types[m.below(types.len())];
+                }
+                listener.handle_datagram(&packet, now).is_ok()
+            }
+        };
+        // The hard invariants, checked every input: the connection table
+        // never exceeds its bound, and forged traffic never panics the
+        // listener or grows its event queue without bound.
+        assert!(
+            listener.len() <= CAPACITY,
+            "listener table exceeded capacity (iteration {i}, seed {seed})"
+        );
+        while listener.poll_event().is_some() {}
+        if ok {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    FuzzReport {
+        target: "transport_listener_demux",
+        iterations: iters,
+        accepted,
+        rejected,
+    }
+}
+
 fn fuzz_record_open_batch(iters: u64, seed: u64) -> FuzzReport {
     let mut m = Mutator::new(seed);
     let secret = Secret::from_slice(&[0x5c; 32]).expect("32-byte secret");
@@ -957,5 +1203,17 @@ mod tests {
         assert!(server.accepted > 0, "valid hellos accepted");
         let record = run_target("record_open_batch", 64, 3).unwrap();
         assert!(record.accepted > 0 && record.rejected > 0);
+    }
+
+    #[test]
+    fn derived_and_demux_targets_accept_and_reject() {
+        // 64 iterations crosses every i % 4 slice of the derived codec
+        // target (valid / corrupt hello / corrupt accept / soup) many times.
+        let derived = run_target("crypto_derived_flight", 64, 3).unwrap();
+        assert!(derived.accepted > 0, "valid derived flights complete");
+        assert!(derived.rejected > 0, "tampered derived flights rejected");
+        let demux = run_target("transport_listener_demux", 150, 3).unwrap();
+        assert!(demux.accepted > 0, "valid packets demuxed");
+        assert!(demux.rejected > 0, "mangled packets dropped");
     }
 }

@@ -459,6 +459,10 @@ mod tests {
     use super::*;
     use smt_wire::{OverlayTcpHeader, PacketPayload, PacketType, SmtOptionArea, SmtOverlayHeader};
 
+    /// Payload length that puts exactly 1250 B on the wire (= 100 ns of
+    /// serialization at the default 100 Gb/s), whatever the header overhead.
+    const LEN_1250B: usize = 1250 - smt_wire::IPV4_HEADER_LEN - smt_wire::SMT_OVERLAY_LEN;
+
     fn packet(len: usize) -> Packet {
         Packet {
             ip: smt_wire::IpHeader::V4(smt_wire::Ipv4Header::new(
@@ -500,7 +504,7 @@ mod tests {
     #[test]
     fn packets_arrive_after_serialization_and_propagation() {
         let (mut f, a, b) = two_port_fabric(LinkConfig::default(), FaultConfig::none());
-        f.send(0, a, vec![packet(1182)]); // 1250 B on the wire = 100 ns at 100 Gb/s
+        f.send(0, a, vec![packet(LEN_1250B)]); // 100 ns at 100 Gb/s
         let (at, port, _) = next_delivery(&mut f).unwrap();
         assert_eq!(port, b);
         // 100 ns egress + 1000 ns core + 100 ns ingress.
@@ -512,7 +516,7 @@ mod tests {
     #[test]
     fn egress_serialization_queues_back_to_back_packets() {
         let (mut f, a, _) = two_port_fabric(LinkConfig::default(), FaultConfig::none());
-        f.send(0, a, vec![packet(1182), packet(1182)]);
+        f.send(0, a, vec![packet(LEN_1250B), packet(LEN_1250B)]);
         let (t1, _, _) = next_delivery(&mut f).unwrap();
         let (t2, _, _) = next_delivery(&mut f).unwrap();
         assert_eq!(t2 - t1, 100, "second packet serialized behind the first");
@@ -532,8 +536,8 @@ mod tests {
         f.connect(pb, sink_b);
         // Two senders transmit simultaneously; their packets serialize in
         // parallel on their own egress links but share the sink's ingress.
-        f.send(0, pa, vec![packet(1182)]);
-        f.send(0, pb, vec![packet(1182)]);
+        f.send(0, pa, vec![packet(LEN_1250B)]);
+        f.send(0, pb, vec![packet(LEN_1250B)]);
         let (t1, _, _) = next_delivery(&mut f).unwrap();
         let (t2, _, _) = next_delivery(&mut f).unwrap();
         assert_eq!(t1, 1200);

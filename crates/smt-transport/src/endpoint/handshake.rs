@@ -30,13 +30,23 @@
 //! ClientHello-random anti-replay cache, shared by every accepted endpoint of
 //! one listener so a replayed 0-RTT first flight is rejected no matter which
 //! connection it is replayed against.
+//!
+//! [`SharedPathSecrets`] is the per-host state of **path-secret amortized**
+//! handshakes: the first full handshake between a pair of hosts mints a path
+//! secret on both sides, and every later connection between them derives
+//! fresh per-connection keys from it in one symmetric-crypto flight each way
+//! — zero extra round trips, no public-key operations.  When the server has
+//! evicted the secret (bounded map, restart), the driver transparently falls
+//! back to the full handshake on the same connection.
 
 use crate::stack::StackKind;
 use bytes::Bytes;
 use smt_core::segment::PathInfo;
 use smt_crypto::cert::{Identity, VerifyingKey};
 use smt_crypto::handshake::{
-    ClientConfig as CryptoClientConfig, ClientMachine, ClientMode, ReplayCache,
+    derived_reject_flight, derived_server_respond, is_derived_flight,
+    ClientConfig as CryptoClientConfig, ClientMachine, ClientMode, DerivedClient,
+    DerivedClientOutcome, DerivedServerOutcome, PathSecret, PathSecretMap, ReplayCache,
     ServerConfig as CryptoServerConfig, ServerMachine, SessionKeys, SmtTicket, SmtTicketIssuer,
     ZeroRttContext,
 };
@@ -73,6 +83,7 @@ pub struct ConnectConfig {
     pub(crate) crypto: CryptoClientConfig,
     pub(crate) resume: Option<ResumeTicket>,
     pub(crate) forward_secrecy: bool,
+    pub(crate) secrets: Option<SharedPathSecrets>,
 }
 
 pub(crate) struct ResumeTicket {
@@ -96,6 +107,7 @@ impl ConnectConfig {
             crypto: CryptoClientConfig::new(ca_key, server_name),
             resume: None,
             forward_secrecy: false,
+            secrets: None,
         }
     }
 
@@ -106,6 +118,7 @@ impl ConnectConfig {
             crypto,
             resume: None,
             forward_secrecy: false,
+            secrets: None,
         }
     }
 
@@ -128,6 +141,20 @@ impl ConnectConfig {
     /// True when this configuration resumes with an SMT-ticket (0-RTT).
     pub fn is_resumption(&self) -> bool {
         self.resume.is_some()
+    }
+
+    /// Attaches the host's shared path-secret state.  When the map already
+    /// holds a secret for this server, the connection runs the **derived
+    /// handshake**: per-connection keys HKDF-derived from the path secret in
+    /// one symmetric-crypto flight each way, early data riding the hello —
+    /// no extra round trips and no public-key work.  Otherwise the
+    /// full/ticket handshake runs and mints the path secret into the map so
+    /// the next connection to the same server can derive.  A server that has
+    /// meanwhile evicted the secret triggers a transparent fallback to the
+    /// full handshake on the same connection.
+    pub fn path_secrets(mut self, secrets: SharedPathSecrets) -> Self {
+        self.secrets = Some(secrets);
+        self
     }
 }
 
@@ -166,11 +193,94 @@ impl ZeroRttAcceptor {
     }
 }
 
+/// The shared per-host state of path-secret amortized handshakes: the
+/// bounded [`PathSecretMap`] that completed full handshakes mint into, and
+/// the derived-hello anti-replay cache (a derived hello plus its early data
+/// is replayable wholesale, exactly like a 0-RTT ClientHello).
+///
+/// Clone one instance into every endpoint of a host — into
+/// [`ConnectConfig::path_secrets`] on the client side and
+/// [`AcceptConfig::path_secrets`] on the server side — so all connections
+/// between a pair of hosts amortize a single public-key handshake.
+#[derive(Clone)]
+pub struct SharedPathSecrets {
+    pub(crate) map: Arc<Mutex<PathSecretMap>>,
+    pub(crate) replay: Arc<Mutex<ReplayCache>>,
+}
+
+impl std::fmt::Debug for SharedPathSecrets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPathSecrets")
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedPathSecrets {
+    /// A path-secret map bounded to `capacity` peers, with a derived-hello
+    /// replay cache bounded to `replay_capacity` client randoms.  Both evict
+    /// oldest-first and count their evictions.
+    pub fn new(capacity: usize, replay_capacity: usize) -> Self {
+        Self {
+            map: Arc::new(Mutex::new(PathSecretMap::new(capacity))),
+            replay: Arc::new(Mutex::new(ReplayCache::new(replay_capacity))),
+        }
+    }
+
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, PathSecretMap> {
+        // Recover from a poisoned lock: the map contents (peer → secret)
+        // stay valid even if another endpoint panicked mid-insert.
+        self.map.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The path secret shared with `peer`, if one is held.
+    pub fn get(&self, peer: &str) -> Option<PathSecret> {
+        self.lock_map().get(peer).cloned()
+    }
+
+    /// Inserts (or replaces) `secret` under its peer name, evicting the
+    /// oldest entry when at capacity.
+    pub fn insert(&self, secret: PathSecret) {
+        self.lock_map().insert(secret);
+    }
+
+    /// Removes and returns the path secret shared with `peer` (used to drop
+    /// a secret the server has evicted, and by churn tests to force the
+    /// full-handshake fallback).
+    pub fn remove(&self, peer: &str) -> Option<PathSecret> {
+        self.lock_map().remove(peer)
+    }
+
+    /// Number of path secrets currently held.
+    pub fn len(&self) -> usize {
+        self.lock_map().len()
+    }
+
+    /// True when no path secrets are held.
+    pub fn is_empty(&self) -> bool {
+        self.lock_map().is_empty()
+    }
+
+    /// Path secrets evicted to stay within the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.lock_map().evictions()
+    }
+
+    /// Derived-hello client randoms evicted from the replay cache.
+    pub fn replay_evictions(&self) -> u64 {
+        self.replay
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .evictions()
+    }
+}
+
 /// Server-side configuration for [`super::EndpointBuilder::accept`].
 pub struct AcceptConfig {
     pub(crate) crypto: CryptoServerConfig,
     pub(crate) acceptor: Option<ZeroRttAcceptor>,
     pub(crate) ticket_now: u64,
+    pub(crate) secrets: Option<SharedPathSecrets>,
 }
 
 impl std::fmt::Debug for AcceptConfig {
@@ -189,6 +299,7 @@ impl AcceptConfig {
             crypto: CryptoServerConfig::new(identity, ca_key),
             acceptor: None,
             ticket_now: 0,
+            secrets: None,
         }
     }
 
@@ -199,6 +310,7 @@ impl AcceptConfig {
             crypto,
             acceptor: None,
             ticket_now: 0,
+            secrets: None,
         }
     }
 
@@ -214,6 +326,16 @@ impl AcceptConfig {
     /// epoch the resuming client passes to [`ConnectConfig::resume`]).
     pub fn ticket_time(mut self, now: u64) -> Self {
         self.ticket_now = now;
+        self
+    }
+
+    /// Attaches the host's shared path-secret state: derived hellos are
+    /// answered from the map (replay-checked against the shared cache), a
+    /// hello whose path secret was evicted is rejected so the client falls
+    /// back, and completed full handshakes mint fresh path secrets into the
+    /// map for later connections to derive from.
+    pub fn path_secrets(mut self, secrets: SharedPathSecrets) -> Self {
+        self.secrets = Some(secrets);
         self
     }
 }
@@ -243,16 +365,33 @@ pub(crate) struct DriverOutcome {
     pub complete: Option<Box<HandshakeResult>>,
     /// A fatal handshake failure; the endpoint goes dead.
     pub error: Option<String>,
+    /// Early data reclaimed from a rejected derived attempt whose full
+    /// fallback handshake cannot carry it; the endpoint re-queues it as
+    /// message 0 so it flushes normally on completion.
+    pub requeue_early: Option<Vec<u8>>,
 }
 
 enum Role {
     Client {
         pending: Option<Box<(CryptoClientConfig, Option<ResumeTicket>, bool)>>,
         machine: Option<Box<ClientMachine>>,
+        /// In-flight derived handshake, when a held path secret allowed one.
+        /// `pending` is kept alongside as the transparent fallback.
+        derived: Option<Box<DerivedClient>>,
+        /// The host's shared path-secret state (derive from + mint into).
+        secrets: Option<SharedPathSecrets>,
+        /// Peer name: the path-secret map key on this side.
+        server_name: String,
+        /// Early data attached to the derived hello, kept so a fallback can
+        /// re-carry it (ticket 0-RTT) or hand it back (full handshake).
+        early_payload: Option<Vec<u8>>,
     },
     Server {
         machine: Box<ServerMachine>,
         acceptor: Option<ZeroRttAcceptor>,
+        /// The host's shared path-secret state (answer derived hellos, mint
+        /// on full completions).
+        secrets: Option<SharedPathSecrets>,
     },
 }
 
@@ -362,6 +501,7 @@ impl HandshakeDriver {
         proto: u8,
         rto_ns: Nanos,
     ) -> Self {
+        let server_name = config.crypto.server_name.clone();
         Self::new(
             Role::Client {
                 pending: Some(Box::new((
@@ -370,6 +510,10 @@ impl HandshakeDriver {
                     config.forward_secrecy,
                 ))),
                 machine: None,
+                derived: None,
+                secrets: config.secrets,
+                server_name,
+                early_payload: None,
             },
             1,
             path,
@@ -395,6 +539,7 @@ impl HandshakeDriver {
             Role::Server {
                 machine: Box::new(ServerMachine::new(config.crypto, ticket)),
                 acceptor: config.acceptor,
+                secrets: config.secrets,
             },
             0,
             path,
@@ -451,28 +596,94 @@ impl HandshakeDriver {
             &self.role,
             Role::Client {
                 pending: Some(_),
+                machine: None,
+                derived: None,
                 ..
             }
         )
     }
 
-    /// True when the pending client start resumes with an SMT-ticket, i.e.
-    /// the first queued message can ride as 0-RTT early data.
+    /// True when the pending client start can carry the first queued message
+    /// as early data on its first flight: an SMT-ticket resumption, or a
+    /// derived handshake from a held path secret.
     pub fn wants_early_data(&self) -> bool {
         match &self.role {
             Role::Client {
                 pending: Some(boxed),
+                machine: None,
+                derived: None,
+                secrets,
+                server_name,
                 ..
-            } => boxed.1.is_some(),
+            } => {
+                boxed.1.is_some()
+                    || secrets
+                        .as_ref()
+                        .is_some_and(|s| s.get(server_name).is_some())
+            }
             _ => false,
         }
     }
 
     /// Builds and queues the first client flight at virtual time `now`,
-    /// piggybacking `early_data` when resuming.  Returns an error message on
-    /// failure (expired ticket, bad configuration); the endpoint goes dead.
+    /// piggybacking `early_data` when resuming or deriving.  Returns an
+    /// error message on failure (expired ticket, bad configuration); the
+    /// endpoint goes dead.
     pub fn start_client(&mut self, now: Nanos, early_data: Option<Vec<u8>>) -> Result<(), String> {
-        let Role::Client { pending, machine } = &mut self.role else {
+        // A held path secret short-circuits the public-key handshake: derive
+        // fresh connection keys from it with one symmetric-crypto flight each
+        // way, early data riding the hello.  `pending` is kept untouched —
+        // it is the transparent fallback if the server rejects.
+        let derived_flight = {
+            let Role::Client {
+                pending,
+                machine,
+                derived,
+                secrets,
+                server_name,
+                ..
+            } = &mut self.role
+            else {
+                return Ok(());
+            };
+            if pending.is_none() || machine.is_some() || derived.is_some() {
+                return Ok(());
+            }
+            match secrets.as_ref().and_then(|s| s.get(server_name)) {
+                Some(path) => {
+                    match DerivedClient::start(&path, early_data.as_deref().unwrap_or(&[])) {
+                        Ok((dc, flight)) => {
+                            *derived = Some(Box::new(dc));
+                            Some(flight)
+                        }
+                        Err(_) => {
+                            // Unusable path secret (suite mismatch after a
+                            // redeploy, internal error): drop it and run the
+                            // full handshake below.
+                            if let Some(s) = secrets {
+                                s.remove(server_name);
+                            }
+                            None
+                        }
+                    }
+                }
+                None => None,
+            }
+        };
+        if let Some(flight) = derived_flight {
+            self.early_sent = early_data.as_ref().is_some_and(|d| !d.is_empty());
+            if let Role::Client { early_payload, .. } = &mut self.role {
+                *early_payload = early_data;
+            }
+            self.started_at = Some(now);
+            self.set_flight(0, &flight);
+            self.deadline = Some(now + self.rto_ns);
+            return Ok(());
+        }
+        let Role::Client {
+            pending, machine, ..
+        } = &mut self.role
+        else {
             return Ok(());
         };
         let Some(boxed) = pending.take() else {
@@ -561,61 +772,176 @@ impl HandshakeDriver {
         // client 2), so the next flight *we* can receive is two ahead.
         self.rx_expected = seq + 2;
 
-        // Drive the state machine with the assembled flight.
+        // Drive the state machine with the assembled flight.  Replies always
+        // carry the next flight sequence number (`seq + 1`): flights keep
+        // alternating directions even when a rejected derived attempt splices
+        // a full handshake into the same connection (derived hello 0 →
+        // reject 1 → ClientHello 2 → ServerHello 3 → Finished 4).
         let mut reply: Option<(u64, Vec<u8>)> = None;
         let mut completion: Option<(SessionKeys, bool, Option<SmtTicket>)> = None;
+        let mut derived_completion = false;
+        let mut clear_early_sent = false;
         let mut first_arrival = false;
         match &mut self.role {
-            Role::Client { machine, .. } => {
-                let Some(machine) = machine.as_mut() else {
-                    self.datagrams_dropped += 1;
-                    return outcome;
-                };
-                match machine.on_server_flight(&flight) {
-                    Ok(out) => {
-                        if let Some(fin) = out.reply {
-                            reply = Some((2, fin));
+            Role::Client {
+                machine,
+                pending,
+                derived,
+                secrets,
+                server_name,
+                early_payload,
+            } => {
+                if let Some(dc) = derived.take() {
+                    match dc.on_server_flight(&flight) {
+                        Ok(DerivedClientOutcome::Complete(keys)) => {
+                            *pending = None;
+                            *early_payload = None;
+                            derived_completion = true;
+                            completion = Some((*keys, true, None));
                         }
-                        if let Some(keys) = out.keys {
-                            completion = Some((*keys, machine.resumed(), out.ticket));
+                        Ok(DerivedClientOutcome::Rejected { .. }) => {
+                            // The server no longer holds the path secret
+                            // (bounded-map eviction, restart): drop the stale
+                            // copy and fall back to the full handshake on the
+                            // same connection, re-carrying the early data
+                            // when a ticket still allows 0-RTT.
+                            if let Some(s) = secrets {
+                                s.remove(server_name);
+                            }
+                            match pending.take() {
+                                Some(boxed) => {
+                                    let (crypto, resume, forward_secrecy) = *boxed;
+                                    let early = early_payload.take();
+                                    let mode = match resume {
+                                        None => {
+                                            // A full handshake cannot carry
+                                            // early data: hand it back for
+                                            // re-queueing as message 0.
+                                            outcome.requeue_early = early;
+                                            clear_early_sent = true;
+                                            ClientMode::Full
+                                        }
+                                        Some(r) => ClientMode::ZeroRtt {
+                                            ticket: r.ticket,
+                                            early_data: early.unwrap_or_default(),
+                                            forward_secrecy,
+                                            now: r.now,
+                                        },
+                                    };
+                                    match ClientMachine::start(crypto, mode) {
+                                        Ok((m, hello)) => {
+                                            *machine = Some(Box::new(m));
+                                            reply = Some((seq + 1, hello));
+                                        }
+                                        Err(e) => {
+                                            outcome.error =
+                                                Some(format!("handshake fallback failed: {e}"));
+                                        }
+                                    }
+                                }
+                                None => {
+                                    outcome.error = Some(
+                                        "derived handshake rejected with no fallback \
+                                         configuration"
+                                            .into(),
+                                    );
+                                }
+                            }
                         }
+                        Err(e) => outcome.error = Some(format!("handshake failed: {e}")),
                     }
-                    Err(e) => outcome.error = Some(format!("handshake failed: {e}")),
+                } else {
+                    let Some(machine) = machine.as_mut() else {
+                        self.datagrams_dropped += 1;
+                        return outcome;
+                    };
+                    match machine.on_server_flight(&flight) {
+                        Ok(out) => {
+                            if let Some(fin) = out.reply {
+                                reply = Some((seq + 1, fin));
+                            }
+                            if let Some(keys) = out.keys {
+                                completion = Some((*keys, machine.resumed(), out.ticket));
+                            }
+                        }
+                        Err(e) => outcome.error = Some(format!("handshake failed: {e}")),
+                    }
                 }
             }
-            Role::Server { machine, acceptor } => {
+            Role::Server {
+                machine,
+                acceptor,
+                secrets,
+            } => {
                 first_arrival = true;
-                let result = match acceptor {
-                    Some(a) => {
-                        // Recover the cache even if another accepted endpoint
-                        // panicked while holding the lock: the cache contents
-                        // (a set of ClientHello randoms) stay valid.
-                        let mut replay = a.replay.lock().unwrap_or_else(|p| p.into_inner());
-                        machine.on_flight(
-                            &flight,
-                            Some(ZeroRttContext {
-                                issuer: &a.issuer,
-                                replay: &mut replay,
-                            }),
-                        )
-                    }
-                    None => machine.on_flight(&flight, None),
-                };
-                match result {
-                    Ok(out) => {
-                        outcome.early_data = out.early_data;
-                        if let Some(bytes) = out.reply {
-                            reply = Some((1, bytes));
+                if is_derived_flight(&flight) {
+                    match secrets {
+                        Some(s) => {
+                            let map = s.map.lock().unwrap_or_else(|p| p.into_inner());
+                            let mut replay = s.replay.lock().unwrap_or_else(|p| p.into_inner());
+                            match derived_server_respond(&map, &mut replay, &flight) {
+                                Ok(DerivedServerOutcome::Accepted(resp)) => {
+                                    let resp = *resp;
+                                    outcome.early_data = resp.early_data;
+                                    reply = Some((seq + 1, resp.flight));
+                                    derived_completion = true;
+                                    completion = Some((resp.keys, true, None));
+                                }
+                                Ok(DerivedServerOutcome::Unknown { reject }) => {
+                                    // Evicted (or never-minted) path secret:
+                                    // tell the client to fall back.  The full
+                                    // ClientHello arrives as the next flight
+                                    // and the untouched machine handles it.
+                                    reply = Some((seq + 1, reject));
+                                }
+                                Err(e) => {
+                                    outcome.error = Some(format!("handshake failed: {e}"));
+                                }
+                            }
                         }
-                        if let Some(keys) = out.keys {
-                            completion = Some((*keys, machine.resumed(), None));
+                        None => {
+                            // No path-secret state on this endpoint at all:
+                            // same fallback signal as an evicted secret.
+                            reply =
+                                Some((seq + 1, derived_reject_flight("path secrets not enabled")));
                         }
                     }
-                    Err(e) => outcome.error = Some(format!("handshake failed: {e}")),
+                } else {
+                    let result = match acceptor {
+                        Some(a) => {
+                            // Recover the cache even if another accepted endpoint
+                            // panicked while holding the lock: the cache contents
+                            // (a set of ClientHello randoms) stay valid.
+                            let mut replay = a.replay.lock().unwrap_or_else(|p| p.into_inner());
+                            machine.on_flight(
+                                &flight,
+                                Some(ZeroRttContext {
+                                    issuer: &a.issuer,
+                                    replay: &mut replay,
+                                }),
+                            )
+                        }
+                        None => machine.on_flight(&flight, None),
+                    };
+                    match result {
+                        Ok(out) => {
+                            outcome.early_data = out.early_data;
+                            if let Some(bytes) = out.reply {
+                                reply = Some((seq + 1, bytes));
+                            }
+                            if let Some(keys) = out.keys {
+                                completion = Some((*keys, machine.resumed(), None));
+                            }
+                        }
+                        Err(e) => outcome.error = Some(format!("handshake failed: {e}")),
+                    }
                 }
             }
         }
 
+        if clear_early_sent {
+            self.early_sent = false;
+        }
         if outcome.error.is_some() {
             self.failed = true;
             self.deadline = None;
@@ -623,6 +949,35 @@ impl HandshakeDriver {
         }
         if first_arrival && self.started_at.is_none() {
             self.started_at = Some(now);
+        }
+        // A completed public-key handshake mints the path secret for this
+        // peer into the shared map — both sides derive identical material
+        // from the shared resumption master — so the next connection between
+        // these hosts can run the derived handshake.  Derived completions
+        // leave the existing secret in place.
+        if !derived_completion {
+            if let Some((keys, _, _)) = &completion {
+                match &self.role {
+                    Role::Client {
+                        secrets: Some(s),
+                        server_name,
+                        ..
+                    } => {
+                        s.insert(PathSecret::mint(keys, server_name));
+                    }
+                    Role::Server {
+                        secrets: Some(s), ..
+                    } => {
+                        // Lookups on this side are by wire id; the peer key
+                        // only needs uniqueness, so fall back to the id when
+                        // the client presented no mTLS identity.
+                        let mut ps = PathSecret::mint(keys, "");
+                        ps.peer = keys.peer_identity.clone().unwrap_or_else(|| hex_id(&ps.id));
+                        s.insert(ps);
+                    }
+                    _ => {}
+                }
+            }
         }
         if let Some((seq, bytes)) = reply {
             self.set_flight(seq, &bytes);
@@ -718,6 +1073,16 @@ impl HandshakeDriver {
         self.last_flight_seq = seq;
         self.outbox.extend(packets);
     }
+}
+
+/// Lowercase hex of a path-secret wire id, used as the server-side map key
+/// when the client presented no mTLS identity.
+fn hex_id(id: &[u8]) -> String {
+    let mut out = String::with_capacity(id.len() * 2);
+    for b in id {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
 }
 
 /// Computes the per-stack transport protocol number stamped on handshake

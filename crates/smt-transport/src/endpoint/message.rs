@@ -77,6 +77,10 @@ pub struct MessageEndpoint {
     extra: EndpointStats,
     /// Set after a fatal handshake failure; all traffic is dropped.
     dead: bool,
+    /// Connection ID stamped into the option area of every egress packet so
+    /// a [`super::Listener`] can demux many connections over one socket.
+    /// Zero (the default) means "not multiplexed" and stamps nothing.
+    connection_id: u32,
 }
 
 impl std::fmt::Debug for MessageEndpoint {
@@ -206,7 +210,14 @@ impl MessageEndpoint {
             timeouts_fired: 0,
             extra: EndpointStats::default(),
             dead: false,
+            connection_id: 0,
         }
+    }
+
+    /// Sets the connection ID stamped into every egress packet (zero stamps
+    /// nothing); ingress demux is the [`super::Listener`]'s job.
+    pub(crate) fn set_connection_id(&mut self, id: u32) {
+        self.connection_id = id;
     }
 
     /// The underlying SMT session (replay checks, flow contexts, raw stats).
@@ -317,6 +328,16 @@ impl MessageEndpoint {
 
     /// Applies the effects of one handled handshake CONTROL packet.
     fn apply_hs_outcome(&mut self, outcome: super::handshake::DriverOutcome, now: Nanos) {
+        if let Some(data) = outcome.requeue_early {
+            // A rejected derived attempt collapsed to a full handshake, which
+            // cannot carry early data: message 0 goes back to the front of
+            // the queue (its send counters were bumped when it was taken) and
+            // flushes normally on completion.
+            self.extra.messages_sent = self.extra.messages_sent.saturating_sub(1);
+            self.extra.bytes_sent = self.extra.bytes_sent.saturating_sub(data.len() as u64);
+            self.queued_bytes += data.len();
+            self.queued.push_front((0, data));
+        }
         if let Some(early) = outcome.early_data {
             self.rx_id_offset = 1;
             self.extra.messages_delivered += 1;
@@ -393,6 +414,35 @@ impl MessageEndpoint {
             inner.send_message(data, queue)?
         };
         Ok(id + self.tx_id_offset)
+    }
+
+    /// Ratchets the send keys one epoch forward (the SMT key-update: the new
+    /// epoch rides in every subsequent segment's overlay option area, and the
+    /// peer keeps the old keys for a one-epoch drain window).  Records staged
+    /// with the shared batch engine under the old key are flushed first, and
+    /// the engine registration is refreshed so later staged records seal
+    /// under the new key.  Fails before handshake completion and on the
+    /// plaintext stack.
+    pub fn rekey(&mut self, _now: Nanos) -> EndpointResult<u16> {
+        if self.dead {
+            return Err(EndpointError::Config(
+                "endpoint is dead (handshake failed)".into(),
+            ));
+        }
+        self.flush_staged();
+        if self.dead {
+            return Err(EndpointError::Config(
+                "flushing staged records before rekey failed".into(),
+            ));
+        }
+        let Some(inner) = &mut self.inner else {
+            return Err(EndpointError::Config(
+                "cannot rekey before handshake completion".into(),
+            ));
+        };
+        let epoch = inner.rekey()?;
+        self.register_engine();
+        Ok(epoch)
     }
 
     /// Materialises engine-staged messages: runs the shared fused flush (the
@@ -509,6 +559,11 @@ impl SecureEndpoint for MessageEndpoint {
             out.extend(self.outbox.drain(..));
             out.extend(inner.poll_transmit());
         }
+        if self.connection_id != 0 {
+            for p in &mut out[before..] {
+                p.overlay.options.connection_id = self.connection_id;
+            }
+        }
         out.len() - before
     }
 
@@ -562,7 +617,7 @@ impl SecureEndpoint for MessageEndpoint {
             stats.wire_bytes_received += session.wire_bytes_received;
             stats.replays_rejected += receiver.packets_replayed + receiver.packets_duplicate;
             stats.retransmissions += inner.retransmitted_packets();
-            stats.datagrams_dropped += inner.recv_errors();
+            stats.datagrams_dropped += inner.recv_errors() + receiver.epoch_rejected;
             stats.records_sealed += session.records_sealed;
             stats.auth_failures += receiver.auth_failures;
             // Typed-error rejections that were not authentication failures

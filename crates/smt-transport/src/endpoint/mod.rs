@@ -37,11 +37,15 @@
 //! topologies and workloads.
 
 mod handshake;
+mod listener;
 mod message;
 mod sim;
 mod stream;
 
-pub use handshake::{AcceptConfig, ConnectConfig, ZeroRttAcceptor, EARLY_DATA_MAX};
+pub use handshake::{
+    AcceptConfig, ConnectConfig, SharedPathSecrets, ZeroRttAcceptor, EARLY_DATA_MAX,
+};
+pub use listener::{Listener, ListenerFabric};
 pub use message::MessageEndpoint;
 pub use sim::{handshake_scenario_endpoints, scenario_endpoints};
 pub use stream::StreamEndpoint;
@@ -420,6 +424,7 @@ pub struct EndpointBuilder {
     path: Option<PathInfo>,
     rto_ns: Nanos,
     engine: Option<smt_crypto::CryptoEngineHandle>,
+    connection_id: u32,
 }
 
 impl Default for EndpointBuilder {
@@ -432,6 +437,7 @@ impl Default for EndpointBuilder {
             path: None,
             rto_ns: SmtConfig::default().rto_ns(),
             engine: None,
+            connection_id: 0,
         }
     }
 }
@@ -496,6 +502,16 @@ impl EndpointBuilder {
         self
     }
 
+    /// Stamps `id` into the option area of every packet this endpoint emits,
+    /// so a [`Listener`] on the far side can demux many connections arriving
+    /// over one socket.  Zero (the default) means "not multiplexed" and
+    /// stamps nothing; a [`Listener`] allocates nonzero IDs for the
+    /// connections it accepts and clients dial with the ID they chose.
+    pub fn connection_id(mut self, id: u32) -> Self {
+        self.connection_id = id;
+        self
+    }
+
     /// Builds one endpoint from out-of-band keys — the **key-injection fast
     /// path** used by tests and benches that measure the established data
     /// path without paying connection setup.  `keys` may be `None` only for
@@ -513,16 +529,12 @@ impl EndpointBuilder {
         homa.mtu = self.mtu;
         homa.tso = self.tso;
         if self.stack.is_message_based() {
-            Ok(Endpoint::Message(Box::new(MessageEndpoint::new(
-                self.stack,
-                keys,
-                homa,
-                path,
-                self.rto_ns,
-                self.engine,
-            )?)))
+            let mut ep =
+                MessageEndpoint::new(self.stack, keys, homa, path, self.rto_ns, self.engine)?;
+            ep.set_connection_id(self.connection_id);
+            Ok(Endpoint::Message(Box::new(ep)))
         } else {
-            Ok(Endpoint::Stream(Box::new(StreamEndpoint::new(
+            let mut ep = StreamEndpoint::new(
                 self.stack,
                 keys,
                 self.mtu,
@@ -530,7 +542,9 @@ impl EndpointBuilder {
                 path,
                 self.rto_ns,
                 self.engine,
-            )?)))
+            )?;
+            ep.set_connection_id(self.connection_id);
+            Ok(Endpoint::Stream(Box::new(ep)))
         }
     }
 
@@ -553,16 +567,12 @@ impl EndpointBuilder {
         homa.mtu = self.mtu;
         homa.tso = self.tso;
         if self.stack.is_message_based() {
-            Ok(Endpoint::Message(Box::new(MessageEndpoint::connect(
-                self.stack,
-                config,
-                homa,
-                path,
-                self.rto_ns,
-                self.engine,
-            )?)))
+            let mut ep =
+                MessageEndpoint::connect(self.stack, config, homa, path, self.rto_ns, self.engine)?;
+            ep.set_connection_id(self.connection_id);
+            Ok(Endpoint::Message(Box::new(ep)))
         } else {
-            Ok(Endpoint::Stream(Box::new(StreamEndpoint::connect(
+            let mut ep = StreamEndpoint::connect(
                 self.stack,
                 config,
                 self.mtu,
@@ -570,7 +580,9 @@ impl EndpointBuilder {
                 path,
                 self.rto_ns,
                 self.engine,
-            )?)))
+            )?;
+            ep.set_connection_id(self.connection_id);
+            Ok(Endpoint::Stream(Box::new(ep)))
         }
     }
 
@@ -588,16 +600,12 @@ impl EndpointBuilder {
         homa.mtu = self.mtu;
         homa.tso = self.tso;
         if self.stack.is_message_based() {
-            Ok(Endpoint::Message(Box::new(MessageEndpoint::accept(
-                self.stack,
-                config,
-                homa,
-                path,
-                self.rto_ns,
-                self.engine,
-            )?)))
+            let mut ep =
+                MessageEndpoint::accept(self.stack, config, homa, path, self.rto_ns, self.engine)?;
+            ep.set_connection_id(self.connection_id);
+            Ok(Endpoint::Message(Box::new(ep)))
         } else {
-            Ok(Endpoint::Stream(Box::new(StreamEndpoint::accept(
+            let mut ep = StreamEndpoint::accept(
                 self.stack,
                 config,
                 self.mtu,
@@ -605,7 +613,9 @@ impl EndpointBuilder {
                 path,
                 self.rto_ns,
                 self.engine,
-            )?)))
+            )?;
+            ep.set_connection_id(self.connection_id);
+            Ok(Endpoint::Stream(Box::new(ep)))
         }
     }
 
@@ -718,6 +728,22 @@ impl Endpoint {
         match self {
             Endpoint::Stream(s) => Some(s),
             Endpoint::Message(_) => None,
+        }
+    }
+
+    /// Ratchets this endpoint's send keys one epoch forward — the key-update
+    /// that keeps long-lived connections from ever exhausting a key's safe
+    /// data volume or sequence space.  Message stacks stamp the new epoch in
+    /// the segment overlay (the peer keeps the old keys for a one-epoch drain
+    /// window); stream stacks append an in-band TLS KeyUpdate record and
+    /// reset the record sequence number.  Returns the new send epoch.  Fails
+    /// on the plaintext stacks (TCP, Homa) and before handshake completion.
+    /// Each direction rekeys independently — the peer's send keys are
+    /// untouched until it calls its own `rekey`.
+    pub fn rekey(&mut self, now: Nanos) -> EndpointResult<u16> {
+        match self {
+            Endpoint::Message(m) => m.rekey(now),
+            Endpoint::Stream(s) => s.rekey(now),
         }
     }
 }
@@ -1020,6 +1046,171 @@ mod tests {
         assert_eq!(s.next_timeout(), None);
         // A second drive call does nothing.
         assert_eq!(drive_pair(&mut c, &mut s, &mut link, 1_000_000), 0);
+    }
+
+    /// Builds a connect/accept pair on `stack` sharing the given path-secret
+    /// state, drives `payload` through it, and returns the client's observed
+    /// `(resumed, rtt_ns)` from its `HandshakeComplete`.
+    fn run_with_secrets(
+        stack: StackKind,
+        ca: &CertificateAuthority,
+        client_secrets: &SharedPathSecrets,
+        server_secrets: &SharedPathSecrets,
+        payload: &[u8],
+    ) -> (bool, Nanos) {
+        let id = ca.issue_identity("server.dc.local");
+        let (mut c, mut s) = Endpoint::builder()
+            .stack(stack)
+            .handshake_pair(
+                ConnectConfig::new(ca.verifying_key(), "server.dc.local")
+                    .path_secrets(client_secrets.clone()),
+                AcceptConfig::new(id, ca.verifying_key()).path_secrets(server_secrets.clone()),
+                4000,
+                5201,
+            )
+            .unwrap();
+        c.send(payload, 0).unwrap();
+        let mut link = PairFabric::reliable();
+        drive_pair(&mut c, &mut s, &mut link, 1_000_000);
+        let got = take_delivered(&mut s);
+        assert_eq!(got.len(), 1, "stack {}", stack.label());
+        assert_eq!(got[0].0, MessageId(0), "stack {}", stack.label());
+        assert_eq!(got[0].1, payload, "stack {}", stack.label());
+        let mut result = None;
+        let mut acked = false;
+        while let Some(ev) = c.poll_event() {
+            match ev {
+                Event::HandshakeComplete {
+                    resumed, rtt_ns, ..
+                } => result = Some((resumed, rtt_ns)),
+                Event::MessageAcked(MessageId(0)) => acked = true,
+                Event::Error(e) => panic!("stack {}: {e}", stack.label()),
+                _ => {}
+            }
+        }
+        assert!(
+            acked,
+            "stack {}: message 0 never acknowledged",
+            stack.label()
+        );
+        result.unwrap_or_else(|| panic!("stack {}: no HandshakeComplete", stack.label()))
+    }
+
+    #[test]
+    fn path_secrets_amortize_handshakes_across_connections() {
+        for stack in [StackKind::SmtSw, StackKind::KtlsSw] {
+            let ca = CertificateAuthority::new("path-ca");
+            let client_secrets = SharedPathSecrets::new(16, 256);
+            let server_secrets = SharedPathSecrets::new(16, 256);
+
+            // Connection 1: full handshake; both sides mint the path secret.
+            let (resumed, _) =
+                run_with_secrets(stack, &ca, &client_secrets, &server_secrets, b"full");
+            assert!(!resumed, "stack {}", stack.label());
+            assert_eq!(client_secrets.len(), 1);
+            assert_eq!(server_secrets.len(), 1);
+
+            // Connection 2: derived from the path secret — no public-key
+            // work, early data on the first flight, reported as resumed.
+            let (resumed, _) = run_with_secrets(
+                stack,
+                &ca,
+                &client_secrets,
+                &server_secrets,
+                b"derived early",
+            );
+            assert!(resumed, "stack {}: derived connect", stack.label());
+            // Derived completions reuse the minted secret, not replace it.
+            assert_eq!(client_secrets.len(), 1);
+            assert_eq!(server_secrets.len(), 1);
+        }
+    }
+
+    #[test]
+    fn derived_connect_after_server_eviction_falls_back_to_full() {
+        for stack in [StackKind::SmtSw, StackKind::KtlsSw] {
+            let ca = CertificateAuthority::new("evict-ca");
+            let client_secrets = SharedPathSecrets::new(16, 256);
+            let server_secrets = SharedPathSecrets::new(16, 256);
+            let (resumed, _) =
+                run_with_secrets(stack, &ca, &client_secrets, &server_secrets, b"mint");
+            assert!(!resumed);
+            assert_eq!(client_secrets.len(), 1);
+
+            // The server "restarts" (or evicted the secret): a fresh map.
+            // The client still tries the derived handshake, gets rejected,
+            // and transparently falls back to the full handshake on the same
+            // connection — the queued message (taken as derived early data,
+            // then handed back) still arrives as message 0.
+            let fresh_server = SharedPathSecrets::new(16, 256);
+            let (resumed, _) = run_with_secrets(
+                stack,
+                &ca,
+                &client_secrets,
+                &fresh_server,
+                b"after eviction",
+            );
+            assert!(
+                !resumed,
+                "stack {}: fallback is a full handshake",
+                stack.label()
+            );
+            // The stale client secret was dropped and the fallback minted a
+            // fresh one on both sides, so the next connection derives again.
+            assert_eq!(client_secrets.len(), 1);
+            assert_eq!(fresh_server.len(), 1);
+            let (resumed, _) =
+                run_with_secrets(stack, &ca, &client_secrets, &fresh_server, b"derived again");
+            assert!(resumed, "stack {}: re-minted secret derives", stack.label());
+        }
+    }
+
+    #[test]
+    fn derived_setup_beats_full_handshake_at_the_server() {
+        // The point of path-secret amortization: the server sees the first
+        // application byte of a derived connection at 0.5 RTT (early data on
+        // the hello), where a full handshake needs 1.5 RTT before data flows.
+        let ca = CertificateAuthority::new("ttfb-ca");
+        let client_secrets = SharedPathSecrets::new(4, 64);
+        let server_secrets = SharedPathSecrets::new(4, 64);
+        let make_pair = |cs: &SharedPathSecrets, ss: &SharedPathSecrets| {
+            let id = ca.issue_identity("server.dc.local");
+            Endpoint::builder()
+                .stack(StackKind::SmtSw)
+                .handshake_pair(
+                    ConnectConfig::new(ca.verifying_key(), "server.dc.local")
+                        .path_secrets(cs.clone()),
+                    AcceptConfig::new(id, ca.verifying_key()).path_secrets(ss.clone()),
+                    4000,
+                    5201,
+                )
+                .unwrap()
+        };
+        let ttfb = |mut c: Endpoint, mut s: Endpoint| {
+            c.send(b"request", 0).unwrap();
+            let mut link = PairFabric::reliable();
+            let mut first_delivery = None;
+            // Drive one event at a time so delivery time is observable.
+            loop {
+                let before = link.now();
+                if drive_pair(&mut c, &mut s, &mut link, 1) == 0 {
+                    break;
+                }
+                let _ = before;
+                if first_delivery.is_none() && !take_delivered(&mut s).is_empty() {
+                    first_delivery = Some(link.now());
+                }
+            }
+            first_delivery.expect("request delivered")
+        };
+        let (c1, s1) = make_pair(&client_secrets, &server_secrets);
+        let full_ttfb = ttfb(c1, s1);
+        let (c2, s2) = make_pair(&client_secrets, &server_secrets);
+        let derived_ttfb = ttfb(c2, s2);
+        assert!(
+            derived_ttfb < full_ttfb,
+            "derived ttfb {derived_ttfb} must beat full ttfb {full_ttfb}"
+        );
     }
 
     #[test]

@@ -142,6 +142,10 @@ pub struct StreamEndpoint {
     stats: EndpointStats,
     /// Set after a fatal stream error; all further traffic is dropped.
     dead: bool,
+    /// Connection ID stamped into the option area of every egress packet so
+    /// a [`super::Listener`] can demux many connections over one socket.
+    /// Zero (the default) means "not multiplexed" and stamps nothing.
+    connection_id: u32,
 }
 
 impl std::fmt::Debug for StreamEndpoint {
@@ -285,6 +289,22 @@ impl StreamEndpoint {
             events: VecDeque::new(),
             stats: EndpointStats::default(),
             dead: false,
+            connection_id: 0,
+        }
+    }
+
+    /// Sets the connection ID stamped into every egress packet (zero stamps
+    /// nothing); ingress demux is the [`super::Listener`]'s job.
+    pub(crate) fn set_connection_id(&mut self, id: u32) {
+        self.connection_id = id;
+    }
+
+    /// Stamps the configured connection ID onto freshly appended packets.
+    fn stamp_connection_id(&self, out: &mut [Packet]) {
+        if self.connection_id != 0 {
+            for p in out {
+                p.overlay.options.connection_id = self.connection_id;
+            }
         }
     }
 
@@ -552,6 +572,17 @@ impl StreamEndpoint {
 
     /// Applies the effects of one handled handshake CONTROL packet.
     fn apply_hs_outcome(&mut self, outcome: super::handshake::DriverOutcome, now: Nanos) {
+        if let Some(data) = outcome.requeue_early {
+            // A rejected derived attempt collapsed to a full handshake, which
+            // cannot carry early data: message 0 goes back to the front of
+            // the queue (its send counters were bumped when it was taken) and
+            // flushes normally on completion.
+            self.stats.messages_sent = self.stats.messages_sent.saturating_sub(1);
+            self.stats.bytes_sent = self.stats.bytes_sent.saturating_sub(data.len() as u64);
+            self.queued_bytes += data.len();
+            self.queued.push_front((MessageId(0), data));
+            self.note_tracked_bytes();
+        }
         if let Some(early) = outcome.early_data {
             self.stats.messages_delivered += 1;
             self.stats.bytes_delivered += early.len() as u64;
@@ -614,6 +645,53 @@ impl StreamEndpoint {
         if self.produced() + self.staged_wire as u64 > self.acked && self.rto_deadline.is_none() {
             self.rto_deadline = Some(now + self.rto_ns);
         }
+    }
+
+    /// Ratchets the send keys one epoch forward by appending an in-band TLS
+    /// KeyUpdate record to the reliable stream (RFC 8446 §4.6.3): ciphertext
+    /// staged with the shared batch engine under the old key is materialised
+    /// first so stream ordering is preserved, the KeyUpdate is sealed under
+    /// the *current* keys, and every later record seals under the ratcheted
+    /// secret with its sequence number reset.  The engine registration is
+    /// refreshed so later staged records use the new key.  Fails before
+    /// handshake completion and on plain TCP.
+    pub fn rekey(&mut self, now: Nanos) -> EndpointResult<u16> {
+        if self.dead {
+            return Err(EndpointError::Stream("endpoint is dead".into()));
+        }
+        if self.handshaking() {
+            return Err(EndpointError::Stream(
+                "cannot rekey before handshake completion".into(),
+            ));
+        }
+        if self.tls_tx.is_none() {
+            return Err(EndpointError::Stream(
+                "plain TCP has no record keys to rekey".into(),
+            ));
+        }
+        // Old-key ciphertext staged with the engine must land on the stream
+        // before the KeyUpdate record.
+        if self.staged_wire > 0 {
+            let engine = self.engine.as_ref().expect("staged bytes imply an engine");
+            let conn = self.engine_conn.expect("staged bytes imply registration");
+            engine.flush();
+            let sealed = engine.drain(conn);
+            debug_assert_eq!(sealed.len(), self.staged_wire);
+            self.wire.extend_from_slice(&sealed);
+            self.staged_wire = 0;
+        }
+        let tx = self.tls_tx.as_mut().expect("checked above");
+        let ku = tx.key_update()?;
+        let epoch = tx.epoch();
+        self.stats.wire_bytes_sent += ku.len() as u64;
+        self.wire.extend_from_slice(&ku);
+        self.register_engine();
+        // The KeyUpdate record itself needs reliable delivery: arm the
+        // go-back-N timer if it was idle.
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto_ns);
+        }
+        Ok(epoch)
     }
 
     fn handle_ack(&mut self, offset: u64, now: Nanos) {
@@ -737,6 +815,7 @@ impl SecureEndpoint for StreamEndpoint {
             hs.poll_transmit(out);
             self.hs = Some(hs);
             if self.dead {
+                self.stamp_connection_id(&mut out[before..]);
                 return out.len() - before;
             }
         }
@@ -800,6 +879,7 @@ impl SecureEndpoint for StreamEndpoint {
             self.next_send += take as u64;
             self.sent_high = self.sent_high.max(self.next_send);
         }
+        self.stamp_connection_id(&mut out[before..]);
         out.len() - before
     }
 

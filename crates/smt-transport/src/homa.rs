@@ -180,6 +180,15 @@ impl HomaEndpoint {
         &self.session
     }
 
+    /// Ratchets the session's send keys one epoch forward (see
+    /// [`SmtSession::rekey`]).  Subsequent segments carry the new epoch in
+    /// their overlay option area; stored retransmission state keeps its
+    /// old-epoch ciphertext, which the peer drains through its one-epoch
+    /// window.  Returns the new send epoch.
+    pub fn rekey(&mut self) -> Result<u16, smt_core::SmtError> {
+        self.session.rekey()
+    }
+
     /// NIC statistics.
     pub fn nic_stats(&self) -> smt_sim::nic::NicStats {
         self.nic.stats

@@ -34,7 +34,8 @@ pub mod stack;
 pub use endpoint::{
     drive_pair, handshake_scenario_endpoints, scenario_endpoints, take_delivered, AcceptConfig,
     ConnectConfig, Endpoint, EndpointBuilder, EndpointError, EndpointResult, EndpointStats, Event,
-    MessageEndpoint, MessageId, PairFabric, SecureEndpoint, StreamEndpoint, ZeroRttAcceptor,
+    Listener, ListenerFabric, MessageEndpoint, MessageId, PairFabric, SecureEndpoint,
+    SharedPathSecrets, StreamEndpoint, ZeroRttAcceptor,
 };
 pub use homa::{HomaConfig, HomaEndpoint};
 pub use profile::{RpcWorkload, StackProfile};

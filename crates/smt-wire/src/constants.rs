@@ -46,8 +46,9 @@ pub const FRAMING_HEADER_LEN: usize = 4;
 pub const TCP_COMMON_HEADER_LEN: usize = 20;
 
 /// Length of the SMT option area carried in the TCP options space
-/// (message ID, message length, TSO offset, resend packet offset, type, flags).
-pub const SMT_OPTION_AREA_LEN: usize = 28;
+/// (message ID, message length, TSO offset, resend packet offset, type, flags,
+/// connection ID, key epoch).
+pub const SMT_OPTION_AREA_LEN: usize = 36;
 
 /// Total overlay header length: TCP common header + SMT option area.
 pub const SMT_OVERLAY_HEADER_LEN: usize = TCP_COMMON_HEADER_LEN + SMT_OPTION_AREA_LEN;
@@ -90,7 +91,11 @@ mod tests {
     fn overlay_header_fits_tcp_options_space() {
         // TCP allows at most 40 bytes of options; the SMT option area must fit.
         const { assert!(SMT_OPTION_AREA_LEN <= 40) };
-        assert_eq!(SMT_OVERLAY_HEADER_LEN, 48);
+        // The data-offset nibble counts 4-byte words, so the total header
+        // length must stay 4-byte aligned and at most 60 bytes.
+        const { assert!(SMT_OVERLAY_HEADER_LEN.is_multiple_of(4)) };
+        const { assert!(SMT_OVERLAY_HEADER_LEN <= 60) };
+        assert_eq!(SMT_OVERLAY_HEADER_LEN, 56);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub struct OverlayTcpHeader {
     pub packet_type: PacketType,
 }
 
-/// The SMT option area carried in the TCP options space (28 bytes).
+/// The SMT option area carried in the TCP options space (36 bytes).
 ///
 /// TSO copies this area verbatim onto every generated packet, so it may only
 /// contain per-*segment* (not per-packet) information.
@@ -58,6 +58,13 @@ pub struct SmtOptionArea {
     pub flags: u16,
     /// Reserved / padding to keep the area 4-byte aligned.
     pub reserved: u32,
+    /// Connection identifier: demuxes concurrent connections sharing one
+    /// listener socket. Zero for plain point-to-point endpoint pairs.
+    pub connection_id: u32,
+    /// Key epoch of the records in this segment. Incremented on each
+    /// key-update so the receiver knows which traffic keys to apply
+    /// (an old-epoch drain window tolerates reordering across a rekey).
+    pub epoch: u16,
 }
 
 impl SmtOptionArea {
@@ -77,6 +84,8 @@ impl SmtOptionArea {
             first_record_index: 0,
             flags: 0,
             reserved: 0,
+            connection_id: 0,
+            epoch: 0,
         }
     }
 
@@ -160,7 +169,7 @@ impl SmtOverlayHeader {
         // Urgent pointer (2 B) unused.
         out[18..20].fill(0);
 
-        // --- SMT option area (28 bytes) --------------------------------------
+        // --- SMT option area (36 bytes) --------------------------------------
         let o = &mut out[TCP_COMMON_HEADER_LEN..SMT_OVERLAY_LEN];
         o[0..8].copy_from_slice(&self.options.message_id.to_be_bytes());
         o[8..12].copy_from_slice(&self.options.message_length.to_be_bytes());
@@ -170,6 +179,10 @@ impl SmtOverlayHeader {
         o[20..22].copy_from_slice(&self.options.first_record_index.to_be_bytes());
         o[22..24].copy_from_slice(&self.options.flags.to_be_bytes());
         o[24..28].copy_from_slice(&self.options.reserved.to_be_bytes());
+        o[28..32].copy_from_slice(&self.options.connection_id.to_be_bytes());
+        o[32..34].copy_from_slice(&self.options.epoch.to_be_bytes());
+        // Padding to keep the area 4-byte aligned.
+        o[34..36].fill(0);
         Ok(SMT_OVERLAY_LEN)
     }
 
@@ -200,6 +213,8 @@ impl SmtOverlayHeader {
             first_record_index: u16::from_be_bytes(o[20..22].try_into().unwrap()),
             flags: u16::from_be_bytes(o[22..24].try_into().unwrap()),
             reserved: u32::from_be_bytes(o[24..28].try_into().unwrap()),
+            connection_id: u32::from_be_bytes(o[28..32].try_into().unwrap()),
+            epoch: u16::from_be_bytes(o[32..34].try_into().unwrap()),
         };
         let hdr = Self {
             tcp: OverlayTcpHeader {
@@ -224,6 +239,8 @@ mod tests {
         h.options.first_record_index = 4;
         h.options.resend_packet_offset = 3;
         h.options.flags = SmtOptionArea::FLAG_RETRANSMISSION;
+        h.options.connection_id = 0xdead_beef;
+        h.options.epoch = 7;
         h
     }
 

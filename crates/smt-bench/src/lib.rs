@@ -11,6 +11,7 @@
 pub mod chaos;
 pub mod churn;
 pub mod figures;
+pub mod incast;
 pub mod output;
 pub mod scenarios;
 pub mod setup_latency;

@@ -177,6 +177,7 @@ const TARGETS: &[Target] = &[
     ("crypto_derived_flight", fuzz_crypto_derived_flight),
     ("record_open_batch", fuzz_record_open_batch),
     ("transport_listener_demux", fuzz_transport_listener_demux),
+    ("cc_control_frames", fuzz_cc_control_frames),
 ];
 
 /// Names of every registered fuzz target.
@@ -328,7 +329,8 @@ fn fuzz_wire_overlay(iters: u64, seed: u64) -> FuzzReport {
                             PacketType::Ack,
                             PacketType::Busy,
                             PacketType::Control,
-                        ][m.below(6)],
+                            PacketType::Sack,
+                        ][m.below(7)],
                     ),
                     options: SmtOptionArea {
                         message_id: m.rng.gen(),
@@ -341,6 +343,7 @@ fn fuzz_wire_overlay(iters: u64, seed: u64) -> FuzzReport {
                         reserved: m.rng.gen(),
                         connection_id: m.rng.gen(),
                         epoch: m.rng.gen(),
+                        priority: m.rng.gen(),
                     },
                 };
                 let mut buf = vec![0u8; SmtOverlayHeader::LEN];
@@ -1144,6 +1147,176 @@ fn fuzz_record_open_batch(iters: u64, seed: u64) -> FuzzReport {
     }
 }
 
+fn fuzz_cc_control_frames(iters: u64, seed: u64) -> FuzzReport {
+    use smt_transport::cc::{MsgView, SrptGrantScheduler};
+    use smt_transport::{CcConfig, CongestionController, DctcpWindow};
+    use smt_wire::{SackRange, SmtSack};
+
+    let mut m = Mutator::new(seed);
+    let cc = CcConfig::default();
+    // Long-lived consumers: state accumulated across iterations reaches
+    // deeper than a fresh machine per input would.
+    let mut window = DctcpWindow::new(cc);
+    let mut scheduler = SrptGrantScheduler::new(cc, 16);
+    let mut acked = 0u64;
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for i in 0..iters {
+        // A structurally valid frame per iteration; odd iterations mutate
+        // its encoding before decoding.
+        let buf = match i % 3 {
+            0 => {
+                let ack_offset = acked + m.below(1 << 20) as u64;
+                let mut ranges = Vec::new();
+                let mut floor = ack_offset;
+                for _ in 0..m.below(SmtSack::MAX_RANGES + 1) {
+                    let start = floor + 1 + m.below(4096) as u64;
+                    let end = start + 1 + m.below(8192) as u64;
+                    ranges.push(SackRange { start, end });
+                    floor = end;
+                }
+                let total = m.rng.gen::<u16>();
+                let sack = SmtSack {
+                    ack_offset,
+                    ecn_ce: if total == 0 {
+                        0
+                    } else {
+                        m.rng.gen_range(0..=total)
+                    },
+                    ecn_total: total,
+                    ranges,
+                };
+                let mut out = vec![0u8; sack.wire_len()];
+                let n = sack.encode(&mut out).expect("valid sack encodes");
+                out.truncate(n);
+                out
+            }
+            1 => {
+                let grant = HomaGrant {
+                    message_id: m.rng.gen(),
+                    granted_offset: m.rng.gen(),
+                    priority: m.rng.gen(),
+                };
+                let mut out = vec![0u8; 16];
+                let n = grant.encode(&mut out).expect("grant encodes");
+                out.truncate(n);
+                out
+            }
+            _ => {
+                let resend = HomaResend {
+                    message_id: m.rng.gen(),
+                    offset: m.rng.gen(),
+                    length: m.rng.gen(),
+                    priority: m.rng.gen(),
+                };
+                let mut out = vec![0u8; 24];
+                let n = resend.encode(&mut out).expect("resend encodes");
+                out.truncate(n);
+                out
+            }
+        };
+        let input = match (i / 3) % 3 {
+            0 => buf,
+            1 => m.mutate(&buf),
+            _ => m.arbitrary(96),
+        };
+
+        // Decode as every control-frame codec; whatever survives decoding
+        // drives the live congestion controllers.
+        let mut any = false;
+        if let Ok((sack, _)) = SmtSack::decode(&input) {
+            any = true;
+            // The decoder enforces the frame invariants even on mutated
+            // input: whatever it accepts must be internally consistent.
+            assert!(
+                sack.ecn_ce <= sack.ecn_total,
+                "decoded SACK with ce {} > total {} (iteration {i}, seed {seed})",
+                sack.ecn_ce,
+                sack.ecn_total
+            );
+            let mut floor = sack.ack_offset;
+            for r in &sack.ranges {
+                assert!(
+                    r.start >= floor && r.end > r.start,
+                    "decoded SACK range [{}, {}) violates floor {floor}",
+                    r.start,
+                    r.end
+                );
+                floor = r.end;
+            }
+            // Feed the DCTCP window exactly as the stream endpoint would: an
+            // adversarial echo must never push the window outside its
+            // configured bounds.
+            let newly = sack.ack_offset.saturating_sub(acked);
+            acked = acked.max(sack.ack_offset);
+            window.on_ack(
+                newly,
+                u64::from(sack.ecn_ce),
+                u64::from(sack.ecn_total),
+                i.wrapping_mul(7) + 1,
+            );
+            if i % 17 == 0 {
+                window.on_loss(i.wrapping_mul(7) + 1);
+            }
+            assert!(
+                window.window() <= cc.max_cwnd_bytes,
+                "SACK echo inflated cwnd past the ceiling (iteration {i}, seed {seed})"
+            );
+            assert!(
+                window.window() >= cc.min_cwnd_bytes,
+                "SACK echo collapsed cwnd below one MSS (iteration {i}, seed {seed})"
+            );
+        }
+        if let Ok((grant, _)) = HomaGrant::decode(&input) {
+            any = true;
+            // A forged grant feeds the SRPT scheduler as a message view; the
+            // decisions must stay inside every configured bound.
+            let total = (grant.granted_offset as usize) % 512;
+            let seen = m.below(total + 1);
+            let views = [MsgView {
+                id: grant.message_id,
+                seen,
+                granted: seen,
+                total,
+            }];
+            let backlog_before = seen;
+            for d in scheduler.schedule(&views) {
+                assert!(
+                    (d.granted_packets as usize) <= total + 4,
+                    "grant decision overshoots the message (iteration {i}, seed {seed})"
+                );
+                assert!(
+                    (d.granted_packets as usize).saturating_sub(backlog_before)
+                        <= cc.max_grant_backlog_packets,
+                    "grant decision exceeds the backlog cap (iteration {i}, seed {seed})"
+                );
+                assert!(
+                    d.priority < cc.priority_levels,
+                    "grant priority outside the configured levels (iteration {i}, seed {seed})"
+                );
+            }
+        }
+        if let Ok((resend, _)) = HomaResend::decode(&input) {
+            any = true;
+            // Nothing stateful consumes a raw RESEND here; decoding without
+            // panic plus byte-exact re-encode is the contract.
+            let mut out = vec![0u8; 24];
+            let n = resend.encode(&mut out).expect("re-encode decoded resend");
+            assert_eq!(&out[..n], &input[..n], "resend round-trip");
+        }
+        if any {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    FuzzReport {
+        target: "cc_control_frames",
+        iterations: iters,
+        accepted,
+        rejected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1203,6 +1376,15 @@ mod tests {
         assert!(server.accepted > 0, "valid hellos accepted");
         let record = run_target("record_open_batch", 64, 3).unwrap();
         assert!(record.accepted > 0 && record.rejected > 0);
+    }
+
+    #[test]
+    fn cc_control_frames_target_accepts_and_rejects() {
+        // 300 iterations crosses every (frame kind × input treatment) slice
+        // of the 3×3 schedule many times.
+        let report = run_target("cc_control_frames", 300, 5).unwrap();
+        assert!(report.accepted > 0, "valid control frames decoded");
+        assert!(report.rejected > 0, "byte soup rejected by every codec");
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod time;
 pub use cost::CostModel;
 pub use link::Link;
 pub use net::{
-    run_scenario, Fabric, FabricStats, FaultConfig, FaultyLink, LinkConfig, Scenario,
-    ScenarioReport, SimEndpoint, SimEndpointStats,
+    run_scenario, EcnConfig, Fabric, FabricStats, FaultConfig, FaultyLink, LeafSpineConfig,
+    LinkConfig, Scenario, ScenarioReport, SimEndpoint, SimEndpointStats, Topology,
 };
 pub use nic::{NicModel, NicStats};
 pub use pipeline::{

@@ -1,13 +1,31 @@
 //! The multi-host fabric: queued links, finite buffers and fault injection.
 //!
-//! The fabric is a big-switch abstraction of a datacenter network: every host
-//! connects to the switch core through an **egress** link and an **ingress**
-//! link, each a serial resource with the configured bandwidth and a finite
-//! tail-drop buffer.  A packet sent from host A to host B serializes onto A's
-//! egress link, crosses the core (pure propagation delay), then serializes
-//! onto B's ingress link — which is where N→1 incast congestion queues up and
-//! overflows, exactly the scenario the paper's load experiments (and
-//! Ousterhout's TCP critique) are about.
+//! Two topologies are modeled behind one interface ([`Topology`]):
+//!
+//! * **Big switch** (the default): every host connects to one switch core
+//!   through an **egress** link and an **ingress** link, each a serial
+//!   resource with the configured bandwidth and a finite tail-drop buffer.
+//!   A packet sent from host A to host B serializes onto A's egress link,
+//!   crosses the core (pure propagation delay), then serializes onto B's
+//!   ingress link — which is where N→1 incast congestion queues up and
+//!   overflows, exactly the scenario the paper's load experiments (and
+//!   Ousterhout's TCP critique) are about.
+//!
+//! * **Leaf–spine** ([`Topology::LeafSpine`]): hosts attach to leaves in
+//!   groups of [`LeafSpineConfig::hosts_per_leaf`]; every leaf connects to
+//!   every spine.  Cross-leaf packets take host-egress → leaf→spine uplink →
+//!   spine→leaf downlink → host-ingress, each hop a queued serial resource
+//!   plus one propagation delay, with the spine chosen per flow by a
+//!   deterministic ECMP hash of the 4-tuple.  Uplink bandwidth is the host
+//!   rate times `hosts_per_leaf / spines`, divided by the configured
+//!   [`oversubscription`](LeafSpineConfig::oversubscription) — the knob that
+//!   makes the fabric core, not just the receiver edge, a contended
+//!   resource.
+//!
+//! Either topology can run **ECN marking** ([`EcnConfig`]): a queue whose
+//! instantaneous backlog exceeds the threshold CE-marks ECN-capable packets
+//! (DCTCP's switch half; the endpoints' DCTCP window reacts to the echoed
+//! marks).
 //!
 //! On top of the queueing model, a seeded [`FaultyLink`] injects loss,
 //! reordering (extra per-packet delay) and duplication.  The same fault model
@@ -69,6 +87,71 @@ impl LinkConfig {
     pub fn buffer_ns(&self) -> Nanos {
         self.serialization_ns(self.mtu) * self.buffer_packets as Nanos
     }
+}
+
+/// ECN marking at fabric queues — the switch half of DCTCP.  A packet that
+/// arrives at a queue whose instantaneous backlog exceeds the threshold is
+/// CE-marked if its IP header declares ECN capability; the transport echoes
+/// the mark fraction back to the sender, whose DCTCP window reacts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EcnConfig {
+    /// Instantaneous-queue marking threshold in MTU-sized packets (DCTCP's
+    /// K; the paper's testbed discipline marks early, well before
+    /// tail-drop).
+    pub marking_threshold_packets: usize,
+}
+
+impl Default for EcnConfig {
+    fn default() -> Self {
+        Self {
+            marking_threshold_packets: 32,
+        }
+    }
+}
+
+/// Shape of a two-tier leaf–spine (Clos) fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeafSpineConfig {
+    /// Hosts attached to each leaf switch (host `h` sits on leaf
+    /// `h / hosts_per_leaf`).
+    pub hosts_per_leaf: usize,
+    /// Spine switches; every leaf uplinks to every spine and flows are
+    /// ECMP-hashed across them.
+    pub spines: usize,
+    /// Uplink oversubscription factor: 1.0 is a non-blocking Clos (aggregate
+    /// uplink bandwidth equals aggregate host bandwidth per leaf); 4.0 gives
+    /// the classic 4:1 oversubscribed datacenter pod.
+    pub oversubscription: f64,
+}
+
+impl Default for LeafSpineConfig {
+    fn default() -> Self {
+        Self {
+            hosts_per_leaf: 16,
+            spines: 4,
+            oversubscription: 1.0,
+        }
+    }
+}
+
+impl LeafSpineConfig {
+    /// Bandwidth of one leaf↔spine link in Gb/s.
+    pub fn uplink_gbps(&self, host_gbps: f64) -> f64 {
+        let fair = host_gbps * self.hosts_per_leaf as f64 / self.spines.max(1) as f64;
+        fair / self.oversubscription.max(1e-6)
+    }
+}
+
+/// The fabric's switching topology.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Topology {
+    /// One big switch: egress → core propagation → ingress (the original
+    /// model, and what older scenario JSON deserializes to).
+    #[default]
+    BigSwitch,
+    /// Two-tier leaf–spine Clos with ECMP flow hashing and configurable
+    /// oversubscription.
+    LeafSpine(LeafSpineConfig),
 }
 
 /// Seeded fault-injection parameters shared by tests and scenarios.
@@ -268,12 +351,24 @@ pub struct FabricStats {
     pub duplicated: u64,
     /// Wire bytes carried end to end.
     pub wire_bytes: u64,
+    /// Packets tail-dropped at a full leaf–spine uplink or downlink buffer
+    /// (zero on the big-switch topology).
+    #[serde(default)]
+    pub dropped_spine: u64,
+    /// Packets CE-marked by an over-threshold queue (zero without
+    /// [`EcnConfig`]).
+    #[serde(default)]
+    pub ecn_marked: u64,
+    /// High-water mark of any single host-ingress queue, in MTU-sized
+    /// packets — the receiver-queue-occupancy gauge the incast bench bounds.
+    #[serde(default)]
+    pub peak_ingress_backlog_packets: u64,
 }
 
 impl FabricStats {
     /// Every packet lost inside the fabric, for any reason.
     pub fn dropped(&self) -> u64 {
-        self.dropped_faults + self.dropped_egress + self.dropped_ingress
+        self.dropped_faults + self.dropped_egress + self.dropped_ingress + self.dropped_spine
     }
 }
 
@@ -291,6 +386,22 @@ struct PortInfo {
 
 #[derive(Debug)]
 enum NetEvent {
+    /// Packet reached its source leaf; contend for the ECMP-chosen
+    /// leaf→spine uplink (leaf–spine topology only).
+    UplinkArrive {
+        dst: PortId,
+        src_leaf: usize,
+        spine: usize,
+        packet: Packet,
+    },
+    /// Packet crossed the spine; contend for the spine→leaf downlink toward
+    /// the destination leaf (leaf–spine topology only).
+    DownlinkArrive {
+        dst: PortId,
+        dst_leaf: usize,
+        spine: usize,
+        packet: Packet,
+    },
     /// Packet reached the far edge of the core; contend for the destination
     /// host's ingress link.
     IngressArrive { dst: PortId, packet: Packet },
@@ -303,9 +414,16 @@ enum NetEvent {
 #[derive(Debug)]
 pub struct Fabric {
     link: LinkConfig,
+    topology: Topology,
+    ecn: Option<EcnConfig>,
     faults: FaultyLink,
     hosts: Vec<HostLinks>,
     ports: Vec<PortInfo>,
+    /// Leaf→spine uplink queues, indexed `leaf * spines + spine`
+    /// (leaf–spine topology only; grown on demand).
+    uplinks: Vec<Resource>,
+    /// Spine→leaf downlink queues, same indexing.
+    downlinks: Vec<Resource>,
     queue: EventQueue<NetEvent>,
     /// Aggregate traffic counters.
     pub stats: FabricStats,
@@ -315,11 +433,26 @@ impl Fabric {
     /// Creates an empty fabric with uniform link parameters and one shared
     /// fault model.
     pub fn new(link: LinkConfig, faults: FaultConfig) -> Self {
+        Self::with_topology(link, faults, Topology::BigSwitch, None)
+    }
+
+    /// Creates an empty fabric with an explicit topology and optional ECN
+    /// marking.
+    pub fn with_topology(
+        link: LinkConfig,
+        faults: FaultConfig,
+        topology: Topology,
+        ecn: Option<EcnConfig>,
+    ) -> Self {
         Self {
             link,
+            topology,
+            ecn,
             faults: FaultyLink::new(faults),
             hosts: Vec::new(),
             ports: Vec::new(),
+            uplinks: Vec::new(),
+            downlinks: Vec::new(),
             queue: EventQueue::new(),
             stats: FabricStats::default(),
         }
@@ -328,6 +461,69 @@ impl Fabric {
     /// The link parameters all hosts share.
     pub fn link(&self) -> LinkConfig {
         self.link
+    }
+
+    /// The fabric's switching topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Serialization time of `bytes` on one leaf↔spine link.
+    fn spine_serialization_ns(&self, ls: &LeafSpineConfig, bytes: usize) -> Nanos {
+        ((bytes as f64 * 8.0) / ls.uplink_gbps(self.link.gbps)).round() as Nanos
+    }
+
+    /// Queue index of a leaf↔spine link.
+    fn spine_link_index(&mut self, ls: &LeafSpineConfig, leaf: usize, spine: usize) -> usize {
+        let idx = leaf * ls.spines + spine;
+        if self.uplinks.len() <= idx {
+            self.uplinks.resize_with(idx + 1, Resource::new);
+            self.downlinks.resize_with(idx + 1, Resource::new);
+        }
+        idx
+    }
+
+    /// Deterministic ECMP spine choice: an FNV-1a fold of the packet's
+    /// 4-tuple, so every packet of one flow takes one path (no intra-flow
+    /// reordering from the fabric itself) while flows spread across spines.
+    fn ecmp_spine(ls: &LeafSpineConfig, packet: &Packet) -> usize {
+        let (src, dst) = match &packet.ip {
+            smt_wire::IpHeader::V4(h) => (u64::from(u32::from_be_bytes(h.src)), {
+                u64::from(u32::from_be_bytes(h.dst))
+            }),
+            smt_wire::IpHeader::V6(h) => {
+                let fold = |a: &[u8; 16]| a.iter().fold(0u64, |acc, &b| acc << 1 ^ u64::from(b));
+                (fold(&h.src), fold(&h.dst))
+            }
+        };
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [
+            src,
+            dst,
+            u64::from(packet.overlay.tcp.src_port),
+            u64::from(packet.overlay.tcp.dst_port),
+        ] {
+            hash ^= word;
+            hash = hash.wrapping_mul(0x1_0000_01b3);
+        }
+        (hash % ls.spines.max(1) as u64) as usize
+    }
+
+    /// CE-marks the packet if ECN marking is on, the packet is ECN-capable
+    /// and the queue it just joined was over threshold.
+    fn maybe_mark(
+        ecn: Option<EcnConfig>,
+        stats: &mut FabricStats,
+        packet: &mut Packet,
+        backlog_ns: Nanos,
+        per_packet_ns: Nanos,
+    ) {
+        let Some(ecn) = ecn else { return };
+        let threshold_ns = per_packet_ns.max(1) * ecn.marking_threshold_packets as Nanos;
+        if backlog_ns > threshold_ns && packet.ip.is_ecn_capable() {
+            packet.ip.mark_ce();
+            stats.ecn_marked += 1;
+        }
     }
 
     /// Fault-model counters.
@@ -395,18 +591,37 @@ impl Fabric {
                     duplicate_delay_ns,
                 } => {
                     let base = tx_done + self.link.propagation_ns + extra_delay_ns;
+                    // Same-leaf traffic (and the whole big-switch topology)
+                    // goes straight to the destination's ingress; cross-leaf
+                    // traffic climbs to an ECMP-chosen spine first.
+                    let first_hop = |packet: &Packet| match self.topology {
+                        Topology::LeafSpine(ls) => {
+                            let src_leaf = src_host / ls.hosts_per_leaf.max(1);
+                            let dst_leaf = self.ports[dst].host / ls.hosts_per_leaf.max(1);
+                            if src_leaf == dst_leaf {
+                                NetEvent::IngressArrive {
+                                    dst,
+                                    packet: packet.clone(),
+                                }
+                            } else {
+                                NetEvent::UplinkArrive {
+                                    dst,
+                                    src_leaf,
+                                    spine: Self::ecmp_spine(&ls, packet),
+                                    packet: packet.clone(),
+                                }
+                            }
+                        }
+                        Topology::BigSwitch => NetEvent::IngressArrive {
+                            dst,
+                            packet: packet.clone(),
+                        },
+                    };
                     if let Some(extra) = duplicate_delay_ns {
                         self.stats.duplicated += 1;
-                        self.queue.push(
-                            base + extra,
-                            NetEvent::IngressArrive {
-                                dst,
-                                packet: packet.clone(),
-                            },
-                        );
+                        self.queue.push(base + extra, first_hop(&packet));
                     }
-                    self.queue
-                        .push(base, NetEvent::IngressArrive { dst, packet });
+                    self.queue.push(base, first_hop(&packet));
                 }
             }
         }
@@ -433,14 +648,100 @@ impl Fabric {
         let buffer_ns = self.link.buffer_ns();
         let (at, ev) = self.queue.pop()?;
         match ev {
-            NetEvent::IngressArrive { dst, packet } => {
+            NetEvent::UplinkArrive {
+                dst,
+                src_leaf,
+                spine,
+                mut packet,
+            } => {
+                let Topology::LeafSpine(ls) = self.topology else {
+                    unreachable!("uplink event on a big-switch fabric");
+                };
+                let per_packet_ns = self.spine_serialization_ns(&ls, self.link.mtu);
+                let spine_buffer_ns = per_packet_ns * self.link.buffer_packets as Nanos;
+                let idx = self.spine_link_index(&ls, src_leaf, spine);
+                let uplink = &mut self.uplinks[idx];
+                let backlog_ns = uplink.free_at().saturating_sub(at);
+                if backlog_ns > spine_buffer_ns {
+                    self.stats.dropped_spine += 1;
+                    return None;
+                }
+                Self::maybe_mark(
+                    self.ecn,
+                    &mut self.stats,
+                    &mut packet,
+                    backlog_ns,
+                    per_packet_ns,
+                );
+                let ser = self.spine_serialization_ns(&ls, packet.wire_len());
+                let up_done = self.uplinks[idx].schedule(at, ser);
+                let dst_leaf = self.ports[dst].host / ls.hosts_per_leaf.max(1);
+                self.queue.push(
+                    up_done + self.link.propagation_ns,
+                    NetEvent::DownlinkArrive {
+                        dst,
+                        dst_leaf,
+                        spine,
+                        packet,
+                    },
+                );
+                None
+            }
+            NetEvent::DownlinkArrive {
+                dst,
+                dst_leaf,
+                spine,
+                mut packet,
+            } => {
+                let Topology::LeafSpine(ls) = self.topology else {
+                    unreachable!("downlink event on a big-switch fabric");
+                };
+                let per_packet_ns = self.spine_serialization_ns(&ls, self.link.mtu);
+                let spine_buffer_ns = per_packet_ns * self.link.buffer_packets as Nanos;
+                let idx = self.spine_link_index(&ls, dst_leaf, spine);
+                let downlink = &mut self.downlinks[idx];
+                let backlog_ns = downlink.free_at().saturating_sub(at);
+                if backlog_ns > spine_buffer_ns {
+                    self.stats.dropped_spine += 1;
+                    return None;
+                }
+                Self::maybe_mark(
+                    self.ecn,
+                    &mut self.stats,
+                    &mut packet,
+                    backlog_ns,
+                    per_packet_ns,
+                );
+                let ser = self.spine_serialization_ns(&ls, packet.wire_len());
+                let down_done = self.downlinks[idx].schedule(at, ser);
+                self.queue.push(
+                    down_done + self.link.propagation_ns,
+                    NetEvent::IngressArrive { dst, packet },
+                );
+                None
+            }
+            NetEvent::IngressArrive { dst, mut packet } => {
                 let host = self.ports[dst].host;
+                let per_packet_ns = self.link.serialization_ns(self.link.mtu).max(1);
                 let ingress = &mut self.hosts[host].ingress;
-                if ingress.free_at().saturating_sub(at) > buffer_ns {
+                let backlog_ns = ingress.free_at().saturating_sub(at);
+                if backlog_ns > buffer_ns {
                     self.stats.dropped_ingress += 1;
                     return None;
                 }
+                self.stats.peak_ingress_backlog_packets = self
+                    .stats
+                    .peak_ingress_backlog_packets
+                    .max(backlog_ns / per_packet_ns);
+                Self::maybe_mark(
+                    self.ecn,
+                    &mut self.stats,
+                    &mut packet,
+                    backlog_ns,
+                    per_packet_ns,
+                );
                 let bytes = packet.wire_len();
+                let ingress = &mut self.hosts[host].ingress;
                 let rx_done = ingress.schedule(at, self.link.serialization_ns(bytes));
                 self.queue.push(rx_done, NetEvent::Deliver { dst, packet });
                 None
@@ -601,5 +902,201 @@ mod tests {
         );
         assert_eq!(link.stats.dropped, 0);
         assert_eq!(link.stats.duplicated, 20);
+    }
+
+    /// Leaf–spine fabric: `n_hosts` hosts, one port each, port `i` connected
+    /// to port `i ^ 1` (so pair (0,1), (2,3), ... are flow endpoints is NOT
+    /// assumed — callers connect explicitly).
+    fn leaf_spine_fabric(
+        n_hosts: usize,
+        ls: LeafSpineConfig,
+        link: LinkConfig,
+        ecn: Option<EcnConfig>,
+    ) -> (Fabric, Vec<PortId>) {
+        let mut f = Fabric::with_topology(link, FaultConfig::none(), Topology::LeafSpine(ls), ecn);
+        let ports: Vec<PortId> = (0..n_hosts)
+            .map(|_| {
+                let h = f.add_host();
+                f.add_port(h)
+            })
+            .collect();
+        (f, ports)
+    }
+
+    #[test]
+    fn leaf_spine_cross_leaf_pays_two_switch_hops() {
+        let ls = LeafSpineConfig {
+            hosts_per_leaf: 2,
+            spines: 2,
+            oversubscription: 1.0,
+        };
+        // Hosts 0,1 on leaf 0; hosts 2,3 on leaf 1.  Uplinks run at
+        // 100 Gb/s * 2 hosts / 2 spines = the host rate, so serialization is
+        // 100 ns per 1250 B everywhere.
+        let (mut f, p) = leaf_spine_fabric(4, ls, LinkConfig::default(), None);
+        f.connect(p[0], p[2]);
+        f.send(0, p[0], vec![packet(LEN_1250B)]);
+        let (at, port, _) = next_delivery(&mut f).unwrap();
+        assert_eq!(port, p[2]);
+        // egress 100 + prop 1000 + uplink 100 + prop 1000 + downlink 100 +
+        // prop 1000 + ingress 100.
+        assert_eq!(at, 3400);
+    }
+
+    #[test]
+    fn leaf_spine_same_leaf_matches_big_switch_timing() {
+        let ls = LeafSpineConfig {
+            hosts_per_leaf: 2,
+            spines: 2,
+            oversubscription: 1.0,
+        };
+        let (mut f, p) = leaf_spine_fabric(4, ls, LinkConfig::default(), None);
+        f.connect(p[0], p[1]); // both on leaf 0
+        f.send(0, p[0], vec![packet(LEN_1250B)]);
+        let (at, _, _) = next_delivery(&mut f).unwrap();
+        assert_eq!(at, 1200, "intra-leaf traffic never climbs to a spine");
+        assert_eq!(f.stats.dropped_spine, 0);
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_flow_and_spreads_across_spines() {
+        let ls = LeafSpineConfig {
+            hosts_per_leaf: 2,
+            spines: 4,
+            oversubscription: 1.0,
+        };
+        let mut seen = [false; 4];
+        for port in 0..64u16 {
+            let mut pk = packet(100);
+            pk.overlay.tcp.src_port = port;
+            assert_eq!(
+                Fabric::ecmp_spine(&ls, &pk),
+                Fabric::ecmp_spine(&ls, &pk),
+                "same 4-tuple, same spine"
+            );
+            seen[Fabric::ecmp_spine(&ls, &pk)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 flows cover all 4 spines");
+    }
+
+    #[test]
+    fn oversubscribed_uplink_is_the_bottleneck() {
+        let ls = LeafSpineConfig {
+            hosts_per_leaf: 2,
+            spines: 1,
+            oversubscription: 4.0,
+        };
+        // Uplink: 100 Gb/s * 2/1 / 4.0 = 50 Gb/s -> 200 ns per 1250 B.
+        let (mut f, p) = leaf_spine_fabric(4, ls, LinkConfig::default(), None);
+        f.connect(p[0], p[2]);
+        f.send(0, p[0], vec![packet(LEN_1250B); 3]);
+        let mut arrivals = Vec::new();
+        while let Some((at, _, _)) = next_delivery(&mut f) {
+            arrivals.push(at);
+        }
+        assert_eq!(arrivals.len(), 3);
+        assert_eq!(
+            arrivals[1] - arrivals[0],
+            200,
+            "deliveries paced by the slow uplink, not the 100 ns host link"
+        );
+        assert_eq!(arrivals[2] - arrivals[1], 200);
+    }
+
+    #[test]
+    fn full_spine_buffer_tail_drops() {
+        let ls = LeafSpineConfig {
+            hosts_per_leaf: 2,
+            spines: 1,
+            oversubscription: 16.0,
+        };
+        let link = LinkConfig {
+            buffer_packets: 2,
+            ..LinkConfig::default()
+        };
+        let (mut f, p) = leaf_spine_fabric(4, ls, link, None);
+        f.connect(p[0], p[2]);
+        // Pace sends at the 100 ns host-egress rate so the egress queue
+        // stays empty and the 800 ns/packet uplink is the overflow point.
+        for i in 0..32 {
+            f.send(i * 100, p[0], vec![packet(LEN_1250B)]);
+        }
+        while next_delivery(&mut f).is_some() {}
+        assert!(f.stats.dropped_spine > 0, "overflow lands in dropped_spine");
+        assert_eq!(
+            f.stats.delivered + f.stats.dropped_spine,
+            32,
+            "every packet either arrives or is accounted as a spine drop"
+        );
+    }
+
+    #[test]
+    fn ecn_marks_over_threshold_queues_and_tracks_peak_backlog() {
+        // Big-switch incast: four senders flood one receiver so its ingress
+        // backlog crosses the 2-packet ECN threshold.
+        let ecn = EcnConfig {
+            marking_threshold_packets: 2,
+        };
+        let mut f = Fabric::with_topology(
+            LinkConfig::default(),
+            FaultConfig::none(),
+            Topology::BigSwitch,
+            Some(ecn),
+        );
+        let sink = f.add_host();
+        let mut sender_ports = Vec::new();
+        let mut sink_ports = Vec::new();
+        for _ in 0..4 {
+            let h = f.add_host();
+            let sp = f.add_port(h);
+            let rp = f.add_port(sink);
+            f.connect(sp, rp);
+            sender_ports.push(sp);
+            sink_ports.push(rp);
+        }
+        for &sp in &sender_ports {
+            let mut pk = packet(LEN_1250B);
+            pk.ip.set_ecn_capable();
+            f.send(0, sp, vec![pk.clone(), pk.clone(), pk]);
+        }
+        let mut ce = 0;
+        while let Some((_, _, pk)) = next_delivery(&mut f) {
+            if pk.ip.is_ce_marked() {
+                ce += 1;
+            }
+        }
+        assert!(ce > 0, "deep ingress queue CE-marks ECN-capable packets");
+        assert_eq!(f.stats.ecn_marked, ce);
+        assert!(
+            f.stats.peak_ingress_backlog_packets >= 2,
+            "peak backlog gauge saw the incast queue (got {})",
+            f.stats.peak_ingress_backlog_packets
+        );
+    }
+
+    #[test]
+    fn ecn_never_marks_non_capable_packets() {
+        let ecn = EcnConfig {
+            marking_threshold_packets: 0,
+        };
+        let (mut f, a, _) = {
+            let mut f = Fabric::with_topology(
+                LinkConfig::default(),
+                FaultConfig::none(),
+                Topology::BigSwitch,
+                Some(ecn),
+            );
+            let h0 = f.add_host();
+            let h1 = f.add_host();
+            let a = f.add_port(h0);
+            let b = f.add_port(h1);
+            f.connect(a, b);
+            (f, a, b)
+        };
+        f.send(0, a, vec![packet(LEN_1250B); 4]);
+        while let Some((_, _, pk)) = next_delivery(&mut f) {
+            assert!(!pk.ip.is_ce_marked());
+        }
+        assert_eq!(f.stats.ecn_marked, 0, "not-ECT packets pass unmarked");
     }
 }

@@ -37,12 +37,14 @@ pub mod workload;
 pub use adversary::{Adversary, AdversaryConfig, AdversaryStats};
 pub use event::{Clock, EventQueue, TraceHash};
 pub use fabric::{
-    Admission, Fabric, FabricStats, FaultConfig, FaultStats, FaultyLink, HostId, LinkConfig, PortId,
+    Admission, EcnConfig, Fabric, FabricStats, FaultConfig, FaultStats, FaultyLink, HostId,
+    LeafSpineConfig, LinkConfig, PortId, Topology,
 };
 pub use scenario::{
     run_scenario, CpuCharge, FlowSpec, Scenario, ScenarioReport, ScheduledSend, SimEndpoint,
     SimEndpointStats,
 };
 pub use workload::{
-    all_to_all_scenario, incast_scenario, poisson_flow, poisson_pair_scenario, SizeMix,
+    all_to_all_scenario, background_elephants, incast_scenario, poisson_flow,
+    poisson_pair_scenario, SizeMix,
 };

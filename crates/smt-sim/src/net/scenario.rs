@@ -18,7 +18,9 @@
 
 use super::adversary::{Adversary, AdversaryConfig, AdversaryStats};
 use super::event::TraceHash;
-use super::fabric::{Fabric, FabricStats, FaultConfig, HostId, LinkConfig, PortId};
+use super::fabric::{
+    EcnConfig, Fabric, FabricStats, FaultConfig, HostId, LinkConfig, PortId, Topology,
+};
 use crate::pipeline::LatencySummary;
 use crate::time::{Nanos, SECOND};
 use serde::{Deserialize, Serialize};
@@ -165,6 +167,13 @@ pub struct Scenario {
     /// JSON deserializes to) runs without an adversary.
     #[serde(default)]
     pub adversary: Option<AdversaryConfig>,
+    /// Switching topology.  Defaults to the single big switch, which is also
+    /// what older scenario JSON deserializes to.
+    #[serde(default)]
+    pub topology: Topology,
+    /// ECN marking at fabric queues.  `None` (the default) never marks.
+    #[serde(default)]
+    pub ecn: Option<EcnConfig>,
 }
 
 impl Scenario {
@@ -180,6 +189,8 @@ impl Scenario {
             max_events: 20_000_000,
             cpu: None,
             adversary: None,
+            topology: Topology::BigSwitch,
+            ecn: None,
         }
     }
 
@@ -282,7 +293,12 @@ pub fn run_scenario(
         "one endpoint per flow end"
     );
     let mut adversary = scenario.adversary.map(Adversary::new);
-    let mut fabric = Fabric::new(scenario.link, scenario.faults);
+    let mut fabric = Fabric::with_topology(
+        scenario.link,
+        scenario.faults,
+        scenario.topology,
+        scenario.ecn,
+    );
     for _ in 0..scenario.n_hosts {
         fabric.add_host();
     }

@@ -184,6 +184,49 @@ pub fn all_to_all_scenario(
     s
 }
 
+/// Adds seeded background **elephant flows** to an existing scenario: `count`
+/// long-lived bulk transfers between random distinct host pairs, each a train
+/// of `messages_each` back-to-back `size`-byte messages starting at a random
+/// offset in `[0, start_window_ns)`.  On a leaf–spine topology these are the
+/// flows that load the ECMP-hashed core links, so mice share queues with
+/// bulk traffic the way the paper's loaded-latency experiments intend.
+///
+/// Returns the flow indices assigned to the elephants, so callers can split
+/// mice from elephants in per-flow completion stats.
+pub fn background_elephants(
+    s: &mut Scenario,
+    count: usize,
+    size: usize,
+    messages_each: usize,
+    start_window_ns: Nanos,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(s.n_hosts >= 2, "elephants need at least two hosts");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xe1e_fa27);
+    let mut flows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let src = rng.gen_range(0..s.n_hosts);
+        let dst = (src + rng.gen_range(1..s.n_hosts)) % s.n_hosts;
+        let flow = s.flows.len();
+        s.flows.push(FlowSpec {
+            src_host: src,
+            dst_host: dst,
+        });
+        let start = rng.gen_range(0..start_window_ns.max(1));
+        for m in 0..messages_each {
+            // Back-to-back: the endpoint's own queueing paces the train.
+            s.sends.push(ScheduledSend {
+                at: start + m as Nanos,
+                flow,
+                size,
+            });
+        }
+        flows.push(flow);
+    }
+    s.sort_sends();
+    flows
+}
+
 /// A two-host load point: one flow carrying Poisson traffic at `rate_per_sec`
 /// over `duration_ns`, sizes from `mix` — the unit of the load sweep.
 pub fn poisson_pair_scenario(
@@ -266,6 +309,32 @@ mod tests {
         );
         assert_eq!(s.flows.len(), 12);
         assert!(!s.sends.is_empty());
+    }
+
+    #[test]
+    fn elephants_add_distinct_pairs_and_are_seeded() {
+        let mut s = incast_scenario(4, 1024, 1, LinkConfig::default(), FaultConfig::none());
+        let before = s.flows.len();
+        let flows = background_elephants(&mut s, 3, 256 * 1024, 5, 10_000, 42);
+        assert_eq!(flows, vec![before, before + 1, before + 2]);
+        assert_eq!(s.sends.len(), 4 + 15);
+        for &f in &flows {
+            let spec = s.flows[f];
+            assert_ne!(spec.src_host, spec.dst_host, "no self-flows");
+        }
+        let mut again = incast_scenario(4, 1024, 1, LinkConfig::default(), FaultConfig::none());
+        background_elephants(&mut again, 3, 256 * 1024, 5, 10_000, 42);
+        assert_eq!(
+            s.sends
+                .iter()
+                .map(|x| (x.at, x.flow, x.size))
+                .collect::<Vec<_>>(),
+            again
+                .sends
+                .iter()
+                .map(|x| (x.at, x.flow, x.size))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ use super::handshake::{control_proto, HandshakeDriver, MAX_QUEUED_BYTES};
 use super::{
     missing_keys, EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint,
 };
+use crate::cc::{CcConfig, RttEstimator};
 use crate::homa::{HomaConfig, HomaEndpoint};
 use crate::stack::StackKind;
 use smt_core::segment::{PathInfo, StagedMessage};
@@ -35,7 +36,7 @@ use smt_crypto::handshake::SessionKeys;
 use smt_crypto::{CryptoEngineHandle, EngineConn};
 use smt_sim::Nanos;
 use smt_wire::{Packet, PacketType};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A [`SecureEndpoint`] over the receiver-driven message transport.
 pub struct MessageEndpoint {
@@ -60,12 +61,28 @@ pub struct MessageEndpoint {
     events: VecDeque<Event>,
     nic_queues: usize,
     next_queue: usize,
-    /// Retransmission timeout (RESEND / unscheduled-prefix retransmit timer).
+    /// Fixed retransmission timeout (RESEND / unscheduled-prefix retransmit
+    /// timer) used while the adaptive RTO is off or unsampled.
     rto_ns: Nanos,
     /// Absolute deadline of the armed timer, if work is outstanding.
     rto_deadline: Option<Nanos>,
     /// Timers that fired and queued recovery traffic.
     timeouts_fired: u64,
+    /// Congestion-control tuning, installed into the inner [`HomaEndpoint`]
+    /// (SRPT grants) and driving the timer discipline here (DESIGN.md §10).
+    cc: CcConfig,
+    /// RFC 6298 estimator feeding the adaptive RTO; sampled on message acks
+    /// under Karn's rule (no retransmission between send and ack).
+    rtt: RttEstimator,
+    /// Exponential backoff shift applied to the adaptive RTO: doubled on
+    /// every fire, cleared on acknowledgement or delivery progress (as Linux
+    /// clears it on a cumulative advance) — repeated fires with no progress
+    /// mean the estimate is stale, while a recovering incast round makes
+    /// progress every RTO and keeps the baseline cadence.
+    rto_backoff: u32,
+    /// Session-ID → (send time, retransmit counter at send) for RTT
+    /// sampling; entries leave on ack, bounded for abandoned sends.
+    send_times: BTreeMap<u64, (Nanos, u64)>,
     /// Shared per-host batch crypto engine, when configured on the builder.
     engine: Option<CryptoEngineHandle>,
     /// This session's registration with the engine (software crypto only).
@@ -104,6 +121,7 @@ impl MessageEndpoint {
         config: HomaConfig,
         path: PathInfo,
         rto_ns: Nanos,
+        cc: CcConfig,
         engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
         debug_assert!(stack.is_message_based());
@@ -120,8 +138,8 @@ impl MessageEndpoint {
             ),
             (_, None) => return Err(missing_keys(stack)),
         };
-        let mut ep = Self::unkeyed(stack, config, path, rto_ns, engine);
-        ep.inner = Some(inner);
+        let mut ep = Self::unkeyed(stack, config, path, rto_ns, cc, engine);
+        ep.install_inner(inner);
         ep.register_engine();
         ep.events = handshake.into_iter().collect();
         Ok(ep)
@@ -134,10 +152,11 @@ impl MessageEndpoint {
         homa: HomaConfig,
         path: PathInfo,
         rto_ns: Nanos,
+        cc: CcConfig,
         engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
         debug_assert!(stack.is_message_based());
-        let mut ep = Self::unkeyed(stack, homa, path, rto_ns, engine);
+        let mut ep = Self::unkeyed(stack, homa, path, rto_ns, cc, engine);
         if stack.is_encrypted() {
             ep.hs = Some(HandshakeDriver::client(
                 config,
@@ -147,7 +166,7 @@ impl MessageEndpoint {
                 rto_ns,
             ));
         } else {
-            ep.inner = Some(HomaEndpoint::plaintext(homa, path));
+            ep.install_inner(HomaEndpoint::plaintext(homa, path));
         }
         Ok(ep)
     }
@@ -159,10 +178,11 @@ impl MessageEndpoint {
         homa: HomaConfig,
         path: PathInfo,
         rto_ns: Nanos,
+        cc: CcConfig,
         engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
         debug_assert!(stack.is_message_based());
-        let mut ep = Self::unkeyed(stack, homa, path, rto_ns, engine);
+        let mut ep = Self::unkeyed(stack, homa, path, rto_ns, cc, engine);
         if stack.is_encrypted() {
             ep.hs = Some(HandshakeDriver::server(
                 config,
@@ -172,7 +192,7 @@ impl MessageEndpoint {
                 rto_ns,
             ));
         } else {
-            ep.inner = Some(HomaEndpoint::plaintext(homa, path));
+            ep.install_inner(HomaEndpoint::plaintext(homa, path));
         }
         Ok(ep)
     }
@@ -182,11 +202,18 @@ impl MessageEndpoint {
         config: HomaConfig,
         path: PathInfo,
         rto_ns: Nanos,
+        cc: CcConfig,
         engine: Option<CryptoEngineHandle>,
     ) -> Self {
         // The session configuration HomaEndpoint will build with, so the NIC
         // queue count is known before the keys are.
         let smt_config = crate::homa::base_smt_config(stack);
+        // Seed the estimator's pre-sample RTO with the configured fixed RTO
+        // so the first armed deadline is identical either way.
+        let est_config = CcConfig {
+            initial_rto_ns: rto_ns.max(1),
+            ..cc
+        };
         Self {
             stack,
             inner: None,
@@ -208,9 +235,34 @@ impl MessageEndpoint {
             rto_ns: rto_ns.max(1),
             rto_deadline: None,
             timeouts_fired: 0,
+            cc,
+            rtt: RttEstimator::new(&est_config),
+            rto_backoff: 0,
+            send_times: BTreeMap::new(),
             extra: EndpointStats::default(),
             dead: false,
             connection_id: 0,
+        }
+    }
+
+    /// Installs a keyed transport, pushing the congestion-control tuning
+    /// down so its grant machinery matches the builder's configuration.
+    fn install_inner(&mut self, mut inner: HomaEndpoint) {
+        inner.set_cc(self.cc);
+        self.inner = Some(inner);
+    }
+
+    /// The armed retransmission period: the RTT-estimated RTO when adaptive
+    /// timers are on, the fixed configured period otherwise.
+    fn rto(&self) -> Nanos {
+        if self.cc.enabled && self.cc.adaptive_rto {
+            let factor = 1u64 << self.rto_backoff.min(16);
+            self.rtt
+                .rto_ns()
+                .saturating_mul(factor)
+                .min(self.cc.max_rto_ns.max(1))
+        } else {
+            self.rto_ns
         }
     }
 
@@ -284,23 +336,38 @@ impl MessageEndpoint {
         if !self.work_outstanding() {
             self.rto_deadline = None;
         } else if self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.rto_ns);
+            self.rto_deadline = Some(now + self.rto());
         }
     }
 
-    fn pump(&mut self) {
+    fn pump(&mut self, now: Nanos) {
         let Some(inner) = &mut self.inner else {
             return;
         };
+        let mut progressed = false;
         for m in inner.take_delivered() {
+            progressed = true;
             self.events.push_back(Event::MessageDelivered {
                 id: MessageId(m.message_id + self.rx_id_offset),
                 data: m.data,
             });
         }
+        let retx_now = inner.retransmitted_packets();
         for id in inner.take_acked() {
+            progressed = true;
+            if let Some((sent_at, retx_at_send)) = self.send_times.remove(&id) {
+                // Karn's rule, conservatively: any retransmission between
+                // this message's send and its ack disqualifies the sample.
+                if self.cc.enabled && self.cc.adaptive_rto && retx_now == retx_at_send {
+                    self.rtt.on_sample(now.saturating_sub(sent_at).max(1));
+                    self.rto_backoff = 0;
+                }
+            }
             self.events
                 .push_back(Event::MessageAcked(MessageId(id + self.tx_id_offset)));
+        }
+        if progressed {
+            self.rto_backoff = 0;
         }
     }
 
@@ -355,7 +422,10 @@ impl MessageEndpoint {
             return;
         };
         let inner = match HomaEndpoint::new(&result.keys, self.stack, self.config, self.path) {
-            Ok(inner) => inner,
+            Ok(mut inner) => {
+                inner.set_cc(self.cc);
+                inner
+            }
             Err(e) => {
                 self.fail(format!("installing negotiated keys failed: {e}"));
                 return;
@@ -382,7 +452,7 @@ impl MessageEndpoint {
         // Flush the sends that queued during the handshake.
         self.queued_bytes = 0;
         for (public_id, data) in std::mem::take(&mut self.queued) {
-            match self.inner_send(&data) {
+            match self.inner_send(&data, now) {
                 Ok(id) => debug_assert_eq!(id, public_id, "flushed send kept its public ID"),
                 Err(e) => {
                     self.fail(format!("flushing queued send failed: {e}"));
@@ -391,17 +461,18 @@ impl MessageEndpoint {
             }
         }
         if self.work_outstanding() && self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.rto_ns);
+            self.rto_deadline = Some(now + self.rto());
         }
     }
 
     /// Sends through the established session, returning the public ID.
-    fn inner_send(&mut self, data: &[u8]) -> EndpointResult<u64> {
+    fn inner_send(&mut self, data: &[u8], now: Nanos) -> EndpointResult<u64> {
         // Spread messages across the NIC TX queues round-robin, one queue per
         // message (§4.4.2: all segments of a message share a queue).
         let queue = self.next_queue;
         self.next_queue = (self.next_queue + 1) % self.nic_queues;
         let inner = self.inner.as_mut().expect("established");
+        let retx_at_send = inner.retransmitted_packets();
         let id = if let (Some(engine), Some(conn)) = (&self.engine, self.engine_conn) {
             // Stage the record seal work with the shared batch engine; the
             // ciphertext is produced at the next poll's fused flush. The plan
@@ -413,6 +484,11 @@ impl MessageEndpoint {
         } else {
             inner.send_message(data, queue)?
         };
+        // RTT probe for the adaptive RTO (bounded: abandoned sends must not
+        // grow the map forever).
+        if self.send_times.len() < 1024 {
+            self.send_times.insert(id, (now, retx_at_send));
+        }
         Ok(id + self.tx_id_offset)
     }
 
@@ -489,10 +565,10 @@ impl SecureEndpoint for MessageEndpoint {
             ));
         }
         if self.inner.is_some() {
-            let id = self.inner_send(data)?;
+            let id = self.inner_send(data, now)?;
             self.next_public_id = self.next_public_id.max(id + 1);
             if self.rto_deadline.is_none() {
-                self.rto_deadline = Some(now + self.rto_ns);
+                self.rto_deadline = Some(now + self.rto());
             }
             return Ok(MessageId(id));
         }
@@ -531,9 +607,21 @@ impl SecureEndpoint for MessageEndpoint {
             self.extra.datagrams_dropped += 1;
             return Ok(());
         };
+        let errors_before = inner.recv_errors();
         let responses = inner.handle_packet(datagram);
         self.outbox.extend(responses);
-        self.pump();
+        // Data the session accepted is packet-level progress: a per-flow
+        // endpoint may wait a long time for *message*-level progress (one
+        // message per flow), and recovery must keep its ~RTO cadence while
+        // the peer is demonstrably still delivering.  Rejected data (forged,
+        // garbage, conflicting duplicates) must NOT reset the clock, or an
+        // attacker feeding junk keeps the timer hot forever.
+        if datagram.overlay.tcp.packet_type == PacketType::Data
+            && inner.recv_errors() == errors_before
+        {
+            self.rto_backoff = 0;
+        }
+        self.pump(now);
         self.rearm_after_arrival(now);
         Ok(())
     }
@@ -591,6 +679,7 @@ impl SecureEndpoint for MessageEndpoint {
             return;
         }
         self.timeouts_fired += 1;
+        self.rto_backoff = (self.rto_backoff + 1).min(16);
         // Receiver side: request RESENDs for incomplete messages.  Sender
         // side: retransmit the unscheduled prefix of unacknowledged sends
         // (recovers fully-lost messages and lost ACKs).
@@ -601,7 +690,7 @@ impl SecureEndpoint for MessageEndpoint {
         self.outbox.extend(retx);
         // A fired timer always re-arms one full period out (work is still
         // outstanding here).
-        self.rto_deadline = Some(now + self.rto_ns);
+        self.rto_deadline = Some(now + self.rto());
     }
 
     fn stats(&self) -> EndpointStats {
@@ -627,6 +716,10 @@ impl SecureEndpoint for MessageEndpoint {
             stats.peak_tracked_bytes = stats.peak_tracked_bytes.max(receiver.peak_tracked_bytes);
         }
         stats.timeouts_fired += self.timeouts_fired;
+        if let Some(inner) = &self.inner {
+            stats.grants_outstanding = inner.grants_outstanding();
+        }
+        stats.srtt_ns = self.rtt.srtt_ns();
         if let Some(hs) = &self.hs {
             stats.wire_bytes_sent += hs.wire_bytes_sent;
             stats.wire_bytes_received += hs.wire_bytes_received;

@@ -47,9 +47,10 @@ pub use handshake::{
 };
 pub use listener::{Listener, ListenerFabric};
 pub use message::MessageEndpoint;
-pub use sim::{handshake_scenario_endpoints, scenario_endpoints};
+pub use sim::{handshake_scenario_endpoints, scenario_endpoints, scenario_endpoints_cc};
 pub use stream::StreamEndpoint;
 
+use crate::cc::CcConfig;
 use crate::homa::HomaConfig;
 use crate::stack::StackKind;
 use serde::{Deserialize, Serialize};
@@ -169,6 +170,22 @@ pub struct EndpointStats {
     /// handshake fragments).  Chaos scenarios assert this stays under the
     /// configured caps even under floods.
     pub peak_tracked_bytes: u64,
+    /// ECN CE marks the congestion controller has reacted to (stream stacks:
+    /// CE counts echoed back in SACK frames).  Zero with cc disabled.
+    #[serde(default)]
+    pub ecn_marks_seen: u64,
+    /// Instantaneous congestion window in bytes (stream stacks, cc enabled).
+    #[serde(default)]
+    pub cwnd_bytes: u64,
+    /// Instantaneous smoothed RTT estimate in nanoseconds (zero before the
+    /// first Karn-clean sample).
+    #[serde(default)]
+    pub srtt_ns: u64,
+    /// Granted-but-unreceived packets the message-backend receiver has
+    /// invited (the SRPT scheduler's bounded backlog).  Zero on stream
+    /// stacks and with cc disabled.
+    #[serde(default)]
+    pub grants_outstanding: u64,
 }
 
 /// Errors from endpoint construction and driving.
@@ -423,6 +440,7 @@ pub struct EndpointBuilder {
     homa: HomaConfig,
     path: Option<PathInfo>,
     rto_ns: Nanos,
+    cc: CcConfig,
     engine: Option<smt_crypto::CryptoEngineHandle>,
     connection_id: u32,
 }
@@ -436,6 +454,7 @@ impl Default for EndpointBuilder {
             homa: HomaConfig::default(),
             path: None,
             rto_ns: SmtConfig::default().rto_ns(),
+            cc: CcConfig::default(),
             engine: None,
             connection_id: 0,
         }
@@ -467,18 +486,33 @@ impl EndpointBuilder {
         self
     }
 
-    /// Overrides the sender retransmission timeout.  Defaults to
-    /// `SmtConfig::default().rto_ns()` — an RTT multiple from
-    /// `smt-core::config` (`base_rtt_ns * rto_rtt_multiple`).
+    /// Pins the sender retransmission timeout to a fixed period, disabling
+    /// the RTT-estimated (SRTT/RTTVAR) adaptive RTO.  Without this override
+    /// the timeout starts at `SmtConfig::default().rto_ns()` — an RTT
+    /// multiple from `smt-core::config` (`base_rtt_ns * rto_rtt_multiple`) —
+    /// and then tracks the measured RTT.
     pub fn rto_ns(mut self, rto_ns: Nanos) -> Self {
         self.rto_ns = rto_ns.max(1);
+        self.cc.adaptive_rto = false;
         self
     }
 
-    /// Derives the retransmission timeout from an engine configuration
-    /// (`config.rto_ns()`).
-    pub fn timers_from(self, config: &SmtConfig) -> Self {
+    /// Derives the retransmission timeout and the congestion-control clock
+    /// discipline from an engine configuration (`config.rto_ns()`,
+    /// `config.base_rtt_ns`).  The RTO stays pinned to `config.rto_ns()`.
+    pub fn timers_from(mut self, config: &SmtConfig) -> Self {
+        self.cc = self.cc.timers_from(config);
         self.rto_ns(config.rto_ns())
+    }
+
+    /// Overrides the congestion-control tuning.  [`CcConfig::disabled`]
+    /// reproduces the pre-cc baseline: fixed-RTO go-back-N streams and
+    /// uncapped, priority-less grants.
+    pub fn congestion_control(mut self, cc: CcConfig) -> Self {
+        let adaptive = self.cc.adaptive_rto && cc.adaptive_rto;
+        self.cc = cc;
+        self.cc.adaptive_rto = adaptive;
+        self
     }
 
     /// Sets this endpoint's path (source/destination addresses and ports).
@@ -529,8 +563,15 @@ impl EndpointBuilder {
         homa.mtu = self.mtu;
         homa.tso = self.tso;
         if self.stack.is_message_based() {
-            let mut ep =
-                MessageEndpoint::new(self.stack, keys, homa, path, self.rto_ns, self.engine)?;
+            let mut ep = MessageEndpoint::new(
+                self.stack,
+                keys,
+                homa,
+                path,
+                self.rto_ns,
+                self.cc,
+                self.engine,
+            )?;
             ep.set_connection_id(self.connection_id);
             Ok(Endpoint::Message(Box::new(ep)))
         } else {
@@ -541,6 +582,7 @@ impl EndpointBuilder {
                 self.tso,
                 path,
                 self.rto_ns,
+                self.cc,
                 self.engine,
             )?;
             ep.set_connection_id(self.connection_id);
@@ -567,8 +609,15 @@ impl EndpointBuilder {
         homa.mtu = self.mtu;
         homa.tso = self.tso;
         if self.stack.is_message_based() {
-            let mut ep =
-                MessageEndpoint::connect(self.stack, config, homa, path, self.rto_ns, self.engine)?;
+            let mut ep = MessageEndpoint::connect(
+                self.stack,
+                config,
+                homa,
+                path,
+                self.rto_ns,
+                self.cc,
+                self.engine,
+            )?;
             ep.set_connection_id(self.connection_id);
             Ok(Endpoint::Message(Box::new(ep)))
         } else {
@@ -579,6 +628,7 @@ impl EndpointBuilder {
                 self.tso,
                 path,
                 self.rto_ns,
+                self.cc,
                 self.engine,
             )?;
             ep.set_connection_id(self.connection_id);
@@ -600,8 +650,15 @@ impl EndpointBuilder {
         homa.mtu = self.mtu;
         homa.tso = self.tso;
         if self.stack.is_message_based() {
-            let mut ep =
-                MessageEndpoint::accept(self.stack, config, homa, path, self.rto_ns, self.engine)?;
+            let mut ep = MessageEndpoint::accept(
+                self.stack,
+                config,
+                homa,
+                path,
+                self.rto_ns,
+                self.cc,
+                self.engine,
+            )?;
             ep.set_connection_id(self.connection_id);
             Ok(Endpoint::Message(Box::new(ep)))
         } else {
@@ -612,6 +669,7 @@ impl EndpointBuilder {
                 self.tso,
                 path,
                 self.rto_ns,
+                self.cc,
                 self.engine,
             )?;
             ep.set_connection_id(self.connection_id);
@@ -920,40 +978,48 @@ mod tests {
 
     #[test]
     fn lossy_channels_recover_on_every_stack() {
-        for stack in StackKind::all() {
-            let (ck, sk) = keys();
-            let (mut c, mut s) = Endpoint::builder()
-                .stack(stack)
-                .pair(&ck, &sk, 7, 8)
-                .unwrap();
-            let data = vec![0xabu8; 120_000];
-            c.send(&data, 0).unwrap();
-            let mut link = PairFabric::lossy(0.08, 42);
-            drive_pair(&mut c, &mut s, &mut link, 1_000_000);
-            let got = take_delivered(&mut s);
-            assert_eq!(
-                got.len(),
-                1,
-                "stack {} dropped {}",
-                stack.label(),
-                link.dropped()
-            );
-            assert_eq!(got[0].1, data, "stack {}", stack.label());
-            assert!(link.dropped() > 0, "stack {}: loss occurred", stack.label());
-            // Recovery is visible in the counters: the sender retransmitted,
-            // and a timer fired somewhere (the sender's go-back-N/unscheduled
-            // retransmit, or the receiver's RESEND timer).
-            let stats = c.stats();
-            assert!(
-                stats.retransmissions > 0,
-                "stack {}: loss recovery must count retransmissions (got {stats:?})",
-                stack.label()
-            );
-            assert!(
-                stats.timeouts_fired + s.stats().timeouts_fired > 0,
-                "stack {}: recovery without any timer firing",
-                stack.label()
-            );
+        // Both congestion-control modes: cc-enabled recovery may come from
+        // dup-SACK fast retransmit (no timer), the disabled baseline must
+        // recover through a fired timer (go-back-N / unscheduled retransmit
+        // / receiver RESEND).
+        for cc in [CcConfig::default(), CcConfig::disabled()] {
+            for stack in StackKind::all() {
+                let (ck, sk) = keys();
+                let (mut c, mut s) = Endpoint::builder()
+                    .stack(stack)
+                    .congestion_control(cc)
+                    .pair(&ck, &sk, 7, 8)
+                    .unwrap();
+                let data = vec![0xabu8; 120_000];
+                c.send(&data, 0).unwrap();
+                let mut link = PairFabric::lossy(0.08, 42);
+                drive_pair(&mut c, &mut s, &mut link, 1_000_000);
+                let got = take_delivered(&mut s);
+                assert_eq!(
+                    got.len(),
+                    1,
+                    "stack {} dropped {}",
+                    stack.label(),
+                    link.dropped()
+                );
+                assert_eq!(got[0].1, data, "stack {}", stack.label());
+                assert!(link.dropped() > 0, "stack {}: loss occurred", stack.label());
+                // Recovery is visible in the counters: the sender
+                // retransmitted.
+                let stats = c.stats();
+                assert!(
+                    stats.retransmissions > 0,
+                    "stack {}: loss recovery must count retransmissions (got {stats:?})",
+                    stack.label()
+                );
+                if !cc.enabled {
+                    assert!(
+                        stats.timeouts_fired + s.stats().timeouts_fired > 0,
+                        "stack {}: baseline recovery without any timer firing",
+                        stack.label()
+                    );
+                }
+            }
         }
     }
 

@@ -46,6 +46,7 @@ use super::handshake::{control_proto, HandshakeDriver};
 use super::{
     missing_keys, EndpointError, EndpointResult, EndpointStats, Event, MessageId, SecureEndpoint,
 };
+use crate::cc::{CcConfig, CongestionController, DctcpWindow, RttEstimator};
 use crate::stack::StackKind;
 use bytes::{Bytes, BytesMut};
 use smt_core::config::CryptoMode;
@@ -57,7 +58,7 @@ use smt_sim::nic::NicModel;
 use smt_sim::Nanos;
 use smt_wire::{
     max_payload_per_packet, HomaAck, OverlayTcpHeader, Packet, PacketPayload, PacketType,
-    SmtOptionArea, SmtOverlayHeader, TsoSegment, IPPROTO_TCP, MAX_TSO_SEGMENT,
+    SackRange, SmtOptionArea, SmtOverlayHeader, SmtSack, TsoSegment, IPPROTO_TCP, MAX_TSO_SEGMENT,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -130,13 +131,45 @@ pub struct StreamEndpoint {
     /// A cumulative ACK should be emitted on the next poll.
     ack_pending: bool,
 
-    /// Retransmission timeout (go-back-N timer period).
+    /// Retransmission timeout (go-back-N timer period) when the RTO is
+    /// pinned; the adaptive path asks [`RttEstimator::rto_ns`] instead.
     rto_ns: Nanos,
     /// Absolute deadline of the armed retransmission timer, if any.
     rto_deadline: Option<Nanos>,
     /// Highest stream offset ever handed to the NIC; emitting below this
     /// marks packets as retransmissions.
     sent_high: u64,
+
+    // Congestion control (DESIGN.md §10).
+    /// Tuning shared with the timers; `cc.enabled == false` reproduces the
+    /// pre-cc fixed-RTO go-back-N baseline.
+    cc: CcConfig,
+    /// DCTCP window machine; `None` when cc is disabled.
+    cwnd: Option<DctcpWindow>,
+    /// RFC 6298 SRTT/RTTVAR estimator driving the adaptive RTO.
+    rtt: RttEstimator,
+    /// Peer-SACKed byte ranges above `acked` (start → end, disjoint): data
+    /// the receiver already holds, which selective retransmit skips.
+    sacked: BTreeMap<u64, u64>,
+    /// `(chunk end offset, send time)` of never-retransmitted chunks, for
+    /// Karn-safe RTT sampling; cleared whenever anything is retransmitted.
+    timed: VecDeque<(u64, Nanos)>,
+    /// CE-marked / total data packets received since the last SACK went out
+    /// (the receiver's DCTCP ECN echo).
+    ecn_ce_pending: u64,
+    ecn_total_pending: u64,
+    /// RTO fires without cumulative progress; at two in a row the sender
+    /// distrusts its SACK scoreboard (possibly forged) and goes back-N.
+    consecutive_timeouts: u32,
+    /// Exponential backoff shift applied to the adaptive RTO: doubled on
+    /// every fire, cleared on cumulative progress (as Linux does) — repeated
+    /// fires with *no* progress mean the estimate is stale or the path is
+    /// gone, while a recovering incast round makes progress every RTO and
+    /// keeps the baseline cadence.
+    rto_backoff: u32,
+    /// Duplicate SACKs (no cumulative progress, ranges present) since the
+    /// last advance; the third triggers fast retransmit of the holes.
+    dup_sacks: u32,
 
     events: VecDeque<Event>,
     stats: EndpointStats,
@@ -173,8 +206,14 @@ fn stack_crypto_mode(stack: StackKind) -> Option<CryptoMode> {
 }
 
 impl StreamEndpoint {
+    /// Disjoint SACKed ranges tracked at most; beyond this new ranges are
+    /// dropped (the RTO still recovers them), so forged SACKs cannot grow
+    /// sender state without bound.
+    const MAX_SACK_SCOREBOARD: usize = 64;
+
     /// Builds the backend for one of the stream-based stacks from out-of-band
     /// handshake keys (the key-injection fast path).
+    #[allow(clippy::too_many_arguments)] // internal builder plumbing
     pub(crate) fn new(
         stack: StackKind,
         keys: Option<&SessionKeys>,
@@ -182,9 +221,10 @@ impl StreamEndpoint {
         tso: bool,
         path: PathInfo,
         rto_ns: Nanos,
+        cc: CcConfig,
         engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
-        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, engine);
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, cc, engine);
         if let Some(mode) = ep.crypto_mode {
             let keys = keys.ok_or_else(|| missing_keys(stack))?;
             let session = KtlsSession::new(keys, mode)?;
@@ -203,6 +243,7 @@ impl StreamEndpoint {
 
     /// Builds an endpoint that runs the in-band handshake as the client
     /// (a TLS-style pre-data exchange before any stream bytes flow).
+    #[allow(clippy::too_many_arguments)] // internal builder plumbing
     pub(crate) fn connect(
         stack: StackKind,
         config: super::ConnectConfig,
@@ -210,9 +251,10 @@ impl StreamEndpoint {
         tso: bool,
         path: PathInfo,
         rto_ns: Nanos,
+        cc: CcConfig,
         engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
-        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, engine);
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, cc, engine);
         if ep.crypto_mode.is_some() {
             ep.hs = Some(HandshakeDriver::client(
                 config,
@@ -226,6 +268,7 @@ impl StreamEndpoint {
     }
 
     /// Builds an endpoint that runs the in-band handshake as the server.
+    #[allow(clippy::too_many_arguments)] // internal builder plumbing
     pub(crate) fn accept(
         stack: StackKind,
         config: super::AcceptConfig,
@@ -233,9 +276,10 @@ impl StreamEndpoint {
         tso: bool,
         path: PathInfo,
         rto_ns: Nanos,
+        cc: CcConfig,
         engine: Option<CryptoEngineHandle>,
     ) -> EndpointResult<Self> {
-        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, engine);
+        let mut ep = Self::unkeyed(stack, mtu, tso, path, rto_ns, cc, engine);
         if ep.crypto_mode.is_some() {
             ep.hs = Some(HandshakeDriver::server(
                 config,
@@ -254,9 +298,16 @@ impl StreamEndpoint {
         tso: bool,
         path: PathInfo,
         rto_ns: Nanos,
+        cc: CcConfig,
         engine: Option<CryptoEngineHandle>,
     ) -> Self {
         debug_assert!(!stack.is_message_based());
+        // The estimator opens at the builder's RTO so the first deadline is
+        // identical whether the adaptive path is on or pinned.
+        let est_config = CcConfig {
+            initial_rto_ns: rto_ns.max(1),
+            ..cc
+        };
         Self {
             stack,
             path,
@@ -286,6 +337,16 @@ impl StreamEndpoint {
             rto_ns: rto_ns.max(1),
             rto_deadline: None,
             sent_high: 0,
+            cc,
+            cwnd: cc.enabled.then(|| DctcpWindow::new(cc)),
+            rtt: RttEstimator::new(&est_config),
+            sacked: BTreeMap::new(),
+            timed: VecDeque::new(),
+            ecn_ce_pending: 0,
+            ecn_total_pending: 0,
+            consecutive_timeouts: 0,
+            rto_backoff: 0,
+            dup_sacks: 0,
             events: VecDeque::new(),
             stats: EndpointStats::default(),
             dead: false,
@@ -347,6 +408,20 @@ impl StreamEndpoint {
         self.wire_base + self.wire.len() as u64
     }
 
+    /// The retransmission timer period: the RTT-estimated RTO when cc runs
+    /// adaptively, the builder's fixed override otherwise.
+    fn rto(&self) -> Nanos {
+        if self.cc.enabled && self.cc.adaptive_rto {
+            let factor = 1u64 << self.rto_backoff.min(16);
+            self.rtt
+                .rto_ns()
+                .saturating_mul(factor)
+                .min(self.cc.max_rto_ns.max(1))
+        } else {
+            self.rto_ns
+        }
+    }
+
     fn fatal(&mut self, msg: String) -> EndpointError {
         self.dead = true;
         // The datagram whose bytes failed the record layer is discarded.
@@ -379,6 +454,58 @@ impl StreamEndpoint {
             payload: PacketPayload::Ack(HomaAck {
                 message_id: self.recv_next,
             }),
+            corrupted: false,
+        }
+    }
+
+    /// The receiver's acknowledgement for the next poll: with cc enabled, a
+    /// SACK frame carrying the cumulative offset, up to
+    /// [`SmtSack::MAX_RANGES`] reorder-buffer ranges (the sender's selective
+    /// retransmit scoreboard) and the DCTCP ECN echo; with cc disabled, the
+    /// legacy bare cumulative ACK.
+    fn recv_report(&mut self) -> Packet {
+        if !self.cc.enabled {
+            return self.ack_packet();
+        }
+        // Coalesce the reorder buffer into disjoint, ascending ranges.  Keys
+        // are strictly above `recv_next` (the in-order prefix was drained),
+        // which is exactly what the SACK codec's validator demands.
+        let mut ranges: Vec<SackRange> = Vec::new();
+        for (&off, chunk) in &self.ooo {
+            let end = off + chunk.len() as u64;
+            match ranges.last_mut() {
+                Some(last) if off <= last.end => last.end = last.end.max(end),
+                _ => {
+                    if ranges.len() == SmtSack::MAX_RANGES {
+                        break;
+                    }
+                    ranges.push(SackRange { start: off, end });
+                }
+            }
+        }
+        let ecn_total = self.ecn_total_pending.min(u64::from(u16::MAX)) as u16;
+        let ecn_ce = self.ecn_ce_pending.min(u64::from(ecn_total)) as u16;
+        self.ecn_ce_pending = 0;
+        self.ecn_total_pending = 0;
+        let sack = SmtSack {
+            ack_offset: self.recv_next,
+            ecn_ce,
+            ecn_total,
+            ranges,
+        };
+        let overlay = SmtOverlayHeader {
+            tcp: OverlayTcpHeader::new(self.path.src_port, self.path.dst_port, PacketType::Sack),
+            options: SmtOptionArea::new(0, 0),
+        };
+        Packet {
+            ip: smt_wire::IpHeader::V4(smt_wire::Ipv4Header::new(
+                self.path.src,
+                self.path.dst,
+                IPPROTO_TCP,
+                (smt_wire::IPV4_HEADER_LEN + smt_wire::SMT_OVERLAY_LEN + sack.wire_len()) as u16,
+            )),
+            overlay,
+            payload: PacketPayload::Sack(sack),
             corrupted: false,
         }
     }
@@ -446,6 +573,14 @@ impl StreamEndpoint {
             return Ok(());
         }
         self.stats.wire_bytes_received += bytes.len() as u64;
+        if self.cc.enabled {
+            // DCTCP ECN echo: count every data packet and the CE-marked
+            // subset since the last SACK went out.
+            self.ecn_total_pending += 1;
+            if datagram.ip.is_ce_marked() {
+                self.ecn_ce_pending += 1;
+            }
+        }
         // Stream offset of this packet: the segment's 64-bit base offset
         // (low word in tso_offset, high word in the reserved field) plus the
         // packet's position within the TSO expansion, at the sender's stride
@@ -643,7 +778,7 @@ impl StreamEndpoint {
             }
         }
         if self.produced() + self.staged_wire as u64 > self.acked && self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.rto_ns);
+            self.rto_deadline = Some(now + self.rto());
         }
     }
 
@@ -687,9 +822,9 @@ impl StreamEndpoint {
         self.wire.extend_from_slice(&ku);
         self.register_engine();
         // The KeyUpdate record itself needs reliable delivery: arm the
-        // go-back-N timer if it was idle.
+        // retransmission timer if it was idle.
         if self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.rto_ns);
+            self.rto_deadline = Some(now + self.rto());
         }
         Ok(epoch)
     }
@@ -700,10 +835,13 @@ impl StreamEndpoint {
             return;
         }
         self.acked = offset;
-        // Progress restarts the go-back-N timer; full acknowledgement
+        self.consecutive_timeouts = 0;
+        self.rto_backoff = 0;
+        self.dup_sacks = 0;
+        // Progress restarts the retransmission timer; full acknowledgement
         // disarms it.
         self.rto_deadline = if offset < self.produced() {
-            Some(now + self.rto_ns)
+            Some(now + self.rto())
         } else {
             None
         };
@@ -714,12 +852,94 @@ impl StreamEndpoint {
         let drop = (offset - self.wire_base) as usize;
         let _ = self.wire.split_to(drop);
         self.wire_base = offset;
+        // SACKed ranges at or below the cumulative offset are history.
+        while let Some((&start, &end)) = self.sacked.iter().next() {
+            if start >= offset {
+                break;
+            }
+            self.sacked.remove(&start);
+            if end > offset {
+                self.sacked.insert(offset, end);
+            }
+        }
+        // Karn-safe RTT samples: `timed` only holds never-retransmitted
+        // chunks (it is cleared on every retransmission), so any entry the
+        // cumulative offset covers is a clean round trip.
+        while let Some(&(end, sent_at)) = self.timed.front() {
+            if end > offset {
+                break;
+            }
+            self.timed.pop_front();
+            self.rtt.on_sample(now.saturating_sub(sent_at));
+            self.rto_backoff = 0;
+        }
         while let Some(&(id, end)) = self.inflight.front() {
             if end > offset {
                 break;
             }
             self.inflight.pop_front();
             self.events.push_back(Event::MessageAcked(id));
+        }
+    }
+
+    /// Records one peer-SACKed range, merging overlaps and keeping the
+    /// scoreboard bounded (a hostile peer cannot grow it past
+    /// [`Self::MAX_SACK_SCOREBOARD`] disjoint ranges).
+    fn insert_sacked(&mut self, mut start: u64, mut end: u64) {
+        let mut merged: Vec<u64> = Vec::new();
+        for (&s, &e) in self.sacked.range(..=end) {
+            if e >= start {
+                start = start.min(s);
+                end = end.max(e);
+                merged.push(s);
+            }
+        }
+        let absorbed = !merged.is_empty();
+        for s in merged {
+            self.sacked.remove(&s);
+        }
+        if absorbed || self.sacked.len() < Self::MAX_SACK_SCOREBOARD {
+            self.sacked.insert(start, end);
+        }
+    }
+
+    /// Processes one SACK frame: cumulative progress, the DCTCP ECN echo,
+    /// scoreboard updates, and duplicate-SACK fast retransmit.
+    fn handle_sack(&mut self, sack: &SmtSack, now: Nanos) {
+        let produced = self.produced();
+        let prev_acked = self.acked;
+        let newly = sack.ack_offset.min(produced).saturating_sub(prev_acked);
+        if let Some(w) = &mut self.cwnd {
+            let total = u64::from(sack.ecn_total).max(u64::from(sack.ecn_ce));
+            w.on_ack(newly, u64::from(sack.ecn_ce), total, now);
+        }
+        self.handle_ack(sack.ack_offset, now);
+        for r in &sack.ranges {
+            // Clamp to reality: a forged range cannot mark bytes that were
+            // never produced, or rewrite already-acknowledged history.
+            let start = r.start.max(self.acked);
+            let end = r.end.min(produced);
+            if end > start {
+                self.insert_sacked(start, end);
+            }
+        }
+        // Duplicate SACKs with ranges mean later data keeps landing while a
+        // hole stays open: on the third, infer loss and retransmit the holes
+        // now instead of waiting out the RTO (fast retransmit).
+        if self.cc.enabled
+            && self.acked == prev_acked
+            && !sack.ranges.is_empty()
+            && self.acked < produced
+        {
+            self.dup_sacks += 1;
+            if self.dup_sacks == 3 {
+                if let Some(w) = &mut self.cwnd {
+                    w.on_loss(now);
+                }
+                self.timed.clear();
+                self.next_send = self.acked;
+                self.rto_deadline = Some(now + self.rto());
+            }
         }
     }
 }
@@ -756,7 +976,7 @@ impl SecureEndpoint for StreamEndpoint {
         self.stats.bytes_sent += data.len() as u64;
         self.enqueue_framed(id, data)?;
         if self.rto_deadline.is_none() {
-            self.rto_deadline = Some(now + self.rto_ns);
+            self.rto_deadline = Some(now + self.rto());
         }
         Ok(id)
     }
@@ -785,6 +1005,14 @@ impl SecureEndpoint for StreamEndpoint {
             PacketType::Ack => {
                 if let PacketPayload::Ack(a) = &datagram.payload {
                     self.handle_ack(a.message_id, now);
+                }
+                Ok(())
+            }
+            // Processed regardless of this side's own cc switch so a
+            // cc-enabled receiver still acknowledges to a baseline sender.
+            PacketType::Sack => {
+                if let PacketPayload::Sack(sack) = &datagram.payload {
+                    self.handle_sack(sack, now);
                 }
                 Ok(())
             }
@@ -821,7 +1049,8 @@ impl SecureEndpoint for StreamEndpoint {
         }
         if self.ack_pending {
             self.ack_pending = false;
-            out.push(self.ack_packet());
+            let report = self.recv_report();
+            out.push(report);
         }
         // Materialise ciphertext staged with the shared batch engine: the
         // first endpoint to poll runs one fused pass over every registered
@@ -843,9 +1072,36 @@ impl SecureEndpoint for StreamEndpoint {
         } else {
             max_payload_per_packet(self.mtu)
         };
+        let window = self.cwnd.as_ref().map(|w| w.window());
         while self.next_send < self.produced() {
+            if self.cc.enabled {
+                // Selective retransmit: hop over ranges the peer already
+                // SACKed instead of resending them.
+                loop {
+                    match self.sacked.range(..=self.next_send).next_back() {
+                        Some((_, &end)) if end > self.next_send => self.next_send = end,
+                        _ => break,
+                    }
+                }
+                if self.next_send >= self.produced() {
+                    break;
+                }
+            }
+            if let Some(w) = window {
+                // DCTCP window: pause once a window's worth is in flight;
+                // the next SACK reopens it.
+                if self.next_send.saturating_sub(self.acked) >= w {
+                    break;
+                }
+            }
             let start = (self.next_send - self.wire_base) as usize;
-            let take = seg_max.min(self.wire.len() - start);
+            let mut take = seg_max.min(self.wire.len() - start);
+            if self.cc.enabled {
+                // A chunk must stop at the next SACKed range, not overlap it.
+                if let Some((&s, _)) = self.sacked.range(self.next_send + 1..).next() {
+                    take = take.min((s - self.next_send) as usize);
+                }
+            }
             let chunk = Bytes::copy_from_slice(&self.wire[start..start + take]);
             let mut overlay = SmtOverlayHeader {
                 tcp: OverlayTcpHeader::new(
@@ -866,14 +1122,26 @@ impl SecureEndpoint for StreamEndpoint {
                 max_payload_per_packet(self.mtu).min(u16::MAX as usize) as u16;
             let segment =
                 TsoSegment::new(self.path.src, self.path.dst, IPPROTO_TCP, overlay, chunk);
-            let (packets, _nic_ns) = self.nic.transmit(0, &segment);
+            let (mut packets, _nic_ns) = self.nic.transmit(0, &segment);
+            if self.cc.enabled {
+                // Egress data is ECN-capable: fabric queues past their
+                // marking threshold CE-mark it instead of dropping.
+                for p in &mut packets {
+                    p.ip.set_ecn_capable();
+                    p.overlay.options.flags |= SmtOptionArea::FLAG_ECN_CAPABLE;
+                }
+            }
             if self.next_send < self.sent_high {
                 // The chunk's prefix below the high-water mark has been on
-                // the wire before (go-back-N recovery); packets past it carry
-                // fresh bytes and are not retransmissions.
+                // the wire before (selective or go-back-N recovery); packets
+                // past it carry fresh bytes and are not retransmissions.
                 let retx_bytes = (self.sent_high - self.next_send).min(take as u64);
                 let stride = max_payload_per_packet(self.mtu).max(1) as u64;
                 self.stats.retransmissions += retx_bytes.div_ceil(stride).min(packets.len() as u64);
+            } else if self.timed.len() < 1024 {
+                // An entirely-fresh chunk is a clean RTT probe (Karn's rule:
+                // retransmitted ranges are never sampled).
+                self.timed.push_back((self.next_send + take as u64, now));
             }
             out.extend(packets);
             self.next_send += take as u64;
@@ -912,8 +1180,22 @@ impl SecureEndpoint for StreamEndpoint {
         }
         if self.acked < self.produced() {
             self.stats.timeouts_fired += 1;
+            self.rto_backoff = (self.rto_backoff + 1).min(16);
+            if self.cc.enabled {
+                self.consecutive_timeouts += 1;
+                if let Some(w) = &mut self.cwnd {
+                    w.on_loss(now);
+                }
+                self.timed.clear();
+                if self.consecutive_timeouts >= 2 {
+                    // The scoreboard failed to produce progress — stale or
+                    // forged SACKs.  Distrust it: plain go-back-N recovers
+                    // whatever the peer actually holds.
+                    self.sacked.clear();
+                }
+            }
             self.next_send = self.acked;
-            self.rto_deadline = Some(now + self.rto_ns);
+            self.rto_deadline = Some(now + self.rto());
         } else {
             self.rto_deadline = None;
         }
@@ -921,6 +1203,12 @@ impl SecureEndpoint for StreamEndpoint {
 
     fn stats(&self) -> EndpointStats {
         let mut stats = self.stats;
+        if let Some(w) = &self.cwnd {
+            let snap = w.snapshot();
+            stats.ecn_marks_seen = snap.ecn_marks_seen;
+            stats.cwnd_bytes = snap.cwnd_bytes;
+        }
+        stats.srtt_ns = self.rtt.srtt_ns();
         if let Some(tx) = &self.tls_tx {
             if tx.crypto_mode() == CryptoMode::Software {
                 stats.records_sealed += tx.records_sent;

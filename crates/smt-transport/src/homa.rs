@@ -13,11 +13,21 @@
 //! * encryption, reassembly and replay rejection come from the SMT session.
 //!
 //! Simplifications relative to Homa/Linux, documented here and in DESIGN.md: the
-//! grant window is tracked in packets rather than bytes, there are no network
-//! priorities, and RESENDs cover a whole message rather than a byte range.  None
-//! of these affect the properties the integration tests verify (reliable,
-//! encrypted, unordered message delivery over a lossy link).
+//! grant window is tracked in packets rather than bytes and RESENDs cover a
+//! whole message rather than a byte range.  None of these affect the
+//! properties the integration tests verify (reliable, encrypted, unordered
+//! message delivery over a lossy link).
+//!
+//! With congestion control installed ([`HomaEndpoint::set_cc`], DESIGN.md
+//! §10), grants come from the receiver-driven SRPT scheduler
+//! ([`crate::cc::SrptGrantScheduler`]): incomplete messages are ranked by
+//! remaining packets, only the top few are granted, each carries a network
+//! priority the sender stamps into the overlay option area, and the summed
+//! granted-but-unreceived backlog is capped — what bounds receiver queue
+//! occupancy under deep incast.  Disabled (the default for directly
+//! constructed endpoints), the legacy per-message grant bump applies.
 
+use crate::cc::{CcConfig, MsgView, SrptGrantScheduler};
 use crate::stack::StackKind;
 use smt_core::reassembly::ReceivedMessage;
 use smt_core::segment::PathInfo;
@@ -60,16 +70,33 @@ struct PendingSend {
     granted: usize,
     sent: usize,
     acked: bool,
+    /// Network priority the receiver assigned in its last GRANT (0 =
+    /// highest); stamped into the plaintext option area of every granted
+    /// data packet this message emits.
+    priority: u8,
+    /// Where the next cc-mode RESEND response resumes: recovery walks the
+    /// sent packets in bounded windows instead of re-blasting the whole
+    /// message, so a RESEND can never re-trigger the very overflow it is
+    /// recovering from.
+    resend_cursor: usize,
 }
 
 #[derive(Debug, Default)]
 struct RecvProgress {
     packets_seen: usize,
+    /// Packets the session actually accepted (authenticated, well-formed,
+    /// not a conflicting duplicate).  A message with zero accepted packets
+    /// is never granted and never solicits RESENDs: an attacker spraying
+    /// forged IDs must not be able to make this receiver transmit — that
+    /// would hand an unauthenticated peer both amplification and a way to
+    /// keep the recovery timer busy forever.
+    accepted: usize,
     granted: usize,
     total_estimate: usize,
     complete: bool,
     /// RESENDs issued since data last arrived; the receiver abandons the
-    /// message at `MAX_RESEND_ATTEMPTS` instead of requesting forever.
+    /// message at [`CcConfig::max_resend_attempts`] instead of requesting
+    /// forever.
     resends: u32,
 }
 
@@ -78,17 +105,17 @@ struct RecvProgress {
 /// message IDs gets its own state evicted first, not legitimate transfers).
 const MAX_INCOMPLETE_RECVS: usize = 1024;
 
-/// RESEND requests issued for one stalled message before the receiver
-/// abandons it.  A message whose sender is real recovers via the sender-side
-/// unscheduled-prefix retransmission; a forged message ID stops consuming
-/// timer state.
-const MAX_RESEND_ATTEMPTS: u32 = 8;
-
 /// One endpoint of the packet-level transport.
 pub struct HomaEndpoint {
     session: SmtSession,
     nic: NicModel,
     config: HomaConfig,
+    /// Congestion-control tuning; [`CcConfig::disabled`] (the construction
+    /// default) keeps the legacy grant bump and fixed resend budget.
+    cc: CcConfig,
+    /// The SRPT grant machine, consulted on every data arrival while
+    /// `cc.enabled`.
+    scheduler: SrptGrantScheduler,
     path: PathInfo,
     // BTreeMaps, not HashMaps: poll_transmit/poll_resend iterate these, and
     // the discrete-event harness needs iteration order (hence packet emission
@@ -159,10 +186,13 @@ impl HomaEndpoint {
     }
 
     fn from_session(session: SmtSession, config: HomaConfig, path: PathInfo) -> Self {
+        let cc = CcConfig::disabled();
         Self {
             session,
             nic: NicModel::new(config.mtu, config.tso),
             config,
+            cc,
+            scheduler: SrptGrantScheduler::new(cc, config.grant_packets),
             path,
             sends: BTreeMap::new(),
             recvs: BTreeMap::new(),
@@ -178,6 +208,21 @@ impl HomaEndpoint {
     /// Access to the underlying SMT session (statistics, replay checks).
     pub fn session(&self) -> &SmtSession {
         &self.session
+    }
+
+    /// Installs the congestion-control tuning.  Enabled, grants flow through
+    /// the SRPT scheduler (priorities, backlog cap) and the resend budget
+    /// follows [`CcConfig::max_resend_attempts`]; disabled restores the
+    /// legacy per-message grant bump.
+    pub fn set_cc(&mut self, cc: CcConfig) {
+        self.cc = cc;
+        self.scheduler = SrptGrantScheduler::new(cc, self.config.grant_packets);
+    }
+
+    /// Granted-but-unreceived packets after the scheduler's last round — the
+    /// invited backlog (zero while cc is disabled).
+    pub fn grants_outstanding(&self) -> u64 {
+        self.scheduler.outstanding()
     }
 
     /// Ratchets the session's send keys one epoch forward (see
@@ -263,7 +308,7 @@ impl HomaEndpoint {
             let (pkts, _) = self.nic.transmit(queue, seg);
             packets.extend(pkts);
         }
-        let granted = self.config.unscheduled_packets.min(packets.len());
+        let granted = self.unscheduled().min(packets.len());
         self.sends.insert(
             out.message_id,
             PendingSend {
@@ -271,17 +316,38 @@ impl HomaEndpoint {
                 granted,
                 sent: 0,
                 acked: false,
+                priority: 0,
+                resend_cursor: 0,
             },
         );
         out.message_id
     }
 
-    /// Emits any packets allowed by the current grant windows.
+    /// The effective unscheduled prefix: the configured prefix, capped by
+    /// [`CcConfig::max_unscheduled_packets`] while cc is enabled (Homa's
+    /// RTT-bytes discipline — the receiver paces everything beyond it).
+    fn unscheduled(&self) -> usize {
+        if self.cc.enabled {
+            self.config
+                .unscheduled_packets
+                .min(self.cc.max_unscheduled_packets.max(1))
+        } else {
+            self.config.unscheduled_packets
+        }
+    }
+
+    /// Emits any packets allowed by the current grant windows.  The
+    /// receiver-assigned priority is stamped into the plaintext option area
+    /// of each emitted clone — safe post-seal because the option area is
+    /// outside the AEAD envelope (see
+    /// [`smt_core::segment::SmtSegmenter::mark_retransmission`]).
     pub fn poll_transmit(&mut self) -> Vec<Packet> {
         let mut out = Vec::new();
         for send in self.sends.values_mut() {
             while send.sent < send.granted.min(send.packets.len()) {
-                out.push(send.packets[send.sent].clone());
+                let mut p = send.packets[send.sent].clone();
+                p.overlay.options.priority = send.priority;
+                out.push(p);
                 send.sent += 1;
             }
         }
@@ -312,6 +378,16 @@ impl HomaEndpoint {
         let mut out = Vec::new();
         match packet.overlay.tcp.packet_type {
             PacketType::Data => {
+                // Geometry sanity before any state is allocated: a data
+                // packet whose segment offset lies outside the message it
+                // claims to belong to is forged or corrupt, and tracking it
+                // would let an attacker mint receive state (and the grants /
+                // RESENDs that come with it) from thin air.
+                let opts = &packet.overlay.options;
+                if opts.tso_offset != 0 && opts.tso_offset >= opts.message_length {
+                    self.recv_errors += 1;
+                    return out;
+                }
                 let message_id = packet.overlay.options.message_id;
                 // A fresh message ID at the incomplete-receive cap evicts the
                 // tracked message with the least progress (newest ID breaks
@@ -325,7 +401,7 @@ impl HomaEndpoint {
                         .recvs
                         .iter()
                         .filter(|(_, p)| !p.complete)
-                        .min_by_key(|(&id, p)| (p.packets_seen, std::cmp::Reverse(id)))
+                        .min_by_key(|(&id, p)| (p.accepted, p.packets_seen, std::cmp::Reverse(id)))
                         .map(|(&id, _)| id);
                     if let Some(id) = victim {
                         self.recvs.remove(&id);
@@ -335,12 +411,13 @@ impl HomaEndpoint {
                 }
                 // Track receive progress for grant decisions.
                 let per_packet = smt_wire::max_payload_per_packet(self.config.mtu).max(1);
+                let unscheduled_prefix = self.unscheduled();
                 let progress = match self.recvs.entry(message_id) {
                     std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::btree_map::Entry::Vacant(v) => {
                         self.incomplete += 1;
                         v.insert(RecvProgress {
-                            granted: self.config.unscheduled_packets,
+                            granted: unscheduled_prefix,
                             total_estimate: (packet.overlay.options.message_length as usize)
                                 .div_ceil(per_packet)
                                 .max(1),
@@ -348,16 +425,10 @@ impl HomaEndpoint {
                         })
                     }
                 };
+                // Completed (or replayed) message: the session will discard
+                // the payload; re-ACK below in case the original ACK was
+                // lost and the sender is retransmitting to get one.
                 let was_complete = progress.complete;
-                if was_complete {
-                    // Completed (or replayed) message: the session will discard
-                    // the payload; re-ACK below in case the original ACK was
-                    // lost and the sender is retransmitting to get one.
-                } else {
-                    progress.packets_seen += 1;
-                    // Data arrived: the stall clock restarts.
-                    progress.resends = 0;
-                }
                 match self.session.receive_packet(packet) {
                     Ok(Some(message)) => {
                         let id = message.message_id;
@@ -367,40 +438,65 @@ impl HomaEndpoint {
                                 p.complete = true;
                                 self.incomplete -= 1;
                             }
+                            p.accepted += 1;
                         }
                         out.push(self.control_packet(
                             PacketPayload::Ack(HomaAck { message_id: id }),
                             PacketType::Ack,
                             id,
                         ));
+                        if self.cc.enabled {
+                            // The finished message freed grant slots and
+                            // backlog budget: re-rank the survivors now, or
+                            // a message whose granted data fully arrived
+                            // would stall until a timer fires.
+                            out.extend(self.schedule_grants());
+                        }
                     }
                     Ok(None) => {
-                        // Grant more packets if the sender is window-limited.
-                        let grant_packets = self.config.grant_packets;
-                        let unscheduled = self.config.unscheduled_packets;
-                        let new_grant = {
-                            let progress = self.recvs.get_mut(&message_id).expect("inserted above");
-                            if !progress.complete
-                                && progress.total_estimate > unscheduled
-                                && progress.packets_seen + grant_packets > progress.granted
-                            {
-                                progress.granted = (progress.granted + grant_packets)
-                                    .min(progress.total_estimate + 4);
-                                Some(progress.granted as u32)
-                            } else {
-                                None
+                        if let Some(p) = self.recvs.get_mut(&message_id) {
+                            p.accepted += 1;
+                            if !p.complete {
+                                p.packets_seen += 1;
+                                // Accepted data arrived: the stall clock
+                                // restarts.  Rejected packets must not touch
+                                // it, or forged traffic keeps a bogus
+                                // message alive past the abandonment cap.
+                                p.resends = 0;
                             }
-                        };
-                        if let Some(granted_offset) = new_grant {
-                            out.push(self.control_packet(
-                                PacketPayload::Grant(HomaGrant {
+                        }
+                        if self.cc.enabled {
+                            out.extend(self.schedule_grants());
+                        } else {
+                            // Legacy: grant more packets to this one message
+                            // if its sender is window-limited.
+                            let grant_packets = self.config.grant_packets;
+                            let unscheduled = self.config.unscheduled_packets;
+                            let new_grant = {
+                                let progress =
+                                    self.recvs.get_mut(&message_id).expect("inserted above");
+                                if !progress.complete
+                                    && progress.total_estimate > unscheduled
+                                    && progress.packets_seen + grant_packets > progress.granted
+                                {
+                                    progress.granted = (progress.granted + grant_packets)
+                                        .min(progress.total_estimate + 4);
+                                    Some(progress.granted as u32)
+                                } else {
+                                    None
+                                }
+                            };
+                            if let Some(granted_offset) = new_grant {
+                                out.push(self.control_packet(
+                                    PacketPayload::Grant(HomaGrant {
+                                        message_id,
+                                        granted_offset,
+                                        priority: 0,
+                                    }),
+                                    PacketType::Grant,
                                     message_id,
-                                    granted_offset,
-                                    priority: 0,
-                                }),
-                                PacketType::Grant,
-                                message_id,
-                            ));
+                                ));
+                            }
                         }
                     }
                     Err(_) => {
@@ -421,19 +517,62 @@ impl HomaEndpoint {
                 if let PacketPayload::Grant(g) = &packet.payload {
                     if let Some(send) = self.sends.get_mut(&g.message_id) {
                         send.granted = send.granted.max(g.granted_offset as usize);
+                        send.priority = g.priority;
                     }
                 }
             }
             PacketType::Resend => {
                 if let PacketPayload::Resend(r) = &packet.payload {
-                    if let Some(send) = self.sends.get(&r.message_id) {
-                        // Retransmit every packet already sent (simplified whole
-                        // message RESEND); mark the resend offset so the receiver
-                        // can place them (§4.3).
+                    let window = if self.cc.enabled {
+                        Some(self.unscheduled().max(1))
+                    } else {
+                        None
+                    };
+                    if let Some(send) = self.sends.get_mut(&r.message_id) {
+                        // The receiver acknowledged this message: a RESEND
+                        // for it is stale or forged, and honoring it would
+                        // retransmit data nobody is missing.
+                        if send.acked {
+                            return out;
+                        }
                         let limit = send.sent.min(send.packets.len());
-                        self.retransmitted_packets += limit as u64;
-                        for p in &send.packets[..limit] {
-                            let mut retx = p.clone();
+                        let indices: Vec<usize> = match window {
+                            // cc: walk the sent packets in bounded windows
+                            // across successive RESENDs — the whole-message
+                            // re-blast is exactly the burst that re-overflows
+                            // a deep-incast receiver queue.
+                            Some(w) if limit > 0 => {
+                                let start = if send.resend_cursor >= limit {
+                                    0
+                                } else {
+                                    send.resend_cursor
+                                };
+                                let end = (start + w).min(limit);
+                                send.resend_cursor = if end >= limit { 0 } else { end };
+                                (start..end).collect()
+                            }
+                            // Baseline: whole-message go-back-N re-blast, but
+                            // lead the volley from a rotating position.  Every
+                            // incast sender shares the same timer discipline,
+                            // so their volleys reach the receiver's tail-drop
+                            // queue in lockstep: with a fixed blast order the
+                            // surviving prefix is the *same* packets each
+                            // round and the same holes drop forever.  Rotating
+                            // the lead packet shifts which chunks arrive ahead
+                            // of the queue cutoff each round, so every chunk
+                            // eventually lands.
+                            _ if limit > 0 => {
+                                let start = send.resend_cursor % limit;
+                                send.resend_cursor = (send.resend_cursor
+                                    + self.config.unscheduled_packets.max(1))
+                                    % limit;
+                                (0..limit).map(|i| (start + i) % limit).collect()
+                            }
+                            _ => Vec::new(),
+                        };
+                        self.retransmitted_packets += indices.len() as u64;
+                        for &i in &indices {
+                            let mut retx = send.packets[i].clone();
                             smt_core::segment::SmtSegmenter::mark_retransmission(&mut retx);
                             out.push(retx);
                         }
@@ -450,7 +589,42 @@ impl HomaEndpoint {
                     }
                 }
             }
-            PacketType::Busy | PacketType::Control => {}
+            PacketType::Busy | PacketType::Control | PacketType::Sack => {}
+        }
+        out
+    }
+
+    /// One SRPT scheduling round over every incomplete, grant-eligible
+    /// message (total beyond the unscheduled prefix).  Applies the decisions
+    /// to the tracked grant offsets and returns the GRANT packets to emit.
+    fn schedule_grants(&mut self) -> Vec<Packet> {
+        let unscheduled = self.unscheduled();
+        let views: Vec<MsgView> = self
+            .recvs
+            .iter()
+            .filter(|(_, p)| !p.complete && p.accepted > 0 && p.total_estimate > unscheduled)
+            .map(|(&id, p)| MsgView {
+                id,
+                seen: p.packets_seen,
+                granted: p.granted,
+                total: p.total_estimate,
+            })
+            .collect();
+        let decisions = self.scheduler.schedule(&views);
+        let mut out = Vec::with_capacity(decisions.len());
+        for d in decisions {
+            if let Some(p) = self.recvs.get_mut(&d.message_id) {
+                p.granted = p.granted.max(d.granted_packets as usize);
+            }
+            out.push(self.control_packet(
+                PacketPayload::Grant(HomaGrant {
+                    message_id: d.message_id,
+                    granted_offset: d.granted_packets,
+                    priority: d.priority,
+                }),
+                PacketType::Grant,
+                d.message_id,
+            ));
         }
         out
     }
@@ -462,14 +636,19 @@ impl HomaEndpoint {
     /// never learned it exists) and a completed message whose ACK was lost.
     pub fn poll_retransmit_unacked(&mut self) -> Vec<Packet> {
         let mut out = Vec::new();
+        // cc: a two-packet probe suffices — it recreates the receiver's
+        // progress state (whose RESENDs then drive recovery) and re-elicits a
+        // lost ACK.  The baseline re-blasts the whole unscheduled prefix.
+        let limit_cap = if self.cc.enabled {
+            2
+        } else {
+            self.config.unscheduled_packets
+        };
         for send in self.sends.values() {
             if send.acked {
                 continue;
             }
-            let limit = send
-                .sent
-                .min(self.config.unscheduled_packets)
-                .min(send.packets.len());
+            let limit = send.sent.min(limit_cap).min(send.packets.len());
             for p in &send.packets[..limit] {
                 let mut retx = p.clone();
                 smt_core::segment::SmtSegmenter::mark_retransmission(&mut retx);
@@ -483,10 +662,12 @@ impl HomaEndpoint {
     /// Issues RESEND requests for messages that have started arriving but have
     /// not completed (invoked by the driver when the channel goes quiet,
     /// standing in for Homa's timeout-driven RESEND).  A message that stays
-    /// stalled through `MAX_RESEND_ATTEMPTS` quiet timeouts is abandoned —
-    /// a forged message ID must not keep the receiver's timer armed forever.
+    /// stalled through [`CcConfig::max_resend_attempts`] quiet timeouts is
+    /// abandoned — a forged message ID must not keep the receiver's timer
+    /// armed forever.
     pub fn poll_resend(&mut self) -> Vec<Packet> {
         let mut out = Vec::new();
+        let max_attempts = self.cc.max_resend_attempts;
         let ids: Vec<u64> = self
             .recvs
             .iter()
@@ -497,13 +678,22 @@ impl HomaEndpoint {
             let Some(progress) = self.recvs.get_mut(&id) else {
                 continue;
             };
-            if progress.resends >= MAX_RESEND_ATTEMPTS {
+            if progress.resends >= max_attempts {
                 self.recvs.remove(&id);
                 self.incomplete -= 1;
                 self.recv_state_evictions += 1;
                 continue;
             }
             progress.resends += 1;
+            // A message with no accepted packet still ages toward
+            // abandonment above, but gets no RESEND on the wire: requesting
+            // retransmission of a message only an attacker ever referenced
+            // would let forged traffic farm control packets out of this
+            // endpoint indefinitely.
+            if progress.accepted == 0 {
+                continue;
+            }
+            let granted = progress.granted;
             out.push(self.control_packet(
                 PacketPayload::Resend(HomaResend {
                     message_id: id,
@@ -514,6 +704,27 @@ impl HomaEndpoint {
                 PacketType::Resend,
                 id,
             ));
+            // Re-advertise the current grant alongside the RESEND.  Grants
+            // are receiver state: if the GRANT packet itself was lost, the
+            // receiver's ledger says `granted` but the sender never advanced,
+            // and neither grant path re-issues an offset it already recorded
+            // (the SRPT scheduler only grants when desired > granted, the
+            // legacy path stops at total + 4) — the transfer would deadlock
+            // with the sender's re-blasts forever capped at the stale sent
+            // window.  The grant is idempotent (the sender takes the max),
+            // so repeating it on the stall timer costs one packet and
+            // repairs the loss.
+            if granted > self.unscheduled() {
+                out.push(self.control_packet(
+                    PacketPayload::Grant(HomaGrant {
+                        message_id: id,
+                        granted_offset: granted as u32,
+                        priority: 0,
+                    }),
+                    PacketType::Grant,
+                    id,
+                ));
+            }
         }
         out
     }
@@ -724,6 +935,56 @@ mod tests {
         assert!(stats.offload_records > 0);
         assert!(stats.resyncs >= 1);
         assert_eq!(stats.out_of_sequence, 0, "stack kept contexts in sequence");
+    }
+
+    #[test]
+    fn srpt_scheduler_grants_priorities_and_bounds_backlog() {
+        let config = HomaConfig {
+            unscheduled_packets: 4,
+            grant_packets: 4,
+            ..HomaConfig::default()
+        };
+        let (mut a, mut b) = pair(StackKind::SmtSw, config);
+        let cc = CcConfig {
+            active_grants: 2,
+            max_grant_backlog_packets: 16,
+            ..CcConfig::default()
+        };
+        a.set_cc(cc);
+        b.set_cc(cc);
+        let mut ab = LossyChannel::reliable();
+        let mut ba = LossyChannel::reliable();
+        // Three concurrent messages, sizes chosen so SRPT must rank them.
+        let sizes = [200_000usize, 60_000, 20_000];
+        for (i, len) in sizes.iter().enumerate() {
+            a.send_message(&vec![i as u8; *len], i).unwrap();
+        }
+        // Drive manually so we can watch the invited backlog every round.
+        for _ in 0..4000 {
+            ab.push(a.poll_transmit());
+            let mut responses = Vec::new();
+            for p in ab.drain() {
+                responses.extend(b.handle_packet(&p));
+            }
+            assert!(
+                b.grants_outstanding() <= 16,
+                "invited backlog {} exceeds the cap",
+                b.grants_outstanding()
+            );
+            ba.push(responses);
+            for p in ba.drain() {
+                ab.push(a.handle_packet(&p));
+            }
+            if b.session().stats().messages_received >= 3 && a.pending_sends() == 0 {
+                break;
+            }
+        }
+        assert_eq!(
+            b.session().stats().messages_received,
+            3,
+            "all messages delivered under scheduled grants"
+        );
+        assert_eq!(a.pending_sends(), 0, "ACKs released sender state");
     }
 
     #[test]

@@ -22,20 +22,28 @@
 //!   data + GRANTs + RESENDs, paper §2.2) running the real SMT engine over the
 //!   NIC model.  It backs the message-based endpoints; consumers reach it
 //!   through the [`endpoint`] layer.
+//!
+//! * [`cc`] — the **congestion-control subsystem** both endpoint backends
+//!   share: receiver-driven SRPT grant scheduling for the message stacks,
+//!   DCTCP-style ECN windowing with SACK-based selective retransmit for the
+//!   stream stacks, and the RFC 6298 RTT estimator that disciplines every
+//!   retransmission timer.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cc;
 pub mod endpoint;
 pub mod homa;
 pub mod profile;
 pub mod stack;
 
+pub use cc::{CcConfig, CcSnapshot, CongestionController, DctcpWindow, RttEstimator};
 pub use endpoint::{
-    drive_pair, handshake_scenario_endpoints, scenario_endpoints, take_delivered, AcceptConfig,
-    ConnectConfig, Endpoint, EndpointBuilder, EndpointError, EndpointResult, EndpointStats, Event,
-    Listener, ListenerFabric, MessageEndpoint, MessageId, PairFabric, SecureEndpoint,
-    SharedPathSecrets, StreamEndpoint, ZeroRttAcceptor,
+    drive_pair, handshake_scenario_endpoints, scenario_endpoints, scenario_endpoints_cc,
+    take_delivered, AcceptConfig, ConnectConfig, Endpoint, EndpointBuilder, EndpointError,
+    EndpointResult, EndpointStats, Event, Listener, ListenerFabric, MessageEndpoint, MessageId,
+    PairFabric, SecureEndpoint, SharedPathSecrets, StreamEndpoint, ZeroRttAcceptor,
 };
 pub use homa::{HomaConfig, HomaEndpoint};
 pub use profile::{RpcWorkload, StackProfile};

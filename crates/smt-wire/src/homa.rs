@@ -30,6 +30,9 @@ pub enum PacketType {
     Busy = 0x14,
     /// Handshake / session-control payload (TLS handshake flights ride on these).
     Control = 0x15,
+    /// Stream selective acknowledgement: cumulative ack, received ranges above
+    /// it, and the DCTCP ECN echo (CE-marked / total packet counts).
+    Sack = 0x16,
 }
 
 impl PacketType {
@@ -42,6 +45,7 @@ impl PacketType {
             0x13 => Ok(PacketType::Ack),
             0x14 => Ok(PacketType::Busy),
             0x15 => Ok(PacketType::Control),
+            0x16 => Ok(PacketType::Sack),
             other => Err(WireError::UnknownPacketType(other)),
         }
     }
@@ -94,6 +98,39 @@ pub struct HomaBusy {
     pub message_id: u64,
 }
 
+/// One received byte range above the cumulative ack in a [`SmtSack`]:
+/// `[start, end)` in stream-offset space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SackRange {
+    /// First byte of the received block.
+    pub start: u64,
+    /// One past the last byte of the received block.
+    pub end: u64,
+}
+
+/// SACK control packet for the stream transports: carries the cumulative ack,
+/// up to [`SmtSack::MAX_RANGES`] received byte ranges above it (from the
+/// receiver's reorder buffer), and the DCTCP ECN echo — how many of the data
+/// packets seen since the last SACK carried a CE mark.
+///
+/// The decoder *validates* rather than trusts: the range count is bounded,
+/// every range must be non-empty, strictly above the cumulative ack, and
+/// strictly increasing.  A mutated SACK therefore either fails to decode or
+/// describes a well-formed (hence bounded) receive state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmtSack {
+    /// Cumulative acknowledgement: every stream byte below this offset has
+    /// been received in order.
+    pub ack_offset: u64,
+    /// Data packets carrying an ECN CE mark seen since the last SACK.
+    pub ecn_ce: u16,
+    /// Total data packets seen since the last SACK (denominator of the
+    /// DCTCP mark fraction; `ecn_ce <= ecn_total` after validation).
+    pub ecn_total: u16,
+    /// Received blocks above `ack_offset`, ascending and non-overlapping.
+    pub ranges: Vec<SackRange>,
+}
+
 const GRANT_LEN: usize = 8 + 4 + 1;
 const RESEND_LEN: usize = 8 + 4 + 4 + 1;
 const ACK_LEN: usize = 8;
@@ -119,6 +156,106 @@ macro_rules! check_len {
             });
         }
     };
+}
+
+impl SmtSack {
+    /// Maximum number of SACK ranges carried per frame (mirrors TCP's
+    /// options-space limit and bounds decoder allocation).
+    pub const MAX_RANGES: usize = 4;
+
+    /// Encoded length of the fixed part (before the ranges).
+    pub const FIXED_LEN: usize = 8 + 2 + 2 + 1;
+
+    /// Encoded length of this frame in bytes.
+    pub fn wire_len(&self) -> usize {
+        Self::FIXED_LEN + self.ranges.len() * 16
+    }
+
+    /// Validates the frame's invariants (used by both encode and decode so a
+    /// locally-built frame cannot emit what the decoder would reject).
+    fn validate(&self) -> WireResult<()> {
+        if self.ranges.len() > Self::MAX_RANGES {
+            return Err(WireError::invalid(
+                "sack_ranges",
+                format!(
+                    "{} ranges exceeds max {}",
+                    self.ranges.len(),
+                    Self::MAX_RANGES
+                ),
+            ));
+        }
+        if self.ecn_ce > self.ecn_total {
+            return Err(WireError::invalid(
+                "ecn_ce",
+                format!("{} CE marks out of {} packets", self.ecn_ce, self.ecn_total),
+            ));
+        }
+        let mut floor = self.ack_offset;
+        for r in &self.ranges {
+            if r.start < floor || r.end <= r.start {
+                return Err(WireError::invalid(
+                    "sack_range",
+                    format!(
+                        "range [{}, {}) below floor {floor} or empty",
+                        r.start, r.end
+                    ),
+                ));
+            }
+            floor = r.end;
+        }
+        Ok(())
+    }
+
+    /// Encodes into `out`, returning the bytes written.
+    pub fn encode(&self, out: &mut [u8]) -> WireResult<usize> {
+        self.validate()?;
+        let need = self.wire_len();
+        check_space!(out, need);
+        out[0..8].copy_from_slice(&self.ack_offset.to_be_bytes());
+        out[8..10].copy_from_slice(&self.ecn_ce.to_be_bytes());
+        out[10..12].copy_from_slice(&self.ecn_total.to_be_bytes());
+        out[12] = self.ranges.len() as u8;
+        let mut at = Self::FIXED_LEN;
+        for r in &self.ranges {
+            out[at..at + 8].copy_from_slice(&r.start.to_be_bytes());
+            out[at + 8..at + 16].copy_from_slice(&r.end.to_be_bytes());
+            at += 16;
+        }
+        Ok(at)
+    }
+
+    /// Decodes from `buf`, returning the value and bytes consumed.  Rejects
+    /// over-long range counts, empty or overlapping ranges, ranges at or
+    /// below the cumulative ack, and an ECN numerator above its denominator.
+    pub fn decode(buf: &[u8]) -> WireResult<(Self, usize)> {
+        check_len!(buf, Self::FIXED_LEN);
+        let count = buf[12] as usize;
+        if count > Self::MAX_RANGES {
+            return Err(WireError::invalid(
+                "sack_ranges",
+                format!("{count} ranges exceeds max {}", Self::MAX_RANGES),
+            ));
+        }
+        let need = Self::FIXED_LEN + count * 16;
+        check_len!(buf, need);
+        let mut ranges = Vec::with_capacity(count);
+        let mut at = Self::FIXED_LEN;
+        for _ in 0..count {
+            ranges.push(SackRange {
+                start: u64::from_be_bytes(buf[at..at + 8].try_into().unwrap()),
+                end: u64::from_be_bytes(buf[at + 8..at + 16].try_into().unwrap()),
+            });
+            at += 16;
+        }
+        let sack = Self {
+            ack_offset: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+            ecn_ce: u16::from_be_bytes(buf[8..10].try_into().unwrap()),
+            ecn_total: u16::from_be_bytes(buf[10..12].try_into().unwrap()),
+            ranges,
+        };
+        sack.validate()?;
+        Ok((sack, at))
+    }
 }
 
 impl HomaGrant {
@@ -236,6 +373,7 @@ mod tests {
             PacketType::Ack,
             PacketType::Busy,
             PacketType::Control,
+            PacketType::Sack,
         ] {
             assert_eq!(PacketType::from_u8(t as u8).unwrap(), t);
         }
@@ -292,10 +430,101 @@ mod tests {
     }
 
     #[test]
+    fn sack_roundtrip() {
+        let s = SmtSack {
+            ack_offset: 100_000,
+            ecn_ce: 3,
+            ecn_total: 17,
+            ranges: vec![
+                SackRange {
+                    start: 101_448,
+                    end: 104_344,
+                },
+                SackRange {
+                    start: 110_000,
+                    end: 111_448,
+                },
+            ],
+        };
+        let mut buf = [0u8; 128];
+        let n = s.encode(&mut buf).unwrap();
+        assert_eq!(n, s.wire_len());
+        let (d, m) = SmtSack::decode(&buf).unwrap();
+        assert_eq!((d, m), (s, n));
+    }
+
+    #[test]
+    fn sack_empty_ranges_ok() {
+        let s = SmtSack {
+            ack_offset: 0,
+            ecn_ce: 0,
+            ecn_total: 0,
+            ranges: Vec::new(),
+        };
+        let mut buf = [0u8; 32];
+        let n = s.encode(&mut buf).unwrap();
+        assert_eq!(n, SmtSack::FIXED_LEN);
+        assert_eq!(SmtSack::decode(&buf).unwrap().0, s);
+    }
+
+    #[test]
+    fn sack_malformed_rejected() {
+        let good = SmtSack {
+            ack_offset: 1000,
+            ecn_ce: 0,
+            ecn_total: 1,
+            ranges: vec![SackRange {
+                start: 2000,
+                end: 3000,
+            }],
+        };
+        let mut buf = [0u8; 128];
+        good.encode(&mut buf).unwrap();
+
+        // Range count above the bound.
+        let mut bad = buf;
+        bad[12] = (SmtSack::MAX_RANGES + 1) as u8;
+        assert!(SmtSack::decode(&bad).is_err());
+
+        // Empty range (end == start).
+        let mut bad = buf;
+        bad[SmtSack::FIXED_LEN + 8..SmtSack::FIXED_LEN + 16]
+            .copy_from_slice(&2000u64.to_be_bytes());
+        assert!(SmtSack::decode(&bad).is_err());
+
+        // Range at or below the cumulative ack.
+        let mut bad = buf;
+        bad[SmtSack::FIXED_LEN..SmtSack::FIXED_LEN + 8].copy_from_slice(&500u64.to_be_bytes());
+        assert!(SmtSack::decode(&bad).is_err());
+
+        // CE count above the packet total.
+        let mut bad = buf;
+        bad[8..10].copy_from_slice(&9u16.to_be_bytes());
+        assert!(SmtSack::decode(&bad).is_err());
+
+        // Overlapping / non-ascending ranges never encode in the first place.
+        let bad_frame = SmtSack {
+            ack_offset: 0,
+            ecn_ce: 0,
+            ecn_total: 0,
+            ranges: vec![
+                SackRange { start: 10, end: 30 },
+                SackRange { start: 20, end: 40 },
+            ],
+        };
+        assert!(bad_frame.encode(&mut buf).is_err());
+    }
+
+    #[test]
     fn truncation_rejected() {
         assert!(HomaGrant::decode(&[0u8; 4]).is_err());
         assert!(HomaResend::decode(&[0u8; 4]).is_err());
         assert!(HomaAck::decode(&[0u8; 4]).is_err());
+        assert!(SmtSack::decode(&[0u8; 4]).is_err());
+        // Fixed part declaring ranges the buffer does not contain.
+        let mut short = [0u8; SmtSack::FIXED_LEN];
+        short[12] = 2;
+        assert!(SmtSack::decode(&short).is_err());
         let g = HomaGrant {
             message_id: 1,
             granted_offset: 2,

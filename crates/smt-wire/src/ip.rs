@@ -22,6 +22,10 @@ pub struct Ipv4Header {
     pub ttl: u8,
     /// Transport protocol number (e.g. [`crate::IPPROTO_SMT`]).
     pub protocol: u8,
+    /// ECN codepoint (RFC 3168, low two bits of the DSCP/ECN byte):
+    /// [`Ipv4Header::ECN_ECT0`] on ECN-capable data, [`Ipv4Header::ECN_CE`]
+    /// once a congested queue has marked the packet.
+    pub ecn: u8,
     /// Source address.
     pub src: [u8; 4],
     /// Destination address.
@@ -29,6 +33,13 @@ pub struct Ipv4Header {
 }
 
 impl Ipv4Header {
+    /// ECN codepoint: not ECN-capable transport.
+    pub const ECN_NOT_ECT: u8 = 0b00;
+    /// ECN codepoint: ECN-capable transport, ECT(0).
+    pub const ECN_ECT0: u8 = 0b10;
+    /// ECN codepoint: congestion experienced (set by a marking queue).
+    pub const ECN_CE: u8 = 0b11;
+
     /// Creates a header with sensible defaults (TTL 64).
     pub fn new(src: [u8; 4], dst: [u8; 4], protocol: u8, total_length: u16) -> Self {
         Self {
@@ -36,9 +47,21 @@ impl Ipv4Header {
             identification: 0,
             ttl: 64,
             protocol,
+            ecn: Self::ECN_NOT_ECT,
             src,
             dst,
         }
+    }
+
+    /// True once a congested queue has marked this packet.
+    pub fn is_ce_marked(&self) -> bool {
+        self.ecn == Self::ECN_CE
+    }
+
+    /// True if the sender declared the packet ECN-capable (a queue may mark
+    /// it instead of dropping it).
+    pub fn is_ecn_capable(&self) -> bool {
+        self.ecn == Self::ECN_ECT0 || self.ecn == Self::ECN_CE
     }
 
     /// Encoded length in bytes (no options are supported).
@@ -60,7 +83,7 @@ impl Ipv4Header {
 
     fn encode_raw(&self, out: &mut [u8], checksum: u16) {
         out[0] = 0x45; // version 4, IHL 5
-        out[1] = 0; // DSCP/ECN
+        out[1] = self.ecn & 0b11; // DSCP zero, ECN codepoint in the low bits
         out[2..4].copy_from_slice(&self.total_length.to_be_bytes());
         out[4..6].copy_from_slice(&self.identification.to_be_bytes());
         out[6..8].copy_from_slice(&0u16.to_be_bytes()); // flags/fragment offset
@@ -105,6 +128,7 @@ impl Ipv4Header {
             identification: u16::from_be_bytes([buf[4], buf[5]]),
             ttl: buf[8],
             protocol: buf[9],
+            ecn: buf[1] & 0b11,
             src: [buf[12], buf[13], buf[14], buf[15]],
             dst: [buf[16], buf[17], buf[18], buf[19]],
         };
@@ -222,6 +246,42 @@ impl IpHeader {
         match self {
             IpHeader::V4(h) => Some(h.identification),
             IpHeader::V6(_) => None,
+        }
+    }
+
+    /// True once a congested queue has CE-marked this packet (IPv4 only; the
+    /// substrate's IPv6 path does not model ECN).
+    pub fn is_ce_marked(&self) -> bool {
+        match self {
+            IpHeader::V4(h) => h.is_ce_marked(),
+            IpHeader::V6(_) => false,
+        }
+    }
+
+    /// True if the sender declared the packet ECN-capable.
+    pub fn is_ecn_capable(&self) -> bool {
+        match self {
+            IpHeader::V4(h) => h.is_ecn_capable(),
+            IpHeader::V6(_) => false,
+        }
+    }
+
+    /// Declares the packet ECN-capable (ECT(0)); what a cc-enabled sender
+    /// stamps on egress data.
+    pub fn set_ecn_capable(&mut self) {
+        if let IpHeader::V4(h) = self {
+            h.ecn = Ipv4Header::ECN_ECT0;
+        }
+    }
+
+    /// Marks congestion experienced — what a marking queue does to an
+    /// ECN-capable packet instead of dropping it.  No-op on packets that are
+    /// not ECN-capable (a non-cc sender must not see phantom marks).
+    pub fn mark_ce(&mut self) {
+        if let IpHeader::V4(h) = self {
+            if h.is_ecn_capable() {
+                h.ecn = Ipv4Header::ECN_CE;
+            }
         }
     }
 
@@ -352,6 +412,27 @@ mod tests {
             IpHeader::decode(&[0x70; 40]),
             Err(WireError::UnsupportedIpVersion(7))
         ));
+    }
+
+    #[test]
+    fn ecn_roundtrips_and_marks() {
+        let mut h = Ipv4Header::new([10, 0, 0, 1], [10, 0, 0, 2], IPPROTO_SMT, 1500);
+        h.ecn = Ipv4Header::ECN_ECT0;
+        let mut buf = [0u8; 64];
+        h.encode(&mut buf).unwrap();
+        let (decoded, _) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(decoded.ecn, Ipv4Header::ECN_ECT0);
+        assert!(decoded.is_ecn_capable());
+        assert!(!decoded.is_ce_marked());
+
+        // A marking queue upgrades ECT(0) to CE ...
+        let mut ip = IpHeader::V4(decoded);
+        ip.mark_ce();
+        assert!(ip.is_ce_marked());
+        // ... but never invents a mark on non-ECT traffic.
+        let mut plain = IpHeader::V4(Ipv4Header::new([1; 4], [2; 4], IPPROTO_SMT, 40));
+        plain.mark_ce();
+        assert!(!plain.is_ce_marked());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod tls_record;
 pub use constants::*;
 pub use error::WireError;
 pub use framing::FramingHeader;
-pub use homa::{HomaAck, HomaBusy, HomaGrant, HomaResend, PacketType};
+pub use homa::{HomaAck, HomaBusy, HomaGrant, HomaResend, PacketType, SackRange, SmtSack};
 pub use ip::{IpHeader, Ipv4Header, Ipv6Header};
 pub use message::{MessageHeader, MESSAGE_HEADER_LEN};
 pub use overlay::{OverlayTcpHeader, SmtOptionArea, SmtOverlayHeader, SMT_OVERLAY_LEN};

@@ -65,6 +65,11 @@ pub struct SmtOptionArea {
     /// key-update so the receiver knows which traffic keys to apply
     /// (an old-epoch drain window tolerates reordering across a rekey).
     pub epoch: u16,
+    /// Network priority of this segment (Homa-style SRPT: the receiver's
+    /// GRANT tells the sender which priority to stamp; 0 = highest, used for
+    /// unscheduled data and control).  Carried in the first former-padding
+    /// byte of the option area so TSO replicates it per segment.
+    pub priority: u8,
 }
 
 impl SmtOptionArea {
@@ -72,6 +77,10 @@ impl SmtOptionArea {
     pub const FLAG_RETRANSMISSION: u16 = 0x0004;
     /// Flag bit: the sender disabled TSO for this segment (Fig. 11 mode).
     pub const FLAG_NO_TSO: u16 = 0x0002;
+    /// Flag bit: the sender runs congestion control and understands ECN
+    /// marks (the segment is sent ECN-capable; queues may mark instead of
+    /// dropping).
+    pub const FLAG_ECN_CAPABLE: u16 = 0x0008;
 
     /// Creates an option area for the first segment of a fresh message.
     pub fn new(message_id: u64, message_length: u32) -> Self {
@@ -86,6 +95,7 @@ impl SmtOptionArea {
             reserved: 0,
             connection_id: 0,
             epoch: 0,
+            priority: 0,
         }
     }
 
@@ -181,8 +191,9 @@ impl SmtOverlayHeader {
         o[24..28].copy_from_slice(&self.options.reserved.to_be_bytes());
         o[28..32].copy_from_slice(&self.options.connection_id.to_be_bytes());
         o[32..34].copy_from_slice(&self.options.epoch.to_be_bytes());
+        o[34] = self.options.priority;
         // Padding to keep the area 4-byte aligned.
-        o[34..36].fill(0);
+        o[35] = 0;
         Ok(SMT_OVERLAY_LEN)
     }
 
@@ -215,6 +226,7 @@ impl SmtOverlayHeader {
             reserved: u32::from_be_bytes(o[24..28].try_into().unwrap()),
             connection_id: u32::from_be_bytes(o[28..32].try_into().unwrap()),
             epoch: u16::from_be_bytes(o[32..34].try_into().unwrap()),
+            priority: o[34],
         };
         let hdr = Self {
             tcp: OverlayTcpHeader {
@@ -241,6 +253,7 @@ mod tests {
         h.options.flags = SmtOptionArea::FLAG_RETRANSMISSION;
         h.options.connection_id = 0xdead_beef;
         h.options.epoch = 7;
+        h.options.priority = 5;
         h
     }
 

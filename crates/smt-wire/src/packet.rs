@@ -7,7 +7,7 @@
 //! packets, replicating the overlay header and incrementing the IPID on each
 //! generated packet (paper §2.2, §4.3).
 
-use crate::homa::{HomaAck, HomaBusy, HomaGrant, HomaResend};
+use crate::homa::{HomaAck, HomaBusy, HomaGrant, HomaResend, SmtSack};
 use crate::ip::{IpHeader, Ipv4Header};
 use crate::overlay::{SmtOptionArea, SmtOverlayHeader};
 use crate::{PacketType, WireError, WireResult, IPV4_HEADER_LEN};
@@ -28,6 +28,8 @@ pub enum PacketPayload {
     Ack(HomaAck),
     /// BUSY control packet.
     Busy(HomaBusy),
+    /// SACK control packet (stream transports: selective ack + ECN echo).
+    Sack(SmtSack),
 }
 
 impl PacketPayload {
@@ -39,6 +41,7 @@ impl PacketPayload {
             PacketPayload::Resend(_) => HomaResend::LEN,
             PacketPayload::Ack(_) => HomaAck::LEN,
             PacketPayload::Busy(_) => HomaBusy::LEN,
+            PacketPayload::Sack(s) => s.wire_len(),
         }
     }
 
@@ -98,6 +101,7 @@ impl Packet {
             PacketPayload::Resend(r) => at += r.encode(&mut out[at..])?,
             PacketPayload::Ack(a) => at += a.encode(&mut out[at..])?,
             PacketPayload::Busy(b) => at += b.encode(&mut out[at..])?,
+            PacketPayload::Sack(s) => at += s.encode(&mut out[at..])?,
         }
         Ok(at)
     }
@@ -129,6 +133,10 @@ impl Packet {
             PacketType::Busy => {
                 let (b, n) = HomaBusy::decode(rest)?;
                 (PacketPayload::Busy(b), n)
+            }
+            PacketType::Sack => {
+                let (s, n) = SmtSack::decode(rest)?;
+                (PacketPayload::Sack(s), n)
             }
         };
         Ok((

@@ -50,6 +50,64 @@ pub enum BlockRequest {
     },
 }
 
+/// Size of the encoded command capsule for reads and of the response header —
+/// the NVMe-oF command capsule is 64 bytes and the response carries a 16-byte
+/// completion header ahead of the block data (`read_rpc_sizes` reflects both).
+pub const CAPSULE_BYTES: usize = 64;
+/// Response header bytes ahead of the block payload.
+pub const RESPONSE_HEADER_BYTES: usize = 16;
+
+impl BlockRequest {
+    /// Serializes the request as a wire capsule.  Reads encode as a fixed
+    /// 64-byte command capsule (tag + LBA, zero padded); writes append the
+    /// length-prefixed block payload after the capsule.
+    pub fn encode(&self, payload: Option<&[u8]>) -> Vec<u8> {
+        let mut out = vec![0u8; CAPSULE_BYTES];
+        match self {
+            BlockRequest::Read { lba } => {
+                out[0] = 1;
+                out[1..9].copy_from_slice(&lba.to_be_bytes());
+            }
+            BlockRequest::Write { lba } => {
+                out[0] = 2;
+                out[1..9].copy_from_slice(&lba.to_be_bytes());
+                let data = payload.unwrap_or_default();
+                out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+                out.extend_from_slice(data);
+            }
+        }
+        out
+    }
+
+    /// Parses a wire capsule, returning the request and any write payload.
+    pub fn decode(buf: &[u8]) -> Option<(BlockRequest, Option<Vec<u8>>)> {
+        if buf.len() < CAPSULE_BYTES {
+            return None;
+        }
+        let lba = u64::from_be_bytes(buf[1..9].try_into().ok()?);
+        match buf[0] {
+            1 => Some((BlockRequest::Read { lba }, None)),
+            2 => {
+                let rest = &buf[CAPSULE_BYTES..];
+                let n = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+                let data = rest.get(4..4 + n)?.to_vec();
+                Some((BlockRequest::Write { lba }, Some(data)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds a read-completion response: 16-byte header (status + LBA) then
+    /// the block data.
+    pub fn encode_response(lba: u64, status: u8, data: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; RESPONSE_HEADER_BYTES];
+        out[0] = status;
+        out[1..9].copy_from_slice(&lba.to_be_bytes());
+        out.extend_from_slice(data);
+        out
+    }
+}
+
 /// The simulated remote block device.
 #[derive(Debug)]
 pub struct BlockStore {
@@ -97,6 +155,26 @@ impl BlockStore {
                 self.written.insert(*lba, data);
                 (Vec::new(), self.config.write_latency_ns)
             }
+        }
+    }
+
+    /// Handles an encoded request capsule, producing the encoded response and
+    /// the simulated device latency in nanoseconds.  Malformed capsules get a
+    /// header-only error response (status 0xFF) with zero device time — the
+    /// target rejects them before any media access.
+    pub fn handle_wire(&mut self, request: &[u8]) -> (Vec<u8>, u64) {
+        match BlockRequest::decode(request) {
+            Some((req, payload)) => {
+                let lba = match req {
+                    BlockRequest::Read { lba } | BlockRequest::Write { lba } => lba,
+                };
+                if lba >= self.config.blocks {
+                    return (BlockRequest::encode_response(lba, 0xFE, &[]), 0);
+                }
+                let (data, latency) = self.execute(&req, payload.as_deref());
+                (BlockRequest::encode_response(lba, 0, &data), latency)
+            }
+            None => (BlockRequest::encode_response(0, 0xFF, &[]), 0),
         }
     }
 
@@ -169,6 +247,39 @@ mod tests {
             }
         }
         assert_eq!(a.iodepth, 4);
+    }
+
+    #[test]
+    fn wire_codec_roundtrip_and_sizes() {
+        let read = BlockRequest::Read { lba: 77 };
+        let wire = read.encode(None);
+        assert_eq!(wire.len(), CAPSULE_BYTES);
+        assert_eq!(BlockRequest::decode(&wire).unwrap(), (read, None));
+
+        let block = vec![0xABu8; 4096];
+        let write = BlockRequest::Write { lba: 9 };
+        let wire = write.encode(Some(&block));
+        let (req, payload) = BlockRequest::decode(&wire).unwrap();
+        assert_eq!(req, write);
+        assert_eq!(payload.unwrap(), block);
+    }
+
+    #[test]
+    fn handle_wire_serves_reads_and_rejects_garbage() {
+        let mut store = BlockStore::new(BlockStoreConfig::default());
+        let (resp, lat) = store.handle_wire(&BlockRequest::Read { lba: 5 }.encode(None));
+        assert_eq!(resp.len(), 4096 + RESPONSE_HEADER_BYTES);
+        assert_eq!(resp[0], 0);
+        assert_eq!(lat, 80_000);
+
+        let (resp, lat) = store.handle_wire(&[0xFFu8; 80]);
+        assert_eq!(resp[0], 0xFF);
+        assert_eq!(lat, 0);
+        // Out-of-range LBA is rejected before the media.
+        let (resp, lat) = store.handle_wire(&BlockRequest::Read { lba: u64::MAX }.encode(None));
+        assert_eq!(resp[0], 0xFE);
+        assert_eq!(lat, 0);
+        assert_eq!(store.reads, 1);
     }
 
     #[test]

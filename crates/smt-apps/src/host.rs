@@ -1,0 +1,313 @@
+//! Clocked application hosts for the discrete-event scenario runner.
+//!
+//! Each host implements [`ScenarioApp`], pairing a real application server
+//! (echo, [`KvStore`], [`BlockStore`]) with a closed-loop client generator:
+//! the server end decodes each delivered request, executes it, and returns an
+//! [`AppReply`] whose `compute_ns` occupies the endpoint's application core
+//! and whose `fixed_ns` models pure device time (the simulated SSD); the
+//! client end issues the next request of the workload when a reply lands,
+//! keeping a fixed number of operations in flight per flow — exactly how the
+//! paper's Fig. 6–9 experiments drive the real stacks.
+
+use crate::blockstore::{BlockStore, BlockStoreConfig, FioGenerator};
+use crate::kv::KvStore;
+use crate::ycsb::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+use smt_sim::net::{AppReply, ScenarioApp};
+use smt_sim::Nanos;
+
+/// Closed-loop echo RPC host (Figs. 6 and 7): the server returns a
+/// fixed-size response after an optional compute/device delay, the client
+/// issues the next request as soon as a reply lands.
+#[derive(Debug)]
+pub struct RpcApp {
+    request_bytes: usize,
+    response_bytes: usize,
+    compute_ns: Nanos,
+    fixed_ns: Nanos,
+    remaining: Vec<u64>,
+    /// Replies observed at client ends (completed operations).
+    pub ops_completed: u64,
+}
+
+impl RpcApp {
+    /// An echo host over `flows` flows: each flow issues `ops_per_flow`
+    /// closed-loop follow-up requests after its scheduled seeds.
+    pub fn new(
+        flows: usize,
+        request_bytes: usize,
+        response_bytes: usize,
+        ops_per_flow: u64,
+    ) -> Self {
+        Self {
+            request_bytes: request_bytes.max(1),
+            response_bytes: response_bytes.max(1),
+            compute_ns: 0,
+            fixed_ns: 0,
+            remaining: vec![ops_per_flow; flows],
+            ops_completed: 0,
+        }
+    }
+
+    /// Adds a server-side cost to every reply: `compute_ns` of application
+    /// CPU plus `fixed_ns` of CPU-free device latency.
+    pub fn with_server_cost(mut self, compute_ns: Nanos, fixed_ns: Nanos) -> Self {
+        self.compute_ns = compute_ns;
+        self.fixed_ns = fixed_ns;
+        self
+    }
+
+    fn request(&self) -> Vec<u8> {
+        vec![0x5A; self.request_bytes]
+    }
+}
+
+impl ScenarioApp for RpcApp {
+    fn on_request(
+        &mut self,
+        _flow: usize,
+        _id: u64,
+        _request: &[u8],
+        _now: Nanos,
+    ) -> Option<AppReply> {
+        Some(AppReply {
+            data: vec![0xA5; self.response_bytes],
+            compute_ns: self.compute_ns,
+            fixed_ns: self.fixed_ns,
+        })
+    }
+
+    fn on_reply(&mut self, flow: usize, _id: u64, _reply: &[u8], _now: Nanos) -> Option<Vec<u8>> {
+        self.ops_completed += 1;
+        let left = self.remaining.get_mut(flow)?;
+        if *left == 0 {
+            return None;
+        }
+        *left -= 1;
+        Some(self.request())
+    }
+
+    fn initial_request(&mut self, _flow: usize, _size: usize, _now: Nanos) -> Option<Vec<u8>> {
+        Some(self.request())
+    }
+}
+
+/// KV/YCSB host (Fig. 8): one shared [`KvStore`] serves every flow; each flow
+/// has its own seeded [`YcsbGenerator`] issuing the workload's operation mix
+/// closed-loop.  Server compute scales with the response size via
+/// [`KvStore::compute_cost_ns`].
+#[derive(Debug)]
+pub struct KvHost {
+    store: KvStore,
+    clients: Vec<YcsbGenerator>,
+    remaining: Vec<u64>,
+    /// Replies observed at client ends (completed operations).
+    pub ops_completed: u64,
+}
+
+impl KvHost {
+    /// Builds a host with a pre-loaded store and one generator per flow
+    /// (flow `f` seeds from `config.seed + f` so flows draw independent
+    /// streams).
+    pub fn new(
+        workload: YcsbWorkload,
+        config: YcsbConfig,
+        flows: usize,
+        ops_per_flow: u64,
+    ) -> Self {
+        let mut store = KvStore::new();
+        store.load(config.record_count, config.value_size);
+        let clients = (0..flows)
+            .map(|f| {
+                YcsbGenerator::new(
+                    workload,
+                    YcsbConfig {
+                        seed: config.seed.wrapping_add(f as u64),
+                        ..config
+                    },
+                )
+            })
+            .collect();
+        Self {
+            store,
+            clients,
+            remaining: vec![ops_per_flow; flows],
+            ops_completed: 0,
+        }
+    }
+
+    /// Operations the store has served.
+    pub fn server_operations(&self) -> u64 {
+        self.store.operations
+    }
+
+    fn next_request(&mut self, flow: usize) -> Option<Vec<u8>> {
+        Some(self.clients.get_mut(flow)?.next_op().request.encode())
+    }
+}
+
+impl ScenarioApp for KvHost {
+    fn on_request(
+        &mut self,
+        _flow: usize,
+        _id: u64,
+        request: &[u8],
+        _now: Nanos,
+    ) -> Option<AppReply> {
+        let data = self.store.handle_wire(request);
+        let compute_ns = KvStore::compute_cost_ns(data.len());
+        Some(AppReply {
+            data,
+            compute_ns,
+            fixed_ns: 0,
+        })
+    }
+
+    fn on_reply(&mut self, flow: usize, _id: u64, _reply: &[u8], _now: Nanos) -> Option<Vec<u8>> {
+        self.ops_completed += 1;
+        let left = self.remaining.get_mut(flow)?;
+        if *left == 0 {
+            return None;
+        }
+        *left -= 1;
+        self.next_request(flow)
+    }
+
+    fn initial_request(&mut self, flow: usize, _size: usize, _now: Nanos) -> Option<Vec<u8>> {
+        self.next_request(flow)
+    }
+}
+
+/// Software compute the NVMe-oF target burns per command on the host CPU
+/// (capsule parsing, block-layer submission, completion) — distinct from the
+/// media latency, which occupies no core.
+pub const BLOCK_TARGET_COMPUTE_NS: Nanos = 2_500;
+
+/// Blockstore host (Fig. 9): a shared [`BlockStore`] behind every flow, with
+/// one FIO-style random-read generator per flow.  Device latency rides in
+/// `fixed_ns` (no CPU), target software in `compute_ns`.
+#[derive(Debug)]
+pub struct BlockHost {
+    store: BlockStore,
+    clients: Vec<FioGenerator>,
+    remaining: Vec<u64>,
+    /// Replies observed at client ends (completed operations).
+    pub ops_completed: u64,
+}
+
+impl BlockHost {
+    /// Builds a host over `flows` flows; each generator draws from the full
+    /// device with its own seed.
+    pub fn new(config: BlockStoreConfig, flows: usize, ops_per_flow: u64, seed: u64) -> Self {
+        let blocks = config.blocks;
+        Self {
+            store: BlockStore::new(config),
+            clients: (0..flows)
+                .map(|f| FioGenerator::new(blocks, 1, seed.wrapping_add(f as u64)))
+                .collect(),
+            remaining: vec![ops_per_flow; flows],
+            ops_completed: 0,
+        }
+    }
+
+    /// Reads the device has served.
+    pub fn reads(&self) -> u64 {
+        self.store.reads
+    }
+
+    fn next_request(&mut self, flow: usize) -> Option<Vec<u8>> {
+        Some(self.clients.get_mut(flow)?.next_read().encode(None))
+    }
+}
+
+impl ScenarioApp for BlockHost {
+    fn on_request(
+        &mut self,
+        _flow: usize,
+        _id: u64,
+        request: &[u8],
+        _now: Nanos,
+    ) -> Option<AppReply> {
+        let (data, device_ns) = self.store.handle_wire(request);
+        Some(AppReply {
+            data,
+            compute_ns: BLOCK_TARGET_COMPUTE_NS,
+            fixed_ns: device_ns,
+        })
+    }
+
+    fn on_reply(&mut self, flow: usize, _id: u64, _reply: &[u8], _now: Nanos) -> Option<Vec<u8>> {
+        self.ops_completed += 1;
+        let left = self.remaining.get_mut(flow)?;
+        if *left == 0 {
+            return None;
+        }
+        *left -= 1;
+        self.next_request(flow)
+    }
+
+    fn initial_request(&mut self, flow: usize, _size: usize, _now: Nanos) -> Option<Vec<u8>> {
+        self.next_request(flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvResponse;
+
+    #[test]
+    fn rpc_app_replies_and_closed_loops() {
+        let mut app = RpcApp::new(2, 128, 4096, 3).with_server_cost(1_000, 5_000);
+        let reply = app.on_request(0, 1, &[0; 128], 0).unwrap();
+        assert_eq!(reply.data.len(), 4096);
+        assert_eq!(reply.compute_ns, 1_000);
+        assert_eq!(reply.fixed_ns, 5_000);
+        for i in 0..3 {
+            let next = app.on_reply(1, i, &reply.data, 0);
+            assert_eq!(next.unwrap().len(), 128);
+        }
+        assert!(app.on_reply(1, 9, &reply.data, 0).is_none());
+        assert_eq!(app.ops_completed, 4);
+        // Flow 0's budget is untouched.
+        assert!(app.on_reply(0, 10, &reply.data, 0).is_some());
+    }
+
+    #[test]
+    fn kv_host_serves_generated_requests() {
+        let config = YcsbConfig {
+            record_count: 500,
+            value_size: 256,
+            ..YcsbConfig::default()
+        };
+        let mut host = KvHost::new(YcsbWorkload::B, config, 1, 10);
+        let mut req = host.initial_request(0, 0, 0).unwrap();
+        let mut served = 0;
+        loop {
+            let reply = host.on_request(0, served, &req, 0).unwrap();
+            assert!(reply.compute_ns >= 1_800);
+            assert!(KvResponse::decode(&reply.data).is_some());
+            served += 1;
+            match host.on_reply(0, served, &reply.data, 0) {
+                Some(next) => req = next,
+                None => break,
+            }
+        }
+        assert_eq!(served, 11);
+        assert_eq!(host.server_operations(), 11);
+    }
+
+    #[test]
+    fn block_host_charges_device_latency() {
+        let mut host = BlockHost::new(BlockStoreConfig::default(), 1, 5, 7);
+        let req = host.initial_request(0, 0, 0).unwrap();
+        let reply = host.on_request(0, 0, &req, 0).unwrap();
+        assert_eq!(reply.fixed_ns, 80_000);
+        assert_eq!(reply.compute_ns, BLOCK_TARGET_COMPUTE_NS);
+        assert_eq!(
+            reply.data.len(),
+            4096 + crate::blockstore::RESPONSE_HEADER_BYTES
+        );
+        assert_eq!(host.reads(), 1);
+        assert!(host.on_reply(0, 0, &reply.data, 0).is_some());
+    }
+}

@@ -20,11 +20,13 @@
 #![forbid(unsafe_code)]
 
 pub mod blockstore;
+pub mod host;
 pub mod kv;
 pub mod rpc;
 pub mod ycsb;
 
-pub use blockstore::{BlockStore, BlockStoreConfig, FioGenerator};
+pub use blockstore::{BlockRequest, BlockStore, BlockStoreConfig, FioGenerator};
+pub use host::{BlockHost, KvHost, RpcApp};
 pub use kv::{KvRequest, KvResponse, KvStore};
 pub use rpc::{EchoPair, EchoServer};
-pub use ycsb::{YcsbConfig, YcsbGenerator, YcsbOp, YcsbWorkload};
+pub use ycsb::{YcsbConfig, YcsbGenerator, YcsbOp, YcsbWorkload, ZipfianSampler};

@@ -106,27 +106,75 @@ pub struct YcsbOp {
     pub response_bytes: usize,
 }
 
+/// O(1) zipfian sampler after Gray et al., *Quickly Generating
+/// Billion-Record Synthetic Databases* (SIGMOD '94) — the same rejection-free
+/// transform YCSB-C uses.  Construction is O(n) (one harmonic sum); every
+/// sample after that is constant time, which is what makes the ~1M-op
+/// functional figure runs affordable.
+#[derive(Debug, Clone)]
+pub struct ZipfianSampler {
+    items: usize,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl ZipfianSampler {
+    /// Creates a sampler over `items` ranks with skew `theta` (YCSB: 0.99).
+    pub fn new(items: usize, theta: f64) -> Self {
+        let items = items.max(1);
+        let zetan: f64 = (1..=items).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            items,
+            theta,
+            zetan,
+            alpha,
+            eta,
+        }
+    }
+
+    /// Draws a rank in `0..items` (0 is the hottest).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        rank.min(self.items - 1)
+    }
+
+    /// Number of ranks the sampler draws from.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+}
+
 /// The YCSB operation generator.
 #[derive(Debug)]
 pub struct YcsbGenerator {
     workload: YcsbWorkload,
     config: YcsbConfig,
     rng: StdRng,
-    zipf_zeta: f64,
+    zipf: ZipfianSampler,
     inserted: usize,
 }
 
 impl YcsbGenerator {
     /// Creates a generator.
     pub fn new(workload: YcsbWorkload, config: YcsbConfig) -> Self {
-        let zipf_zeta = (1..=config.record_count)
-            .map(|i| 1.0 / (i as f64).powf(config.zipf_theta))
-            .sum();
         Self {
             workload,
             config,
             rng: StdRng::seed_from_u64(config.seed),
-            zipf_zeta,
+            zipf: ZipfianSampler::new(config.record_count, config.zipf_theta),
             inserted: 0,
         }
     }
@@ -137,16 +185,7 @@ impl YcsbGenerator {
     }
 
     fn zipfian_index(&mut self) -> usize {
-        // Inverse-CDF sampling over the precomputed zeta normaliser.
-        let u: f64 = self.rng.gen::<f64>() * self.zipf_zeta;
-        let mut acc = 0.0;
-        for i in 1..=self.config.record_count {
-            acc += 1.0 / (i as f64).powf(self.config.zipf_theta);
-            if acc >= u {
-                return i - 1;
-            }
-        }
-        self.config.record_count - 1
+        self.zipf.sample(&mut self.rng)
     }
 
     fn latest_index(&mut self) -> usize {
@@ -281,6 +320,23 @@ mod tests {
         }
         // The hottest 1 % of keys receive far more than 1 % of requests.
         assert!(hot as f64 / n as f64 > 0.05, "hot fraction {hot}/{n}");
+    }
+
+    #[test]
+    fn o1_sampler_matches_analytic_head_frequency() {
+        let items = 10_000usize;
+        let theta = 0.99;
+        let sampler = ZipfianSampler::new(items, theta);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40_000;
+        let rank0 = (0..n).filter(|_| sampler.sample(&mut rng) == 0).count();
+        let zetan: f64 = (1..=items).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let expected = n as f64 / zetan;
+        let got = rank0 as f64;
+        assert!(
+            got > expected * 0.8 && got < expected * 1.2,
+            "rank-0 hits {got} vs analytic {expected}"
+        );
     }
 
     #[test]

@@ -1,8 +1,15 @@
-//! Regenerates Fig. 6: unloaded RTT vs RPC size for all six stacks.
+//! Regenerates Fig. 6: unloaded RTT vs RPC size — the analytic model sweep,
+//! then the same figure measured functionally (real echo RPCs through the
+//! endpoint API over the simulated fabric) cross-checked against the analytic
+//! band in process.  `--analytic-only` skips the functional section;
+//! `--large` appends the §5.1 500 KB offload points.
+use smt_bench::functional::{assert_rows, fig6_functional, fig_table, FigScale, FIG_TABLE_HEADER};
+use smt_bench::scenarios::scenario_keys;
 use smt_bench::{fig6_unloaded_rtt, output};
 
 fn main() {
     let large = std::env::args().any(|a| a == "--large");
+    let analytic_only = std::env::args().any(|a| a == "--analytic-only");
     let mtu = 1500;
     let mut rows = fig6_unloaded_rtt(mtu);
     if large {
@@ -29,5 +36,17 @@ fn main() {
         "Fig. 6: unloaded RTT (us)",
         &["stack", "RPC size (B)", "RTT (us)"],
         &table,
+    );
+
+    if analytic_only {
+        return;
+    }
+    let keys = scenario_keys();
+    let functional = fig6_functional(&FigScale::smoke(), &keys);
+    assert_rows(&functional);
+    output::print_table(
+        "Fig. 6 (functional): measured on the real datapath vs analytic band",
+        &FIG_TABLE_HEADER,
+        &fig_table(&functional),
     );
 }

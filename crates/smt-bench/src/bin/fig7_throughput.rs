@@ -1,4 +1,9 @@
-//! Regenerates Fig. 7: concurrent RPC throughput (plus the 9 KB-MTU variant).
+//! Regenerates Fig. 7: concurrent RPC throughput (plus the 9 KB-MTU variant),
+//! then the functional sweep — real closed-loop echo RPCs through the
+//! endpoint API over the simulated fabric — cross-checked against the
+//! analytic band in process.  `--analytic-only` skips the functional section.
+use smt_bench::functional::{assert_rows, fig7_functional, fig_table, FigScale, FIG_TABLE_HEADER};
+use smt_bench::scenarios::scenario_keys;
 use smt_bench::{fig7_throughput, output};
 
 fn main() {
@@ -7,6 +12,7 @@ fn main() {
     } else {
         1500
     };
+    let analytic_only = std::env::args().any(|a| a == "--analytic-only");
     let rows = fig7_throughput(mtu);
     if output::maybe_json(&rows) {
         return;
@@ -19,5 +25,17 @@ fn main() {
         &format!("Fig. 7: throughput (K RPC/s), MTU {mtu}"),
         &["stack-size", "concurrency", "K RPC/s"],
         &table,
+    );
+
+    if analytic_only {
+        return;
+    }
+    let keys = scenario_keys();
+    let functional = fig7_functional(&FigScale::smoke(), &keys);
+    assert_rows(&functional);
+    output::print_table(
+        "Fig. 7 (functional): measured on the real datapath vs analytic band",
+        &FIG_TABLE_HEADER,
+        &fig_table(&functional),
     );
 }

@@ -1,7 +1,14 @@
-//! Regenerates Fig. 8: KV-store throughput under YCSB A–E.
+//! Regenerates Fig. 8: KV-store throughput under YCSB A–E — the analytic
+//! workload model, then the functional run: the real [`smt_apps`] KV store
+//! serving generated YCSB mixes through the endpoint API over the simulated
+//! fabric, cross-checked against the analytic band in process.
+//! `--analytic-only` skips the functional section.
+use smt_bench::functional::{assert_rows, fig8_functional, fig_table, FigScale, FIG_TABLE_HEADER};
+use smt_bench::scenarios::scenario_keys;
 use smt_bench::{fig8_kv_ycsb, output};
 
 fn main() {
+    let analytic_only = std::env::args().any(|a| a == "--analytic-only");
     let rows = fig8_kv_ycsb(&[64, 1024, 4096]);
     if output::maybe_json(&rows) {
         return;
@@ -14,5 +21,17 @@ fn main() {
         "Fig. 8: KV store YCSB throughput (K ops/s)",
         &["stack-value", "workload", "K ops/s"],
         &table,
+    );
+
+    if analytic_only {
+        return;
+    }
+    let keys = scenario_keys();
+    let functional = fig8_functional(&FigScale::smoke(), &keys);
+    assert_rows(&functional);
+    output::print_table(
+        "Fig. 8 (functional): measured on the real datapath vs analytic band",
+        &FIG_TABLE_HEADER,
+        &fig_table(&functional),
     );
 }

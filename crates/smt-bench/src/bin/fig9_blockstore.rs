@@ -1,7 +1,14 @@
-//! Regenerates Fig. 9: remote block storage latency vs iodepth.
+//! Regenerates Fig. 9: remote block storage latency vs iodepth — the
+//! analytic model, then the functional run: the real [`smt_apps`] block
+//! store behind FIO-style random reads through the endpoint API over the
+//! simulated fabric, cross-checked against the analytic band in process.
+//! `--analytic-only` skips the functional section.
+use smt_bench::functional::{assert_rows, fig9_functional, fig_table, FigScale, FIG_TABLE_HEADER};
+use smt_bench::scenarios::scenario_keys;
 use smt_bench::{fig9_blockstore, output};
 
 fn main() {
+    let analytic_only = std::env::args().any(|a| a == "--analytic-only");
     let rows = fig9_blockstore();
     if output::maybe_json(&rows) {
         return;
@@ -14,5 +21,17 @@ fn main() {
         "Fig. 9: remote block store 4 KB random-read latency (us)",
         &["stack-percentile", "iodepth", "latency (us)"],
         &table,
+    );
+
+    if analytic_only {
+        return;
+    }
+    let keys = scenario_keys();
+    let functional = fig9_functional(&FigScale::smoke(), &keys);
+    assert_rows(&functional);
+    output::print_table(
+        "Fig. 9 (functional): measured on the real datapath vs analytic band",
+        &FIG_TABLE_HEADER,
+        &fig_table(&functional),
     );
 }

@@ -1,0 +1,88 @@
+//! Runs the functional figure pipeline — Figs. 6–9 + Table 2 on the real
+//! datapath — and emits `BENCH_figures.json`.
+//!
+//! ```text
+//! figures [--smoke] [--json] [--out <path>]
+//! ```
+//!
+//! * `--smoke` — the CI subset: every figure exercised end to end at small
+//!   scale.
+//! * `--json` — print the rows as JSON instead of tables.
+//! * `--out <path>` — where to write the bench-diff-compatible report
+//!   (default `BENCH_figures.json` in the current directory).
+//!
+//! Every row is asserted in process against its analytic cross-check band
+//! before anything is written; the emitted JSON gates regressions in CI via
+//! `bench_diff --max-regress`, like the scenario matrix.
+
+use smt_bench::functional::{bench_json, fig_table, run_figures, FIG_TABLE_HEADER};
+use smt_bench::output::{maybe_json, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_figures.json".to_string());
+
+    // `run_figures` asserts every cross-check band internally.
+    let figs = run_figures(smoke);
+
+    if !maybe_json(&figs) {
+        print_table(
+            if smoke {
+                "functional figures (smoke scale)"
+            } else {
+                "functional figures (full scale)"
+            },
+            &FIG_TABLE_HEADER,
+            &fig_table(&figs.rows),
+        );
+
+        let t2: Vec<Vec<String>> = figs
+            .table2
+            .ops
+            .iter()
+            .map(|(label, desc, us)| vec![label.clone(), desc.clone(), format!("{us:.1}")])
+            .collect();
+        print_table(
+            "Table 2 (functional, in-band SMT-sw cold handshake)",
+            &["op", "description", "us"],
+            &t2,
+        );
+
+        let setup: Vec<Vec<String>> = figs
+            .table2
+            .setup
+            .iter()
+            .map(|p| {
+                vec![
+                    p.stack.clone(),
+                    p.mode.to_string(),
+                    format!("{:.1}", p.ttfb_ns as f64 / 1e3),
+                    format!("{:.1}", p.hs_rtt_ns as f64 / 1e3),
+                    format!("{:.1}", p.crypto_us),
+                    p.resumed.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "connection setup (in-band, cold vs resumed vs derived)",
+            &[
+                "stack",
+                "mode",
+                "ttfb(us)",
+                "hs-rtt(us)",
+                "crypto(us)",
+                "resumed",
+            ],
+            &setup,
+        );
+    }
+
+    std::fs::write(&out_path, bench_json(&figs)).expect("write figures report");
+    eprintln!("wrote {out_path}");
+}

@@ -11,6 +11,7 @@
 pub mod chaos;
 pub mod churn;
 pub mod figures;
+pub mod functional;
 pub mod incast;
 pub mod output;
 pub mod scenarios;

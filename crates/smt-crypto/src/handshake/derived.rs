@@ -172,8 +172,17 @@ impl PathSecret {
         server_random: &[u8; 32],
         early_data_accepted: bool,
     ) -> SessionKeys {
+        // The derived handshake's only real crypto is this secret
+        // derivation; time it under the matching full-handshake op so
+        // Table 2 can report measured (not assumed-zero) derived phases.
+        let mut timings = super::timing::HandshakeTimings::new();
+        let op = if is_client {
+            super::timing::OpId::C2_3SecretDerive
+        } else {
+            super::timing::OpId::S2_6SecretDerive
+        };
         let (client_ap, server_ap, resumption) =
-            self.connection_secrets(client_random, server_random);
+            timings.time(op, || self.connection_secrets(client_random, server_random));
         let (send_secret, recv_secret) = if is_client {
             (client_ap, server_ap)
         } else {
@@ -191,7 +200,7 @@ impl PathSecret {
             early_data_accepted,
             resumed: true,
             forward_secret: false,
-            timings: super::timing::HandshakeTimings::new(),
+            timings,
             issued_ticket: None,
         }
     }

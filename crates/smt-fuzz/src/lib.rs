@@ -178,6 +178,7 @@ const TARGETS: &[Target] = &[
     ("record_open_batch", fuzz_record_open_batch),
     ("transport_listener_demux", fuzz_transport_listener_demux),
     ("cc_control_frames", fuzz_cc_control_frames),
+    ("apps_codec", fuzz_apps_codec),
 ];
 
 /// Names of every registered fuzz target.
@@ -1317,6 +1318,156 @@ fn fuzz_cc_control_frames(iters: u64, seed: u64) -> FuzzReport {
     }
 }
 
+/// Target 12 — the application wire codecs behind the figure pipeline: KV
+/// request/response framing ([`KvRequest`]/[`KvResponse`]) and the NVMe-oF
+/// command capsule ([`BlockRequest`]), fed straight into the long-lived
+/// servers (`KvStore::handle_wire`, `BlockStore::handle_wire`) exactly as a
+/// network peer would.  Contract: mutated framing never panics, the servers
+/// answer garbage with typed error responses, accepted requests round-trip
+/// canonically, and server state stays bounded by what was legitimately
+/// accepted (garbage never creates keys or blocks).
+fn fuzz_apps_codec(iters: u64, seed: u64) -> FuzzReport {
+    use smt_apps::blockstore::RESPONSE_HEADER_BYTES;
+    use smt_apps::{BlockRequest, BlockStore, BlockStoreConfig, KvRequest, KvResponse, KvStore};
+
+    let mut m = Mutator::new(seed);
+    let kv_records = 64usize;
+    let block_config = BlockStoreConfig {
+        blocks: 4_096,
+        block_size: 512,
+        ..BlockStoreConfig::default()
+    };
+    // Long-lived servers: state accumulated across iterations (written
+    // blocks, inserted keys) reaches deeper than a fresh store per input.
+    let mut kv = KvStore::new();
+    kv.load(kv_records, 100);
+    let mut blocks = BlockStore::new(block_config);
+    let mut puts_accepted = 0usize;
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for i in 0..iters {
+        // A structurally valid encoding per iteration; two thirds of the
+        // inputs are mutated copies or raw byte soup.
+        let base = match i % 4 {
+            0 => {
+                let key = format!("user{:08}", m.below(kv_records * 2));
+                match m.below(4) {
+                    0 => KvRequest::Get { key },
+                    1 => KvRequest::Put {
+                        key,
+                        value: m.arbitrary(256),
+                    },
+                    2 => KvRequest::Scan {
+                        start: key,
+                        count: m.below(64) as u32,
+                    },
+                    _ => KvRequest::Delete { key },
+                }
+                .encode()
+            }
+            1 => {
+                let lba = m.below(block_config.blocks as usize * 2) as u64;
+                if m.below(2) == 0 {
+                    BlockRequest::Read { lba }.encode(None)
+                } else {
+                    BlockRequest::Write { lba }.encode(Some(&m.arbitrary(block_config.block_size)))
+                }
+            }
+            2 => match m.below(4) {
+                0 => KvResponse::Value(m.arbitrary(256)),
+                1 => KvResponse::Values(vec![m.arbitrary(64), m.arbitrary(64)]),
+                2 => KvResponse::Ok,
+                _ => KvResponse::NotFound,
+            }
+            .encode(),
+            _ => BlockRequest::encode_response(m.rng.gen(), m.rng.gen(), &m.arbitrary(128)),
+        };
+        let input = match (i / 4) % 3 {
+            0 => base,
+            1 => m.mutate(&base),
+            _ => m.arbitrary(160),
+        };
+
+        let mut any = false;
+        if let Some(req) = KvRequest::decode(&input) {
+            any = true;
+            // Canonical round trip: re-encoding what the parser accepted and
+            // re-parsing it lands on the same request.
+            let canonical = req.encode();
+            assert_eq!(
+                KvRequest::decode(&canonical).as_ref(),
+                Some(&req),
+                "KV request canonical round-trip (iteration {i}, seed {seed})"
+            );
+            if matches!(req, KvRequest::Put { .. }) {
+                puts_accepted += 1;
+            }
+        }
+        // The server answers *every* input — garbage included — with a
+        // well-formed, decodable response and never panics.
+        let kv_resp = kv.handle_wire(&input);
+        assert!(
+            KvResponse::decode(&kv_resp).is_some(),
+            "KV server emitted an undecodable response (iteration {i}, seed {seed})"
+        );
+        assert!(
+            kv.len() <= kv_records + puts_accepted,
+            "KV store grew past the accepted puts: {} keys after {} puts \
+             (iteration {i}, seed {seed})",
+            kv.len(),
+            puts_accepted
+        );
+
+        if let Some((breq, payload)) = BlockRequest::decode(&input) {
+            any = true;
+            let canonical = breq.encode(payload.as_deref());
+            assert_eq!(
+                BlockRequest::decode(&canonical),
+                Some((breq, payload)),
+                "block capsule canonical round-trip (iteration {i}, seed {seed})"
+            );
+        }
+        let (block_resp, device_ns) = blocks.handle_wire(&input);
+        assert!(
+            block_resp.len() >= RESPONSE_HEADER_BYTES,
+            "block response lost its completion header (iteration {i}, seed {seed})"
+        );
+        if block_resp[0] != 0 {
+            // Rejected capsules (malformed or out-of-range LBA) must not
+            // touch the media or return data.
+            assert_eq!(device_ns, 0, "rejected capsule charged device time");
+            assert_eq!(
+                block_resp.len(),
+                RESPONSE_HEADER_BYTES,
+                "rejected capsule returned data (iteration {i}, seed {seed})"
+            );
+        }
+        if KvResponse::decode(&input).is_some() {
+            any = true;
+        }
+
+        if any {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+
+        // Bound harness memory on long runs without weakening the growth
+        // invariant above: periodically reset to the freshly loaded state.
+        if i % 4_096 == 4_095 {
+            kv = KvStore::new();
+            kv.load(kv_records, 100);
+            puts_accepted = 0;
+            blocks = BlockStore::new(block_config);
+        }
+    }
+    FuzzReport {
+        target: "apps_codec",
+        iterations: iters,
+        accepted,
+        rejected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1385,6 +1536,15 @@ mod tests {
         let report = run_target("cc_control_frames", 300, 5).unwrap();
         assert!(report.accepted > 0, "valid control frames decoded");
         assert!(report.rejected > 0, "byte soup rejected by every codec");
+    }
+
+    #[test]
+    fn apps_codec_target_accepts_and_rejects() {
+        // 600 iterations crosses every (encoding kind × input treatment)
+        // slice of the 4×3 schedule many times.
+        let report = run_target("apps_codec", 600, 5).unwrap();
+        assert!(report.accepted > 0, "valid app framing decoded");
+        assert!(report.rejected > 0, "byte soup rejected by every app codec");
     }
 
     #[test]

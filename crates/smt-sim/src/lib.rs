@@ -45,8 +45,9 @@ pub mod time;
 pub use cost::CostModel;
 pub use link::Link;
 pub use net::{
-    run_scenario, EcnConfig, Fabric, FabricStats, FaultConfig, FaultyLink, LeafSpineConfig,
-    LinkConfig, Scenario, ScenarioReport, SimEndpoint, SimEndpointStats, Topology,
+    run_scenario, run_scenario_app, AppReply, EcnConfig, Fabric, FabricStats, FaultConfig,
+    FaultyLink, LeafSpineConfig, LinkConfig, Scenario, ScenarioApp, ScenarioReport, SimEndpoint,
+    SimEndpointStats, Topology,
 };
 pub use nic::{NicModel, NicStats};
 pub use pipeline::{

@@ -41,8 +41,8 @@ pub use fabric::{
     LeafSpineConfig, LinkConfig, PortId, Topology,
 };
 pub use scenario::{
-    run_scenario, CpuCharge, FlowSpec, Scenario, ScenarioReport, ScheduledSend, SimEndpoint,
-    SimEndpointStats,
+    run_scenario, run_scenario_app, AppReply, CpuCharge, FlowSpec, Scenario, ScenarioApp,
+    ScenarioReport, ScheduledSend, SimEndpoint, SimEndpointStats,
 };
 pub use workload::{
     all_to_all_scenario, background_elephants, incast_scenario, poisson_flow,

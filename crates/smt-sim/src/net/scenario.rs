@@ -57,6 +57,11 @@ pub struct SimEndpointStats {
     /// High-water mark of attacker-influenceable buffered bytes across the
     /// endpoint's bounded buffers.
     pub peak_tracked_bytes: u64,
+    /// Median send→ack latency over this endpoint's completed messages, in
+    /// nanoseconds (zero when the endpoint records no samples).
+    pub op_latency_p50_ns: u64,
+    /// 99th-percentile send→ack latency, in nanoseconds.
+    pub op_latency_p99_ns: u64,
 }
 
 /// The contract a protocol engine implements to live on the fabric.
@@ -100,6 +105,75 @@ pub struct FlowSpec {
     pub src_host: HostId,
     /// Host of the responding (server) end.
     pub dst_host: HostId,
+}
+
+/// A reply produced by a [`ScenarioApp`] host for one delivered request.
+///
+/// The two delay terms model the paper's two kinds of server-side time:
+/// `compute_ns` occupies the (single) application core serving that endpoint
+/// — back-to-back requests queue behind it, the Redis model — while
+/// `fixed_ns` is pure latency that burns no CPU (an NVMe read in flight, the
+/// blockstore model).  Both zero sends the reply at delivery time, exactly
+/// like the plain `run_scenario` closure path.
+#[derive(Debug, Clone)]
+pub struct AppReply {
+    /// Reply payload sent back on the same flow.
+    pub data: Vec<u8>,
+    /// Server application compute that occupies the endpoint's app core.
+    pub compute_ns: Nanos,
+    /// Server-side fixed latency that occupies no CPU (device time).
+    pub fixed_ns: Nanos,
+}
+
+impl AppReply {
+    /// A reply with no server-side delay (the echo server).
+    pub fn immediate(data: Vec<u8>) -> Self {
+        Self {
+            data,
+            compute_ns: 0,
+            fixed_ns: 0,
+        }
+    }
+}
+
+/// An application host driven by [`run_scenario_app`]: the netbench-style
+/// driver/scenario split.  The scenario owns time and the network; the app
+/// owns request semantics (what a server replies, what a client asks next).
+///
+/// `on_request` runs at every server-end delivery and may return a clocked
+/// [`AppReply`].  `on_reply` runs at every client-end reply delivery and may
+/// return the *next* request for that flow — the closed-loop hook the
+/// throughput and YCSB figures drive: seed the loop with `concurrency`
+/// scheduled sends, then keep exactly that many RPCs outstanding.
+pub trait ScenarioApp {
+    /// Called for every workload message delivered at a server end; a
+    /// returned reply is sent back on the same flow after its delays.
+    fn on_request(&mut self, flow: usize, id: u64, request: &[u8], now: Nanos) -> Option<AppReply>;
+
+    /// Called for every reply delivered back at a client end; a returned
+    /// payload is sent as a fresh workload request on the same flow
+    /// (closed-loop generation).  Defaults to open-loop (no new request).
+    fn on_reply(&mut self, _flow: usize, _id: u64, _reply: &[u8], _now: Nanos) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Called when a scheduled workload send fires, letting the app replace
+    /// the deterministic filler payload with a real encoded request for the
+    /// flow (the KV and blockstore hosts need request framing the scenario's
+    /// size-only send list can't carry).  Defaults to the filler.
+    fn initial_request(&mut self, _flow: usize, _size: usize, _now: Nanos) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Adapts the plain `run_scenario` reply closure to the [`ScenarioApp`]
+/// contract (open-loop, zero server delay).
+struct FnApp<F>(F);
+
+impl<F: FnMut(usize, u64, &[u8], Nanos) -> Option<Vec<u8>>> ScenarioApp for FnApp<F> {
+    fn on_request(&mut self, flow: usize, id: u64, request: &[u8], now: Nanos) -> Option<AppReply> {
+        (self.0)(flow, id, request, now).map(AppReply::immediate)
+    }
 }
 
 /// One workload-initiated message: at time `at`, the client end of `flow`
@@ -224,6 +298,15 @@ pub struct ScenarioReport {
     /// One-way delivery latency over workload messages (and replies, measured
     /// from their own send).
     pub latency: LatencySummary,
+    /// Per-op application latency: full request-send → reply-delivery round
+    /// trips, one sample per completed RPC (empty for reply-less scenarios).
+    /// Figure bins read p50/p99 from here instead of re-deriving them.
+    #[serde(default)]
+    pub rpc_latency: LatencySummary,
+    /// Worst per-endpoint p99 of send→ack message latency, as measured by the
+    /// endpoints themselves ([`SimEndpointStats::op_latency_p99_ns`]).
+    #[serde(default)]
+    pub endpoint_op_p99_ns: u64,
     /// Delivered application bytes over the run duration, in Gb/s.
     pub goodput_gbps: f64,
     /// Data packets retransmitted, summed over all endpoints.
@@ -271,6 +354,7 @@ mod trace_tag {
     pub const TIMEOUT: u64 = 3;
     pub const DELIVERY: u64 = 4;
     pub const INJECT: u64 = 5;
+    pub const APP: u64 = 6;
 }
 
 /// Runs `scenario` over `endpoints` (two per flow: index `2*f` is the client
@@ -285,7 +369,31 @@ mod trace_tag {
 pub fn run_scenario(
     scenario: &Scenario,
     endpoints: &mut [Box<dyn SimEndpoint + '_>],
-    mut on_deliver: impl FnMut(usize, u64, &[u8], Nanos) -> Option<Vec<u8>>,
+    on_deliver: impl FnMut(usize, u64, &[u8], Nanos) -> Option<Vec<u8>>,
+) -> ScenarioReport {
+    run_scenario_app(scenario, endpoints, &mut FnApp(on_deliver))
+}
+
+/// One application send queued for a later virtual time: a server reply held
+/// for its compute/device delay, or a closed-loop client request.
+struct PendingSend {
+    ep: usize,
+    data: Vec<u8>,
+    /// `Some(request send time)` marks this as a reply, keyed back to its
+    /// originating request for round-trip latency accounting.
+    req_start: Option<Nanos>,
+}
+
+/// [`run_scenario`] with a full [`ScenarioApp`] host instead of the plain
+/// reply closure: clocked server replies (compute occupies the app core,
+/// device time doesn't) and closed-loop client generation.  Deferred app
+/// sends pay the [`Scenario::cpu`] sealing charge exactly like scheduled
+/// workload sends; immediate replies keep the original uncharged fast path,
+/// so closure-driven scenarios reproduce their previous traces bit for bit.
+pub fn run_scenario_app(
+    scenario: &Scenario,
+    endpoints: &mut [Box<dyn SimEndpoint + '_>],
+    app: &mut dyn ScenarioApp,
 ) -> ScenarioReport {
     assert_eq!(
         endpoints.len(),
@@ -322,6 +430,16 @@ pub fn run_scenario(
     // (endpoint index, message id) -> send time, for latency measurement.
     let mut in_flight: BTreeMap<(usize, u64), Nanos> = BTreeMap::new();
     let mut latencies: Vec<Nanos> = Vec::new();
+    // (server endpoint, reply id) -> originating request's send time, for
+    // round-trip per-op latency.
+    let mut reply_origin: BTreeMap<(usize, u64), Nanos> = BTreeMap::new();
+    let mut rpc_latencies: Vec<Nanos> = Vec::new();
+    // App sends queued for a later virtual time, ordered (time, sequence).
+    let mut pending: BTreeMap<(Nanos, u64), PendingSend> = BTreeMap::new();
+    let mut pending_seq: u64 = 0;
+    // The virtual time each server endpoint's application core frees up:
+    // requests with compute cost queue behind each other (one app thread).
+    let mut app_free: Vec<Nanos> = vec![0; endpoints.len()];
     let mut messages_sent: u64 = 0;
     let mut messages_delivered: u64 = 0;
     let mut replies_delivered: u64 = 0;
@@ -366,15 +484,39 @@ pub fn run_scenario(
                     if is_server_end {
                         messages_delivered += 1;
                         let flow = ep / 2;
-                        if let Some(start) = in_flight.remove(&(flow * 2, id)) {
+                        let req_start = in_flight.remove(&(flow * 2, id));
+                        if let Some(start) = req_start {
                             latencies.push(t.saturating_sub(start));
                         }
-                        if let Some(reply) = on_deliver(flow, id, &data, t) {
-                            if let Some(rid) = endpoints[ep].send(&reply, t) {
-                                in_flight.insert((ep, rid), t);
-                                if !work.contains(&ep) {
-                                    work.push(ep);
+                        if let Some(reply) = app.on_request(flow, id, &data, t) {
+                            // Compute occupies the app core (requests queue
+                            // behind each other); device time adds latency on
+                            // top without holding the core.
+                            let ready = app_free[ep].max(t) + reply.compute_ns.min(SECOND);
+                            if reply.compute_ns > 0 {
+                                app_free[ep] = ready;
+                            }
+                            let send_at = ready + reply.fixed_ns.min(SECOND);
+                            if send_at <= t {
+                                if let Some(rid) = endpoints[ep].send(&reply.data, t) {
+                                    in_flight.insert((ep, rid), t);
+                                    if let Some(start) = req_start {
+                                        reply_origin.insert((ep, rid), start);
+                                    }
+                                    if !work.contains(&ep) {
+                                        work.push(ep);
+                                    }
                                 }
+                            } else {
+                                pending.insert(
+                                    (send_at, pending_seq),
+                                    PendingSend {
+                                        ep,
+                                        data: reply.data,
+                                        req_start,
+                                    },
+                                );
+                                pending_seq += 1;
                             }
                         }
                     } else {
@@ -382,6 +524,20 @@ pub fn run_scenario(
                         let flow = ep / 2;
                         if let Some(start) = in_flight.remove(&(flow * 2 + 1, id)) {
                             latencies.push(t.saturating_sub(start));
+                        }
+                        if let Some(start) = reply_origin.remove(&(flow * 2 + 1, id)) {
+                            rpc_latencies.push(t.saturating_sub(start));
+                        }
+                        if let Some(next) = app.on_reply(flow, id, &data, t) {
+                            pending.insert(
+                                (t, pending_seq),
+                                PendingSend {
+                                    ep,
+                                    data: next,
+                                    req_start: None,
+                                },
+                            );
+                            pending_seq += 1;
                         }
                     }
                 }
@@ -405,21 +561,25 @@ pub fn run_scenario(
         }
         let t_send = scenario.sends.get(send_idx).map(|s| s.at);
         let t_net = fabric.next_arrival();
+        let t_app = pending.keys().next().map(|(at, _)| *at);
         let t_adv = adversary.as_ref().and_then(|a| a.next_injection());
         let t_timer = endpoints.iter().filter_map(|e| e.next_timeout()).min();
         // Deterministic cause priority at equal times: workload sends, then
-        // packet arrivals, then adversary injections, then timers.
+        // packet arrivals, then deferred app sends, then adversary
+        // injections, then timers.
         enum Cause {
             Send,
             Net,
+            App,
             Inject,
             Timer,
         }
         let next = [
             t_send.map(|t| (t, 0u8)),
             t_net.map(|t| (t, 1u8)),
-            t_adv.map(|t| (t, 2u8)),
-            t_timer.map(|t| (t, 3u8)),
+            t_app.map(|t| (t, 2u8)),
+            t_adv.map(|t| (t, 3u8)),
+            t_timer.map(|t| (t, 4u8)),
         ]
         .into_iter()
         .flatten()
@@ -428,7 +588,8 @@ pub fn run_scenario(
         let cause = match tag {
             0 => Cause::Send,
             1 => Cause::Net,
-            2 => Cause::Inject,
+            2 => Cause::App,
+            3 => Cause::Inject,
             _ => Cause::Timer,
         };
         now = now.max(t);
@@ -441,11 +602,13 @@ pub fn run_scenario(
                 // Deterministic filler payload; contents don't matter to the
                 // engines beyond their length.
                 let fill = (s.flow as u8).wrapping_mul(31).wrapping_add(s.size as u8);
-                let data = vec![fill; s.size];
+                let data = app
+                    .initial_request(s.flow, s.size, now)
+                    .unwrap_or_else(|| vec![fill; s.size]);
                 trace.note(trace_tag::SEND);
                 trace.note(now);
                 trace.note(ep as u64);
-                trace.note(s.size as u64);
+                trace.note(data.len() as u64);
                 let sealed_before = scenario
                     .cpu
                     .map(|_| endpoints[ep].sim_stats().records_sealed);
@@ -483,6 +646,48 @@ pub fn run_scenario(
                 trace.note(packet.wire_len() as u64);
                 endpoints[port].handle_datagram(&packet, now);
                 pump!(vec![port]);
+            }
+            Cause::App => {
+                let Some((&key, _)) = pending.iter().next() else {
+                    continue;
+                };
+                let ps = pending.remove(&key).expect("key just observed");
+                trace.note(trace_tag::APP);
+                trace.note(now);
+                trace.note(ps.ep as u64);
+                trace.note(ps.data.len() as u64);
+                let is_client_end = ps.ep.is_multiple_of(2);
+                let sealed_before = scenario
+                    .cpu
+                    .map(|_| endpoints[ps.ep].sim_stats().records_sealed);
+                if let Some(id) = endpoints[ps.ep].send(&ps.data, now) {
+                    if is_client_end {
+                        // A closed-loop request: accounted exactly like a
+                        // scheduled workload send.
+                        messages_sent += 1;
+                        in_flight.insert((ps.ep, id), now);
+                    } else {
+                        in_flight.insert((ps.ep, id), now);
+                        if let Some(start) = ps.req_start {
+                            reply_origin.insert((ps.ep, id), start);
+                        }
+                    }
+                }
+                // Deferred app sends pay the sealing charge like workload
+                // sends — the server's reply crypto is host CPU too.
+                let mut tx_at = now;
+                if let (Some(cpu), Some(before)) = (scenario.cpu, sealed_before) {
+                    let records = endpoints[ps.ep]
+                        .sim_stats()
+                        .records_sealed
+                        .saturating_sub(before);
+                    if records > 0 {
+                        tx_at = cpu_free[ps.ep].max(now)
+                            + cpu.seal_ns(ps.data.len() as u64, records).min(SECOND);
+                        cpu_free[ps.ep] = tx_at;
+                    }
+                }
+                pump!(vec![ps.ep], tx_at);
             }
             Cause::Inject => {
                 // Forged traffic enters the fabric from the recorded source
@@ -523,6 +728,7 @@ pub fn run_scenario(
     let mut auth_failures = 0;
     let mut state_evictions = 0;
     let mut peak_tracked_bytes = 0u64;
+    let mut endpoint_op_p99_ns = 0u64;
     for ep in endpoints.iter() {
         let s = ep.sim_stats();
         retransmissions += s.retransmissions;
@@ -533,6 +739,7 @@ pub fn run_scenario(
         auth_failures += s.auth_failures;
         state_evictions += s.state_evictions;
         peak_tracked_bytes = peak_tracked_bytes.max(s.peak_tracked_bytes);
+        endpoint_op_p99_ns = endpoint_op_p99_ns.max(s.op_latency_p99_ns);
     }
     let duration_ns = now.max(1);
     ScenarioReport {
@@ -543,6 +750,8 @@ pub fn run_scenario(
         bytes_delivered,
         duration_ns,
         latency: LatencySummary::from_nanos(latencies),
+        rpc_latency: LatencySummary::from_nanos(rpc_latencies),
+        endpoint_op_p99_ns,
         goodput_gbps: (bytes_delivered as f64 * 8.0) / (duration_ns as f64 / SECOND as f64) / 1e9,
         retransmissions,
         timeouts_fired,
@@ -780,6 +989,67 @@ mod tests {
             "p50 grew by {added_us} µs, expected ≈5.6 µs"
         );
         assert_ne!(free.trace_hash, charged.trace_hash);
+    }
+
+    #[test]
+    fn rpc_round_trips_land_in_rpc_latency() {
+        let s = toy_scenario(FaultConfig::none());
+        let mut eps = toy_endpoints();
+        let report = run_scenario(&s, &mut eps, |_, _, req, _| Some(req.to_vec()));
+        assert_eq!(report.replies_delivered, 40);
+        // Every reply closes a request → 40 round-trip samples, and a round
+        // trip is strictly longer than either one-way leg.
+        assert!(report.rpc_latency.p50_us > report.latency.p50_us);
+        assert!(report.rpc_latency.p99_us >= report.rpc_latency.p50_us);
+    }
+
+    #[test]
+    fn app_host_closed_loop_and_clocked_replies() {
+        struct KvLikeApp {
+            remaining: usize,
+        }
+        impl ScenarioApp for KvLikeApp {
+            fn on_request(
+                &mut self,
+                _flow: usize,
+                _id: u64,
+                request: &[u8],
+                _now: Nanos,
+            ) -> Option<AppReply> {
+                Some(AppReply {
+                    data: request.to_vec(),
+                    compute_ns: 2_000,
+                    fixed_ns: 50_000,
+                })
+            }
+            fn on_reply(
+                &mut self,
+                _flow: usize,
+                _id: u64,
+                _reply: &[u8],
+                _now: Nanos,
+            ) -> Option<Vec<u8>> {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    Some(vec![9u8; 600])
+                } else {
+                    None
+                }
+            }
+        }
+        let mut s = toy_scenario(FaultConfig::none());
+        // Seed the loop with 4 outstanding requests; the app issues 20 more.
+        s.sends.truncate(4);
+        let mut eps = toy_endpoints();
+        let mut app = KvLikeApp { remaining: 20 };
+        let report = run_scenario_app(&s, &mut eps, &mut app);
+        assert_eq!(report.messages_sent, 24, "closed loop issued the rest");
+        assert_eq!(report.messages_delivered, 24);
+        assert_eq!(report.replies_delivered, 24);
+        // The 50 µs device delay plus 2 µs compute sits inside every round
+        // trip but in none of the one-way legs.
+        assert!(report.rpc_latency.p50_us > 52.0, "{report:?}");
+        assert!(report.latency.p50_us < 52.0, "{report:?}");
     }
 
     #[test]

@@ -310,6 +310,8 @@ impl Listener {
             total.auth_failures += s.auth_failures;
             total.state_evictions += s.state_evictions;
             total.peak_tracked_bytes = total.peak_tracked_bytes.max(s.peak_tracked_bytes);
+            total.op_latency_p50_ns = total.op_latency_p50_ns.max(s.op_latency_p50_ns);
+            total.op_latency_p99_ns = total.op_latency_p99_ns.max(s.op_latency_p99_ns);
         }
         total.state_evictions += self.evictions;
         total.datagrams_dropped += self.dropped;

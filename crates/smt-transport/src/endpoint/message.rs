@@ -83,6 +83,12 @@ pub struct MessageEndpoint {
     /// Session-ID → (send time, retransmit counter at send) for RTT
     /// sampling; entries leave on ack, bounded for abandoned sends.
     send_times: BTreeMap<u64, (Nanos, u64)>,
+    /// Send→ack latency histogram over completed messages, feeding the
+    /// per-op latency percentiles in [`EndpointStats`].
+    op_latency: super::OpLatencyHistogram,
+    /// Timing breakdown of the completed in-band handshake (Table 2), kept
+    /// from the negotiated keys at completion.
+    hs_timings: Option<smt_crypto::handshake::HandshakeTimings>,
     /// Shared per-host batch crypto engine, when configured on the builder.
     engine: Option<CryptoEngineHandle>,
     /// This session's registration with the engine (software crypto only).
@@ -239,6 +245,8 @@ impl MessageEndpoint {
             rtt: RttEstimator::new(&est_config),
             rto_backoff: 0,
             send_times: BTreeMap::new(),
+            op_latency: super::OpLatencyHistogram::default(),
+            hs_timings: None,
             extra: EndpointStats::default(),
             dead: false,
             connection_id: 0,
@@ -356,6 +364,7 @@ impl MessageEndpoint {
         for id in inner.take_acked() {
             progressed = true;
             if let Some((sent_at, retx_at_send)) = self.send_times.remove(&id) {
+                self.op_latency.record(now.saturating_sub(sent_at));
                 // Karn's rule, conservatively: any retransmission between
                 // this message's send and its ack disqualifies the sample.
                 if self.cc.enabled && self.cc.adaptive_rto && retx_now == retx_at_send {
@@ -421,6 +430,7 @@ impl MessageEndpoint {
         let Some(result) = outcome.complete else {
             return;
         };
+        self.hs_timings = Some(result.keys.timings.clone());
         let inner = match HomaEndpoint::new(&result.keys, self.stack, self.config, self.path) {
             Ok(mut inner) => {
                 inner.set_cc(self.cc);
@@ -490,6 +500,13 @@ impl MessageEndpoint {
             self.send_times.insert(id, (now, retx_at_send));
         }
         Ok(id + self.tx_id_offset)
+    }
+
+    /// The per-operation timing breakdown recorded by this endpoint's
+    /// completed in-band handshake (paper Table 2); `None` before completion
+    /// and for key-injected endpoints.
+    pub fn handshake_timings(&self) -> Option<&smt_crypto::handshake::HandshakeTimings> {
+        self.hs_timings.as_ref()
     }
 
     /// Ratchets the send keys one epoch forward (the SMT key-update: the new
@@ -720,6 +737,8 @@ impl SecureEndpoint for MessageEndpoint {
             stats.grants_outstanding = inner.grants_outstanding();
         }
         stats.srtt_ns = self.rtt.srtt_ns();
+        stats.op_latency_p50_ns = self.op_latency.quantile(0.50);
+        stats.op_latency_p99_ns = self.op_latency.quantile(0.99);
         if let Some(hs) = &self.hs {
             stats.wire_bytes_sent += hs.wire_bytes_sent;
             stats.wire_bytes_received += hs.wire_bytes_received;

@@ -56,7 +56,7 @@ use crate::stack::StackKind;
 use serde::{Deserialize, Serialize};
 use smt_core::segment::PathInfo;
 use smt_core::SmtConfig;
-use smt_crypto::handshake::{SessionKeys, SmtTicket};
+use smt_crypto::handshake::{HandshakeTimings, SessionKeys, SmtTicket};
 use smt_sim::net::{Fabric, FabricStats, FaultConfig, LinkConfig};
 use smt_sim::Nanos;
 use smt_wire::Packet;
@@ -186,6 +186,79 @@ pub struct EndpointStats {
     /// stacks and with cc disabled.
     #[serde(default)]
     pub grants_outstanding: u64,
+    /// Median send→ack latency over this endpoint's completed messages, in
+    /// nanoseconds (log-scale histogram estimate, ≤ ~9% bucket error; zero
+    /// before the first completed message).
+    #[serde(default)]
+    pub op_latency_p50_ns: u64,
+    /// 99th-percentile send→ack latency in nanoseconds (same histogram).
+    #[serde(default)]
+    pub op_latency_p99_ns: u64,
+}
+
+/// Constant-space log-scale latency histogram backing the per-op latency
+/// stats: recording is O(1) and quantile queries walk ≤ 496 buckets, so
+/// `stats()` stays cheap enough to call per event in the scenario runner.
+/// Buckets are exact below 16 ns, then 8 sub-buckets per octave (≤ ~9%
+/// relative error) — plenty for figure-grade percentiles.
+#[derive(Debug, Clone)]
+pub(crate) struct OpLatencyHistogram {
+    counts: Box<[u32; Self::BUCKETS]>,
+    total: u64,
+}
+
+impl Default for OpLatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: Box::new([0; Self::BUCKETS]),
+            total: 0,
+        }
+    }
+}
+
+impl OpLatencyHistogram {
+    const BUCKETS: usize = 16 + 60 * 8;
+
+    fn bucket(ns: u64) -> usize {
+        if ns < 16 {
+            return ns as usize;
+        }
+        let e = 63 - ns.leading_zeros() as u64;
+        let sub = (ns >> (e - 3)) & 0x7;
+        (16 + (e - 4) * 8 + sub) as usize
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < 16 {
+            return idx as u64;
+        }
+        let e = 4 + ((idx - 16) / 8) as u64;
+        let sub = ((idx - 16) % 8) as u64;
+        (1u64 << e) + sub * (1u64 << (e - 3)) + (1u64 << (e - 3)) / 2
+    }
+
+    /// Records one completed-message latency sample.
+    pub(crate) fn record(&mut self, ns: Nanos) {
+        self.counts[Self::bucket(ns.max(1))] += 1;
+        self.total += 1;
+    }
+
+    /// The `q`-quantile (0..=1) as a representative bucket value, or zero
+    /// with no samples.
+    pub(crate) fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((self.total as f64 * q).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c as u64;
+            if seen >= rank {
+                return Self::bucket_value(idx);
+            }
+        }
+        0
+    }
 }
 
 /// Errors from endpoint construction and driving.
@@ -802,6 +875,18 @@ impl Endpoint {
         match self {
             Endpoint::Message(m) => m.rekey(now),
             Endpoint::Stream(s) => s.rekey(now),
+        }
+    }
+
+    /// The per-operation timing breakdown (paper Table 2) measured by this
+    /// endpoint's completed **in-band** handshake: wall-clock durations of
+    /// each crypto phase on this side, recorded by the handshake machines as
+    /// they ran.  `None` before completion and for key-injected endpoints
+    /// (which never handshake).
+    pub fn handshake_timings(&self) -> Option<&HandshakeTimings> {
+        match self {
+            Endpoint::Message(m) => m.handshake_timings(),
+            Endpoint::Stream(s) => s.handshake_timings(),
         }
     }
 }

@@ -62,6 +62,8 @@ impl SimEndpoint for Endpoint {
             auth_failures: s.auth_failures,
             state_evictions: s.state_evictions,
             peak_tracked_bytes: s.peak_tracked_bytes,
+            op_latency_p50_ns: s.op_latency_p50_ns,
+            op_latency_p99_ns: s.op_latency_p99_ns,
         }
     }
 }

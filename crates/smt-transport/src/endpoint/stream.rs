@@ -154,6 +154,15 @@ pub struct StreamEndpoint {
     /// `(chunk end offset, send time)` of never-retransmitted chunks, for
     /// Karn-safe RTT sampling; cleared whenever anything is retransmitted.
     timed: VecDeque<(u64, Nanos)>,
+    /// Message-ID → send time for per-op latency (unlike `timed`, survives
+    /// retransmission: it measures the app-visible completion time).
+    op_sent: BTreeMap<u64, Nanos>,
+    /// Send→ack latency histogram over completed messages, feeding the
+    /// per-op latency percentiles in [`EndpointStats`].
+    op_latency: super::OpLatencyHistogram,
+    /// Timing breakdown of the completed in-band handshake (Table 2), kept
+    /// from the negotiated keys at completion.
+    hs_timings: Option<smt_crypto::handshake::HandshakeTimings>,
     /// CE-marked / total data packets received since the last SACK went out
     /// (the receiver's DCTCP ECN echo).
     ecn_ce_pending: u64,
@@ -342,6 +351,9 @@ impl StreamEndpoint {
             rtt: RttEstimator::new(&est_config),
             sacked: BTreeMap::new(),
             timed: VecDeque::new(),
+            op_sent: BTreeMap::new(),
+            op_latency: super::OpLatencyHistogram::default(),
+            hs_timings: None,
             ecn_ce_pending: 0,
             ecn_total_pending: 0,
             consecutive_timeouts: 0,
@@ -734,6 +746,7 @@ impl StreamEndpoint {
         let Some(result) = outcome.complete else {
             return;
         };
+        self.hs_timings = Some(result.keys.timings.clone());
         if let Some(mode) = self.crypto_mode {
             match KtlsSession::new(&result.keys, mode) {
                 Ok(session) => {
@@ -763,6 +776,9 @@ impl StreamEndpoint {
         if result.early_data_sent {
             // The server flight proves the 0-RTT record was accepted; the
             // piggybacked message is done end to end.
+            if let Some(sent_at) = self.op_sent.remove(&0) {
+                self.op_latency.record(now.saturating_sub(sent_at));
+            }
             self.events.push_back(Event::MessageAcked(MessageId(0)));
         }
         // Flush the sends that queued during the handshake onto the stream.
@@ -783,6 +799,13 @@ impl StreamEndpoint {
     }
 
     /// Ratchets the send keys one epoch forward by appending an in-band TLS
+    /// The per-operation timing breakdown recorded by this endpoint's
+    /// completed in-band handshake (paper Table 2); `None` before completion
+    /// and for key-injected endpoints.
+    pub fn handshake_timings(&self) -> Option<&smt_crypto::handshake::HandshakeTimings> {
+        self.hs_timings.as_ref()
+    }
+
     /// KeyUpdate record to the reliable stream (RFC 8446 §4.6.3): ciphertext
     /// staged with the shared batch engine under the old key is materialised
     /// first so stream ordering is preserved, the KeyUpdate is sealed under
@@ -878,6 +901,9 @@ impl StreamEndpoint {
                 break;
             }
             self.inflight.pop_front();
+            if let Some(sent_at) = self.op_sent.remove(&id.0) {
+                self.op_latency.record(now.saturating_sub(sent_at));
+            }
             self.events.push_back(Event::MessageAcked(id));
         }
     }
@@ -970,11 +996,17 @@ impl SecureEndpoint for StreamEndpoint {
             self.queued.push_back((id, data.to_vec()));
             self.queued_bytes += data.len();
             self.note_tracked_bytes();
+            if self.op_sent.len() < 1024 {
+                self.op_sent.insert(id.0, now);
+            }
             return Ok(id);
         }
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
         self.enqueue_framed(id, data)?;
+        if self.op_sent.len() < 1024 {
+            self.op_sent.insert(id.0, now);
+        }
         if self.rto_deadline.is_none() {
             self.rto_deadline = Some(now + self.rto());
         }
@@ -1209,6 +1241,8 @@ impl SecureEndpoint for StreamEndpoint {
             stats.cwnd_bytes = snap.cwnd_bytes;
         }
         stats.srtt_ns = self.rtt.srtt_ns();
+        stats.op_latency_p50_ns = self.op_latency.quantile(0.50);
+        stats.op_latency_p99_ns = self.op_latency.quantile(0.99);
         if let Some(tx) = &self.tls_tx {
             if tx.crypto_mode() == CryptoMode::Software {
                 stats.records_sealed += tx.records_sent;

@@ -15,6 +15,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use smt::apps::{KvRequest, KvStore};
 use smt::crypto::cert::CertificateAuthority;
 use smt::crypto::handshake::{establish, ClientConfig, ServerConfig, SessionKeys, SmtTicketIssuer};
 use smt::sim::net::{FaultConfig, FaultyLink};
@@ -523,4 +524,104 @@ fn replayed_zero_rtt_first_flight_rejected_exactly_once() {
         take_delivered(&mut server_a).is_empty(),
         "no second delivery"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// App conformance (Fig. 8's workload on the conformance matrix): the
+    /// same KV get/put/delete sequence and the same RPC echo round-trips,
+    /// executed through every stack's real datapath under full reordering,
+    /// duplication and 1 % loss, yield byte-identical responses on all eight
+    /// stacks — and identical to a direct in-memory execution of the store.
+    #[test]
+    fn kv_and_rpc_round_trips_identical_on_all_stacks(
+        ops in proptest::collection::vec(
+            (0u8..3, any::<u16>(), proptest::collection::vec(any::<u8>(), 0..400)),
+            1..8,
+        ),
+        rpc_payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..2000),
+            1..4,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let faults = FaultConfig {
+            duplicate: 0.2,
+            reorder: 1.0,
+            ..FaultConfig::lossy(0.01, seed)
+        };
+        let requests: Vec<Vec<u8>> = ops
+            .iter()
+            .map(|(kind, k, value)| {
+                let key = format!("user{:08}", k % 64);
+                match kind {
+                    0 => KvRequest::Get { key },
+                    1 => KvRequest::Put { key, value: value.clone() },
+                    _ => KvRequest::Delete { key },
+                }
+                .encode()
+            })
+            .collect();
+
+        // Reference run: the store executed directly, no network.
+        let mut reference_store = KvStore::new();
+        reference_store.load(64, 100);
+        let reference: Vec<Vec<u8>> =
+            requests.iter().map(|r| reference_store.handle_wire(r)).collect();
+
+        for stack in StackKind::all() {
+            let (ck, sk) = handshake();
+            let (mut client, mut server) = Endpoint::builder()
+                .stack(stack)
+                .pair(&ck, &sk, 4000, 5201)
+                .unwrap();
+
+            // KV phase: requests over the faulty wire, served by a fresh
+            // identically-loaded store, responses back over the same wire.
+            for r in &requests {
+                client.send(r, 0).unwrap();
+            }
+            pump_faulty(&mut client, &mut server, faults, 40_000);
+            let mut got = take_delivered(&mut server);
+            got.sort_by_key(|(id, _)| *id);
+            prop_assert_eq!(got.len(), requests.len(), "{}: lost KV requests", stack.label());
+            let mut store = KvStore::new();
+            store.load(64, 100);
+            for (_, req) in &got {
+                let resp = store.handle_wire(req);
+                server.send(&resp, 0).unwrap();
+            }
+            pump_faulty(&mut client, &mut server, faults, 40_000);
+            let mut resp = take_delivered(&mut client);
+            resp.sort_by_key(|(id, _)| *id);
+            let responses: Vec<Vec<u8>> = resp.into_iter().map(|(_, d)| d).collect();
+            prop_assert_eq!(
+                &responses, &reference,
+                "stack {}: KV responses diverge from the in-memory reference",
+                stack.label()
+            );
+
+            // RPC phase: the server echoes each payload verbatim; the client
+            // must observe its own bytes unchanged.
+            for p in &rpc_payloads {
+                client.send(p, 0).unwrap();
+            }
+            pump_faulty(&mut client, &mut server, faults, 40_000);
+            let mut echo_in = take_delivered(&mut server);
+            echo_in.sort_by_key(|(id, _)| *id);
+            for (_, data) in &echo_in {
+                server.send(data, 0).unwrap();
+            }
+            pump_faulty(&mut client, &mut server, faults, 40_000);
+            let mut echoed = take_delivered(&mut client);
+            echoed.sort_by_key(|(id, _)| *id);
+            let echoes: Vec<Vec<u8>> = echoed.into_iter().map(|(_, d)| d).collect();
+            prop_assert_eq!(
+                &echoes, &rpc_payloads,
+                "stack {}: RPC echo corrupted the payload bytes",
+                stack.label()
+            );
+        }
+    }
 }
